@@ -1,0 +1,308 @@
+// Package nvref's benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation. Each benchmark drives the same
+// workload the corresponding experiment uses and reports the simulated
+// machine's metrics (simulated cycles, checks, mispredictions, traffic
+// fractions) via b.ReportMetric, alongside Go's own ns/op for the
+// simulator itself.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package nvref
+
+import (
+	"testing"
+
+	"nvref/internal/bench"
+	"nvref/internal/knn"
+	"nvref/internal/kvstore"
+	"nvref/internal/minc"
+	"nvref/internal/rt"
+	"nvref/internal/structures"
+	"nvref/internal/ycsb"
+)
+
+// benchSpec is a scaled workload so each testing.B iteration is one full
+// measured op-phase pass at tractable cost.
+func benchSpec() ycsb.Spec {
+	return ycsb.Spec{Records: 1000, Operations: 5000, ReadProportion: 0.95, Theta: 0.99, Seed: 1}
+}
+
+// runOps executes the op phase once over a prebuilt store and returns the
+// simulated cycles consumed.
+func runOps(s *kvstore.Store, ctx *rt.Context, w *ycsb.Workload) uint64 {
+	start := ctx.CPU.Stats.Cycles
+	for _, op := range w.Ops {
+		if op.Type == ycsb.Get {
+			s.Get(op.Key)
+		} else {
+			s.Set(op.Key, op.Value)
+		}
+	}
+	return ctx.CPU.Stats.Cycles - start
+}
+
+// BenchmarkFig11 reproduces Figure 11's measurement loop: each sub-bench
+// replays the YCSB op phase under one (index, model) pair and reports
+// simulated cycles per operation.
+func BenchmarkFig11(b *testing.B) {
+	w := ycsb.Generate(benchSpec())
+	for _, entry := range structures.Indexes() {
+		for _, mode := range rt.Modes {
+			entry, mode := entry, mode
+			b.Run(entry.Name+"/"+mode.String(), func(b *testing.B) {
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					ctx := rt.MustNew(mode)
+					s := kvstore.New(ctx, entry.New)
+					for _, kv := range w.Load {
+						s.Set(kv.Key, kv.Value)
+					}
+					b.StartTimer()
+					cycles += runOps(s, ctx, w)
+				}
+				b.ReportMetric(float64(cycles)/float64(b.N*len(w.Ops)), "simcycles/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig11LL is the linked-list harness measurement (the LL bars of
+// Figure 11): build once, iterate per benchmark iteration.
+func BenchmarkFig11LL(b *testing.B) {
+	for _, mode := range rt.Modes {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			ctx := rt.MustNew(mode)
+			l := structures.NewList(ctx)
+			for i := uint64(0); i < 5000; i++ {
+				l.Append(i, i*3)
+			}
+			start := ctx.CPU.Stats.Cycles
+			b.ResetTimer()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += l.Sum()
+			}
+			cycles := ctx.CPU.Stats.Cycles - start
+			b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/iter")
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkFig13 replays the Figure 13 measurement: branch mispredictions
+// per thousand operations for the SW and HW models on the RB index.
+func BenchmarkFig13(b *testing.B) {
+	w := ycsb.Generate(benchSpec())
+	for _, mode := range []rt.Mode{rt.Volatile, rt.SW, rt.HW} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			var mispredicts uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ctx := rt.MustNew(mode)
+				s := kvstore.New(ctx, func(c *rt.Context) structures.Index { return structures.NewRB(c) })
+				for _, kv := range w.Load {
+					s.Set(kv.Key, kv.Value)
+				}
+				before := ctx.CPU.Stats.Branch.Mispredicts
+				b.StartTimer()
+				runOps(s, ctx, w)
+				mispredicts += ctx.CPU.Stats.Branch.Mispredicts - before
+			}
+			b.ReportMetric(float64(mispredicts)/float64(b.N*len(w.Ops)/1000), "mispred/kop")
+		})
+	}
+}
+
+// BenchmarkTable5 reports the dynamic-check and conversion rates of the SW
+// model (Table V's columns) on the AVL index.
+func BenchmarkTable5(b *testing.B) {
+	w := ycsb.Generate(benchSpec())
+	var checks, abs2rel, rel2abs uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctx := rt.MustNew(rt.SW)
+		s := kvstore.New(ctx, func(c *rt.Context) structures.Index { return structures.NewAVL(c) })
+		for _, kv := range w.Load {
+			s.Set(kv.Key, kv.Value)
+		}
+		c0, a0, r0 := ctx.Stats.SWCheckBranches, ctx.Env.Stats.AbsToRel, ctx.Env.Stats.RelToAbs
+		b.StartTimer()
+		runOps(s, ctx, w)
+		checks += ctx.Stats.SWCheckBranches - c0
+		abs2rel += ctx.Env.Stats.AbsToRel - a0
+		rel2abs += ctx.Env.Stats.RelToAbs - r0
+	}
+	ops := float64(b.N * len(w.Ops))
+	b.ReportMetric(float64(checks)/ops, "checks/op")
+	b.ReportMetric(float64(abs2rel)/ops, "abs2rel/op")
+	b.ReportMetric(float64(rel2abs)/ops, "rel2abs/op")
+}
+
+// BenchmarkFig14 measures the HW model at the Figure 14 sweep's extreme
+// (50-cycle VALB/VAW) against the 1-cycle default, on the Splay index —
+// the most storeP-heavy container.
+func BenchmarkFig14(b *testing.B) {
+	w := ycsb.Generate(benchSpec())
+	for _, lat := range []uint64{1, 50} {
+		lat := lat
+		b.Run(map[uint64]string{1: "valb1cy", 50: "valb50cy"}[lat], func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ctx := rt.MustNew(rt.HW)
+				ctx.MMU.VALB.HitLatency = lat
+				ctx.MMU.VALB.WalkLatency = lat
+				s := kvstore.New(ctx, func(c *rt.Context) structures.Index { return structures.NewSplay(c) })
+				for _, kv := range w.Load {
+					s.Set(kv.Key, kv.Value)
+				}
+				b.StartTimer()
+				cycles += runOps(s, ctx, w)
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N*len(w.Ops)), "simcycles/op")
+		})
+	}
+}
+
+// BenchmarkFig15 reports the translation-structure traffic fractions of
+// the HW model (Figure 15) on the Hash index.
+func BenchmarkFig15(b *testing.B) {
+	w := ycsb.Generate(benchSpec())
+	var storeP, polb, valb, mem uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctx := rt.MustNew(rt.HW)
+		s := kvstore.New(ctx, func(c *rt.Context) structures.Index { return structures.NewHash(c, 1024) })
+		for _, kv := range w.Load {
+			s.Set(kv.Key, kv.Value)
+		}
+		s0, p0, v0, m0 := ctx.Stats.StorePOps, ctx.MMU.POLB.Stats.Accesses(), ctx.MMU.VALB.Stats.Accesses(), ctx.CPU.Stats.MemoryAccesses()
+		b.StartTimer()
+		runOps(s, ctx, w)
+		storeP += ctx.Stats.StorePOps - s0
+		polb += ctx.MMU.POLB.Stats.Accesses() - p0
+		valb += ctx.MMU.VALB.Stats.Accesses() - v0
+		mem += ctx.CPU.Stats.MemoryAccesses() - m0
+	}
+	b.ReportMetric(100*float64(storeP)/float64(mem), "storeP%")
+	b.ReportMetric(100*float64(polb)/float64(mem), "POLB%")
+	b.ReportMetric(100*float64(valb)/float64(mem), "VALB%")
+}
+
+// BenchmarkTable2 exercises the hardware cost computation (Table II).
+func BenchmarkTable2(b *testing.B) {
+	total := 0
+	for i := 0; i < b.N; i++ {
+		c := bench.TableII()
+		total += c.TotalBytes()
+	}
+	if total/b.N != 1280 {
+		b.Fatalf("cost table drifted: %d bytes", total/b.N)
+	}
+}
+
+// BenchmarkTable3 exercises the container-inventory scan (Table III).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := bench.TableIII(); len(rows) != 6 {
+			b.Fatal("inventory incomplete")
+		}
+	}
+}
+
+// BenchmarkKNN runs the Section VII-E case study's classification under
+// the HW model.
+func BenchmarkKNN(b *testing.B) {
+	ds := knn.IrisLike()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctx := rt.MustNew(rt.HW)
+		b.StartTimer()
+		res := knn.Run(ctx, ds, 5, knn.PaperPlacement())
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/run")
+}
+
+// BenchmarkSoundness runs one corpus program under all four models (the
+// Section VII-B sweep's unit of work).
+func BenchmarkSoundness(b *testing.B) {
+	prog := minc.RegressionTests[1] // linked-list-append
+	for i := 0; i < b.N; i++ {
+		if _, err := minc.VerifyAllModes(prog.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInference compiles the whole corpus through the
+// pointer-property inference pass (the Section V-B measurement).
+func BenchmarkInference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunInference(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReuse measures the Figure 12 translation-reuse ablation.
+func BenchmarkAblationReuse(b *testing.B) {
+	spec := ycsb.Spec{Records: 500, Operations: 2500, ReadProportion: 0.95, Theta: 0.99, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunReuseAblation(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.HW, "hw-x")
+			b.ReportMetric(r.HWNoReuse, "noreuse-x")
+			b.ReportMetric(r.Explicit, "explicit-x")
+		}
+	}
+}
+
+// BenchmarkAblationPrefetch measures the Section VI prefetcher ablation.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunPrefetchAblation()
+		if i == b.N-1 {
+			b.ReportMetric(r.ContiguousSpeedup(), "contig-speedup")
+			b.ReportMetric(r.DistributedSpeedup(), "distrib-speedup")
+		}
+	}
+}
+
+// BenchmarkDelete exercises the containers' removal paths under the HW
+// model (library completeness beyond the paper's insert/lookup workload).
+func BenchmarkDelete(b *testing.B) {
+	for _, entry := range structures.Indexes() {
+		entry := entry
+		b.Run(entry.Name, func(b *testing.B) {
+			type deleter interface {
+				structures.Index
+				Delete(uint64) bool
+			}
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ctx := rt.MustNew(rt.HW)
+				idx := entry.New(ctx).(deleter)
+				for k := uint64(0); k < 2000; k++ {
+					idx.Insert(k, k)
+				}
+				start := ctx.CPU.Stats.Cycles
+				b.StartTimer()
+				for k := uint64(0); k < 2000; k++ {
+					idx.Delete(k)
+				}
+				cycles += ctx.CPU.Stats.Cycles - start
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N*2000), "simcycles/del")
+		})
+	}
+}

@@ -1,0 +1,116 @@
+// Command nvpool inspects persistent memory pools stored in a directory:
+// it lists pools, dumps allocator state, and verifies that every pointer
+// word reachable from a pool's root is in relocatable (relative) form.
+//
+// Usage:
+//
+//	nvpool -dir pools list
+//	nvpool -dir pools info <name>
+//	nvpool -dir pools verify <name>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvref/internal/mem"
+	"nvref/internal/pmem"
+)
+
+func main() {
+	dir := flag.String("dir", "pools", "pool store directory")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+
+	store, err := pmem.NewDirStore(*dir)
+	if err != nil {
+		fail(err)
+	}
+
+	switch flag.Arg(0) {
+	case "list":
+		names, err := store.List()
+		if err != nil {
+			fail(err)
+		}
+		if len(names) == 0 {
+			fmt.Println("no pools")
+			return
+		}
+		for _, n := range names {
+			meta, data, err := store.Load(n)
+			if err != nil {
+				fmt.Printf("%-20s (unreadable: %v)\n", n, err)
+				continue
+			}
+			fmt.Printf("%-20s id=%d size=%d bytes (%d on disk)\n", n, meta.ID, meta.Size, len(data))
+		}
+
+	case "info":
+		requireName()
+		reg, pool := open(store, flag.Arg(1))
+		fmt.Printf("name:        %s\n", pool.Name())
+		fmt.Printf("id:          %d\n", pool.ID())
+		fmt.Printf("size:        %d bytes\n", pool.Size())
+		fmt.Printf("mapped at:   %#x (this run)\n", pool.Base())
+		fmt.Printf("allocations: %d live, %d bytes in use\n", pool.AllocCount(), pool.BytesInUse())
+		fmt.Printf("root:        %s\n", pool.Root())
+		free := pool.FreeBlocks()
+		fmt.Printf("free:        %d bytes (fragmentation %.1f%%)\n",
+			pool.FreeBytes(), 100*pool.Fragmentation())
+		fmt.Printf("free blocks: %d\n", len(free))
+		for _, fb := range free {
+			fmt.Printf("  offset %#x, %d bytes\n", fb[0], fb[1])
+		}
+		_ = reg
+
+	case "verify":
+		requireName()
+		reg, pool := open(store, flag.Arg(1))
+		bad := pmem.VerifyRelocatable(pool, reg.AddressSpace())
+		if len(bad) == 0 {
+			fmt.Println("ok: every pointer word in the pool heap is relocatable")
+		} else {
+			fmt.Printf("FAIL: %d pointer-like words are raw virtual addresses\n", len(bad))
+			for i, off := range bad {
+				if i >= 10 {
+					fmt.Printf("  ... and %d more\n", len(bad)-10)
+					break
+				}
+				fmt.Printf("  offset %#x\n", off)
+			}
+			os.Exit(1)
+		}
+
+	default:
+		usage()
+	}
+}
+
+func open(store pmem.Store, name string) (*pmem.Registry, *pmem.Pool) {
+	reg := pmem.NewRegistry(mem.New(), store)
+	pool, err := reg.Open(name)
+	if err != nil {
+		fail(err)
+	}
+	return reg, pool
+}
+
+func requireName() {
+	if flag.NArg() < 2 {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: nvpool [-dir d] list | info <name> | verify <name>")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nvpool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command nvrun compiles and executes a mini-C program under any of the
+// four persistence models, printing the program output and the run's
+// reference-machinery statistics.
+//
+// Usage:
+//
+//	nvrun -mode hw prog.c
+//	nvrun -mode sw -stats prog.c
+//	nvrun -verify prog.c          # run under all four models and compare
+//	nvrun -infer prog.c           # show the pointer-property inference report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nvref/internal/minc"
+	"nvref/internal/rt"
+)
+
+func main() {
+	mode := flag.String("mode", "volatile", "execution model: volatile, explicit, sw, hw")
+	stats := flag.Bool("stats", false, "print runtime statistics")
+	verify := flag.Bool("verify", false, "run under all four models and verify identical behaviour")
+	infer := flag.Bool("infer", false, "print the inference report instead of running")
+	dump := flag.Bool("dump", false, "print the typed, inference-annotated program instead of running")
+	trace := flag.Bool("trace", false, "emit one line per reference operation to stderr while running")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nvrun [-mode m] [-stats] [-trace] [-verify] [-infer] [-dump] prog.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	if *dump {
+		prog, rep, err := minc.Compile(string(src))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(minc.Dump(prog))
+		fmt.Printf("\n%d pointer-op sites, %d with residual checks (%.0f%%)\n",
+			rep.PtrSites, rep.Checked, 100*rep.CheckedFraction())
+		return
+	}
+
+	if *infer {
+		_, rep, err := minc.Compile(string(src))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("pointer-operation sites: %d\n", rep.PtrSites)
+		fmt.Printf("residual dynamic checks: %d (%.1f%%)\n", rep.Checked, 100*rep.CheckedFraction())
+		return
+	}
+
+	if *verify {
+		res, err := minc.VerifyAllModes(string(src))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("all four models agree")
+		printResult(res)
+		return
+	}
+
+	m, err := parseMode(*mode)
+	if err != nil {
+		fail(err)
+	}
+	prog, _, err := minc.Compile(string(src))
+	if err != nil {
+		fail(err)
+	}
+	ctx, err := rt.New(rt.Config{Mode: m})
+	if err != nil {
+		fail(err)
+	}
+	if *trace {
+		ctx.SetTrace(os.Stderr)
+	}
+	machine, err := minc.NewMachine(prog, ctx)
+	if err != nil {
+		fail(err)
+	}
+	res, err := machine.Run()
+	if err != nil {
+		fail(err)
+	}
+	printResult(res)
+	if *stats {
+		s := ctx.CPU.Stats
+		fmt.Printf("mode=%s cycles=%d instructions=%d loads=%d stores=%d mispredicts=%d\n",
+			m, s.Cycles, s.Instructions, s.Loads, s.Stores, s.Branch.Mispredicts)
+		fmt.Printf("dynamic checks=%d storeP=%d POLB=%d VALB=%d abs->rel=%d rel->abs=%d\n",
+			ctx.Stats.SWCheckBranches, ctx.Stats.StorePOps,
+			ctx.MMU.POLB.Stats.Accesses(), ctx.MMU.VALB.Stats.Accesses(),
+			ctx.Env.Stats.AbsToRel, ctx.Env.Stats.RelToAbs)
+	}
+	os.Exit(int(res.Exit) & 0x7f)
+}
+
+func parseMode(s string) (rt.Mode, error) {
+	switch strings.ToLower(s) {
+	case "volatile":
+		return rt.Volatile, nil
+	case "explicit":
+		return rt.Explicit, nil
+	case "sw":
+		return rt.SW, nil
+	case "hw":
+		return rt.HW, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func printResult(res minc.RunResult) {
+	for _, v := range res.Output {
+		fmt.Println(v)
+	}
+	fmt.Printf("exit: %d\n", res.Exit)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nvrun:", err)
+	os.Exit(1)
+}

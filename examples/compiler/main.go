@@ -1,0 +1,77 @@
+// compiler: the paper's Figure 9 walkthrough. Compile the linked-list
+// Append function with the pointer-property inference pass, show which
+// dynamic checks survive, then execute the program under the SW and HW
+// models and compare the machinery each one used.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvref/internal/minc"
+	"nvref/internal/rt"
+)
+
+// The paper's Figure 9 example, embedded in a driver that calls Append
+// with both persistent and volatile nodes — the mixed provenance that
+// forces the compiler to keep the dynamic checks inside Append.
+const source = `
+struct Node { long value; struct Node* next; };
+
+void Append(struct Node* p, struct Node* n) {
+    if (p != n)
+        p->next = n;
+}
+
+int main() {
+    struct Node* a = (struct Node*)pmalloc(sizeof(struct Node));
+    struct Node* b = (struct Node*)pmalloc(sizeof(struct Node));
+    struct Node* v = (struct Node*)malloc(sizeof(struct Node));
+    a->value = 1; b->value = 2; v->value = 3;
+    a->next = NULL; b->next = NULL; v->next = NULL;
+
+    Append(a, b);   // persistent pointer stored into NVM
+    Append(b, v);   // volatile pointer stored into NVM
+    Append(v, NULL); // null store through a volatile node
+
+    long sum = 0;
+    struct Node* p = a;
+    while (p != NULL) { sum += p->value; p = p->next; }
+    print(sum);
+    return 0;
+}`
+
+func main() {
+	prog, report, err := minc.Compile(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled the paper's Figure 9 Append example")
+	fmt.Printf("pointer-operation sites: %d\n", report.PtrSites)
+	fmt.Printf("residual dynamic checks after inference: %d (%.0f%%)\n",
+		report.Checked, 100*report.CheckedFraction())
+	fmt.Println("(Append's parameters see both persistent and volatile nodes,")
+	fmt.Println(" so its checks cannot be eliminated — the paper's exact scenario)")
+	fmt.Println()
+
+	for _, mode := range []rt.Mode{rt.SW, rt.HW} {
+		res, ctx, err := minc.Run(prog, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-3s model: output=%v cycles=%d\n", mode, res.Output, ctx.CPU.Stats.Cycles)
+		if mode == rt.SW {
+			fmt.Printf("    executed dynamic checks: %d; software conversions: %d abs->rel, %d rel->abs\n",
+				ctx.Stats.SWCheckBranches, ctx.Env.Stats.AbsToRel, ctx.Env.Stats.RelToAbs)
+		} else {
+			fmt.Printf("    storeP instructions: %d; POLB accesses: %d; VALB accesses: %d; zero checks\n",
+				ctx.Stats.StorePOps, ctx.MMU.POLB.Stats.Accesses(), ctx.MMU.VALB.Stats.Accesses())
+		}
+	}
+
+	// Soundness: all four models agree.
+	if _, err := minc.VerifyAllModes(source); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nall four models produced identical output")
+}

@@ -1,0 +1,73 @@
+// Quickstart: build a persistent linked list with user-transparent
+// persistent references, "restart the machine", and walk the list again —
+// with the pool mapped at a different virtual address in the second run.
+//
+// The point of the paper in one program: the list code never distinguishes
+// persistent from volatile pointers, yet every link survives remapping
+// because stores into NVM keep references in relative form automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvref/internal/core"
+	"nvref/internal/mem"
+	"nvref/internal/pmem"
+	"nvref/internal/rt"
+)
+
+// Node layout: value at +0, next at +8.
+const nodeSize = 16
+
+var (
+	siteStore = rt.NewSite("quickstart.store", false)
+	siteLoad  = rt.NewSite("quickstart.load", false)
+	siteRoot  = rt.NewSite("quickstart.root", false)
+)
+
+func main() {
+	// The store stands in for the NVM devices: pool images live here
+	// between runs.
+	store := pmem.NewMemStore()
+
+	// ---- Run 1: build the list and persist it --------------------------
+	run1, err := rt.New(rt.Config{Mode: rt.HW, Store: store})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var head core.Ptr = core.Null
+	for i := uint64(1); i <= 5; i++ {
+		n := run1.Pmalloc(nodeSize)
+		run1.StoreWord(siteStore, n, 0, i*i)
+		run1.StorePtr(siteStore, n, 8, head) // transparent pointer store
+		head = n
+	}
+	run1.SetRoot(siteRoot, head)
+	if err := run1.Persist(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run 1: built 5 nodes; pool mapped at %#x\n", run1.Pool.Base())
+
+	// ---- Run 2: reopen at a different address and walk the list --------
+	run2, err := rt.New(rt.Config{
+		Mode:        rt.HW,
+		Store:       store,
+		PoolMapBase: mem.NVMBase + (1 << 30), // force a different mapping
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run 2: pool remapped at %#x\n", run2.Pool.Base())
+	if run2.Pool.Base() == run1.Pool.Base() {
+		log.Fatal("expected a different mapping address")
+	}
+
+	fmt.Print("run 2: list contents: ")
+	for p := run2.Root(siteRoot); !run2.IsNull(p); p = run2.LoadPtr(siteLoad, p, 8) {
+		fmt.Printf("%d ", run2.LoadWord(siteLoad, p, 0))
+	}
+	fmt.Println()
+	fmt.Printf("run 2: POLB translations performed: %d\n", run2.MMU.POLB.Stats.Accesses())
+	fmt.Println("every pointer survived remapping — no code in the list logic mentions persistence")
+}

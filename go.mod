@@ -1,0 +1,3 @@
+module nvref
+
+go 1.22

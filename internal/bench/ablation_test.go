@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nvref/internal/ycsb"
+)
+
+func ablSpec() ycsb.Spec {
+	return ycsb.Spec{Records: 800, Operations: 6000, ReadProportion: 0.95, Theta: 0.99, Seed: 3}
+}
+
+func TestReuseAblation(t *testing.T) {
+	r, err := RunReuseAblation(ablSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse is the mechanism behind HW < Explicit; disabling it must cost
+	// time and increase POLB traffic.
+	if r.HWNoReuse <= r.HW {
+		t.Errorf("disabling reuse did not slow HW: %.3f vs %.3f", r.HWNoReuse, r.HW)
+	}
+	if r.HWNoReusePOLBFrac <= r.HWPOLBFrac {
+		t.Errorf("disabling reuse did not raise POLB traffic: %.4f vs %.4f",
+			r.HWNoReusePOLBFrac, r.HWPOLBFrac)
+	}
+	// Even without reuse, HW keeps its instruction-overhead edge over the
+	// explicit API discipline.
+	if r.HWNoReuse >= r.Explicit {
+		t.Logf("note: HW-no-reuse (%.3f) reached Explicit (%.3f); reuse carries the whole win here",
+			r.HWNoReuse, r.Explicit)
+	}
+}
+
+func TestPoolCountAblation(t *testing.T) {
+	points, err := RunPoolCountAblation(ablSpec(), []int{1, 16, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].POLBMissRate > 0.001 {
+		t.Errorf("1 pool: POLB miss rate %.4f; should be ~0", points[0].POLBMissRate)
+	}
+	// 48 pools exceed the 32-entry POLB: misses must appear.
+	if points[2].POLBMissRate <= points[0].POLBMissRate {
+		t.Errorf("48 pools did not raise POLB miss rate: %.5f vs %.5f",
+			points[2].POLBMissRate, points[0].POLBMissRate)
+	}
+	if points[2].TranslationCycles <= points[0].TranslationCycles {
+		t.Errorf("48 pools did not raise translation stalls: %d vs %d",
+			points[2].TranslationCycles, points[0].TranslationCycles)
+	}
+}
+
+func TestCriticalPathAblation(t *testing.T) {
+	r, err := RunCriticalPathAblation(ablSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HWCriticalPath <= r.HWIdealBypass {
+		t.Errorf("critical-path probes did not cost time: %.3f vs %.3f",
+			r.HWCriticalPath, r.HWIdealBypass)
+	}
+	// Even pessimistically placed, the support stays modest — this is the
+	// paper's argument that the probe delay is small.
+	if r.HWCriticalPath > 1.5 {
+		t.Errorf("critical-path HW = %.3fx volatile; expected a modest cost", r.HWCriticalPath)
+	}
+}
+
+func TestPredictorAblation(t *testing.T) {
+	points, err := RunPredictorAblation(ablSpec(), []uint{8, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Normalized <= 1.0 {
+			t.Errorf("%d-bit: SW not slower than volatile (%.3f)", p.TableBits, p.Normalized)
+		}
+		if p.Mispredicts == 0 {
+			t.Errorf("%d-bit: no mispredictions recorded", p.TableBits)
+		}
+	}
+	// A larger table cannot make the SW model mispredict more.
+	if points[1].Mispredicts > points[0].Mispredicts {
+		t.Errorf("bigger predictor mispredicted more: %d (12-bit) vs %d (8-bit)",
+			points[1].Mispredicts, points[0].Mispredicts)
+	}
+}
+
+func TestTxnAblation(t *testing.T) {
+	r, err := RunTxnAblation(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TxnLogEntries != 500 || r.OverheadFactor < 2 {
+		t.Errorf("txn ablation = %+v", r)
+	}
+}
+
+func TestWriteAblations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAblations(&buf, ablSpec()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"translation reuse", "pool count", "probe placement", "predictor", "transaction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestScaleSweep(t *testing.T) {
+	points, err := RunScaleSweep([]int{200, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.HW < 1.0 || p.HW > 1.5 {
+			t.Errorf("%d records: HW = %.2fx outside [1.0, 1.5]", p.Records, p.HW)
+		}
+		if p.Explicit <= p.HW {
+			t.Errorf("%d records: Explicit (%.2fx) not above HW (%.2fx)", p.Records, p.Explicit, p.HW)
+		}
+	}
+}
+
+func TestPrefetchAblation(t *testing.T) {
+	r := RunPrefetchAblation()
+	if r.ContiguousSpeedup() < 1.3 {
+		t.Errorf("prefetcher speedup on contiguous scan = %.2fx; expected substantial", r.ContiguousSpeedup())
+	}
+	// The paper's Section VI point: distributed pool mapping erodes the
+	// VA-stride prefetcher's benefit relative to a contiguous layout.
+	if r.DistributedSpeedup() > r.ContiguousSpeedup()*0.9 {
+		t.Errorf("distributed layout kept %.2fx of the prefetcher win (contiguous %.2fx); expected erosion",
+			r.DistributedSpeedup(), r.ContiguousSpeedup())
+	}
+	if r.DistributedSpeedup() < 0.95 {
+		t.Errorf("prefetcher actively hurt the distributed scan: %.2fx", r.DistributedSpeedup())
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	points, err := RunWorkloadMixes(600, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if !(p.HW < p.Explicit && p.Explicit < p.SW) {
+			t.Errorf("%s: ordering broken: HW=%.2f Explicit=%.2f SW=%.2f", p.Mix, p.HW, p.Explicit, p.SW)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation section from the simulated system: Figure 11 (execution time
+// normalized to Volatile), Figure 13 (branch mispredictions normalized to
+// Volatile), Table V (dynamic checks and conversions), Figure 14 (VALB/VAW
+// latency sensitivity), Figure 15 (fraction of accesses using storeP,
+// VALB, and POLB), Table II (hardware storage costs), Table III (benchmark
+// inventory), and the Section VII-E KNN case study.
+package bench
+
+import (
+	"fmt"
+
+	"nvref/internal/core"
+	"nvref/internal/cpu"
+	"nvref/internal/kvstore"
+	"nvref/internal/rt"
+	"nvref/internal/structures"
+	"nvref/internal/ycsb"
+)
+
+// Benchmarks lists the six benchmarks in the paper's order.
+var Benchmarks = []string{"LL", "Hash", "RB", "Splay", "AVL", "SG"}
+
+// RunConfig parameterizes one experiment run.
+type RunConfig struct {
+	Spec    ycsb.Spec // KV workload for the keyed containers
+	LLNodes int       // nodes in the linked-list harness
+	LLIters int       // full iterations of the list (measured phase)
+	CPU     *cpu.Config
+	// Tune, when non-nil, adjusts the freshly built context before the
+	// workload runs (for sensitivity sweeps over hardware parameters).
+	Tune func(*rt.Context)
+}
+
+// PaperRunConfig reproduces the Section VII-A setup: YCSB workload with
+// 10,000 records and 100,000 operations (95% GET / 5% SET, latest
+// distribution), and a 10,000-node linked list.
+func PaperRunConfig() RunConfig {
+	return RunConfig{
+		Spec:    ycsb.PaperSpec(),
+		LLNodes: 10000,
+		LLIters: 10,
+	}
+}
+
+// QuickRunConfig is a scaled-down configuration for tests.
+func QuickRunConfig() RunConfig {
+	return RunConfig{
+		Spec:    ycsb.Spec{Records: 1000, Operations: 10000, ReadProportion: 0.95, Theta: 0.99, Seed: 1},
+		LLNodes: 1000,
+		LLIters: 5,
+	}
+}
+
+// Measurement is everything one (benchmark, mode) run produces.
+type Measurement struct {
+	Benchmark string
+	Mode      rt.Mode
+
+	Cycles       uint64
+	Instructions uint64
+	MemAccesses  uint64
+	Branches     uint64
+	Mispredicts  uint64
+
+	StorePOps      uint64
+	POLBAccesses   uint64
+	VALBAccesses   uint64
+	EATranslations uint64
+	SWChecks       uint64
+	Env            core.Stats
+
+	Checksum uint64
+}
+
+// Run executes one benchmark under one mode and collects all metrics from
+// the measured phase.
+func Run(benchmark string, mode rt.Mode, cfg RunConfig) (Measurement, error) {
+	ctx, err := rt.New(rt.Config{Mode: mode, CPUConfig: cfg.CPU})
+	if err != nil {
+		return Measurement{}, err
+	}
+	if cfg.Tune != nil {
+		cfg.Tune(ctx)
+	}
+
+	var result kvstore.Result
+	// Counter snapshots at the start of the measured phase.
+	var base snapshot
+
+	if benchmark == "LL" {
+		h := kvstore.NewListHarness(ctx)
+		vals := make([][2]uint64, cfg.LLNodes)
+		for i := range vals {
+			vals[i] = [2]uint64{uint64(i) * 3, uint64(i) * 5}
+		}
+		// Build, snapshot, then measure the iteration phase only.
+		for _, v := range vals {
+			h.List().Append(v[0], v[1])
+		}
+		base = snap(ctx)
+		sum := uint64(0)
+		for i := 0; i < cfg.LLIters; i++ {
+			sum += h.List().Sum()
+		}
+		result = kvstore.Result{Mode: mode, Benchmark: "LL", Ops: cfg.LLIters, Checksum: sum}
+	} else {
+		ctor, err := indexFor(benchmark)
+		if err != nil {
+			return Measurement{}, err
+		}
+		s := kvstore.New(ctx, ctor)
+		w := ycsb.Generate(cfg.Spec)
+		for _, kv := range w.Load {
+			s.Set(kv.Key, kv.Value)
+		}
+		base = snap(ctx)
+		for _, op := range w.Ops {
+			if op.Type == ycsb.Get {
+				v, _ := s.Get(op.Key)
+				result.Checksum += v
+			} else {
+				s.Set(op.Key, op.Value)
+			}
+			result.Ops++
+		}
+		result.Mode = mode
+		result.Benchmark = benchmark
+	}
+
+	end := snap(ctx)
+	m := Measurement{
+		Benchmark: benchmark,
+		Mode:      mode,
+		Checksum:  result.Checksum,
+
+		Cycles:       end.cycles - base.cycles,
+		Instructions: end.instructions - base.instructions,
+		MemAccesses:  end.mem - base.mem,
+		Branches:     end.branches - base.branches,
+		Mispredicts:  end.mispredicts - base.mispredicts,
+
+		StorePOps:      end.storePs - base.storePs,
+		POLBAccesses:   end.polb - base.polb,
+		VALBAccesses:   end.valb - base.valb,
+		EATranslations: end.ea - base.ea,
+		SWChecks:       end.swChecks - base.swChecks,
+	}
+	m.Env = core.Stats{
+		DynamicChecks: end.env.DynamicChecks - base.env.DynamicChecks,
+		AbsToRel:      end.env.AbsToRel - base.env.AbsToRel,
+		RelToAbs:      end.env.RelToAbs - base.env.RelToAbs,
+	}
+	return m, nil
+}
+
+type snapshot struct {
+	cycles, instructions, mem, branches, mispredicts uint64
+	storePs, polb, valb, ea, swChecks                uint64
+	env                                              core.Stats
+}
+
+func snap(ctx *rt.Context) snapshot {
+	return snapshot{
+		cycles:       ctx.CPU.Stats.Cycles,
+		instructions: ctx.CPU.Stats.Instructions,
+		mem:          ctx.CPU.Stats.MemoryAccesses(),
+		branches:     ctx.CPU.Stats.Branch.Branches,
+		mispredicts:  ctx.CPU.Stats.Branch.Mispredicts,
+		storePs:      ctx.Stats.StorePOps,
+		polb:         ctx.MMU.POLB.Stats.Accesses(),
+		valb:         ctx.MMU.VALB.Stats.Accesses(),
+		ea:           ctx.Stats.EATranslations,
+		swChecks:     ctx.Stats.SWCheckBranches,
+		env:          ctx.Env.Stats,
+	}
+}
+
+func indexFor(name string) (structures.IndexConstructor, error) {
+	for _, entry := range structures.Indexes() {
+		if entry.Name == name {
+			return entry.New, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// RunAll measures every benchmark under every mode.
+func RunAll(cfg RunConfig) (map[string]map[rt.Mode]Measurement, error) {
+	out := make(map[string]map[rt.Mode]Measurement)
+	for _, b := range Benchmarks {
+		out[b] = make(map[rt.Mode]Measurement)
+		for _, mode := range rt.Modes {
+			m, err := Run(b, mode, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[b][mode] = m
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV emitters, one per figure, so the series can be re-plotted without
+// parsing the human-readable tables.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.6f", v) }
+func u(v uint64) string  { return fmt.Sprintf("%d", v) }
+
+// CSVFig11 emits Figure 11's normalized times.
+func CSVFig11(w io.Writer, rows []Fig11Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Benchmark, f(r.HW), f(r.Explicit), f(r.SW), u(r.VolatileCycles)})
+	}
+	return writeCSV(w, []string{"benchmark", "hw", "explicit", "sw", "volatile_cycles"}, out)
+}
+
+// CSVFig13 emits Figure 13's normalized mispredictions.
+func CSVFig13(w io.Writer, rows []Fig13Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Benchmark, f(r.HW), f(r.Explicit), f(r.SW), u(r.VolatileMispredicts)})
+	}
+	return writeCSV(w, []string{"benchmark", "hw", "explicit", "sw", "volatile_mispredicts"}, out)
+}
+
+// CSVTableV emits Table V's counts.
+func CSVTableV(w io.Writer, rows []TableVRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Benchmark, u(r.DynamicChecks), u(r.AbsToRel), u(r.RelToAbs)})
+	}
+	return writeCSV(w, []string{"benchmark", "dynamic_checks", "abs_to_rel", "rel_to_abs"}, out)
+}
+
+// CSVFig14 emits the latency-sweep points.
+func CSVFig14(w io.Writer, points []Fig14Point) error {
+	out := make([][]string, 0, len(points))
+	for _, p := range points {
+		out = append(out, []string{p.Benchmark, u(p.LatencyCycles), f(p.Normalized)})
+	}
+	return writeCSV(w, []string{"benchmark", "valb_latency_cycles", "normalized_to_explicit"}, out)
+}
+
+// CSVFig15 emits the traffic fractions.
+func CSVFig15(w io.Writer, rows []Fig15Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Benchmark, f(r.StorePFrac), f(r.VALBFrac), f(r.POLBFrac), u(r.MemAccesses)})
+	}
+	return writeCSV(w, []string{"benchmark", "storep_frac", "valb_frac", "polb_frac", "mem_accesses"}, out)
+}
+
+// CSVScale emits the scale-sweep points.
+func CSVScale(w io.Writer, points []ScalePoint) error {
+	out := make([][]string, 0, len(points))
+	for _, p := range points {
+		out = append(out, []string{fmt.Sprintf("%d", p.Records), f(p.HW), f(p.Explicit), f(p.NVMMissFrac)})
+	}
+	return writeCSV(w, []string{"records", "hw", "explicit", "nvm_miss_frac"}, out)
+}
+
+// CSVKNN emits the case-study rows.
+func CSVKNN(w io.Writer, cs KNNCaseStudy) error {
+	out := make([][]string, 0, len(cs.Rows))
+	for _, r := range cs.Rows {
+		out = append(out, []string{r.Mode.String(), u(r.Cycles), f(r.Normalized), f(r.Accuracy)})
+	}
+	return writeCSV(w, []string{"mode", "cycles", "normalized", "accuracy"}, out)
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVEmitters(t *testing.T) {
+	all := quickAll(t)
+	checks := []struct {
+		name   string
+		emit   func(*bytes.Buffer) error
+		header string
+	}{
+		{"fig11", func(b *bytes.Buffer) error { return CSVFig11(b, Fig11(all)) }, "benchmark,hw,explicit,sw"},
+		{"fig13", func(b *bytes.Buffer) error { return CSVFig13(b, Fig13(all)) }, "benchmark,hw,explicit,sw"},
+		{"table5", func(b *bytes.Buffer) error { return CSVTableV(b, TableV(all)) }, "benchmark,dynamic_checks"},
+		{"fig15", func(b *bytes.Buffer) error { return CSVFig15(b, Fig15(all)) }, "benchmark,storep_frac"},
+	}
+	for _, c := range checks {
+		var buf bytes.Buffer
+		if err := c.emit(&buf); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if !strings.HasPrefix(lines[0], c.header) {
+			t.Errorf("%s header = %q", c.name, lines[0])
+		}
+		if len(lines) != 7 { // header + 6 benchmarks
+			t.Errorf("%s emitted %d lines, want 7", c.name, len(lines))
+		}
+	}
+
+	var buf bytes.Buffer
+	points, err := RunScaleSweep([]int{300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CSVScale(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "records,hw,explicit") {
+		t.Errorf("scale header = %q", buf.String())
+	}
+
+	buf.Reset()
+	cs, err := RunKNNCaseStudy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CSVKNN(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 5 {
+		t.Errorf("knn csv lines = %d, want 5", got)
+	}
+
+	buf.Reset()
+	fp, err := Fig14(QuickRunConfig(), []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CSVFig14(&buf, fp); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 7 {
+		t.Errorf("fig14 csv lines = %d, want 7", got)
+	}
+}

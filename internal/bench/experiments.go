@@ -1,0 +1,343 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nvref/internal/hw"
+	"nvref/internal/knn"
+	"nvref/internal/minc"
+	"nvref/internal/rt"
+	"nvref/internal/structures"
+)
+
+// ---- Figure 11: execution time normalized to Volatile ---------------------
+
+// Fig11Row is one benchmark's normalized execution times.
+type Fig11Row struct {
+	Benchmark      string
+	HW             float64
+	SW             float64
+	Explicit       float64
+	VolatileCycles uint64
+}
+
+// Fig11 derives the figure from a full measurement set.
+func Fig11(all map[string]map[rt.Mode]Measurement) []Fig11Row {
+	rows := make([]Fig11Row, 0, len(Benchmarks))
+	for _, b := range Benchmarks {
+		ms := all[b]
+		vol := float64(ms[rt.Volatile].Cycles)
+		rows = append(rows, Fig11Row{
+			Benchmark:      b,
+			HW:             float64(ms[rt.HW].Cycles) / vol,
+			SW:             float64(ms[rt.SW].Cycles) / vol,
+			Explicit:       float64(ms[rt.Explicit].Cycles) / vol,
+			VolatileCycles: ms[rt.Volatile].Cycles,
+		})
+	}
+	return rows
+}
+
+// GeoMeanSpeedupHWOverExplicit is the paper's headline 1.33x claim.
+func GeoMeanSpeedupHWOverExplicit(rows []Fig11Row) float64 {
+	prod := 1.0
+	for _, r := range rows {
+		prod *= r.Explicit / r.HW
+	}
+	return math.Pow(prod, 1.0/float64(len(rows)))
+}
+
+// ---- Figure 13: branch mispredictions normalized to Volatile --------------
+
+// Fig13Row is one benchmark's normalized misprediction counts.
+type Fig13Row struct {
+	Benchmark           string
+	HW                  float64
+	SW                  float64
+	Explicit            float64
+	VolatileMispredicts uint64
+}
+
+// Fig13 derives the figure from a full measurement set.
+func Fig13(all map[string]map[rt.Mode]Measurement) []Fig13Row {
+	rows := make([]Fig13Row, 0, len(Benchmarks))
+	for _, b := range Benchmarks {
+		ms := all[b]
+		vol := float64(ms[rt.Volatile].Mispredicts)
+		if vol == 0 {
+			vol = 1
+		}
+		rows = append(rows, Fig13Row{
+			Benchmark:           b,
+			HW:                  float64(ms[rt.HW].Mispredicts) / vol,
+			SW:                  float64(ms[rt.SW].Mispredicts) / vol,
+			Explicit:            float64(ms[rt.Explicit].Mispredicts) / vol,
+			VolatileMispredicts: ms[rt.Volatile].Mispredicts,
+		})
+	}
+	return rows
+}
+
+// ---- Table V: dynamic checks and conversions -------------------------------
+
+// TableVRow is one benchmark's SW-model dynamic event counts.
+type TableVRow struct {
+	Benchmark     string
+	DynamicChecks uint64
+	AbsToRel      uint64
+	RelToAbs      uint64
+}
+
+// TableV reads the SW measurements.
+func TableV(all map[string]map[rt.Mode]Measurement) []TableVRow {
+	rows := make([]TableVRow, 0, len(Benchmarks))
+	for _, b := range Benchmarks {
+		m := all[b][rt.SW]
+		rows = append(rows, TableVRow{
+			Benchmark:     b,
+			DynamicChecks: m.SWChecks,
+			AbsToRel:      m.Env.AbsToRel,
+			RelToAbs:      m.Env.RelToAbs,
+		})
+	}
+	return rows
+}
+
+// ---- Figure 14: sensitivity to VALB/VAW latency ----------------------------
+
+// Fig14Point is one (latency, benchmark) sample: HW execution time
+// normalized to the Explicit model's.
+type Fig14Point struct {
+	LatencyCycles uint64
+	Benchmark     string
+	Normalized    float64
+}
+
+// Fig14 sweeps the VALB/VAW latency for the HW model over each benchmark.
+func Fig14(cfg RunConfig, latencies []uint64) ([]Fig14Point, error) {
+	var out []Fig14Point
+	for _, b := range Benchmarks {
+		explicit, err := Run(b, rt.Explicit, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, lat := range latencies {
+			tuned := cfg
+			lat := lat
+			tuned.Tune = func(ctx *rt.Context) {
+				ctx.MMU.VALB.HitLatency = lat
+				ctx.MMU.VALB.WalkLatency = lat
+			}
+			m, err := Run(b, rt.HW, tuned)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig14Point{
+				LatencyCycles: lat,
+				Benchmark:     b,
+				Normalized:    float64(m.Cycles) / float64(explicit.Cycles),
+			})
+		}
+	}
+	return out, nil
+}
+
+// ---- Figure 15: translation-structure traffic -------------------------------
+
+// Fig15Row is one benchmark's HW-model traffic fractions.
+type Fig15Row struct {
+	Benchmark   string
+	StorePFrac  float64 // storeP instructions / memory accesses
+	VALBFrac    float64 // VALB or VAW accesses / memory accesses
+	POLBFrac    float64 // POLB or POW accesses / memory accesses
+	MemAccesses uint64
+}
+
+// Fig15 reads the HW measurements.
+func Fig15(all map[string]map[rt.Mode]Measurement) []Fig15Row {
+	rows := make([]Fig15Row, 0, len(Benchmarks))
+	for _, b := range Benchmarks {
+		m := all[b][rt.HW]
+		mem := float64(m.MemAccesses)
+		rows = append(rows, Fig15Row{
+			Benchmark:   b,
+			StorePFrac:  float64(m.StorePOps) / mem,
+			VALBFrac:    float64(m.VALBAccesses) / mem,
+			POLBFrac:    float64(m.POLBAccesses) / mem,
+			MemAccesses: m.MemAccesses,
+		})
+	}
+	return rows
+}
+
+// ---- Table II / Table III ---------------------------------------------------
+
+// TableII returns the hardware storage costs.
+func TableII() hw.HardwareCosts { return hw.CostTable() }
+
+// TableIIIRow is one benchmark inventory line.
+type TableIIIRow struct {
+	Benchmark string
+	File      string
+	Lines     int
+}
+
+// TableIII inventories the six containers with their source line counts.
+func TableIII() []TableIIIRow {
+	files := map[string]string{
+		"LL":    "list.go",
+		"Hash":  "hash.go",
+		"RB":    "rbtree.go",
+		"Splay": "splay.go",
+		"AVL":   "avl.go",
+		"SG":    "scapegoat.go",
+	}
+	loc := structures.LinesOfCode()
+	rows := make([]TableIIIRow, 0, len(files))
+	for _, b := range Benchmarks {
+		rows = append(rows, TableIIIRow{Benchmark: b, File: files[b], Lines: loc[files[b]]})
+	}
+	return rows
+}
+
+// ---- Section VII-E: KNN case study ------------------------------------------
+
+// KNNResultRow is one mode's case-study outcome.
+type KNNResultRow struct {
+	Mode       rt.Mode
+	Cycles     uint64
+	Normalized float64
+	Accuracy   float64
+}
+
+// KNNCaseStudy runs the classifier under all modes in the paper's
+// placement and reports the productivity comparison.
+type KNNCaseStudy struct {
+	Rows []KNNResultRow
+	// LoC changed to persist the matrices: the transparent approach swaps
+	// allocators; the explicit approach rewrites every access site. The
+	// paper reports 7 vs 863 lines for MLPack KNN; the measured numbers
+	// below are for this reproduction's KNN.
+	TransparentLoC int
+	ExplicitLoC    int
+	// Placements is the number of DRAM/NVM placement combinations one
+	// transparent binary covers (the explicit model needs one variant
+	// each).
+	Placements int
+}
+
+// RunKNNCaseStudy executes the case study.
+func RunKNNCaseStudy(k int) (KNNCaseStudy, error) {
+	ds := knn.IrisLike()
+	place := knn.PaperPlacement()
+	cs := KNNCaseStudy{
+		// Transparent: the three persistent matrices each flip one
+		// constructor argument (see knn.Run / PaperPlacement).
+		TransparentLoC: 3,
+		// Explicit: every matrix access site in matrix.go plus the KNN
+		// kernel's loads/stores would need the object-ID API; counted
+		// from the access sites in this reproduction's matrix and knn
+		// packages.
+		ExplicitLoC: countExplicitSites(),
+		Placements:  len(knn.AllPlacements()),
+	}
+	var vol uint64
+	for _, mode := range rt.Modes {
+		ctx, err := rt.New(rt.Config{Mode: mode})
+		if err != nil {
+			return cs, err
+		}
+		res := knn.Run(ctx, ds, k, place)
+		if mode == rt.Volatile {
+			vol = res.Cycles
+		}
+		cs.Rows = append(cs.Rows, KNNResultRow{
+			Mode:       mode,
+			Cycles:     res.Cycles,
+			Normalized: float64(res.Cycles) / float64(vol),
+			Accuracy:   res.Accuracy,
+		})
+	}
+	return cs, nil
+}
+
+// countExplicitSites approximates the explicit-model rewrite burden: every
+// memory-access operation in the matrix library plus every matrix-accessor
+// call in the KNN kernel would need conversion to the object-ID API (the
+// paper counts whole changed lines; one access usually changes one line).
+func countExplicitSites() int {
+	return explicitSiteCount
+}
+
+// explicitSiteCount is validated against the sources by a test in
+// experiments_test.go.
+const explicitSiteCount = 24
+
+// ---- Section V-B: inference statistics ---------------------------------------
+
+// InferenceStats summarizes check elimination over the minc corpus.
+type InferenceStats struct {
+	Programs   int
+	PtrSites   int
+	Checked    int
+	Fraction   float64
+	PerProgram []ProgramInference
+}
+
+// ProgramInference is one program's result.
+type ProgramInference struct {
+	Name     string
+	PtrSites int
+	Checked  int
+}
+
+// RunInference compiles the soundness corpus and aggregates the residual
+// dynamic-check fraction (the paper reports ~42%).
+func RunInference() (InferenceStats, error) {
+	var stats InferenceStats
+	for _, p := range minc.Corpus() {
+		_, rep, err := minc.Compile(p.Source)
+		if err != nil {
+			return stats, fmt.Errorf("compile %s: %w", p.Name, err)
+		}
+		stats.Programs++
+		stats.PtrSites += rep.PtrSites
+		stats.Checked += rep.Checked
+		stats.PerProgram = append(stats.PerProgram, ProgramInference{
+			Name: p.Name, PtrSites: rep.PtrSites, Checked: rep.Checked,
+		})
+	}
+	if stats.PtrSites > 0 {
+		stats.Fraction = float64(stats.Checked) / float64(stats.PtrSites)
+	}
+	sort.Slice(stats.PerProgram, func(i, j int) bool {
+		return stats.PerProgram[i].Name < stats.PerProgram[j].Name
+	})
+	return stats, nil
+}
+
+// ---- Section VII-B: soundness sweep -----------------------------------------
+
+// SoundnessReport counts corpus programs that behave identically under all
+// four models.
+type SoundnessReport struct {
+	Programs int
+	Passed   int
+	Failures []string
+}
+
+// RunSoundness executes the whole corpus under every model.
+func RunSoundness() SoundnessReport {
+	rep := SoundnessReport{}
+	for _, p := range minc.Corpus() {
+		rep.Programs++
+		if _, err := minc.VerifyAllModes(p.Source); err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %v", p.Name, err))
+			continue
+		}
+		rep.Passed++
+	}
+	return rep
+}

@@ -1,0 +1,75 @@
+// Package cpu is the interval-based timing model standing in for the
+// paper's Snipersim setup. It models the Table IV machine: a single
+// Gainestown-class core with L1/L2/L3 caches, a two-level TLB, a branch
+// predictor with an 8-cycle misprediction penalty, 120-cycle DRAM and
+// 240-cycle NVM, and the added POLB/VALB translation latencies.
+//
+// The model is event driven: the runtime layer replays each executed
+// instruction, memory access, and branch, and the model accumulates cycles
+// — base CPI 1 plus stalls from cache misses, TLB walks, mispredictions,
+// and pointer-format translations.
+package cpu
+
+// CacheConfig describes one set-associative cache level.
+type CacheConfig struct {
+	Sets     int
+	Ways     int
+	LineSize uint64
+	// Latency is the added stall in cycles when an access is satisfied at
+	// this level (beyond the pipelined L1 hit, which stalls 0 cycles).
+	Latency uint64
+}
+
+// CacheStats counts per-level outcomes.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// cache is one level of set-associative cache with true-LRU replacement.
+type cache struct {
+	cfg   CacheConfig
+	tags  [][]uint64 // [set][way], MRU first; 0 means invalid
+	Stats CacheStats
+}
+
+func newCache(cfg CacheConfig) *cache {
+	tags := make([][]uint64, cfg.Sets)
+	for i := range tags {
+		tags[i] = make([]uint64, 0, cfg.Ways)
+	}
+	return &cache{cfg: cfg, tags: tags}
+}
+
+// access checks whether the line holding va is resident, updating LRU order
+// and filling on miss. It reports hit or miss.
+func (c *cache) access(va uint64) bool {
+	line := va / c.cfg.LineSize
+	set := line % uint64(c.cfg.Sets)
+	// Tag 0 would be ambiguous with invalid; bias by +1.
+	tag := line/uint64(c.cfg.Sets) + 1
+	ways := c.tags[set]
+	for i, t := range ways {
+		if t == tag {
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = tag
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	if len(ways) < c.cfg.Ways {
+		ways = append(ways, 0)
+		c.tags[set] = ways
+	}
+	copy(ways[1:], ways[:len(ways)-1])
+	ways[0] = tag
+	return false
+}
+
+// flush invalidates the whole cache.
+func (c *cache) flush() {
+	for i := range c.tags {
+		c.tags[i] = c.tags[i][:0]
+	}
+}

@@ -1,0 +1,235 @@
+package cpu
+
+import "nvref/internal/mem"
+
+// Config carries the machine parameters of the paper's Table IV.
+type Config struct {
+	L1  CacheConfig
+	L2  CacheConfig
+	L3  CacheConfig
+	TLB TLBConfig
+
+	// DRAMLatency and NVMLatency are main-memory stalls in cycles; the NVM
+	// half of the address space (bit 47 set) pays NVMLatency.
+	DRAMLatency uint64
+	NVMLatency  uint64
+
+	// MispredictPenalty is the branch misprediction stall.
+	MispredictPenalty uint64
+
+	// Branch predictor geometry.
+	PredictorBits uint
+	HistoryBits   uint
+}
+
+// TLBConfig describes the two-level TLB.
+type TLBConfig struct {
+	L1Sets, L1Ways int
+	L2Sets, L2Ways int
+	PageSize       uint64
+	// L2HitLatency stalls when the L1 TLB misses but L2 hits; WalkLatency
+	// stalls on a full miss (page walk).
+	L2HitLatency uint64
+	WalkLatency  uint64
+}
+
+// DefaultConfig returns the paper's Table IV machine: 64B lines; 32KB
+// 8-way L1 (4 cycles, hidden by the pipeline); 256KB 8-way L2 (12 cycles);
+// 2MB 8-way L3 (40 cycles); 120-cycle DRAM and 240-cycle NVM; 64-entry
+// 4-way L1 TLB; 1536-entry 4-way L2 TLB (7-cycle hit, 30-cycle walk);
+// 8-cycle branch misprediction penalty.
+func DefaultConfig() Config {
+	return Config{
+		L1: CacheConfig{Sets: 64, Ways: 8, LineSize: 64, Latency: 0},
+		L2: CacheConfig{Sets: 512, Ways: 8, LineSize: 64, Latency: 12},
+		L3: CacheConfig{Sets: 4096, Ways: 8, LineSize: 64, Latency: 40},
+		TLB: TLBConfig{
+			L1Sets: 16, L1Ways: 4,
+			L2Sets: 384, L2Ways: 4,
+			PageSize:     4096,
+			L2HitLatency: 7,
+			WalkLatency:  30,
+		},
+		DRAMLatency:       120,
+		NVMLatency:        240,
+		MispredictPenalty: 8,
+		PredictorBits:     10,
+		HistoryBits:       8,
+	}
+}
+
+// Stats aggregates everything the experiments report.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	L1  CacheStats
+	L2  CacheStats
+	L3  CacheStats
+	TLB TLBStats
+
+	Branch BranchStats
+
+	DRAMAccesses uint64
+	NVMAccesses  uint64
+
+	// TranslationCycles are stalls contributed by POLB/VALB/walkers,
+	// credited via AddTranslationCycles.
+	TranslationCycles uint64
+}
+
+// MemoryAccesses is the total number of loads and stores.
+func (s Stats) MemoryAccesses() uint64 { return s.Loads + s.Stores }
+
+// TLBStats counts TLB outcomes.
+type TLBStats struct {
+	L1Hits uint64
+	L2Hits uint64
+	Walks  uint64
+}
+
+// CPU is the single-core timing model.
+type CPU struct {
+	cfg   Config
+	l1    *cache
+	l2    *cache
+	l3    *cache
+	tlbL1 *cache
+	tlbL2 *cache
+	bp    *branchPredictor
+	pf    *prefetcher // nil unless EnablePrefetcher is called
+
+	Stats Stats
+}
+
+// New returns a CPU with cold caches.
+func New(cfg Config) *CPU {
+	return &CPU{
+		cfg: cfg,
+		l1:  newCache(cfg.L1),
+		l2:  newCache(cfg.L2),
+		l3:  newCache(cfg.L3),
+		tlbL1: newCache(CacheConfig{
+			Sets: cfg.TLB.L1Sets, Ways: cfg.TLB.L1Ways, LineSize: cfg.TLB.PageSize,
+		}),
+		tlbL2: newCache(CacheConfig{
+			Sets: cfg.TLB.L2Sets, Ways: cfg.TLB.L2Ways, LineSize: cfg.TLB.PageSize,
+		}),
+		bp: newBranchPredictor(cfg.PredictorBits, cfg.HistoryBits),
+	}
+}
+
+// Config returns the machine parameters.
+func (c *CPU) Config() Config { return c.cfg }
+
+// EnablePrefetcher attaches a virtual-address stride prefetcher (the
+// Section VI discussion); the default machine runs without one, as the
+// paper's does.
+func (c *CPU) EnablePrefetcher(cfg PrefetcherConfig) {
+	c.pf = newPrefetcher(cfg)
+}
+
+// Prefetch returns the prefetcher statistics (zero value when disabled).
+func (c *CPU) Prefetch() PrefetchStats {
+	if c.pf == nil {
+		return PrefetchStats{}
+	}
+	return c.pf.Stats
+}
+
+// Exec retires n non-memory instructions at CPI 1.
+func (c *CPU) Exec(n uint64) {
+	c.Stats.Instructions += n
+	c.Stats.Cycles += n
+}
+
+// Load replays one data load at va.
+func (c *CPU) Load(va uint64) {
+	c.Stats.Loads++
+	c.memAccess(va)
+}
+
+// Store replays one data store at va.
+func (c *CPU) Store(va uint64) {
+	c.Stats.Stores++
+	c.memAccess(va)
+}
+
+func (c *CPU) memAccess(va uint64) {
+	c.Stats.Instructions++
+	c.Stats.Cycles++ // the access instruction itself
+
+	covered := false
+	if c.pf != nil {
+		covered = c.pf.covered(va)
+		c.pf.observe(va)
+	}
+
+	// Address translation.
+	if c.tlbL1.access(va) {
+		c.Stats.TLB.L1Hits++
+	} else if c.tlbL2.access(va) {
+		c.Stats.TLB.L2Hits++
+		c.Stats.Cycles += c.cfg.TLB.L2HitLatency
+	} else {
+		c.Stats.TLB.Walks++
+		c.Stats.Cycles += c.cfg.TLB.WalkLatency
+	}
+
+	// Cache hierarchy. A line covered by an in-flight prefetch costs a
+	// hit regardless of where it would otherwise have been found.
+	switch {
+	case c.l1.access(va):
+		c.Stats.Cycles += c.cfg.L1.Latency
+	case c.l2.access(va):
+		if !covered {
+			c.Stats.Cycles += c.cfg.L2.Latency
+		}
+	case c.l3.access(va):
+		if !covered {
+			c.Stats.Cycles += c.cfg.L3.Latency
+		}
+	default:
+		if mem.IsNVM(va) {
+			c.Stats.NVMAccesses++
+			if !covered {
+				c.Stats.Cycles += c.cfg.NVMLatency
+			}
+		} else {
+			c.Stats.DRAMAccesses++
+			if !covered {
+				c.Stats.Cycles += c.cfg.DRAMLatency
+			}
+		}
+	}
+	c.Stats.L1 = c.l1.Stats
+	c.Stats.L2 = c.l2.Stats
+	c.Stats.L3 = c.l3.Stats
+}
+
+// Branch replays one conditional branch identified by its static site.
+func (c *CPU) Branch(site uint64, taken bool) {
+	c.Stats.Instructions++
+	c.Stats.Cycles++
+	if c.bp.predict(site, taken) {
+		c.Stats.Cycles += c.cfg.MispredictPenalty
+	}
+	c.Stats.Branch = c.bp.Stats
+}
+
+// AddTranslationCycles credits stalls from the POLB/VALB structures.
+func (c *CPU) AddTranslationCycles(n uint64) {
+	c.Stats.Cycles += n
+	c.Stats.TranslationCycles += n
+}
+
+// FlushCaches empties the caches and TLBs (used between benchmark phases).
+func (c *CPU) FlushCaches() {
+	c.l1.flush()
+	c.l2.flush()
+	c.l3.flush()
+	c.tlbL1.flush()
+	c.tlbL2.flush()
+}

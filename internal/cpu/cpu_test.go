@@ -1,0 +1,194 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExecRetiresAtCPI1(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Exec(100)
+	if c.Stats.Cycles != 100 || c.Stats.Instructions != 100 {
+		t.Errorf("stats after Exec(100): %+v", c.Stats)
+	}
+}
+
+func TestCacheHierarchyLatencies(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	va := uint64(0x10000)
+
+	c.Load(va) // cold: TLB walk + memory
+	cold := c.Stats.Cycles
+	wantCold := uint64(1) + cfg.TLB.WalkLatency + cfg.DRAMLatency
+	if cold != wantCold {
+		t.Errorf("cold DRAM load = %d cycles, want %d", cold, wantCold)
+	}
+
+	c.Load(va) // warm: everything hits
+	warm := c.Stats.Cycles - cold
+	if warm != 1 {
+		t.Errorf("warm load = %d cycles, want 1", warm)
+	}
+}
+
+func TestNVMCostsMoreThanDRAM(t *testing.T) {
+	cfg := DefaultConfig()
+	nvmVA := uint64(1)<<47 | 0x10000
+
+	cd := New(cfg)
+	cd.Load(0x10000)
+	cn := New(cfg)
+	cn.Load(nvmVA)
+	if cn.Stats.Cycles-cd.Stats.Cycles != cfg.NVMLatency-cfg.DRAMLatency {
+		t.Errorf("NVM cold load = %d, DRAM = %d; delta should be %d",
+			cn.Stats.Cycles, cd.Stats.Cycles, cfg.NVMLatency-cfg.DRAMLatency)
+	}
+	if cn.Stats.NVMAccesses != 1 || cd.Stats.DRAMAccesses != 1 {
+		t.Error("memory access accounting wrong")
+	}
+}
+
+func TestL1EvictionFallsToL2(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	// Touch enough distinct lines mapping to one L1 set to evict:
+	// stride = sets*lineSize so all map to set 0; ways+1 lines.
+	stride := uint64(cfg.L1.Sets) * cfg.L1.LineSize
+	n := cfg.L1.Ways + 1
+	for i := 0; i < n; i++ {
+		c.Load(uint64(i) * stride)
+	}
+	// The first line is evicted from L1 but resident in L2.
+	before := c.Stats.Cycles
+	c.Load(0)
+	delta := c.Stats.Cycles - before
+	if delta != 1+cfg.L2.Latency {
+		t.Errorf("L2 hit = %d cycles, want %d", delta, 1+cfg.L2.Latency)
+	}
+}
+
+func TestBranchPredictorLearnsBias(t *testing.T) {
+	c := New(DefaultConfig())
+	site := uint64(0x400123)
+	for i := 0; i < 1000; i++ {
+		c.Branch(site, true)
+	}
+	if c.Stats.Branch.Mispredicts > 10 {
+		t.Errorf("biased branch mispredicted %d/1000 times", c.Stats.Branch.Mispredicts)
+	}
+}
+
+func TestBranchPredictorStrugglesWithRandomPattern(t *testing.T) {
+	c := New(DefaultConfig())
+	site := uint64(0x400123)
+	// A pseudo-random pattern should mispredict far more often than a
+	// biased one.
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 2000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		c.Branch(site, x&1 == 0)
+	}
+	if c.Stats.Branch.Mispredicts < 200 {
+		t.Errorf("random branch mispredicted only %d/2000 times", c.Stats.Branch.Mispredicts)
+	}
+}
+
+func TestMispredictPenaltyApplied(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	// Alternate a single site: the 2-bit counter mispredicts heavily.
+	for i := 0; i < 100; i++ {
+		c.Branch(1, i%2 == 0)
+	}
+	minCycles := uint64(100) + c.Stats.Branch.Mispredicts*cfg.MispredictPenalty
+	if c.Stats.Cycles != minCycles {
+		t.Errorf("cycles = %d, want %d (mispredicts=%d)",
+			c.Stats.Cycles, minCycles, c.Stats.Branch.Mispredicts)
+	}
+}
+
+func TestAddTranslationCycles(t *testing.T) {
+	c := New(DefaultConfig())
+	c.AddTranslationCycles(17)
+	if c.Stats.Cycles != 17 || c.Stats.TranslationCycles != 17 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestFlushCaches(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	c.Load(0x10000)
+	c.FlushCaches()
+	before := c.Stats.Cycles
+	c.Load(0x10000)
+	delta := c.Stats.Cycles - before
+	want := uint64(1) + cfg.TLB.WalkLatency + cfg.DRAMLatency
+	if delta != want {
+		t.Errorf("post-flush load = %d cycles, want %d", delta, want)
+	}
+}
+
+func TestTLBTwoLevels(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	// Touch more pages than L1 TLB entries within one L1 TLB set: stride
+	// by L1Sets pages so all map to one set.
+	pageStride := uint64(cfg.TLB.L1Sets) * cfg.TLB.PageSize
+	for i := 0; i < cfg.TLB.L1Ways+1; i++ {
+		c.Load(uint64(i) * pageStride)
+	}
+	if c.Stats.TLB.Walks != uint64(cfg.TLB.L1Ways+1) {
+		t.Fatalf("cold walks = %d", c.Stats.TLB.Walks)
+	}
+	// First page evicted from L1 TLB but resident in L2 TLB.
+	c.Load(0)
+	if c.Stats.TLB.L2Hits != 1 {
+		t.Errorf("L2 TLB hits = %d, want 1", c.Stats.TLB.L2Hits)
+	}
+}
+
+// Property: cycles grow monotonically with every event.
+func TestQuickCyclesMonotone(t *testing.T) {
+	c := New(DefaultConfig())
+	prev := uint64(0)
+	f := func(kind uint8, addr uint32, taken bool) bool {
+		switch kind % 4 {
+		case 0:
+			c.Exec(1)
+		case 1:
+			c.Load(uint64(addr))
+		case 2:
+			c.Store(uint64(addr))
+		case 3:
+			c.Branch(uint64(addr), taken)
+		}
+		ok := c.Stats.Cycles > prev
+		prev = c.Stats.Cycles
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: L1 stats partition accesses (hits+misses == loads+stores).
+func TestQuickL1AccountingPartitions(t *testing.T) {
+	c := New(DefaultConfig())
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			if a%2 == 0 {
+				c.Load(uint64(a))
+			} else {
+				c.Store(uint64(a))
+			}
+		}
+		return c.Stats.L1.Hits+c.Stats.L1.Misses == c.Stats.MemoryAccesses()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

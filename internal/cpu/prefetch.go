@@ -1,0 +1,124 @@
+package cpu
+
+// A virtual-address stride prefetcher, for reproducing the paper's
+// Section VI discussion: physical-address prefetchers are unaffected by
+// the proposal (data placement in physical memory does not change), but
+// *virtual-address* stride prefetchers can lose effectiveness when a
+// workload's data is spread over persistent memory pools mapped at
+// distributed virtual addresses — a consequence of the pool programming
+// model, not of user-transparent references.
+//
+// The model is a classic reference-prediction table: entries tagged by a
+// hash of the accessing context (here the page of the access, standing in
+// for the PC), each tracking the last address, the last observed stride,
+// and a 2-bit confidence counter. On a confident match the next line is
+// considered prefetched; a subsequent demand access to a prefetched line
+// hits regardless of cache state.
+
+// PrefetcherConfig sizes the stride table.
+type PrefetcherConfig struct {
+	TableEntries int
+	// Degree is how many strides ahead are prefetched on confidence.
+	Degree int
+}
+
+// DefaultPrefetcherConfig is a 64-entry, degree-2 stride prefetcher.
+func DefaultPrefetcherConfig() PrefetcherConfig {
+	return PrefetcherConfig{TableEntries: 64, Degree: 2}
+}
+
+// PrefetchStats counts prefetcher outcomes.
+type PrefetchStats struct {
+	Trained   uint64 // accesses that matched a confident stride
+	Issued    uint64 // prefetches issued
+	UsefulHit uint64 // demand accesses covered by a prior prefetch
+}
+
+type strideEntry struct {
+	tag      uint64
+	lastAddr uint64
+	stride   int64
+	conf     uint8
+}
+
+// prefetcher is the stride predictor plus a small window of outstanding
+// prefetched lines.
+type prefetcher struct {
+	cfg   PrefetcherConfig
+	table []strideEntry
+	// issued holds recently prefetched line addresses (line granularity).
+	issued map[uint64]struct{}
+	order  []uint64
+	Stats  PrefetchStats
+}
+
+const prefetchWindow = 256
+
+func newPrefetcher(cfg PrefetcherConfig) *prefetcher {
+	return &prefetcher{
+		cfg:    cfg,
+		table:  make([]strideEntry, cfg.TableEntries),
+		issued: make(map[uint64]struct{}),
+	}
+}
+
+// covered reports whether the line holding va was prefetched, consuming
+// the prefetch (a line prefetch covers one demand miss).
+func (p *prefetcher) covered(va uint64) bool {
+	line := va &^ 63
+	if _, ok := p.issued[line]; ok {
+		delete(p.issued, line)
+		p.Stats.UsefulHit++
+		return true
+	}
+	return false
+}
+
+// observe trains the table on a demand access and issues prefetches on a
+// confident stride match.
+func (p *prefetcher) observe(va uint64) {
+	// Tag by the 16KB region of the access: a stand-in for the accessing
+	// instruction, adequate for streaming kernels.
+	tag := va >> 14
+	idx := tag % uint64(len(p.table))
+	e := &p.table[idx]
+
+	if e.tag == tag {
+		stride := int64(va) - int64(e.lastAddr)
+		if stride == e.stride && stride != 0 {
+			if e.conf < 3 {
+				e.conf++
+			}
+		} else {
+			if e.conf > 0 {
+				e.conf--
+			}
+			e.stride = stride
+		}
+		e.lastAddr = va
+		if e.conf >= 2 && e.stride != 0 {
+			p.Stats.Trained++
+			for d := 1; d <= p.cfg.Degree; d++ {
+				next := uint64(int64(va) + e.stride*int64(d))
+				p.issue(next &^ 63)
+			}
+		}
+		return
+	}
+	// Replace.
+	*e = strideEntry{tag: tag, lastAddr: va}
+}
+
+func (p *prefetcher) issue(line uint64) {
+	if _, ok := p.issued[line]; ok {
+		return
+	}
+	p.Stats.Issued++
+	p.issued[line] = struct{}{}
+	p.order = append(p.order, line)
+	if len(p.order) > prefetchWindow {
+		old := p.order[0]
+		p.order = p.order[1:]
+		delete(p.issued, old)
+	}
+}

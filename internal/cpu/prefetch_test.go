@@ -1,0 +1,64 @@
+package cpu
+
+import "testing"
+
+func TestPrefetcherCoversUnitStride(t *testing.T) {
+	c := New(DefaultConfig())
+	c.EnablePrefetcher(DefaultPrefetcherConfig())
+	base := uint64(0x100000)
+	for i := uint64(0); i < 10000; i++ {
+		c.Load(base + i*8)
+	}
+	st := c.Prefetch()
+	if st.Issued == 0 {
+		t.Fatal("no prefetches issued on a unit-stride stream")
+	}
+	if st.UsefulHit == 0 {
+		t.Fatal("no demand accesses were covered")
+	}
+	// Compare against an identical machine without the prefetcher.
+	plain := New(DefaultConfig())
+	for i := uint64(0); i < 10000; i++ {
+		plain.Load(base + i*8)
+	}
+	if c.Stats.Cycles >= plain.Stats.Cycles {
+		t.Errorf("prefetcher did not help: %d vs %d cycles", c.Stats.Cycles, plain.Stats.Cycles)
+	}
+}
+
+func TestPrefetcherIgnoresRandomStream(t *testing.T) {
+	c := New(DefaultConfig())
+	c.EnablePrefetcher(DefaultPrefetcherConfig())
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 10000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		c.Load(0x100000 + (x % (1 << 24) &^ 7))
+	}
+	st := c.Prefetch()
+	// Random strides should not train to confidence often.
+	if st.Trained > 1000 {
+		t.Errorf("random stream trained the stride table %d times", st.Trained)
+	}
+}
+
+func TestPrefetcherLargeStride(t *testing.T) {
+	c := New(DefaultConfig())
+	c.EnablePrefetcher(DefaultPrefetcherConfig())
+	// Stride of 256 bytes: still a fixed stride, should train.
+	for i := uint64(0); i < 5000; i++ {
+		c.Load(0x200000 + i*256)
+	}
+	if c.Prefetch().UsefulHit == 0 {
+		t.Error("fixed large stride not covered")
+	}
+}
+
+func TestPrefetchStatsZeroWhenDisabled(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Load(0x1000)
+	if st := c.Prefetch(); st != (PrefetchStats{}) {
+		t.Errorf("disabled prefetcher reported %+v", st)
+	}
+}

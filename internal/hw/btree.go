@@ -1,0 +1,295 @@
+// Package hw models the paper's architecture support: the persistent object
+// lookaside buffer (POLB) and its kernel table (POTB) for relative→virtual
+// translation; the virtual address lookaside buffer (VALB) and its B-tree
+// kernel range table (VATB) for virtual→relative translation; the MMU that
+// combines them with cycle accounting; and the storeP functional unit with
+// its per-entry finite state machines and Table I fault semantics.
+package hw
+
+// RangeEntry is one pool mapping: [Base, Base+Size) belongs to pool ID.
+type RangeEntry struct {
+	Base uint64
+	Size uint64
+	ID   uint32
+}
+
+// End returns one past the last address covered by the entry.
+func (e RangeEntry) End() uint64 { return e.Base + e.Size }
+
+// btreeOrder is the maximum number of children per node. Keys per node is
+// btreeOrder-1. Chosen small so trees of a few dozen pools have depth 2-3,
+// matching the walk latencies the paper models.
+const btreeOrder = 8
+
+const (
+	maxKeys = btreeOrder - 1
+	minKeys = maxKeys / 2
+)
+
+type btreeNode struct {
+	entries  []RangeEntry // sorted by Base
+	children []*btreeNode // len == len(entries)+1 for internal nodes
+}
+
+func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
+
+// VATB is the virtual address table: a B-tree range table mapping virtual
+// address ranges to pool IDs, as proposed for Range TLB structures. It is a
+// software (kernel-memory) structure; the VAW walks it on VALB misses, and
+// the walk cost is the number of nodes visited.
+type VATB struct {
+	root *btreeNode
+	n    int
+}
+
+// NewVATB returns an empty range table.
+func NewVATB() *VATB {
+	return &VATB{root: &btreeNode{}}
+}
+
+// Len returns the number of ranges in the table.
+func (t *VATB) Len() int { return t.n }
+
+// search returns the index of the first entry with Base >= key.
+func searchEntries(entries []RangeEntry, key uint64) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entries[mid].Base < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Lookup finds the range containing va. It returns the entry, the number of
+// B-tree nodes visited (the walk cost), and whether a range was found.
+func (t *VATB) Lookup(va uint64) (RangeEntry, int, bool) {
+	var best *RangeEntry
+	nodes := 0
+	n := t.root
+	for n != nil {
+		nodes++
+		i := searchEntries(n.entries, va)
+		// The candidate is the entry just below va (its Base <= va), either
+		// in this node or further down the right-leaning child path.
+		if i < len(n.entries) && n.entries[i].Base == va {
+			e := n.entries[i]
+			return e, nodes, va < e.End()
+		}
+		if i > 0 {
+			best = &n.entries[i-1]
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[i]
+	}
+	if best != nil && va >= best.Base && va < best.End() {
+		return *best, nodes, true
+	}
+	return RangeEntry{}, nodes, false
+}
+
+// Insert adds a range. Ranges must not overlap; overlap checking is the
+// caller's job (the registry guarantees disjoint pools).
+func (t *VATB) Insert(e RangeEntry) {
+	r := t.root
+	if len(r.entries) == maxKeys {
+		newRoot := &btreeNode{children: []*btreeNode{r}}
+		newRoot.splitChild(0)
+		t.root = newRoot
+		r = newRoot
+	}
+	r.insertNonFull(e)
+	t.n++
+}
+
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := maxKeys / 2
+	up := child.entries[mid]
+	right := &btreeNode{
+		entries: append([]RangeEntry(nil), child.entries[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.entries = child.entries[:mid]
+
+	n.entries = append(n.entries, RangeEntry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = up
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *btreeNode) insertNonFull(e RangeEntry) {
+	i := searchEntries(n.entries, e.Base)
+	if n.leaf() {
+		n.entries = append(n.entries, RangeEntry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		return
+	}
+	if len(n.children[i].entries) == maxKeys {
+		n.splitChild(i)
+		if e.Base > n.entries[i].Base {
+			i++
+		}
+	}
+	n.children[i].insertNonFull(e)
+}
+
+// Delete removes the range starting exactly at base. It reports whether a
+// range was removed.
+func (t *VATB) Delete(base uint64) bool {
+	if !t.root.delete(base) {
+		return false
+	}
+	if len(t.root.entries) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.n--
+	return true
+}
+
+// delete removes base from the subtree rooted at n, maintaining the B-tree
+// invariant that every node it recurses into has more than minKeys entries
+// (except the root), per the classic CLRS single-pass scheme.
+func (n *btreeNode) delete(base uint64) bool {
+	i := searchEntries(n.entries, base)
+	found := i < len(n.entries) && n.entries[i].Base == base
+
+	if n.leaf() {
+		if !found {
+			return false
+		}
+		n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		return true
+	}
+
+	if found {
+		left, right := n.children[i], n.children[i+1]
+		switch {
+		case len(left.entries) > minKeys:
+			pred := left.max()
+			n.entries[i] = pred
+			return left.delete(pred.Base)
+		case len(right.entries) > minKeys:
+			succ := right.min()
+			n.entries[i] = succ
+			return right.delete(succ.Base)
+		default:
+			n.mergeChildren(i)
+			return n.children[i].delete(base)
+		}
+	}
+
+	// Descend into child i, first guaranteeing it has spare entries.
+	i = n.ensureSpare(i)
+	return n.children[i].delete(base)
+}
+
+// max returns the largest entry in the subtree.
+func (n *btreeNode) max() RangeEntry {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.entries[len(n.entries)-1]
+}
+
+// min returns the smallest entry in the subtree.
+func (n *btreeNode) min() RangeEntry {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.entries[0]
+}
+
+// ensureSpare makes child i safe to delete from (more than minKeys entries),
+// borrowing from or merging with a sibling. It returns the possibly-shifted
+// index of that child after the restructuring.
+func (n *btreeNode) ensureSpare(i int) int {
+	c := n.children[i]
+	if len(c.entries) > minKeys {
+		return i
+	}
+	// Borrow from left sibling.
+	if i > 0 && len(n.children[i-1].entries) > minKeys {
+		left := n.children[i-1]
+		c.entries = append([]RangeEntry{n.entries[i-1]}, c.entries...)
+		n.entries[i-1] = left.entries[len(left.entries)-1]
+		left.entries = left.entries[:len(left.entries)-1]
+		if !left.leaf() {
+			c.children = append([]*btreeNode{left.children[len(left.children)-1]}, c.children...)
+			left.children = left.children[:len(left.children)-1]
+		}
+		return i
+	}
+	// Borrow from right sibling.
+	if i+1 < len(n.children) && len(n.children[i+1].entries) > minKeys {
+		right := n.children[i+1]
+		c.entries = append(c.entries, n.entries[i])
+		n.entries[i] = right.entries[0]
+		right.entries = right.entries[1:]
+		if !right.leaf() {
+			c.children = append(c.children, right.children[0])
+			right.children = right.children[1:]
+		}
+		return i
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		n.mergeChildren(i - 1)
+		return i - 1
+	}
+	n.mergeChildren(i)
+	return i
+}
+
+// mergeChildren merges child i, separator entry i, and child i+1.
+func (n *btreeNode) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.entries = append(left.entries, n.entries[i])
+	left.entries = append(left.entries, right.entries...)
+	left.children = append(left.children, right.children...)
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Entries returns all ranges in ascending base order.
+func (t *VATB) Entries() []RangeEntry {
+	var out []RangeEntry
+	var walk func(n *btreeNode)
+	walk = func(n *btreeNode) {
+		for i, e := range n.entries {
+			if !n.leaf() {
+				walk(n.children[i])
+			}
+			out = append(out, e)
+		}
+		if !n.leaf() {
+			walk(n.children[len(n.children)-1])
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// depth returns the tree height (1 for a lone root).
+func (t *VATB) depth() int {
+	d := 0
+	for n := t.root; n != nil; {
+		d++
+		if n.leaf() {
+			break
+		}
+		n = n.children[0]
+	}
+	return d
+}

@@ -1,0 +1,214 @@
+package hw
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestVATBInsertLookup(t *testing.T) {
+	vatb := NewVATB()
+	vatb.Insert(RangeEntry{Base: 0x1000, Size: 0x1000, ID: 1})
+	vatb.Insert(RangeEntry{Base: 0x5000, Size: 0x2000, ID: 2})
+
+	e, _, ok := vatb.Lookup(0x1800)
+	if !ok || e.ID != 1 {
+		t.Errorf("Lookup(0x1800) = %+v, %v", e, ok)
+	}
+	e, _, ok = vatb.Lookup(0x5000)
+	if !ok || e.ID != 2 {
+		t.Errorf("Lookup(0x5000) = %+v, %v", e, ok)
+	}
+	if _, _, ok := vatb.Lookup(0x3000); ok {
+		t.Error("Lookup in gap found a range")
+	}
+	if _, _, ok := vatb.Lookup(0x7000); ok {
+		t.Error("Lookup past end found a range")
+	}
+	if _, _, ok := vatb.Lookup(0xfff); ok {
+		t.Error("Lookup below first range found a range")
+	}
+}
+
+func TestVATBBoundaries(t *testing.T) {
+	vatb := NewVATB()
+	vatb.Insert(RangeEntry{Base: 0x1000, Size: 0x1000, ID: 1})
+	if _, _, ok := vatb.Lookup(0x1fff); !ok {
+		t.Error("last byte of range missed")
+	}
+	if _, _, ok := vatb.Lookup(0x2000); ok {
+		t.Error("one past range hit")
+	}
+}
+
+func TestVATBDelete(t *testing.T) {
+	vatb := NewVATB()
+	for i := uint64(0); i < 50; i++ {
+		vatb.Insert(RangeEntry{Base: 0x1000 * (i + 1), Size: 0x800, ID: uint32(i)})
+	}
+	if vatb.Len() != 50 {
+		t.Fatalf("Len = %d", vatb.Len())
+	}
+	// Delete every other range.
+	for i := uint64(0); i < 50; i += 2 {
+		if !vatb.Delete(0x1000 * (i + 1)) {
+			t.Fatalf("Delete(%#x) failed", 0x1000*(i+1))
+		}
+	}
+	if vatb.Len() != 25 {
+		t.Fatalf("Len after deletes = %d", vatb.Len())
+	}
+	for i := uint64(0); i < 50; i++ {
+		_, _, ok := vatb.Lookup(0x1000*(i+1) + 4)
+		want := i%2 == 1
+		if ok != want {
+			t.Errorf("Lookup range %d: found=%v, want %v", i, ok, want)
+		}
+	}
+	if vatb.Delete(0x999999) {
+		t.Error("Delete of absent base returned true")
+	}
+}
+
+func TestVATBEntriesSorted(t *testing.T) {
+	vatb := NewVATB()
+	bases := []uint64{0x9000, 0x1000, 0x5000, 0x3000, 0x7000}
+	for i, b := range bases {
+		vatb.Insert(RangeEntry{Base: b, Size: 0x100, ID: uint32(i)})
+	}
+	got := vatb.Entries()
+	if len(got) != len(bases) {
+		t.Fatalf("Entries = %d items", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Base < got[j].Base }) {
+		t.Errorf("Entries not sorted: %+v", got)
+	}
+}
+
+func TestVATBDepthGrows(t *testing.T) {
+	vatb := NewVATB()
+	for i := uint64(0); i < 100; i++ {
+		vatb.Insert(RangeEntry{Base: i * 0x1000, Size: 0x800, ID: uint32(i)})
+	}
+	if d := vatb.depth(); d < 2 {
+		t.Errorf("depth after 100 inserts = %d; tree never split", d)
+	}
+}
+
+// Property test: a random sequence of inserts and deletes agrees with a
+// sorted-slice oracle for every lookup.
+func TestQuickVATBAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vatb := NewVATB()
+		oracle := map[uint64]RangeEntry{}
+
+		for op := 0; op < 400; op++ {
+			switch {
+			case len(oracle) == 0 || rng.Intn(3) > 0:
+				// Insert a fresh non-overlapping range on a 0x10000 grid.
+				slot := uint64(rng.Intn(1000))
+				base := slot * 0x10000
+				if _, dup := oracle[base]; dup {
+					continue
+				}
+				e := RangeEntry{Base: base, Size: uint64(rng.Intn(0xf000) + 1), ID: uint32(slot)}
+				vatb.Insert(e)
+				oracle[base] = e
+			default:
+				// Delete a random existing range.
+				for base := range oracle {
+					if !vatb.Delete(base) {
+						return false
+					}
+					delete(oracle, base)
+					break
+				}
+			}
+		}
+		if vatb.Len() != len(oracle) {
+			return false
+		}
+		// Probe random addresses.
+		for probe := 0; probe < 300; probe++ {
+			va := uint64(rng.Intn(1000))*0x10000 + uint64(rng.Intn(0x10000))
+			got, _, ok := vatb.Lookup(va)
+			want, wantOK := lookupOracle(oracle, va)
+			if ok != wantOK {
+				return false
+			}
+			if ok && got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func lookupOracle(m map[uint64]RangeEntry, va uint64) (RangeEntry, bool) {
+	for _, e := range m {
+		if va >= e.Base && va < e.End() {
+			return e, true
+		}
+	}
+	return RangeEntry{}, false
+}
+
+// Property: Entries() always returns a sorted, complete view.
+func TestQuickVATBEntriesComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vatb := NewVATB()
+		n := rng.Intn(200) + 1
+		bases := map[uint64]bool{}
+		for i := 0; i < n; i++ {
+			base := uint64(rng.Intn(5000)) * 0x1000
+			if bases[base] {
+				continue
+			}
+			bases[base] = true
+			vatb.Insert(RangeEntry{Base: base, Size: 16, ID: uint32(i)})
+		}
+		got := vatb.Entries()
+		if len(got) != len(bases) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Base >= got[i].Base {
+				return false
+			}
+		}
+		for _, e := range got {
+			if !bases[e.Base] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVATBLookupWalkCost(t *testing.T) {
+	vatb := NewVATB()
+	vatb.Insert(RangeEntry{Base: 0x1000, Size: 0x100, ID: 1})
+	_, nodes, _ := vatb.Lookup(0x1000)
+	if nodes != 1 {
+		t.Errorf("single-node tree walk visited %d nodes", nodes)
+	}
+	for i := uint64(0); i < 200; i++ {
+		vatb.Insert(RangeEntry{Base: 0x100000 + i*0x1000, Size: 0x800, ID: uint32(i + 2)})
+	}
+	_, nodes, ok := vatb.Lookup(0x100000 + 150*0x1000 + 5)
+	if !ok {
+		t.Fatal("lookup missed")
+	}
+	if nodes < 2 {
+		t.Errorf("deep tree walk visited %d nodes; want >= 2", nodes)
+	}
+}

@@ -1,0 +1,95 @@
+package hw
+
+import (
+	"fmt"
+
+	"nvref/internal/core"
+)
+
+// MMU bundles the four translation structures the paper adds to the memory
+// management unit: POLB backed by POTB for ra2va, and VALB backed by VATB
+// for va2ra. It implements core.Translator, so the same semantic layer runs
+// over the hardware path; translation cycles accumulate in Cycles and are
+// drained by the timing model.
+type MMU struct {
+	POTB *POTB
+	VATB *VATB
+	POLB *POLB
+	VALB *VALB
+
+	// Cycles accumulates translation latency since the last Drain.
+	Cycles uint64
+}
+
+// NewMMU returns an MMU with empty tables and default latencies.
+func NewMMU() *MMU {
+	potb := NewPOTB()
+	vatb := NewVATB()
+	return &MMU{
+		POTB: potb,
+		VATB: vatb,
+		POLB: NewPOLB(potb),
+		VALB: NewVALB(vatb),
+	}
+}
+
+// AttachPool registers a pool mapping in the kernel tables.
+func (m *MMU) AttachPool(e RangeEntry) {
+	m.POTB.Insert(e)
+	m.VATB.Insert(e)
+}
+
+// DetachPool removes a pool mapping and invalidates cached translations,
+// the hardware analog of pmem detach (the paper's Figure 10 scenario).
+func (m *MMU) DetachPool(id uint32) {
+	if e, ok := m.POTB.Lookup(id); ok {
+		m.VATB.Delete(e.Base)
+	}
+	m.POTB.Remove(id)
+	m.POLB.Invalidate(id)
+	m.VALB.Invalidate(id)
+}
+
+// DrainCycles returns and clears the accumulated translation cycles.
+func (m *MMU) DrainCycles() uint64 {
+	c := m.Cycles
+	m.Cycles = 0
+	return c
+}
+
+// RA2VA implements core.Translator over the POLB/POW path.
+func (m *MMU) RA2VA(p core.Ptr) (uint64, error) {
+	e, cycles, ok := m.POLB.Lookup(p.PoolID())
+	m.Cycles += cycles
+	if !ok {
+		return 0, fmt.Errorf("%w: pool %d (POLB/POW)", core.ErrUnknownPool, p.PoolID())
+	}
+	off := uint64(p.Offset())
+	if off >= e.Size {
+		return 0, fmt.Errorf("hw: offset %#x beyond pool %d size %#x", off, p.PoolID(), e.Size)
+	}
+	return e.Base + off, nil
+}
+
+// VA2RA implements core.Translator over the VALB/VAW path.
+func (m *MMU) VA2RA(va uint64) (core.Ptr, bool) {
+	e, cycles, ok := m.VALB.Lookup(va)
+	m.Cycles += cycles
+	if !ok {
+		return core.Null, false
+	}
+	return core.MakeRelative(e.ID, uint32(va-e.Base)), true
+}
+
+var _ core.Translator = (*MMU)(nil)
+
+// LoadEffectiveAddress models the modified load/storeD pipeline step: if
+// the address register holds a relative address (bit 63 set), it is
+// converted to a virtual address at effective address generation, before
+// the TLB and caches see it.
+func (m *MMU) LoadEffectiveAddress(rs core.Ptr) (uint64, error) {
+	if !rs.IsRelative() {
+		return rs.VA(), nil
+	}
+	return m.RA2VA(rs)
+}

@@ -1,0 +1,170 @@
+package hw
+
+import (
+	"errors"
+	"testing"
+
+	"nvref/internal/core"
+)
+
+const nvmBit = uint64(1) << 47
+
+func newTestMMU() *MMU {
+	m := NewMMU()
+	m.AttachPool(RangeEntry{Base: nvmBit | 0x10_0000, Size: 1 << 20, ID: 1})
+	m.AttachPool(RangeEntry{Base: nvmBit | 0x40_0000, Size: 1 << 20, ID: 2})
+	return m
+}
+
+func TestMMURA2VA(t *testing.T) {
+	m := newTestMMU()
+	va, err := m.RA2VA(core.MakeRelative(1, 0x88))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va != (nvmBit | 0x10_0088) {
+		t.Errorf("RA2VA = %#x", va)
+	}
+	if _, err := m.RA2VA(core.MakeRelative(42, 0)); !errors.Is(err, core.ErrUnknownPool) {
+		t.Errorf("unknown pool: err = %v", err)
+	}
+	if _, err := m.RA2VA(core.MakeRelative(1, 1<<21)); err == nil {
+		t.Error("offset beyond pool accepted")
+	}
+}
+
+func TestMMUVA2RA(t *testing.T) {
+	m := newTestMMU()
+	rel, ok := m.VA2RA(nvmBit | 0x40_0010)
+	if !ok || rel.PoolID() != 2 || rel.Offset() != 0x10 {
+		t.Errorf("VA2RA = %s, %v", rel, ok)
+	}
+	if _, ok := m.VA2RA(0x5000); ok {
+		t.Error("VA2RA of DRAM address found a pool")
+	}
+}
+
+func TestMMULatencyAccounting(t *testing.T) {
+	m := newTestMMU()
+	// First lookup misses the POLB and pays the POW walk.
+	if _, err := m.RA2VA(core.MakeRelative(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	missCost := m.DrainCycles()
+	if missCost < DefaultPOLBWalkCycles {
+		t.Errorf("POLB miss cost %d cycles; want >= walk latency %d", missCost, DefaultPOLBWalkCycles)
+	}
+	// Second lookup hits.
+	if _, err := m.RA2VA(core.MakeRelative(1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	hitCost := m.DrainCycles()
+	if hitCost != DefaultPOLBHitCycles {
+		t.Errorf("POLB hit cost %d cycles; want %d", hitCost, DefaultPOLBHitCycles)
+	}
+	if m.POLB.Stats.Hits != 1 || m.POLB.Stats.Misses != 1 {
+		t.Errorf("POLB stats = %+v", m.POLB.Stats)
+	}
+}
+
+func TestMMUDetachInvalidates(t *testing.T) {
+	m := newTestMMU()
+	if _, err := m.RA2VA(core.MakeRelative(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.VA2RA(nvmBit | 0x10_0000); !ok {
+		t.Fatal("VA2RA before detach missed")
+	}
+	m.DetachPool(1)
+	if _, err := m.RA2VA(core.MakeRelative(1, 0)); err == nil {
+		t.Error("RA2VA after detach succeeded")
+	}
+	if _, ok := m.VA2RA(nvmBit | 0x10_0000); ok {
+		t.Error("VA2RA after detach succeeded")
+	}
+	// Pool 2 is unaffected.
+	if _, err := m.RA2VA(core.MakeRelative(2, 0)); err != nil {
+		t.Errorf("pool 2 after detaching pool 1: %v", err)
+	}
+}
+
+func TestMMULoadEffectiveAddress(t *testing.T) {
+	m := newTestMMU()
+	va, err := m.LoadEffectiveAddress(core.FromVA(0x1234))
+	if err != nil || va != 0x1234 {
+		t.Errorf("virtual EA = %#x, %v", va, err)
+	}
+	va, err = m.LoadEffectiveAddress(core.MakeRelative(2, 8))
+	if err != nil || va != (nvmBit|0x40_0008) {
+		t.Errorf("relative EA = %#x, %v", va, err)
+	}
+}
+
+func TestPOLBCapacityAndLRU(t *testing.T) {
+	potb := NewPOTB()
+	for i := uint32(1); i <= 40; i++ {
+		potb.Insert(RangeEntry{Base: nvmBit | uint64(i)<<24, Size: 1 << 20, ID: i})
+	}
+	polb := NewPOLB(potb)
+	// Touch 40 pools: 8 more than capacity.
+	for i := uint32(1); i <= 40; i++ {
+		if _, _, ok := polb.Lookup(i); !ok {
+			t.Fatalf("lookup pool %d failed", i)
+		}
+	}
+	if polb.Stats.Misses != 40 {
+		t.Errorf("cold misses = %d, want 40", polb.Stats.Misses)
+	}
+	// Pools 9..40 are resident; pool 1 was evicted (LRU).
+	if _, _, ok := polb.Lookup(40); !ok {
+		t.Fatal("pool 40 lookup failed")
+	}
+	if polb.Stats.Hits != 1 {
+		t.Errorf("expected hit on resident pool 40, stats = %+v", polb.Stats)
+	}
+	if _, _, ok := polb.Lookup(1); !ok {
+		t.Fatal("pool 1 lookup failed")
+	}
+	if polb.Stats.Misses != 41 {
+		t.Errorf("expected miss on evicted pool 1, stats = %+v", polb.Stats)
+	}
+}
+
+func TestVALBCaching(t *testing.T) {
+	vatb := NewVATB()
+	vatb.Insert(RangeEntry{Base: nvmBit | 0x10_0000, Size: 1 << 20, ID: 1})
+	valb := NewVALB(vatb)
+	if _, _, ok := valb.Lookup(nvmBit | 0x10_0400); !ok {
+		t.Fatal("VALB lookup failed")
+	}
+	if valb.Stats.Misses != 1 {
+		t.Errorf("stats after cold lookup = %+v", valb.Stats)
+	}
+	// Another address in the same pool hits the cached range.
+	if _, _, ok := valb.Lookup(nvmBit | 0x10_8000); !ok {
+		t.Fatal("second lookup failed")
+	}
+	if valb.Stats.Hits != 1 {
+		t.Errorf("stats after warm lookup = %+v", valb.Stats)
+	}
+	// A miss in no pool still costs a walk and is not cached.
+	if _, _, ok := valb.Lookup(0x1000); ok {
+		t.Error("lookup of unpooled address succeeded")
+	}
+	if valb.Stats.Misses != 2 {
+		t.Errorf("stats after failed lookup = %+v", valb.Stats)
+	}
+}
+
+func TestCostTable(t *testing.T) {
+	c := CostTable()
+	if len(c.Structures) != 3 {
+		t.Fatalf("structures = %d", len(c.Structures))
+	}
+	if got := c.TotalBytes(); got != 1280 {
+		t.Errorf("TotalBytes = %d, want 1280 (paper Table II)", got)
+	}
+	if got := c.TotalArea(); got < 0.0478 || got > 0.0480 {
+		t.Errorf("TotalArea = %f, want 0.0479 mm^2 (paper Table II)", got)
+	}
+}

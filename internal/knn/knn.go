@@ -1,0 +1,204 @@
+// Package knn reproduces the paper's Section VII-E case study: a
+// k-nearest-neighbour classifier in the style of MLPack's KNN, built on
+// the matrix library (Armadillo's stand-in), classifying a 150-sample,
+// 4-feature, 3-class iris-like dataset.
+//
+// The algorithm uses four matrices, as the paper describes: one input
+// (the reference samples), one internal working matrix (distances), and
+// two outputs (neighbour indices and neighbour distances). Any subset may
+// be placed on NVM; the paper's configuration persists all but the input.
+package knn
+
+import (
+	"math"
+
+	"nvref/internal/matrix"
+	"nvref/internal/rt"
+)
+
+// Dataset is an in-host dataset to be loaded into simulated memory.
+type Dataset struct {
+	Features [][]float64 // [sample][feature]
+	Labels   []int
+	Classes  int
+}
+
+// IrisLike deterministically synthesizes a 150-sample, 4-feature,
+// 3-class dataset with iris-like cluster structure: one well-separated
+// class and two overlapping ones. It stands in for the UCI iris data the
+// paper uses (public data, but the reproduction stays self-contained).
+func IrisLike() Dataset {
+	centers := [3][4]float64{
+		{5.0, 3.4, 1.5, 0.25}, // separable (setosa-like)
+		{5.9, 2.8, 4.3, 1.3},  // overlapping (versicolor-like)
+		{6.6, 3.0, 5.5, 2.0},  // overlapping (virginica-like)
+	}
+	spread := [3][4]float64{
+		{0.35, 0.38, 0.17, 0.10},
+		{0.51, 0.31, 0.47, 0.20},
+		{0.63, 0.32, 0.55, 0.27},
+	}
+	ds := Dataset{Classes: 3}
+	// Deterministic xorshift generator; Box-Muller for normal deviates.
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%1_000_000) / 1_000_000
+	}
+	gauss := func() float64 {
+		u1, u2 := next(), next()
+		if u1 < 1e-12 {
+			u1 = 1e-12
+		}
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+	for class := 0; class < 3; class++ {
+		for s := 0; s < 50; s++ {
+			row := make([]float64, 4)
+			for f := 0; f < 4; f++ {
+				row[f] = centers[class][f] + spread[class][f]*gauss()
+			}
+			ds.Features = append(ds.Features, row)
+			ds.Labels = append(ds.Labels, class)
+		}
+	}
+	return ds
+}
+
+// Placement selects which of the four matrices are persistent.
+type Placement struct {
+	Input     bool // reference samples
+	Internal  bool // distance working matrix
+	Neighbors bool // output: neighbour indices
+	Distances bool // output: neighbour distances
+}
+
+// PaperPlacement is the case study's configuration: everything persistent
+// except the input matrix.
+func PaperPlacement() Placement {
+	return Placement{Input: false, Internal: true, Neighbors: true, Distances: true}
+}
+
+// AllPlacements enumerates the 16 combinations the case study discusses.
+func AllPlacements() []Placement {
+	out := make([]Placement, 0, 16)
+	for mask := 0; mask < 16; mask++ {
+		out = append(out, Placement{
+			Input:     mask&1 != 0,
+			Internal:  mask&2 != 0,
+			Neighbors: mask&4 != 0,
+			Distances: mask&8 != 0,
+		})
+	}
+	return out
+}
+
+// Result summarizes one classification run.
+type Result struct {
+	Mode     rt.Mode
+	K        int
+	Samples  int
+	Correct  int
+	Accuracy float64
+	Cycles   uint64
+}
+
+var (
+	siteLoop = rt.NewSite("knn.loop", true)
+	siteSel  = rt.NewSite("knn.select", true)
+)
+
+// Run loads the dataset into simulated memory and performs leave-one-out
+// k-NN classification, returning the accuracy and measured cycles.
+func Run(ctx *rt.Context, ds Dataset, k int, place Placement) Result {
+	n := len(ds.Features)
+	d := len(ds.Features[0])
+
+	input := matrix.New(ctx, d, n, place.Input)
+	internal := matrix.New(ctx, n, 1, place.Internal)
+	neighbors := matrix.New(ctx, k, n, place.Neighbors)
+	distances := matrix.New(ctx, k, n, place.Distances)
+
+	// Load phase: write the samples column-major (one column per sample).
+	id := input.Data()
+	for s := 0; s < n; s++ {
+		for f := 0; f < d; f++ {
+			input.SetData(id, f, s, ds.Features[s][f])
+		}
+	}
+
+	start := ctx.CPU.Stats.Cycles
+	res := Result{Mode: ctx.Mode, K: k, Samples: n}
+
+	intData := internal.Data()
+	nbData := neighbors.Data()
+	dsData := distances.Data()
+
+	for q := 0; q < n; q++ {
+		// Distance of query q to every sample.
+		for s := 0; s < n; s++ {
+			sum := 0.0
+			for f := 0; f < d; f++ {
+				diff := input.AtData(id, f, q) - input.AtData(id, f, s)
+				sum += diff * diff
+				ctx.Exec(3)
+			}
+			internal.SetData(intData, s, 0, sum)
+		}
+		// Select the k nearest excluding the query itself.
+		for slot := 0; slot < k; slot++ {
+			best, bestDist := -1, math.Inf(1)
+			for s := 0; s < n; s++ {
+				skip := s == q
+				ctx.Branch(siteLoop, skip)
+				if skip {
+					continue
+				}
+				// Check the sample is not already selected.
+				taken := false
+				for prev := 0; prev < slot; prev++ {
+					if int(neighbors.AtData(nbData, prev, q)) == s {
+						taken = true
+					}
+				}
+				ctx.Branch(siteSel, taken)
+				if taken {
+					continue
+				}
+				dist := internal.AtData(intData, s, 0)
+				closer := dist < bestDist
+				ctx.Branch(siteSel, closer)
+				if closer {
+					best, bestDist = s, dist
+				}
+			}
+			neighbors.SetData(nbData, slot, q, float64(best))
+			distances.SetData(dsData, slot, q, bestDist)
+		}
+	}
+
+	// Majority vote per query (host-side tally over simulated reads).
+	for q := 0; q < n; q++ {
+		votes := make([]int, ds.Classes)
+		for slot := 0; slot < k; slot++ {
+			nb := int(neighbors.AtData(nbData, slot, q))
+			votes[ds.Labels[nb]]++
+			ctx.Exec(3)
+		}
+		bestClass, bestVotes := 0, -1
+		for cls, v := range votes {
+			if v > bestVotes {
+				bestClass, bestVotes = cls, v
+			}
+		}
+		if bestClass == ds.Labels[q] {
+			res.Correct++
+		}
+	}
+
+	res.Cycles = ctx.CPU.Stats.Cycles - start
+	res.Accuracy = float64(res.Correct) / float64(n)
+	return res
+}

@@ -1,0 +1,106 @@
+package knn
+
+import (
+	"testing"
+
+	"nvref/internal/rt"
+)
+
+func TestIrisLikeShape(t *testing.T) {
+	ds := IrisLike()
+	if len(ds.Features) != 150 || len(ds.Labels) != 150 {
+		t.Fatalf("dataset size = %d samples, %d labels", len(ds.Features), len(ds.Labels))
+	}
+	if ds.Classes != 3 {
+		t.Fatalf("classes = %d", ds.Classes)
+	}
+	counts := map[int]int{}
+	for _, l := range ds.Labels {
+		counts[l]++
+	}
+	for c := 0; c < 3; c++ {
+		if counts[c] != 50 {
+			t.Errorf("class %d has %d samples", c, counts[c])
+		}
+	}
+	// Determinism.
+	ds2 := IrisLike()
+	for i := range ds.Features {
+		for f := range ds.Features[i] {
+			if ds.Features[i][f] != ds2.Features[i][f] {
+				t.Fatal("dataset not deterministic")
+			}
+		}
+	}
+}
+
+func TestKNNAccuracy(t *testing.T) {
+	ctx := rt.MustNew(rt.Volatile)
+	res := Run(ctx, IrisLike(), 5, PaperPlacement())
+	if res.Accuracy < 0.9 {
+		t.Errorf("accuracy = %.3f; iris-like data should classify >= 0.9", res.Accuracy)
+	}
+	if res.Samples != 150 || res.K != 5 {
+		t.Errorf("result meta %+v", res)
+	}
+	if res.Cycles == 0 {
+		t.Error("no cycles measured")
+	}
+}
+
+// TestKNNSoundnessAcrossModes: identical classifications in every mode.
+func TestKNNSoundnessAcrossModes(t *testing.T) {
+	ds := IrisLike()
+	var want int
+	for i, mode := range rt.Modes {
+		ctx := rt.MustNew(mode)
+		res := Run(ctx, ds, 5, PaperPlacement())
+		if i == 0 {
+			want = res.Correct
+			continue
+		}
+		if res.Correct != want {
+			t.Errorf("%s classified %d correctly, Volatile %d", mode, res.Correct, want)
+		}
+	}
+}
+
+func TestKNNTimingShape(t *testing.T) {
+	// The case study: HW has marginal overhead; SW suffers badly.
+	ds := IrisLike()
+	cycles := map[rt.Mode]uint64{}
+	for _, mode := range rt.Modes {
+		ctx := rt.MustNew(mode)
+		cycles[mode] = Run(ctx, ds, 5, PaperPlacement()).Cycles
+	}
+	hwOver := float64(cycles[rt.HW]) / float64(cycles[rt.Volatile])
+	swOver := float64(cycles[rt.SW]) / float64(cycles[rt.Volatile])
+	if hwOver > 1.15 {
+		t.Errorf("HW overhead = %.3fx; case study reports marginal", hwOver)
+	}
+	if swOver < 1.5 {
+		t.Errorf("SW overhead = %.3fx; case study reports a large slowdown", swOver)
+	}
+}
+
+func TestAllPlacements(t *testing.T) {
+	ps := AllPlacements()
+	if len(ps) != 16 {
+		t.Fatalf("placements = %d, want 16", len(ps))
+	}
+	seen := map[Placement]bool{}
+	for _, p := range ps {
+		if seen[p] {
+			t.Fatalf("duplicate placement %+v", p)
+		}
+		seen[p] = true
+	}
+	// Every placement classifies identically (soundness over placements).
+	ds := IrisLike()
+	base := Run(rt.MustNew(rt.HW), ds, 5, ps[0]).Correct
+	for _, p := range []Placement{ps[5], ps[15]} {
+		if got := Run(rt.MustNew(rt.HW), ds, 5, p).Correct; got != base {
+			t.Errorf("placement %+v classified %d, want %d", p, got, base)
+		}
+	}
+}

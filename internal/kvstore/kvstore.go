@@ -1,0 +1,168 @@
+// Package kvstore is the measurement harness of the paper's Section VII-A:
+// a key-value store whose mapping scheme is pluggable, so each of the keyed
+// containers (Hash, RB, Splay, AVL, SG) can serve as the index, plus the
+// separate linked-list harness for the LL benchmark.
+package kvstore
+
+import (
+	"nvref/internal/rt"
+	"nvref/internal/structures"
+	"nvref/internal/ycsb"
+)
+
+// Per-operation harness overhead: request decode, key parsing, response
+// marshalling — work the real key-value store front end does outside the
+// index. It touches a small DRAM request buffer.
+const (
+	harnessInstrsPerOp = 24
+	harnessBufferSlots = 8
+)
+
+var (
+	siteHarness = rt.NewSite("kv.harness", true)
+	siteRoot    = rt.NewSite("kv.root", false)
+)
+
+// Store is a key-value store over one index.
+type Store struct {
+	ctx    *rt.Context
+	idx    structures.Index
+	buf    []uint64 // request buffer addresses (DRAM)
+	bufPtr uint64
+}
+
+// New builds a store whose mapping is provided by newIndex.
+func New(ctx *rt.Context, newIndex structures.IndexConstructor) *Store {
+	s := &Store{ctx: ctx, idx: newIndex(ctx)}
+	buf := ctx.Malloc(harnessBufferSlots * 8)
+	s.bufPtr = buf.VA()
+	return s
+}
+
+// Index exposes the underlying index.
+func (s *Store) Index() structures.Index { return s.idx }
+
+// overhead replays the front-end work of one request.
+func (s *Store) overhead() {
+	c := s.ctx
+	c.Exec(harnessInstrsPerOp)
+	// Request/response buffer traffic in DRAM.
+	c.CPU.Load(s.bufPtr)
+	c.CPU.Store(s.bufPtr + 8)
+}
+
+// Set inserts or updates a key.
+func (s *Store) Set(key, value uint64) {
+	s.overhead()
+	s.idx.Insert(key, value)
+}
+
+// Get reads a key.
+func (s *Store) Get(key uint64) (uint64, bool) {
+	s.overhead()
+	return s.idx.Lookup(key)
+}
+
+// Scanner is an index supporting ordered range reads (YCSB E).
+type Scanner interface {
+	Scan(start uint64, limit int, visit func(key, value uint64)) int
+}
+
+// Scan reads up to limit ordered pairs starting at the smallest key >=
+// start, folding the values into a checksum. It returns the pair count,
+// or -1 if the index does not support scans.
+func (s *Store) Scan(start uint64, limit int) (int, uint64) {
+	s.overhead()
+	sc, ok := s.idx.(Scanner)
+	if !ok {
+		return -1, 0
+	}
+	var sum uint64
+	n := sc.Scan(start, limit, func(k, v uint64) { sum += v })
+	return n, sum
+}
+
+// Result summarizes one workload execution.
+type Result struct {
+	Mode       rt.Mode
+	Benchmark  string
+	Ops        int
+	Gets       int
+	Sets       int
+	Scans      int
+	Misses     int // GETs that found no value (should be 0 for YCSB streams)
+	Checksum   uint64
+	Cycles     uint64
+	CyclesLoad uint64 // cycles consumed by the load phase (excluded from Cycles)
+}
+
+// RunWorkload loads the records and replays the operation stream,
+// measuring only the operation phase, as the paper's harness does.
+func (s *Store) RunWorkload(w *ycsb.Workload) Result {
+	res := Result{Mode: s.ctx.Mode, Benchmark: s.idx.Name()}
+
+	for _, kv := range w.Load {
+		s.Set(kv.Key, kv.Value)
+	}
+	res.CyclesLoad = s.ctx.CPU.Stats.Cycles
+
+	start := s.ctx.CPU.Stats.Cycles
+	for _, op := range w.Ops {
+		switch op.Type {
+		case ycsb.Get:
+			v, ok := s.Get(op.Key)
+			res.Gets++
+			if !ok {
+				res.Misses++
+			}
+			res.Checksum += v
+		case ycsb.Set:
+			s.Set(op.Key, op.Value)
+			res.Sets++
+		case ycsb.Scan:
+			n, sum := s.Scan(op.Key, op.Len)
+			res.Scans++
+			if n < 0 {
+				res.Misses++
+			}
+			res.Checksum += sum
+		}
+		res.Ops++
+	}
+	res.Cycles = s.ctx.CPU.Stats.Cycles - start
+	return res
+}
+
+// ListHarness is the separate LL benchmark: build a 10,000-node list where
+// each node has two pointers and a 16-byte value, then iterate accumulating
+// the values.
+type ListHarness struct {
+	ctx  *rt.Context
+	list *structures.List
+}
+
+// NewListHarness returns a harness over the context.
+func NewListHarness(ctx *rt.Context) *ListHarness {
+	return &ListHarness{ctx: ctx, list: structures.NewList(ctx)}
+}
+
+// List exposes the underlying list.
+func (h *ListHarness) List() *structures.List { return h.list }
+
+// Run builds nodes (from the deterministic value stream vals) and then
+// iterates the list iters times, measuring only the iteration phase.
+func (h *ListHarness) Run(vals [][2]uint64, iters int) Result {
+	res := Result{Mode: h.ctx.Mode, Benchmark: "LL"}
+	for _, v := range vals {
+		h.list.Append(v[0], v[1])
+	}
+	res.CyclesLoad = h.ctx.CPU.Stats.Cycles
+
+	start := h.ctx.CPU.Stats.Cycles
+	for i := 0; i < iters; i++ {
+		res.Checksum += h.list.Sum()
+		res.Ops++
+	}
+	res.Cycles = h.ctx.CPU.Stats.Cycles - start
+	return res
+}

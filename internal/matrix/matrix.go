@@ -1,0 +1,156 @@
+// Package matrix is an Armadillo-like dense matrix library over the
+// simulated memory system, built for the paper's Section VII-E case study.
+// As in Armadillo, a matrix is a compound object: a header holding the
+// dimensions and layout metadata plus a pointer to a separate data array.
+// Either part can live on DRAM or NVM; the header's data pointer is a
+// user-transparent persistent reference, so the same library code works
+// for every placement combination.
+package matrix
+
+import (
+	"math"
+
+	"nvref/internal/core"
+	"nvref/internal/rt"
+)
+
+// Header layout (column-major flag kept for Armadillo fidelity).
+const (
+	offRows     = 0
+	offCols     = 8
+	offColMajor = 16
+	offData     = 24
+	headerSize  = 32
+)
+
+// Sites: matrix code is library code, so its pointer loads are unresolved
+// (checked under SW); allocation-result stores are inferred.
+var (
+	siteNewHdr  = rt.NewSite("matrix.new.header", true)
+	siteLoadHdr = rt.NewSite("matrix.load.header", false)
+	siteData    = rt.NewSite("matrix.data", false)
+	siteStore   = rt.NewSite("matrix.store", false)
+)
+
+// Matrix is a dense matrix of float64 values.
+type Matrix struct {
+	ctx *rt.Context
+	hdr core.Ptr
+	// Cached geometry; the authoritative copy lives in the header object.
+	rows, cols int
+}
+
+// New allocates a rows×cols matrix. persistent selects pmalloc for both
+// the header and the data array; otherwise both are volatile. Mixed
+// placements use NewPlaced.
+func New(ctx *rt.Context, rows, cols int, persistent bool) *Matrix {
+	return NewPlaced(ctx, rows, cols, persistent, persistent)
+}
+
+// NewPlaced allocates with independent header and data placement: the 16
+// placement combinations of the case study come from four matrices with
+// two placements each.
+func NewPlaced(ctx *rt.Context, rows, cols int, persistentHdr, persistentData bool) *Matrix {
+	alloc := func(persistent bool, n uint64) core.Ptr {
+		if persistent {
+			return ctx.Pmalloc(n)
+		}
+		return ctx.Malloc(n)
+	}
+	hdr := alloc(persistentHdr, headerSize)
+	data := alloc(persistentData, uint64(rows*cols)*8)
+	ctx.StoreWord(siteNewHdr, hdr, offRows, uint64(rows))
+	ctx.StoreWord(siteNewHdr, hdr, offCols, uint64(cols))
+	ctx.StoreWord(siteNewHdr, hdr, offColMajor, 1)
+	ctx.StorePtr(siteNewHdr, hdr, offData, data)
+	return &Matrix{ctx: ctx, hdr: hdr, rows: rows, cols: cols}
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Header returns the header reference (for persistence roots).
+func (m *Matrix) Header() core.Ptr { return m.hdr }
+
+// Data loads the data-array pointer from the header, as library code does
+// once per operation before streaming over elements.
+func (m *Matrix) Data() core.Ptr {
+	return m.ctx.LoadPtr(siteLoadHdr, m.hdr, offData)
+}
+
+// LoadDims reads the dimensions from the header object.
+func (m *Matrix) LoadDims() (rows, cols int) {
+	r := m.ctx.LoadWord(siteLoadHdr, m.hdr, offRows)
+	c := m.ctx.LoadWord(siteLoadHdr, m.hdr, offCols)
+	return int(r), int(c)
+}
+
+// index computes the column-major element offset.
+func (m *Matrix) index(i, j int) int64 {
+	return int64(j*m.rows+i) * 8
+}
+
+// At reads element (i, j) through the header's data pointer.
+func (m *Matrix) At(i, j int) float64 {
+	data := m.Data()
+	m.ctx.Exec(2)
+	return math.Float64frombits(m.ctx.LoadWord(siteData, data, m.index(i, j)))
+}
+
+// Set writes element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	data := m.Data()
+	m.ctx.Exec(2)
+	m.ctx.StoreWord(siteStore, data, m.index(i, j), math.Float64bits(v))
+}
+
+// AtData reads (i, j) through an already-loaded data pointer, the pattern
+// inner loops use after hoisting the header load.
+func (m *Matrix) AtData(data core.Ptr, i, j int) float64 {
+	m.ctx.Exec(2)
+	return math.Float64frombits(m.ctx.LoadWord(siteData, data, m.index(i, j)))
+}
+
+// SetData writes (i, j) through an already-loaded data pointer.
+func (m *Matrix) SetData(data core.Ptr, i, j int, v float64) {
+	m.ctx.Exec(2)
+	m.ctx.StoreWord(siteStore, data, m.index(i, j), math.Float64bits(v))
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	data := m.Data()
+	for j := 0; j < m.cols; j++ {
+		for i := 0; i < m.rows; i++ {
+			m.SetData(data, i, j, v)
+		}
+	}
+}
+
+// Col copies column j into dst (a Go-side buffer for host-side checks).
+func (m *Matrix) Col(j int, dst []float64) {
+	data := m.Data()
+	for i := 0; i < m.rows && i < len(dst); i++ {
+		dst[i] = m.AtData(data, i, j)
+	}
+}
+
+// MulInto computes dst = a × b with the classic triple loop; all traffic
+// flows through the simulated hierarchy.
+func MulInto(dst, a, b *Matrix) {
+	ctx := dst.ctx
+	ad, bd, dd := a.Data(), b.Data(), dst.Data()
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < b.cols; j++ {
+			s := 0.0
+			for k := 0; k < a.cols; k++ {
+				s += a.AtData(ad, i, k) * b.AtData(bd, k, j)
+				ctx.Exec(2)
+			}
+			dst.SetData(dd, i, j, s)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package matrix
+
+import (
+	"testing"
+
+	"nvref/internal/rt"
+)
+
+func TestSetAtRoundTrip(t *testing.T) {
+	for _, mode := range rt.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			ctx := rt.MustNew(mode)
+			m := New(ctx, 3, 4, true)
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 4; j++ {
+					m.Set(i, j, float64(i*10+j)+0.5)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 4; j++ {
+					want := float64(i*10+j) + 0.5
+					if got := m.At(i, j); got != want {
+						t.Fatalf("At(%d,%d) = %v, want %v", i, j, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLoadDims(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	m := New(ctx, 7, 9, true)
+	r, c := m.LoadDims()
+	if r != 7 || c != 9 {
+		t.Errorf("LoadDims = %d,%d", r, c)
+	}
+	if m.Rows() != 7 || m.Cols() != 9 {
+		t.Error("cached dims wrong")
+	}
+}
+
+func TestMixedPlacement(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	// Persistent header pointing at volatile data and vice versa.
+	a := NewPlaced(ctx, 2, 2, true, false)
+	b := NewPlaced(ctx, 2, 2, false, true)
+	a.Set(1, 1, 3.25)
+	b.Set(0, 1, 1.75)
+	if a.At(1, 1) != 3.25 || b.At(0, 1) != 1.75 {
+		t.Error("mixed placement round trip failed")
+	}
+	if a.Header().IsRelative() == false && ctx.Mode == rt.Explicit {
+		t.Error("persistent header not relative in explicit mode")
+	}
+}
+
+func TestFillAndCol(t *testing.T) {
+	ctx := rt.MustNew(rt.SW)
+	m := New(ctx, 4, 2, true)
+	m.Fill(2.5)
+	buf := make([]float64, 4)
+	m.Col(1, buf)
+	for _, v := range buf {
+		if v != 2.5 {
+			t.Fatalf("Col after Fill = %v", buf)
+		}
+	}
+}
+
+func TestMulInto(t *testing.T) {
+	for _, mode := range rt.Modes {
+		ctx := rt.MustNew(mode)
+		a := New(ctx, 2, 3, true)
+		b := New(ctx, 3, 2, false)
+		c := New(ctx, 2, 2, true)
+		// a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+		vals := [][]float64{{1, 2, 3}, {4, 5, 6}}
+		for i := range vals {
+			for j := range vals[i] {
+				a.Set(i, j, vals[i][j])
+			}
+		}
+		bv := [][]float64{{7, 8}, {9, 10}, {11, 12}}
+		for i := range bv {
+			for j := range bv[i] {
+				b.Set(i, j, bv[i][j])
+			}
+		}
+		MulInto(c, a, b)
+		want := [][]float64{{58, 64}, {139, 154}}
+		for i := range want {
+			for j := range want[i] {
+				if got := c.At(i, j); got != want[i][j] {
+					t.Fatalf("%s: c[%d][%d] = %v, want %v", mode, i, j, got, want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestDataPointerRelocatable(t *testing.T) {
+	// The header's data pointer must be stored in relative form when the
+	// header is persistent, so the matrix survives pool remapping.
+	ctx := rt.MustNew(rt.HW)
+	m := New(ctx, 2, 2, true)
+	hdr := m.Header()
+	var hdrVA uint64
+	if hdr.IsRelative() {
+		var err error
+		hdrVA, err = ctx.Reg.RA2VA(hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		hdrVA = hdr.VA()
+	}
+	raw, err := ctx.AS.Load64(hdrVA + offData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw>>63 != 1 {
+		t.Errorf("data pointer stored as %#x; want relative form", raw)
+	}
+}

@@ -1,0 +1,309 @@
+// Package mem simulates a 48-bit process virtual address space of the kind
+// the paper assumes: the space is split into two equal halves, with the half
+// below bit 47 dedicated to DRAM pages and the half above dedicated to NVM
+// pages. Given a virtual address, callers can determine whether it refers to
+// NVM by checking bit 47, without any translation to physical addresses.
+//
+// The space is sparse: regions must be mapped before use, and loads or
+// stores to unmapped addresses fail with ErrUnmapped, which stands in for a
+// hardware page fault in the simulation.
+package mem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Address-space geometry constants.
+const (
+	// AddressBits is the number of meaningful bits in a virtual address.
+	AddressBits = 48
+	// AddressLimit is one past the highest valid virtual address.
+	AddressLimit = uint64(1) << AddressBits
+	// NVMBit is the bit that selects the NVM half of the address space.
+	NVMBit = uint64(1) << 47
+	// DRAMBase is the lowest DRAM virtual address. Address zero itself is
+	// kept unmapped so that a zero pointer is always an invalid (null)
+	// reference, as in a conventional process.
+	DRAMBase = uint64(0)
+	// NVMBase is the lowest NVM virtual address.
+	NVMBase = NVMBit
+	// PageSize is the granularity of the simulated backing store.
+	PageSize = uint64(4096)
+)
+
+// Errors reported by the address space.
+var (
+	ErrUnmapped   = errors.New("mem: access to unmapped virtual address")
+	ErrOutOfRange = errors.New("mem: virtual address beyond 48-bit space")
+	ErrOverlap    = errors.New("mem: mapping overlaps an existing region")
+	ErrBadRegion  = errors.New("mem: malformed region")
+	ErrNotMapped  = errors.New("mem: region is not mapped")
+)
+
+// IsNVM reports whether va lies in the NVM half of the address space.
+// This is the paper's "check bit 47" test.
+func IsNVM(va uint64) bool { return va&NVMBit != 0 }
+
+// Region describes one mapped virtual address range.
+type Region struct {
+	Base uint64
+	Size uint64
+	Name string
+}
+
+// End returns one past the last address of the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+func (r Region) contains(va uint64) bool { return va >= r.Base && va < r.End() }
+
+// AddressSpace is a sparse simulated 48-bit virtual address space.
+// The zero value is not usable; construct with New.
+type AddressSpace struct {
+	pages   map[uint64][]byte // page base -> PageSize bytes
+	regions []Region          // sorted by Base
+}
+
+// New returns an empty address space with no mappings.
+func New() *AddressSpace {
+	return &AddressSpace{pages: make(map[uint64][]byte)}
+}
+
+// Map reserves [base, base+size) and backs it with zeroed pages. Both base
+// and size must be page aligned, the range must stay within the 48-bit
+// space, and it must not overlap an existing mapping.
+func (a *AddressSpace) Map(base, size uint64, name string) error {
+	if size == 0 || base%PageSize != 0 || size%PageSize != 0 {
+		return fmt.Errorf("%w: base=%#x size=%#x", ErrBadRegion, base, size)
+	}
+	if base >= AddressLimit || base+size > AddressLimit || base+size < base {
+		return fmt.Errorf("%w: base=%#x size=%#x", ErrOutOfRange, base, size)
+	}
+	nr := Region{Base: base, Size: size, Name: name}
+	for _, r := range a.regions {
+		if nr.Base < r.End() && r.Base < nr.End() {
+			return fmt.Errorf("%w: new [%#x,%#x) existing %q [%#x,%#x)",
+				ErrOverlap, nr.Base, nr.End(), r.Name, r.Base, r.End())
+		}
+	}
+	a.regions = append(a.regions, nr)
+	sort.Slice(a.regions, func(i, j int) bool { return a.regions[i].Base < a.regions[j].Base })
+	return nil
+}
+
+// Unmap removes the region previously mapped at exactly base with exactly
+// size bytes and discards its backing pages.
+func (a *AddressSpace) Unmap(base, size uint64) error {
+	for i, r := range a.regions {
+		if r.Base == base && r.Size == size {
+			a.regions = append(a.regions[:i], a.regions[i+1:]...)
+			// Only touched pages have backing; drop those in range.
+			for p := range a.pages {
+				if p >= base && p < base+size {
+					delete(a.pages, p)
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: [%#x,%#x)", ErrNotMapped, base, base+size)
+}
+
+// Mapped reports whether va lies inside a mapped region.
+func (a *AddressSpace) Mapped(va uint64) bool {
+	_, ok := a.RegionAt(va)
+	return ok
+}
+
+// RegionAt returns the region containing va, if any.
+func (a *AddressSpace) RegionAt(va uint64) (Region, bool) {
+	i := sort.Search(len(a.regions), func(i int) bool { return a.regions[i].End() > va })
+	if i < len(a.regions) && a.regions[i].contains(va) {
+		return a.regions[i], true
+	}
+	return Region{}, false
+}
+
+// Regions returns a copy of the mapped regions, sorted by base address.
+func (a *AddressSpace) Regions() []Region {
+	out := make([]Region, len(a.regions))
+	copy(out, a.regions)
+	return out
+}
+
+// page returns the backing page for va, or nil if unmapped. Backing is
+// allocated lazily on first touch, so mapping a large region is cheap.
+func (a *AddressSpace) page(va uint64) []byte {
+	base := va &^ (PageSize - 1)
+	if p, ok := a.pages[base]; ok {
+		return p
+	}
+	if _, ok := a.RegionAt(va); !ok {
+		return nil
+	}
+	p := make([]byte, PageSize)
+	a.pages[base] = p
+	return p
+}
+
+// checkRange validates that an access of size bytes at va stays inside the
+// 48-bit space.
+func checkRange(va uint64, size uint64) error {
+	if va >= AddressLimit || va+size > AddressLimit || va+size < va {
+		return fmt.Errorf("%w: %#x", ErrOutOfRange, va)
+	}
+	return nil
+}
+
+// Load8 reads one byte at va.
+func (a *AddressSpace) Load8(va uint64) (byte, error) {
+	if va >= AddressLimit {
+		return 0, fmt.Errorf("%w: %#x", ErrOutOfRange, va)
+	}
+	p := a.page(va)
+	if p == nil {
+		return 0, fmt.Errorf("%w: %#x", ErrUnmapped, va)
+	}
+	return p[va%PageSize], nil
+}
+
+// Store8 writes one byte at va.
+func (a *AddressSpace) Store8(va uint64, v byte) error {
+	if va >= AddressLimit {
+		return fmt.Errorf("%w: %#x", ErrOutOfRange, va)
+	}
+	p := a.page(va)
+	if p == nil {
+		return fmt.Errorf("%w: %#x", ErrUnmapped, va)
+	}
+	p[va%PageSize] = v
+	return nil
+}
+
+// Load64 reads a little-endian 64-bit word at va. The access may straddle a
+// page boundary; both pages must be mapped.
+func (a *AddressSpace) Load64(va uint64) (uint64, error) {
+	if err := checkRange(va, 8); err != nil {
+		return 0, err
+	}
+	if off := va % PageSize; off <= PageSize-8 {
+		p := a.page(va)
+		if p == nil {
+			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, va)
+		}
+		return binary.LittleEndian.Uint64(p[off : off+8]), nil
+	}
+	var buf [8]byte
+	if err := a.ReadBytes(va, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// Store64 writes a little-endian 64-bit word at va.
+func (a *AddressSpace) Store64(va uint64, v uint64) error {
+	if err := checkRange(va, 8); err != nil {
+		return err
+	}
+	if off := va % PageSize; off <= PageSize-8 {
+		p := a.page(va)
+		if p == nil {
+			return fmt.Errorf("%w: %#x", ErrUnmapped, va)
+		}
+		binary.LittleEndian.PutUint64(p[off:off+8], v)
+		return nil
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return a.WriteBytes(va, buf[:])
+}
+
+// Load32 reads a little-endian 32-bit word at va.
+func (a *AddressSpace) Load32(va uint64) (uint32, error) {
+	if err := checkRange(va, 4); err != nil {
+		return 0, err
+	}
+	var buf [4]byte
+	if off := va % PageSize; off <= PageSize-4 {
+		p := a.page(va)
+		if p == nil {
+			return 0, fmt.Errorf("%w: %#x", ErrUnmapped, va)
+		}
+		return binary.LittleEndian.Uint32(p[off : off+4]), nil
+	}
+	if err := a.ReadBytes(va, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+// Store32 writes a little-endian 32-bit word at va.
+func (a *AddressSpace) Store32(va uint64, v uint32) error {
+	if err := checkRange(va, 4); err != nil {
+		return err
+	}
+	if off := va % PageSize; off <= PageSize-4 {
+		p := a.page(va)
+		if p == nil {
+			return fmt.Errorf("%w: %#x", ErrUnmapped, va)
+		}
+		binary.LittleEndian.PutUint32(p[off:off+4], v)
+		return nil
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return a.WriteBytes(va, buf[:])
+}
+
+// ReadBytes fills dst from memory starting at va.
+func (a *AddressSpace) ReadBytes(va uint64, dst []byte) error {
+	if err := checkRange(va, uint64(len(dst))); err != nil {
+		return err
+	}
+	for n := 0; n < len(dst); {
+		p := a.page(va)
+		if p == nil {
+			return fmt.Errorf("%w: %#x", ErrUnmapped, va)
+		}
+		off := va % PageSize
+		c := copy(dst[n:], p[off:])
+		n += c
+		va += uint64(c)
+	}
+	return nil
+}
+
+// WriteBytes copies src into memory starting at va.
+func (a *AddressSpace) WriteBytes(va uint64, src []byte) error {
+	if err := checkRange(va, uint64(len(src))); err != nil {
+		return err
+	}
+	for n := 0; n < len(src); {
+		p := a.page(va)
+		if p == nil {
+			return fmt.Errorf("%w: %#x", ErrUnmapped, va)
+		}
+		off := va % PageSize
+		c := copy(p[off:], src[n:])
+		n += c
+		va += uint64(c)
+	}
+	return nil
+}
+
+// Snapshot copies out [base, base+size) as a byte slice. Used by the pool
+// layer to persist pool contents.
+func (a *AddressSpace) Snapshot(base, size uint64) ([]byte, error) {
+	out := make([]byte, size)
+	if err := a.ReadBytes(base, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Restore writes data back into memory at base. The region must be mapped.
+func (a *AddressSpace) Restore(base uint64, data []byte) error {
+	return a.WriteBytes(base, data)
+}

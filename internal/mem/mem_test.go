@@ -1,0 +1,266 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsNVM(t *testing.T) {
+	cases := []struct {
+		va   uint64
+		want bool
+	}{
+		{0, false},
+		{0x1000, false},
+		{NVMBit - 1, false},
+		{NVMBit, true},
+		{NVMBit | 0xdeadbeef, true},
+		{AddressLimit - 1, true},
+	}
+	for _, c := range cases {
+		if got := IsNVM(c.va); got != c.want {
+			t.Errorf("IsNVM(%#x) = %v, want %v", c.va, got, c.want)
+		}
+	}
+}
+
+func TestMapAndAccess(t *testing.T) {
+	a := New()
+	if err := a.Map(0x10000, 2*PageSize, "heap"); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if err := a.Store64(0x10008, 0xfeedface); err != nil {
+		t.Fatalf("Store64: %v", err)
+	}
+	v, err := a.Load64(0x10008)
+	if err != nil {
+		t.Fatalf("Load64: %v", err)
+	}
+	if v != 0xfeedface {
+		t.Errorf("Load64 = %#x, want 0xfeedface", v)
+	}
+}
+
+func TestUnmappedAccessFails(t *testing.T) {
+	a := New()
+	if _, err := a.Load64(0x1000); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("Load64 unmapped: err = %v, want ErrUnmapped", err)
+	}
+	if err := a.Store8(0x1000, 1); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("Store8 unmapped: err = %v, want ErrUnmapped", err)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	a := New()
+	if _, err := a.Load64(AddressLimit); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Load64 out of range: err = %v, want ErrOutOfRange", err)
+	}
+	if err := a.Map(AddressLimit-PageSize, 2*PageSize, "x"); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Map past limit: err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	a := New()
+	if err := a.Map(0x10000, 4*PageSize, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Map(0x10000+2*PageSize, 4*PageSize, "b"); !errors.Is(err, ErrOverlap) {
+		t.Errorf("overlapping Map: err = %v, want ErrOverlap", err)
+	}
+	// Adjacent mapping is fine.
+	if err := a.Map(0x10000+4*PageSize, PageSize, "c"); err != nil {
+		t.Errorf("adjacent Map: %v", err)
+	}
+}
+
+func TestBadRegion(t *testing.T) {
+	a := New()
+	if err := a.Map(0x10001, PageSize, "x"); !errors.Is(err, ErrBadRegion) {
+		t.Errorf("unaligned base: err = %v, want ErrBadRegion", err)
+	}
+	if err := a.Map(0x10000, 100, "x"); !errors.Is(err, ErrBadRegion) {
+		t.Errorf("unaligned size: err = %v, want ErrBadRegion", err)
+	}
+	if err := a.Map(0x10000, 0, "x"); !errors.Is(err, ErrBadRegion) {
+		t.Errorf("zero size: err = %v, want ErrBadRegion", err)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	a := New()
+	if err := a.Map(0x10000, PageSize, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Unmap(0x10000, PageSize); err != nil {
+		t.Fatalf("Unmap: %v", err)
+	}
+	if _, err := a.Load8(0x10000); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("access after Unmap: err = %v, want ErrUnmapped", err)
+	}
+	if err := a.Unmap(0x10000, PageSize); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("double Unmap: err = %v, want ErrNotMapped", err)
+	}
+	// Region can be remapped after unmapping.
+	if err := a.Map(0x10000, PageSize, "x2"); err != nil {
+		t.Errorf("remap after Unmap: %v", err)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	a := New()
+	if err := a.Map(0x10000, 2*PageSize, "x"); err != nil {
+		t.Fatal(err)
+	}
+	va := 0x10000 + PageSize - 4 // straddles the page boundary
+	if err := a.Store64(va, 0x1122334455667788); err != nil {
+		t.Fatalf("Store64 straddling: %v", err)
+	}
+	v, err := a.Load64(va)
+	if err != nil {
+		t.Fatalf("Load64 straddling: %v", err)
+	}
+	if v != 0x1122334455667788 {
+		t.Errorf("straddling Load64 = %#x", v)
+	}
+}
+
+func TestRegionAt(t *testing.T) {
+	a := New()
+	if err := a.Map(0x10000, PageSize, "lo"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Map(NVMBase, 2*PageSize, "hi"); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := a.RegionAt(NVMBase + 100)
+	if !ok || r.Name != "hi" {
+		t.Errorf("RegionAt(NVM) = %+v, %v; want hi", r, ok)
+	}
+	if _, ok := a.RegionAt(0x9000); ok {
+		t.Error("RegionAt(unmapped) reported a region")
+	}
+	if got := len(a.Regions()); got != 2 {
+		t.Errorf("len(Regions) = %d, want 2", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	a := New()
+	if err := a.Map(NVMBase, 2*PageSize, "pool"); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 16; i++ {
+		if err := a.Store64(NVMBase+i*8, i*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := a.Snapshot(NVMBase, 2*PageSize)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// Wipe and restore at a different base, simulating remap in a new run.
+	b := New()
+	newBase := NVMBase + 0x100000
+	if err := b.Map(newBase, 2*PageSize, "pool"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(newBase, snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i := uint64(0); i < 16; i++ {
+		v, err := b.Load64(newBase + i*8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i*i {
+			t.Errorf("restored word %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestStore32Load32(t *testing.T) {
+	a := New()
+	if err := a.Map(0x10000, PageSize, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store32(0x10004, 0xcafebabe); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.Load32(0x10004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xcafebabe {
+		t.Errorf("Load32 = %#x", v)
+	}
+}
+
+// Property: a Store64 followed by Load64 at any mapped offset round-trips.
+func TestQuickStoreLoadRoundTrip(t *testing.T) {
+	a := New()
+	const size = 16 * PageSize
+	if err := a.Map(0x100000, size, "q"); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint32, v uint64) bool {
+		va := 0x100000 + uint64(off)%(size-8)
+		if err := a.Store64(va, v); err != nil {
+			return false
+		}
+		got, err := a.Load64(va)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: writes to one region never disturb a disjoint region.
+func TestQuickRegionIsolation(t *testing.T) {
+	a := New()
+	if err := a.Map(0x100000, PageSize, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Map(NVMBase, PageSize, "b"); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := uint64(0x5a5a5a5a5a5a5a5a)
+	if err := a.Store64(NVMBase, sentinel); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, v uint64) bool {
+		va := 0x100000 + uint64(off)%(PageSize-8)
+		if err := a.Store64(va, v); err != nil {
+			return false
+		}
+		got, err := a.Load64(NVMBase)
+		return err == nil && got == sentinel
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappedAndRegionsViews(t *testing.T) {
+	a := New()
+	if a.Mapped(0x10000) {
+		t.Error("Mapped true on empty space")
+	}
+	if err := a.Map(0x10000, 2*PageSize, "r"); err != nil {
+		t.Fatal(err)
+	}
+	// Mapped must be true even before the first touch (lazy backing).
+	if !a.Mapped(0x10000 + PageSize + 5) {
+		t.Error("Mapped false inside a mapped region")
+	}
+	if a.Mapped(0x10000 + 2*PageSize) {
+		t.Error("Mapped true past the region")
+	}
+	rs := a.Regions()
+	if len(rs) != 1 || rs[0].Name != "r" || rs[0].End() != 0x10000+2*PageSize {
+		t.Errorf("Regions = %+v", rs)
+	}
+}

@@ -1,0 +1,260 @@
+package minc
+
+// Prop is the inferred persistence property of a pointer-valued
+// expression: the lattice of the paper's compiler pass.
+type Prop int
+
+// Property lattice values.
+const (
+	PropNone    Prop = iota // not a pointer / not yet visited
+	PropVA                  // statically known to hold a virtual address
+	PropRA                  // statically known to hold a relative address
+	PropUnknown             // could be either; dynamic check required
+)
+
+func (p Prop) String() string {
+	switch p {
+	case PropNone:
+		return "none"
+	case PropVA:
+		return "VA"
+	case PropRA:
+		return "RA"
+	case PropUnknown:
+		return "unknown"
+	}
+	return "?"
+}
+
+// merge joins two lattice values.
+func (p Prop) merge(q Prop) Prop {
+	if p == PropNone {
+		return q
+	}
+	if q == PropNone {
+		return p
+	}
+	if p == q {
+		return p
+	}
+	return PropUnknown
+}
+
+// Expr is a typed expression node. Every node carries the inference
+// results: its own pointer property and whether each runtime check the
+// node implies was eliminated.
+type Expr interface {
+	exprBase() *ExprInfo
+}
+
+// ExprInfo is the shared expression payload.
+type ExprInfo struct {
+	ID   int
+	Line int
+	Ty   *Type
+	// Prop is the inferred property of this expression's pointer value.
+	Prop Prop
+	// NeedsCheck is set by the inference pass on expressions that must
+	// dynamically dispatch on a pointer's format under the SW model.
+	NeedsCheck bool
+}
+
+func (i *ExprInfo) exprBase() *ExprInfo { return i }
+
+// Expression nodes.
+type (
+	// NumLit is an integer literal.
+	NumLit struct {
+		ExprInfo
+		V int64
+	}
+	// NullLit is the NULL constant.
+	NullLit struct{ ExprInfo }
+	// VarRef references a local, parameter, or global by name — or, when
+	// IsFunc is set, names a function whose value is its text address.
+	VarRef struct {
+		ExprInfo
+		Name   string
+		Sym    *Symbol
+		IsFunc bool
+	}
+	// Unary is -x, !x, ~x, *x, &x, ++x, --x.
+	Unary struct {
+		ExprInfo
+		Op string
+		X  Expr
+	}
+	// PostIncDec is x++ or x--.
+	PostIncDec struct {
+		ExprInfo
+		Op string
+		X  Expr
+	}
+	// Binary is x op y for arithmetic, relational, logical operators.
+	Binary struct {
+		ExprInfo
+		Op   string
+		X, Y Expr
+	}
+	// Assign is lhs op rhs, where op is =, +=, -= etc.
+	Assign struct {
+		ExprInfo
+		Op       string
+		LHS, RHS Expr
+	}
+	// Cond is c ? t : f.
+	Cond struct {
+		ExprInfo
+		C, T, F Expr
+	}
+	// Call invokes a named function or builtin — or, when Sym is set, an
+	// indirect call through a function-pointer variable (the pxv/pxr
+	// (argument list) rows of Figure 4).
+	Call struct {
+		ExprInfo
+		Name string
+		Args []Expr
+		Sym  *Symbol
+	}
+	// Index is x[i].
+	Index struct {
+		ExprInfo
+		X, I Expr
+	}
+	// Member is x.f or x->f.
+	Member struct {
+		ExprInfo
+		X     Expr
+		Name  string
+		Arrow bool
+		Field Field
+	}
+	// Cast is (T)x.
+	Cast struct {
+		ExprInfo
+		To *Type
+		X  Expr
+	}
+	// SizeofType is sizeof(T) or sizeof expr.
+	SizeofType struct {
+		ExprInfo
+		T  *Type
+		Of Expr
+	}
+)
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Statement nodes.
+type (
+	// DeclStmt declares a local variable with an optional initializer.
+	DeclStmt struct {
+		Name string
+		Ty   *Type
+		Init Expr
+		Sym  *Symbol
+	}
+	// ExprStmt evaluates an expression for effect.
+	ExprStmt struct{ E Expr }
+	// IfStmt is the conditional statement.
+	IfStmt struct {
+		Cond       Expr
+		Then, Else Stmt
+	}
+	// WhileStmt is the while loop.
+	WhileStmt struct {
+		Cond Expr
+		Body Stmt
+	}
+	// DoWhileStmt is the do-while loop.
+	DoWhileStmt struct {
+		Body Stmt
+		Cond Expr
+	}
+	// ForStmt is the for loop.
+	ForStmt struct {
+		Init Stmt
+		Cond Expr
+		Post Expr
+		Body Stmt
+	}
+	// ReturnStmt returns from the current function.
+	ReturnStmt struct{ E Expr }
+	// Block is a brace-delimited statement list with its own scope.
+	Block struct{ Stmts []Stmt }
+	// SwitchStmt dispatches on an integer expression. Cases hold constant
+	// values; execution falls through case boundaries until a break, as
+	// in C.
+	SwitchStmt struct {
+		Cond Expr
+		// Cases in source order; a case with Default true matches when
+		// nothing else does.
+		Cases []SwitchCase
+	}
+	// BreakStmt exits the innermost loop or switch.
+	BreakStmt struct{}
+	// ContinueStmt restarts the innermost loop.
+	ContinueStmt struct{}
+)
+
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*Block) stmtNode()        {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Symbol is a resolved variable: a parameter, local, or global. Locals and
+// parameters live in the simulated stack frame; globals in a data segment.
+type Symbol struct {
+	Name   string
+	Ty     *Type
+	Global bool
+	// Offset is the byte offset within the frame (locals) or the data
+	// segment (globals).
+	Offset int64
+	// Prop is the inferred property of the pointer the variable holds.
+	Prop Prop
+}
+
+// SwitchCase is one case (or default) arm of a switch.
+type SwitchCase struct {
+	Vals    []int64 // constant labels; empty for default
+	Default bool
+	Body    []Stmt
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Ty   *Type
+}
+
+// Func is one function definition.
+type Func struct {
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *Block
+
+	// Symbols in frame order; FrameSize is the stack space needed.
+	Locals    []*Symbol
+	FrameSize int64
+}
+
+// Program is a parsed and checked compilation unit.
+type Program struct {
+	Structs map[string]*Type
+	Funcs   map[string]*Func
+	Globals []*Symbol
+	// GlobalSize is the data-segment size.
+	GlobalSize int64
+	// exprCount is the number of expression nodes (site IDs).
+	exprCount int
+}

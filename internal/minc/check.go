@@ -1,0 +1,472 @@
+package minc
+
+import "fmt"
+
+// CheckError reports a semantic problem.
+type CheckError struct {
+	Line int
+	Msg  string
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("minc: check error at line %d: %s", e.Line, e.Msg)
+}
+
+// Builtin signatures. pmalloc returns a relative address per its
+// definition; malloc returns a virtual (DRAM) address — the anchors of the
+// inference pass.
+var builtins = map[string]*Type{
+	"malloc":  {Kind: TypeFunc, Ret: PtrTo(VoidType), Params: []*Type{IntType}},
+	"free":    {Kind: TypeFunc, Ret: VoidType, Params: []*Type{PtrTo(VoidType)}},
+	"pmalloc": {Kind: TypeFunc, Ret: PtrTo(VoidType), Params: []*Type{IntType}},
+	"pfree":   {Kind: TypeFunc, Ret: VoidType, Params: []*Type{PtrTo(VoidType)}},
+	"print":   {Kind: TypeFunc, Ret: VoidType, Params: []*Type{IntType}},
+}
+
+type checker struct {
+	prog   *Program
+	fn     *Func
+	scopes []map[string]*Symbol
+}
+
+// Check resolves names, lays out frames, and types every expression.
+func Check(prog *Program) error {
+	c := &checker{prog: prog}
+
+	// Lay out the global data segment.
+	off := int64(0)
+	globals := map[string]*Symbol{}
+	for _, g := range prog.Globals {
+		if g.Ty.Size() == 0 {
+			return &CheckError{0, fmt.Sprintf("global %q has incomplete type %s", g.Name, g.Ty)}
+		}
+		if _, dup := globals[g.Name]; dup {
+			return &CheckError{0, "duplicate global " + g.Name}
+		}
+		g.Offset = off
+		off += g.Ty.Size()
+		globals[g.Name] = g
+	}
+	prog.GlobalSize = off
+
+	for _, fn := range prog.Funcs {
+		c.fn = fn
+		c.scopes = []map[string]*Symbol{globals, {}}
+		frame := int64(0)
+		for _, prm := range fn.Params {
+			sym := &Symbol{Name: prm.Name, Ty: prm.Ty, Offset: frame}
+			frame += 8
+			fn.Locals = append(fn.Locals, sym)
+			c.scopes[1][prm.Name] = sym
+		}
+		if err := c.checkBlock(fn.Body, &frame); err != nil {
+			return err
+		}
+		fn.FrameSize = frame
+	}
+
+	if _, ok := prog.Funcs["main"]; !ok {
+		return &CheckError{0, "program has no main function"}
+	}
+	return nil
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkBlock(b *Block, frame *int64) error {
+	c.scopes = append(c.scopes, map[string]*Symbol{})
+	defer func() { c.scopes = c.scopes[:len(c.scopes)-1] }()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s, frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt, frame *int64) error {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Ty.Size() == 0 && st.Ty.Kind != TypeVoid {
+			return &CheckError{0, fmt.Sprintf("variable %q has incomplete type", st.Name)}
+		}
+		if st.Ty.Kind == TypeVoid {
+			return &CheckError{0, fmt.Sprintf("variable %q has void type", st.Name)}
+		}
+		sym := &Symbol{Name: st.Name, Ty: st.Ty, Offset: *frame}
+		*frame += st.Ty.Size()
+		st.Sym = sym
+		c.fn.Locals = append(c.fn.Locals, sym)
+		if st.Init != nil {
+			if st.Ty.IsArray() {
+				return &CheckError{0, fmt.Sprintf("array %q cannot have an initializer", st.Name)}
+			}
+			ity, err := c.checkExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if !compatible(st.Ty, ity) {
+				return &CheckError{0, fmt.Sprintf("cannot initialize %s with %s", st.Ty, ity)}
+			}
+		}
+		c.scopes[len(c.scopes)-1][st.Name] = sym
+		return nil
+
+	case *ExprStmt:
+		_, err := c.checkExpr(st.E)
+		return err
+
+	case *IfStmt:
+		if _, err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmt(st.Then, frame); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else, frame)
+		}
+		return nil
+
+	case *WhileStmt:
+		if _, err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		return c.checkStmt(st.Body, frame)
+
+	case *DoWhileStmt:
+		if err := c.checkStmt(st.Body, frame); err != nil {
+			return err
+		}
+		_, err := c.checkExpr(st.Cond)
+		return err
+
+	case *ForStmt:
+		c.scopes = append(c.scopes, map[string]*Symbol{})
+		defer func() { c.scopes = c.scopes[:len(c.scopes)-1] }()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init, frame); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if _, err := c.checkExpr(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if _, err := c.checkExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		return c.checkStmt(st.Body, frame)
+
+	case *ReturnStmt:
+		if st.E != nil {
+			ty, err := c.checkExpr(st.E)
+			if err != nil {
+				return err
+			}
+			if c.fn.Ret.Kind == TypeVoid {
+				return &CheckError{0, "return with value in void function " + c.fn.Name}
+			}
+			if !compatible(c.fn.Ret, ty) {
+				return &CheckError{0, fmt.Sprintf("cannot return %s from %s()", ty, c.fn.Name)}
+			}
+		}
+		return nil
+
+	case *Block:
+		return c.checkBlock(st, frame)
+
+	case *SwitchStmt:
+		ct, err := c.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if !ct.IsInteger() {
+			return &CheckError{0, "switch condition must be an integer"}
+		}
+		seen := map[int64]bool{}
+		defaults := 0
+		for _, cs := range st.Cases {
+			if cs.Default {
+				defaults++
+				if defaults > 1 {
+					return &CheckError{0, "multiple default labels in switch"}
+				}
+			}
+			for _, v := range cs.Vals {
+				if seen[v] {
+					return &CheckError{0, fmt.Sprintf("duplicate case label %d", v)}
+				}
+				seen[v] = true
+			}
+			for _, inner := range cs.Body {
+				if err := c.checkStmt(inner, frame); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+
+	case *BreakStmt, *ContinueStmt:
+		return nil
+	}
+	return &CheckError{0, fmt.Sprintf("unknown statement %T", s)}
+}
+
+func (c *checker) checkExpr(e Expr) (*Type, error) {
+	info := e.exprBase()
+	switch ex := e.(type) {
+	case *NumLit:
+		info.Ty = IntType
+
+	case *NullLit:
+		info.Ty = PtrTo(VoidType)
+
+	case *VarRef:
+		sym := c.lookup(ex.Name)
+		if sym == nil {
+			// A bare function name evaluates to its address.
+			if fn, ok := c.prog.Funcs[ex.Name]; ok {
+				ex.IsFunc = true
+				var params []*Type
+				for _, prm := range fn.Params {
+					params = append(params, prm.Ty)
+				}
+				info.Ty = PtrTo(FuncType(fn.Ret, params))
+				break
+			}
+			return nil, &CheckError{info.Line, "undefined variable " + ex.Name}
+		}
+		ex.Sym = sym
+		info.Ty = sym.Ty
+
+	case *Unary:
+		xt, err := c.checkExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case "*":
+			xt = xt.Decayed()
+			if !xt.IsPtr() {
+				return nil, &CheckError{info.Line, "dereference of non-pointer " + xt.String()}
+			}
+			if xt.Elem.Kind == TypeVoid {
+				return nil, &CheckError{info.Line, "dereference of void*"}
+			}
+			info.Ty = xt.Elem
+		case "&":
+			if !isLValue(ex.X) {
+				return nil, &CheckError{info.Line, "address of non-lvalue"}
+			}
+			info.Ty = PtrTo(xt)
+		case "-", "~":
+			if !xt.IsInteger() {
+				return nil, &CheckError{info.Line, ex.Op + " on non-integer"}
+			}
+			info.Ty = IntType
+		case "!":
+			info.Ty = IntType
+		case "++", "--":
+			if !isLValue(ex.X) {
+				return nil, &CheckError{info.Line, ex.Op + " on non-lvalue"}
+			}
+			info.Ty = xt
+		}
+
+	case *PostIncDec:
+		xt, err := c.checkExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		if !isLValue(ex.X) {
+			return nil, &CheckError{info.Line, ex.Op + " on non-lvalue"}
+		}
+		info.Ty = xt
+
+	case *Binary:
+		xt, err := c.checkExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		yt, err := c.checkExpr(ex.Y)
+		if err != nil {
+			return nil, err
+		}
+		xt, yt = xt.Decayed(), yt.Decayed()
+		switch ex.Op {
+		case "+":
+			switch {
+			case xt.IsPtr() && yt.IsInteger():
+				info.Ty = xt
+			case xt.IsInteger() && yt.IsPtr():
+				info.Ty = yt
+			case xt.IsInteger() && yt.IsInteger():
+				info.Ty = IntType
+			default:
+				return nil, &CheckError{info.Line, fmt.Sprintf("invalid operands %s + %s", xt, yt)}
+			}
+		case "-":
+			switch {
+			case xt.IsPtr() && yt.IsPtr():
+				info.Ty = IntType
+			case xt.IsPtr() && yt.IsInteger():
+				info.Ty = xt
+			case xt.IsInteger() && yt.IsInteger():
+				info.Ty = IntType
+			default:
+				return nil, &CheckError{info.Line, fmt.Sprintf("invalid operands %s - %s", xt, yt)}
+			}
+		case "==", "!=", "<", ">", "<=", ">=", "&&", "||":
+			info.Ty = IntType
+		default: // arithmetic/bitwise on integers
+			if !xt.IsInteger() || !yt.IsInteger() {
+				return nil, &CheckError{info.Line, fmt.Sprintf("invalid operands %s %s %s", xt, ex.Op, yt)}
+			}
+			info.Ty = IntType
+		}
+
+	case *Assign:
+		lt, err := c.checkExpr(ex.LHS)
+		if err != nil {
+			return nil, err
+		}
+		if !isLValue(ex.LHS) {
+			return nil, &CheckError{info.Line, "assignment to non-lvalue"}
+		}
+		if lt.IsArray() {
+			return nil, &CheckError{info.Line, "cannot assign to an array"}
+		}
+		rt, err := c.checkExpr(ex.RHS)
+		if err != nil {
+			return nil, err
+		}
+		if ex.Op == "=" && !compatible(lt, rt) {
+			return nil, &CheckError{info.Line, fmt.Sprintf("cannot assign %s to %s", rt, lt)}
+		}
+		info.Ty = lt
+
+	case *Cond:
+		if _, err := c.checkExpr(ex.C); err != nil {
+			return nil, err
+		}
+		tt, err := c.checkExpr(ex.T)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.checkExpr(ex.F); err != nil {
+			return nil, err
+		}
+		info.Ty = tt
+
+	case *Call:
+		var sig *Type
+		if sym := c.lookup(ex.Name); sym != nil && sym.Ty.IsFuncPtr() {
+			// Indirect call through a function-pointer variable.
+			ex.Sym = sym
+			sig = sym.Ty.Elem
+		} else if b, ok := builtins[ex.Name]; ok {
+			sig = b
+		} else if fn, ok := c.prog.Funcs[ex.Name]; ok {
+			sig = &Type{Kind: TypeFunc, Ret: fn.Ret}
+			for _, prm := range fn.Params {
+				sig.Params = append(sig.Params, prm.Ty)
+			}
+		} else {
+			return nil, &CheckError{info.Line, "call to undefined function " + ex.Name}
+		}
+		if len(ex.Args) != len(sig.Params) {
+			return nil, &CheckError{info.Line, fmt.Sprintf("%s expects %d arguments, got %d", ex.Name, len(sig.Params), len(ex.Args))}
+		}
+		for i, a := range ex.Args {
+			at, err := c.checkExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			if !compatible(sig.Params[i], at) {
+				return nil, &CheckError{info.Line, fmt.Sprintf("argument %d of %s: cannot pass %s as %s", i+1, ex.Name, at, sig.Params[i])}
+			}
+		}
+		info.Ty = sig.Ret
+
+	case *Index:
+		xt, err := c.checkExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.checkExpr(ex.I); err != nil {
+			return nil, err
+		}
+		if !xt.IsPtr() && !xt.IsArray() {
+			return nil, &CheckError{info.Line, "index of non-pointer " + xt.String()}
+		}
+		info.Ty = xt.Elem
+
+	case *Member:
+		xt, err := c.checkExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		base := xt
+		if ex.Arrow {
+			if !xt.IsPtr() {
+				return nil, &CheckError{info.Line, "-> on non-pointer"}
+			}
+			base = xt.Elem
+		}
+		if base.Kind != TypeStruct {
+			return nil, &CheckError{info.Line, "member access on non-struct " + base.String()}
+		}
+		f, ok := base.Field(ex.Name)
+		if !ok {
+			return nil, &CheckError{info.Line, fmt.Sprintf("struct %s has no field %q", base.StructName, ex.Name)}
+		}
+		ex.Field = f
+		info.Ty = f.Type
+
+	case *Cast:
+		if _, err := c.checkExpr(ex.X); err != nil {
+			return nil, err
+		}
+		info.Ty = ex.To
+
+	case *SizeofType:
+		if ex.Of != nil {
+			t, err := c.checkExpr(ex.Of)
+			if err != nil {
+				return nil, err
+			}
+			ex.T = t
+		}
+		info.Ty = IntType
+
+	default:
+		return nil, &CheckError{info.Line, fmt.Sprintf("unknown expression %T", e)}
+	}
+	return info.Ty, nil
+}
+
+// isLValue reports whether e designates a storage location.
+func isLValue(e Expr) bool {
+	switch ex := e.(type) {
+	case *VarRef:
+		return true
+	case *Unary:
+		return ex.Op == "*"
+	case *Index:
+		return true
+	case *Member:
+		return true
+	}
+	return false
+}

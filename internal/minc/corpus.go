@@ -1,0 +1,775 @@
+package minc
+
+// The soundness corpus: the reproduction of the paper's Section VII-B
+// methodology. OperationTests covers every row of the Figure 4 semantic
+// table with persistent (pmalloc) and volatile (malloc/stack) operands;
+// RegressionTests are small complete programs in the style of the
+// gcc-torture suite the paper ran. Every program must produce identical
+// output under the Volatile, Explicit, SW, and HW models.
+
+// CorpusProgram is one soundness test.
+type CorpusProgram struct {
+	Name   string
+	Source string
+	// Expect is the required print output; nil means cross-mode agreement
+	// is the only requirement.
+	Expect []int64
+}
+
+// OperationTests exercises each pointer-operation row of Figure 4.
+var OperationTests = []CorpusProgram{
+	{
+		Name: "cast-ptr-to-ptr",
+		Source: `
+int main() {
+    long* p = (long*)pmalloc(8);
+    *p = 77;
+    char* q = (char*)p;      // (T*)p keeps the value
+    long* r = (long*)q;
+    print(*r);
+    return 0;
+}`,
+		Expect: []int64{77},
+	},
+	{
+		Name: "cast-int-to-ptr-roundtrip",
+		Source: `
+int main() {
+    long* p = (long*)pmalloc(8);
+    *p = 5;
+    long a = (long)p;        // (I)pxr: yields the virtual address
+    long* q = (long*)a;      // (T*)i: reinterpret back
+    print(*q);
+    return 0;
+}`,
+		Expect: []int64{5},
+	},
+	{
+		Name: "cast-int-of-volatile-ptr",
+		Source: `
+int main() {
+    long* p = (long*)malloc(8);
+    *p = 9;
+    long a = (long)p;
+    long* q = (long*)a;
+    print(*q);
+    return 0;
+}`,
+		Expect: []int64{9},
+	},
+	{
+		Name: "deref-both-kinds",
+		Source: `
+int main() {
+    long* v = (long*)malloc(8);
+    long* n = (long*)pmalloc(8);
+    *v = 1; *n = 2;          // *pxv and *pxr stores
+    print(*v + *n);
+    return 0;
+}`,
+		Expect: []int64{3},
+	},
+	{
+		Name: "address-of-local",
+		Source: `
+int main() {
+    long x = 40;
+    long* p = &x;            // &p: stack address (virtual)
+    *p = *p + 2;
+    print(x);
+    return 0;
+}`,
+		Expect: []int64{42},
+	},
+	{
+		Name: "address-of-field",
+		Source: `
+struct Pair { long a; long b; };
+int main() {
+    struct Pair* p = (struct Pair*)pmalloc(sizeof(struct Pair));
+    p->a = 10; p->b = 20;
+    long* pb = &p->b;        // member address keeps the base's form
+    print(*pb);
+    return 0;
+}`,
+		Expect: []int64{20},
+	},
+	{
+		Name: "sizeof-and-alignment",
+		Source: `
+struct Node { long v; struct Node* next; };
+int main() {
+    print(sizeof(long));
+    print(sizeof(struct Node));
+    print(sizeof(struct Node*));
+    long x = 3;
+    print(sizeof x);
+    return 0;
+}`,
+		Expect: []int64{8, 16, 8, 8},
+	},
+	{
+		Name: "assignment-pny-pxv",
+		Source: `
+struct Box { long* slot; };
+int main() {
+    struct Box* b = (struct Box*)pmalloc(sizeof(struct Box));
+    long* v = (long*)pmalloc(8);
+    *v = 88;
+    b->slot = v;             // store into NVM: becomes relative
+    print(*(b->slot));
+    return 0;
+}`,
+		Expect: []int64{88},
+	},
+	{
+		Name: "assignment-pdy-pxr",
+		Source: `
+struct Box { long* slot; };
+int main() {
+    struct Box* b = (struct Box*)pmalloc(sizeof(struct Box));
+    long* v = (long*)pmalloc(8);
+    *v = 31;
+    b->slot = v;
+    long* local = b->slot;   // load into DRAM local: virtual form
+    print(*local);
+    return 0;
+}`,
+		Expect: []int64{31},
+	},
+	{
+		Name: "assignment-volatile-into-nvm",
+		Source: `
+struct Box { long* slot; };
+int main() {
+    struct Box* b = (struct Box*)pmalloc(sizeof(struct Box));
+    long* v = (long*)malloc(8);
+    *v = 64;
+    b->slot = v;             // volatile pointer stored in NVM
+    print(*(b->slot));
+    return 0;
+}`,
+		Expect: []int64{64},
+	},
+	{
+		Name: "assignment-null",
+		Source: `
+struct Box { long* slot; };
+int main() {
+    struct Box* b = (struct Box*)pmalloc(sizeof(struct Box));
+    b->slot = NULL;
+    if (b->slot == NULL) print(1); else print(0);
+    return 0;
+}`,
+		Expect: []int64{1},
+	},
+	{
+		Name: "pointer-plus-minus-int",
+		Source: `
+int main() {
+    long* a = (long*)pmalloc(80);
+    int i = 0;
+    while (i < 10) { a[i] = i * i; i = i + 1; }
+    long* p = a + 7;         // pxy + i keeps representation
+    print(*p);
+    p = p - 3;               // pxy - i
+    print(*p);
+    p += 2;                  // pxy += i
+    print(*p);
+    p -= 6;                  // pxy -= i
+    print(*p);
+    return 0;
+}`,
+		Expect: []int64{49, 16, 36, 0},
+	},
+	{
+		Name: "int-plus-pointer",
+		Source: `
+int main() {
+    long* a = (long*)pmalloc(40);
+    a[0] = 1; a[1] = 2; a[2] = 3;
+    long* p = 2 + a;         // i + pxy
+    print(*p);
+    return 0;
+}`,
+		Expect: []int64{3},
+	},
+	{
+		Name: "pointer-difference-same-pool",
+		Source: `
+int main() {
+    long* a = (long*)pmalloc(80);
+    long* p = a + 9;
+    print(p - a);            // pxr - pxr': offset arithmetic
+    print(a - p);
+    return 0;
+}`,
+		Expect: []int64{9, -9},
+	},
+	{
+		Name: "pointer-difference-volatile",
+		Source: `
+int main() {
+    long* a = (long*)malloc(80);
+    long* p = a + 4;
+    print(p - a);
+    return 0;
+}`,
+		Expect: []int64{4},
+	},
+	{
+		Name: "increment-decrement",
+		Source: `
+int main() {
+    long* a = (long*)pmalloc(48);
+    int i = 0;
+    for (i = 0; i < 6; i++) a[i] = i + 100;
+    long* p = a;
+    ++p;                     // ++p
+    print(*p);
+    p++;                     // p++
+    print(*p);
+    --p;                     // --p
+    print(*p);
+    p--;                     // p--
+    print(*p);
+    return 0;
+}`,
+		Expect: []int64{101, 102, 101, 100},
+	},
+	{
+		Name: "relational-operators",
+		Source: `
+int main() {
+    long* a = (long*)pmalloc(80);
+    long* p = a + 3;
+    long* q = a + 5;
+    if (p < q) print(1); else print(0);
+    if (q > p) print(1); else print(0);
+    if (p <= p) print(1); else print(0);
+    if (q >= p) print(1); else print(0);
+    if (p == a + 3) print(1); else print(0);
+    if (p != q) print(1); else print(0);
+    return 0;
+}`,
+		Expect: []int64{1, 1, 1, 1, 1, 1},
+	},
+	{
+		Name: "equality-mixed-heaps",
+		Source: `
+int main() {
+    long* n = (long*)pmalloc(8);
+    long* v = (long*)malloc(8);
+    if (n == v) print(1); else print(0);   // distinct objects never equal
+    long* n2 = n;
+    if (n == n2) print(1); else print(0);
+    return 0;
+}`,
+		Expect: []int64{0, 1},
+	},
+	{
+		Name: "logical-operators-on-pointers",
+		Source: `
+int main() {
+    long* p = (long*)pmalloc(8);
+    long* q = NULL;
+    if (p && !q) print(1); else print(0);  // (I)p truthiness
+    if (p || q) print(1); else print(0);
+    if (q && p) print(1); else print(0);
+    return 0;
+}`,
+		Expect: []int64{1, 1, 0},
+	},
+	{
+		Name: "conditional-operator-on-pointers",
+		Source: `
+int main() {
+    long* a = (long*)pmalloc(8);
+    long* b = (long*)malloc(8);
+    *a = 10; *b = 20;
+    int pick = 1;
+    long* p = pick ? a : b;  // p ? expr : expr
+    print(*p);
+    p = 0 ? a : b;
+    print(*p);
+    return 0;
+}`,
+		Expect: []int64{10, 20},
+	},
+	{
+		Name: "index-operator",
+		Source: `
+int main() {
+    long* a = (long*)pmalloc(64);
+    int i;
+    for (i = 0; i < 8; i++) a[i] = 8 - i;
+    long s = 0;
+    for (i = 0; i < 8; i++) s += a[i];     // p[i] loads
+    print(s);
+    a[3] = 99;                              // p[i] store
+    print(a[3]);
+    return 0;
+}`,
+		Expect: []int64{36, 99},
+	},
+	{
+		Name: "member-dot-and-arrow",
+		Source: `
+struct P { long x; long y; };
+int main() {
+    struct P* h = (struct P*)pmalloc(sizeof(struct P));
+    h->x = 3; h->y = 4;                    // p->identifier
+    print(h->x * h->x + h->y * h->y);
+    return 0;
+}`,
+		Expect: []int64{25},
+	},
+	{
+		Name: "null-comparisons",
+		Source: `
+int main() {
+    long* p = (long*)pmalloc(8);
+    if (p == NULL) print(1); else print(0);  // p op NULL
+    if (p != NULL) print(1); else print(0);
+    long* q = NULL;
+    if (q == NULL) print(1); else print(0);
+    return 0;
+}`,
+		Expect: []int64{0, 1, 1},
+	},
+	{
+		Name: "pointer-to-pointer",
+		Source: `
+int main() {
+    long** pp = (long**)pmalloc(8);
+    long* p = (long*)pmalloc(8);
+    *p = 123;
+    *pp = p;                 // pointer stored in NVM slot
+    long* got = *pp;         // loaded back
+    print(*got);
+    print(**pp);
+    return 0;
+}`,
+		Expect: []int64{123, 123},
+	},
+	{
+		Name: "free-via-either-form",
+		Source: `
+int main() {
+    long* p = (long*)pmalloc(8);
+    *p = 1;
+    pfree(p);
+    long* q = (long*)pmalloc(8);   // reuses the freed block
+    *q = 2;
+    print(*q);
+    long* v = (long*)malloc(16);
+    free(v);
+    print(3);
+    return 0;
+}`,
+		Expect: []int64{2, 3},
+	},
+	{
+		Name: "mixed-pool-and-heap-array",
+		Source: `
+int main() {
+    long** table = (long**)pmalloc(32);
+    int i;
+    for (i = 0; i < 4; i++) {
+        long* cell;
+        if (i % 2 == 0) cell = (long*)pmalloc(8);
+        else cell = (long*)malloc(8);
+        *cell = i * 11;
+        table[i] = cell;     // NVM slots hold both kinds of pointers
+    }
+    long s = 0;
+    for (i = 0; i < 4; i++) s += *(table[i]);
+    print(s);
+    return 0;
+}`,
+		Expect: []int64{66},
+	},
+}
+
+// RegressionTests are complete programs in the gcc-torture style.
+var RegressionTests = []CorpusProgram{
+	{
+		Name: "fib-recursive",
+		Source: `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { print(fib(15)); return 0; }`,
+		Expect: []int64{610},
+	},
+	{
+		Name: "linked-list-append",
+		Source: `
+struct Node { long value; struct Node* next; };
+struct Node* push(struct Node* head, long v) {
+    struct Node* n = (struct Node*)pmalloc(sizeof(struct Node));
+    n->value = v;
+    n->next = head;
+    return n;
+}
+int main() {
+    struct Node* head = NULL;
+    int i;
+    for (i = 1; i <= 10; i++) head = push(head, i);
+    long sum = 0;
+    struct Node* p = head;
+    while (p != NULL) { sum += p->value; p = p->next; }
+    print(sum);
+    return 0;
+}`,
+		Expect: []int64{55},
+	},
+	{
+		Name: "list-reverse-in-place",
+		Source: `
+struct Node { long v; struct Node* next; };
+int main() {
+    struct Node* head = NULL;
+    int i;
+    for (i = 0; i < 5; i++) {
+        struct Node* n = (struct Node*)pmalloc(sizeof(struct Node));
+        n->v = i; n->next = head; head = n;
+    }
+    struct Node* prev = NULL;
+    struct Node* cur = head;
+    while (cur != NULL) {
+        struct Node* nxt = cur->next;
+        cur->next = prev;
+        prev = cur;
+        cur = nxt;
+    }
+    struct Node* p = prev;
+    while (p != NULL) { print(p->v); p = p->next; }
+    return 0;
+}`,
+		Expect: []int64{0, 1, 2, 3, 4},
+	},
+	{
+		Name: "bubble-sort-persistent-array",
+		Source: `
+int main() {
+    int n = 12;
+    long* a = (long*)pmalloc(n * 8);
+    int i; int j;
+    for (i = 0; i < n; i++) a[i] = (i * 37 + 11) % 23;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j + 1 < n - i; j++) {
+            if (a[j] > a[j + 1]) {
+                long t = a[j]; a[j] = a[j + 1]; a[j + 1] = t;
+            }
+        }
+    }
+    for (i = 1; i < n; i++) if (a[i - 1] > a[i]) print(-1);
+    print(a[0]); print(a[n - 1]);
+    return 0;
+}`,
+	},
+	{
+		Name: "binary-tree-insert-search",
+		Source: `
+struct T { long k; struct T* l; struct T* r; };
+struct T* insert(struct T* t, long k) {
+    if (t == NULL) {
+        struct T* n = (struct T*)pmalloc(sizeof(struct T));
+        n->k = k; n->l = NULL; n->r = NULL;
+        return n;
+    }
+    if (k < t->k) t->l = insert(t->l, k);
+    else if (k > t->k) t->r = insert(t->r, k);
+    return t;
+}
+int contains(struct T* t, long k) {
+    while (t != NULL) {
+        if (t->k == k) return 1;
+        if (k < t->k) t = t->l; else t = t->r;
+    }
+    return 0;
+}
+int main() {
+    struct T* root = NULL;
+    int i;
+    for (i = 0; i < 30; i++) root = insert(root, (i * 17) % 31);
+    print(contains(root, 17));
+    print(contains(root, 29));
+    print(contains(root, 99));
+    return 0;
+}`,
+		Expect: []int64{1, 1, 0},
+	},
+	{
+		Name: "string-ops-char-array",
+		Source: `
+int mylen(char* s) {
+    int n = 0;
+    while (s[n] != 0) n++;
+    return n;
+}
+int main() {
+    char* s = (char*)pmalloc(64);
+    int i;
+    for (i = 0; i < 5; i++) s[i] = 'a' + i;
+    s[5] = 0;
+    print(mylen(s));
+    print(s[0]); print(s[4]);
+    return 0;
+}`,
+		Expect: []int64{5, 97, 101},
+	},
+	{
+		Name: "matrix-multiply",
+		Source: `
+int main() {
+    int n = 4;
+    long* a = (long*)pmalloc(n * n * 8);
+    long* b = (long*)malloc(n * n * 8);
+    long* c = (long*)pmalloc(n * n * 8);
+    int i; int j; int k;
+    for (i = 0; i < n * n; i++) { a[i] = i; b[i] = i % 3; }
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            long s = 0;
+            for (k = 0; k < n; k++) s += a[i * n + k] * b[k * n + j];
+            c[i * n + j] = s;
+        }
+    }
+    long trace = 0;
+    for (i = 0; i < n; i++) trace += c[i * n + i];
+    print(trace);
+    return 0;
+}`,
+	},
+	{
+		Name: "function-pointer-free-args",
+		Source: `
+long apply2(long a, long b) { return a * 10 + b; }
+int main() {
+    print(apply2(3, 4));
+    print(apply2(apply2(1, 2), 5));
+    return 0;
+}`,
+		Expect: []int64{34, 125},
+	},
+	{
+		Name: "shadowing-and-scopes",
+		Source: `
+int main() {
+    long x = 1;
+    {
+        long x = 2;
+        print(x);
+        {
+            long x = 3;
+            print(x);
+        }
+        print(x);
+    }
+    print(x);
+    return 0;
+}`,
+		Expect: []int64{2, 3, 2, 1},
+	},
+	{
+		Name: "do-while-and-break-continue",
+		Source: `
+int main() {
+    int i = 0;
+    long s = 0;
+    do {
+        i++;
+        if (i % 2 == 0) continue;
+        if (i > 9) break;
+        s += i;
+    } while (i < 100);
+    print(s);
+    return 0;
+}`,
+		Expect: []int64{25},
+	},
+	{
+		Name: "globals",
+		Source: `
+long counter;
+long* cell;
+void bump() { counter = counter + 1; }
+int main() {
+    bump(); bump(); bump();
+    print(counter);
+    cell = (long*)pmalloc(8);
+    *cell = counter * 2;
+    print(*cell);
+    return 0;
+}`,
+		Expect: []int64{3, 6},
+	},
+	{
+		Name: "swap-through-pointers",
+		Source: `
+void swap(long* a, long* b) {
+    long t = *a;
+    *a = *b;
+    *b = t;
+}
+int main() {
+    long* x = (long*)pmalloc(8);
+    long* y = (long*)malloc(8);
+    *x = 1; *y = 2;
+    swap(x, y);              // one persistent, one volatile argument
+    print(*x); print(*y);
+    long u = 7; long v = 9;
+    swap(&u, &v);
+    print(u); print(v);
+    return 0;
+}`,
+		Expect: []int64{2, 1, 9, 7},
+	},
+	{
+		Name: "hash-table-chained",
+		Source: `
+struct E { long k; long v; struct E* next; };
+int main() {
+    int nb = 8;
+    struct E** buckets = (struct E**)pmalloc(nb * 8);
+    int i;
+    for (i = 0; i < nb; i++) buckets[i] = NULL;
+    for (i = 0; i < 40; i++) {
+        struct E* e = (struct E*)pmalloc(sizeof(struct E));
+        e->k = i; e->v = i * i;
+        e->next = buckets[i % nb];
+        buckets[i % nb] = e;
+    }
+    long s = 0;
+    for (i = 0; i < nb; i++) {
+        struct E* p = buckets[i];
+        while (p) { s += p->v; p = p->next; }
+    }
+    print(s);
+    return 0;
+}`,
+		Expect: []int64{20540},
+	},
+	{
+		Name: "collatz",
+		Source: `
+int main() {
+    long n = 27;
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        steps++;
+    }
+    print(steps);
+    return 0;
+}`,
+		Expect: []int64{111},
+	},
+	{
+		Name: "bit-ops",
+		Source: `
+int main() {
+    long a = 0x0f0f;
+    long b = 0x00ff;
+    print(a & b);
+    print(a | b);
+    print(a ^ b);
+    print(~a & 0xffff);
+    print(a << 4);
+    print(a >> 4);
+    return 0;
+}`,
+		Expect: []int64{0x000f, 0x0fff, 0x0ff0, 0xf0f0, 0xf0f0, 0x00f0},
+	},
+	{
+		Name: "ackermann-small",
+		Source: `
+int ack(int m, int n) {
+    if (m == 0) return n + 1;
+    if (n == 0) return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+}
+int main() { print(ack(2, 3)); return 0; }`,
+		Expect: []int64{9},
+	},
+	{
+		Name: "paper-figure9-append",
+		Source: `
+struct Node { long value; struct Node* next; };
+void Append(struct Node* p, struct Node* n) {
+    if (p != n) p->next = n;
+}
+int main() {
+    struct Node* a = (struct Node*)pmalloc(sizeof(struct Node));
+    struct Node* b = (struct Node*)pmalloc(sizeof(struct Node));
+    a->value = 1; a->next = NULL;
+    b->value = 2; b->next = NULL;
+    Append(a, b);
+    Append(b, b);            // p == n: no self-append
+    print(a->next->value);
+    if (b->next == NULL) print(1); else print(0);
+    return 0;
+}`,
+		Expect: []int64{2, 1},
+	},
+	{
+		Name: "gcd-iterative",
+		Source: `
+int main() {
+    long a = 252; long b = 105;
+    while (b != 0) {
+        long t = a % b;
+        a = b;
+        b = t;
+    }
+    print(a);
+    return 0;
+}`,
+		Expect: []int64{21},
+	},
+	{
+		Name: "sieve-of-eratosthenes",
+		Source: `
+int main() {
+    int n = 100;
+    long* is = (long*)pmalloc((n + 1) * 8);
+    int i; int j;
+    for (i = 0; i <= n; i++) is[i] = 1;
+    is[0] = 0; is[1] = 0;
+    for (i = 2; i * i <= n; i++)
+        if (is[i])
+            for (j = i * i; j <= n; j += i) is[j] = 0;
+    int count = 0;
+    for (i = 0; i <= n; i++) if (is[i]) count++;
+    print(count);
+    return 0;
+}`,
+		Expect: []int64{25},
+	},
+	{
+		Name: "ternary-chains",
+		Source: `
+int main() {
+    int x = 7;
+    print(x < 5 ? 1 : x < 10 ? 2 : 3);
+    print(x > 5 ? x > 6 ? 4 : 5 : 6);
+    return 0;
+}`,
+		Expect: []int64{2, 4},
+	},
+}
+
+// Corpus returns every soundness program: the hand-written operation and
+// regression tests plus the generated cross-product sweep.
+func Corpus() []CorpusProgram {
+	gen := GeneratedCorpus()
+	out := make([]CorpusProgram, 0, len(OperationTests)+len(RegressionTests)+len(gen))
+	out = append(out, OperationTests...)
+	out = append(out, RegressionTests...)
+	out = append(out, gen...)
+	return out
+}

@@ -1,0 +1,629 @@
+package minc
+
+// Extended soundness corpus: harder pointer-manipulation patterns (the
+// "largest freedom (and hence complexity) in pointer manipulations" the
+// paper's Section IV analyzes) plus more torture-style regressions.
+
+// ExtendedOperationTests stresses pointer-operation corners.
+var ExtendedOperationTests = []CorpusProgram{
+	{
+		Name: "xor-linked-traversal",
+		Source: `
+// Pointers round-tripped through integers (the (I)p and (T*)i rows) in
+// the classic xor-linked-list trick, across persistent nodes.
+struct N { long v; long link; };
+int main() {
+    struct N* a = (struct N*)pmalloc(sizeof(struct N));
+    struct N* b = (struct N*)pmalloc(sizeof(struct N));
+    struct N* c = (struct N*)pmalloc(sizeof(struct N));
+    a->v = 1; b->v = 2; c->v = 3;
+    a->link = 0 ^ (long)b;
+    b->link = (long)a ^ (long)c;
+    c->link = (long)b ^ 0;
+
+    long prev = 0;
+    struct N* cur = a;
+    long sum = 0;
+    while (cur != NULL) {
+        sum += cur->v;
+        long next = prev ^ cur->link;
+        prev = (long)cur;
+        cur = (struct N*)next;
+    }
+    print(sum);
+    return 0;
+}`,
+		Expect: []int64{6},
+	},
+	{
+		Name: "pointer-in-integer-array",
+		Source: `
+int main() {
+    long* slots = (long*)pmalloc(32);
+    long* x = (long*)pmalloc(8);
+    *x = 99;
+    slots[2] = (long)x;          // address laundered through an integer
+    long* back = (long*)slots[2];
+    print(*back);
+    return 0;
+}`,
+		Expect: []int64{99},
+	},
+	{
+		Name: "triple-indirection",
+		Source: `
+int main() {
+    long*** ppp = (long***)pmalloc(8);
+    long** pp = (long**)pmalloc(8);
+    long* p = (long*)pmalloc(8);
+    *p = 321;
+    *pp = p;
+    *ppp = pp;
+    print(***ppp);
+    return 0;
+}`,
+		Expect: []int64{321},
+	},
+	{
+		Name: "interior-pointers",
+		Source: `
+struct Big { long a; long b; long c; long d; };
+int main() {
+    struct Big* s = (struct Big*)pmalloc(sizeof(struct Big));
+    s->a = 1; s->b = 2; s->c = 3; s->d = 4;
+    long* mid = &s->b;           // interior pointer, relative form
+    print(mid[0]);
+    print(mid[1]);
+    print(*(mid + 2));
+    long* back = mid - 1;        // back to the first field
+    print(*back);
+    return 0;
+}`,
+		Expect: []int64{2, 3, 4, 1},
+	},
+	{
+		Name: "cross-heap-pointer-table",
+		Source: `
+int main() {
+    // A volatile table of pointers into NVM and a persistent table of
+    // pointers into DRAM, both traversed by common code.
+    long** vtab = (long**)malloc(24);
+    long** ptab = (long**)pmalloc(24);
+    int i;
+    for (i = 0; i < 3; i++) {
+        long* n = (long*)pmalloc(8);
+        *n = i + 1;
+        vtab[i] = n;
+        long* v = (long*)malloc(8);
+        *v = (i + 1) * 10;
+        ptab[i] = v;
+    }
+    long s = 0;
+    for (i = 0; i < 3; i++) s += *(vtab[i]) + *(ptab[i]);
+    print(s);
+    return 0;
+}`,
+		Expect: []int64{66},
+	},
+	{
+		Name: "comparison-after-arithmetic",
+		Source: `
+int main() {
+    long* a = (long*)pmalloc(160);
+    long* end = a + 20;
+    long* p = a;
+    long n = 0;
+    while (p < end) {            // relational on advanced pointers
+        n++;
+        p += 4;
+    }
+    print(n);
+    print(end - a);
+    return 0;
+}`,
+		Expect: []int64{5, 20},
+	},
+	{
+		Name: "conditional-assignment-forms",
+		Source: `
+struct Box { long* slot; };
+int main() {
+    struct Box* b = (struct Box*)pmalloc(sizeof(struct Box));
+    long* p = (long*)pmalloc(8);
+    long* v = (long*)malloc(8);
+    *p = 5; *v = 6;
+    int i;
+    long s = 0;
+    for (i = 0; i < 4; i++) {
+        b->slot = (i % 2 == 0) ? p : v;   // alternating forms into NVM
+        s += *(b->slot);
+    }
+    print(s);
+    return 0;
+}`,
+		Expect: []int64{22},
+	},
+	{
+		Name: "sizeof-in-arithmetic",
+		Source: `
+struct Pair { long a; long b; };
+int main() {
+    long n = 5;
+    struct Pair* arr = (struct Pair*)pmalloc(n * sizeof(struct Pair));
+    int i;
+    for (i = 0; i < n; i++) { arr[i].a = i; arr[i].b = i * i; }
+    long s = 0;
+    for (i = 0; i < n; i++) s += arr[i].b;
+    print(s);
+    print(sizeof(struct Pair) * n);
+    return 0;
+}`,
+		Expect: []int64{30, 80},
+	},
+	{
+		Name: "negative-indexing",
+		Source: `
+int main() {
+    long* a = (long*)pmalloc(80);
+    int i;
+    for (i = 0; i < 10; i++) a[i] = i * 2;
+    long* p = a + 9;
+    print(p[-3]);                // p[i] with negative i
+    print(*(p - 9));
+    return 0;
+}`,
+		Expect: []int64{12, 0},
+	},
+	{
+		Name: "null-propagation-through-structs",
+		Source: `
+struct N { long v; struct N* next; };
+int main() {
+    struct N* n = (struct N*)pmalloc(sizeof(struct N));
+    n->v = 1;
+    n->next = NULL;
+    struct N* loaded = n->next;  // null loaded from NVM
+    if (loaded == NULL) print(1); else print(0);
+    if (!loaded) print(1); else print(0);
+    print(loaded ? 5 : 7);
+    return 0;
+}`,
+		Expect: []int64{1, 1, 7},
+	},
+	{
+		Name: "pointer-swap-in-memory",
+		Source: `
+struct Cell { long* p; };
+int main() {
+    struct Cell* x = (struct Cell*)pmalloc(sizeof(struct Cell));
+    struct Cell* y = (struct Cell*)pmalloc(sizeof(struct Cell));
+    long* a = (long*)pmalloc(8);
+    long* b = (long*)malloc(8);
+    *a = 100; *b = 200;
+    x->p = a; y->p = b;
+    // Swap the pointers through NVM cells.
+    long* t = x->p;
+    x->p = y->p;
+    y->p = t;
+    print(*(x->p));
+    print(*(y->p));
+    return 0;
+}`,
+		Expect: []int64{200, 100},
+	},
+	{
+		Name: "compound-assignment-on-pointer-field",
+		Source: `
+struct W { long* cursor; };
+int main() {
+    struct W* w = (struct W*)pmalloc(sizeof(struct W));
+    long* a = (long*)pmalloc(64);
+    int i;
+    for (i = 0; i < 8; i++) a[i] = 100 + i;
+    w->cursor = a;
+    w->cursor += 3;              // compound assignment on an NVM field
+    print(*(w->cursor));
+    w->cursor -= 2;
+    print(*(w->cursor));
+    return 0;
+}`,
+		Expect: []int64{103, 101},
+	},
+}
+
+// ExtendedRegressionTests: more gcc-torture-style programs.
+var ExtendedRegressionTests = []CorpusProgram{
+	{
+		Name: "merge-sorted-lists",
+		Source: `
+struct N { long v; struct N* next; };
+struct N* mk(long v, struct N* next) {
+    struct N* n = (struct N*)pmalloc(sizeof(struct N));
+    n->v = v; n->next = next;
+    return n;
+}
+struct N* merge(struct N* a, struct N* b) {
+    if (a == NULL) return b;
+    if (b == NULL) return a;
+    if (a->v <= b->v) { a->next = merge(a->next, b); return a; }
+    b->next = merge(a, b->next);
+    return b;
+}
+int main() {
+    struct N* a = mk(1, mk(4, mk(7, NULL)));
+    struct N* b = mk(2, mk(3, mk(9, NULL)));
+    struct N* m = merge(a, b);
+    while (m != NULL) { print(m->v); m = m->next; }
+    return 0;
+}`,
+		Expect: []int64{1, 2, 3, 4, 7, 9},
+	},
+	{
+		Name: "queue-ring-buffer",
+		Source: `
+int main() {
+    int cap = 4;
+    long* ring = (long*)pmalloc(cap * 8);
+    int head = 0; int tail = 0; int count = 0;
+    int i;
+    long drained = 0;
+    for (i = 1; i <= 10; i++) {
+        if (count == cap) {
+            drained += ring[head % cap];
+            head++;
+            count--;
+        }
+        ring[tail % cap] = i;
+        tail++;
+        count++;
+    }
+    while (count > 0) {
+        drained += ring[head % cap];
+        head++;
+        count--;
+    }
+    print(drained);
+    return 0;
+}`,
+		Expect: []int64{55},
+	},
+	{
+		Name: "binary-search",
+		Source: `
+int bsearch(long* a, int n, long key) {
+    int lo = 0; int hi = n - 1;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        if (a[mid] == key) return mid;
+        if (a[mid] < key) lo = mid + 1;
+        else hi = mid - 1;
+    }
+    return -1;
+}
+int main() {
+    int n = 16;
+    long* a = (long*)pmalloc(n * 8);
+    int i;
+    for (i = 0; i < n; i++) a[i] = i * 3;
+    print(bsearch(a, n, 21));
+    print(bsearch(a, n, 22));
+    print(bsearch(a, n, 0));
+    print(bsearch(a, n, 45));
+    return 0;
+}`,
+		Expect: []int64{7, -1, 0, 15},
+	},
+	{
+		Name: "tree-sum-iterative-with-stack",
+		Source: `
+struct T { long v; struct T* l; struct T* r; };
+struct T* node(long v, struct T* l, struct T* r) {
+    struct T* t = (struct T*)pmalloc(sizeof(struct T));
+    t->v = v; t->l = l; t->r = r;
+    return t;
+}
+int main() {
+    struct T* root = node(1,
+        node(2, node(4, NULL, NULL), node(5, NULL, NULL)),
+        node(3, NULL, node(6, NULL, NULL)));
+    // Explicit stack of pointers in volatile memory.
+    struct T** stack = (struct T**)malloc(64 * 8);
+    int sp = 0;
+    stack[sp] = root; sp++;
+    long sum = 0;
+    while (sp > 0) {
+        sp--;
+        struct T* t = stack[sp];
+        sum += t->v;
+        if (t->l != NULL) { stack[sp] = t->l; sp++; }
+        if (t->r != NULL) { stack[sp] = t->r; sp++; }
+    }
+    print(sum);
+    return 0;
+}`,
+		Expect: []int64{21},
+	},
+	{
+		Name: "string-reverse",
+		Source: `
+int main() {
+    char* s = (char*)pmalloc(16);
+    int n = 6;
+    int i;
+    for (i = 0; i < n; i++) s[i] = 'a' + i;
+    // Reverse in place with two pointers.
+    char* lo = s;
+    char* hi = s + n - 1;
+    while (lo < hi) {
+        char t = *lo;
+        *lo = *hi;
+        *hi = t;
+        lo++;
+        hi--;
+    }
+    for (i = 0; i < n; i++) print(s[i]);
+    return 0;
+}`,
+		Expect: []int64{'f', 'e', 'd', 'c', 'b', 'a'},
+	},
+	{
+		Name: "mutual-recursion",
+		Source: `
+int isEven(int n) {
+    if (n == 0) return 1;
+    return isOdd(n - 1);
+}
+int isOdd(int n) {
+    if (n == 0) return 0;
+    return isEven(n - 1);
+}
+int main() {
+    print(isEven(10));
+    print(isOdd(7));
+    print(isEven(3));
+    return 0;
+}`,
+		Expect: []int64{1, 1, 0},
+	},
+	{
+		Name: "union-find",
+		Source: `
+long find(long* parent, long x) {
+    while (parent[x] != x) {
+        parent[x] = parent[parent[x]];  // path halving
+        x = parent[x];
+    }
+    return x;
+}
+int main() {
+    int n = 10;
+    long* parent = (long*)pmalloc(n * 8);
+    int i;
+    for (i = 0; i < n; i++) parent[i] = i;
+    // Union pairs (0,1) (1,2) (5,6) (6,7).
+    parent[find(parent, 0)] = find(parent, 1);
+    parent[find(parent, 1)] = find(parent, 2);
+    parent[find(parent, 5)] = find(parent, 6);
+    parent[find(parent, 6)] = find(parent, 7);
+    print(find(parent, 0) == find(parent, 2));
+    print(find(parent, 5) == find(parent, 7));
+    print(find(parent, 0) == find(parent, 5));
+    return 0;
+}`,
+		Expect: []int64{1, 1, 0},
+	},
+	{
+		Name: "fnv-hash-over-bytes",
+		Source: `
+int main() {
+    char* data = (char*)pmalloc(8);
+    int i;
+    for (i = 0; i < 8; i++) data[i] = i * 31 % 256;
+    long h = 1469598103934665603;
+    for (i = 0; i < 8; i++) {
+        h = h ^ data[i];
+        h = h * 1099511628211;
+    }
+    print(h % 1000003);
+    return 0;
+}`,
+	},
+	{
+		Name: "shell-sort",
+		Source: `
+int main() {
+    int n = 20;
+    long* a = (long*)pmalloc(n * 8);
+    int i;
+    for (i = 0; i < n; i++) a[i] = (i * 7919 + 13) % 101;
+    int gap;
+    for (gap = n / 2; gap > 0; gap = gap / 2) {
+        for (i = gap; i < n; i++) {
+            long t = a[i];
+            int j = i;
+            while (j >= gap && a[j - gap] > t) {
+                a[j] = a[j - gap];
+                j -= gap;
+            }
+            a[j] = t;
+        }
+    }
+    for (i = 1; i < n; i++) if (a[i - 1] > a[i]) print(-1);
+    print(a[0]);
+    print(a[n - 1]);
+    return 0;
+}`,
+	},
+	{
+		Name: "stack-of-frames-pointer-params",
+		Source: `
+long sumThrough(long* acc, long* vals, int n) {
+    if (n == 0) return *acc;
+    *acc += vals[n - 1];
+    return sumThrough(acc, vals, n - 1);
+}
+int main() {
+    long* vals = (long*)pmalloc(40);
+    int i;
+    for (i = 0; i < 5; i++) vals[i] = i + 1;
+    long acc = 0;
+    print(sumThrough(&acc, vals, 5));  // stack pointer + NVM pointer args
+    return 0;
+}`,
+		Expect: []int64{15},
+	},
+	{
+		Name: "doubly-linked-delete",
+		Source: `
+struct D { long v; struct D* prev; struct D* next; };
+int main() {
+    struct D* head = NULL;
+    struct D* tail = NULL;
+    int i;
+    for (i = 1; i <= 5; i++) {
+        struct D* n = (struct D*)pmalloc(sizeof(struct D));
+        n->v = i; n->next = NULL; n->prev = tail;
+        if (tail != NULL) tail->next = n; else head = n;
+        tail = n;
+    }
+    // Delete the node with v == 3.
+    struct D* p = head;
+    while (p != NULL && p->v != 3) p = p->next;
+    if (p != NULL) {
+        if (p->prev != NULL) p->prev->next = p->next;
+        if (p->next != NULL) p->next->prev = p->prev;
+        pfree(p);
+    }
+    long fwd = 0;
+    for (p = head; p != NULL; p = p->next) fwd = fwd * 10 + p->v;
+    print(fwd);
+    long bwd = 0;
+    for (p = tail; p != NULL; p = p->prev) bwd = bwd * 10 + p->v;
+    print(bwd);
+    return 0;
+}`,
+		Expect: []int64{1245, 5421},
+	},
+	{
+		Name: "power-table-memoized",
+		Source: `
+long* cache;
+long pow2(int n) {
+    if (n == 0) return 1;
+    if (cache[n] != 0) return cache[n];
+    cache[n] = 2 * pow2(n - 1);
+    return cache[n];
+}
+int main() {
+    cache = (long*)pmalloc(64 * 8);
+    int i;
+    for (i = 0; i < 64; i++) cache[i] = 0;
+    print(pow2(10));
+    print(pow2(20));
+    print(pow2(10));
+    return 0;
+}`,
+		Expect: []int64{1024, 1048576, 1024},
+	},
+	{
+		Name: "matrix-transpose-in-place",
+		Source: `
+int main() {
+    int n = 4;
+    long* m = (long*)pmalloc(n * n * 8);
+    int i; int j;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+            m[i * n + j] = i * 10 + j;
+    for (i = 0; i < n; i++) {
+        for (j = i + 1; j < n; j++) {
+            long t = m[i * n + j];
+            m[i * n + j] = m[j * n + i];
+            m[j * n + i] = t;
+        }
+    }
+    print(m[1 * n + 0]);
+    print(m[0 * n + 1]);
+    print(m[3 * n + 2]);
+    return 0;
+}`,
+		Expect: []int64{1, 10, 23},
+	},
+	{
+		Name: "free-list-reuse-pattern",
+		Source: `
+struct N { long v; struct N* next; };
+int main() {
+    // Allocate, free in reverse, reallocate: the pool's free list must
+    // hand back usable blocks.
+    struct N** nodes = (struct N**)malloc(8);
+    struct N* a = (struct N*)pmalloc(sizeof(struct N));
+    struct N* b = (struct N*)pmalloc(sizeof(struct N));
+    struct N* c = (struct N*)pmalloc(sizeof(struct N));
+    a->v = 1; b->v = 2; c->v = 3;
+    pfree(c); pfree(b); pfree(a);
+    struct N* x = (struct N*)pmalloc(sizeof(struct N));
+    struct N* y = (struct N*)pmalloc(sizeof(struct N));
+    x->v = 10; y->v = 20;
+    print(x->v + y->v);
+    nodes[0] = x;
+    print(nodes[0]->v);
+    pfree(x); pfree(y);
+    return 0;
+}`,
+		Expect: []int64{30, 10},
+	},
+	{
+		Name: "long-chain-deep-load",
+		Source: `
+struct N { long v; struct N* next; };
+int main() {
+    struct N* head = NULL;
+    int i;
+    for (i = 0; i < 100; i++) {
+        struct N* n = (struct N*)pmalloc(sizeof(struct N));
+        n->v = i; n->next = head; head = n;
+    }
+    // Walk to the 50th node and read it.
+    struct N* p = head;
+    for (i = 0; i < 50; i++) p = p->next;
+    print(p->v);
+    return 0;
+}`,
+		Expect: []int64{49},
+	},
+	{
+		Name: "char-arithmetic",
+		Source: `
+int main() {
+    char c = 'A';
+    print(c + 1);
+    print('z' - 'a');
+    char* s = (char*)pmalloc(4);
+    s[0] = c + 2;
+    print(s[0]);
+    return 0;
+}`,
+		Expect: []int64{66, 25, 67},
+	},
+	{
+		Name: "modulo-edge-cases",
+		Source: `
+int main() {
+    print(-7 % 3);
+    print(7 % -3);
+    print(-7 / 2);
+    print(1 << 10);
+    print(-8 >> 1);
+    return 0;
+}`,
+		Expect: []int64{-1, 1, -3, 1024, -4},
+	},
+}
+
+func init() {
+	// Fold the extended programs into the main corpus groups so every
+	// consumer (tests, nvbench, inference statistics) sees them.
+	OperationTests = append(OperationTests, ExtendedOperationTests...)
+	RegressionTests = append(RegressionTests, ExtendedRegressionTests...)
+}

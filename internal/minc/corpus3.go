@@ -1,0 +1,408 @@
+package minc
+
+// Third corpus group: stack/global arrays, arrays embedded in persistent
+// structs, and switch statements — the features most gcc-torture programs
+// lean on.
+
+// ArrayAndSwitchTests exercises the extended language surface.
+var ArrayAndSwitchTests = []CorpusProgram{
+	{
+		Name: "local-array-basics",
+		Source: `
+int main() {
+    long a[8];
+    int i;
+    for (i = 0; i < 8; i++) a[i] = i * i;
+    long s = 0;
+    for (i = 0; i < 8; i++) s += a[i];
+    print(s);
+    print(sizeof(a) / sizeof(long));
+    return 0;
+}`,
+		Expect: []int64{140, 8},
+	},
+	{
+		Name: "array-decay-to-function",
+		Source: `
+long sum(long* p, int n) {
+    long s = 0;
+    int i;
+    for (i = 0; i < n; i++) s += p[i];
+    return s;
+}
+int main() {
+    long a[5];
+    int i;
+    for (i = 0; i < 5; i++) a[i] = i + 1;
+    print(sum(a, 5));          // array decays to pointer at the call
+    print(sum(a + 1, 3));      // decayed arithmetic
+    return 0;
+}`,
+		Expect: []int64{15, 9},
+	},
+	{
+		Name: "array-inside-persistent-struct",
+		Source: `
+struct Rec { long id; long data[4]; long tail; };
+int main() {
+    struct Rec* r = (struct Rec*)pmalloc(sizeof(struct Rec));
+    r->id = 7;
+    int i;
+    for (i = 0; i < 4; i++) r->data[i] = i * 10;
+    r->tail = 99;
+    print(sizeof(struct Rec));
+    long s = 0;
+    for (i = 0; i < 4; i++) s += r->data[i];
+    print(s);
+    print(r->tail);
+    // Interior pointer into the embedded array keeps the relative form.
+    long* p = &r->data[2];
+    print(*p);
+    return 0;
+}`,
+		Expect: []int64{48, 60, 99, 20},
+	},
+	{
+		Name: "global-array-histogram",
+		Source: `
+long hist[10];
+int main() {
+    int i;
+    for (i = 0; i < 10; i++) hist[i] = 0;
+    for (i = 0; i < 100; i++) hist[(i * 7) % 10]++;
+    long s = 0;
+    for (i = 0; i < 10; i++) s += hist[i];
+    print(s);
+    print(hist[3]);
+    return 0;
+}`,
+		Expect: []int64{100, 10},
+	},
+	{
+		Name: "pointer-walk-over-array",
+		Source: `
+int main() {
+    long a[6];
+    int i;
+    for (i = 0; i < 6; i++) a[i] = i;
+    long* p = a;               // decay into a pointer variable
+    long* end = a + 6;
+    long s = 0;
+    while (p < end) {
+        s += *p;
+        p++;
+    }
+    print(s);
+    return 0;
+}`,
+		Expect: []int64{15},
+	},
+	{
+		Name: "switch-basic",
+		Source: `
+long classify(long x) {
+    switch (x) {
+    case 0: return 100;
+    case 1: return 200;
+    case 2:
+    case 3: return 300;        // stacked labels
+    default: return -1;
+    }
+}
+int main() {
+    print(classify(0));
+    print(classify(1));
+    print(classify(2));
+    print(classify(3));
+    print(classify(9));
+    return 0;
+}`,
+		Expect: []int64{100, 200, 300, 300, -1},
+	},
+	{
+		Name: "switch-fallthrough",
+		Source: `
+int main() {
+    int x = 2;
+    long acc = 0;
+    switch (x) {
+    case 1:
+        acc += 1;
+    case 2:
+        acc += 2;              // matched here, falls through
+    case 3:
+        acc += 4;
+        break;
+    case 4:
+        acc += 8;
+    }
+    print(acc);
+    return 0;
+}`,
+		Expect: []int64{6},
+	},
+	{
+		Name: "switch-no-default-no-match",
+		Source: `
+int main() {
+    long acc = 5;
+    switch (42) {
+    case 1: acc = 1; break;
+    case 2: acc = 2; break;
+    }
+    print(acc);
+    return 0;
+}`,
+		Expect: []int64{5},
+	},
+	{
+		Name: "switch-in-loop-state-machine",
+		Source: `
+int main() {
+    // A tiny DFA: states 0,1,2; input bits from a pattern.
+    long input[8];
+    int i;
+    for (i = 0; i < 8; i++) input[i] = (i * 3) % 2;
+    int state = 0;
+    for (i = 0; i < 8; i++) {
+        switch (state) {
+        case 0:
+            if (input[i]) state = 1; else state = 0;
+            break;
+        case 1:
+            if (input[i]) state = 2; else state = 0;
+            break;
+        case 2:
+            state = 2;
+            break;
+        }
+    }
+    print(state);
+    return 0;
+}`,
+	},
+	{
+		Name: "switch-negative-labels",
+		Source: `
+long sign(long x) {
+    switch (x) {
+    case -1: return -100;
+    case 0: return 0;
+    case 1: return 100;
+    default: return 999;
+    }
+}
+int main() {
+    print(sign(-1));
+    print(sign(0));
+    print(sign(1));
+    print(sign(5));
+    return 0;
+}`,
+		Expect: []int64{-100, 0, 100, 999},
+	},
+	{
+		Name: "matrix-as-2d-array",
+		Source: `
+int main() {
+    long m[12];                // 3x4 matrix, manual indexing
+    int i; int j;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            m[i * 4 + j] = i * 4 + j;
+    long trace = 0;
+    for (i = 0; i < 3; i++) trace += m[i * 4 + i];
+    print(trace);
+    return 0;
+}`,
+		Expect: []int64{15},
+	},
+	{
+		Name: "insertion-sort-local-array",
+		Source: `
+int main() {
+    long a[10];
+    int i;
+    for (i = 0; i < 10; i++) a[i] = (i * 13 + 5) % 17;
+    for (i = 1; i < 10; i++) {
+        long key = a[i];
+        int j = i - 1;
+        while (j >= 0 && a[j] > key) {
+            a[j + 1] = a[j];
+            j--;
+        }
+        a[j + 1] = key;
+    }
+    for (i = 1; i < 10; i++) if (a[i - 1] > a[i]) print(-1);
+    print(a[0]);
+    print(a[9]);
+    return 0;
+}`,
+	},
+	{
+		Name: "struct-array-of-pairs-in-nvm",
+		Source: `
+struct Pt { long x; long y; };
+struct Path { long n; struct Pt pts[3]; };
+int main() {
+    struct Path* p = (struct Path*)pmalloc(sizeof(struct Path));
+    p->n = 3;
+    int i;
+    for (i = 0; i < 3; i++) {
+        p->pts[i].x = i;
+        p->pts[i].y = i * 2;
+    }
+    long len = 0;
+    for (i = 0; i < 3; i++) len += p->pts[i].x + p->pts[i].y;
+    print(len);
+    print(sizeof(struct Path));
+    return 0;
+}`,
+		Expect: []int64{9, 56},
+	},
+	{
+		Name: "opcode-dispatcher",
+		Source: `
+int main() {
+    // A bytecode interpreter over a persistent program array — switch
+    // dispatch driving pointer-free arithmetic.
+    long prog[12];
+    int pc = 0;
+    prog[0] = 1; prog[1] = 10;   // PUSH 10
+    prog[2] = 1; prog[3] = 32;   // PUSH 32
+    prog[4] = 2;                 // ADD
+    prog[5] = 1; prog[6] = 2;    // PUSH 2
+    prog[7] = 3;                 // MUL
+    prog[8] = 0;                 // HALT
+    long stack[8];
+    int sp = 0;
+    int running = 1;
+    while (running) {
+        switch (prog[pc]) {
+        case 0:
+            running = 0;
+            break;
+        case 1:
+            stack[sp] = prog[pc + 1];
+            sp++;
+            pc += 2;
+            break;
+        case 2:
+            stack[sp - 2] = stack[sp - 2] + stack[sp - 1];
+            sp--;
+            pc++;
+            break;
+        case 3:
+            stack[sp - 2] = stack[sp - 2] * stack[sp - 1];
+            sp--;
+            pc++;
+            break;
+        }
+    }
+    print(stack[0]);
+    return 0;
+}`,
+		Expect: []int64{84},
+	},
+}
+
+func init() {
+	RegressionTests = append(RegressionTests, ArrayAndSwitchTests...)
+}
+
+// controlFlowEdgeTests pin the switch/loop interaction semantics.
+var controlFlowEdgeTests = []CorpusProgram{
+	{
+		Name: "continue-inside-switch",
+		Source: `
+int main() {
+    long s = 0;
+    int i;
+    for (i = 0; i < 10; i++) {
+        switch (i % 3) {
+        case 0:
+            continue;          // must continue the for loop
+        case 1:
+            s += 10;
+            break;
+        default:
+            s += 1;
+        }
+        s += 100;              // skipped when case 0 hit
+    }
+    print(s);
+    return 0;
+}`,
+		// i in 0..9: case0 {0,3,6,9}; case1 {1,4,7}: +110 each; default {2,5,8}: +101 each.
+		Expect: []int64{633},
+	},
+	{
+		Name: "loop-inside-switch-break",
+		Source: `
+int main() {
+    long s = 0;
+    switch (1) {
+    case 1: {
+        int i;
+        for (i = 0; i < 5; i++) {
+            if (i == 3) break; // breaks the loop, not the switch
+            s += i;
+        }
+        s += 1000;             // still inside case 1
+        break;
+    }
+    case 2:
+        s += 9999;
+    }
+    print(s);
+    return 0;
+}`,
+		Expect: []int64{1003},
+	},
+	{
+		Name: "nested-switch",
+		Source: `
+long pick(long a, long b) {
+    switch (a) {
+    case 0:
+        switch (b) {
+        case 0: return 1;
+        default: return 2;
+        }
+    default:
+        switch (b) {
+        case 0: return 3;
+        default: return 4;
+        }
+    }
+}
+int main() {
+    print(pick(0, 0));
+    print(pick(0, 5));
+    print(pick(7, 0));
+    print(pick(7, 5));
+    return 0;
+}`,
+		Expect: []int64{1, 2, 3, 4},
+	},
+	{
+		Name: "switch-fallthrough-into-default",
+		Source: `
+int main() {
+    long s = 0;
+    switch (2) {
+    case 2:
+        s += 1;                // matched, falls through
+    default:
+        s += 2;
+    }
+    print(s);
+    return 0;
+}`,
+		Expect: []int64{3},
+	},
+}
+
+func init() {
+	RegressionTests = append(RegressionTests, controlFlowEdgeTests...)
+}

@@ -1,0 +1,243 @@
+package minc
+
+import "fmt"
+
+// Generated soundness programs: a systematic cross-product in the spirit
+// of the paper's 1,785-test LLVM/gcc-torture sweep. Each template is
+// instantiated for every combination of allocation kinds, so the same
+// pointer operation is exercised with purely persistent, purely volatile,
+// and mixed operands. Expected outputs are computed by the host-side
+// mirror of each template, making every generated program a ground-truth
+// test rather than only a cross-model agreement test.
+
+// allocKind selects where a template's objects live.
+type allocKind struct {
+	name  string
+	alloc string // allocator call text
+}
+
+var allocKinds = []allocKind{
+	{"p", "pmalloc"},
+	{"v", "malloc"},
+}
+
+// GeneratedCorpus instantiates every template × operand-placement
+// combination.
+func GeneratedCorpus() []CorpusProgram {
+	var out []CorpusProgram
+	out = append(out, genChainWalks()...)
+	out = append(out, genArraySweeps()...)
+	out = append(out, genPointerArith()...)
+	out = append(out, genSwapChains()...)
+	out = append(out, genCondSelects()...)
+	return out
+}
+
+// genChainWalks: build a singly linked chain of length n with nodes
+// alternating between the two heaps per a placement mask, then fold the
+// values.
+func genChainWalks() []CorpusProgram {
+	var out []CorpusProgram
+	for _, n := range []int{1, 5, 16} {
+		for mask := 0; mask < 4; mask++ {
+			// mask bit 0: even nodes persistent; bit 1: odd nodes persistent.
+			evenAlloc, oddAlloc := "malloc", "malloc"
+			if mask&1 != 0 {
+				evenAlloc = "pmalloc"
+			}
+			if mask&2 != 0 {
+				oddAlloc = "pmalloc"
+			}
+			want := int64(0)
+			for i := 0; i < n; i++ {
+				want += int64(i*i + 3)
+			}
+			src := fmt.Sprintf(`
+struct N { long v; struct N* next; };
+int main() {
+    struct N* head = NULL;
+    int i;
+    for (i = %d - 1; i >= 0; i--) {
+        struct N* node;
+        if (i %% 2 == 0) node = (struct N*)%s(sizeof(struct N));
+        else node = (struct N*)%s(sizeof(struct N));
+        node->v = i * i + 3;
+        node->next = head;
+        head = node;
+    }
+    long sum = 0;
+    struct N* p = head;
+    while (p != NULL) { sum += p->v; p = p->next; }
+    print(sum);
+    return 0;
+}`, n, evenAlloc, oddAlloc)
+			out = append(out, CorpusProgram{
+				Name:   fmt.Sprintf("gen-chain-n%d-mask%d", n, mask),
+				Source: src,
+				Expect: []int64{want},
+			})
+		}
+	}
+	return out
+}
+
+// genArraySweeps: fill an array on one heap with f(i), read it back with
+// strided pointer walks.
+func genArraySweeps() []CorpusProgram {
+	var out []CorpusProgram
+	for _, ak := range allocKinds {
+		for _, stride := range []int{1, 2, 3} {
+			n := 24
+			want := int64(0)
+			for i := 0; i < n; i += stride {
+				want += int64(5*i + 1)
+			}
+			src := fmt.Sprintf(`
+int main() {
+    long* a = (long*)%s(%d * 8);
+    int i;
+    for (i = 0; i < %d; i++) a[i] = 5 * i + 1;
+    long sum = 0;
+    long* p = a;
+    long* end = a + %d;
+    while (p < end) {
+        sum += *p;
+        p += %d;
+    }
+    print(sum);
+    return 0;
+}`, ak.alloc, n, n, n, stride)
+			out = append(out, CorpusProgram{
+				Name:   fmt.Sprintf("gen-sweep-%s-s%d", ak.name, stride),
+				Source: src,
+				Expect: []int64{want},
+			})
+		}
+	}
+	return out
+}
+
+// genPointerArith: p + i, p - i, p[i], diff, comparisons — one program
+// per heap per offset.
+func genPointerArith() []CorpusProgram {
+	var out []CorpusProgram
+	for _, ak := range allocKinds {
+		for _, off := range []int{0, 3, 9} {
+			n := 12
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = int64(i*7 + 2)
+			}
+			diff := int64(n - 1 - off)
+			src := fmt.Sprintf(`
+int main() {
+    long* a = (long*)%s(%d * 8);
+    int i;
+    for (i = 0; i < %d; i++) a[i] = i * 7 + 2;
+    long* p = a + %d;
+    print(*p);
+    print(p[1]);
+    long* q = a + %d - 1;
+    print(q - p);
+    if (p <= q) print(1); else print(0);
+    if (q - %d == a) print(1); else print(0);
+    return 0;
+}`, ak.alloc, n, n, off, n, n-1)
+			le := int64(0)
+			if off <= n-1 {
+				le = 1
+			}
+			out = append(out, CorpusProgram{
+				Name:   fmt.Sprintf("gen-arith-%s-o%d", ak.name, off),
+				Source: src,
+				Expect: []int64{vals[off], vals[off+1], diff, le, 1},
+			})
+		}
+	}
+	return out
+}
+
+// genSwapChains: k rounds of pointer swapping through cells on each heap
+// combination; the final configuration is computed host-side.
+func genSwapChains() []CorpusProgram {
+	var out []CorpusProgram
+	for _, cellsKind := range allocKinds {
+		for _, objsKind := range allocKinds {
+			for _, rounds := range []int{1, 4, 7} {
+				// Host mirror: cells hold object indices 0..2; each round
+				// rotates (0,1) then (1,2).
+				idx := []int{0, 1, 2}
+				for r := 0; r < rounds; r++ {
+					idx[0], idx[1] = idx[1], idx[0]
+					idx[1], idx[2] = idx[2], idx[1]
+				}
+				expect := []int64{int64(idx[0]*10 + 1), int64(idx[1]*10 + 1), int64(idx[2]*10 + 1)}
+				src := fmt.Sprintf(`
+struct Cell { long* p; };
+int main() {
+    struct Cell* cells = (struct Cell*)%s(3 * sizeof(struct Cell));
+    int i;
+    for (i = 0; i < 3; i++) {
+        long* obj = (long*)%s(8);
+        *obj = i * 10 + 1;
+        cells[i].p = obj;
+    }
+    int r;
+    for (r = 0; r < %d; r++) {
+        long* t = cells[0].p;
+        cells[0].p = cells[1].p;
+        cells[1].p = t;
+        t = cells[1].p;
+        cells[1].p = cells[2].p;
+        cells[2].p = t;
+    }
+    for (i = 0; i < 3; i++) print(*(cells[i].p));
+    return 0;
+}`, cellsKind.alloc, objsKind.alloc, rounds)
+				out = append(out, CorpusProgram{
+					Name:   fmt.Sprintf("gen-swap-c%s-o%s-r%d", cellsKind.name, objsKind.name, rounds),
+					Source: src,
+					Expect: expect,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// genCondSelects: ternary selection between pointers of differing
+// provenance, folded over a range of selectors.
+func genCondSelects() []CorpusProgram {
+	var out []CorpusProgram
+	for _, mod := range []int{2, 3, 5} {
+		want := int64(0)
+		for i := 0; i < 20; i++ {
+			if i%mod == 0 {
+				want += 111
+			} else {
+				want += 222
+			}
+		}
+		src := fmt.Sprintf(`
+int main() {
+    long* a = (long*)pmalloc(8);
+    long* b = (long*)malloc(8);
+    *a = 111;
+    *b = 222;
+    long sum = 0;
+    int i;
+    for (i = 0; i < 20; i++) {
+        long* pick = (i %% %d == 0) ? a : b;
+        sum += *pick;
+    }
+    print(sum);
+    return 0;
+}`, mod)
+		out = append(out, CorpusProgram{
+			Name:   fmt.Sprintf("gen-select-m%d", mod),
+			Source: src,
+			Expect: []int64{want},
+		})
+	}
+	return out
+}

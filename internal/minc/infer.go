@@ -1,0 +1,476 @@
+package minc
+
+// The pointer-property inference pass: the paper's compiler-based method
+// (Section V-B). Starting from the functions defined to return or accept
+// relative addresses (pmalloc, pfree) and from sources that are virtual by
+// construction (malloc, address-of, NULL), the pass propagates properties
+// through assignments, calls, and returns to a whole-program fixpoint.
+// Every pointer operation whose operand property remains unknown keeps its
+// dynamic check; operations on resolved pointers execute check-free.
+//
+// The lattice refines the paper's two pointer forms with the one static
+// fact the pass can actually exploit: PropVA means "virtual address into
+// DRAM" (stack, globals, malloc), because only that resolves both the
+// determineY dispatch and the determineX destination test.
+
+// InferenceReport summarizes the pass for the Section V-B statistics
+// (the paper reports ~42% of checks survive inference).
+type InferenceReport struct {
+	// PtrSites is the number of expressions that imply a runtime format
+	// dispatch when their operand property is unknown.
+	PtrSites int
+	// Checked is how many of those kept their dynamic check.
+	Checked int
+}
+
+// CheckedFraction is Checked/PtrSites.
+func (r InferenceReport) CheckedFraction() float64 {
+	if r.PtrSites == 0 {
+		return 0
+	}
+	return float64(r.Checked) / float64(r.PtrSites)
+}
+
+type inferencer struct {
+	prog *Program
+	// retProp is the merged property of each function's returned pointers.
+	retProp map[string]Prop
+	changed bool
+}
+
+// Infer runs the whole-program property analysis and annotates every
+// expression with its property and check requirement.
+func Infer(prog *Program) InferenceReport {
+	inf := &inferencer{prog: prog, retProp: make(map[string]Prop)}
+
+	// Seed: globals and parameters start at bottom and accumulate.
+	for iter := 0; iter < 50; iter++ {
+		inf.changed = false
+		for _, fn := range prog.Funcs {
+			inf.inferFunc(fn)
+		}
+		if !inf.changed {
+			break
+		}
+	}
+	// Functions never called keep parameter props at bottom; treat those
+	// as unknown (library entry points can be called with anything).
+	for _, fn := range prog.Funcs {
+		for i := range fn.Params {
+			sym := fn.Locals[i]
+			if sym.Ty.IsPtr() && sym.Prop == PropNone {
+				sym.Prop = PropUnknown
+				inf.changed = true
+			}
+		}
+	}
+	for _, fn := range prog.Funcs {
+		inf.inferFunc(fn)
+	}
+
+	// Final annotation pass: decide checks.
+	report := InferenceReport{}
+	for _, fn := range prog.Funcs {
+		walkStmts(fn.Body, func(e Expr) {
+			sites, checked := checkNeeds(e)
+			report.PtrSites += sites
+			report.Checked += checked
+		})
+	}
+	return report
+}
+
+func (inf *inferencer) raiseSym(s *Symbol, p Prop) {
+	if s == nil || p == PropNone {
+		return
+	}
+	m := s.Prop.merge(p)
+	if m != s.Prop {
+		s.Prop = m
+		inf.changed = true
+	}
+}
+
+func (inf *inferencer) raiseRet(name string, p Prop) {
+	m := inf.retProp[name].merge(p)
+	if m != inf.retProp[name] {
+		inf.retProp[name] = m
+		inf.changed = true
+	}
+}
+
+func (inf *inferencer) inferFunc(fn *Func) {
+	var stmt func(s Stmt)
+	stmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *DeclStmt:
+			if st.Init != nil {
+				p := inf.exprProp(st.Init)
+				if st.Ty.IsPtr() {
+					inf.raiseSym(st.Sym, p)
+				}
+			}
+		case *ExprStmt:
+			inf.exprProp(st.E)
+		case *IfStmt:
+			inf.exprProp(st.Cond)
+			stmt(st.Then)
+			if st.Else != nil {
+				stmt(st.Else)
+			}
+		case *WhileStmt:
+			inf.exprProp(st.Cond)
+			stmt(st.Body)
+		case *DoWhileStmt:
+			stmt(st.Body)
+			inf.exprProp(st.Cond)
+		case *ForStmt:
+			if st.Init != nil {
+				stmt(st.Init)
+			}
+			if st.Cond != nil {
+				inf.exprProp(st.Cond)
+			}
+			if st.Post != nil {
+				inf.exprProp(st.Post)
+			}
+			stmt(st.Body)
+		case *ReturnStmt:
+			if st.E != nil {
+				p := inf.exprProp(st.E)
+				if fn.Ret.IsPtr() {
+					inf.raiseRet(fn.Name, p)
+				}
+			}
+		case *SwitchStmt:
+			inf.exprProp(st.Cond)
+			for _, cs := range st.Cases {
+				for _, inner := range cs.Body {
+					stmt(inner)
+				}
+			}
+		case *Block:
+			for _, inner := range st.Stmts {
+				stmt(inner)
+			}
+		}
+	}
+	stmt(fn.Body)
+}
+
+// exprProp computes (and records) the property of an expression's pointer
+// value, propagating through assignments and calls.
+func (inf *inferencer) exprProp(e Expr) Prop {
+	info := e.exprBase()
+	var p Prop
+	switch ex := e.(type) {
+	case *NumLit:
+		p = PropNone
+	case *NullLit:
+		p = PropNone // null is form-neutral; merges without poisoning
+	case *VarRef:
+		if ex.IsFunc {
+			p = PropVA // a function's text address is virtual
+		} else if ex.Sym != nil && ex.Sym.Ty.IsPtr() {
+			p = ex.Sym.Prop
+		} else if ex.Sym != nil && ex.Sym.Ty.IsArray() {
+			p = PropVA // decays to the address of stack/global storage
+		}
+	case *Unary:
+		xp := inf.exprProp(ex.X)
+		switch ex.Op {
+		case "*":
+			if info.Ty.IsPtr() {
+				p = PropUnknown // loaded from memory: either form
+			}
+		case "&":
+			p = PropVA // address of stack/global/field storage... see below
+			// &p->f inherits p's property: the member address has the
+			// same form as the base pointer.
+			if m, ok := ex.X.(*Member); ok && m.Arrow {
+				p = inf.exprProp(m.X)
+			} else if idx, ok := ex.X.(*Index); ok {
+				p = inf.exprProp(idx.X)
+			} else if u, ok := ex.X.(*Unary); ok && u.Op == "*" {
+				p = inf.exprProp(u.X)
+			}
+		case "++", "--":
+			p = xp
+		}
+	case *PostIncDec:
+		p = inf.exprProp(ex.X)
+	case *Binary:
+		xp := inf.exprProp(ex.X)
+		yp := inf.exprProp(ex.Y)
+		if info.Ty.IsPtr() {
+			// Additive ops preserve the pointer operand's representation.
+			if ex.X.exprBase().Ty.IsPtr() {
+				p = xp
+			} else {
+				p = yp
+			}
+		}
+	case *Assign:
+		rp := inf.exprProp(ex.RHS)
+		inf.exprProp(ex.LHS)
+		if v, ok := ex.LHS.(*VarRef); ok && v.Sym != nil && v.Sym.Ty.IsPtr() {
+			inf.raiseSym(v.Sym, rp)
+		}
+		if info.Ty.IsPtr() {
+			p = rp
+		}
+	case *Cond:
+		inf.exprProp(ex.C)
+		tp := inf.exprProp(ex.T)
+		fp := inf.exprProp(ex.F)
+		p = tp.merge(fp)
+	case *Call:
+		for i, a := range ex.Args {
+			ap := inf.exprProp(a)
+			if fn, ok := inf.prog.Funcs[ex.Name]; ok && i < len(fn.Params) {
+				if fn.Params[i].Ty.IsPtr() {
+					inf.raiseSym(fn.Locals[i], ap)
+				}
+			}
+		}
+		if ex.Sym != nil && info.Ty != nil && info.Ty.IsPtr() {
+			p = PropUnknown // indirect call's pointer result
+			break
+		}
+		switch ex.Name {
+		case "pmalloc":
+			p = PropRA
+		case "malloc":
+			p = PropVA
+		default:
+			if _, ok := inf.prog.Funcs[ex.Name]; ok && info.Ty.IsPtr() {
+				p = inf.retProp[ex.Name]
+			} else if info.Ty.IsPtr() {
+				p = PropUnknown
+			}
+		}
+	case *Index:
+		xp := inf.exprProp(ex.X)
+		inf.exprProp(ex.I)
+		if info.Ty.IsPtr() {
+			p = PropUnknown // loaded from memory
+		} else if info.Ty.IsArray() {
+			p = xp
+		}
+	case *Member:
+		xp := inf.exprProp(ex.X)
+		if info.Ty.IsPtr() {
+			p = PropUnknown // loaded from memory
+		} else if info.Ty.IsArray() {
+			p = xp // the array's address shares the base's form
+		}
+	case *Cast:
+		xp := inf.exprProp(ex.X)
+		if info.Ty.IsPtr() {
+			if ex.X.exprBase().Ty != nil && ex.X.exprBase().Ty.IsPtr() {
+				p = xp
+			} else {
+				p = PropUnknown // integer reinterpreted as pointer
+			}
+		}
+	case *SizeofType:
+		if ex.Of != nil {
+			inf.exprProp(ex.Of)
+		}
+	}
+	info.Prop = p
+	return p
+}
+
+// checkNeeds decides, for one expression, how many dynamic-check sites it
+// implies and how many remain after inference. It also sets NeedsCheck.
+func checkNeeds(e Expr) (sites, checked int) {
+	info := e.exprBase()
+	known := func(x Expr) bool {
+		p := x.exprBase().Prop
+		return p == PropVA || p == PropRA || p == PropNone
+	}
+	ptr := func(x Expr) bool {
+		t := x.exprBase().Ty
+		return t != nil && t.IsPtr()
+	}
+
+	switch ex := e.(type) {
+	case *Unary:
+		if ex.Op == "*" {
+			sites = 1
+			if !known(ex.X) {
+				checked = 1
+			}
+		}
+	case *Index:
+		sites = 1
+		if !known(ex.X) {
+			checked = 1
+		}
+	case *Member:
+		if ex.Arrow {
+			sites = 1
+			if !known(ex.X) {
+				checked = 1
+			}
+		}
+	case *Assign:
+		if ptr(e) && !isVarTarget(ex.LHS) {
+			// Pointer store through memory: determineX on the location,
+			// determineY on the value.
+			sites = 2
+			if !known(addrOf(ex.LHS)) {
+				checked++
+			}
+			if !known(ex.RHS) {
+				checked++
+			}
+		} else if ptr(e) {
+			// Pointer store into a local/global: location is known DRAM;
+			// only the value's form may need a check.
+			sites = 1
+			if !known(ex.RHS) {
+				checked = 1
+			}
+		}
+	case *Binary:
+		if ptr(ex.X) && ptr(ex.Y) {
+			switch ex.Op {
+			case "==", "!=", "<", ">", "<=", ">=", "-":
+				sites = 2
+				if !known(ex.X) {
+					checked++
+				}
+				if !known(ex.Y) {
+					checked++
+				}
+			}
+		}
+	case *Cast:
+		if ex.To.IsInteger() && ptr(ex.X) {
+			sites = 1
+			if !known(ex.X) {
+				checked = 1
+			}
+		}
+	case *Call:
+		if ex.Sym != nil {
+			// Indirect call: the target pointer's form must be resolved
+			// before transfer (pxr(argument list)).
+			sites = 1
+			if ex.Sym.Prop == PropUnknown {
+				checked = 1
+			}
+		}
+	}
+	info.NeedsCheck = checked > 0
+	return sites, checked
+}
+
+// isVarTarget reports whether the lvalue is a plain variable (known DRAM
+// storage) rather than a memory dereference.
+func isVarTarget(e Expr) bool {
+	_, ok := e.(*VarRef)
+	return ok
+}
+
+// addrOf returns the expression whose value is the address written by the
+// lvalue (the base pointer of a deref/index/member), or the lvalue itself.
+func addrOf(lv Expr) Expr {
+	switch ex := lv.(type) {
+	case *Unary:
+		if ex.Op == "*" {
+			return ex.X
+		}
+	case *Index:
+		return ex.X
+	case *Member:
+		if ex.Arrow {
+			return ex.X
+		}
+	}
+	return lv
+}
+
+// walkStmts applies f to every expression in a statement tree.
+func walkStmts(s Stmt, f func(Expr)) {
+	var expr func(e Expr)
+	expr = func(e Expr) {
+		if e == nil {
+			return
+		}
+		f(e)
+		switch ex := e.(type) {
+		case *Unary:
+			expr(ex.X)
+		case *PostIncDec:
+			expr(ex.X)
+		case *Binary:
+			expr(ex.X)
+			expr(ex.Y)
+		case *Assign:
+			expr(ex.LHS)
+			expr(ex.RHS)
+		case *Cond:
+			expr(ex.C)
+			expr(ex.T)
+			expr(ex.F)
+		case *Call:
+			for _, a := range ex.Args {
+				expr(a)
+			}
+		case *Index:
+			expr(ex.X)
+			expr(ex.I)
+		case *Member:
+			expr(ex.X)
+		case *Cast:
+			expr(ex.X)
+		case *SizeofType:
+			expr(ex.Of)
+		}
+	}
+	var stmt func(s Stmt)
+	stmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *DeclStmt:
+			expr(st.Init)
+		case *ExprStmt:
+			expr(st.E)
+		case *IfStmt:
+			expr(st.Cond)
+			stmt(st.Then)
+			if st.Else != nil {
+				stmt(st.Else)
+			}
+		case *WhileStmt:
+			expr(st.Cond)
+			stmt(st.Body)
+		case *DoWhileStmt:
+			stmt(st.Body)
+			expr(st.Cond)
+		case *ForStmt:
+			if st.Init != nil {
+				stmt(st.Init)
+			}
+			expr(st.Cond)
+			expr(st.Post)
+			stmt(st.Body)
+		case *ReturnStmt:
+			expr(st.E)
+		case *SwitchStmt:
+			expr(st.Cond)
+			for _, cs := range st.Cases {
+				for _, inner := range cs.Body {
+					stmt(inner)
+				}
+			}
+		case *Block:
+			for _, inner := range st.Stmts {
+				stmt(inner)
+			}
+		}
+	}
+	stmt(s)
+}

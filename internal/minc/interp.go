@@ -1,0 +1,939 @@
+package minc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nvref/internal/core"
+	"nvref/internal/rt"
+)
+
+// Interpreter limits.
+const (
+	maxSteps     = 100_000_000
+	maxCallDepth = 4096
+	stackBase    = uint64(0x4000_0000)
+	stackSize    = uint64(8 << 20)
+	globalBase   = uint64(0x3000_0000)
+	// textBase is the simulated text segment: each function gets a slot
+	// there so function pointers are ordinary virtual addresses.
+	textBase   = uint64(0x2000_0000)
+	textStride = uint64(16)
+)
+
+// Runtime errors.
+var (
+	ErrFuel       = errors.New("minc: step budget exhausted (infinite loop?)")
+	ErrStackDepth = errors.New("minc: call stack overflow")
+	ErrDivZero    = errors.New("minc: division by zero")
+	ErrNoReturn   = errors.New("minc: non-void function fell off the end")
+)
+
+// RunResult is the outcome of executing a program.
+type RunResult struct {
+	Exit   int64
+	Output []int64
+}
+
+// Machine executes a checked, inferred program over an rt.Context.
+type Machine struct {
+	ctx   *rt.Context
+	prog  *Program
+	sites []*rt.Site
+
+	sp        uint64 // current stack pointer (grows up)
+	depth     int
+	steps     int
+	allocSize map[uint64]uint64 // normalized object key -> size
+	output    []int64
+
+	// Function address assignment (text segment).
+	funcAddr   map[string]uint64
+	funcByAddr map[uint64]*Func
+}
+
+// NewMachine prepares a machine for the program over the context. The
+// simulated stack and global segment are mapped into the context's DRAM.
+func NewMachine(prog *Program, ctx *rt.Context) (*Machine, error) {
+	if err := ctx.AS.Map(stackBase, stackSize, "minc-stack"); err != nil {
+		return nil, err
+	}
+	gsize := (prog.GlobalSize + 4095) &^ 4095
+	if gsize == 0 {
+		gsize = 4096
+	}
+	if err := ctx.AS.Map(globalBase, uint64(gsize), "minc-globals"); err != nil {
+		return nil, err
+	}
+	if err := ctx.AS.Map(textBase, 4096, "minc-text"); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		ctx:        ctx,
+		prog:       prog,
+		sites:      make([]*rt.Site, prog.exprCount+1),
+		sp:         stackBase,
+		allocSize:  make(map[uint64]uint64),
+		funcAddr:   make(map[string]uint64),
+		funcByAddr: make(map[uint64]*Func),
+	}
+	// Deterministic function addresses, ordered by name.
+	names := make([]string, 0, len(prog.Funcs))
+	for name := range prog.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		addr := textBase + uint64(i+1)*textStride
+		m.funcAddr[name] = addr
+		m.funcByAddr[addr] = prog.Funcs[name]
+	}
+	return m, nil
+}
+
+// Context returns the underlying runtime context (for statistics).
+func (m *Machine) Context() *rt.Context { return m.ctx }
+
+// site returns the rt.Site for an expression node, honoring the inference
+// pass's check-elimination decision.
+func (m *Machine) site(info *ExprInfo) *rt.Site {
+	if m.sites[info.ID] == nil {
+		m.sites[info.ID] = rt.NewSite(fmt.Sprintf("minc.%d", info.ID), !info.NeedsCheck)
+	}
+	return m.sites[info.ID]
+}
+
+// Run executes main and returns its result.
+func (m *Machine) Run() (RunResult, error) {
+	main := m.prog.Funcs["main"]
+	v, err := m.call(main, nil)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{Exit: int64(v), Output: m.output}, nil
+}
+
+// control models break/continue/return unwinding.
+type control int
+
+const (
+	ctrlNone control = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// frame is one activation record; locals live in simulated stack memory.
+type frame struct {
+	base core.Ptr // frame base address (DRAM)
+	fn   *Func
+}
+
+func (m *Machine) call(fn *Func, args []uint64) (uint64, error) {
+	if m.depth++; m.depth > maxCallDepth {
+		return 0, ErrStackDepth
+	}
+	defer func() { m.depth-- }()
+
+	size := uint64(fn.FrameSize)
+	if size == 0 {
+		size = 8
+	}
+	if m.sp+size > stackBase+stackSize {
+		return 0, ErrStackDepth
+	}
+	f := &frame{base: core.FromVA(m.sp), fn: fn}
+	m.sp += size
+	defer func() { m.sp -= size }()
+
+	// Spill arguments into parameter slots.
+	for i := range fn.Params {
+		sym := fn.Locals[i]
+		m.storeVar(f, sym, siteForVar, args[i])
+	}
+
+	ctrl, ret, err := m.execStmt(f, fn.Body)
+	if err != nil {
+		return 0, err
+	}
+	if ctrl == ctrlReturn {
+		return ret, nil
+	}
+	if fn.Ret.Kind != TypeVoid && fn.Name != "main" {
+		return 0, fmt.Errorf("%w: %s", ErrNoReturn, fn.Name)
+	}
+	return 0, nil
+}
+
+// siteForVar is the shared inferred site for frame-slot traffic: the
+// compiler statically knows the stack and globals are DRAM.
+var siteForVar = rt.NewSite("minc.frame", true)
+
+func (m *Machine) varLoc(f *frame, sym *Symbol) (core.Ptr, int64) {
+	if sym.Global {
+		return core.FromVA(globalBase), sym.Offset
+	}
+	return f.base, sym.Offset
+}
+
+func (m *Machine) loadVar(f *frame, sym *Symbol, site *rt.Site) uint64 {
+	base, off := m.varLoc(f, sym)
+	if sym.Ty.IsPtr() {
+		return uint64(m.ctx.LoadPtr(site, base, off))
+	}
+	return m.ctx.LoadWord(site, base, off)
+}
+
+func (m *Machine) storeVar(f *frame, sym *Symbol, site *rt.Site, v uint64) {
+	base, off := m.varLoc(f, sym)
+	if sym.Ty.IsPtr() {
+		m.ctx.StorePtr(site, base, off, core.Ptr(v))
+	} else {
+		m.ctx.StoreWord(site, base, off, v)
+	}
+}
+
+func (m *Machine) fuel() error {
+	m.steps++
+	if m.steps > maxSteps {
+		return ErrFuel
+	}
+	return nil
+}
+
+func (m *Machine) execStmt(f *frame, s Stmt) (control, uint64, error) {
+	if err := m.fuel(); err != nil {
+		return ctrlNone, 0, err
+	}
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			v, err := m.eval(f, st.Init)
+			if err != nil {
+				return ctrlNone, 0, err
+			}
+			m.storeVar(f, st.Sym, m.site(st.Init.exprBase()), v)
+		} else {
+			m.storeVar(f, st.Sym, siteForVar, 0)
+		}
+		return ctrlNone, 0, nil
+
+	case *ExprStmt:
+		_, err := m.eval(f, st.E)
+		return ctrlNone, 0, err
+
+	case *IfStmt:
+		taken, err := m.evalCond(f, st.Cond)
+		if err != nil {
+			return ctrlNone, 0, err
+		}
+		if taken {
+			return m.execStmt(f, st.Then)
+		}
+		if st.Else != nil {
+			return m.execStmt(f, st.Else)
+		}
+		return ctrlNone, 0, nil
+
+	case *WhileStmt:
+		for {
+			taken, err := m.evalCond(f, st.Cond)
+			if err != nil {
+				return ctrlNone, 0, err
+			}
+			if !taken {
+				return ctrlNone, 0, nil
+			}
+			ctrl, v, err := m.execStmt(f, st.Body)
+			if err != nil {
+				return ctrlNone, 0, err
+			}
+			switch ctrl {
+			case ctrlBreak:
+				return ctrlNone, 0, nil
+			case ctrlReturn:
+				return ctrl, v, nil
+			}
+		}
+
+	case *DoWhileStmt:
+		for {
+			ctrl, v, err := m.execStmt(f, st.Body)
+			if err != nil {
+				return ctrlNone, 0, err
+			}
+			switch ctrl {
+			case ctrlBreak:
+				return ctrlNone, 0, nil
+			case ctrlReturn:
+				return ctrl, v, nil
+			}
+			taken, err := m.evalCond(f, st.Cond)
+			if err != nil {
+				return ctrlNone, 0, err
+			}
+			if !taken {
+				return ctrlNone, 0, nil
+			}
+		}
+
+	case *ForStmt:
+		if st.Init != nil {
+			if _, _, err := m.execStmt(f, st.Init); err != nil {
+				return ctrlNone, 0, err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				taken, err := m.evalCond(f, st.Cond)
+				if err != nil {
+					return ctrlNone, 0, err
+				}
+				if !taken {
+					return ctrlNone, 0, nil
+				}
+			}
+			ctrl, v, err := m.execStmt(f, st.Body)
+			if err != nil {
+				return ctrlNone, 0, err
+			}
+			if ctrl == ctrlBreak {
+				return ctrlNone, 0, nil
+			}
+			if ctrl == ctrlReturn {
+				return ctrl, v, nil
+			}
+			if st.Post != nil {
+				if _, err := m.eval(f, st.Post); err != nil {
+					return ctrlNone, 0, err
+				}
+			}
+		}
+
+	case *ReturnStmt:
+		if st.E == nil {
+			return ctrlReturn, 0, nil
+		}
+		v, err := m.eval(f, st.E)
+		return ctrlReturn, v, err
+
+	case *Block:
+		for _, inner := range st.Stmts {
+			ctrl, v, err := m.execStmt(f, inner)
+			if err != nil {
+				return ctrlNone, 0, err
+			}
+			if ctrl != ctrlNone {
+				return ctrl, v, nil
+			}
+		}
+		return ctrlNone, 0, nil
+
+	case *SwitchStmt:
+		v, err := m.eval(f, st.Cond)
+		if err != nil {
+			return ctrlNone, 0, err
+		}
+		condSite := m.site(st.Cond.exprBase())
+		match := -1
+		defaultIdx := -1
+		for i, cs := range st.Cases {
+			if cs.Default {
+				defaultIdx = i
+				continue
+			}
+			hit := false
+			for _, label := range cs.Vals {
+				if int64(v) == label {
+					hit = true
+				}
+			}
+			// Each evaluated case label is a compare-and-branch.
+			m.ctx.Exec(1)
+			m.ctx.Branch(condSite, hit)
+			if hit && match < 0 {
+				match = i
+			}
+			if match >= 0 {
+				break
+			}
+		}
+		if match < 0 {
+			match = defaultIdx
+		}
+		if match < 0 {
+			return ctrlNone, 0, nil
+		}
+		// Fall through subsequent arms until a break.
+		for i := match; i < len(st.Cases); i++ {
+			for _, inner := range st.Cases[i].Body {
+				ctrl, rv, err := m.execStmt(f, inner)
+				if err != nil {
+					return ctrlNone, 0, err
+				}
+				switch ctrl {
+				case ctrlBreak:
+					return ctrlNone, 0, nil
+				case ctrlReturn, ctrlContinue:
+					return ctrl, rv, nil
+				}
+			}
+		}
+		return ctrlNone, 0, nil
+
+	case *BreakStmt:
+		return ctrlBreak, 0, nil
+	case *ContinueStmt:
+		return ctrlContinue, 0, nil
+	}
+	return ctrlNone, 0, fmt.Errorf("minc: unknown statement %T", s)
+}
+
+// evalCond evaluates a condition and replays its branch.
+func (m *Machine) evalCond(f *frame, cond Expr) (bool, error) {
+	v, err := m.eval(f, cond)
+	if err != nil {
+		return false, err
+	}
+	taken := v != 0
+	m.ctx.Branch(m.site(cond.exprBase()), taken)
+	return taken, nil
+}
+
+// location is a resolved lvalue: a base reference, byte offset, and the
+// stored element type.
+type location struct {
+	base core.Ptr
+	off  int64
+	ty   *Type
+	site *rt.Site
+}
+
+func (m *Machine) lvalue(f *frame, e Expr) (location, error) {
+	switch ex := e.(type) {
+	case *VarRef:
+		base, off := m.varLoc(f, ex.Sym)
+		return location{base: base, off: off, ty: ex.Sym.Ty, site: siteForVar}, nil
+
+	case *Unary:
+		if ex.Op != "*" {
+			break
+		}
+		p, err := m.eval(f, ex.X)
+		if err != nil {
+			return location{}, err
+		}
+		return location{base: core.Ptr(p), off: 0, ty: ex.Ty, site: m.site(&ex.ExprInfo)}, nil
+
+	case *Index:
+		if xt := ex.X.exprBase().Ty; xt != nil && xt.IsArray() {
+			// Indexing an array lvalue: no pointer load, just offset
+			// arithmetic within the enclosing storage.
+			loc, err := m.lvalue(f, ex.X)
+			if err != nil {
+				return location{}, err
+			}
+			i, err := m.eval(f, ex.I)
+			if err != nil {
+				return location{}, err
+			}
+			loc.off += int64(i) * ex.Ty.Size()
+			loc.ty = ex.Ty
+			loc.site = m.site(&ex.ExprInfo)
+			return loc, nil
+		}
+		p, err := m.eval(f, ex.X)
+		if err != nil {
+			return location{}, err
+		}
+		i, err := m.eval(f, ex.I)
+		if err != nil {
+			return location{}, err
+		}
+		return location{
+			base: core.Ptr(p),
+			off:  int64(i) * ex.Ty.Size(),
+			ty:   ex.Ty,
+			site: m.site(&ex.ExprInfo),
+		}, nil
+
+	case *Member:
+		if ex.Arrow {
+			p, err := m.eval(f, ex.X)
+			if err != nil {
+				return location{}, err
+			}
+			return location{base: core.Ptr(p), off: ex.Field.Offset, ty: ex.Field.Type, site: m.site(&ex.ExprInfo)}, nil
+		}
+		// x.f: x must itself be an lvalue.
+		loc, err := m.lvalue(f, ex.X)
+		if err != nil {
+			return location{}, err
+		}
+		loc.off += ex.Field.Offset
+		loc.ty = ex.Field.Type
+		return loc, nil
+	}
+	return location{}, fmt.Errorf("minc: not an lvalue: %T", e)
+}
+
+func (m *Machine) loadLoc(loc location) uint64 {
+	if loc.ty.IsPtr() {
+		return uint64(m.ctx.LoadPtr(loc.site, loc.base, loc.off))
+	}
+	return m.ctx.LoadWord(loc.site, loc.base, loc.off)
+}
+
+func (m *Machine) storeLoc(loc location, v uint64) {
+	if loc.ty.IsPtr() {
+		m.ctx.StorePtr(loc.site, loc.base, loc.off, core.Ptr(v))
+	} else {
+		m.ctx.StoreWord(loc.site, loc.base, loc.off, v)
+	}
+}
+
+func (m *Machine) eval(f *frame, e Expr) (uint64, error) {
+	if err := m.fuel(); err != nil {
+		return 0, err
+	}
+	switch ex := e.(type) {
+	case *NumLit:
+		m.ctx.Exec(1)
+		return uint64(ex.V), nil
+
+	case *NullLit:
+		m.ctx.Exec(1)
+		return 0, nil
+
+	case *VarRef:
+		if ex.IsFunc {
+			m.ctx.Exec(1)
+			return m.funcAddr[ex.Name], nil
+		}
+		if ex.Sym.Ty.IsArray() {
+			// Array-to-pointer decay: the value is the storage address.
+			base, off := m.varLoc(f, ex.Sym)
+			return uint64(m.ctx.PtrAdd(base, off, 1)), nil
+		}
+		return m.loadVar(f, ex.Sym, siteForVar), nil
+
+	case *Unary:
+		return m.evalUnary(f, ex)
+
+	case *PostIncDec:
+		loc, err := m.lvalue(f, ex.X)
+		if err != nil {
+			return 0, err
+		}
+		old := m.loadLoc(loc)
+		var next uint64
+		if ex.Ty.IsPtr() {
+			delta := int64(1)
+			if ex.Op == "--" {
+				delta = -1
+			}
+			next = uint64(m.ctx.PtrAdd(core.Ptr(old), delta, ex.Ty.Elem.Size()))
+		} else {
+			m.ctx.Exec(1)
+			if ex.Op == "++" {
+				next = old + 1
+			} else {
+				next = old - 1
+			}
+		}
+		m.storeLoc(loc, next)
+		return old, nil
+
+	case *Binary:
+		return m.evalBinary(f, ex)
+
+	case *Assign:
+		return m.evalAssign(f, ex)
+
+	case *Cond:
+		taken, err := m.evalCond(f, ex.C)
+		if err != nil {
+			return 0, err
+		}
+		if taken {
+			return m.eval(f, ex.T)
+		}
+		return m.eval(f, ex.F)
+
+	case *Call:
+		return m.evalCall(f, ex)
+
+	case *Index:
+		loc, err := m.lvalue(f, ex)
+		if err != nil {
+			return 0, err
+		}
+		if loc.ty.IsArray() {
+			return uint64(m.ctx.PtrAdd(loc.base, loc.off, 1)), nil
+		}
+		return m.loadLoc(loc), nil
+
+	case *Member:
+		loc, err := m.lvalue(f, ex)
+		if err != nil {
+			return 0, err
+		}
+		if loc.ty.IsArray() {
+			return uint64(m.ctx.PtrAdd(loc.base, loc.off, 1)), nil
+		}
+		return m.loadLoc(loc), nil
+
+	case *Cast:
+		v, err := m.eval(f, ex.X)
+		if err != nil {
+			return 0, err
+		}
+		from := ex.X.exprBase().Ty
+		if ex.To.IsInteger() && from.IsPtr() {
+			// (I)p: a relative pointer converts to its virtual address.
+			return m.ctx.PtrToInt(m.site(&ex.ExprInfo), core.Ptr(v)), nil
+		}
+		m.ctx.Exec(1)
+		return v, nil
+
+	case *SizeofType:
+		m.ctx.Exec(1)
+		if ex.Of != nil {
+			return uint64(ex.Of.exprBase().Ty.Size()), nil
+		}
+		return uint64(ex.T.Size()), nil
+	}
+	return 0, fmt.Errorf("minc: unknown expression %T", e)
+}
+
+func (m *Machine) evalUnary(f *frame, ex *Unary) (uint64, error) {
+	switch ex.Op {
+	case "*":
+		loc, err := m.lvalue(f, ex)
+		if err != nil {
+			return 0, err
+		}
+		return m.loadLoc(loc), nil
+
+	case "&":
+		loc, err := m.lvalue(f, ex.X)
+		if err != nil {
+			return 0, err
+		}
+		// The address keeps the base's representation (additive rows).
+		return uint64(m.ctx.PtrAdd(loc.base, loc.off, 1)), nil
+
+	case "-":
+		v, err := m.eval(f, ex.X)
+		if err != nil {
+			return 0, err
+		}
+		m.ctx.Exec(1)
+		return uint64(-int64(v)), nil
+
+	case "~":
+		v, err := m.eval(f, ex.X)
+		if err != nil {
+			return 0, err
+		}
+		m.ctx.Exec(1)
+		return ^v, nil
+
+	case "!":
+		v, err := m.eval(f, ex.X)
+		if err != nil {
+			return 0, err
+		}
+		m.ctx.Exec(1)
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+
+	case "++", "--":
+		loc, err := m.lvalue(f, ex.X)
+		if err != nil {
+			return 0, err
+		}
+		old := m.loadLoc(loc)
+		var next uint64
+		if ex.Ty.IsPtr() {
+			delta := int64(1)
+			if ex.Op == "--" {
+				delta = -1
+			}
+			next = uint64(m.ctx.PtrAdd(core.Ptr(old), delta, ex.Ty.Elem.Size()))
+		} else {
+			m.ctx.Exec(1)
+			if ex.Op == "++" {
+				next = old + 1
+			} else {
+				next = old - 1
+			}
+		}
+		m.storeLoc(loc, next)
+		return next, nil
+	}
+	return 0, fmt.Errorf("minc: unknown unary %q", ex.Op)
+}
+
+func (m *Machine) evalBinary(f *frame, ex *Binary) (uint64, error) {
+	// Short-circuit logic first.
+	if ex.Op == "&&" || ex.Op == "||" {
+		l, err := m.evalCond(f, ex.X)
+		if err != nil {
+			return 0, err
+		}
+		if ex.Op == "&&" && !l {
+			return 0, nil
+		}
+		if ex.Op == "||" && l {
+			return 1, nil
+		}
+		r, err := m.evalCond(f, ex.Y)
+		if err != nil {
+			return 0, err
+		}
+		if r {
+			return 1, nil
+		}
+		return 0, nil
+	}
+
+	x, err := m.eval(f, ex.X)
+	if err != nil {
+		return 0, err
+	}
+	y, err := m.eval(f, ex.Y)
+	if err != nil {
+		return 0, err
+	}
+	xt, yt := ex.X.exprBase().Ty.Decayed(), ex.Y.exprBase().Ty.Decayed()
+	site := m.site(&ex.ExprInfo)
+
+	// Pointer operations go through the reference semantics.
+	if xt.IsPtr() || yt.IsPtr() {
+		switch ex.Op {
+		case "+":
+			if xt.IsPtr() {
+				return uint64(m.ctx.PtrAdd(core.Ptr(x), int64(y), xt.Elem.Size())), nil
+			}
+			return uint64(m.ctx.PtrAdd(core.Ptr(y), int64(x), yt.Elem.Size())), nil
+		case "-":
+			if xt.IsPtr() && yt.IsPtr() {
+				return uint64(m.ctx.PtrDiff(site, core.Ptr(x), core.Ptr(y), xt.Elem.Size())), nil
+			}
+			return uint64(m.ctx.PtrAdd(core.Ptr(x), -int64(y), xt.Elem.Size())), nil
+		case "==", "!=":
+			eq := m.ctx.PtrEq(site, core.Ptr(x), core.Ptr(y))
+			if ex.Op == "!=" {
+				eq = !eq
+			}
+			return boolToWord(eq), nil
+		case "<", ">", "<=", ">=":
+			var r bool
+			switch ex.Op {
+			case "<":
+				r = m.ctx.PtrLess(site, core.Ptr(x), core.Ptr(y))
+			case ">":
+				r = m.ctx.PtrLess(site, core.Ptr(y), core.Ptr(x))
+			case "<=":
+				r = !m.ctx.PtrLess(site, core.Ptr(y), core.Ptr(x))
+			case ">=":
+				r = !m.ctx.PtrLess(site, core.Ptr(x), core.Ptr(y))
+			}
+			return boolToWord(r), nil
+		}
+	}
+
+	m.ctx.Exec(1)
+	xi, yi := int64(x), int64(y)
+	switch ex.Op {
+	case "+":
+		return uint64(xi + yi), nil
+	case "-":
+		return uint64(xi - yi), nil
+	case "*":
+		return uint64(xi * yi), nil
+	case "/":
+		if yi == 0 {
+			return 0, ErrDivZero
+		}
+		return uint64(xi / yi), nil
+	case "%":
+		if yi == 0 {
+			return 0, ErrDivZero
+		}
+		return uint64(xi % yi), nil
+	case "&":
+		return x & y, nil
+	case "|":
+		return x | y, nil
+	case "^":
+		return x ^ y, nil
+	case "<<":
+		return x << (y & 63), nil
+	case ">>":
+		return uint64(xi >> (y & 63)), nil
+	case "==":
+		return boolToWord(x == y), nil
+	case "!=":
+		return boolToWord(x != y), nil
+	case "<":
+		return boolToWord(xi < yi), nil
+	case ">":
+		return boolToWord(xi > yi), nil
+	case "<=":
+		return boolToWord(xi <= yi), nil
+	case ">=":
+		return boolToWord(xi >= yi), nil
+	}
+	return 0, fmt.Errorf("minc: unknown binary %q", ex.Op)
+}
+
+func (m *Machine) evalAssign(f *frame, ex *Assign) (uint64, error) {
+	loc, err := m.lvalue(f, ex.LHS)
+	if err != nil {
+		return 0, err
+	}
+	rhs, err := m.eval(f, ex.RHS)
+	if err != nil {
+		return 0, err
+	}
+
+	if ex.Op == "=" {
+		if loc.ty.Kind == TypeStruct {
+			return rhs, fmt.Errorf("minc: struct assignment is not supported")
+		}
+		m.storeLoc(location{loc.base, loc.off, loc.ty, m.site(&ex.ExprInfo)}, rhs)
+		return rhs, nil
+	}
+
+	// Compound assignment: load, combine, store.
+	old := m.loadLoc(loc)
+	var v uint64
+	if loc.ty.IsPtr() {
+		switch ex.Op {
+		case "+=":
+			v = uint64(m.ctx.PtrAdd(core.Ptr(old), int64(rhs), loc.ty.Elem.Size()))
+		case "-=":
+			v = uint64(m.ctx.PtrAdd(core.Ptr(old), -int64(rhs), loc.ty.Elem.Size()))
+		default:
+			return 0, fmt.Errorf("minc: %s on pointer", ex.Op)
+		}
+	} else {
+		m.ctx.Exec(1)
+		oi, ri := int64(old), int64(rhs)
+		switch ex.Op {
+		case "+=":
+			v = uint64(oi + ri)
+		case "-=":
+			v = uint64(oi - ri)
+		case "*=":
+			v = uint64(oi * ri)
+		case "/=":
+			if ri == 0 {
+				return 0, ErrDivZero
+			}
+			v = uint64(oi / ri)
+		case "%=":
+			if ri == 0 {
+				return 0, ErrDivZero
+			}
+			v = uint64(oi % ri)
+		case "&=":
+			v = old & rhs
+		case "|=":
+			v = old | rhs
+		case "^=":
+			v = old ^ rhs
+		default:
+			return 0, fmt.Errorf("minc: unknown compound op %q", ex.Op)
+		}
+	}
+	m.storeLoc(location{loc.base, loc.off, loc.ty, m.site(&ex.ExprInfo)}, v)
+	return v, nil
+}
+
+func (m *Machine) evalCall(f *frame, ex *Call) (uint64, error) {
+	args := make([]uint64, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := m.eval(f, a)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+
+	switch ex.Name {
+	case "malloc":
+		p := m.ctx.Malloc(args[0])
+		m.allocSize[m.objKey(p)] = args[0]
+		return uint64(p), nil
+	case "pmalloc":
+		p := m.ctx.Pmalloc(args[0])
+		m.allocSize[m.objKey(p)] = args[0]
+		return uint64(p), nil
+	case "free":
+		p := core.Ptr(args[0])
+		if p.IsNull() {
+			return 0, nil
+		}
+		key := m.objKey(p)
+		size := m.allocSize[key]
+		delete(m.allocSize, key)
+		m.ctx.FreeVolatile(p, size)
+		return 0, nil
+	case "pfree":
+		p := core.Ptr(args[0])
+		if p.IsNull() {
+			return 0, nil
+		}
+		key := m.objKey(p)
+		size := m.allocSize[key]
+		delete(m.allocSize, key)
+		m.ctx.Pfree(p, size)
+		return 0, nil
+	case "print":
+		m.ctx.Exec(5)
+		m.output = append(m.output, int64(args[0]))
+		return 0, nil
+	}
+
+	if ex.Sym != nil {
+		// Indirect call: resolve the target's virtual address, applying
+		// the pxr(argument list) conversion if the stored form is
+		// relative.
+		raw := m.loadVar(f, ex.Sym, siteForVar)
+		target := m.ctx.PtrToInt(m.site(&ex.ExprInfo), core.Ptr(raw))
+		fn, ok := m.funcByAddr[target]
+		if !ok {
+			return 0, fmt.Errorf("minc: indirect call through %#x targets no function", target)
+		}
+		m.ctx.Exec(3) // indirect call/return overhead
+		return m.call(fn, args)
+	}
+	fn := m.prog.Funcs[ex.Name]
+	m.ctx.Exec(2) // call/return overhead
+	return m.call(fn, args)
+}
+
+// objKey normalizes a reference so an object is tracked under one key no
+// matter which form the program passes to free.
+func (m *Machine) objKey(p core.Ptr) uint64 {
+	if p.IsRelative() {
+		return uint64(p)
+	}
+	if rel, ok := m.ctx.Reg.VA2RA(p.VA()); ok {
+		return uint64(rel)
+	}
+	return uint64(p)
+}
+
+func boolToWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,224 @@
+package minc
+
+import (
+	"strings"
+	"testing"
+
+	"nvref/internal/rt"
+)
+
+func TestArrayDeclRejectsBadForms(t *testing.T) {
+	bad := map[string]string{
+		"zero length":       `int main() { long a[0]; return 0; }`,
+		"negative length":   `int main() { long a[-1]; return 0; }`,
+		"non-const length":  `int main() { int n = 3; long a[n]; return 0; }`,
+		"array initializer": `int main() { long a[3] = 5; return 0; }`,
+		"array assignment":  `int main() { long a[3]; long b[3]; a = b; return 0; }`,
+	}
+	for name, src := range bad {
+		prog, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		if err := Check(prog); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSwitchRejectsBadForms(t *testing.T) {
+	bad := map[string]string{
+		"duplicate labels": `int main() { switch (1) { case 1: break; case 1: break; } return 0; }`,
+		"two defaults":     `int main() { switch (1) { default: break; default: break; } return 0; }`,
+		"non-const label":  `int main() { int x = 1; switch (1) { case x: break; } return 0; }`,
+		"stmt before case": `int main() { switch (1) { print(1); case 1: break; } return 0; }`,
+	}
+	for name, src := range bad {
+		prog, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		if err := Check(prog); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSwitchBranchEventsRecorded(t *testing.T) {
+	src := `
+int main() {
+    int i;
+    long s = 0;
+    for (i = 0; i < 50; i++) {
+        switch (i % 3) {
+        case 0: s += 1; break;
+        case 1: s += 2; break;
+        default: s += 3; break;
+        }
+    }
+    print(s);
+    return 0;
+}`
+	res, ctx, err := RunSource(src, rt.Volatile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 17 zeros, 17 ones, 16 twos: s = 17+34+48 = 99.
+	if len(res.Output) != 1 || res.Output[0] != 99 {
+		t.Fatalf("output = %v", res.Output)
+	}
+	if ctx.CPU.Stats.Branch.Branches < 100 {
+		t.Errorf("switch dispatch recorded only %d branches", ctx.CPU.Stats.Branch.Branches)
+	}
+}
+
+func TestArrayElementsLiveInFrame(t *testing.T) {
+	// A local array must occupy frame (DRAM) storage: taking an element's
+	// address and storing through it must not touch NVM.
+	src := `
+int main() {
+    long a[4];
+    long* p = &a[2];
+    *p = 77;
+    print(a[2]);
+    return 0;
+}`
+	res, ctx, err := RunSource(src, rt.HW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 77 {
+		t.Fatalf("output = %v", res.Output)
+	}
+	if ctx.CPU.Stats.NVMAccesses != 0 {
+		t.Errorf("stack-array program touched NVM %d times", ctx.CPU.Stats.NVMAccesses)
+	}
+}
+
+func TestArrayInsideNVMStructUsesRelativeAddressing(t *testing.T) {
+	// The embedded array's address inherits the struct's relative form,
+	// so stores into it go through the persistent path.
+	src := `
+struct R { long data[4]; };
+int main() {
+    struct R* r = (struct R*)pmalloc(sizeof(struct R));
+    int i;
+    for (i = 0; i < 4; i++) r->data[i] = i;
+    long s = 0;
+    for (i = 0; i < 4; i++) s += r->data[i];
+    print(s);
+    return 0;
+}`
+	res, ctx, err := RunSource(src, rt.HW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 6 {
+		t.Fatalf("output = %v", res.Output)
+	}
+	if ctx.CPU.Stats.NVMAccesses == 0 && ctx.Stats.EATranslations == 0 {
+		t.Error("NVM-struct array program never used persistent addressing")
+	}
+}
+
+func TestSizeofArrayForms(t *testing.T) {
+	src := `
+struct S { long a[5]; long b; };
+int main() {
+    long local[7];
+    print(sizeof(local));
+    print(sizeof(struct S));
+    struct S* s = (struct S*)malloc(sizeof(struct S));
+    print(sizeof(s->a));
+    return 0;
+}`
+	res, err := VerifyAllModes(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{56, 48, 40}
+	for i, w := range want {
+		if res.Output[i] != w {
+			t.Errorf("output[%d] = %d, want %d", i, res.Output[i], w)
+		}
+	}
+}
+
+func TestParseSwitchSyntaxErrors(t *testing.T) {
+	bad := []string{
+		`int main() { switch (1) { case : break; } return 0; }`,
+		`int main() { switch (1) { case 1 break; } return 0; }`,
+		`int main() { switch 1 { case 1: break; } return 0; }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parsed invalid switch: %s", src)
+		}
+	}
+}
+
+func TestLexKeywordsForSwitch(t *testing.T) {
+	toks, err := Lex("switch case default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:3] {
+		if tok.Kind != TokKeyword {
+			t.Errorf("%q lexed as %v, want keyword", tok.Text, tok.Kind)
+		}
+	}
+}
+
+func TestGlobalArraySharedAcrossCalls(t *testing.T) {
+	src := `
+long buf[4];
+void put(int i, long v) { buf[i] = v; }
+long get(int i) { return buf[i]; }
+int main() {
+    put(0, 11);
+    put(3, 44);
+    print(get(0) + get(3));
+    return 0;
+}`
+	res, err := VerifyAllModes(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 55 {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestDecayedArrayComparesEqualToFirstElementAddress(t *testing.T) {
+	src := `
+int main() {
+    long a[4];
+    if (a == &a[0]) print(1); else print(0);
+    if (a + 1 == &a[1]) print(1); else print(0);
+    return 0;
+}`
+	res, err := VerifyAllModes(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 1 || res.Output[1] != 1 {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestCorpusHasExpectedBreadth(t *testing.T) {
+	all := Corpus()
+	if len(all) < 80 {
+		t.Errorf("corpus has %d programs; expected at least 80", len(all))
+	}
+	names := map[string]bool{}
+	for _, p := range all {
+		if names[p.Name] {
+			t.Errorf("duplicate corpus program name %q", p.Name)
+		}
+		names[p.Name] = true
+		if !strings.Contains(p.Source, "main") {
+			t.Errorf("%s has no main", p.Name)
+		}
+	}
+}

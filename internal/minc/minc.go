@@ -1,0 +1,79 @@
+package minc
+
+import (
+	"fmt"
+
+	"nvref/internal/rt"
+)
+
+// Compile parses, checks, and runs pointer-property inference on a source
+// unit, returning the executable program and the inference statistics.
+func Compile(src string) (*Program, InferenceReport, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, InferenceReport{}, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, InferenceReport{}, err
+	}
+	report := Infer(prog)
+	return prog, report, nil
+}
+
+// Run executes a compiled program under the given model on a fresh
+// context and returns the result together with the context (for metric
+// extraction).
+func Run(prog *Program, mode rt.Mode) (RunResult, *rt.Context, error) {
+	ctx, err := rt.New(rt.Config{Mode: mode})
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	m, err := NewMachine(prog, ctx)
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	res, err := m.Run()
+	return res, ctx, err
+}
+
+// RunSource compiles and runs in one step.
+func RunSource(src string, mode rt.Mode) (RunResult, *rt.Context, error) {
+	prog, _, err := Compile(src)
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	return Run(prog, mode)
+}
+
+// VerifyAllModes runs the program under every model and confirms the
+// paper's Section VII-B soundness property: identical exit codes and
+// identical printed output everywhere. It returns the Volatile result.
+func VerifyAllModes(src string) (RunResult, error) {
+	prog, _, err := Compile(src)
+	if err != nil {
+		return RunResult{}, err
+	}
+	var want RunResult
+	for i, mode := range rt.Modes {
+		got, _, err := Run(prog, mode)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("minc: %s run failed: %w", mode, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got.Exit != want.Exit {
+			return RunResult{}, fmt.Errorf("minc: %s exit = %d, Volatile exit = %d", mode, got.Exit, want.Exit)
+		}
+		if len(got.Output) != len(want.Output) {
+			return RunResult{}, fmt.Errorf("minc: %s printed %d values, Volatile printed %d", mode, len(got.Output), len(want.Output))
+		}
+		for j := range got.Output {
+			if got.Output[j] != want.Output[j] {
+				return RunResult{}, fmt.Errorf("minc: %s output[%d] = %d, Volatile = %d", mode, j, got.Output[j], want.Output[j])
+			}
+		}
+	}
+	return want, nil
+}

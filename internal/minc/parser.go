@@ -1,0 +1,912 @@
+package minc
+
+import "fmt"
+
+// ParseError reports a syntax problem with position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("minc: parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	toks   []Token
+	pos    int
+	prog   *Program
+	nextID int
+}
+
+// Parse builds the AST for a compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks: toks,
+		prog: &Program{
+			Structs: make(map[string]*Type),
+			Funcs:   make(map[string]*Func),
+		},
+	}
+	if err := p.parseUnit(); err != nil {
+		return nil, err
+	}
+	p.prog.exprCount = p.nextID
+	return p.prog, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return &ParseError{t.Line, t.Col, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().Text == text && p.cur().Kind != TokEOF {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errorf("expected %q, found %q", text, p.cur().Text)
+	}
+	return nil
+}
+
+func (p *parser) info(line int) ExprInfo {
+	id := p.nextID
+	p.nextID++
+	return ExprInfo{ID: id, Line: line}
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *parser) isTypeStart() bool {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "int", "char", "long", "void", "struct":
+		return true
+	}
+	return false
+}
+
+// parseType parses a base type plus pointer stars.
+func (p *parser) parseType() (*Type, error) {
+	var base *Type
+	switch {
+	case p.accept("int"):
+		base = IntType
+	case p.accept("char"):
+		base = CharType
+	case p.accept("long"):
+		base = LongType
+	case p.accept("void"):
+		base = VoidType
+	case p.accept("struct"):
+		name := p.cur().Text
+		if p.cur().Kind != TokIdent {
+			return nil, p.errorf("expected struct name")
+		}
+		p.pos++
+		st, ok := p.prog.Structs[name]
+		if !ok {
+			// Forward reference: create a placeholder filled at definition.
+			st = &Type{Kind: TypeStruct, StructName: name, fieldIdx: map[string]int{}}
+			p.prog.Structs[name] = st
+		}
+		base = st
+	default:
+		return nil, p.errorf("expected type, found %q", p.cur().Text)
+	}
+	for p.accept("*") {
+		base = PtrTo(base)
+	}
+	return base, nil
+}
+
+func (p *parser) parseUnit() error {
+	for p.cur().Kind != TokEOF {
+		if p.cur().Text == "struct" && p.peek().Kind == TokIdent && p.toks[min(p.pos+2, len(p.toks)-1)].Text == "{" {
+			if err := p.parseStructDef(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.parseTopDecl(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseStructDef() error {
+	p.pos++ // struct
+	name := p.cur().Text
+	p.pos++ // name
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	var fields []Field
+	for !p.accept("}") {
+		ft, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		// Function-pointer field: ret (*name)(params);
+		if p.cur().Text == "(" && p.peek().Text == "*" {
+			fpt, fname, err := p.parseFuncPtrSuffix(ft)
+			if err != nil {
+				return err
+			}
+			fields = append(fields, Field{Name: fname, Type: fpt})
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+			continue
+		}
+		for {
+			fname := p.cur().Text
+			if p.cur().Kind != TokIdent {
+				return p.errorf("expected field name")
+			}
+			p.pos++
+			fieldTy, err := p.parseArraySuffix(ft)
+			if err != nil {
+				return err
+			}
+			fields = append(fields, Field{Name: fname, Type: fieldTy})
+			if !p.accept(",") {
+				break
+			}
+			// Additional declarators may carry their own stars.
+			for p.accept("*") {
+				ft = PtrTo(ft)
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	laid := newStruct(name, fields)
+	if existing, ok := p.prog.Structs[name]; ok {
+		// Fill the forward-declared placeholder in place.
+		*existing = *laid
+	} else {
+		p.prog.Structs[name] = laid
+	}
+	return nil
+}
+
+// parseTopDecl parses a function definition or global variable.
+func (p *parser) parseTopDecl() error {
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	if p.cur().Kind != TokIdent {
+		return p.errorf("expected identifier after type")
+	}
+	name := p.cur().Text
+	p.pos++
+
+	if p.cur().Text == "(" {
+		return p.parseFuncRest(ty, name)
+	}
+	// Global variable (no initializer in this subset).
+	gty, err := p.parseArraySuffix(ty)
+	if err != nil {
+		return err
+	}
+	g := &Symbol{Name: name, Ty: gty, Global: true}
+	p.prog.Globals = append(p.prog.Globals, g)
+	for p.accept(",") {
+		t2 := ty
+		for p.accept("*") {
+			t2 = PtrTo(t2)
+		}
+		if p.cur().Kind != TokIdent {
+			return p.errorf("expected identifier in global declaration")
+		}
+		p.prog.Globals = append(p.prog.Globals, &Symbol{Name: p.cur().Text, Ty: t2, Global: true})
+		p.pos++
+	}
+	return p.expect(";")
+}
+
+func (p *parser) parseFuncRest(ret *Type, name string) error {
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	fn := &Func{Name: name, Ret: ret}
+	if !p.accept(")") {
+		if p.accept("void") && p.cur().Text == ")" {
+			// f(void)
+		} else {
+			for {
+				pt, err := p.parseType()
+				if err != nil {
+					return err
+				}
+				pname := ""
+				if p.cur().Text == "(" && p.peek().Text == "*" {
+					// Function-pointer parameter: ret (*name)(params).
+					fpt, fpName, err := p.parseFuncPtrSuffix(pt)
+					if err != nil {
+						return err
+					}
+					pt, pname = fpt, fpName
+				} else if p.cur().Kind == TokIdent {
+					pname = p.cur().Text
+					p.pos++
+				}
+				fn.Params = append(fn.Params, Param{Name: pname, Ty: pt})
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	fn.Body = body
+	if _, dup := p.prog.Funcs[name]; dup {
+		return p.errorf("duplicate function %q", name)
+	}
+	p.prog.Funcs[name] = fn
+	return nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errorf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.cur().Text == "{":
+		return p.parseBlock()
+
+	case p.isTypeStart():
+		return p.parseDecl()
+
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept("else") {
+			els, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+
+	case p.accept("do"):
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Body: body, Cond: cond}, nil
+
+	case p.accept("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var init Stmt
+		if !p.accept(";") {
+			if p.isTypeStart() {
+				d, err := p.parseDecl()
+				if err != nil {
+					return nil, err
+				}
+				init = d
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				init = &ExprStmt{E: e}
+				if err := p.expect(";"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var cond Expr
+		if !p.accept(";") {
+			var err error
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		var post Expr
+		if p.cur().Text != ")" {
+			var err error
+			post, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: init, Cond: cond, Post: post, Body: body}, nil
+
+	case p.accept("switch"):
+		return p.parseSwitch()
+
+	case p.accept("return"):
+		if p.accept(";") {
+			return &ReturnStmt{}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{E: e}, nil
+
+	case p.accept("break"):
+		return &BreakStmt{}, p.expect(";")
+
+	case p.accept("continue"):
+		return &ContinueStmt{}, p.expect(";")
+
+	case p.accept(";"):
+		return &Block{}, nil
+
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{E: e}, nil
+	}
+}
+
+// parseArraySuffix consumes an optional [N] declarator suffix.
+func (p *parser) parseArraySuffix(ty *Type) (*Type, error) {
+	for p.accept("[") {
+		if p.cur().Kind != TokNumber {
+			return nil, p.errorf("array length must be a constant")
+		}
+		n := p.cur().Num
+		if n <= 0 {
+			return nil, p.errorf("array length must be positive")
+		}
+		p.pos++
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		ty = ArrayOf(ty, n)
+	}
+	return ty, nil
+}
+
+func (p *parser) parseDecl() (Stmt, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	// Function-pointer declarator: ret (*name)(params).
+	if p.cur().Text == "(" && p.peek().Text == "*" {
+		return p.parseFuncPtrDecl(ty)
+	}
+	if p.cur().Kind != TokIdent {
+		return nil, p.errorf("expected variable name")
+	}
+	name := p.cur().Text
+	line := p.cur().Line
+	p.pos++
+	ty, err = p.parseArraySuffix(ty)
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: name, Ty: ty}
+	if p.accept("=") {
+		init, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	// Multiple declarators become nested blocks for simplicity.
+	if p.cur().Text == "," {
+		b := &Block{Stmts: []Stmt{d}}
+		for p.accept(",") {
+			t2 := ty
+			for t2.IsPtr() {
+				t2 = t2.Elem // strip stars; re-read below
+			}
+			t3 := t2
+			for p.accept("*") {
+				t3 = PtrTo(t3)
+			}
+			if p.cur().Kind != TokIdent {
+				return nil, p.errorf("expected variable name at line %d", line)
+			}
+			d2 := &DeclStmt{Name: p.cur().Text, Ty: t3}
+			p.pos++
+			if p.accept("=") {
+				init, err := p.parseAssign()
+				if err != nil {
+					return nil, err
+				}
+				d2.Init = init
+			}
+			b.Stmts = append(b.Stmts, d2)
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseFuncPtrSuffix parses (*name)(param types) after the return type,
+// yielding the pointer-to-function type and the declared name.
+func (p *parser) parseFuncPtrSuffix(ret *Type) (*Type, string, error) {
+	p.pos++ // (
+	p.pos++ // *
+	if p.cur().Kind != TokIdent {
+		return nil, "", p.errorf("expected function-pointer name")
+	}
+	name := p.cur().Text
+	p.pos++
+	if err := p.expect(")"); err != nil {
+		return nil, "", err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, "", err
+	}
+	var params []*Type
+	if !p.accept(")") {
+		if p.accept("void") && p.cur().Text == ")" {
+			// (void)
+		} else {
+			for {
+				pt, err := p.parseType()
+				if err != nil {
+					return nil, "", err
+				}
+				if p.cur().Kind == TokIdent {
+					p.pos++ // optional parameter name
+				}
+				params = append(params, pt)
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, "", err
+		}
+	}
+	return PtrTo(FuncType(ret, params)), name, nil
+}
+
+// parseFuncPtrDecl parses ret (*name)(param types) [= init];
+func (p *parser) parseFuncPtrDecl(ret *Type) (Stmt, error) {
+	ty, name, err := p.parseFuncPtrSuffix(ret)
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: name, Ty: ty}
+	if p.accept("=") {
+		init, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseSwitch parses switch (expr) { case N: ... default: ... }.
+// Multiple labels may stack on one arm; bodies fall through as in C.
+func (p *parser) parseSwitch() (Stmt, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	sw := &SwitchStmt{Cond: cond}
+	var cur *SwitchCase
+	flush := func() {
+		if cur != nil {
+			sw.Cases = append(sw.Cases, *cur)
+		}
+	}
+	for !p.accept("}") {
+		switch {
+		case p.accept("case"):
+			// Stacked labels extend the previous (empty) arm.
+			if cur != nil && len(cur.Body) == 0 && !cur.Default {
+				// fallthrough labels: keep accumulating into cur
+			} else {
+				flush()
+				cur = &SwitchCase{}
+			}
+			neg := p.accept("-")
+			if p.cur().Kind != TokNumber {
+				return nil, p.errorf("case label must be a constant")
+			}
+			v := p.cur().Num
+			if neg {
+				v = -v
+			}
+			cur.Vals = append(cur.Vals, v)
+			p.pos++
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+		case p.accept("default"):
+			flush()
+			cur = &SwitchCase{Default: true}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+		case p.cur().Kind == TokEOF:
+			return nil, p.errorf("unterminated switch")
+		default:
+			if cur == nil {
+				return nil, p.errorf("statement before first case label")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			cur.Body = append(cur.Body, s)
+		}
+	}
+	flush()
+	return sw, nil
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseComma() }
+
+func (p *parser) parseComma() (Expr, error) {
+	// The comma operator is omitted from this subset; commas separate
+	// arguments only.
+	return p.parseAssign()
+}
+
+func (p *parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	switch op := p.cur().Text; op {
+	case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=":
+		line := p.cur().Line
+		p.pos++
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{ExprInfo: p.info(line), Op: op, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseCond() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Text == "?" {
+		line := p.cur().Line
+		p.pos++
+		t, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		f, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{ExprInfo: p.info(line), C: c, T: t, F: f}, nil
+	}
+	return c, nil
+}
+
+var binaryPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().Text
+		prec, ok := binaryPrec[op]
+		if !ok || prec < minPrec || p.cur().Kind != TokPunct {
+			return lhs, nil
+		}
+		line := p.cur().Line
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{ExprInfo: p.info(line), Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Text {
+	case "-", "!", "~", "*", "&":
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{ExprInfo: p.info(t.Line), Op: t.Text, X: x}, nil
+	case "+":
+		p.pos++
+		return p.parseUnary()
+	case "++", "--":
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{ExprInfo: p.info(t.Line), Op: t.Text, X: x}, nil
+	case "sizeof":
+		p.pos++
+		if p.cur().Text == "(" && p.typeAfterParen() {
+			p.pos++ // (
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &SizeofType{ExprInfo: p.info(t.Line), T: ty}, nil
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &SizeofType{ExprInfo: p.info(t.Line), Of: x}, nil
+	case "(":
+		if p.typeAfterParen() {
+			p.pos++ // (
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Cast{ExprInfo: p.info(t.Line), To: ty, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+// typeAfterParen reports whether "(" is followed by a type (cast/sizeof).
+func (p *parser) typeAfterParen() bool {
+	if p.cur().Text != "(" {
+		return false
+	}
+	nxt := p.peek()
+	if nxt.Kind != TokKeyword {
+		return false
+	}
+	switch nxt.Text {
+	case "int", "char", "long", "void", "struct":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch t.Text {
+		case "[":
+			p.pos++
+			i, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{ExprInfo: p.info(t.Line), X: x, I: i}
+		case ".", "->":
+			p.pos++
+			if p.cur().Kind != TokIdent {
+				return nil, p.errorf("expected member name")
+			}
+			x = &Member{ExprInfo: p.info(t.Line), X: x, Name: p.cur().Text, Arrow: t.Text == "->"}
+			p.pos++
+		case "++", "--":
+			p.pos++
+			x = &PostIncDec{ExprInfo: p.info(t.Line), Op: t.Text, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.pos++
+		return &NumLit{ExprInfo: p.info(t.Line), V: t.Num}, nil
+	case t.Text == "NULL":
+		p.pos++
+		return &NullLit{ExprInfo: p.info(t.Line)}, nil
+	case t.Kind == TokIdent:
+		p.pos++
+		if p.cur().Text == "(" {
+			p.pos++
+			call := &Call{ExprInfo: p.info(t.Line), Name: t.Text}
+			if !p.accept(")") {
+				for {
+					a, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &VarRef{ExprInfo: p.info(t.Line), Name: t.Text}, nil
+	case t.Text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	}
+	return nil, p.errorf("unexpected token %q", t.Text)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

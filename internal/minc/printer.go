@@ -1,0 +1,204 @@
+package minc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dump renders the typed, inference-annotated program: each function with
+// its parameter properties and each statement with its expressions; every
+// pointer expression carries its inferred property, and sites where the SW
+// build keeps a dynamic check are marked `!chk`. This is the tooling view
+// of the paper's Figure 9: it shows exactly which checks the compiler
+// could not eliminate.
+func Dump(prog *Program) string {
+	var b strings.Builder
+
+	names := make([]string, 0, len(prog.Funcs))
+	for name := range prog.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if len(prog.Globals) > 0 {
+		b.WriteString("globals:\n")
+		for _, g := range prog.Globals {
+			fmt.Fprintf(&b, "  %s %s", g.Ty, g.Name)
+			if g.Ty.IsPtr() {
+				fmt.Fprintf(&b, " [%s]", g.Prop)
+			}
+			b.WriteString("\n")
+		}
+	}
+
+	for _, name := range names {
+		fn := prog.Funcs[name]
+		fmt.Fprintf(&b, "func %s %s(", fn.Ret, fn.Name)
+		for i, prm := range fn.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", prm.Ty, prm.Name)
+			if prm.Ty.IsPtr() && i < len(fn.Locals) {
+				fmt.Fprintf(&b, " [%s]", fn.Locals[i].Prop)
+			}
+		}
+		b.WriteString(")\n")
+		dumpStmt(&b, fn.Body, 1)
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func dumpStmt(b *strings.Builder, s Stmt, depth int) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "decl %s %s", st.Ty, st.Name)
+		if st.Init != nil {
+			fmt.Fprintf(b, " = %s", dumpExpr(st.Init))
+		}
+		b.WriteString("\n")
+	case *ExprStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s\n", dumpExpr(st.E))
+	case *IfStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "if %s\n", dumpExpr(st.Cond))
+		dumpStmt(b, st.Then, depth+1)
+		if st.Else != nil {
+			indent(b, depth)
+			b.WriteString("else\n")
+			dumpStmt(b, st.Else, depth+1)
+		}
+	case *WhileStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "while %s\n", dumpExpr(st.Cond))
+		dumpStmt(b, st.Body, depth+1)
+	case *DoWhileStmt:
+		indent(b, depth)
+		b.WriteString("do\n")
+		dumpStmt(b, st.Body, depth+1)
+		indent(b, depth)
+		fmt.Fprintf(b, "while %s\n", dumpExpr(st.Cond))
+	case *ForStmt:
+		indent(b, depth)
+		b.WriteString("for\n")
+		if st.Init != nil {
+			dumpStmt(b, st.Init, depth+1)
+		}
+		if st.Cond != nil {
+			indent(b, depth+1)
+			fmt.Fprintf(b, "cond %s\n", dumpExpr(st.Cond))
+		}
+		if st.Post != nil {
+			indent(b, depth+1)
+			fmt.Fprintf(b, "post %s\n", dumpExpr(st.Post))
+		}
+		dumpStmt(b, st.Body, depth+1)
+	case *ReturnStmt:
+		indent(b, depth)
+		if st.E != nil {
+			fmt.Fprintf(b, "return %s\n", dumpExpr(st.E))
+		} else {
+			b.WriteString("return\n")
+		}
+	case *Block:
+		for _, inner := range st.Stmts {
+			dumpStmt(b, inner, depth)
+		}
+	case *SwitchStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "switch %s\n", dumpExpr(st.Cond))
+		for _, cs := range st.Cases {
+			indent(b, depth+1)
+			if cs.Default {
+				b.WriteString("default:\n")
+			} else {
+				fmt.Fprintf(b, "case %v:\n", cs.Vals)
+			}
+			for _, inner := range cs.Body {
+				dumpStmt(b, inner, depth+2)
+			}
+		}
+	case *BreakStmt:
+		indent(b, depth)
+		b.WriteString("break\n")
+	case *ContinueStmt:
+		indent(b, depth)
+		b.WriteString("continue\n")
+	}
+}
+
+// dumpExpr renders an expression with inference annotations.
+func dumpExpr(e Expr) string {
+	if e == nil {
+		return "<nil>"
+	}
+	info := e.exprBase()
+	var body string
+	switch ex := e.(type) {
+	case *NumLit:
+		body = fmt.Sprintf("%d", ex.V)
+	case *NullLit:
+		body = "NULL"
+	case *VarRef:
+		body = ex.Name
+	case *Unary:
+		body = fmt.Sprintf("(%s%s)", ex.Op, dumpExpr(ex.X))
+	case *PostIncDec:
+		body = fmt.Sprintf("(%s%s)", dumpExpr(ex.X), ex.Op)
+	case *Binary:
+		body = fmt.Sprintf("(%s %s %s)", dumpExpr(ex.X), ex.Op, dumpExpr(ex.Y))
+	case *Assign:
+		body = fmt.Sprintf("(%s %s %s)", dumpExpr(ex.LHS), ex.Op, dumpExpr(ex.RHS))
+	case *Cond:
+		body = fmt.Sprintf("(%s ? %s : %s)", dumpExpr(ex.C), dumpExpr(ex.T), dumpExpr(ex.F))
+	case *Call:
+		args := make([]string, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = dumpExpr(a)
+		}
+		callee := ex.Name
+		if ex.Sym != nil {
+			callee = "*" + ex.Name
+		}
+		body = fmt.Sprintf("%s(%s)", callee, strings.Join(args, ", "))
+	case *Index:
+		body = fmt.Sprintf("%s[%s]", dumpExpr(ex.X), dumpExpr(ex.I))
+	case *Member:
+		sep := "."
+		if ex.Arrow {
+			sep = "->"
+		}
+		body = fmt.Sprintf("%s%s%s", dumpExpr(ex.X), sep, ex.Name)
+	case *Cast:
+		body = fmt.Sprintf("(%s)%s", ex.To, dumpExpr(ex.X))
+	case *SizeofType:
+		if ex.Of != nil {
+			body = fmt.Sprintf("sizeof(%s)", dumpExpr(ex.Of))
+		} else {
+			body = fmt.Sprintf("sizeof(%s)", ex.T)
+		}
+	default:
+		body = fmt.Sprintf("<%T>", e)
+	}
+
+	var ann []string
+	if info.Ty != nil && info.Ty.IsPtr() && info.Prop != PropNone {
+		ann = append(ann, info.Prop.String())
+	}
+	if info.NeedsCheck {
+		ann = append(ann, "!chk")
+	}
+	if len(ann) > 0 {
+		return fmt.Sprintf("%s[%s]", body, strings.Join(ann, " "))
+	}
+	return body
+}

@@ -1,0 +1,94 @@
+package minc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDumpAnnotations(t *testing.T) {
+	src := `
+struct Node { long value; struct Node* next; };
+void Append(struct Node* p, struct Node* n) {
+    if (p != n) p->next = n;
+}
+int main() {
+    struct Node* a = (struct Node*)pmalloc(sizeof(struct Node));
+    struct Node* b = (struct Node*)malloc(sizeof(struct Node));
+    Append(a, b);
+    Append(b, a);
+    return 0;
+}`
+	prog, _, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(prog)
+	for _, want := range []string{
+		"func void Append",
+		"[unknown]", // mixed-provenance parameters
+		"!chk",      // residual checks inside Append
+		"a[RA]",     // pmalloc result resolved to relative
+		"b[VA]",     // malloc result resolved to virtual
+		"func int main",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpCoversStatements(t *testing.T) {
+	src := `
+long g;
+long f(long x) { return x; }
+int main() {
+    long a[3];
+    int i = 0;
+    do { i++; } while (i < 2);
+    for (i = 0; i < 3; i++) a[i] = i;
+    while (i > 0) { i--; if (i == 1) continue; }
+    switch (i) {
+    case 0: g = 1; break;
+    default: g = 2;
+    }
+    long (*fp)(long) = f;
+    print(fp(g) + a[0] ? 1 : 0);
+    return 0;
+}`
+	prog, _, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(prog)
+	for _, want := range []string{"globals:", "do", "while", "for", "switch", "case", "default:", "break", "continue", "*fp("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+// TestTestdataPrograms keeps the repository's example C programs compiling
+// and sound under every model.
+func TestTestdataPrograms(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("found %d testdata programs, want >= 3", len(files))
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := VerifyAllModes(string(src)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

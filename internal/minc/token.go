@@ -1,0 +1,217 @@
+// Package minc is a compiler and interpreter for a small C subset, built
+// to reproduce the paper's compiler-based method (Section V-B) and its
+// soundness methodology (Sections IV and VII-B).
+//
+// The pipeline is: lexer → parser → typechecker → pointer-property
+// inference → interpretation over an rt.Context. The inference pass is the
+// paper's backward/forward dataflow: starting from functions known to
+// return or accept relative addresses (pmalloc, pfree) and from
+// stack/volatile sources (malloc, address-of), it resolves the
+// persistence property of as many pointer expressions as possible; every
+// pointer operation whose operand property stays unknown gets a dynamic
+// check when executed under the SW model. Because the interpreter runs
+// over rt.Context, the same minc program executes under the Volatile,
+// Explicit, SW, and HW models with full timing.
+//
+// Types are ILP64: char, int, long and pointers are all 8 bytes, which
+// keeps the memory model word-granular without affecting pointer
+// semantics, the property under test.
+package minc
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokPunct   // operators and punctuation
+	TokKeyword // reserved words
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Num  int64
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "<eof>"
+	}
+	return t.Text
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "long": true, "void": true,
+	"struct": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "sizeof": true, "break": true,
+	"continue": true, "NULL": true, "do": true,
+	"switch": true, "case": true, "default": true,
+}
+
+// Multi-character operators, longest first.
+var punctuators = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "->", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+}
+
+// LexError reports a lexical problem with position.
+type LexError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("minc: lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes source text.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			advance(2)
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				advance(1)
+			}
+			if i+1 >= n {
+				return nil, &LexError{line, col, "unterminated block comment"}
+			}
+			advance(2)
+
+		case unicode.IsDigit(rune(c)):
+			startLine, startCol := line, col
+			j := i
+			base := int64(10)
+			if c == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				j += 2
+			}
+			for j < n && isNumChar(src[j], base) {
+				j++
+			}
+			text := src[i:j]
+			var v int64
+			var err error
+			if base == 16 {
+				_, err = fmt.Sscanf(text, "0x%x", &v)
+				if err != nil {
+					_, err = fmt.Sscanf(text, "0X%x", &v)
+				}
+			} else {
+				_, err = fmt.Sscanf(text, "%d", &v)
+			}
+			if err != nil {
+				return nil, &LexError{startLine, startCol, "bad number " + text}
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: text, Num: v, Line: startLine, Col: startCol})
+			advance(j - i)
+
+		case c == '\'':
+			startLine, startCol := line, col
+			if i+2 < n && src[i+1] == '\\' && src[i+3] == '\'' {
+				v := escapeChar(src[i+2])
+				toks = append(toks, Token{Kind: TokNumber, Text: src[i : i+4], Num: int64(v), Line: startLine, Col: startCol})
+				advance(4)
+			} else if i+2 < n && src[i+2] == '\'' {
+				toks = append(toks, Token{Kind: TokNumber, Text: src[i : i+3], Num: int64(src[i+1]), Line: startLine, Col: startCol})
+				advance(3)
+			} else {
+				return nil, &LexError{startLine, startCol, "bad character literal"}
+			}
+
+		case unicode.IsLetter(rune(c)) || c == '_':
+			startLine, startCol := line, col
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			text := src[i:j]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+			advance(j - i)
+
+		default:
+			matched := false
+			for _, p := range punctuators {
+				if len(src)-i >= len(p) && src[i:i+len(p)] == p {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line, Col: col})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &LexError{line, col, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isNumChar(c byte, base int64) bool {
+	if base == 16 {
+		return unicode.IsDigit(rune(c)) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') || c == 'x' || c == 'X'
+	}
+	return unicode.IsDigit(rune(c))
+}
+
+func escapeChar(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	}
+	return c
+}

@@ -1,0 +1,173 @@
+package minc
+
+import "fmt"
+
+// TypeKind classifies minc types.
+type TypeKind int
+
+// Type kinds. All scalars are 8 bytes (ILP64), which keeps the simulated
+// memory word-granular; pointer semantics, the property under study, are
+// unaffected.
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeChar
+	TypeLong
+	TypePtr
+	TypeStruct
+	TypeFunc
+	TypeArray
+)
+
+// Type is a minc type.
+type Type struct {
+	Kind TypeKind
+	// Elem is the pointee for TypePtr and the element type for TypeArray.
+	Elem *Type
+	// Len is the element count for TypeArray.
+	Len int64
+	// Struct fields.
+	StructName string
+	Fields     []Field
+	fieldIdx   map[string]int
+	// Func signature.
+	Ret    *Type
+	Params []*Type
+
+	size int64
+}
+
+// Field is one struct member with its byte offset.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int64
+}
+
+// Prebuilt scalar types.
+var (
+	VoidType = &Type{Kind: TypeVoid, size: 0}
+	IntType  = &Type{Kind: TypeInt, size: 8}
+	CharType = &Type{Kind: TypeChar, size: 8}
+	LongType = &Type{Kind: TypeLong, size: 8}
+)
+
+// PtrTo returns the pointer type to elem.
+func PtrTo(elem *Type) *Type {
+	return &Type{Kind: TypePtr, Elem: elem, size: 8}
+}
+
+// FuncType builds a function signature type.
+func FuncType(ret *Type, params []*Type) *Type {
+	return &Type{Kind: TypeFunc, Ret: ret, Params: params, size: 8}
+}
+
+// IsFuncPtr reports whether the type is a pointer to a function.
+func (t *Type) IsFuncPtr() bool {
+	return t != nil && t.Kind == TypePtr && t.Elem != nil && t.Elem.Kind == TypeFunc
+}
+
+// ArrayOf returns the array type [n]elem.
+func ArrayOf(elem *Type, n int64) *Type {
+	return &Type{Kind: TypeArray, Elem: elem, Len: n, size: elem.Size() * n}
+}
+
+// Size returns the byte size of the type.
+func (t *Type) Size() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.size
+}
+
+// IsPtr reports whether the type is a pointer.
+func (t *Type) IsPtr() bool { return t != nil && t.Kind == TypePtr }
+
+// IsArray reports whether the type is an array.
+func (t *Type) IsArray() bool { return t != nil && t.Kind == TypeArray }
+
+// Decayed returns the pointer type an array decays to, or the type itself.
+func (t *Type) Decayed() *Type {
+	if t.IsArray() {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+// IsInteger reports whether the type is an integer scalar.
+func (t *Type) IsInteger() bool {
+	return t != nil && (t.Kind == TypeInt || t.Kind == TypeChar || t.Kind == TypeLong)
+}
+
+// Field looks up a struct member.
+func (t *Type) Field(name string) (Field, bool) {
+	if t.Kind != TypeStruct {
+		return Field{}, false
+	}
+	i, ok := t.fieldIdx[name]
+	if !ok {
+		return Field{}, false
+	}
+	return t.Fields[i], true
+}
+
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypeLong:
+		return "long"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeStruct:
+		return "struct " + t.StructName
+	case TypeFunc:
+		return fmt.Sprintf("func(%d params) %s", len(t.Params), t.Ret)
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	}
+	return "?"
+}
+
+// newStruct lays out a struct with 8-byte members.
+func newStruct(name string, fields []Field) *Type {
+	t := &Type{Kind: TypeStruct, StructName: name, fieldIdx: make(map[string]int)}
+	off := int64(0)
+	for i := range fields {
+		fields[i].Offset = off
+		off += fields[i].Type.Size()
+		t.fieldIdx[fields[i].Name] = i
+	}
+	t.Fields = fields
+	t.size = off
+	return t
+}
+
+// compatible reports whether a value of type b can be assigned to a
+// location of type a (C's loose rules for this subset: identical kinds,
+// any pointer to/from any pointer or integer).
+func compatible(a, b *Type) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a.IsInteger() && b.IsInteger() {
+		return true
+	}
+	if a.IsPtr() && (b.IsPtr() || b.IsInteger() || b.IsArray()) {
+		return true
+	}
+	if a.IsInteger() && b.IsPtr() {
+		return true
+	}
+	if a.Kind == TypeStruct && b.Kind == TypeStruct && a.StructName == b.StructName {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,199 @@
+package pmem
+
+import (
+	"fmt"
+
+	"nvref/internal/core"
+)
+
+// The persistent allocator. All metadata — the free list and the bump
+// pointer — lives inside the pool image, addressed by intra-pool offsets,
+// so a pool restored at a different base address allocates correctly with
+// no fix-up pass.
+//
+// Every block is preceded by a 16-byte header:
+//
+//	word 0: total block size in bytes, including the header
+//	word 1: allocMagic when live; the pool offset of the next free block's
+//	        header (0 terminates) when on the free list
+//
+// The free list is kept sorted by offset so adjacent free blocks coalesce
+// on both sides during Free.
+
+// Alloc allocates size bytes in the pool and returns the pool offset of the
+// user data. It is the building block for Pmalloc.
+func (p *Pool) Alloc(size uint64) (uint64, error) {
+	if !p.attached {
+		return 0, fmt.Errorf("%w: %q", ErrPoolDetached, p.name)
+	}
+	if size == 0 {
+		size = 1
+	}
+	need := (size + blockHeaderSize + allocAlign - 1) &^ (allocAlign - 1)
+
+	// First fit over the free list, with splitting.
+	prevOff := uint64(0)
+	cur := p.load64(offFreeHead)
+	for cur != 0 {
+		blockSize := p.load64(cur)
+		next := p.load64(cur + 8)
+		if blockSize >= need {
+			remain := blockSize - need
+			if remain >= blockHeaderSize+allocAlign {
+				// Split: keep the tail on the free list.
+				tail := cur + need
+				p.store64(tail, remain)
+				p.store64(tail+8, next)
+				p.store64(cur, need)
+				p.linkFree(prevOff, tail)
+			} else {
+				need = blockSize
+				p.linkFree(prevOff, next)
+			}
+			p.store64(cur+8, allocMagic)
+			p.bumpStats(1, int64(need))
+			return cur + blockHeaderSize, nil
+		}
+		prevOff, cur = cur, next
+	}
+
+	// Bump allocation from never-used space.
+	bump := p.load64(offBumpNext)
+	if bump+need > p.size {
+		return 0, fmt.Errorf("%w: pool %q: need %d bytes, %d free at tail",
+			ErrOutOfMemory, p.name, need, p.size-bump)
+	}
+	p.store64(offBumpNext, bump+need)
+	p.store64(bump, need)
+	p.store64(bump+8, allocMagic)
+	p.bumpStats(1, int64(need))
+	return bump + blockHeaderSize, nil
+}
+
+// Free releases the block whose user data starts at the given pool offset.
+func (p *Pool) Free(userOff uint64) error {
+	if !p.attached {
+		return fmt.Errorf("%w: %q", ErrPoolDetached, p.name)
+	}
+	if userOff < HeapStart+blockHeaderSize || userOff >= p.size {
+		return fmt.Errorf("%w: offset %#x", ErrBadFree, userOff)
+	}
+	hdr := userOff - blockHeaderSize
+	if p.load64(hdr+8) != allocMagic {
+		return fmt.Errorf("%w: offset %#x is not a live block", ErrBadFree, userOff)
+	}
+	size := p.load64(hdr)
+	p.bumpStats(-1, -int64(size))
+
+	// Address-ordered insert so both-side coalescing is possible.
+	prev := uint64(0)
+	cur := p.load64(offFreeHead)
+	for cur != 0 && cur < hdr {
+		prev, cur = cur, p.load64(cur+8)
+	}
+	// Coalesce with the following free block if adjacent.
+	if cur != 0 && hdr+size == cur {
+		size += p.load64(cur)
+		p.store64(hdr, size)
+		cur = p.load64(cur + 8)
+	}
+	p.store64(hdr+8, cur)
+	// Coalesce with the preceding free block if adjacent.
+	if prev != 0 && prev+p.load64(prev) == hdr {
+		p.store64(prev, p.load64(prev)+size)
+		p.store64(prev+8, cur)
+		return nil
+	}
+	p.linkFree(prev, hdr)
+	return nil
+}
+
+// linkFree sets prev's next pointer (or the list head) to target.
+func (p *Pool) linkFree(prevOff, target uint64) {
+	if prevOff == 0 {
+		p.store64(offFreeHead, target)
+	} else {
+		p.store64(prevOff+8, target)
+	}
+}
+
+func (p *Pool) bumpStats(dCount, dBytes int64) {
+	p.store64(offAllocCount, uint64(int64(p.load64(offAllocCount))+dCount))
+	p.store64(offBytesInUse, uint64(int64(p.load64(offBytesInUse))+dBytes))
+}
+
+// BlockSize returns the usable size of the live block at userOff.
+func (p *Pool) BlockSize(userOff uint64) (uint64, error) {
+	hdr := userOff - blockHeaderSize
+	if userOff < HeapStart+blockHeaderSize || userOff >= p.size || p.load64(hdr+8) != allocMagic {
+		return 0, fmt.Errorf("%w: offset %#x", ErrBadFree, userOff)
+	}
+	return p.load64(hdr) - blockHeaderSize, nil
+}
+
+// FreeBlocks returns the (offset, size) pairs of the free list, in address
+// order. Used by the pool inspection tool and tests.
+func (p *Pool) FreeBlocks() [][2]uint64 {
+	var out [][2]uint64
+	for cur := p.load64(offFreeHead); cur != 0; cur = p.load64(cur + 8) {
+		out = append(out, [2]uint64{cur, p.load64(cur)})
+	}
+	return out
+}
+
+// Pmalloc allocates size bytes and returns a relative-form reference to the
+// new object: the persistent counterpart of malloc, and — per the paper's
+// compiler analysis — a function defined to return a relative address.
+func (p *Pool) Pmalloc(size uint64) (core.Ptr, error) {
+	off, err := p.Alloc(size)
+	if err != nil {
+		return core.Null, err
+	}
+	return core.MakeRelative(p.id, uint32(off)), nil
+}
+
+// Pfree releases an object previously returned by Pmalloc. It accepts the
+// reference in either form, as the paper's transparent semantics require.
+func (p *Pool) Pfree(ref core.Ptr) error {
+	var off uint64
+	if ref.IsRelative() {
+		if ref.PoolID() != p.id {
+			return fmt.Errorf("%w: reference belongs to pool %d, not %d",
+				ErrBadFree, ref.PoolID(), p.id)
+		}
+		off = uint64(ref.Offset())
+	} else {
+		va := ref.VA()
+		if !p.attached || va < p.base || va >= p.base+p.size {
+			return fmt.Errorf("%w: virtual address %#x outside pool %q", ErrBadFree, va, p.name)
+		}
+		off = va - p.base
+	}
+	return p.Free(off)
+}
+
+// FreeBytes returns the bytes on the free list plus the never-used tail.
+func (p *Pool) FreeBytes() uint64 {
+	total := p.size - p.load64(offBumpNext)
+	for _, fb := range p.FreeBlocks() {
+		total += fb[1]
+	}
+	return total
+}
+
+// Fragmentation reports external fragmentation of the free list: one
+// minus the largest free block's share of all free-list bytes (0 when the
+// free list is empty or has a single block).
+func (p *Pool) Fragmentation() float64 {
+	var total, largest uint64
+	for _, fb := range p.FreeBlocks() {
+		total += fb[1]
+		if fb[1] > largest {
+			largest = fb[1]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(largest)/float64(total)
+}

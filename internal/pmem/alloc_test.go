@@ -1,0 +1,374 @@
+package pmem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nvref/internal/core"
+	"nvref/internal/mem"
+)
+
+func newTestPool(t *testing.T, size uint64) (*Registry, *Pool) {
+	t.Helper()
+	r := NewRegistry(mem.New(), NewMemStore())
+	p, err := r.Create("t", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, p
+}
+
+func TestAllocBasic(t *testing.T) {
+	_, p := newTestPool(t, 1<<20)
+	a, err := p.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("two allocations share an offset")
+	}
+	if a%allocAlign != 0 || b%allocAlign != 0 {
+		t.Errorf("misaligned allocations: %#x %#x", a, b)
+	}
+	if p.AllocCount() != 2 {
+		t.Errorf("AllocCount = %d", p.AllocCount())
+	}
+	sz, err := p.BlockSize(a)
+	if err != nil || sz < 10 {
+		t.Errorf("BlockSize = %d, %v", sz, err)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	_, p := newTestPool(t, 1<<20)
+	a, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(a); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if p.AllocCount() != 0 {
+		t.Errorf("AllocCount after free = %d", p.AllocCount())
+	}
+	b, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Errorf("freed block not reused: got %#x, want %#x", b, a)
+	}
+}
+
+func TestFreeValidation(t *testing.T) {
+	_, p := newTestPool(t, 1<<20)
+	a, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(a + 8); !errors.Is(err, ErrBadFree) {
+		t.Errorf("Free of interior pointer: err = %v", err)
+	}
+	if err := p.Free(0); !errors.Is(err, ErrBadFree) {
+		t.Errorf("Free(0): err = %v", err)
+	}
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(a); !errors.Is(err, ErrBadFree) {
+		t.Errorf("double Free: err = %v", err)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	_, p := newTestPool(t, 1<<20)
+	var offs []uint64
+	for i := 0; i < 3; i++ {
+		o, err := p.Alloc(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, o)
+	}
+	// Free middle, then left, then right: should coalesce into one block.
+	for _, i := range []int{1, 0, 2} {
+		if err := p.Free(offs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fb := p.FreeBlocks()
+	if len(fb) != 1 {
+		t.Fatalf("free list has %d blocks, want 1 after coalescing: %v", len(fb), fb)
+	}
+	// A large allocation must fit in the coalesced block.
+	big, err := p.Alloc(150)
+	if err != nil {
+		t.Fatalf("Alloc after coalesce: %v", err)
+	}
+	if big != offs[0] {
+		t.Errorf("coalesced block not used: got %#x, want %#x", big, offs[0])
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	_, p := newTestPool(t, MinPoolSize)
+	if _, err := p.Alloc(2 * MinPoolSize); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversized Alloc: err = %v", err)
+	}
+	// Fill the pool with small blocks until exhaustion.
+	n := 0
+	for {
+		if _, err := p.Alloc(64); err != nil {
+			if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		n++
+		if n > 10000 {
+			t.Fatal("pool never filled")
+		}
+	}
+	if n == 0 {
+		t.Fatal("no allocation succeeded")
+	}
+}
+
+func TestPmallocPfree(t *testing.T) {
+	r, p := newTestPool(t, 1<<20)
+	ref, err := p.Pmalloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.IsRelative() || ref.PoolID() != p.ID() {
+		t.Fatalf("Pmalloc returned %s; want relative form in pool %d", ref, p.ID())
+	}
+	// Pfree accepts the virtual form too (transparent semantics).
+	va, err := r.RA2VA(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Pfree(core.FromVA(va)); err != nil {
+		t.Errorf("Pfree(virtual form): %v", err)
+	}
+	ref2, err := p.Pmalloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Pfree(ref2); err != nil {
+		t.Errorf("Pfree(relative form): %v", err)
+	}
+	if err := p.Pfree(core.MakeRelative(p.ID()+1, 64)); !errors.Is(err, ErrBadFree) {
+		t.Errorf("Pfree of foreign pool ref: err = %v", err)
+	}
+}
+
+func TestAllocatorSurvivesReattach(t *testing.T) {
+	r, p := newTestPool(t, 1<<20)
+	a, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	wantFree := p.FreeBlocks()
+	if err := r.Detach(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	gotFree := p.FreeBlocks()
+	if len(gotFree) != len(wantFree) || (len(gotFree) > 0 && gotFree[0] != wantFree[0]) {
+		t.Errorf("free list changed across reattach: %v -> %v", wantFree, gotFree)
+	}
+	// Allocation still works after remap.
+	if _, err := p.Alloc(32); err != nil {
+		t.Errorf("Alloc after reattach: %v", err)
+	}
+}
+
+// Property: random alloc/free sequences preserve the allocator invariants:
+// no two live blocks overlap, all stay inside the heap, and accounting
+// matches the live set.
+func TestQuickAllocatorInvariants(t *testing.T) {
+	type op struct {
+		alloc bool
+		size  uint16
+		which uint8
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRegistry(mem.New(), nil)
+		p, err := r.Create("q", 1<<18)
+		if err != nil {
+			return false
+		}
+		type block struct{ off, size uint64 }
+		var live []block
+		for i := 0; i < 200; i++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				sz := uint64(rng.Intn(300) + 1)
+				off, err := p.Alloc(sz)
+				if err != nil {
+					if errors.Is(err, ErrOutOfMemory) {
+						continue
+					}
+					return false
+				}
+				live = append(live, block{off, sz})
+			} else {
+				i := rng.Intn(len(live))
+				if err := p.Free(live[i].off); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		// Invariants.
+		if p.AllocCount() != uint64(len(live)) {
+			return false
+		}
+		for i, b := range live {
+			if b.off < HeapStart || b.off+b.size > p.Size() {
+				return false
+			}
+			for j, c := range live {
+				if i != j && b.off < c.off+c.size && c.off < b.off+b.size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: writing a pattern into an allocation, checkpointing, and
+// reopening in a fresh run preserves every byte.
+func TestQuickPersistenceRoundTrip(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			vals = []uint64{1}
+		}
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		store := NewMemStore()
+		as := mem.New()
+		run1 := NewRegistry(as, store)
+		p, err := run1.Create("rt", 1<<20)
+		if err != nil {
+			return false
+		}
+		ref, err := p.Pmalloc(uint64(8 * len(vals)))
+		if err != nil {
+			return false
+		}
+		base, _ := run1.RA2VA(ref)
+		for i, v := range vals {
+			if err := as.Store64(base+uint64(8*i), v); err != nil {
+				return false
+			}
+		}
+		p.SetRoot(ref)
+		if err := run1.Close(p); err != nil {
+			return false
+		}
+
+		as2 := mem.New()
+		run2 := NewRegistry(as2, store, WithMapBase(mem.NVMBase+1<<30))
+		p2, err := run2.Open("rt")
+		if err != nil {
+			return false
+		}
+		base2, err := run2.RA2VA(p2.Root())
+		if err != nil {
+			return false
+		}
+		for i, v := range vals {
+			got, err := as2.Load64(base2 + uint64(8*i))
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeBytesAndFragmentation(t *testing.T) {
+	_, p := newTestPool(t, 1<<20)
+	if p.Fragmentation() != 0 {
+		t.Errorf("fresh pool fragmentation = %f", p.Fragmentation())
+	}
+	tailFree := p.FreeBytes()
+	if tailFree == 0 || tailFree >= p.Size() {
+		t.Errorf("fresh FreeBytes = %d", tailFree)
+	}
+	// Create a fragmented free list: allocate 6, free alternating.
+	var offs []uint64
+	for i := 0; i < 6; i++ {
+		o, err := p.Alloc(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, o)
+	}
+	for i := 0; i < 6; i += 2 {
+		if err := p.Free(offs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Fragmentation(); got <= 0 {
+		t.Errorf("alternating frees produced fragmentation %f", got)
+	}
+	// Free the rest: coalescing collapses the list.
+	for i := 1; i < 6; i += 2 {
+		if err := p.Free(offs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Fragmentation(); got != 0 {
+		t.Errorf("coalesced pool fragmentation = %f", got)
+	}
+}
+
+func TestOpenRejectsCorruptHeader(t *testing.T) {
+	store := NewMemStore()
+	as := mem.New()
+	reg := NewRegistry(as, store)
+	p, err := reg.Create("c", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored image's magic.
+	meta, data, err := store.Load("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff
+	if err := store.Save(meta, data); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := NewRegistry(mem.New(), store)
+	if _, err := reg2.Open("c"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Open of corrupted pool: err = %v, want ErrCorrupt", err)
+	}
+}

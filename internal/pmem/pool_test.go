@@ -1,0 +1,267 @@
+package pmem
+
+import (
+	"errors"
+	"testing"
+
+	"nvref/internal/core"
+	"nvref/internal/mem"
+)
+
+func newTestRegistry(t *testing.T, store Store) *Registry {
+	t.Helper()
+	return NewRegistry(mem.New(), store)
+}
+
+func TestCreateAndBasicTranslation(t *testing.T) {
+	r := newTestRegistry(t, nil)
+	p, err := r.Create("pool-a", 1<<20)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if p.ID() == 0 || !p.Attached() || p.Base() == 0 {
+		t.Fatalf("pool state: id=%d attached=%v base=%#x", p.ID(), p.Attached(), p.Base())
+	}
+	if !mem.IsNVM(p.Base()) {
+		t.Errorf("pool mapped outside NVM half: base=%#x", p.Base())
+	}
+	rel := core.MakeRelative(p.ID(), 0x200)
+	va, err := r.RA2VA(rel)
+	if err != nil {
+		t.Fatalf("RA2VA: %v", err)
+	}
+	if va != p.Base()+0x200 {
+		t.Errorf("RA2VA = %#x, want %#x", va, p.Base()+0x200)
+	}
+	back, ok := r.VA2RA(va)
+	if !ok || back != rel {
+		t.Errorf("VA2RA(%#x) = %s, %v; want %s", va, back, ok, rel)
+	}
+}
+
+func TestVA2RAMisses(t *testing.T) {
+	r := newTestRegistry(t, nil)
+	p, err := r.Create("pool-a", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.VA2RA(0x1000); ok {
+		t.Error("VA2RA of DRAM address claimed a pool")
+	}
+	if _, ok := r.VA2RA(p.Base() - 8); ok {
+		t.Error("VA2RA just below the pool claimed a pool")
+	}
+	if _, ok := r.VA2RA(p.Base() + p.Size()); ok {
+		t.Error("VA2RA one past the pool claimed a pool")
+	}
+	if _, ok := r.VA2RA(p.Base() + p.Size() - 1); !ok {
+		t.Error("VA2RA of the last pool byte missed")
+	}
+}
+
+func TestVA2RAWithMultiplePools(t *testing.T) {
+	r := newTestRegistry(t, nil)
+	var pools []*Pool
+	for _, name := range []string{"a", "b", "c", "d"} {
+		p, err := r.Create(name, 1<<18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pools = append(pools, p)
+	}
+	for _, p := range pools {
+		rel, ok := r.VA2RA(p.Base() + 64)
+		if !ok || rel.PoolID() != p.ID() || rel.Offset() != 64 {
+			t.Errorf("VA2RA into pool %q = %s, %v", p.Name(), rel, ok)
+		}
+	}
+}
+
+func TestRA2VAFaults(t *testing.T) {
+	r := newTestRegistry(t, NewMemStore())
+	p, err := r.Create("pool-a", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RA2VA(core.MakeRelative(999, 0)); !errors.Is(err, core.ErrUnknownPool) {
+		t.Errorf("unknown pool: err = %v", err)
+	}
+	if _, err := r.RA2VA(core.MakeRelative(p.ID(), uint32(p.Size()))); !errors.Is(err, ErrBadOffset) {
+		t.Errorf("offset past end: err = %v", err)
+	}
+	if err := r.Detach(p); err != nil {
+		t.Fatalf("Detach: %v", err)
+	}
+	if _, err := r.RA2VA(core.MakeRelative(p.ID(), 0)); !errors.Is(err, core.ErrDetachedPool) {
+		t.Errorf("detached pool: err = %v", err)
+	}
+}
+
+func TestDetachAttachPreservesContents(t *testing.T) {
+	r := newTestRegistry(t, NewMemStore())
+	p, err := r.Create("pool-a", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := r.AddressSpace()
+	if err := as.Store64(p.Base()+off, 0xabcdef); err != nil {
+		t.Fatal(err)
+	}
+	oldBase := p.Base()
+	if err := r.Detach(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Attached() {
+		t.Fatal("still attached after Detach")
+	}
+	if err := r.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Base() == oldBase {
+		t.Errorf("pool remapped at the same base %#x; relocation not exercised", oldBase)
+	}
+	v, err := as.Load64(p.Base() + off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xabcdef {
+		t.Errorf("after reattach word = %#x, want 0xabcdef", v)
+	}
+}
+
+func TestPersistenceAcrossRuns(t *testing.T) {
+	store := NewMemStore()
+	as1 := mem.New()
+	run1 := NewRegistry(as1, store)
+	p1, err := run1.Create("kv", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := p1.Pmalloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := run1.RA2VA(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as1.Store64(va, 42); err != nil {
+		t.Fatal(err)
+	}
+	p1.SetRoot(ref)
+	if err := run1.Close(p1); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A second run maps pools at different bases; the relative-form root
+	// still reaches the object.
+	as2 := mem.New()
+	run2 := NewRegistry(as2, store, WithMapBase(mem.NVMBase+4096*mem.PageSize))
+	p2, err := run2.Open("kv")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if p2.Base() == p1.Base() {
+		t.Log("note: second run mapped at same base; forcing map-base should differ")
+	}
+	root := p2.Root()
+	if root != ref {
+		t.Fatalf("root = %s, want %s (relative form is base independent)", root, ref)
+	}
+	va2, err := run2.RA2VA(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := as2.Load64(va2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("restored value = %d, want 42", v)
+	}
+	if p2.ID() != p1.ID() {
+		t.Errorf("pool ID changed across runs: %d -> %d", p1.ID(), p2.ID())
+	}
+}
+
+func TestOpenMissingAndDuplicateCreate(t *testing.T) {
+	store := NewMemStore()
+	r := newTestRegistry(t, store)
+	if _, err := r.Open("nope"); !errors.Is(err, ErrNoSuchPool) {
+		t.Errorf("Open(missing): err = %v", err)
+	}
+	if _, err := r.Create("dup", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("dup", 1<<20); !errors.Is(err, ErrPoolExists) {
+		t.Errorf("duplicate Create: err = %v", err)
+	}
+}
+
+func TestCreateSizeValidation(t *testing.T) {
+	r := newTestRegistry(t, nil)
+	if _, err := r.Create("tiny", 0); !errors.Is(err, ErrBadPoolSize) {
+		t.Errorf("zero size: err = %v", err)
+	}
+	if _, err := r.Create("huge", MaxPoolSize+1); !errors.Is(err, ErrBadPoolSize) {
+		t.Errorf("oversize: err = %v", err)
+	}
+}
+
+func TestOpenIsIdempotent(t *testing.T) {
+	r := newTestRegistry(t, NewMemStore())
+	p, err := r.Create("a", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := r.Open("a")
+	if err != nil || q != p {
+		t.Errorf("Open of attached pool = %v, %v; want same pool", q, err)
+	}
+}
+
+func TestLookupAndPools(t *testing.T) {
+	r := newTestRegistry(t, nil)
+	p, err := r.Create("a", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Lookup(p.ID())
+	if !ok || got != p {
+		t.Error("Lookup failed")
+	}
+	if _, ok := r.Lookup(12345); ok {
+		t.Error("Lookup of bogus ID succeeded")
+	}
+	if len(r.Pools()) != 1 {
+		t.Errorf("Pools() = %d entries", len(r.Pools()))
+	}
+}
+
+func TestPoolIDsUniqueAcrossRunsWithNewPools(t *testing.T) {
+	store := NewMemStore()
+	run1 := NewRegistry(mem.New(), store)
+	a, err := run1.Create("a", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run1.Close(a); err != nil {
+		t.Fatal(err)
+	}
+	run2 := NewRegistry(mem.New(), store)
+	a2, err := run2.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run2.Create("b", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID() == a2.ID() {
+		t.Errorf("new pool reused ID %d of reopened pool", b.ID())
+	}
+}

@@ -1,0 +1,170 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrStoreMissing is returned when a requested pool image is not in the store.
+var ErrStoreMissing = errors.New("pmem: pool image not in store")
+
+// MemStore keeps pool images in process memory. It models the NVM devices
+// for tests and benchmarks: a new Registry over the same MemStore is a new
+// "run" of the program against the same persistent memory.
+type MemStore struct {
+	images map[string]memImage
+}
+
+type memImage struct {
+	meta Meta
+	data []byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{images: make(map[string]memImage)}
+}
+
+// Save implements Store.
+func (s *MemStore) Save(meta Meta, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.images[meta.Name] = memImage{meta: meta, data: cp}
+	return nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load(name string) (Meta, []byte, error) {
+	img, ok := s.images[name]
+	if !ok {
+		return Meta{}, nil, fmt.Errorf("%w: %q", ErrStoreMissing, name)
+	}
+	cp := make([]byte, len(img.data))
+	copy(cp, img.data)
+	return img.meta, cp, nil
+}
+
+// List implements Store.
+func (s *MemStore) List() ([]string, error) {
+	names := make([]string, 0, len(s.images))
+	for n := range s.images {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(name string) error {
+	if _, ok := s.images[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrStoreMissing, name)
+	}
+	delete(s.images, name)
+	return nil
+}
+
+var _ Store = (*MemStore)(nil)
+
+// DirStore persists pool images as files in a directory, one file per pool.
+// Image format: an 8-byte magic, the 4-byte pool ID, the 8-byte size, the
+// length-prefixed name, then the raw pool bytes.
+type DirStore struct {
+	dir string
+}
+
+const fileMagic = "NVREFPL1"
+const fileExt = ".pool"
+
+// NewDirStore returns a store rooted at dir, creating it if needed.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+func (s *DirStore) path(name string) string {
+	// Pool names become file names; escape path separators defensively.
+	safe := strings.NewReplacer("/", "_", string(filepath.Separator), "_").Replace(name)
+	return filepath.Join(s.dir, safe+fileExt)
+}
+
+// Save implements Store.
+func (s *DirStore) Save(meta Meta, data []byte) error {
+	buf := make([]byte, 0, len(fileMagic)+4+8+4+len(meta.Name)+len(data))
+	buf = append(buf, fileMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, meta.ID)
+	buf = binary.LittleEndian.AppendUint64(buf, meta.Size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta.Name)))
+	buf = append(buf, meta.Name...)
+	buf = append(buf, data...)
+	tmp := s.path(meta.Name) + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path(meta.Name))
+}
+
+// Load implements Store.
+func (s *DirStore) Load(name string) (Meta, []byte, error) {
+	raw, err := os.ReadFile(s.path(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Meta{}, nil, fmt.Errorf("%w: %q", ErrStoreMissing, name)
+		}
+		return Meta{}, nil, err
+	}
+	if len(raw) < len(fileMagic)+16 || string(raw[:len(fileMagic)]) != fileMagic {
+		return Meta{}, nil, fmt.Errorf("%w: %q: bad file header", ErrCorrupt, name)
+	}
+	p := len(fileMagic)
+	id := binary.LittleEndian.Uint32(raw[p:])
+	p += 4
+	size := binary.LittleEndian.Uint64(raw[p:])
+	p += 8
+	nameLen := int(binary.LittleEndian.Uint32(raw[p:]))
+	p += 4
+	if p+nameLen > len(raw) {
+		return Meta{}, nil, fmt.Errorf("%w: %q: truncated name", ErrCorrupt, name)
+	}
+	storedName := string(raw[p : p+nameLen])
+	p += nameLen
+	data := raw[p:]
+	if uint64(len(data)) != size {
+		return Meta{}, nil, fmt.Errorf("%w: %q: image %d bytes, header says %d",
+			ErrCorrupt, name, len(data), size)
+	}
+	return Meta{ID: id, Name: storedName, Size: size}, data, nil
+}
+
+// List implements Store.
+func (s *DirStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), fileExt); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete implements Store.
+func (s *DirStore) Delete(name string) error {
+	err := os.Remove(s.path(name))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("%w: %q", ErrStoreMissing, name)
+	}
+	return err
+}
+
+var _ Store = (*DirStore)(nil)

@@ -1,0 +1,34 @@
+package pmem
+
+import "nvref/internal/core"
+
+// VerifyRelocatable scans the pool's heap for 8-byte words that look like
+// non-relocatable persistent references: virtual addresses into the NVM
+// half of the address space. Such a word stored inside a pool would break
+// the moment the pool is remapped — exactly what the transparent scheme's
+// pointerAssignment semantics prevent. It returns the offsets of offending
+// words (empty means the pool is clean).
+//
+// The scan is a heuristic in the same way any pointer scan of untyped
+// memory is: an integer whose value happens to look like an NVM virtual
+// address is reported too. The transparent scheme's own output never
+// contains such words, so on its pools the scan is exact.
+func VerifyRelocatable(p *Pool, as interface {
+	Load64(va uint64) (uint64, error)
+}) []uint64 {
+	var bad []uint64
+	for off := HeapStart; off+8 <= p.Size(); off += 8 {
+		raw, err := as.Load64(p.Base() + off)
+		if err != nil {
+			break
+		}
+		ref := core.Ptr(raw)
+		if ref.IsNull() || ref.IsRelative() {
+			continue
+		}
+		if uint64(ref)&core.NVMBit != 0 {
+			bad = append(bad, off)
+		}
+	}
+	return bad
+}

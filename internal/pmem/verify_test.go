@@ -1,0 +1,76 @@
+package pmem
+
+import (
+	"testing"
+
+	"nvref/internal/core"
+	"nvref/internal/mem"
+)
+
+func TestVerifyRelocatableCleanPool(t *testing.T) {
+	r := NewRegistry(mem.New(), nil)
+	p, err := r.Create("v", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Pmalloc(64)
+	b, _ := p.Pmalloc(64)
+	// Store b's reference into a in relative form, as the transparent
+	// scheme would.
+	aVA, _ := r.RA2VA(a)
+	if err := r.AddressSpace().Store64(aVA, uint64(b)); err != nil {
+		t.Fatal(err)
+	}
+	if bad := VerifyRelocatable(p, r.AddressSpace()); len(bad) != 0 {
+		t.Errorf("clean pool reported %d bad words at %v", len(bad), bad)
+	}
+}
+
+func TestVerifyRelocatableFlagsRawNVMAddress(t *testing.T) {
+	r := NewRegistry(mem.New(), nil)
+	p, err := r.Create("v", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Pmalloc(64)
+	b, _ := p.Pmalloc(64)
+	aVA, _ := r.RA2VA(a)
+	bVA, _ := r.RA2VA(b)
+	// Store b's raw virtual address — the non-relocatable mistake the
+	// transparent scheme prevents.
+	if err := r.AddressSpace().Store64(aVA, bVA); err != nil {
+		t.Fatal(err)
+	}
+	bad := VerifyRelocatable(p, r.AddressSpace())
+	if len(bad) != 1 {
+		t.Fatalf("bad words = %v, want exactly one", bad)
+	}
+	if got := p.Base() + bad[0]; got != aVA {
+		t.Errorf("flagged offset %#x, want the slot at %#x", bad[0], aVA)
+	}
+}
+
+func TestVerifyRelocatableIgnoresDataAndDRAMPointers(t *testing.T) {
+	r := NewRegistry(mem.New(), nil)
+	p, err := r.Create("v", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Pmalloc(64)
+	aVA, _ := r.RA2VA(a)
+	as := r.AddressSpace()
+	// Plain data, a null, and a DRAM virtual address (a legal volatile
+	// reference) must not be flagged.
+	if err := as.Store64(aVA, 123456); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Store64(aVA+8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Store64(aVA+16, uint64(core.FromVA(0x2000))); err != nil {
+		t.Fatal(err)
+	}
+	if bad := VerifyRelocatable(p, as); len(bad) != 0 {
+		t.Errorf("false positives at %v", bad)
+	}
+}

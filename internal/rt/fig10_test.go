@@ -1,0 +1,103 @@
+package rt
+
+import (
+	"testing"
+
+	"nvref/internal/hw"
+	"nvref/internal/pmem"
+)
+
+// TestFig10OptimizationOrdering demonstrates the paper's Figure 10
+// argument for running the reference pass *after* scalar optimizations:
+// if value numbering were applied afterward and cached a ra2va conversion
+// across a pool detach, the program would silently use a stale virtual
+// address; the unoptimized per-use conversion faults instead, surfacing
+// the detach. Mechanically: a cached conversion result keeps working
+// against the old mapping (wrong), while re-converting faults (right).
+func TestFig10OptimizationOrdering(t *testing.T) {
+	c, err := New(Config{Mode: HW, Store: pmem.NewMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := c.Pmalloc(64)
+	c.StoreWord(tsStore, obj, 0, 1234)
+	rel := c.toPoolRef(obj)
+
+	// The "optimized" code hoisted the conversion: it holds the virtual
+	// address from before the detach.
+	staleVA, err2 := c.MMU.RA2VA(rel)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+
+	// The pool detaches mid-execution (Figure 10's scenario).
+	if err := c.Reg.Detach(c.Pool); err != nil {
+		t.Fatal(err)
+	}
+	c.MMU.DetachPool(c.Pool.ID())
+
+	// Correct (unoptimized) behaviour: the second conversion faults.
+	if _, err := c.MMU.RA2VA(rel); err == nil {
+		t.Error("re-conversion after detach did not fault")
+	}
+
+	// Incorrect (reordered-optimization) behaviour: the cached address
+	// dereferences whatever is (or is not) at the old mapping — here the
+	// memory is unmapped, but on a real system it could be reused by a
+	// different pool, which is precisely the silent corruption the paper
+	// warns about.
+	if _, err := c.AS.Load64(staleVA); err == nil {
+		t.Error("stale cached address still mapped; detach did not unmap")
+	}
+
+	// Reattach at a different base: the cached address is now provably
+	// wrong while the relative reference finds the data again.
+	if err := c.Reg.Attach(c.Pool); err != nil {
+		t.Fatal(err)
+	}
+	c.MMU.AttachPool(hw.RangeEntry{Base: c.Pool.Base(), Size: c.Pool.Size(), ID: c.Pool.ID()})
+	freshVA, err := c.MMU.RA2VA(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshVA == staleVA {
+		t.Fatal("pool reattached at the same base; scenario not exercised")
+	}
+	v, err := c.AS.Load64(freshVA)
+	if err != nil || v != 1234 {
+		t.Errorf("fresh conversion lost the data: %d, %v", v, err)
+	}
+}
+
+// TestFig12TranslationReuse pins the paper's Figure 12 codelet: loading a
+// persistent pointer converts it once, and every later dereference
+// through the local reuses the conversion; the explicit model converts at
+// every access.
+func TestFig12TranslationReuse(t *testing.T) {
+	countPOLB := func(mode Mode) uint64 {
+		c := MustNew(mode)
+		a := c.Pmalloc(64)
+		b := c.Pmalloc(64)
+		c.StorePtr(tsStore, a, 0, b)
+		c.StoreWord(tsStore, b, 8, 5)
+
+		before := c.MMU.POLB.Stats.Accesses()
+		// q = p->next; use q three times (the Figure 12 pattern).
+		q := c.LoadPtr(tsLoad, c.toPoolRef(a), 0)
+		_ = c.LoadWord(tsLoad, q, 8)
+		_ = c.LoadWord(tsLoad, q, 8)
+		_ = c.LoadWord(tsLoad, q, 8)
+		return c.MMU.POLB.Stats.Accesses() - before
+	}
+
+	hw := countPOLB(HW)
+	explicit := countPOLB(Explicit)
+	// HW: one conversion for the address of a, one for the loaded q —
+	// then reuse. Explicit: every one of the four accesses converts.
+	if hw != 2 {
+		t.Errorf("HW POLB accesses = %d, want 2 (converted once, reused)", hw)
+	}
+	if explicit != 4 {
+		t.Errorf("Explicit POLB accesses = %d, want 4 (converted per access)", explicit)
+	}
+}

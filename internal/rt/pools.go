@@ -1,0 +1,73 @@
+package rt
+
+import (
+	"fmt"
+
+	"nvref/internal/core"
+	"nvref/internal/hw"
+	"nvref/internal/pmem"
+)
+
+// Multi-pool support. The default Context allocates from one pool; real
+// deployments hold many pools (the paper's POLB and VALB are sized at 32
+// entries for that reason). SetPoolCount spreads subsequent Pmalloc calls
+// round-robin over n pools, which pressures the lookaside buffers and the
+// VATB range table — the subject of the pool-count ablation.
+
+// SetPoolCount ensures the context has n pools and enables round-robin
+// persistent allocation across them. n must be at least 1; the first pool
+// is the context's original one.
+func (c *Context) SetPoolCount(n int) error {
+	if n < 1 {
+		return fmt.Errorf("rt: pool count %d < 1", n)
+	}
+	for len(c.pools) < n {
+		idx := len(c.pools)
+		size := c.Pool.Size()
+		// Extra pools are sized like the default pool but smaller when
+		// many are requested, to keep the address space tidy.
+		if n > 8 {
+			size = minPoolSizeFor(size, n)
+		}
+		p, err := c.Reg.Create(fmt.Sprintf("%s-%d", defaultPoolName, idx), size)
+		if err != nil {
+			return err
+		}
+		c.MMU.AttachPool(hw.RangeEntry{Base: p.Base(), Size: p.Size(), ID: p.ID()})
+		c.pools = append(c.pools, p)
+	}
+	c.poolFan = n
+	return nil
+}
+
+func minPoolSizeFor(base uint64, n int) uint64 {
+	size := base / uint64(n)
+	if size < pmem.MinPoolSize*4 {
+		size = pmem.MinPoolSize * 4
+	}
+	return size
+}
+
+// Pools returns the pools participating in round-robin allocation.
+func (c *Context) Pools() []*pmem.Pool {
+	if len(c.pools) == 0 {
+		return []*pmem.Pool{c.Pool}
+	}
+	return c.pools[:c.poolFan]
+}
+
+// nextPool picks the pool for the next persistent allocation.
+func (c *Context) nextPool() *pmem.Pool {
+	if c.poolFan <= 1 || len(c.pools) == 0 {
+		return c.Pool
+	}
+	p := c.pools[c.poolCursor%c.poolFan]
+	c.poolCursor++
+	return p
+}
+
+// PmallocIn allocates in a specific pool, with the same local-form
+// conversion behaviour as Pmalloc.
+func (c *Context) PmallocIn(pool *pmem.Pool, size uint64) core.Ptr {
+	return c.pmallocFrom(pool, size)
+}

@@ -1,0 +1,133 @@
+package rt
+
+import (
+	"testing"
+
+	"nvref/internal/core"
+	"nvref/internal/hw"
+)
+
+func TestSetPoolCountRoundRobin(t *testing.T) {
+	c := MustNew(HW)
+	if err := c.SetPoolCount(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Pools()); got != 4 {
+		t.Fatalf("Pools() = %d", got)
+	}
+	// Allocations must spread across all four pools.
+	seen := map[uint32]bool{}
+	var refs []core.Ptr
+	for i := 0; i < 8; i++ {
+		p := c.Pmalloc(64)
+		refs = append(refs, p)
+		rel := c.toPoolRef(p)
+		if !rel.IsRelative() {
+			t.Fatalf("allocation %d not resolvable to a pool: %s", i, p)
+		}
+		seen[rel.PoolID()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("allocations touched %d pools, want 4", len(seen))
+	}
+	// Cross-pool pointer stores still work.
+	c.StorePtr(tsStore, refs[0], 0, refs[1])
+	got := c.LoadPtr(tsLoad, refs[0], 0)
+	if !c.PtrEq(tsCmp, got, refs[1]) {
+		t.Error("cross-pool pointer round trip failed")
+	}
+}
+
+func TestSetPoolCountValidation(t *testing.T) {
+	c := MustNew(HW)
+	if err := c.SetPoolCount(0); err == nil {
+		t.Error("SetPoolCount(0) accepted")
+	}
+	if err := c.SetPoolCount(2); err != nil {
+		t.Fatal(err)
+	}
+	// Shrinking the fan keeps the pools but reduces round-robin width.
+	if err := c.SetPoolCount(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Pools()) != 1 {
+		t.Errorf("Pools() after shrink = %d", len(c.Pools()))
+	}
+}
+
+func TestPmallocIn(t *testing.T) {
+	c := MustNew(Explicit)
+	if err := c.SetPoolCount(3); err != nil {
+		t.Fatal(err)
+	}
+	target := c.Pools()[2]
+	p := c.PmallocIn(target, 32)
+	if !p.IsRelative() || p.PoolID() != target.ID() {
+		t.Errorf("PmallocIn placed %s, want pool %d", p, target.ID())
+	}
+}
+
+func TestManyPoolsPressurePOLB(t *testing.T) {
+	c := MustNew(HW)
+	if err := c.SetPoolCount(48); err != nil {
+		t.Fatal(err)
+	}
+	// Touch one object in each pool twice, dereferencing through the
+	// relative form (as a pointer freshly loaded from NVM would be);
+	// 48 pools overflow the 32-entry POLB, so the second sweep still
+	// misses.
+	var refs []core.Ptr
+	for i := 0; i < 48; i++ {
+		p := c.Pmalloc(32)
+		c.StoreWord(tsStore, p, 0, uint64(i))
+		refs = append(refs, c.toPoolRef(p))
+	}
+	missesAfterBuild := c.MMU.POLB.Stats.Misses
+	for _, p := range refs {
+		_ = c.LoadWord(tsLoad, p, 0)
+	}
+	if c.MMU.POLB.Stats.Misses == missesAfterBuild {
+		t.Error("48-pool sweep produced no POLB misses; capacity not modeled")
+	}
+}
+
+// TestDetachedPoolFaultsAtRuntime is the paper's Figure 10 scenario at the
+// runtime level: after a pool detaches, a dereference that needs its
+// translation faults instead of silently misbehaving.
+func TestDetachedPoolFaultsAtRuntime(t *testing.T) {
+	c := MustNew(HW)
+	p := c.Pmalloc(64)
+	c.StoreWord(tsStore, p, 0, 7)
+	rel := c.toPoolRef(p)
+
+	if err := c.Reg.Detach(c.Pool); err != nil {
+		t.Fatal(err)
+	}
+	c.MMU.DetachPool(c.Pool.ID())
+
+	defer func() {
+		if recover() == nil {
+			t.Error("dereference through a detached pool did not fault")
+		}
+	}()
+	_ = c.LoadWord(tsLoad, rel, 0)
+}
+
+func TestMMUMirrorsRegistryPools(t *testing.T) {
+	c := MustNew(HW)
+	if err := c.SetPoolCount(5); err != nil {
+		t.Fatal(err)
+	}
+	for _, pool := range c.Pools() {
+		e, _, ok := c.MMU.POLB.Lookup(pool.ID())
+		if !ok {
+			t.Errorf("pool %d missing from hardware tables", pool.ID())
+			continue
+		}
+		if e.Base != pool.Base() || e.Size != pool.Size() {
+			t.Errorf("pool %d: hw mapping %+v != registry (%#x, %#x)",
+				pool.ID(), e, pool.Base(), pool.Size())
+		}
+	}
+	_ = hw.RangeEntry{}
+}

@@ -1,0 +1,80 @@
+// Package rt runs workload kernels under the four implementations the
+// paper's evaluation compares:
+//
+//	Volatile — the native program: ordinary pointers, data on DRAM, no
+//	          NVM-related work at all. The clean reference point.
+//	Explicit — the explicit persistent-reference model of prior work:
+//	          persistent objects are named by object IDs (relative
+//	          addresses) everywhere, and every access to a persistent
+//	          object converts the ID through the hardware POLB.
+//	SW       — user-transparent persistent references implemented purely in
+//	          software: the compiler inserts dynamic format checks
+//	          (conditional branches) at the pointer operations it cannot
+//	          resolve statically, and conversions call runtime routines.
+//	HW       — user-transparent persistent references with the paper's
+//	          architecture support: loads translate relative addresses at
+//	          effective-address generation through the POLB, and pointer
+//	          stores use the storeP instruction with its VALB/FSM unit.
+//
+// Kernels are written once against Context's operations; the mode selects
+// both the in-memory pointer representation and the timing events fed to
+// the cpu model. Every quantity the evaluation reports — dynamic checks,
+// conversions, storeP counts, POLB/VALB traffic, branch mispredictions —
+// emerges from these mechanics rather than from fitted constants.
+//
+// A Context models the paper's single-core machine (Table IV) and is not
+// safe for concurrent use; run one workload per Context.
+package rt
+
+import "sync/atomic"
+
+// Mode selects the implementation a kernel runs under.
+type Mode int
+
+// The four compared versions.
+const (
+	Volatile Mode = iota
+	Explicit
+	SW
+	HW
+)
+
+// Modes lists all modes in the order the paper's figures present them.
+var Modes = []Mode{Volatile, Explicit, SW, HW}
+
+func (m Mode) String() string {
+	switch m {
+	case Volatile:
+		return "Volatile"
+	case Explicit:
+		return "Explicit"
+	case SW:
+		return "SW"
+	case HW:
+		return "HW"
+	}
+	return "unknown"
+}
+
+// Site identifies one static pointer-operation site in kernel code — the
+// unit at which the paper's compiler pass decides whether a dynamic check
+// is needed. Inferred sites are those where backward dataflow resolved the
+// pointer's property (for example, the direct result of pmalloc or malloc),
+// so the SW build emits no check there. At all other sites the SW build
+// performs the runtime check; the HW build never needs one.
+type Site struct {
+	ID       uint64
+	Name     string
+	Inferred bool
+}
+
+var siteCounter atomic.Uint64
+
+// NewSite registers a static site. Kernels declare sites as package-level
+// variables so IDs are stable across runs within a process.
+func NewSite(name string, inferred bool) *Site {
+	id := siteCounter.Add(1)
+	// Spread site IDs across the branch predictor index space the way
+	// distinct static branch PCs would be.
+	return &Site{ID: id * 0x9e3779b1, Name: name, Inferred: inferred}
+}

@@ -1,0 +1,65 @@
+package rt
+
+import (
+	"fmt"
+	"io"
+
+	"nvref/internal/core"
+)
+
+// Execution tracing: when a trace writer is attached, the Context emits
+// one line per reference operation — the representation of every operand,
+// the resolved address, and the conversions performed. The trace is the
+// debugging view of the reference machinery: reading it next to the
+// Figure 4 table shows each rule firing.
+//
+// Tracing is off (nil writer) by default and costs nothing when off.
+
+// SetTrace attaches (or detaches, with nil) a trace writer.
+func (c *Context) SetTrace(w io.Writer) { c.trace = w }
+
+// tracef emits one trace line when tracing is on.
+func (c *Context) tracef(format string, args ...any) {
+	if c.trace == nil {
+		return
+	}
+	fmt.Fprintf(c.trace, "[%s @%d] ", c.Mode, c.CPU.Stats.Cycles)
+	fmt.Fprintf(c.trace, format, args...)
+	fmt.Fprintln(c.trace)
+}
+
+// traceOn reports whether tracing is active (to skip building strings).
+func (c *Context) traceOn() bool { return c.trace != nil }
+
+// Traced operation wrappers. These delegate to the regular operations and
+// describe what happened; kernels and the minc interpreter call the plain
+// ops, which emit through the hooks below.
+
+func (c *Context) traceLoadPtr(p core.Ptr, off int64, loaded, local core.Ptr) {
+	if !c.traceOn() {
+		return
+	}
+	note := ""
+	if loaded != local {
+		note = fmt.Sprintf(" -> local %s (pdy=pxr conversion)", local)
+	}
+	c.tracef("loadPtr  %s+%d = %s%s", p, off, loaded, note)
+}
+
+func (c *Context) traceStorePtr(p core.Ptr, off int64, q, stored core.Ptr) {
+	if !c.traceOn() {
+		return
+	}
+	note := ""
+	if q != stored {
+		note = fmt.Sprintf(" (converted from %s)", q)
+	}
+	c.tracef("storePtr %s+%d <- %s%s", p, off, stored, note)
+}
+
+func (c *Context) traceAccess(kind string, p core.Ptr, off int64, va uint64) {
+	if !c.traceOn() {
+		return
+	}
+	c.tracef("%s %s+%d @ va %#x", kind, p, off, va)
+}

@@ -1,0 +1,47 @@
+package rt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nvref/internal/core"
+)
+
+func TestTraceRecordsOperationsAndConversions(t *testing.T) {
+	c := MustNew(HW)
+	var buf bytes.Buffer
+	c.SetTrace(&buf)
+
+	a := c.Pmalloc(32)
+	b := c.Pmalloc(32)
+	c.StorePtr(tsStore, a, 0, b) // VA-form local into NVM: converts
+	p := c.LoadPtr(tsLoad, a, 0) // relative loaded, converted to local VA
+	_ = c.LoadWord(tsLoad, p, 8)
+	c.StoreWord(tsStore, p, 8, 5)
+
+	out := buf.String()
+	for _, want := range []string{"storePtr", "loadPtr", "load    ", "storeD", "(converted from", "pdy=pxr conversion", "[HW @"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Detaching the writer stops emission.
+	c.SetTrace(nil)
+	before := buf.Len()
+	_ = c.LoadWord(tsLoad, p, 8)
+	if buf.Len() != before {
+		t.Error("trace emitted after detach")
+	}
+}
+
+func TestTraceOffByDefaultCostsNothing(t *testing.T) {
+	c := MustNew(SW)
+	p := c.Pmalloc(16)
+	c.StoreWord(tsStore, p, 0, 1)
+	if c.traceOn() {
+		t.Error("trace on by default")
+	}
+	_ = core.Null
+}

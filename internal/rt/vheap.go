@@ -1,0 +1,86 @@
+package rt
+
+import (
+	"fmt"
+
+	"nvref/internal/mem"
+)
+
+// vheap is the volatile heap: a simple bump-plus-freelist allocator over a
+// DRAM region of the simulated address space. Its bookkeeping lives on the
+// Go side — volatile allocations need no persistence — but the storage it
+// hands out is real simulated DRAM.
+// The heap is size-class segregated, as production mallocs are: each
+// rounded block size draws from its own slab of contiguous blocks, so a
+// stray odd-sized allocation cannot phase-shift a later stream of
+// same-sized objects across cache-line boundaries.
+type vheap struct {
+	as    *mem.AddressSpace
+	base  uint64
+	size  uint64
+	next  uint64              // next unused slab boundary
+	slabs map[uint64]*slab    // block size -> active slab
+	free  map[uint64][]uint64 // block size -> free user addresses
+}
+
+type slab struct {
+	next uint64 // next block address
+	end  uint64
+}
+
+const (
+	vheapAlign = 16
+	// vheapHeader matches the persistent allocator's per-block header so
+	// both heaps lay objects out at the same stride; otherwise cache
+	// behaviour would differ between the volatile baseline and the
+	// persistent builds for reasons unrelated to the reference scheme.
+	vheapHeader = 16
+	slabSize    = uint64(256 << 10)
+)
+
+func newVHeap(as *mem.AddressSpace, base, size uint64) (*vheap, error) {
+	if err := as.Map(base, size, "vheap"); err != nil {
+		return nil, err
+	}
+	return &vheap{
+		as: as, base: base, size: size, next: base,
+		slabs: make(map[uint64]*slab),
+		free:  make(map[uint64][]uint64),
+	}, nil
+}
+
+// blockSize rounds a request to its class: user bytes plus header, at
+// allocator alignment.
+func blockSize(size uint64) uint64 {
+	return (size + vheapHeader + vheapAlign - 1) &^ (vheapAlign - 1)
+}
+
+func (h *vheap) alloc(size uint64) (uint64, error) {
+	bs := blockSize(size)
+	if list := h.free[bs]; len(list) > 0 {
+		va := list[len(list)-1]
+		h.free[bs] = list[:len(list)-1]
+		return va, nil
+	}
+	s := h.slabs[bs]
+	if s == nil || s.next+bs > s.end {
+		span := slabSize
+		if bs > span {
+			span = (bs + slabSize - 1) &^ (slabSize - 1)
+		}
+		if h.next+span > h.base+h.size {
+			return 0, fmt.Errorf("rt: volatile heap exhausted (%d bytes requested)", size)
+		}
+		s = &slab{next: h.next, end: h.next + span}
+		h.next += span
+		h.slabs[bs] = s
+	}
+	va := s.next
+	s.next += bs
+	return va + vheapHeader, nil
+}
+
+func (h *vheap) release(va uint64, size uint64) {
+	bs := blockSize(size)
+	h.free[bs] = append(h.free[bs], va)
+}

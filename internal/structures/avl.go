@@ -1,0 +1,217 @@
+package structures
+
+import (
+	"nvref/internal/core"
+	"nvref/internal/rt"
+)
+
+// AVL is a height-balanced binary search tree with recursive insertion and
+// single/double rotations. Node layout (40 bytes):
+//
+//	+0  key
+//	+8  value
+//	+16 left
+//	+24 right
+//	+32 height
+const (
+	avlKey    = 0
+	avlVal    = 8
+	avlLeft   = 16
+	avlRight  = 24
+	avlHeight = 32
+	avlNode   = 40
+)
+
+var (
+	avlSiteLoadChild  = rt.NewSite("avl.load.child", false)
+	avlSiteLoadKey    = rt.NewSite("avl.load.key", false)
+	avlSiteLoadHeight = rt.NewSite("avl.load.height", false)
+	avlSiteStoreNew   = rt.NewSite("avl.store.new", true)
+	avlSiteStoreLink  = rt.NewSite("avl.store.link", false)
+	avlSiteCmpKey     = rt.NewSite("avl.cmp.key", false)
+	avlSiteDescend    = rt.NewSite("avl.descend", false)
+	avlSiteBalance    = rt.NewSite("avl.balance", false)
+)
+
+// AVL is a persistent AVL tree.
+type AVL struct {
+	ctx  *rt.Context
+	root core.Ptr
+	n    uint64
+}
+
+// NewAVL returns an empty tree.
+func NewAVL(ctx *rt.Context) *AVL {
+	return &AVL{ctx: ctx, root: core.Null}
+}
+
+// Name implements Index.
+func (t *AVL) Name() string { return "AVL" }
+
+// Len returns the number of keys.
+func (t *AVL) Len() uint64 { return t.n }
+
+func (t *AVL) height(p core.Ptr) int64 {
+	if t.ctx.IsNull(p) {
+		return 0
+	}
+	return int64(t.ctx.LoadWord(avlSiteLoadHeight, p, avlHeight))
+}
+
+func (t *AVL) updateHeight(p core.Ptr) {
+	lh := t.height(t.ctx.LoadPtr(avlSiteLoadChild, p, avlLeft))
+	rh := t.height(t.ctx.LoadPtr(avlSiteLoadChild, p, avlRight))
+	h := lh
+	if rh > lh {
+		h = rh
+	}
+	t.ctx.Exec(2)
+	t.ctx.StoreWord(avlSiteStoreLink, p, avlHeight, uint64(h+1))
+}
+
+func (t *AVL) balanceFactor(p core.Ptr) int64 {
+	return t.height(t.ctx.LoadPtr(avlSiteLoadChild, p, avlLeft)) -
+		t.height(t.ctx.LoadPtr(avlSiteLoadChild, p, avlRight))
+}
+
+// Lookup implements Index.
+func (t *AVL) Lookup(key uint64) (uint64, bool) {
+	c := t.ctx
+	p := t.root
+	for {
+		done := c.IsNull(p)
+		c.Branch(avlSiteDescend, done)
+		if done {
+			return 0, false
+		}
+		k := c.LoadWord(avlSiteLoadKey, p, avlKey)
+		eq := k == key
+		c.Branch(avlSiteCmpKey, eq)
+		if eq {
+			return c.LoadWord(avlSiteLoadKey, p, avlVal), true
+		}
+		goLeft := key < k
+		c.Branch(avlSiteCmpKey, goLeft)
+		if goLeft {
+			p = c.LoadPtr(avlSiteLoadChild, p, avlLeft)
+		} else {
+			p = c.LoadPtr(avlSiteLoadChild, p, avlRight)
+		}
+	}
+}
+
+// Insert implements Index.
+func (t *AVL) Insert(key, value uint64) {
+	t.root = t.insert(t.root, key, value)
+}
+
+func (t *AVL) insert(p core.Ptr, key, value uint64) core.Ptr {
+	c := t.ctx
+	if empty := c.IsNull(p); empty {
+		c.Branch(avlSiteDescend, true)
+		node := c.Pmalloc(avlNode)
+		c.StoreWord(avlSiteStoreNew, node, avlKey, key)
+		c.StoreWord(avlSiteStoreNew, node, avlVal, value)
+		c.StorePtr(avlSiteStoreNew, node, avlLeft, core.Null)
+		c.StorePtr(avlSiteStoreNew, node, avlRight, core.Null)
+		c.StoreWord(avlSiteStoreNew, node, avlHeight, 1)
+		t.n++
+		return node
+	}
+	c.Branch(avlSiteDescend, false)
+
+	k := c.LoadWord(avlSiteLoadKey, p, avlKey)
+	eq := k == key
+	c.Branch(avlSiteCmpKey, eq)
+	if eq {
+		c.StoreWord(avlSiteStoreLink, p, avlVal, value)
+		return p
+	}
+	goLeft := key < k
+	c.Branch(avlSiteCmpKey, goLeft)
+	if goLeft {
+		child := t.insert(c.LoadPtr(avlSiteLoadChild, p, avlLeft), key, value)
+		c.StorePtr(avlSiteStoreLink, p, avlLeft, child)
+	} else {
+		child := t.insert(c.LoadPtr(avlSiteLoadChild, p, avlRight), key, value)
+		c.StorePtr(avlSiteStoreLink, p, avlRight, child)
+	}
+	t.updateHeight(p)
+	return t.rebalance(p)
+}
+
+func (t *AVL) rebalance(p core.Ptr) core.Ptr {
+	c := t.ctx
+	bf := t.balanceFactor(p)
+	c.Exec(2)
+	heavy := bf > 1 || bf < -1
+	c.Branch(avlSiteBalance, heavy)
+	if !heavy {
+		return p
+	}
+	if bf > 1 {
+		l := c.LoadPtr(avlSiteLoadChild, p, avlLeft)
+		if t.balanceFactor(l) < 0 {
+			c.StorePtr(avlSiteStoreLink, p, avlLeft, t.rotateLeft(l))
+		}
+		return t.rotateRight(p)
+	}
+	r := c.LoadPtr(avlSiteLoadChild, p, avlRight)
+	if t.balanceFactor(r) > 0 {
+		c.StorePtr(avlSiteStoreLink, p, avlRight, t.rotateRight(r))
+	}
+	return t.rotateLeft(p)
+}
+
+func (t *AVL) rotateLeft(x core.Ptr) core.Ptr {
+	c := t.ctx
+	y := c.LoadPtr(avlSiteLoadChild, x, avlRight)
+	yl := c.LoadPtr(avlSiteLoadChild, y, avlLeft)
+	c.StorePtr(avlSiteStoreLink, x, avlRight, yl)
+	c.StorePtr(avlSiteStoreLink, y, avlLeft, x)
+	t.updateHeight(x)
+	t.updateHeight(y)
+	return y
+}
+
+func (t *AVL) rotateRight(x core.Ptr) core.Ptr {
+	c := t.ctx
+	y := c.LoadPtr(avlSiteLoadChild, x, avlLeft)
+	yr := c.LoadPtr(avlSiteLoadChild, y, avlRight)
+	c.StorePtr(avlSiteStoreLink, x, avlLeft, yr)
+	c.StorePtr(avlSiteStoreLink, y, avlRight, x)
+	t.updateHeight(x)
+	t.updateHeight(y)
+	return y
+}
+
+// validate checks the AVL balance invariant and BST ordering; it returns
+// false on any violation. Used by tests.
+func (t *AVL) validate() bool {
+	ok := true
+	var check func(p core.Ptr, lo, hi uint64, loSet, hiSet bool) int64
+	check = func(p core.Ptr, lo, hi uint64, loSet, hiSet bool) int64 {
+		if t.ctx.IsNull(p) {
+			return 0
+		}
+		k := t.ctx.LoadWord(avlSiteLoadKey, p, avlKey)
+		if (loSet && k <= lo) || (hiSet && k >= hi) {
+			ok = false
+		}
+		lh := check(t.ctx.LoadPtr(avlSiteLoadChild, p, avlLeft), lo, k, loSet, true)
+		rh := check(t.ctx.LoadPtr(avlSiteLoadChild, p, avlRight), k, hi, true, hiSet)
+		if lh-rh > 1 || rh-lh > 1 {
+			ok = false
+		}
+		h := lh
+		if rh > h {
+			h = rh
+		}
+		if int64(t.ctx.LoadWord(avlSiteLoadHeight, p, avlHeight)) != h+1 {
+			ok = false
+		}
+		return h + 1
+	}
+	check(t.root, 0, 0, false, false)
+	return ok
+}

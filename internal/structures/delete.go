@@ -1,0 +1,461 @@
+package structures
+
+import (
+	"nvref/internal/core"
+	"nvref/internal/rt"
+)
+
+// Deletion support. The paper's harness only inserts and looks up, but a
+// container library that legacy applications would adopt needs removal;
+// each structure gets its canonical deletion algorithm, running over the
+// same transparent-reference operations as everything else.
+
+var (
+	delSiteLoad  = rt.NewSite("del.load", false)
+	delSiteStore = rt.NewSite("del.store", false)
+	delSiteCmp   = rt.NewSite("del.cmp", false)
+	delSiteIter  = rt.NewSite("del.iter", false)
+)
+
+// ---- Hash ------------------------------------------------------------
+
+// Delete removes a key from the table, returning whether it was present.
+func (h *Hash) Delete(key uint64) bool {
+	c := h.ctx
+	c.Exec(6)
+	slot := int64(hashMix(key)&h.mask) * 8
+	var prev core.Ptr = core.Null
+	p := c.LoadPtr(hSiteLoadBucket, h.buckets, slot)
+	for {
+		done := c.IsNull(p)
+		c.Branch(delSiteIter, done)
+		if done {
+			return false
+		}
+		k := c.LoadWord(delSiteLoad, p, hashKey)
+		eq := k == key
+		c.Branch(delSiteCmp, eq)
+		if eq {
+			next := c.LoadPtr(delSiteLoad, p, hashNext)
+			if c.IsNull(prev) {
+				c.StorePtr(delSiteStore, h.buckets, slot, next)
+			} else {
+				c.StorePtr(delSiteStore, prev, hashNext, next)
+			}
+			c.Pfree(p, hashNode)
+			h.n--
+			return true
+		}
+		prev = p
+		p = c.LoadPtr(delSiteLoad, p, hashNext)
+	}
+}
+
+// ---- List ------------------------------------------------------------
+
+// Remove unlinks and frees the first node whose first value word equals
+// v0, returning whether one was found.
+func (l *List) Remove(v0 uint64) bool {
+	c := l.ctx
+	p := l.head
+	for {
+		done := c.IsNull(p)
+		c.Branch(delSiteIter, done)
+		if done {
+			return false
+		}
+		hit := c.LoadWord(delSiteLoad, p, llVal0) == v0
+		c.Branch(delSiteCmp, hit)
+		if hit {
+			prev := c.LoadPtr(delSiteLoad, p, llPrev)
+			next := c.LoadPtr(delSiteLoad, p, llNext)
+			if c.IsNull(prev) {
+				l.head = next
+			} else {
+				c.StorePtr(delSiteStore, prev, llNext, next)
+			}
+			if c.IsNull(next) {
+				l.tail = prev
+			} else {
+				c.StorePtr(delSiteStore, next, llPrev, prev)
+			}
+			c.Pfree(p, llSize)
+			l.n--
+			return true
+		}
+		p = c.LoadPtr(delSiteLoad, p, llNext)
+	}
+}
+
+// ---- Splay -----------------------------------------------------------
+
+// Delete removes a key using the classic splay deletion: splay the key to
+// the root, then join the subtrees.
+func (t *Splay) Delete(key uint64) bool {
+	c := t.ctx
+	if c.IsNull(t.root) {
+		return false
+	}
+	t.splay(key)
+	rk := c.LoadWord(spSiteLoadKey, t.root, spKey)
+	hit := rk == key
+	c.Branch(delSiteCmp, hit)
+	if !hit {
+		return false
+	}
+	victim := t.root
+	left := t.load(victim, spLeft)
+	right := t.load(victim, spRight)
+	if c.IsNull(left) {
+		t.root = right
+	} else {
+		// Splay the predecessor of key to the top of the left subtree;
+		// it then has no right child and adopts the right subtree.
+		t.root = left
+		t.splay(key)
+		t.store(t.root, spRight, right)
+	}
+	c.Pfree(victim, spNode)
+	t.n--
+	return true
+}
+
+// ---- SG (scapegoat) ----------------------------------------------------
+
+// Delete removes a key lazily by unlinking it BST-style; when more than
+// half the maximum size has been deleted, the whole tree is rebuilt —
+// the standard scapegoat deletion strategy.
+func (t *SG) Delete(key uint64) bool {
+	c := t.ctx
+	var parent core.Ptr = core.Null
+	wentLeft := false
+	p := t.root
+	for {
+		done := c.IsNull(p)
+		c.Branch(delSiteIter, done)
+		if done {
+			return false
+		}
+		k := c.LoadWord(delSiteLoad, p, sgKey)
+		eq := k == key
+		c.Branch(delSiteCmp, eq)
+		if eq {
+			break
+		}
+		parent = p
+		wentLeft = key < k
+		c.Branch(delSiteCmp, wentLeft)
+		if wentLeft {
+			p = c.LoadPtr(delSiteLoad, p, sgLeft)
+		} else {
+			p = c.LoadPtr(delSiteLoad, p, sgRight)
+		}
+	}
+
+	// Standard BST removal; two-child case swaps in the successor.
+	left := c.LoadPtr(delSiteLoad, p, sgLeft)
+	right := c.LoadPtr(delSiteLoad, p, sgRight)
+	var replacement core.Ptr
+	switch {
+	case c.IsNull(left):
+		replacement = right
+	case c.IsNull(right):
+		replacement = left
+	default:
+		// Find the successor (leftmost of right subtree) and its parent.
+		sParent := p
+		s := right
+		for {
+			sl := c.LoadPtr(delSiteLoad, s, sgLeft)
+			done := c.IsNull(sl)
+			c.Branch(delSiteIter, done)
+			if done {
+				break
+			}
+			sParent = s
+			s = sl
+		}
+		// Move successor's key/value into p; delete the successor node.
+		c.StoreWord(delSiteStore, p, sgKey, c.LoadWord(delSiteLoad, s, sgKey))
+		c.StoreWord(delSiteStore, p, sgVal, c.LoadWord(delSiteLoad, s, sgVal))
+		sRight := c.LoadPtr(delSiteLoad, s, sgRight)
+		if c.PtrEq(delSiteCmp, sParent, p) {
+			c.StorePtr(delSiteStore, p, sgRight, sRight)
+		} else {
+			c.StorePtr(delSiteStore, sParent, sgLeft, sRight)
+		}
+		c.Pfree(s, sgNode)
+		t.n--
+		t.maybeRebuildAll()
+		return true
+	}
+	if c.IsNull(parent) {
+		t.root = replacement
+	} else if wentLeft {
+		c.StorePtr(delSiteStore, parent, sgLeft, replacement)
+	} else {
+		c.StorePtr(delSiteStore, parent, sgRight, replacement)
+	}
+	c.Pfree(p, sgNode)
+	t.n--
+	t.maybeRebuildAll()
+	return true
+}
+
+// maybeRebuildAll rebuilds the whole tree when deletions have shrunk it
+// below alpha * maxSize.
+func (t *SG) maybeRebuildAll() {
+	t.ctx.Exec(4)
+	if t.n > 0 && float64(t.n) < sgAlpha*float64(t.maxSize) {
+		t.root = t.rebuild(t.root, t.n)
+		t.maxSize = t.n
+	}
+	if t.n == 0 {
+		t.root = core.Null
+		t.maxSize = 0
+	}
+}
+
+// ---- AVL ---------------------------------------------------------------
+
+// Delete removes a key, rebalancing on the way back up.
+func (t *AVL) Delete(key uint64) bool {
+	found := false
+	t.root = t.remove(t.root, key, &found)
+	if found {
+		t.n--
+	}
+	return found
+}
+
+func (t *AVL) remove(p core.Ptr, key uint64, found *bool) core.Ptr {
+	c := t.ctx
+	if empty := c.IsNull(p); empty {
+		c.Branch(delSiteIter, true)
+		return core.Null
+	}
+	c.Branch(delSiteIter, false)
+
+	k := c.LoadWord(delSiteLoad, p, avlKey)
+	eq := k == key
+	c.Branch(delSiteCmp, eq)
+	if eq {
+		*found = true
+		left := c.LoadPtr(delSiteLoad, p, avlLeft)
+		right := c.LoadPtr(delSiteLoad, p, avlRight)
+		switch {
+		case c.IsNull(left):
+			c.Pfree(p, avlNode)
+			return right
+		case c.IsNull(right):
+			c.Pfree(p, avlNode)
+			return left
+		default:
+			// Replace with the in-order successor's payload, then delete
+			// the successor from the right subtree.
+			s := right
+			for {
+				sl := c.LoadPtr(delSiteLoad, s, avlLeft)
+				done := c.IsNull(sl)
+				c.Branch(delSiteIter, done)
+				if done {
+					break
+				}
+				s = sl
+			}
+			sk := c.LoadWord(delSiteLoad, s, avlKey)
+			sv := c.LoadWord(delSiteLoad, s, avlVal)
+			c.StoreWord(delSiteStore, p, avlKey, sk)
+			c.StoreWord(delSiteStore, p, avlVal, sv)
+			dummy := false
+			newRight := t.remove(right, sk, &dummy)
+			c.StorePtr(delSiteStore, p, avlRight, newRight)
+		}
+		t.updateHeight(p)
+		return t.rebalance(p)
+	}
+	goLeft := key < k
+	c.Branch(delSiteCmp, goLeft)
+	if goLeft {
+		child := t.remove(c.LoadPtr(delSiteLoad, p, avlLeft), key, found)
+		c.StorePtr(delSiteStore, p, avlLeft, child)
+	} else {
+		child := t.remove(c.LoadPtr(delSiteLoad, p, avlRight), key, found)
+		c.StorePtr(delSiteStore, p, avlRight, child)
+	}
+	t.updateHeight(p)
+	return t.rebalance(p)
+}
+
+// ---- RB ----------------------------------------------------------------
+
+// Delete removes a key with the CLRS red-black deletion and fixup.
+func (t *RB) Delete(key uint64) bool {
+	c := t.ctx
+
+	// Find the node.
+	z := t.root
+	for {
+		done := c.IsNull(z)
+		c.Branch(delSiteIter, done)
+		if done {
+			return false
+		}
+		k := t.key(z)
+		eq := k == key
+		c.Branch(delSiteCmp, eq)
+		if eq {
+			break
+		}
+		if key < k {
+			z = t.left(z)
+		} else {
+			z = t.right(z)
+		}
+	}
+
+	// CLRS delete. x may be null; xParent tracks its parent for fixup.
+	y := z
+	yColor := t.color(y)
+	var x, xParent core.Ptr
+
+	if c.IsNull(t.left(z)) {
+		x = t.right(z)
+		xParent = t.parent(z)
+		t.transplant(z, x)
+	} else if c.IsNull(t.right(z)) {
+		x = t.left(z)
+		xParent = t.parent(z)
+		t.transplant(z, x)
+	} else {
+		// y = minimum of right subtree.
+		y = t.right(z)
+		for {
+			yl := t.left(y)
+			done := c.IsNull(yl)
+			c.Branch(delSiteIter, done)
+			if done {
+				break
+			}
+			y = yl
+		}
+		yColor = t.color(y)
+		x = t.right(y)
+		if c.PtrEq(delSiteCmp, t.parent(y), z) {
+			xParent = y
+		} else {
+			xParent = t.parent(y)
+			t.transplant(y, x)
+			c.StorePtr(delSiteStore, y, rbRight, t.right(z))
+			c.StorePtr(delSiteStore, t.right(y), rbParent, y)
+		}
+		t.transplant(z, y)
+		c.StorePtr(delSiteStore, y, rbLeft, t.left(z))
+		c.StorePtr(delSiteStore, t.left(y), rbParent, y)
+		t.setColor(y, t.color(z))
+	}
+	c.Pfree(z, rbNode)
+	t.n--
+
+	if yColor == rbBlack {
+		t.deleteFixup(x, xParent)
+	}
+	return true
+}
+
+// transplant replaces subtree u with subtree v (v may be null).
+func (t *RB) transplant(u, v core.Ptr) {
+	c := t.ctx
+	up := t.parent(u)
+	if c.IsNull(up) {
+		t.root = v
+	} else if c.PtrEq(delSiteCmp, u, t.left(up)) {
+		c.StorePtr(delSiteStore, up, rbLeft, v)
+	} else {
+		c.StorePtr(delSiteStore, up, rbRight, v)
+	}
+	if !c.IsNull(v) {
+		c.StorePtr(delSiteStore, v, rbParent, up)
+	}
+}
+
+// deleteFixup restores the red-black invariants after removing a black
+// node; x is the doubly-black node (possibly null), parent its parent.
+func (t *RB) deleteFixup(x, parent core.Ptr) {
+	c := t.ctx
+	for {
+		atRoot := c.IsNull(parent)
+		done := atRoot || (!c.IsNull(x) && t.color(x) == rbRed)
+		c.Branch(delSiteIter, done)
+		if done {
+			break
+		}
+		if sameNode(c, x, t.left(parent)) {
+			w := t.right(parent)
+			if t.color(w) == rbRed {
+				t.setColor(w, rbBlack)
+				t.setColor(parent, rbRed)
+				t.rotateLeft(parent)
+				w = t.right(parent)
+			}
+			if t.color(t.left(w)) == rbBlack && t.color(t.right(w)) == rbBlack {
+				t.setColor(w, rbRed)
+				x = parent
+				parent = t.parent(x)
+			} else {
+				if t.color(t.right(w)) == rbBlack {
+					t.setColor(t.left(w), rbBlack)
+					t.setColor(w, rbRed)
+					t.rotateRight(w)
+					w = t.right(parent)
+				}
+				t.setColor(w, t.color(parent))
+				t.setColor(parent, rbBlack)
+				t.setColor(t.right(w), rbBlack)
+				t.rotateLeft(parent)
+				x = t.root
+				parent = core.Null
+			}
+		} else {
+			w := t.left(parent)
+			if t.color(w) == rbRed {
+				t.setColor(w, rbBlack)
+				t.setColor(parent, rbRed)
+				t.rotateRight(parent)
+				w = t.left(parent)
+			}
+			if t.color(t.right(w)) == rbBlack && t.color(t.left(w)) == rbBlack {
+				t.setColor(w, rbRed)
+				x = parent
+				parent = t.parent(x)
+			} else {
+				if t.color(t.left(w)) == rbBlack {
+					t.setColor(t.right(w), rbBlack)
+					t.setColor(w, rbRed)
+					t.rotateLeft(w)
+					w = t.left(parent)
+				}
+				t.setColor(w, t.color(parent))
+				t.setColor(parent, rbBlack)
+				t.setColor(t.left(w), rbBlack)
+				t.rotateRight(parent)
+				x = t.root
+				parent = core.Null
+			}
+		}
+	}
+	if !c.IsNull(x) {
+		t.setColor(x, rbBlack)
+	}
+}
+
+// sameNode compares a possibly-null x against a child slot.
+func sameNode(c *rt.Context, x, y core.Ptr) bool {
+	if c.IsNull(x) && c.IsNull(y) {
+		return true
+	}
+	if c.IsNull(x) || c.IsNull(y) {
+		return false
+	}
+	return c.PtrEq(delSiteCmp, x, y)
+}

@@ -1,0 +1,238 @@
+package structures
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nvref/internal/rt"
+)
+
+// deleter is an index with removal.
+type deleter interface {
+	Index
+	Delete(key uint64) bool
+}
+
+// deleteOracleTest drives insert/lookup/delete against a map oracle.
+func deleteOracleTest(t *testing.T, name string, mk func(*rt.Context) deleter, mode rt.Mode, seed int64, ops int) {
+	t.Helper()
+	ctx := rt.MustNew(mode)
+	idx := mk(ctx)
+	oracle := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(seed))
+
+	for i := 0; i < ops; i++ {
+		key := uint64(rng.Intn(ops / 4))
+		switch rng.Intn(4) {
+		case 0, 1:
+			got, ok := idx.Lookup(key)
+			want, wantOK := oracle[key]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("%s/%s op %d: Lookup(%d) = (%d,%v), want (%d,%v)",
+					name, mode, i, key, got, ok, want, wantOK)
+			}
+		case 2:
+			val := rng.Uint64()
+			idx.Insert(key, val)
+			oracle[key] = val
+		case 3:
+			got := idx.Delete(key)
+			_, want := oracle[key]
+			if got != want {
+				t.Fatalf("%s/%s op %d: Delete(%d) = %v, want %v", name, mode, i, key, got, want)
+			}
+			delete(oracle, key)
+		}
+	}
+	for key, want := range oracle {
+		got, ok := idx.Lookup(key)
+		if !ok || got != want {
+			t.Fatalf("%s/%s sweep: Lookup(%d) = (%d,%v), want %d", name, mode, key, got, ok, want)
+		}
+	}
+}
+
+func deleters() map[string]func(*rt.Context) deleter {
+	return map[string]func(*rt.Context) deleter{
+		"Hash":  func(c *rt.Context) deleter { return NewHash(c, 256) },
+		"RB":    func(c *rt.Context) deleter { return NewRB(c) },
+		"Splay": func(c *rt.Context) deleter { return NewSplay(c) },
+		"AVL":   func(c *rt.Context) deleter { return NewAVL(c) },
+		"SG":    func(c *rt.Context) deleter { return NewSG(c) },
+	}
+}
+
+func TestDeleteAgainstOracleAllModes(t *testing.T) {
+	for name, mk := range deleters() {
+		for _, mode := range rt.Modes {
+			name, mk, mode := name, mk, mode
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				deleteOracleTest(t, name, mk, mode, 99, 2400)
+			})
+		}
+	}
+}
+
+func TestRBInvariantsUnderChurn(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	tree := NewRB(ctx)
+	rng := rand.New(rand.NewSource(17))
+	live := map[uint64]bool{}
+	for i := 0; i < 4000; i++ {
+		k := uint64(rng.Intn(600))
+		if rng.Intn(2) == 0 {
+			tree.Insert(k, k)
+			live[k] = true
+		} else {
+			got := tree.Delete(k)
+			if got != live[k] {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, live[k])
+			}
+			delete(live, k)
+		}
+		if i%250 == 0 {
+			if tree.validate() < 0 {
+				t.Fatalf("red-black invariants violated after %d churn ops", i+1)
+			}
+		}
+	}
+	if tree.validate() < 0 {
+		t.Fatal("red-black invariants violated at end of churn")
+	}
+	if int(tree.Len()) != len(live) {
+		t.Errorf("Len = %d, oracle has %d", tree.Len(), len(live))
+	}
+}
+
+func TestAVLInvariantsUnderChurn(t *testing.T) {
+	ctx := rt.MustNew(rt.SW)
+	tree := NewAVL(ctx)
+	rng := rand.New(rand.NewSource(23))
+	live := map[uint64]bool{}
+	for i := 0; i < 4000; i++ {
+		k := uint64(rng.Intn(600))
+		if rng.Intn(2) == 0 {
+			tree.Insert(k, k*3)
+			live[k] = true
+		} else {
+			if got := tree.Delete(k); got != live[k] {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, live[k])
+			}
+			delete(live, k)
+		}
+		if i%500 == 0 && !tree.validate() {
+			t.Fatalf("AVL invariants violated after %d churn ops", i+1)
+		}
+	}
+	if !tree.validate() {
+		t.Fatal("AVL invariants violated at end of churn")
+	}
+}
+
+func TestSGShrinkRebuild(t *testing.T) {
+	ctx := rt.MustNew(rt.Volatile)
+	tree := NewSG(ctx)
+	for i := uint64(0); i < 1000; i++ {
+		tree.Insert(i, i)
+	}
+	// Delete most keys: the shrink rule must trigger a full rebuild and
+	// keep the survivors reachable.
+	for i := uint64(0); i < 900; i++ {
+		if !tree.Delete(i) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if tree.Len() != 100 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	for i := uint64(900); i < 1000; i++ {
+		if v, ok := tree.Lookup(i); !ok || v != i {
+			t.Fatalf("survivor %d lost after shrink rebuild", i)
+		}
+	}
+	depth := sgDepth(ctx, tree.root)
+	if depth > 12 {
+		t.Errorf("post-shrink depth = %d; rebuild did not rebalance", depth)
+	}
+}
+
+func TestListRemove(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	l := NewList(ctx)
+	for i := uint64(1); i <= 5; i++ {
+		l.Append(i, i)
+	}
+	if !l.Remove(3) {
+		t.Fatal("Remove(3) missed")
+	}
+	if l.Remove(3) {
+		t.Fatal("Remove(3) hit twice")
+	}
+	if l.Len() != 4 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	// Forward and backward sums agree after surgery.
+	if l.Sum() != l.SumReverse() {
+		t.Errorf("Sum %d != SumReverse %d after removal", l.Sum(), l.SumReverse())
+	}
+	// Remove head and tail.
+	if !l.Remove(1) || !l.Remove(5) {
+		t.Fatal("head/tail removal missed")
+	}
+	if l.Sum() != 2+2+4+4 {
+		t.Errorf("Sum after head/tail removal = %d", l.Sum())
+	}
+}
+
+func TestDeleteFreesMemory(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	tree := NewRB(ctx)
+	for i := uint64(0); i < 100; i++ {
+		tree.Insert(i, i)
+	}
+	liveBefore := ctx.Pool.AllocCount()
+	for i := uint64(0); i < 100; i++ {
+		tree.Delete(i)
+	}
+	liveAfter := ctx.Pool.AllocCount()
+	if liveAfter != liveBefore-100 {
+		t.Errorf("allocations %d -> %d; deletion leaked nodes", liveBefore, liveAfter)
+	}
+}
+
+// Property: random churn leaves every structure agreeing with the oracle.
+func TestQuickChurnAllStructures(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, mk := range deleters() {
+			ctx := rt.MustNew(rt.Volatile)
+			idx := mk(ctx)
+			oracle := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				k := uint64(rng.Intn(80))
+				switch rng.Intn(3) {
+				case 0:
+					v := rng.Uint64()
+					idx.Insert(k, v)
+					oracle[k] = v
+				case 1:
+					if got := idx.Delete(k); got != (func() bool { _, ok := oracle[k]; return ok })() {
+						return false
+					}
+					delete(oracle, k)
+				case 2:
+					got, ok := idx.Lookup(k)
+					want, wantOK := oracle[k]
+					if ok != wantOK || (ok && got != want) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package structures
+
+import (
+	"nvref/internal/core"
+	"nvref/internal/rt"
+)
+
+// Hash is a chained hash table: a persistent bucket array of references
+// plus singly-linked chain nodes.
+//
+// Chain node layout (32 bytes):
+//
+//	+0  key
+//	+8  value
+//	+16 next
+const (
+	hashKey  = 0
+	hashVal  = 8
+	hashNext = 16
+	hashNode = 32
+)
+
+// DefaultHashBuckets is the bucket count used by the benchmarks.
+const DefaultHashBuckets = 4096
+
+var (
+	hSiteLoadBucket = rt.NewSite("hash.load.bucket", false)
+	hSiteLoadNode   = rt.NewSite("hash.load.node", false)
+	hSiteLoadNext   = rt.NewSite("hash.load.next", false)
+	hSiteStoreNew   = rt.NewSite("hash.store.new", true)
+	hSiteStoreLink  = rt.NewSite("hash.store.link", false)
+	hSiteChainIter  = rt.NewSite("hash.chain.iter", false)
+	hSiteKeyEq      = rt.NewSite("hash.key.eq", false)
+)
+
+// Hash is a persistent chained hash table.
+type Hash struct {
+	ctx     *rt.Context
+	buckets core.Ptr // array of nBuckets references
+	n       uint64
+	mask    uint64
+}
+
+// NewHash returns a table with the given power-of-two bucket count.
+func NewHash(ctx *rt.Context, buckets int) *Hash {
+	if buckets&(buckets-1) != 0 || buckets <= 0 {
+		panic("structures: bucket count must be a power of two")
+	}
+	arr := ctx.Pmalloc(uint64(buckets) * 8)
+	// Bucket slots start zeroed (null) by pool construction, but make the
+	// initialization explicit: these are pointer stores into NVM.
+	for i := 0; i < buckets; i++ {
+		ctx.StorePtr(hSiteStoreNew, arr, int64(i)*8, core.Null)
+	}
+	return &Hash{ctx: ctx, buckets: arr, mask: uint64(buckets - 1)}
+}
+
+// Name implements Index.
+func (h *Hash) Name() string { return "Hash" }
+
+// Len returns the number of keys.
+func (h *Hash) Len() uint64 { return h.n }
+
+func hashMix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Insert implements Index.
+func (h *Hash) Insert(key, value uint64) {
+	c := h.ctx
+	c.Exec(6) // hash computation
+	slot := int64(hashMix(key)&h.mask) * 8
+
+	// Search the chain for an existing key.
+	p := c.LoadPtr(hSiteLoadBucket, h.buckets, slot)
+	for {
+		done := c.IsNull(p)
+		c.Branch(hSiteChainIter, done)
+		if done {
+			break
+		}
+		k := c.LoadWord(hSiteLoadNode, p, hashKey)
+		eq := k == key
+		c.Branch(hSiteKeyEq, eq)
+		if eq {
+			c.StoreWord(hSiteStoreLink, p, hashVal, value)
+			return
+		}
+		p = c.LoadPtr(hSiteLoadNext, p, hashNext)
+	}
+
+	// Prepend a new node.
+	node := c.Pmalloc(hashNode)
+	c.StoreWord(hSiteStoreNew, node, hashKey, key)
+	c.StoreWord(hSiteStoreNew, node, hashVal, value)
+	head := c.LoadPtr(hSiteLoadBucket, h.buckets, slot)
+	c.StorePtr(hSiteStoreNew, node, hashNext, head)
+	c.StorePtr(hSiteStoreLink, h.buckets, slot, node)
+	h.n++
+}
+
+// Lookup implements Index.
+func (h *Hash) Lookup(key uint64) (uint64, bool) {
+	c := h.ctx
+	c.Exec(6)
+	slot := int64(hashMix(key)&h.mask) * 8
+	p := c.LoadPtr(hSiteLoadBucket, h.buckets, slot)
+	for {
+		done := c.IsNull(p)
+		c.Branch(hSiteChainIter, done)
+		if done {
+			return 0, false
+		}
+		k := c.LoadWord(hSiteLoadNode, p, hashKey)
+		eq := k == key
+		c.Branch(hSiteKeyEq, eq)
+		if eq {
+			return c.LoadWord(hSiteLoadNode, p, hashVal), true
+		}
+		p = c.LoadPtr(hSiteLoadNext, p, hashNext)
+	}
+}

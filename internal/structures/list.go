@@ -1,0 +1,111 @@
+package structures
+
+import (
+	"nvref/internal/core"
+	"nvref/internal/rt"
+)
+
+// List is the LL benchmark: a doubly-linked list whose nodes carry two
+// pointers and a 16-byte value (two 64-bit words), iterated to accumulate
+// the values, as in the paper's separate linked-list harness.
+//
+// Node layout (32 bytes):
+//
+//	+0  value word 0
+//	+8  value word 1
+//	+16 next
+//	+24 prev
+const (
+	llVal0 = 0
+	llVal1 = 8
+	llNext = 16
+	llPrev = 24
+	llSize = 32
+)
+
+// Static sites. Pointer loads and stores inside the list code read
+// pointers of unknown provenance, so the SW build checks them; the
+// allocation result is inferred.
+var (
+	llSiteLoadNext  = rt.NewSite("ll.load.next", false)
+	llSiteLoadVal   = rt.NewSite("ll.load.val", false)
+	llSiteStoreLink = rt.NewSite("ll.store.link", false)
+	llSiteStoreVal  = rt.NewSite("ll.store.val", true) // through fresh node
+	llSiteIter      = rt.NewSite("ll.iter", false)
+)
+
+// List is a persistent doubly-linked list.
+type List struct {
+	ctx  *rt.Context
+	head core.Ptr
+	tail core.Ptr
+	n    int
+}
+
+// NewList returns an empty list over the context.
+func NewList(ctx *rt.Context) *List {
+	return &List{ctx: ctx, head: core.Null, tail: core.Null}
+}
+
+// Name implements the benchmark naming.
+func (l *List) Name() string { return "LL" }
+
+// Len returns the number of nodes.
+func (l *List) Len() int { return l.n }
+
+// Head returns the first node reference.
+func (l *List) Head() core.Ptr { return l.head }
+
+// Append adds a node carrying the two value words at the tail.
+func (l *List) Append(v0, v1 uint64) {
+	c := l.ctx
+	node := c.Pmalloc(llSize)
+	c.StoreWord(llSiteStoreVal, node, llVal0, v0)
+	c.StoreWord(llSiteStoreVal, node, llVal1, v1)
+	c.StorePtr(llSiteStoreLink, node, llNext, core.Null)
+	c.StorePtr(llSiteStoreLink, node, llPrev, l.tail)
+	if c.IsNull(l.head) {
+		l.head = node
+	} else {
+		c.StorePtr(llSiteStoreLink, l.tail, llNext, node)
+	}
+	l.tail = node
+	l.n++
+}
+
+// Sum iterates the list, accumulating both value words of every node — the
+// LL harness's measured operation.
+func (l *List) Sum() uint64 {
+	c := l.ctx
+	total := uint64(0)
+	p := l.head
+	for {
+		done := c.IsNull(p)
+		c.Branch(llSiteIter, done)
+		if done {
+			break
+		}
+		total += c.LoadWord(llSiteLoadVal, p, llVal0)
+		total += c.LoadWord(llSiteLoadVal, p, llVal1)
+		p = c.LoadPtr(llSiteLoadNext, p, llNext)
+	}
+	return total
+}
+
+// SumReverse iterates backward through the prev links.
+func (l *List) SumReverse() uint64 {
+	c := l.ctx
+	total := uint64(0)
+	p := l.tail
+	for {
+		done := c.IsNull(p)
+		c.Branch(llSiteIter, done)
+		if done {
+			break
+		}
+		total += c.LoadWord(llSiteLoadVal, p, llVal0)
+		total += c.LoadWord(llSiteLoadVal, p, llVal1)
+		p = c.LoadPtr(llSiteLoadNext, p, llPrev)
+	}
+	return total
+}

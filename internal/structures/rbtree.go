@@ -1,0 +1,274 @@
+package structures
+
+import (
+	"nvref/internal/core"
+	"nvref/internal/rt"
+)
+
+// RB is a red-black tree with parent pointers and the classic insert
+// fixup. Node layout (48 bytes):
+//
+//	+0  key
+//	+8  value
+//	+16 left
+//	+24 right
+//	+32 parent
+//	+40 color (0 = black, 1 = red)
+const (
+	rbKey    = 0
+	rbVal    = 8
+	rbLeft   = 16
+	rbRight  = 24
+	rbParent = 32
+	rbColor  = 40
+	rbNode   = 48
+
+	rbBlack = 0
+	rbRed   = 1
+)
+
+var (
+	rbSiteLoadChild  = rt.NewSite("rb.load.child", false)
+	rbSiteLoadParent = rt.NewSite("rb.load.parent", false)
+	rbSiteLoadKey    = rt.NewSite("rb.load.key", false)
+	rbSiteStoreNew   = rt.NewSite("rb.store.new", true)
+	rbSiteStoreLink  = rt.NewSite("rb.store.link", false)
+	rbSiteStoreColor = rt.NewSite("rb.store.color", false)
+	rbSiteCmpKey     = rt.NewSite("rb.cmp.key", false)
+	rbSiteCmpNode    = rt.NewSite("rb.cmp.node", false)
+	rbSiteDescend    = rt.NewSite("rb.descend", false)
+)
+
+// RB is a persistent red-black tree.
+type RB struct {
+	ctx  *rt.Context
+	root core.Ptr
+	n    uint64
+}
+
+// NewRB returns an empty tree.
+func NewRB(ctx *rt.Context) *RB {
+	return &RB{ctx: ctx, root: core.Null}
+}
+
+// Name implements Index.
+func (t *RB) Name() string { return "RB" }
+
+// Len returns the number of keys.
+func (t *RB) Len() uint64 { return t.n }
+
+// Root exposes the root reference for persistence tests.
+func (t *RB) Root() core.Ptr { return t.root }
+
+// SetRootRef re-seats the tree on a reference loaded from a pool root.
+func (t *RB) SetRootRef(r core.Ptr, n uint64) { t.root, t.n = r, n }
+
+func (t *RB) left(p core.Ptr) core.Ptr   { return t.ctx.LoadPtr(rbSiteLoadChild, p, rbLeft) }
+func (t *RB) right(p core.Ptr) core.Ptr  { return t.ctx.LoadPtr(rbSiteLoadChild, p, rbRight) }
+func (t *RB) parent(p core.Ptr) core.Ptr { return t.ctx.LoadPtr(rbSiteLoadParent, p, rbParent) }
+func (t *RB) key(p core.Ptr) uint64      { return t.ctx.LoadWord(rbSiteLoadKey, p, rbKey) }
+func (t *RB) color(p core.Ptr) uint64 {
+	if t.ctx.IsNull(p) {
+		return rbBlack // nil leaves are black
+	}
+	return t.ctx.LoadWord(rbSiteLoadKey, p, rbColor)
+}
+func (t *RB) setColor(p core.Ptr, col uint64) { t.ctx.StoreWord(rbSiteStoreColor, p, rbColor, col) }
+
+// Lookup implements Index.
+func (t *RB) Lookup(key uint64) (uint64, bool) {
+	c := t.ctx
+	p := t.root
+	for {
+		done := c.IsNull(p)
+		c.Branch(rbSiteDescend, done)
+		if done {
+			return 0, false
+		}
+		k := t.key(p)
+		eq := k == key
+		c.Branch(rbSiteCmpKey, eq)
+		if eq {
+			return c.LoadWord(rbSiteLoadKey, p, rbVal), true
+		}
+		goLeft := key < k
+		c.Branch(rbSiteCmpKey, goLeft)
+		if goLeft {
+			p = t.left(p)
+		} else {
+			p = t.right(p)
+		}
+	}
+}
+
+// Insert implements Index.
+func (t *RB) Insert(key, value uint64) {
+	c := t.ctx
+
+	// Standard BST descent, tracking the parent.
+	var parent core.Ptr = core.Null
+	wentLeft := false
+	p := t.root
+	for {
+		done := c.IsNull(p)
+		c.Branch(rbSiteDescend, done)
+		if done {
+			break
+		}
+		k := t.key(p)
+		eq := k == key
+		c.Branch(rbSiteCmpKey, eq)
+		if eq {
+			c.StoreWord(rbSiteStoreLink, p, rbVal, value)
+			return
+		}
+		parent = p
+		wentLeft = key < k
+		c.Branch(rbSiteCmpKey, wentLeft)
+		if wentLeft {
+			p = t.left(p)
+		} else {
+			p = t.right(p)
+		}
+	}
+
+	node := c.Pmalloc(rbNode)
+	c.StoreWord(rbSiteStoreNew, node, rbKey, key)
+	c.StoreWord(rbSiteStoreNew, node, rbVal, value)
+	c.StorePtr(rbSiteStoreNew, node, rbLeft, core.Null)
+	c.StorePtr(rbSiteStoreNew, node, rbRight, core.Null)
+	c.StorePtr(rbSiteStoreNew, node, rbParent, parent)
+	c.StoreWord(rbSiteStoreNew, node, rbColor, rbRed)
+	if c.IsNull(parent) {
+		t.root = node
+	} else if wentLeft {
+		c.StorePtr(rbSiteStoreLink, parent, rbLeft, node)
+	} else {
+		c.StorePtr(rbSiteStoreLink, parent, rbRight, node)
+	}
+	t.n++
+	t.insertFixup(node)
+}
+
+func (t *RB) insertFixup(z core.Ptr) {
+	c := t.ctx
+	for {
+		p := t.parent(z)
+		red := !c.IsNull(p) && t.color(p) == rbRed
+		c.Branch(rbSiteDescend, red)
+		if !red {
+			break
+		}
+		g := t.parent(p)
+		isLeft := c.PtrEq(rbSiteCmpNode, p, t.left(g))
+		c.Branch(rbSiteCmpNode, isLeft)
+		if isLeft {
+			y := t.right(g) // uncle
+			if t.color(y) == rbRed {
+				t.setColor(p, rbBlack)
+				t.setColor(y, rbBlack)
+				t.setColor(g, rbRed)
+				z = g
+				continue
+			}
+			if c.PtrEq(rbSiteCmpNode, z, t.right(p)) {
+				z = p
+				t.rotateLeft(z)
+				p = t.parent(z)
+				g = t.parent(p)
+			}
+			t.setColor(p, rbBlack)
+			t.setColor(g, rbRed)
+			t.rotateRight(g)
+		} else {
+			y := t.left(g)
+			if t.color(y) == rbRed {
+				t.setColor(p, rbBlack)
+				t.setColor(y, rbBlack)
+				t.setColor(g, rbRed)
+				z = g
+				continue
+			}
+			if c.PtrEq(rbSiteCmpNode, z, t.left(p)) {
+				z = p
+				t.rotateRight(z)
+				p = t.parent(z)
+				g = t.parent(p)
+			}
+			t.setColor(p, rbBlack)
+			t.setColor(g, rbRed)
+			t.rotateLeft(g)
+		}
+	}
+	t.setColor(t.root, rbBlack)
+}
+
+func (t *RB) rotateLeft(x core.Ptr) {
+	c := t.ctx
+	y := t.right(x)
+	yl := t.left(y)
+	c.StorePtr(rbSiteStoreLink, x, rbRight, yl)
+	if !c.IsNull(yl) {
+		c.StorePtr(rbSiteStoreLink, yl, rbParent, x)
+	}
+	xp := t.parent(x)
+	c.StorePtr(rbSiteStoreLink, y, rbParent, xp)
+	if c.IsNull(xp) {
+		t.root = y
+	} else if c.PtrEq(rbSiteCmpNode, x, t.left(xp)) {
+		c.StorePtr(rbSiteStoreLink, xp, rbLeft, y)
+	} else {
+		c.StorePtr(rbSiteStoreLink, xp, rbRight, y)
+	}
+	c.StorePtr(rbSiteStoreLink, y, rbLeft, x)
+	c.StorePtr(rbSiteStoreLink, x, rbParent, y)
+}
+
+func (t *RB) rotateRight(x core.Ptr) {
+	c := t.ctx
+	y := t.left(x)
+	yr := t.right(y)
+	c.StorePtr(rbSiteStoreLink, x, rbLeft, yr)
+	if !c.IsNull(yr) {
+		c.StorePtr(rbSiteStoreLink, yr, rbParent, x)
+	}
+	xp := t.parent(x)
+	c.StorePtr(rbSiteStoreLink, y, rbParent, xp)
+	if c.IsNull(xp) {
+		t.root = y
+	} else if c.PtrEq(rbSiteCmpNode, x, t.left(xp)) {
+		c.StorePtr(rbSiteStoreLink, xp, rbLeft, y)
+	} else {
+		c.StorePtr(rbSiteStoreLink, xp, rbRight, y)
+	}
+	c.StorePtr(rbSiteStoreLink, y, rbRight, x)
+	c.StorePtr(rbSiteStoreLink, x, rbParent, y)
+}
+
+// validate checks the red-black invariants, returning the black height or
+// -1 on violation. Used by tests.
+func (t *RB) validate() int {
+	var check func(p core.Ptr) int
+	check = func(p core.Ptr) int {
+		if t.ctx.IsNull(p) {
+			return 1
+		}
+		l, r := t.left(p), t.right(p)
+		if t.color(p) == rbRed && (t.color(l) == rbRed || t.color(r) == rbRed) {
+			return -1 // red node with red child
+		}
+		lh := check(l)
+		rh := check(r)
+		if lh < 0 || rh < 0 || lh != rh {
+			return -1
+		}
+		if t.color(p) == rbBlack {
+			return lh + 1
+		}
+		return lh
+	}
+	if t.color(t.root) == rbRed {
+		return -1
+	}
+	return check(t.root)
+}

@@ -1,0 +1,97 @@
+package structures
+
+import (
+	"nvref/internal/core"
+	"nvref/internal/rt"
+)
+
+// Range-scan support: YCSB's workload E reads short ordered ranges, which
+// needs ordered traversal from a seek key. The red-black tree provides it
+// through parent-pointer successor walking; the hash table cannot (and in
+// YCSB deployments is likewise excluded from scan workloads).
+
+var (
+	scanSiteLoad = rt.NewSite("scan.load", false)
+	scanSiteIter = rt.NewSite("scan.iter", false)
+	scanSiteCmp  = rt.NewSite("scan.cmp", false)
+)
+
+// Seek returns the node with the smallest key >= key, or null.
+func (t *RB) seek(key uint64) core.Ptr {
+	c := t.ctx
+	var candidate core.Ptr = core.Null
+	p := t.root
+	for {
+		done := c.IsNull(p)
+		c.Branch(scanSiteIter, done)
+		if done {
+			return candidate
+		}
+		k := c.LoadWord(scanSiteLoad, p, rbKey)
+		if k >= key {
+			candidate = p
+			if k == key {
+				return p
+			}
+			p = c.LoadPtr(scanSiteLoad, p, rbLeft)
+		} else {
+			p = c.LoadPtr(scanSiteLoad, p, rbRight)
+		}
+		c.Branch(scanSiteCmp, k >= key)
+	}
+}
+
+// successor returns the next node in key order.
+func (t *RB) successor(p core.Ptr) core.Ptr {
+	c := t.ctx
+	right := c.LoadPtr(scanSiteLoad, p, rbRight)
+	if !c.IsNull(right) {
+		// Leftmost of the right subtree.
+		q := right
+		for {
+			l := c.LoadPtr(scanSiteLoad, q, rbLeft)
+			done := c.IsNull(l)
+			c.Branch(scanSiteIter, done)
+			if done {
+				return q
+			}
+			q = l
+		}
+	}
+	// Climb until coming up from a left child.
+	q := p
+	parent := c.LoadPtr(scanSiteLoad, q, rbParent)
+	for {
+		done := c.IsNull(parent)
+		c.Branch(scanSiteIter, done)
+		if done {
+			return core.Null
+		}
+		if c.PtrEq(scanSiteCmp, q, c.LoadPtr(scanSiteLoad, parent, rbLeft)) {
+			return parent
+		}
+		q = parent
+		parent = c.LoadPtr(scanSiteLoad, q, rbParent)
+	}
+}
+
+// Scan visits up to limit key/value pairs in ascending key order starting
+// at the smallest key >= start, returning the number visited.
+func (t *RB) Scan(start uint64, limit int, visit func(key, value uint64)) int {
+	c := t.ctx
+	n := 0
+	p := t.seek(start)
+	for n < limit {
+		done := c.IsNull(p)
+		c.Branch(scanSiteIter, done)
+		if done {
+			break
+		}
+		k := c.LoadWord(scanSiteLoad, p, rbKey)
+		v := c.LoadWord(scanSiteLoad, p, rbVal)
+		visit(k, v)
+		n++
+		p = t.successor(p)
+	}
+	return n
+}

@@ -1,0 +1,105 @@
+package structures
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"nvref/internal/rt"
+)
+
+func TestRBScanOrdered(t *testing.T) {
+	for _, mode := range rt.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			ctx := rt.MustNew(mode)
+			tree := NewRB(ctx)
+			rng := rand.New(rand.NewSource(31))
+			keys := map[uint64]uint64{}
+			for i := 0; i < 800; i++ {
+				k := uint64(rng.Intn(5000))
+				tree.Insert(k, k*2)
+				keys[k] = k * 2
+			}
+			var got []uint64
+			n := tree.Scan(0, len(keys)+10, func(k, v uint64) {
+				got = append(got, k)
+				if v != keys[k] {
+					t.Fatalf("Scan visited (%d,%d), want value %d", k, v, keys[k])
+				}
+			})
+			if n != len(keys) {
+				t.Fatalf("Scan visited %d keys, tree has %d", n, len(keys))
+			}
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+				t.Error("Scan order not ascending")
+			}
+		})
+	}
+}
+
+func TestRBScanFromSeekKey(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	tree := NewRB(ctx)
+	for k := uint64(0); k < 100; k += 2 { // even keys only
+		tree.Insert(k, k)
+	}
+	var got []uint64
+	n := tree.Scan(31, 5, func(k, v uint64) { got = append(got, k) })
+	if n != 5 {
+		t.Fatalf("Scan returned %d items", n)
+	}
+	want := []uint64{32, 34, 36, 38, 40}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scan = %v, want %v", got, want)
+		}
+	}
+	// Seek past the end.
+	if n := tree.Scan(999, 5, func(k, v uint64) {}); n != 0 {
+		t.Errorf("Scan past end visited %d", n)
+	}
+	// Limit larger than remainder.
+	if n := tree.Scan(96, 10, func(k, v uint64) {}); n != 2 {
+		t.Errorf("tail Scan visited %d, want 2", n)
+	}
+}
+
+func TestRBScanEmptyTree(t *testing.T) {
+	ctx := rt.MustNew(rt.SW)
+	tree := NewRB(ctx)
+	if n := tree.Scan(0, 10, func(k, v uint64) { t.Fatal("visited on empty tree") }); n != 0 {
+		t.Errorf("empty Scan = %d", n)
+	}
+}
+
+func TestRBScanAfterChurn(t *testing.T) {
+	ctx := rt.MustNew(rt.Volatile)
+	tree := NewRB(ctx)
+	live := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(300))
+		if rng.Intn(2) == 0 {
+			tree.Insert(k, k)
+			live[k] = true
+		} else {
+			tree.Delete(k)
+			delete(live, k)
+		}
+	}
+	count := 0
+	prev := int64(-1)
+	tree.Scan(0, 1000, func(k, v uint64) {
+		count++
+		if int64(k) <= prev {
+			t.Fatalf("out-of-order key %d after %d", k, prev)
+		}
+		prev = int64(k)
+		if !live[k] {
+			t.Fatalf("Scan visited deleted key %d", k)
+		}
+	})
+	if count != len(live) {
+		t.Errorf("Scan visited %d keys, %d live", count, len(live))
+	}
+}

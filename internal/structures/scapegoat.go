@@ -1,0 +1,230 @@
+package structures
+
+import (
+	"math"
+
+	"nvref/internal/core"
+	"nvref/internal/rt"
+)
+
+// SG is a scapegoat tree: an unbalanced BST that rebuilds a subtree from
+// scratch whenever an insertion lands too deep. The rebuild flattens the
+// scapegoat's subtree into a volatile scratch array and relinks it
+// perfectly balanced — a burst of pointer stores into NVM. Node layout
+// (32 bytes):
+//
+//	+0  key
+//	+8  value
+//	+16 left
+//	+24 right
+const (
+	sgKey   = 0
+	sgVal   = 8
+	sgLeft  = 16
+	sgRight = 24
+	sgNode  = 32
+)
+
+// sgAlpha is the weight-balance parameter; inserts deeper than
+// log_{1/alpha}(n) trigger a rebuild.
+const sgAlpha = 0.7
+
+var (
+	sgSiteLoadChild = rt.NewSite("sg.load.child", false)
+	sgSiteLoadKey   = rt.NewSite("sg.load.key", false)
+	sgSiteStoreNew  = rt.NewSite("sg.store.new", true)
+	sgSiteStoreLink = rt.NewSite("sg.store.link", false)
+	sgSiteCmpKey    = rt.NewSite("sg.cmp.key", false)
+	sgSiteDescend   = rt.NewSite("sg.descend", false)
+	sgSiteRebuild   = rt.NewSite("sg.rebuild", false)
+)
+
+// SG is a persistent scapegoat tree.
+type SG struct {
+	ctx     *rt.Context
+	root    core.Ptr
+	n       uint64
+	maxSize uint64
+}
+
+// NewSG returns an empty tree.
+func NewSG(ctx *rt.Context) *SG {
+	return &SG{ctx: ctx, root: core.Null}
+}
+
+// Name implements Index.
+func (t *SG) Name() string { return "SG" }
+
+// Len returns the number of keys.
+func (t *SG) Len() uint64 { return t.n }
+
+// Lookup implements Index.
+func (t *SG) Lookup(key uint64) (uint64, bool) {
+	c := t.ctx
+	p := t.root
+	for {
+		done := c.IsNull(p)
+		c.Branch(sgSiteDescend, done)
+		if done {
+			return 0, false
+		}
+		k := c.LoadWord(sgSiteLoadKey, p, sgKey)
+		eq := k == key
+		c.Branch(sgSiteCmpKey, eq)
+		if eq {
+			return c.LoadWord(sgSiteLoadKey, p, sgVal), true
+		}
+		goLeft := key < k
+		c.Branch(sgSiteCmpKey, goLeft)
+		if goLeft {
+			p = c.LoadPtr(sgSiteLoadChild, p, sgLeft)
+		} else {
+			p = c.LoadPtr(sgSiteLoadChild, p, sgRight)
+		}
+	}
+}
+
+// Insert implements Index.
+func (t *SG) Insert(key, value uint64) {
+	c := t.ctx
+
+	// Descend, recording the path so a scapegoat can be found.
+	path := make([]core.Ptr, 0, 64)
+	p := t.root
+	for {
+		done := c.IsNull(p)
+		c.Branch(sgSiteDescend, done)
+		if done {
+			break
+		}
+		k := c.LoadWord(sgSiteLoadKey, p, sgKey)
+		eq := k == key
+		c.Branch(sgSiteCmpKey, eq)
+		if eq {
+			c.StoreWord(sgSiteStoreLink, p, sgVal, value)
+			return
+		}
+		path = append(path, p)
+		goLeft := key < k
+		c.Branch(sgSiteCmpKey, goLeft)
+		if goLeft {
+			p = c.LoadPtr(sgSiteLoadChild, p, sgLeft)
+		} else {
+			p = c.LoadPtr(sgSiteLoadChild, p, sgRight)
+		}
+	}
+
+	node := c.Pmalloc(sgNode)
+	c.StoreWord(sgSiteStoreNew, node, sgKey, key)
+	c.StoreWord(sgSiteStoreNew, node, sgVal, value)
+	c.StorePtr(sgSiteStoreNew, node, sgLeft, core.Null)
+	c.StorePtr(sgSiteStoreNew, node, sgRight, core.Null)
+	t.n++
+	if t.n > t.maxSize {
+		t.maxSize = t.n
+	}
+
+	if len(path) == 0 {
+		t.root = node
+		return
+	}
+	parent := path[len(path)-1]
+	pk := c.LoadWord(sgSiteLoadKey, parent, sgKey)
+	if key < pk {
+		c.StorePtr(sgSiteStoreLink, parent, sgLeft, node)
+	} else {
+		c.StorePtr(sgSiteStoreLink, parent, sgRight, node)
+	}
+
+	// Depth check: too deep means some ancestor is a scapegoat.
+	depth := len(path) + 1
+	limit := int(math.Floor(math.Log(float64(t.n))/math.Log(1/sgAlpha))) + 1
+	c.Exec(8) // depth bound computation
+	tooDeep := depth > limit
+	c.Branch(sgSiteRebuild, tooDeep)
+	if !tooDeep {
+		return
+	}
+
+	// Walk up the path until the scapegoat: the first ancestor whose
+	// subtree is alpha-weight-unbalanced.
+	child := node
+	childSize := uint64(1)
+	for i := len(path) - 1; i >= 0; i-- {
+		anc := path[i]
+		ancSize := t.subtreeSize(anc)
+		if float64(childSize) > sgAlpha*float64(ancSize) {
+			// anc is the scapegoat: rebuild its subtree.
+			rebuilt := t.rebuild(anc, ancSize)
+			if i == 0 {
+				t.root = rebuilt
+			} else {
+				gp := path[i-1]
+				gk := c.LoadWord(sgSiteLoadKey, gp, sgKey)
+				ak := c.LoadWord(sgSiteLoadKey, rebuilt, sgKey)
+				if ak < gk {
+					c.StorePtr(sgSiteStoreLink, gp, sgLeft, rebuilt)
+				} else {
+					c.StorePtr(sgSiteStoreLink, gp, sgRight, rebuilt)
+				}
+			}
+			return
+		}
+		child = anc
+		childSize = ancSize
+	}
+	_ = child
+}
+
+func (t *SG) subtreeSize(p core.Ptr) uint64 {
+	c := t.ctx
+	if c.IsNull(p) {
+		return 0
+	}
+	return 1 + t.subtreeSize(c.LoadPtr(sgSiteLoadChild, p, sgLeft)) +
+		t.subtreeSize(c.LoadPtr(sgSiteLoadChild, p, sgRight))
+}
+
+// rebuild flattens the subtree at p into a volatile scratch array (the
+// rebuild uses DRAM working memory, as library code would) and relinks it
+// perfectly balanced.
+func (t *SG) rebuild(p core.Ptr, size uint64) core.Ptr {
+	c := t.ctx
+	nodes := make([]core.Ptr, 0, size)
+	var flatten func(q core.Ptr)
+	flatten = func(q core.Ptr) {
+		if c.IsNull(q) {
+			return
+		}
+		flatten(c.LoadPtr(sgSiteLoadChild, q, sgLeft))
+		nodes = append(nodes, q)
+		flatten(c.LoadPtr(sgSiteLoadChild, q, sgRight))
+	}
+	flatten(p)
+
+	// Model the scratch array traffic: one volatile store and load per node.
+	scratch := c.Malloc(uint64(len(nodes)) * 8)
+	for i := range nodes {
+		c.StoreWord(sgSiteRebuildStoreSite(), scratch, int64(i)*8, uint64(nodes[i]))
+	}
+
+	var build func(lo, hi int) core.Ptr
+	build = func(lo, hi int) core.Ptr {
+		if lo > hi {
+			return core.Null
+		}
+		mid := (lo + hi) / 2
+		q := nodes[mid]
+		c.Exec(4)
+		c.StorePtr(sgSiteStoreLink, q, sgLeft, build(lo, mid-1))
+		c.StorePtr(sgSiteStoreLink, q, sgRight, build(mid+1, hi))
+		return q
+	}
+	rebuilt := build(0, len(nodes)-1)
+	c.FreeVolatile(scratch, uint64(len(nodes))*8)
+	return rebuilt
+}
+
+var sgScratchSite = rt.NewSite("sg.rebuild.scratch", true)
+
+func sgSiteRebuildStoreSite() *rt.Site { return sgScratchSite }

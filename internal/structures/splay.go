@@ -1,0 +1,200 @@
+package structures
+
+import (
+	"nvref/internal/core"
+	"nvref/internal/rt"
+)
+
+// Splay is a top-down splay tree. Every Insert and Lookup splays the
+// accessed key to the root, restructuring the tree with many pointer
+// stores — which is why the paper measures its largest HW-mode overhead on
+// this container. Node layout (32 bytes):
+//
+//	+0  key
+//	+8  value
+//	+16 left
+//	+24 right
+const (
+	spKey   = 0
+	spVal   = 8
+	spLeft  = 16
+	spRight = 24
+	spNode  = 32
+)
+
+var (
+	spSiteLoadChild = rt.NewSite("splay.load.child", false)
+	spSiteLoadKey   = rt.NewSite("splay.load.key", false)
+	spSiteStoreNew  = rt.NewSite("splay.store.new", true)
+	spSiteStoreLink = rt.NewSite("splay.store.link", false)
+	spSiteCmpKey    = rt.NewSite("splay.cmp.key", false)
+	spSiteDescend   = rt.NewSite("splay.descend", false)
+)
+
+// Splay is a persistent top-down splay tree.
+type Splay struct {
+	ctx  *rt.Context
+	root core.Ptr
+	n    uint64
+	// scratch is a preallocated header node used by the top-down splay.
+	scratch core.Ptr
+}
+
+// NewSplay returns an empty tree.
+func NewSplay(ctx *rt.Context) *Splay {
+	return &Splay{ctx: ctx, root: core.Null, scratch: ctx.Pmalloc(spNode)}
+}
+
+// Name implements Index.
+func (t *Splay) Name() string { return "Splay" }
+
+// Len returns the number of keys.
+func (t *Splay) Len() uint64 { return t.n }
+
+func (t *Splay) load(p core.Ptr, off int64) core.Ptr {
+	return t.ctx.LoadPtr(spSiteLoadChild, p, off)
+}
+
+func (t *Splay) store(p core.Ptr, off int64, q core.Ptr) {
+	t.ctx.StorePtr(spSiteStoreLink, p, off, q)
+}
+
+// splay performs the classic top-down splay of key over the tree rooted at
+// t.root, leaving the closest node at the root.
+func (t *Splay) splay(key uint64) {
+	c := t.ctx
+	if c.IsNull(t.root) {
+		return
+	}
+	header := t.scratch
+	t.store(header, spLeft, core.Null)
+	t.store(header, spRight, core.Null)
+	var l, r core.Ptr = header, header
+	p := t.root
+
+	for {
+		k := c.LoadWord(spSiteLoadKey, p, spKey)
+		goLeft := key < k
+		eq := key == k
+		c.Branch(spSiteCmpKey, goLeft)
+		if eq {
+			break
+		}
+		if goLeft {
+			child := t.load(p, spLeft)
+			stop := c.IsNull(child)
+			c.Branch(spSiteDescend, stop)
+			if stop {
+				break
+			}
+			ck := c.LoadWord(spSiteLoadKey, child, spKey)
+			zig := key < ck
+			c.Branch(spSiteCmpKey, zig)
+			if zig {
+				// Rotate right.
+				t.store(p, spLeft, t.load(child, spRight))
+				t.store(child, spRight, p)
+				p = child
+				next := t.load(p, spLeft)
+				stop2 := c.IsNull(next)
+				c.Branch(spSiteDescend, stop2)
+				if stop2 {
+					break
+				}
+			}
+			// Link right.
+			t.store(r, spLeft, p)
+			r = p
+			p = t.load(p, spLeft)
+		} else {
+			child := t.load(p, spRight)
+			stop := c.IsNull(child)
+			c.Branch(spSiteDescend, stop)
+			if stop {
+				break
+			}
+			ck := c.LoadWord(spSiteLoadKey, child, spKey)
+			zag := key >= ck && key != ck
+			c.Branch(spSiteCmpKey, zag)
+			if zag {
+				// Rotate left.
+				t.store(p, spRight, t.load(child, spLeft))
+				t.store(child, spLeft, p)
+				p = child
+				next := t.load(p, spRight)
+				stop2 := c.IsNull(next)
+				c.Branch(spSiteDescend, stop2)
+				if stop2 {
+					break
+				}
+			}
+			// Link left.
+			t.store(l, spRight, p)
+			l = p
+			p = t.load(p, spRight)
+		}
+	}
+
+	// Assemble.
+	t.store(l, spRight, t.load(p, spLeft))
+	t.store(r, spLeft, t.load(p, spRight))
+	t.store(p, spLeft, t.load(header, spRight))
+	t.store(p, spRight, t.load(header, spLeft))
+	t.root = p
+}
+
+// Insert implements Index.
+func (t *Splay) Insert(key, value uint64) {
+	c := t.ctx
+	if c.IsNull(t.root) {
+		node := t.newNode(key, value, core.Null, core.Null)
+		t.root = node
+		t.n++
+		return
+	}
+	t.splay(key)
+	rk := c.LoadWord(spSiteLoadKey, t.root, spKey)
+	eq := rk == key
+	c.Branch(spSiteCmpKey, eq)
+	if eq {
+		c.StoreWord(spSiteStoreLink, t.root, spVal, value)
+		return
+	}
+	if key < rk {
+		node := t.newNode(key, value, t.load(t.root, spLeft), t.root)
+		t.store(t.root, spLeft, core.Null)
+		t.root = node
+	} else {
+		node := t.newNode(key, value, t.root, t.load(t.root, spRight))
+		t.store(t.root, spRight, core.Null)
+		t.root = node
+	}
+	t.n++
+}
+
+func (t *Splay) newNode(key, value uint64, left, right core.Ptr) core.Ptr {
+	c := t.ctx
+	node := c.Pmalloc(spNode)
+	c.StoreWord(spSiteStoreNew, node, spKey, key)
+	c.StoreWord(spSiteStoreNew, node, spVal, value)
+	c.StorePtr(spSiteStoreNew, node, spLeft, left)
+	c.StorePtr(spSiteStoreNew, node, spRight, right)
+	return node
+}
+
+// Lookup implements Index. A hit splays the key to the root, as splay
+// trees do — the restructuring is the point of the container.
+func (t *Splay) Lookup(key uint64) (uint64, bool) {
+	c := t.ctx
+	if c.IsNull(t.root) {
+		return 0, false
+	}
+	t.splay(key)
+	rk := c.LoadWord(spSiteLoadKey, t.root, spKey)
+	hit := rk == key
+	c.Branch(spSiteCmpKey, hit)
+	if hit {
+		return c.LoadWord(spSiteLoadKey, t.root, spVal), true
+	}
+	return 0, false
+}

@@ -1,0 +1,94 @@
+// Package structures implements the six pointer-based containers the
+// paper's evaluation runs (its Table III): a doubly-linked list (LL), a
+// chained hash table (Hash), a red-black tree (RB), a splay tree (Splay),
+// an AVL tree (AVL), and a scapegoat tree (SG). The five keyed containers
+// plug into the key-value harness as its index; the linked list has its own
+// iteration harness, as in the paper.
+//
+// All six are written once against the rt.Context operations, so the same
+// container code runs under the Volatile, Explicit, SW, and HW models —
+// which is precisely the user-transparency property under evaluation.
+package structures
+
+import (
+	"embed"
+	"sort"
+	"strings"
+
+	"nvref/internal/rt"
+)
+
+//go:embed *.go
+var sourceFS embed.FS
+
+// Index is a key→value mapping over persistent memory.
+type Index interface {
+	// Name is the benchmark identifier (Table III naming).
+	Name() string
+	// Insert adds or updates a key.
+	Insert(key, value uint64)
+	// Lookup finds a key.
+	Lookup(key uint64) (uint64, bool)
+}
+
+// IndexConstructor builds an index over a context.
+type IndexConstructor func(*rt.Context) Index
+
+// Indexes lists the five keyed containers in the paper's figure order
+// (Hash, RB, Splay, AVL, SG).
+func Indexes() []struct {
+	Name string
+	New  IndexConstructor
+} {
+	return []struct {
+		Name string
+		New  IndexConstructor
+	}{
+		{"Hash", func(c *rt.Context) Index { return NewHash(c, DefaultHashBuckets) }},
+		{"RB", func(c *rt.Context) Index { return NewRB(c) }},
+		{"Splay", func(c *rt.Context) Index { return NewSplay(c) }},
+		{"AVL", func(c *rt.Context) Index { return NewAVL(c) }},
+		{"SG", func(c *rt.Context) Index { return NewSG(c) }},
+	}
+}
+
+// LinesOfCode reports the source line count of each container file, the
+// package's contribution to a Table III-style inventory. Counts include
+// comments and blank lines, matching how the paper counts library code.
+func LinesOfCode() map[string]int {
+	entries, err := sourceFS.ReadDir(".")
+	if err != nil {
+		return nil
+	}
+	out := make(map[string]int)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := sourceFS.ReadFile(e.Name())
+		if err != nil {
+			continue
+		}
+		out[e.Name()] = strings.Count(string(data), "\n")
+	}
+	return out
+}
+
+// TotalLines sums LinesOfCode.
+func TotalLines() int {
+	t := 0
+	for _, n := range LinesOfCode() {
+		t += n
+	}
+	return t
+}
+
+// SourceFiles returns the non-test source file names, sorted.
+func SourceFiles() []string {
+	var names []string
+	for name := range LinesOfCode() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

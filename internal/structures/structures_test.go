@@ -1,0 +1,292 @@
+package structures
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nvref/internal/core"
+	"nvref/internal/rt"
+)
+
+// oracleTest drives an index with a random operation stream and checks it
+// against a Go map at every step.
+func oracleTest(t *testing.T, mode rt.Mode, newIndex IndexConstructor, seed int64, ops int) {
+	t.Helper()
+	ctx := rt.MustNew(mode)
+	idx := newIndex(ctx)
+	oracle := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(seed))
+
+	for i := 0; i < ops; i++ {
+		key := uint64(rng.Intn(ops / 2))
+		switch rng.Intn(3) {
+		case 0, 1: // lookup twice as often, like the read-heavy workload
+			got, ok := idx.Lookup(key)
+			want, wantOK := oracle[key]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("%s/%s op %d: Lookup(%d) = (%d,%v), want (%d,%v)",
+					idx.Name(), mode, i, key, got, ok, want, wantOK)
+			}
+		case 2:
+			val := rng.Uint64()
+			idx.Insert(key, val)
+			oracle[key] = val
+		}
+	}
+	// Full sweep.
+	for key, want := range oracle {
+		got, ok := idx.Lookup(key)
+		if !ok || got != want {
+			t.Fatalf("%s/%s sweep: Lookup(%d) = (%d,%v), want %d",
+				idx.Name(), mode, key, got, ok, want)
+		}
+	}
+}
+
+func TestIndexesAgainstOracleAllModes(t *testing.T) {
+	for _, entry := range Indexes() {
+		for _, mode := range rt.Modes {
+			entry, mode := entry, mode
+			t.Run(entry.Name+"/"+mode.String(), func(t *testing.T) {
+				oracleTest(t, mode, entry.New, 42, 3000)
+			})
+		}
+	}
+}
+
+func TestIndexNames(t *testing.T) {
+	ctx := rt.MustNew(rt.Volatile)
+	want := []string{"Hash", "RB", "Splay", "AVL", "SG"}
+	for i, entry := range Indexes() {
+		idx := entry.New(ctx)
+		if idx.Name() != want[i] {
+			t.Errorf("index %d Name = %q, want %q", i, idx.Name(), want[i])
+		}
+	}
+}
+
+func TestRBInvariants(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	tree := NewRB(ctx)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		tree.Insert(uint64(rng.Intn(5000)), uint64(i))
+		if i%200 == 0 {
+			if tree.validate() < 0 {
+				t.Fatalf("red-black invariants violated after %d inserts", i+1)
+			}
+		}
+	}
+	if tree.validate() < 0 {
+		t.Fatal("red-black invariants violated at end")
+	}
+}
+
+func TestRBSequentialKeys(t *testing.T) {
+	// Sequential insertion is the classic degenerate case; fixup must keep
+	// the tree balanced.
+	ctx := rt.MustNew(rt.SW)
+	tree := NewRB(ctx)
+	for i := uint64(0); i < 1000; i++ {
+		tree.Insert(i, i*2)
+	}
+	if bh := tree.validate(); bh < 0 {
+		t.Fatal("invariants violated on sequential keys")
+	}
+	for i := uint64(0); i < 1000; i++ {
+		v, ok := tree.Lookup(i)
+		if !ok || v != i*2 {
+			t.Fatalf("Lookup(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestAVLInvariants(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	tree := NewAVL(ctx)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		tree.Insert(uint64(rng.Intn(5000)), uint64(i))
+	}
+	if !tree.validate() {
+		t.Fatal("AVL invariants violated")
+	}
+	// Sequential worst case.
+	ctx2 := rt.MustNew(rt.Volatile)
+	tree2 := NewAVL(ctx2)
+	for i := uint64(0); i < 1000; i++ {
+		tree2.Insert(i, i)
+	}
+	if !tree2.validate() {
+		t.Fatal("AVL invariants violated on sequential keys")
+	}
+}
+
+func TestSplayMovesAccessedKeyToRoot(t *testing.T) {
+	ctx := rt.MustNew(rt.Volatile)
+	tree := NewSplay(ctx)
+	for i := uint64(0); i < 200; i++ {
+		tree.Insert(i, i)
+	}
+	if _, ok := tree.Lookup(57); !ok {
+		t.Fatal("Lookup(57) missed")
+	}
+	// After the lookup the accessed key is at the root.
+	rk := ctx.LoadWord(spSiteLoadKey, tree.root, spKey)
+	if rk != 57 {
+		t.Errorf("root key after splay = %d, want 57", rk)
+	}
+}
+
+func TestSplayMiss(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	tree := NewSplay(ctx)
+	for _, k := range []uint64{10, 20, 30, 40} {
+		tree.Insert(k, k*10)
+	}
+	if _, ok := tree.Lookup(25); ok {
+		t.Error("Lookup of absent key hit")
+	}
+	for _, k := range []uint64{10, 20, 30, 40} {
+		v, ok := tree.Lookup(k)
+		if !ok || v != k*10 {
+			t.Errorf("Lookup(%d) = (%d,%v) after miss-splay", k, v, ok)
+		}
+	}
+}
+
+func TestSGDepthBounded(t *testing.T) {
+	ctx := rt.MustNew(rt.Volatile)
+	tree := NewSG(ctx)
+	// Sequential keys force rebuilds.
+	for i := uint64(0); i < 2000; i++ {
+		tree.Insert(i, i)
+	}
+	depth := sgDepth(ctx, tree.root)
+	// A scapegoat tree with alpha=0.7 keeps depth <= log_{1/0.7}(n)+1 ~ 22.
+	if depth > 25 {
+		t.Errorf("scapegoat depth = %d after sequential inserts; rebuilds not working", depth)
+	}
+	for i := uint64(0); i < 2000; i++ {
+		if v, ok := tree.Lookup(i); !ok || v != i {
+			t.Fatalf("Lookup(%d) = (%d,%v) after rebuilds", i, v, ok)
+		}
+	}
+}
+
+func sgDepth(ctx *rt.Context, p core.Ptr) int {
+	if ctx.IsNull(p) {
+		return 0
+	}
+	l := sgDepth(ctx, ctx.LoadPtr(sgSiteLoadChild, p, sgLeft))
+	r := sgDepth(ctx, ctx.LoadPtr(sgSiteLoadChild, p, sgRight))
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func TestListAppendAndSum(t *testing.T) {
+	for _, mode := range rt.Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			ctx := rt.MustNew(mode)
+			l := NewList(ctx)
+			want := uint64(0)
+			for i := uint64(1); i <= 500; i++ {
+				l.Append(i, i*3)
+				want += i + i*3
+			}
+			if l.Len() != 500 {
+				t.Errorf("Len = %d", l.Len())
+			}
+			if got := l.Sum(); got != want {
+				t.Errorf("Sum = %d, want %d", got, want)
+			}
+			if got := l.SumReverse(); got != want {
+				t.Errorf("SumReverse = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestHashUpdatesExistingKey(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	h := NewHash(ctx, 64)
+	h.Insert(5, 10)
+	h.Insert(5, 20)
+	if h.Len() != 1 {
+		t.Errorf("Len after update = %d", h.Len())
+	}
+	if v, _ := h.Lookup(5); v != 20 {
+		t.Errorf("Lookup = %d, want 20", v)
+	}
+}
+
+func TestHashCollisions(t *testing.T) {
+	// A 1-bucket table forces every key onto one chain.
+	ctx := rt.MustNew(rt.SW)
+	h := NewHash(ctx, 1)
+	for i := uint64(0); i < 100; i++ {
+		h.Insert(i, i+1000)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if v, ok := h.Lookup(i); !ok || v != i+1000 {
+			t.Fatalf("chained Lookup(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := h.Lookup(999); ok {
+		t.Error("absent key found")
+	}
+}
+
+func TestHashRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHash(3) did not panic")
+		}
+	}()
+	NewHash(rt.MustNew(rt.Volatile), 3)
+}
+
+func TestLinesOfCode(t *testing.T) {
+	loc := LinesOfCode()
+	for _, f := range []string{"list.go", "hash.go", "rbtree.go", "splay.go", "avl.go", "scapegoat.go"} {
+		if loc[f] == 0 {
+			t.Errorf("LinesOfCode missing %s", f)
+		}
+	}
+	if TotalLines() < 500 {
+		t.Errorf("TotalLines = %d, implausibly small", TotalLines())
+	}
+	if len(SourceFiles()) < 6 {
+		t.Errorf("SourceFiles = %v", SourceFiles())
+	}
+}
+
+// Property: for every mode, an index agrees with the oracle on random
+// streams with different seeds.
+func TestQuickRBAllModesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		results := make([]uint64, 0, 4)
+		for _, mode := range rt.Modes {
+			ctx := rt.MustNew(mode)
+			tree := NewRB(ctx)
+			rng := rand.New(rand.NewSource(seed))
+			sum := uint64(0)
+			for i := 0; i < 300; i++ {
+				k := uint64(rng.Intn(100))
+				if rng.Intn(2) == 0 {
+					tree.Insert(k, k*7)
+				} else if v, ok := tree.Lookup(k); ok {
+					sum += v
+				}
+			}
+			results = append(results, sum)
+		}
+		return results[0] == results[1] && results[1] == results[2] && results[2] == results[3]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"nvref/internal/mem"
+	"nvref/internal/pmem"
+)
+
+func setup(t *testing.T) (*pmem.Registry, *pmem.Pool, *mem.AddressSpace, *pmem.MemStore) {
+	t.Helper()
+	store := pmem.NewMemStore()
+	as := mem.New()
+	reg := pmem.NewRegistry(as, store)
+	pool, err := reg.Create("tx", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, pool, as, store
+}
+
+func TestCommitKeepsWrites(t *testing.T) {
+	_, pool, as, _ := setup(t)
+	m, _, err := Install(pool, as, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := pool.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteWord(obj, 111); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteWord(obj+8, 222); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := as.Load64(pool.Base() + obj)
+	w, _ := as.Load64(pool.Base() + obj + 8)
+	if v != 111 || w != 222 {
+		t.Errorf("committed values = %d, %d", v, w)
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	_, pool, as, _ := setup(t)
+	m, _, err := Install(pool, as, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := pool.Alloc(8)
+	if err := as.Store64(pool.Base()+obj, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteWord(obj, 99); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := as.Load64(pool.Base() + obj); v != 99 {
+		t.Fatal("write not visible inside transaction")
+	}
+	if err := m.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := as.Load64(pool.Base() + obj); v != 7 {
+		t.Errorf("after abort value = %d, want 7", v)
+	}
+}
+
+func TestCrashRecoveryAcrossRuns(t *testing.T) {
+	store := pmem.NewMemStore()
+	as := mem.New()
+	reg := pmem.NewRegistry(as, store)
+	pool, err := reg.Create("tx", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, logOff, err := Install(pool, as, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := pool.Alloc(8)
+	if err := as.Store64(pool.Base()+obj, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteWord(obj, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": checkpoint mid-transaction, never commit.
+	if err := reg.Checkpoint(pool); err != nil {
+		t.Fatal(err)
+	}
+
+	// New run: reopen and recover.
+	as2 := mem.New()
+	reg2 := pmem.NewRegistry(as2, store, pmem.WithMapBase(mem.NVMBase+1<<30))
+	pool2, err := reg2.Open("tx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, recovered, err := Attach(pool2, as2, logOff, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered {
+		t.Error("crashed transaction not detected")
+	}
+	if v, _ := as2.Load64(pool2.Base() + obj); v != 42 {
+		t.Errorf("after recovery value = %d, want 42 (pre-transaction)", v)
+	}
+	if m2.Active() {
+		t.Error("manager active after recovery")
+	}
+}
+
+func TestCleanReopenNoRollback(t *testing.T) {
+	store := pmem.NewMemStore()
+	as := mem.New()
+	reg := pmem.NewRegistry(as, store)
+	pool, _ := reg.Create("tx", 1<<20)
+	m, logOff, err := Install(pool, as, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := pool.Alloc(8)
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteWord(obj, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Checkpoint(pool); err != nil {
+		t.Fatal(err)
+	}
+
+	as2 := mem.New()
+	reg2 := pmem.NewRegistry(as2, store)
+	pool2, _ := reg2.Open("tx")
+	_, recovered, err := Attach(pool2, as2, logOff, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered {
+		t.Error("clean log triggered rollback")
+	}
+	if v, _ := as2.Load64(pool2.Base() + obj); v != 5 {
+		t.Errorf("committed value lost: %d", v)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	_, pool, as, _ := setup(t)
+	m, _, err := Install(pool, as, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := pool.Alloc(64)
+	if err := m.WriteWord(obj, 1); !errors.Is(err, ErrNotActive) {
+		t.Errorf("write outside tx: %v", err)
+	}
+	if err := m.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Errorf("commit outside tx: %v", err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); !errors.Is(err, ErrActive) {
+		t.Errorf("nested begin: %v", err)
+	}
+	// Log capacity is 2.
+	if err := m.WriteWord(obj, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteWord(obj+8, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteWord(obj+16, 3); !errors.Is(err, ErrLogFull) {
+		t.Errorf("overfull log: %v", err)
+	}
+	if err := m.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Abort(); !errors.Is(err, ErrNotActive) {
+		t.Errorf("double abort: %v", err)
+	}
+	// Attach to garbage offset fails.
+	if _, _, err := Attach(pool, as, obj, 2); !errors.Is(err, ErrNoLog) {
+		t.Errorf("attach to non-log: %v", err)
+	}
+}
+
+func TestAbortRestoresMultipleWritesInOrder(t *testing.T) {
+	_, pool, as, _ := setup(t)
+	m, _, err := Install(pool, as, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := pool.Alloc(8)
+	if err := as.Store64(pool.Base()+obj, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the same word twice; rollback must restore the original,
+	// not the intermediate.
+	if err := m.WriteWord(obj, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteWord(obj, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := as.Load64(pool.Base() + obj); v != 1 {
+		t.Errorf("value after abort = %d, want 1", v)
+	}
+}

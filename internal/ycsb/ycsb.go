@@ -1,0 +1,262 @@
+// Package ycsb generates key-value workloads in the style of the Yahoo!
+// Cloud Serving Benchmark, reproducing the paper's harness configuration:
+// 10,000 loaded key-value pairs, 100,000 operations of which 95% are GET
+// and 5% are SET, with SETs inserting new records and GETs drawn from the
+// "latest" distribution — a zipfian over recency in which recently inserted
+// records are the most likely to be read.
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+)
+
+// OpType distinguishes workload operations.
+type OpType int
+
+// Workload operation kinds.
+const (
+	Get OpType = iota
+	Set
+	Scan
+)
+
+func (t OpType) String() string {
+	switch t {
+	case Set:
+		return "SET"
+	case Scan:
+		return "SCAN"
+	}
+	return "GET"
+}
+
+// Op is one generated operation.
+type Op struct {
+	Type  OpType
+	Key   uint64
+	Value uint64
+	// Len is the range length for Scan operations.
+	Len int
+}
+
+// KV is one loaded record.
+type KV struct {
+	Key   uint64
+	Value uint64
+}
+
+// Spec parameterizes a workload.
+type Spec struct {
+	Records        int     // initially loaded key-value pairs
+	Operations     int     // operations to generate
+	ReadProportion float64 // fraction of GETs
+	// UpdateProportion is the fraction of SETs that overwrite existing
+	// keys (YCSB update); the remainder of operations insert new keys.
+	UpdateProportion float64
+	// ScanProportion is the fraction of operations that read short ordered
+	// ranges (YCSB E); MaxScanLen bounds the range length (default 100).
+	ScanProportion float64
+	MaxScanLen     int
+	Theta          float64 // zipfian skew (YCSB default 0.99)
+	Seed           int64
+}
+
+// PaperSpec is the configuration of the paper's Section VII-A harness:
+// 95% GETs, 5% SETs that insert new records (YCSB workload D's shape).
+func PaperSpec() Spec {
+	return Spec{
+		Records:        10000,
+		Operations:     100000,
+		ReadProportion: 0.95,
+		Theta:          0.99,
+		Seed:           1,
+	}
+}
+
+// WorkloadA is YCSB A: 50% reads, 50% updates of existing keys.
+func WorkloadA(records, ops int, seed int64) Spec {
+	return Spec{Records: records, Operations: ops, ReadProportion: 0.5,
+		UpdateProportion: 0.5, Theta: 0.99, Seed: seed}
+}
+
+// WorkloadB is YCSB B: 95% reads, 5% updates.
+func WorkloadB(records, ops int, seed int64) Spec {
+	return Spec{Records: records, Operations: ops, ReadProportion: 0.95,
+		UpdateProportion: 0.05, Theta: 0.99, Seed: seed}
+}
+
+// WorkloadC is YCSB C: read only.
+func WorkloadC(records, ops int, seed int64) Spec {
+	return Spec{Records: records, Operations: ops, ReadProportion: 1.0,
+		Theta: 0.99, Seed: seed}
+}
+
+// WorkloadE is YCSB E: 95% short range scans, 5% inserts.
+func WorkloadE(records, ops int, seed int64) Spec {
+	return Spec{Records: records, Operations: ops,
+		ScanProportion: 0.95, MaxScanLen: 100, Theta: 0.99, Seed: seed}
+}
+
+// Workload is a fully generated operation stream.
+type Workload struct {
+	Spec    Spec
+	Load    []KV
+	Ops     []Op
+	numSets int
+}
+
+// NumSets returns how many SET operations the stream contains.
+func (w *Workload) NumSets() int { return w.numSets }
+
+// Generate materializes a workload from a spec. Generation is
+// deterministic in the seed.
+func Generate(spec Spec) *Workload {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	w := &Workload{Spec: spec}
+
+	w.Load = make([]KV, spec.Records)
+	for i := range w.Load {
+		w.Load[i] = KV{Key: uint64(i), Value: rng.Uint64()}
+	}
+
+	insertCount := uint64(spec.Records)
+	latest := NewSkewedLatest(insertCount, spec.Theta, rng)
+
+	maxScan := spec.MaxScanLen
+	if maxScan <= 0 {
+		maxScan = 100
+	}
+	w.Ops = make([]Op, 0, spec.Operations)
+	for i := 0; i < spec.Operations; i++ {
+		r := rng.Float64()
+		switch {
+		case r < spec.ScanProportion:
+			w.Ops = append(w.Ops, Op{
+				Type: Scan,
+				Key:  latest.Next(),
+				Len:  rng.Intn(maxScan) + 1,
+			})
+		case r < spec.ScanProportion+spec.ReadProportion:
+			w.Ops = append(w.Ops, Op{Type: Get, Key: latest.Next()})
+		case r < spec.ReadProportion+spec.UpdateProportion:
+			// Update an existing key, drawn from the latest distribution.
+			w.Ops = append(w.Ops, Op{Type: Set, Key: latest.Next(), Value: rng.Uint64()})
+			w.numSets++
+		default:
+			key := insertCount
+			insertCount++
+			latest.Grow(insertCount)
+			w.Ops = append(w.Ops, Op{Type: Set, Key: key, Value: rng.Uint64()})
+			w.numSets++
+		}
+	}
+	return w
+}
+
+// Zipfian draws integers in [0, n) with P(k) ∝ 1/(k+1)^theta, using the
+// standard Gray et al. rejection-free method YCSB uses, with incremental
+// zeta maintenance so the item count can grow.
+type Zipfian struct {
+	n         uint64
+	theta     float64
+	alpha     float64
+	zetan     float64
+	zeta2     float64
+	eta       float64
+	countZeta uint64 // the n zetan currently covers
+	rng       *rand.Rand
+}
+
+// NewZipfian returns a zipfian generator over [0, n).
+func NewZipfian(n uint64, theta float64, rng *rand.Rand) *Zipfian {
+	z := &Zipfian{n: n, theta: theta, rng: rng}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.countZeta = n
+	z.recompute()
+	return z
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(0); i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+	}
+	return sum
+}
+
+func (z *Zipfian) recompute() {
+	z.alpha = 1 / (1 - z.theta)
+	z.eta = (1 - math.Pow(2/float64(z.n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+}
+
+// Grow extends the range to [0, n), incrementally updating zeta.
+func (z *Zipfian) Grow(n uint64) {
+	if n <= z.n {
+		return
+	}
+	for i := z.countZeta; i < n; i++ {
+		z.zetan += 1 / math.Pow(float64(i+1), z.theta)
+	}
+	z.countZeta = n
+	z.n = n
+	z.recompute()
+}
+
+// Next draws one value in [0, n), 0 being the most popular.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// SkewedLatest draws keys biased toward the most recently inserted: key =
+// insertCount-1 - zipf, YCSB's "latest" distribution.
+type SkewedLatest struct {
+	insertCount uint64
+	zipf        *Zipfian
+}
+
+// NewSkewedLatest returns a latest-distribution generator over the first
+// insertCount keys.
+func NewSkewedLatest(insertCount uint64, theta float64, rng *rand.Rand) *SkewedLatest {
+	return &SkewedLatest{
+		insertCount: insertCount,
+		zipf:        NewZipfian(insertCount, theta, rng),
+	}
+}
+
+// Grow tells the generator a new key was inserted.
+func (s *SkewedLatest) Grow(insertCount uint64) {
+	s.insertCount = insertCount
+	s.zipf.Grow(insertCount)
+}
+
+// Next draws a key in [0, insertCount), recent keys most likely.
+func (s *SkewedLatest) Next() uint64 {
+	return s.insertCount - 1 - s.zipf.Next()
+}
+
+// Uniform draws keys uniformly over the current key space; used by
+// sensitivity experiments that want locality-free access.
+type Uniform struct {
+	n   uint64
+	rng *rand.Rand
+}
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(n uint64, rng *rand.Rand) *Uniform { return &Uniform{n: n, rng: rng} }
+
+// Next draws one key.
+func (u *Uniform) Next() uint64 { return uint64(u.rng.Int63n(int64(u.n))) }

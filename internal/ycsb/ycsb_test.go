@@ -1,0 +1,203 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(PaperSpec())
+	b := Generate(PaperSpec())
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a.Ops[i], b.Ops[i])
+		}
+	}
+}
+
+func TestPaperSpecShape(t *testing.T) {
+	w := Generate(PaperSpec())
+	if len(w.Load) != 10000 {
+		t.Errorf("loaded records = %d", len(w.Load))
+	}
+	if len(w.Ops) != 100000 {
+		t.Errorf("ops = %d", len(w.Ops))
+	}
+	sets := 0
+	for _, op := range w.Ops {
+		if op.Type == Set {
+			sets++
+		}
+	}
+	frac := float64(sets) / float64(len(w.Ops))
+	if frac < 0.04 || frac > 0.06 {
+		t.Errorf("SET fraction = %.4f, want ~0.05", frac)
+	}
+	if sets != w.NumSets() {
+		t.Errorf("NumSets = %d, counted %d", w.NumSets(), sets)
+	}
+}
+
+func TestSetsUseFreshKeys(t *testing.T) {
+	w := Generate(PaperSpec())
+	seen := map[uint64]bool{}
+	for _, kv := range w.Load {
+		seen[kv.Key] = true
+	}
+	for i, op := range w.Ops {
+		if op.Type == Set {
+			if seen[op.Key] {
+				t.Fatalf("op %d: SET reuses key %d", i, op.Key)
+			}
+			seen[op.Key] = true
+		} else if !seen[op.Key] {
+			t.Fatalf("op %d: GET of never-inserted key %d", i, op.Key)
+		}
+	}
+}
+
+func TestZipfianRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipfian(1000, 0.99, rng)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("draw %d out of range", v)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipfian(1000, 0.99, rng)
+	counts := make([]int, 1000)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Item 0 should be drawn far more than the median item.
+	if counts[0] < n/100 {
+		t.Errorf("most popular item drawn %d/%d times; not skewed", counts[0], n)
+	}
+	top10 := 0
+	for i := 0; i < 10; i++ {
+		top10 += counts[i]
+	}
+	if float64(top10)/float64(n) < 0.2 {
+		t.Errorf("top-10 items got %.3f of draws; want heavy skew", float64(top10)/float64(n))
+	}
+}
+
+func TestZipfianGrowMatchesStatic(t *testing.T) {
+	// Growing 500 -> 1000 must produce the same zeta as starting at 1000.
+	rng := rand.New(rand.NewSource(1))
+	grown := NewZipfian(500, 0.99, rng)
+	grown.Grow(1000)
+	direct := NewZipfian(1000, 0.99, rng)
+	if math.Abs(grown.zetan-direct.zetan) > 1e-9 {
+		t.Errorf("incremental zeta %.12f != static %.12f", grown.zetan, direct.zetan)
+	}
+}
+
+func TestSkewedLatestFavorsRecent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewSkewedLatest(10000, 0.99, rng)
+	recent := 0
+	n := 50000
+	for i := 0; i < n; i++ {
+		k := s.Next()
+		if k >= 10000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k >= 9000 {
+			recent++
+		}
+	}
+	if float64(recent)/float64(n) < 0.5 {
+		t.Errorf("only %.3f of reads hit the newest 10%% of keys; latest distribution not skewed",
+			float64(recent)/float64(n))
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	u := NewUniform(100, rng)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[u.Next()]++
+	}
+	for k, c := range counts {
+		if c == 0 {
+			t.Errorf("key %d never drawn", k)
+		}
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	if Get.String() != "GET" || Set.String() != "SET" {
+		t.Error("OpType strings wrong")
+	}
+}
+
+// Property: every generated workload keeps GETs inside the live key space.
+func TestQuickWorkloadWellFormed(t *testing.T) {
+	f := func(seed int64, recSel, opSel uint8) bool {
+		spec := Spec{
+			Records:        int(recSel)%500 + 10,
+			Operations:     int(opSel)%1000 + 10,
+			ReadProportion: 0.9,
+			Theta:          0.99,
+			Seed:           seed,
+		}
+		w := Generate(spec)
+		maxKey := uint64(spec.Records)
+		for _, op := range w.Ops {
+			if op.Type == Set {
+				if op.Key != maxKey {
+					return false // inserts must be sequential fresh keys
+				}
+				maxKey++
+			} else if op.Key >= maxKey {
+				return false
+			}
+		}
+		return len(w.Ops) == spec.Operations
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    Spec
+		minSets float64
+		maxSets float64
+	}{
+		{"A", WorkloadA(1000, 20000, 3), 0.47, 0.53},
+		{"B", WorkloadB(1000, 20000, 3), 0.04, 0.06},
+		{"C", WorkloadC(1000, 20000, 3), 0, 0},
+	}
+	for _, c := range cases {
+		w := Generate(c.spec)
+		frac := float64(w.NumSets()) / float64(len(w.Ops))
+		if frac < c.minSets || frac > c.maxSets {
+			t.Errorf("%s: SET fraction %.3f outside [%.2f, %.2f]", c.name, frac, c.minSets, c.maxSets)
+		}
+	}
+}
+
+func TestUpdatesTargetExistingKeys(t *testing.T) {
+	w := Generate(WorkloadA(500, 5000, 9))
+	for i, op := range w.Ops {
+		if op.Key >= 500 {
+			t.Fatalf("op %d: key %d outside the loaded key space (pure-update workload)", i, op.Key)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// The paper's Figure 9 example: a library Append called with mixed
+// persistent and volatile nodes. Run with:
+//   go run ./cmd/nvrun -dump testdata/append.c
+//   go run ./cmd/nvrun -mode sw -stats testdata/append.c
+struct Node { long value; struct Node* next; };
+
+void Append(struct Node* p, struct Node* n) {
+    if (p != n)
+        p->next = n;
+}
+
+int main() {
+    struct Node* a = (struct Node*)pmalloc(sizeof(struct Node));
+    struct Node* b = (struct Node*)malloc(sizeof(struct Node));
+    a->value = 10; a->next = NULL;
+    b->value = 32; b->next = NULL;
+    Append(a, b);
+    Append(b, a);
+    print(a->value + a->next->value);
+    return 0;
+}

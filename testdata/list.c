@@ -1,0 +1,18 @@
+// A persistent linked list built and summed; try all four models:
+//   go run ./cmd/nvrun -mode hw -stats testdata/list.c
+struct Node { long v; struct Node* next; };
+int main() {
+    struct Node* head = NULL;
+    int i;
+    for (i = 1; i <= 100; i++) {
+        struct Node* n = (struct Node*)pmalloc(sizeof(struct Node));
+        n->v = i;
+        n->next = head;
+        head = n;
+    }
+    long sum = 0;
+    struct Node* p = head;
+    while (p) { sum += p->v; p = p->next; }
+    print(sum);
+    return 0;
+}

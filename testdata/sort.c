@@ -1,0 +1,29 @@
+// Shell sort over a persistent array with a function-pointer comparator.
+long asc(long a, long b) { return a - b; }
+long desc(long a, long b) { return b - a; }
+int main() {
+    int n = 16;
+    long* a = (long*)pmalloc(n * 8);
+    long (*cmp)(long, long) = asc;
+    int pass;
+    for (pass = 0; pass < 2; pass++) {
+        int i;
+        for (i = 0; i < n; i++) a[i] = (i * 29 + 7) % 31;
+        int gap;
+        for (gap = n / 2; gap > 0; gap = gap / 2) {
+            for (i = gap; i < n; i++) {
+                long t = a[i];
+                int j = i;
+                while (j >= gap && cmp(a[j - gap], t) > 0) {
+                    a[j] = a[j - gap];
+                    j -= gap;
+                }
+                a[j] = t;
+            }
+        }
+        print(a[0]);
+        print(a[n - 1]);
+        cmp = desc;
+    }
+    return 0;
+}

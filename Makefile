@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test verify bench faults
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full gate: build + vet + race-enabled tests (fault matrix and crash
+# sweep included). CI and pre-merge runs use this.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+faults:
+	$(GO) run ./cmd/nvbench -experiment faults

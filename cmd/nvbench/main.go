@@ -5,7 +5,7 @@
 //
 //	nvbench -experiment all
 //	nvbench -experiment fig11 [-quick]
-//	nvbench -experiment fig13|fig14|fig15|table2|table3|table5|knn|inference|soundness
+//	nvbench -experiment fig13|fig14|fig15|table2|table3|table5|knn|inference|soundness|faults
 //
 // -quick runs a scaled-down workload (1,000 records / 10,000 operations)
 // instead of the paper's 10,000 / 100,000.
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes")
+		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults")
 	quick := flag.Bool("quick", false, "run the scaled-down workload")
 	format := flag.String("format", "table", "output format: table or csv (fig11, fig13, fig14, fig15, table5, knn, scaling)")
 	flag.Parse()
@@ -84,6 +84,7 @@ func run(experiment string, cfg bench.RunConfig) error {
 			func() error { return inference(out) },
 			func() error { bench.WriteSoundness(out, bench.RunSoundness()); return nil },
 			func() error { return bench.WriteAblations(out, cfg.Spec) },
+			func() error { return faults(out, 1) },
 		} {
 			if err := section(f); err != nil {
 				return err
@@ -124,6 +125,9 @@ func run(experiment string, cfg bench.RunConfig) error {
 			return err
 		}
 		bench.WriteWorkloadMixes(out, points)
+	case "faults":
+		// Standalone runs test every occurrence of every persist point.
+		return faults(out, 0)
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -136,6 +140,22 @@ func fig14(out *os.File, cfg bench.RunConfig) error {
 		return err
 	}
 	bench.WriteFig14(out, points)
+	return nil
+}
+
+// faults runs the fault-injection matrix and the crash-point sweep.
+func faults(out *os.File, maxPerLabel int) error {
+	rows, err := bench.RunFaultMatrix(42)
+	if err != nil {
+		return err
+	}
+	bench.WriteFaults(out, rows)
+	fmt.Fprintln(out)
+	sweep, err := bench.RunCrashSweep(maxPerLabel)
+	if err != nil {
+		return err
+	}
+	bench.WriteCrashSweep(out, sweep)
 	return nil
 }
 

@@ -1,12 +1,15 @@
 // Command nvpool inspects persistent memory pools stored in a directory:
-// it lists pools, dumps allocator state, and verifies that every pointer
-// word reachable from a pool's root is in relocatable (relative) form.
+// it lists pools, dumps allocator state, verifies that every pointer word
+// reachable from a pool's root is in relocatable (relative) form, and
+// checks (optionally repairing) the allocator's crash-consistency
+// invariants.
 //
 // Usage:
 //
 //	nvpool -dir pools list
 //	nvpool -dir pools info <name>
 //	nvpool -dir pools verify <name>
+//	nvpool -dir pools [-repair] fsck <name>
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 
 func main() {
 	dir := flag.String("dir", "pools", "pool store directory")
+	repair := flag.Bool("repair", false, "fsck: repair crash residue and checkpoint the pool back")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
@@ -85,8 +89,55 @@ func main() {
 			os.Exit(1)
 		}
 
+	case "fsck":
+		requireName()
+		reg, pool := open(store, flag.Arg(1))
+		fsck(reg, pool, *repair)
+
 	default:
 		usage()
+	}
+}
+
+// fsck checks (and with repair, fixes) the pool's allocator structures and
+// relocatability. Exit status: 0 clean, 1 corrupt or unrepaired residue.
+func fsck(reg *pmem.Registry, pool *pmem.Pool, repair bool) {
+	rep := pmem.Fsck(pool)
+	printFsck(rep)
+	if !rep.Consistent() {
+		fmt.Println("FAIL: structural corruption; repair refused")
+		os.Exit(1)
+	}
+	if bad := pmem.VerifyRelocatable(pool, reg.AddressSpace()); len(bad) > 0 {
+		fmt.Printf("warn: %d pointer-like words are raw virtual addresses (see verify)\n", len(bad))
+	}
+	if rep.Clean() {
+		fmt.Println("ok: pool is clean")
+		return
+	}
+	if !repair {
+		fmt.Println("crash residue present; rerun with -repair to reclaim it")
+		os.Exit(1)
+	}
+	after, err := pmem.Repair(pool)
+	if err != nil {
+		fail(err)
+	}
+	if err := reg.Checkpoint(pool); err != nil {
+		fail(err)
+	}
+	fmt.Printf("repaired: %d live blocks, %d free bytes; pool checkpointed\n",
+		after.LiveBlocks, after.FreeBytes)
+}
+
+func printFsck(rep *pmem.FsckReport) {
+	fmt.Printf("blocks:  %d live (%d bytes), %d free (%d bytes), %d leaked (%d bytes)\n",
+		rep.LiveBlocks, rep.LiveBytes, rep.FreeBlocks, rep.FreeBytes,
+		rep.LeakedBlocks, rep.LeakedBytes)
+	fmt.Printf("stats:   header claims %d allocations, %d bytes in use\n",
+		rep.StatsAllocCount, rep.StatsBytesInUse)
+	for _, issue := range rep.Issues {
+		fmt.Println(" ", issue)
 	}
 }
 
@@ -106,7 +157,7 @@ func requireName() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: nvpool [-dir d] list | info <name> | verify <name>")
+	fmt.Fprintln(os.Stderr, "usage: nvpool [-dir d] [-repair] list | info <name> | verify <name> | fsck <name>")
 	os.Exit(2)
 }
 

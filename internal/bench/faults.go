@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"nvref/internal/fault"
+	"nvref/internal/fault/harness"
+	"nvref/internal/fault/inject"
+	"nvref/internal/mem"
+	"nvref/internal/pmem"
+)
+
+// The faults experiment drives the two halves of the fault subsystem the
+// way the evaluation drives the performance models: the device-fault
+// matrix injects every store fault class into a checkpoint/reopen cycle
+// and records how the registry responds, and the crash sweep runs the
+// harness over every instrumented persist point.
+
+// Fault-matrix outcomes.
+const (
+	// OutcomeRetried: the registry's retry policy absorbed the fault and
+	// the reopened pool held the latest checkpoint.
+	OutcomeRetried = "retried"
+	// OutcomeDetected: the corrupted image was refused with ErrCorrupt.
+	OutcomeDetected = "detected"
+	// OutcomeStale: the reopened pool was valid but held the previous
+	// checkpoint — a lost update, the one class integrity checks cannot
+	// see because the stale image is internally consistent.
+	OutcomeStale = "stale-image"
+)
+
+// FaultRow is one cell of the fault matrix.
+type FaultRow struct {
+	Class    fault.Class
+	Op       inject.Op
+	Expected string
+	Observed string
+}
+
+// OK reports whether the registry responded as the fault model requires.
+func (r FaultRow) OK() bool { return r.Expected == r.Observed }
+
+// faultCase schedules one fault class against one store operation. The
+// second checkpoint is save #2 and the reopen is load #2 (load #1 is the
+// Create existence check), so Nth=2 targets the interesting occurrence.
+type faultCase struct {
+	class    fault.Class
+	op       inject.Op
+	expected string
+}
+
+var faultCases = []faultCase{
+	{fault.Transient, inject.OpSave, OutcomeRetried},
+	{fault.Transient, inject.OpLoad, OutcomeRetried},
+	{fault.Torn, inject.OpSave, OutcomeDetected},
+	{fault.Torn, inject.OpLoad, OutcomeDetected},
+	{fault.BitFlip, inject.OpSave, OutcomeDetected},
+	{fault.BitFlip, inject.OpLoad, OutcomeDetected},
+	{fault.Stale, inject.OpSave, OutcomeStale},
+}
+
+// Marker generations written before the first and second checkpoint.
+const (
+	faultGenOld = 0xA11CE
+	faultGenNew = 0xB0B
+)
+
+// RunFaultMatrix runs every fault case and returns one row per case.
+func RunFaultMatrix(seed uint64) ([]FaultRow, error) {
+	rows := make([]FaultRow, 0, len(faultCases))
+	for i, fc := range faultCases {
+		observed, err := runFaultCase(fc, seed+uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", fc.class, fc.op, err)
+		}
+		rows = append(rows, FaultRow{
+			Class: fc.class, Op: fc.op,
+			Expected: fc.expected, Observed: observed,
+		})
+	}
+	return rows, nil
+}
+
+// runFaultCase checkpoints a pool twice with the fault scheduled on the
+// second save (or the reopening load) and classifies what the next run
+// observes.
+func runFaultCase(fc faultCase, seed uint64) (string, error) {
+	inj := inject.New(pmem.NewMemStore(), seed,
+		inject.Fault{Class: fc.class, Op: fc.op, Nth: 2})
+
+	as := mem.New()
+	reg := pmem.NewRegistry(as, inj)
+	pool, err := reg.Create("fault", 64<<10)
+	if err != nil {
+		return "", err
+	}
+	markerOff, err := pool.Alloc(8)
+	if err != nil {
+		return "", err
+	}
+	write := func(gen uint64) error {
+		return as.Store64(pool.Base()+markerOff, gen)
+	}
+	if err := write(faultGenOld); err != nil {
+		return "", err
+	}
+	if err := reg.Checkpoint(pool); err != nil { // save #1
+		return "", err
+	}
+	if err := write(faultGenNew); err != nil {
+		return "", err
+	}
+	if err := reg.Checkpoint(pool); err != nil { // save #2: fault target
+		return "", fmt.Errorf("second checkpoint: %w", err)
+	}
+
+	// Next run, different map base: reopen is load #2.
+	as2 := mem.New()
+	reg2 := pmem.NewRegistry(as2, inj, pmem.WithMapBase(mem.NVMBase+4096*mem.PageSize))
+	pool2, err := reg2.Open("fault")
+	if err != nil {
+		if errors.Is(err, pmem.ErrCorrupt) {
+			return OutcomeDetected, nil
+		}
+		return "", fmt.Errorf("reopen: %w", err)
+	}
+	gen, err := as2.Load64(pool2.Base() + markerOff)
+	if err != nil {
+		return "", err
+	}
+	switch gen {
+	case faultGenNew:
+		return OutcomeRetried, nil
+	case faultGenOld:
+		return OutcomeStale, nil
+	}
+	return "", fmt.Errorf("marker holds %#x: silent corruption", gen)
+}
+
+// CrashSweep is the crash-point enumeration result plus the double-failure
+// recovery check.
+type CrashSweep struct {
+	Report            *harness.Report
+	DoubleRecoveryOK  bool
+	DoubleRecoveryErr string
+}
+
+// RunCrashSweep enumerates every persist point (capping occurrences per
+// point at maxPerLabel; 0 means all) and runs the double-recovery case.
+func RunCrashSweep(maxPerLabel int) (*CrashSweep, error) {
+	rep, err := harness.Enumerate(harness.Options{MaxPerLabel: maxPerLabel})
+	if err != nil {
+		return nil, err
+	}
+	s := &CrashSweep{Report: rep, DoubleRecoveryOK: true}
+	if err := harness.DoubleRecovery(); err != nil {
+		s.DoubleRecoveryOK = false
+		s.DoubleRecoveryErr = err.Error()
+	}
+	return s, nil
+}
+
+// WriteFaults renders the fault matrix.
+func WriteFaults(w io.Writer, rows []FaultRow) {
+	fmt.Fprintln(w, "Fault matrix: injected device faults vs. registry response")
+	fmt.Fprintf(w, "%-12s %-5s %-12s %-12s %s\n", "class", "op", "expected", "observed", "result")
+	allOK := true
+	for _, r := range rows {
+		verdict := "ok"
+		if !r.OK() {
+			verdict = "FAIL"
+			allOK = false
+		}
+		fmt.Fprintf(w, "%-12s %-5s %-12s %-12s %s\n",
+			r.Class, r.Op, r.Expected, r.Observed, verdict)
+	}
+	if allOK {
+		fmt.Fprintln(w, "every fault class handled: transients retried, corruption refused, staleness bounded to the last checkpoint")
+	}
+}
+
+// WriteCrashSweep renders the crash-point enumeration.
+func WriteCrashSweep(w io.Writer, s *CrashSweep) {
+	fmt.Fprintf(w, "Crash sweep: %d crash/recover cycles over %d persist points, all invariants held\n",
+		s.Report.TotalRuns, s.Report.DistinctPoints())
+	fmt.Fprintf(w, "%-28s %5s %7s %10s %8s\n", "persist point", "hits", "tested", "rollbacks", "repairs")
+	for _, p := range s.Report.Points {
+		fmt.Fprintf(w, "%-28s %5d %7d %10d %8d\n", p.Label, p.Hits, p.Tested, p.Rollbacks, p.Repairs)
+	}
+	if s.DoubleRecoveryOK {
+		fmt.Fprintln(w, "double recovery (crash during rollback, then recover again): ok")
+	} else {
+		fmt.Fprintf(w, "double recovery FAILED: %s\n", s.DoubleRecoveryErr)
+	}
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultMatrixAllCasesHandled(t *testing.T) {
+	rows, err := RunFaultMatrix(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(faultCases) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(faultCases))
+	}
+	for _, r := range rows {
+		if !r.OK() {
+			t.Errorf("%s on %s: observed %q, want %q", r.Class, r.Op, r.Observed, r.Expected)
+		}
+	}
+	// The matrix must be deterministic for a given seed.
+	again, err := RunFaultMatrix(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Errorf("row %d differs across runs: %+v vs %+v", i, rows[i], again[i])
+		}
+	}
+}
+
+func TestCrashSweepSmoke(t *testing.T) {
+	s, err := RunCrashSweep(1) // one occurrence per point keeps this fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Report.DistinctPoints() < 10 {
+		t.Errorf("sweep reached %d persist points, want >= 10", s.Report.DistinctPoints())
+	}
+	if !s.DoubleRecoveryOK {
+		t.Errorf("double recovery failed: %s", s.DoubleRecoveryErr)
+	}
+	var buf strings.Builder
+	WriteCrashSweep(&buf, s)
+	rows, err := RunFaultMatrix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteFaults(&buf, rows)
+	for _, want := range []string{"persist point", "double recovery", "Fault matrix", "transient"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package fault
+
+// Rand is a small deterministic PRNG (splitmix64) so every injected fault
+// is reproducible from a seed, independent of math/rand's global state.
+type Rand struct{ state uint64 }
+
+// NewRand returns a Rand seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next pseudo-random value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("fault: Intn on non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Tear returns a copy of data truncated at a seed-chosen point strictly
+// inside it, modelling a write torn by power failure. Images of one byte or
+// less tear to empty.
+func Tear(data []byte, r *Rand) []byte {
+	if len(data) <= 1 {
+		return nil
+	}
+	cut := r.Intn(len(data)-1) + 1 // at least 1 byte kept, at least 1 lost
+	out := make([]byte, cut)
+	copy(out, data[:cut])
+	return out
+}
+
+// FlipBit flips one seed-chosen bit of data in place and returns its bit
+// index (-1 when data is empty).
+func FlipBit(data []byte, r *Rand) int {
+	if len(data) == 0 {
+		return -1
+	}
+	bit := r.Intn(len(data) * 8)
+	data[bit/8] ^= 1 << (bit % 8)
+	return bit
+}

@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCrashIsNoOpWhenDisarmed(t *testing.T) {
+	Crash("anything") // must not panic
+}
+
+func TestTriggerFiresAtNthHit(t *testing.T) {
+	tr := NewTrigger("p", 3)
+	hits := 0
+	crashed, err := Run(tr, func() error {
+		for i := 0; i < 10; i++ {
+			Crash("other")
+			Crash("p")
+			hits++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed == nil || crashed.Label != "p" {
+		t.Fatalf("crashed = %v", crashed)
+	}
+	if hits != 2 {
+		t.Errorf("survived %d hits before the crash, want 2", hits)
+	}
+	if !tr.Fired() {
+		t.Error("Fired() = false after crash")
+	}
+	// The scheduler must be disarmed again after Run.
+	Crash("p")
+}
+
+func TestRecorderCounts(t *testing.T) {
+	rec := NewRecorder()
+	crashed, err := Run(rec, func() error {
+		Crash("a")
+		Crash("a")
+		Crash("b")
+		return nil
+	})
+	if crashed != nil || err != nil {
+		t.Fatalf("recording run: crashed=%v err=%v", crashed, err)
+	}
+	c := rec.Counts()
+	if c["a"] != 2 || c["b"] != 1 {
+		t.Errorf("counts = %v", c)
+	}
+	if labels := rec.Labels(); len(labels) != 2 || labels[0] != "a" || labels[1] != "b" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestRunPropagatesErrorsAndForeignPanics(t *testing.T) {
+	wantErr := errors.New("boom")
+	if _, err := Run(NewRecorder(), func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("err = %v", err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("foreign panic was swallowed")
+		}
+		SetScheduler(nil)
+	}()
+	_, _ = Run(NewRecorder(), func() error { panic("not a crash") })
+}
+
+func TestRetryPolicy(t *testing.T) {
+	// Transient errors retry up to the attempt budget.
+	calls := 0
+	err := RetryPolicy{Attempts: 3}.Retry(func() error {
+		calls++
+		if calls < 3 {
+			return Transientf("try %d", calls)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("retry: err=%v calls=%d", err, calls)
+	}
+
+	// Non-transient errors return immediately.
+	calls = 0
+	hard := errors.New("hard")
+	err = RetryPolicy{Attempts: 5}.Retry(func() error { calls++; return hard })
+	if !errors.Is(err, hard) || calls != 1 {
+		t.Errorf("hard error: err=%v calls=%d", err, calls)
+	}
+
+	// Budget exhaustion surfaces the transient error.
+	calls = 0
+	backoffs := 0
+	p := RetryPolicy{Attempts: 2, Backoff: func(int) { backoffs++ }}
+	err = p.Retry(func() error { calls++; return Transientf("always") })
+	if !IsTransient(err) || calls != 2 || backoffs != 1 {
+		t.Errorf("exhausted: err=%v calls=%d backoffs=%d", err, calls, backoffs)
+	}
+}
+
+func TestCorruptors(t *testing.T) {
+	r := NewRand(42)
+	data := bytes.Repeat([]byte{0xAA}, 256)
+
+	torn := Tear(data, r)
+	if len(torn) == 0 || len(torn) >= len(data) {
+		t.Errorf("Tear length = %d of %d", len(torn), len(data))
+	}
+
+	cp := append([]byte(nil), data...)
+	bit := FlipBit(cp, r)
+	if bit < 0 || bit >= len(cp)*8 {
+		t.Fatalf("bit = %d", bit)
+	}
+	diff := 0
+	for i := range cp {
+		if cp[i] != data[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("FlipBit changed %d bytes, want 1", diff)
+	}
+
+	// Determinism: the same seed produces the same fault.
+	r2 := NewRand(42)
+	if got := Tear(data, r2); len(got) != len(torn) {
+		t.Errorf("Tear not deterministic: %d vs %d", len(got), len(torn))
+	}
+	cp2 := append([]byte(nil), data...)
+	if got := FlipBit(cp2, r2); got != bit {
+		t.Errorf("FlipBit not deterministic: %d vs %d", got, bit)
+	}
+}
+
+func TestPolicyAndClassStrings(t *testing.T) {
+	for want, got := range map[string]fmt.Stringer{
+		"permissive": Permissive, "strict": Strict,
+		"transient": Transient, "torn-write": Torn,
+		"bit-flip": BitFlip, "stale-image": Stale,
+	} {
+		if got.String() != want {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEnumerateAllPersistPoints is the tentpole check: every persist point
+// the workload reaches, at every occurrence, must recover to a consistent,
+// relocatable pool with an atomic word generation.
+func TestEnumerateAllPersistPoints(t *testing.T) {
+	rep, err := Enumerate(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DistinctPoints() < 10 {
+		t.Errorf("workload reached only %d persist points, want >= 10", rep.DistinctPoints())
+	}
+	var txnPoints, pmemPoints, rollbacks int
+	for _, p := range rep.Points {
+		if p.Tested != p.Hits {
+			t.Errorf("%s: tested %d of %d occurrences", p.Label, p.Tested, p.Hits)
+		}
+		switch {
+		case strings.HasPrefix(p.Label, "txn."):
+			txnPoints++
+		case strings.HasPrefix(p.Label, "pmem."):
+			pmemPoints++
+		default:
+			t.Errorf("unexpected label namespace: %s", p.Label)
+		}
+		rollbacks += p.Rollbacks
+	}
+	if txnPoints == 0 || pmemPoints == 0 {
+		t.Errorf("coverage spans %d txn and %d allocator points; want both layers", txnPoints, pmemPoints)
+	}
+	if rollbacks == 0 {
+		t.Error("no crash cycle exercised an undo-log rollback")
+	}
+	t.Logf("verified %d crash cycles across %d persist points", rep.TotalRuns, rep.DistinctPoints())
+}
+
+// TestCommitMarkerCrash: once the commit marker (state=idle) is durable,
+// recovery must keep the transaction even though the log entries linger.
+func TestCommitMarkerCrash(t *testing.T) {
+	out, err := CrashAt("txn.commit.marker", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Crashed {
+		t.Fatal("crash point not reached")
+	}
+	if out.RolledBack {
+		t.Error("recovery rolled back a committed transaction")
+	}
+	if out.Gen != 1 {
+		t.Errorf("recovered generation %d, want the committed 1", out.Gen)
+	}
+}
+
+// TestPartialUndoEntryIgnored: an undo entry whose old value is durable but
+// whose count was never published must not be replayed; the four published
+// entries roll the words back to generation 0.
+func TestPartialUndoEntryIgnored(t *testing.T) {
+	out, err := CrashAt("txn.write.entry-old", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Crashed {
+		t.Fatal("crash point not reached")
+	}
+	if !out.RolledBack {
+		t.Error("active log was not rolled back")
+	}
+	if out.Gen != 0 {
+		t.Errorf("recovered generation %d, want 0", out.Gen)
+	}
+}
+
+// TestEmptyActiveLog: crashing right after Begin arms the log leaves zero
+// entries; recovery must be a no-op rollback.
+func TestEmptyActiveLog(t *testing.T) {
+	out, err := CrashAt("txn.begin.armed", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Crashed || !out.RolledBack || out.Gen != 0 {
+		t.Errorf("outcome %+v, want rolled-back generation 0", out)
+	}
+}
+
+// TestMidTransactionCrash: a crash halfway through generation 2's writes
+// must recover to the committed generation 1, never a mix.
+func TestMidTransactionCrash(t *testing.T) {
+	out, err := CrashAt("txn.write.data", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Crashed || !out.RolledBack {
+		t.Fatalf("outcome %+v, want a rollback", out)
+	}
+	if out.Gen != 1 {
+		t.Errorf("recovered generation %d, want 1", out.Gen)
+	}
+}
+
+func TestDoubleRecovery(t *testing.T) {
+	if err := DoubleRecovery(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExhaustedPointReportsNoCrash: asking for an occurrence beyond what
+// the workload produces is reported, not silently treated as success.
+func TestExhaustedPointReportsNoCrash(t *testing.T) {
+	out, err := CrashAt("txn.commit.marker", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashed {
+		t.Error("occurrence 99 of a twice-hit point reported a crash")
+	}
+}

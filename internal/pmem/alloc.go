@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nvref/internal/core"
+	"nvref/internal/fault"
 )
 
 // The persistent allocator. All metadata — the free list and the bump
@@ -19,6 +20,14 @@ import (
 //
 // The free list is kept sorted by offset so adjacent free blocks coalesce
 // on both sides during Free.
+//
+// Store ordering is crash-safe: the fault.Crash calls mark every persist
+// point, and at each one the pool image satisfies Fsck's structural
+// invariants. A crash mid-operation can leak a block (it drops off the
+// free list without becoming live, or stays allocated without an owner)
+// and can leave the header statistics stale — both are benign, detected as
+// warnings, and reclaimed by Repair — but it can never corrupt the free
+// list or make blocks overlap.
 
 // Alloc allocates size bytes in the pool and returns the pool offset of the
 // user data. It is the building block for Pmalloc.
@@ -40,33 +49,46 @@ func (p *Pool) Alloc(size uint64) (uint64, error) {
 		if blockSize >= need {
 			remain := blockSize - need
 			if remain >= blockHeaderSize+allocAlign {
-				// Split: keep the tail on the free list.
+				// Split: keep the tail on the free list. The tail header is
+				// written while still hidden inside cur's extent, then cur
+				// shrinks, then the list swings from cur to the tail.
 				tail := cur + need
 				p.store64(tail, remain)
 				p.store64(tail+8, next)
+				fault.Crash("pmem.alloc.tail-written")
 				p.store64(cur, need)
+				fault.Crash("pmem.alloc.split-resized")
 				p.linkFree(prevOff, tail)
+				fault.Crash("pmem.alloc.split-linked")
 			} else {
 				need = blockSize
 				p.linkFree(prevOff, next)
+				fault.Crash("pmem.alloc.exact-unlinked")
 			}
 			p.store64(cur+8, allocMagic)
+			fault.Crash("pmem.alloc.marked")
 			p.bumpStats(1, int64(need))
+			fault.Crash("pmem.alloc.done")
 			return cur + blockHeaderSize, nil
 		}
 		prevOff, cur = cur, next
 	}
 
-	// Bump allocation from never-used space.
+	// Bump allocation from never-used space. The block header is written
+	// beyond the published bump pointer (invisible to a crash) before the
+	// bump store makes it part of the heap.
 	bump := p.load64(offBumpNext)
 	if bump+need > p.size {
 		return 0, fmt.Errorf("%w: pool %q: need %d bytes, %d free at tail",
 			ErrOutOfMemory, p.name, need, p.size-bump)
 	}
-	p.store64(offBumpNext, bump+need)
 	p.store64(bump, need)
 	p.store64(bump+8, allocMagic)
+	fault.Crash("pmem.alloc.bump-header")
+	p.store64(offBumpNext, bump+need)
+	fault.Crash("pmem.alloc.bump-published")
 	p.bumpStats(1, int64(need))
+	fault.Crash("pmem.alloc.done")
 	return bump + blockHeaderSize, nil
 }
 
@@ -83,7 +105,7 @@ func (p *Pool) Free(userOff uint64) error {
 		return fmt.Errorf("%w: offset %#x is not a live block", ErrBadFree, userOff)
 	}
 	size := p.load64(hdr)
-	p.bumpStats(-1, -int64(size))
+	origSize := size
 
 	// Address-ordered insert so both-side coalescing is possible.
 	prev := uint64(0)
@@ -91,20 +113,33 @@ func (p *Pool) Free(userOff uint64) error {
 	for cur != 0 && cur < hdr {
 		prev, cur = cur, p.load64(cur+8)
 	}
-	// Coalesce with the following free block if adjacent.
+	after := cur
+	// Coalesce with the following free block if adjacent: unlink it first,
+	// so the free list never points into the middle of the grown block.
 	if cur != 0 && hdr+size == cur {
-		size += p.load64(cur)
+		curSize := p.load64(cur)
+		after = p.load64(cur + 8)
+		p.linkFree(prev, after)
+		fault.Crash("pmem.free.next-unlinked")
+		size += curSize
 		p.store64(hdr, size)
-		cur = p.load64(cur + 8)
+		fault.Crash("pmem.free.next-merged")
 	}
-	p.store64(hdr+8, cur)
-	// Coalesce with the preceding free block if adjacent.
+	// Coalesce with the preceding free block if adjacent: a single size
+	// store absorbs the block being freed.
 	if prev != 0 && prev+p.load64(prev) == hdr {
 		p.store64(prev, p.load64(prev)+size)
-		p.store64(prev+8, cur)
+		fault.Crash("pmem.free.prev-merged")
+		p.bumpStats(-1, -int64(origSize))
+		fault.Crash("pmem.free.done")
 		return nil
 	}
+	p.store64(hdr+8, after)
+	fault.Crash("pmem.free.unlinked")
 	p.linkFree(prev, hdr)
+	fault.Crash("pmem.free.linked")
+	p.bumpStats(-1, -int64(origSize))
+	fault.Crash("pmem.free.done")
 	return nil
 }
 

@@ -1,0 +1,191 @@
+package pmem
+
+import (
+	"errors"
+	"testing"
+
+	"nvref/internal/fault"
+	"nvref/internal/mem"
+)
+
+func fsckPool(t *testing.T) (*Registry, *Pool, *mem.AddressSpace) {
+	t.Helper()
+	as := mem.New()
+	reg := NewRegistry(as, NewMemStore())
+	pool, err := reg.Create("fsck", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, pool, as
+}
+
+// churn exercises every allocator path: bump allocation, both-side
+// coalescing, splitting, and exact fit.
+func churn(t *testing.T, pool *Pool) {
+	t.Helper()
+	sizes := []uint64{48, 160, 80, 224, 64, 112}
+	offs := make([]uint64, len(sizes))
+	for i, s := range sizes {
+		off, err := pool.Alloc(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs[i] = off
+	}
+	for _, i := range []int{1, 3, 2} { // free 2 last: coalesce both sides
+		if err := pool.Free(offs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pool.Alloc(32); err != nil { // split the coalesced block
+		t.Fatal(err)
+	}
+}
+
+func TestFsckCleanPool(t *testing.T) {
+	_, pool, _ := fsckPool(t)
+	churn(t, pool)
+	rep := Fsck(pool)
+	if !rep.Clean() {
+		t.Fatalf("fsck of healthy pool: %v", rep.Issues)
+	}
+	if rep.LiveBlocks == 0 || rep.FreeBlocks == 0 {
+		t.Errorf("walk found %d live, %d free blocks", rep.LiveBlocks, rep.FreeBlocks)
+	}
+	if rep.StatsAllocCount != uint64(rep.LiveBlocks) {
+		t.Errorf("stats %d != walked %d", rep.StatsAllocCount, rep.LiveBlocks)
+	}
+}
+
+func TestFsckDetectsCorruptFreeList(t *testing.T) {
+	_, pool, _ := fsckPool(t)
+	off, err := pool.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	// Point the free head into the middle of nowhere.
+	pool.store64(offFreeHead, pool.size-8)
+	rep := Fsck(pool)
+	if rep.Consistent() {
+		t.Fatalf("fsck accepted corrupt free head: %+v", rep)
+	}
+	if _, err := Repair(pool); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Repair of corrupt pool: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFsckDetectsUnparseableHeap(t *testing.T) {
+	_, pool, _ := fsckPool(t)
+	off, err := pool.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := off - blockHeaderSize
+	pool.store64(hdr, 7) // unaligned, too-small block size
+	rep := Fsck(pool)
+	if rep.Consistent() {
+		t.Fatalf("fsck accepted garbage block size: %+v", rep)
+	}
+}
+
+func TestFsckFlagsAndRepairsLeak(t *testing.T) {
+	_, pool, _ := fsckPool(t)
+	keep, err := pool.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leak, err := pool.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-Free: the block dropped its magic but never
+	// reached the free list, and the stats were never decremented.
+	pool.store64(leak-blockHeaderSize+8, 0)
+	rep := Fsck(pool)
+	if !rep.Consistent() {
+		t.Fatalf("leak misreported as corruption: %v", rep.Issues)
+	}
+	if rep.Clean() || rep.LeakedBlocks != 1 {
+		t.Fatalf("leak not found: %+v", rep)
+	}
+	after, err := Repair(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Clean() || after.LeakedBlocks != 0 {
+		t.Fatalf("post-repair report: %+v", after)
+	}
+	if got := pool.AllocCount(); got != uint64(after.LiveBlocks) {
+		t.Errorf("repaired stats = %d, walk = %d", got, after.LiveBlocks)
+	}
+	// The reclaimed space is allocatable again and the kept block intact.
+	if _, err := pool.Alloc(96); err != nil {
+		t.Errorf("alloc after repair: %v", err)
+	}
+	if _, err := pool.BlockSize(keep); err != nil {
+		t.Errorf("kept block damaged: %v", err)
+	}
+}
+
+func TestFsckRepairsStaleStats(t *testing.T) {
+	_, pool, _ := fsckPool(t)
+	if _, err := pool.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	pool.store64(offAllocCount, 99)
+	rep := Fsck(pool)
+	if !rep.Consistent() || rep.Clean() {
+		t.Fatalf("stale stats report: %+v", rep)
+	}
+	after, err := Repair(pool)
+	if err != nil || !after.Clean() {
+		t.Fatalf("repair: %v, %+v", err, after)
+	}
+}
+
+// TestAllocFreeCrashPointsStayConsistent crashes every allocator persist
+// point directly (without the cross-run harness) and checks Fsck at each.
+func TestAllocFreeCrashPointsStayConsistent(t *testing.T) {
+	workload := func(pool *Pool) error {
+		churn(t, pool)
+		return nil
+	}
+
+	// Record the crash points this workload reaches.
+	rec := fault.NewRecorder()
+	_, recPool, _ := fsckPool(t)
+	if crashed, err := fault.Run(rec, func() error { return workload(recPool) }); crashed != nil || err != nil {
+		t.Fatalf("recording run: %v, %v", crashed, err)
+	}
+	counts := rec.Counts()
+	if len(counts) < 6 {
+		t.Fatalf("recorded only %d allocator crash points: %v", len(counts), counts)
+	}
+
+	for _, label := range rec.Labels() {
+		for nth := 1; nth <= counts[label]; nth++ {
+			_, pool, _ := fsckPool(t)
+			crashed, err := fault.Run(fault.NewTrigger(label, nth), func() error { return workload(pool) })
+			if err != nil {
+				t.Fatalf("%s #%d: workload error %v", label, nth, err)
+			}
+			if crashed == nil {
+				t.Fatalf("%s #%d: crash point not reached", label, nth)
+			}
+			rep := Fsck(pool)
+			if !rep.Consistent() {
+				t.Errorf("%s #%d: corruption after crash: %v", label, nth, rep.Errors())
+				continue
+			}
+			if !rep.Clean() {
+				after, err := Repair(pool)
+				if err != nil || !after.Clean() {
+					t.Errorf("%s #%d: repair failed: %v, %+v", label, nth, err, after)
+				}
+			}
+		}
+	}
+}

@@ -14,9 +14,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc64"
 	"sort"
 
 	"nvref/internal/core"
+	"nvref/internal/fault"
 	"nvref/internal/mem"
 )
 
@@ -74,6 +76,34 @@ type Meta struct {
 	ID   uint32
 	Name string
 	Size uint64
+	// Sum is the CRC64 (ECMA) of the image bytes; zero means the checksum
+	// is unknown (images written before checksumming existed) and the
+	// integrity check is skipped on open.
+	Sum uint64
+}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ImageChecksum computes the integrity checksum recorded in Meta.Sum.
+func ImageChecksum(data []byte) uint64 { return crc64.Checksum(data, crcTable) }
+
+// verifyImage validates a loaded image against its metadata: the payload
+// must be exactly Meta.Size bytes (a shorter one is a torn write) and, when
+// a checksum is recorded, match it (a mismatch is a media error such as a
+// bit flip). Either failure is ErrCorrupt: a damaged image is never
+// silently mapped.
+func verifyImage(meta Meta, data []byte) error {
+	if uint64(len(data)) != meta.Size {
+		return fmt.Errorf("%w: %q: image %d bytes, meta says %d",
+			ErrCorrupt, meta.Name, len(data), meta.Size)
+	}
+	if meta.Sum != 0 {
+		if sum := ImageChecksum(data); sum != meta.Sum {
+			return fmt.Errorf("%w: %q: image checksum %#x, meta says %#x",
+				ErrCorrupt, meta.Name, sum, meta.Sum)
+		}
+	}
+	return nil
 }
 
 // Store persists pool images between simulated runs. It models the NVM
@@ -126,6 +156,7 @@ type Registry struct {
 	attached []*Pool // sorted by base, for va2ra lookup
 	nextID   uint32
 	nextBase uint64
+	retry    fault.RetryPolicy
 }
 
 // Option configures a Registry.
@@ -138,6 +169,13 @@ func WithMapBase(base uint64) Option {
 	return func(r *Registry) { r.nextBase = base }
 }
 
+// WithRetryPolicy overrides how the registry retries transient store faults
+// (fault.ErrTransient) on its snapshot and open paths. The default is
+// fault.DefaultRetry.
+func WithRetryPolicy(p fault.RetryPolicy) Option {
+	return func(r *Registry) { r.retry = p }
+}
+
 // NewRegistry creates a pool registry over the given address space, backed
 // by store. A nil store disables persistence (pools live only in-process).
 func NewRegistry(as *mem.AddressSpace, store Store, opts ...Option) *Registry {
@@ -148,6 +186,7 @@ func NewRegistry(as *mem.AddressSpace, store Store, opts ...Option) *Registry {
 		byName:   make(map[string]*Pool),
 		nextID:   1,
 		nextBase: mem.NVMBase + 16*mem.PageSize,
+		retry:    fault.DefaultRetry,
 	}
 	for _, o := range opts {
 		o(r)
@@ -198,12 +237,9 @@ func (r *Registry) Open(name string) (*Pool, error) {
 	if r.store == nil {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchPool, name)
 	}
-	meta, data, err := r.store.Load(name)
+	meta, data, err := r.loadImage(name)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %q: %v", ErrNoSuchPool, name, err)
-	}
-	if uint64(len(data)) != meta.Size {
-		return nil, fmt.Errorf("%w: image size %d != meta size %d", ErrCorrupt, len(data), meta.Size)
+		return nil, err
 	}
 	p := &Pool{reg: r, id: meta.ID, name: name, size: meta.Size}
 	if err := r.mapPool(p); err != nil {
@@ -222,7 +258,36 @@ func (r *Registry) Open(name string) (*Pool, error) {
 	return p, nil
 }
 
-// Checkpoint durably saves the pool's current contents to the store.
+// loadImage fetches and validates a pool image, retrying transient store
+// faults per the registry's retry policy. Corruption is reported as
+// ErrCorrupt; every other load failure as ErrNoSuchPool.
+func (r *Registry) loadImage(name string) (Meta, []byte, error) {
+	var meta Meta
+	var data []byte
+	err := r.retry.Retry(func() error {
+		m, d, e := r.store.Load(name)
+		if e != nil {
+			return e
+		}
+		meta, data = m, d
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			return Meta{}, nil, err // store errors already name the pool
+		}
+		return Meta{}, nil, fmt.Errorf("%w: %q: %v", ErrNoSuchPool, name, err)
+	}
+	if err := verifyImage(meta, data); err != nil {
+		return Meta{}, nil, err
+	}
+	return meta, data, nil
+}
+
+// Checkpoint durably saves the pool's current contents to the store,
+// retrying transient store faults per the registry's retry policy. The
+// saved metadata records the image checksum so later opens detect torn or
+// bit-flipped images.
 func (r *Registry) Checkpoint(p *Pool) error {
 	if r.store == nil {
 		return nil
@@ -234,7 +299,8 @@ func (r *Registry) Checkpoint(p *Pool) error {
 	if err != nil {
 		return err
 	}
-	return r.store.Save(Meta{ID: p.id, Name: p.name, Size: p.size}, data)
+	meta := Meta{ID: p.id, Name: p.name, Size: p.size, Sum: ImageChecksum(data)}
+	return r.retry.Retry(func() error { return r.store.Save(meta, data) })
 }
 
 // Close checkpoints the pool and removes it from the process: the mapping
@@ -280,9 +346,9 @@ func (r *Registry) Attach(p *Pool) error {
 func (r *Registry) reattach(p *Pool) error {
 	var data []byte
 	if r.store != nil {
-		_, d, err := r.store.Load(p.name)
+		_, d, err := r.loadImage(p.name)
 		if err != nil {
-			return fmt.Errorf("%w: %q: %v", ErrNoSuchPool, p.name, err)
+			return err
 		}
 		data = d
 	}

@@ -71,14 +71,19 @@ func (s *MemStore) Delete(name string) error {
 var _ Store = (*MemStore)(nil)
 
 // DirStore persists pool images as files in a directory, one file per pool.
-// Image format: an 8-byte magic, the 4-byte pool ID, the 8-byte size, the
-// length-prefixed name, then the raw pool bytes.
+// Image format (version 2): an 8-byte magic, the 4-byte pool ID, the 8-byte
+// size, the 8-byte CRC64 image checksum, the length-prefixed name, then the
+// raw pool bytes. Version-1 files (no checksum field) are still read; their
+// Meta.Sum is zero, which skips the integrity check.
 type DirStore struct {
 	dir string
 }
 
-const fileMagic = "NVREFPL1"
-const fileExt = ".pool"
+const (
+	fileMagicV1 = "NVREFPL1"
+	fileMagicV2 = "NVREFPL2"
+	fileExt     = ".pool"
+)
 
 // NewDirStore returns a store rooted at dir, creating it if needed.
 func NewDirStore(dir string) (*DirStore, error) {
@@ -94,20 +99,61 @@ func (s *DirStore) path(name string) string {
 	return filepath.Join(s.dir, safe+fileExt)
 }
 
-// Save implements Store.
+// Save implements Store. The image is written to a temporary file which is
+// fsynced before being renamed over the target, and the directory is
+// fsynced after the rename: without both syncs a host crash could leave a
+// truncated image (or no directory entry at all) behind the atomic-rename
+// promise.
 func (s *DirStore) Save(meta Meta, data []byte) error {
-	buf := make([]byte, 0, len(fileMagic)+4+8+4+len(meta.Name)+len(data))
-	buf = append(buf, fileMagic...)
+	buf := make([]byte, 0, len(fileMagicV2)+4+8+8+4+len(meta.Name)+len(data))
+	buf = append(buf, fileMagicV2...)
 	buf = binary.LittleEndian.AppendUint32(buf, meta.ID)
 	buf = binary.LittleEndian.AppendUint64(buf, meta.Size)
+	buf = binary.LittleEndian.AppendUint64(buf, meta.Sum)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta.Name)))
 	buf = append(buf, meta.Name...)
 	buf = append(buf, data...)
+
 	tmp := s.path(meta.Name) + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	if err := writeFileSync(tmp, buf); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, s.path(meta.Name))
+	if err := os.Rename(tmp, s.path(meta.Name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a completed rename survives a host crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Load implements Store.
@@ -119,14 +165,31 @@ func (s *DirStore) Load(name string) (Meta, []byte, error) {
 		}
 		return Meta{}, nil, err
 	}
-	if len(raw) < len(fileMagic)+16 || string(raw[:len(fileMagic)]) != fileMagic {
+	withSum := false
+	switch {
+	case len(raw) >= len(fileMagicV2) && string(raw[:len(fileMagicV2)]) == fileMagicV2:
+		withSum = true
+	case len(raw) >= len(fileMagicV1) && string(raw[:len(fileMagicV1)]) == fileMagicV1:
+	default:
 		return Meta{}, nil, fmt.Errorf("%w: %q: bad file header", ErrCorrupt, name)
 	}
-	p := len(fileMagic)
+	p := len(fileMagicV2)
+	fixed := 4 + 8 + 4
+	if withSum {
+		fixed += 8
+	}
+	if len(raw) < p+fixed {
+		return Meta{}, nil, fmt.Errorf("%w: %q: truncated header", ErrCorrupt, name)
+	}
 	id := binary.LittleEndian.Uint32(raw[p:])
 	p += 4
 	size := binary.LittleEndian.Uint64(raw[p:])
 	p += 8
+	sum := uint64(0)
+	if withSum {
+		sum = binary.LittleEndian.Uint64(raw[p:])
+		p += 8
+	}
 	nameLen := int(binary.LittleEndian.Uint32(raw[p:]))
 	p += 4
 	if p+nameLen > len(raw) {
@@ -139,7 +202,7 @@ func (s *DirStore) Load(name string) (Meta, []byte, error) {
 		return Meta{}, nil, fmt.Errorf("%w: %q: image %d bytes, header says %d",
 			ErrCorrupt, name, len(data), size)
 	}
-	return Meta{ID: id, Name: storedName, Size: size}, data, nil
+	return Meta{ID: id, Name: storedName, Size: size, Sum: sum}, data, nil
 }
 
 // List implements Store.

@@ -6,6 +6,7 @@ import (
 
 	"nvref/internal/core"
 	"nvref/internal/cpu"
+	"nvref/internal/fault"
 	"nvref/internal/hw"
 	"nvref/internal/mem"
 	"nvref/internal/pmem"
@@ -100,6 +101,9 @@ type Context struct {
 
 	// trace, when non-nil, receives one line per reference operation.
 	trace io.Writer
+
+	// policy is the fault-handling policy; see SetPolicy.
+	policy fault.Policy
 }
 
 // Config parameterizes a Context.
@@ -112,6 +116,9 @@ type Config struct {
 	CPUConfig *cpu.Config
 	// PoolMapBase, when nonzero, places the first pool at this address.
 	PoolMapBase uint64
+	// Policy selects strict or permissive handling of storeP faults
+	// across the HW and SW layers; the zero value is fault.Permissive.
+	Policy fault.Policy
 }
 
 // New builds a Context for the given mode with a default pool.
@@ -148,6 +155,7 @@ func New(cfg Config) (*Context, error) {
 		heap: heap,
 	}
 	c.StoreP = hw.NewStorePUnit(c.MMU)
+	c.SetPolicy(cfg.Policy)
 
 	// Reopen the pool from a previous run when the store already has it —
 	// mapped at whatever base this run's registry chooses — otherwise

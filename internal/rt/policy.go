@@ -1,0 +1,20 @@
+package rt
+
+import "nvref/internal/fault"
+
+// SetPolicy applies a fault-handling policy uniformly to every layer that
+// can detect a non-relocatable pointer reaching persistent memory (the
+// storeP fault of Table I): the HW storeP unit and the SW runtime
+// environment. Under fault.Strict both layers fault when asked to store an
+// NVM virtual address that no attached pool can convert to relative form;
+// under fault.Permissive the address is stored unchanged and the damage is
+// left for pmem.VerifyRelocatable / pmem.Fsck to find.
+func (c *Context) SetPolicy(p fault.Policy) {
+	c.policy = p
+	strict := p == fault.Strict
+	c.StoreP.Strict = strict
+	c.Env.Strict = strict
+}
+
+// Policy returns the active fault-handling policy.
+func (c *Context) Policy() fault.Policy { return c.policy }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"nvref/internal/fault"
 	"nvref/internal/mem"
 	"nvref/internal/pmem"
 )
@@ -99,13 +100,18 @@ func (m *Manager) load(rel uint64) uint64 {
 	return v
 }
 
-// Begin opens a transaction.
+// Begin opens a transaction. The fault.Crash calls (here and below) mark
+// the log's persist points for the crash-consistency harness: at every one
+// of them, a crash followed by Attach recovery leaves the pool with either
+// the complete transaction or none of it.
 func (m *Manager) Begin() error {
 	if m.active {
 		return ErrActive
 	}
 	m.store(offLCount, 0)
+	fault.Crash("txn.begin.count-reset")
 	m.store(offLState, stateActive)
+	fault.Crash("txn.begin.armed")
 	m.active = true
 	return nil
 }
@@ -126,9 +132,16 @@ func (m *Manager) WriteWord(poolOff uint64, v uint64) error {
 	}
 	ent := offLEntry0 + count*entrySize
 	m.store(ent, poolOff)
+	fault.Crash("txn.write.entry-offset")
 	m.store(ent+8, old)
+	fault.Crash("txn.write.entry-old")
 	m.store(offLCount, count+1) // log persisted before the data write
-	return m.as.Store64(m.pool.Base()+poolOff, v)
+	fault.Crash("txn.write.published")
+	if err := m.as.Store64(m.pool.Base()+poolOff, v); err != nil {
+		return err
+	}
+	fault.Crash("txn.write.data")
+	return nil
 }
 
 // Commit makes the transaction's writes permanent.
@@ -136,8 +149,10 @@ func (m *Manager) Commit() error {
 	if !m.active {
 		return ErrNotActive
 	}
-	m.store(offLState, stateIdle)
+	m.store(offLState, stateIdle) // the commit marker: rollback disabled
+	fault.Crash("txn.commit.marker")
 	m.store(offLCount, 0)
+	fault.Crash("txn.commit.done")
 	m.active = false
 	return nil
 }
@@ -152,7 +167,10 @@ func (m *Manager) Abort() error {
 	return nil
 }
 
-// rollback undoes logged writes newest-first and idles the log.
+// rollback undoes logged writes newest-first and idles the log. A crash
+// mid-rollback (during Abort or during recovery itself) leaves the log
+// active with its entries intact, so a later recovery re-runs the whole
+// rollback; re-applying old values is idempotent.
 func (m *Manager) rollback() {
 	count := m.load(offLCount)
 	for i := count; i > 0; i-- {
@@ -162,9 +180,12 @@ func (m *Manager) rollback() {
 		if err := m.as.Store64(m.pool.Base()+off, old); err != nil {
 			panic(fmt.Sprintf("txn: rollback store failed: %v", err))
 		}
+		fault.Crash("txn.recover.undo-entry")
 	}
 	m.store(offLState, stateIdle)
+	fault.Crash("txn.recover.marker")
 	m.store(offLCount, 0)
+	fault.Crash("txn.recover.done")
 }
 
 // Active reports whether a transaction is open.

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full verification: build, vet, and the race-enabled test suite — which
+# includes the fault matrix, the crash-point sweep, and the recovery tests.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...

@@ -14,17 +14,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"nvref/internal/bench"
+	"nvref/internal/obs"
 	"nvref/internal/rt"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults")
+		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead")
 	quick := flag.Bool("quick", false, "run the scaled-down workload")
-	format := flag.String("format", "table", "output format: table or csv (fig11, fig13, fig14, fig15, table5, knn, scaling)")
+	format := flag.String("format", "table", "output format: table, csv (fig11, fig13, fig14, fig15, table5, knn, scaling), or json (full measurement document)")
+	httpAddr := flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running (e.g. localhost:9090)")
 	flag.Parse()
 
 	cfg := bench.PaperRunConfig()
@@ -32,17 +35,43 @@ func main() {
 		cfg = bench.QuickRunConfig()
 	}
 
-	if *format == "csv" {
-		if err := runCSV(*experiment, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "nvbench:", err)
-			os.Exit(1)
-		}
-		return
+	if *httpAddr != "" {
+		// Every freshly built context rebinds the live registry, so /metrics
+		// follows the run currently executing.
+		liveReg := obs.NewRegistry()
+		cfg.Observe = func(c *rt.Context) { c.RegisterMetrics(liveReg) }
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, obs.Mux(liveReg)); err != nil {
+				fmt.Fprintln(os.Stderr, "nvbench: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "nvbench: serving metrics on http://%s/metrics\n", *httpAddr)
 	}
-	if err := run(*experiment, cfg); err != nil {
+
+	var err error
+	switch *format {
+	case "csv":
+		err = runCSV(*experiment, cfg)
+	case "json":
+		err = runJSON(cfg)
+	default:
+		err = run(*experiment, cfg)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "nvbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runJSON emits the full measurement document, each run carrying its own
+// schema-versioned metrics snapshot.
+func runJSON(cfg bench.RunConfig) error {
+	cfg.Metrics = true
+	all, err := bench.RunAll(cfg)
+	if err != nil {
+		return err
+	}
+	return bench.WriteJSONReport(os.Stdout, bench.BuildJSONReport(cfg, all))
 }
 
 func run(experiment string, cfg bench.RunConfig) error {
@@ -85,6 +114,14 @@ func run(experiment string, cfg bench.RunConfig) error {
 			func() error { bench.WriteSoundness(out, bench.RunSoundness()); return nil },
 			func() error { return bench.WriteAblations(out, cfg.Spec) },
 			func() error { return faults(out, 1) },
+			func() error {
+				res, err := bench.RunObsOverhead(cfg, 3)
+				if err != nil {
+					return err
+				}
+				bench.WriteObsOverhead(out, res)
+				return nil
+			},
 		} {
 			if err := section(f); err != nil {
 				return err
@@ -128,6 +165,15 @@ func run(experiment string, cfg bench.RunConfig) error {
 	case "faults":
 		// Standalone runs test every occurrence of every persist point.
 		return faults(out, 0)
+	case "obs-overhead":
+		res, err := bench.RunObsOverhead(cfg, 5)
+		if err != nil {
+			return err
+		}
+		bench.WriteObsOverhead(out, res)
+		if !res.Pass() {
+			return fmt.Errorf("obs-overhead acceptance failed")
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}

@@ -10,6 +10,7 @@
 //	nvpool -dir pools info <name>
 //	nvpool -dir pools verify <name>
 //	nvpool -dir pools [-repair] fsck <name>
+//	nvpool -dir pools [-json] stats [name]
 package main
 
 import (
@@ -18,12 +19,14 @@ import (
 	"os"
 
 	"nvref/internal/mem"
+	"nvref/internal/obs"
 	"nvref/internal/pmem"
 )
 
 func main() {
 	dir := flag.String("dir", "pools", "pool store directory")
 	repair := flag.Bool("repair", false, "fsck: repair crash residue and checkpoint the pool back")
+	jsonOut := flag.Bool("json", false, "stats: emit a JSON snapshot instead of Prometheus text")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
@@ -94,9 +97,46 @@ func main() {
 		reg, pool := open(store, flag.Arg(1))
 		fsck(reg, pool, *repair)
 
+	case "stats":
+		if err := stats(store, flag.Arg(1), *jsonOut); err != nil {
+			fail(err)
+		}
+
 	default:
 		usage()
 	}
+}
+
+// stats opens the named pool (or every stored pool when name is empty),
+// runs one fsck scan so finding counters are populated, and emits every
+// registered series as Prometheus text or a JSON snapshot.
+func stats(store pmem.Store, name string, jsonOut bool) error {
+	names := []string{name}
+	if name == "" {
+		var err error
+		names, err = store.List()
+		if err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("no pools in store")
+		}
+	}
+	reg := pmem.NewRegistry(mem.New(), store)
+	metrics := obs.NewRegistry()
+	reg.RegisterMetrics(metrics)
+	for _, n := range names {
+		pool, err := reg.Open(n)
+		if err != nil {
+			return err
+		}
+		pmem.RegisterPoolMetrics(metrics, pool)
+		pmem.Fsck(pool)
+	}
+	if jsonOut {
+		return metrics.Snapshot().WriteJSON(os.Stdout)
+	}
+	return obs.WritePrometheus(os.Stdout, metrics.Snapshot())
 }
 
 // fsck checks (and with repair, fixes) the pool's allocator structures and
@@ -157,7 +197,7 @@ func requireName() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: nvpool [-dir d] [-repair] list | info <name> | verify <name> | fsck <name>")
+	fmt.Fprintln(os.Stderr, "usage: nvpool [-dir d] [-repair] [-json] list | info <name> | verify <name> | fsck <name> | stats [name]")
 	os.Exit(2)
 }
 

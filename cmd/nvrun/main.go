@@ -6,6 +6,7 @@
 //
 //	nvrun -mode hw prog.c
 //	nvrun -mode sw -stats prog.c
+//	nvrun -mode hw -trace-out run.jsonl prog.c
 //	nvrun -verify prog.c          # run under all four models and compare
 //	nvrun -infer prog.c           # show the pointer-property inference report
 package main
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"nvref/internal/minc"
+	"nvref/internal/obs"
 	"nvref/internal/rt"
 )
 
@@ -27,10 +29,11 @@ func main() {
 	infer := flag.Bool("infer", false, "print the inference report instead of running")
 	dump := flag.Bool("dump", false, "print the typed, inference-annotated program instead of running")
 	trace := flag.Bool("trace", false, "emit one line per reference operation to stderr while running")
+	traceOut := flag.String("trace-out", "", "write the structured event trace as JSONL to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: nvrun [-mode m] [-stats] [-trace] [-verify] [-infer] [-dump] prog.c")
+		fmt.Fprintln(os.Stderr, "usage: nvrun [-mode m] [-stats] [-trace] [-trace-out f] [-verify] [-infer] [-dump] prog.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -81,8 +84,30 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Text trace and JSONL trace share one tracer, so both views carry the
+	// same events in the same order.
+	var sinks []func(obs.Event)
 	if *trace {
-		ctx.SetTrace(os.Stderr)
+		sinks = append(sinks, func(e obs.Event) { fmt.Fprintln(os.Stderr, rt.FormatEvent(e)) })
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		sinks = append(sinks, obs.JSONLSink(f, func(err error) {
+			fmt.Fprintln(os.Stderr, "nvrun: trace-out:", err)
+		}))
+	}
+	if len(sinks) > 0 {
+		tr := obs.NewTracer(obs.DefaultTraceCapacity)
+		tr.SetSink(func(e obs.Event) {
+			for _, s := range sinks {
+				s(e)
+			}
+		})
+		ctx.SetTracer(tr)
 	}
 	machine, err := minc.NewMachine(prog, ctx)
 	if err != nil {
@@ -101,6 +126,11 @@ func main() {
 			ctx.Stats.SWCheckBranches, ctx.Stats.StorePOps,
 			ctx.MMU.POLB.Stats.Accesses(), ctx.MMU.VALB.Stats.Accesses(),
 			ctx.Env.Stats.AbsToRel, ctx.Env.Stats.RelToAbs)
+		// HitRate is 0 (not NaN) for untouched buffers, so these stay
+		// numeric under every mode.
+		fmt.Printf("hit rates: POLB=%.1f%% VALB=%.1f%% L1=%.1f%% TLB=%.1f%%\n",
+			100*ctx.MMU.POLB.Stats.HitRate(), 100*ctx.MMU.VALB.Stats.HitRate(),
+			100*s.L1.HitRate(), 100*s.TLB.HitRate())
 	}
 	os.Exit(int(res.Exit) & 0x7f)
 }

@@ -13,6 +13,7 @@ import (
 	"nvref/internal/core"
 	"nvref/internal/cpu"
 	"nvref/internal/kvstore"
+	"nvref/internal/obs"
 	"nvref/internal/rt"
 	"nvref/internal/structures"
 	"nvref/internal/ycsb"
@@ -30,6 +31,14 @@ type RunConfig struct {
 	// Tune, when non-nil, adjusts the freshly built context before the
 	// workload runs (for sensitivity sweeps over hardware parameters).
 	Tune func(*rt.Context)
+	// Observe, when non-nil, runs after Tune on every freshly built context.
+	// It is the observability hook — register the context on a live metrics
+	// registry here — kept separate from Tune so experiments that set their
+	// own Tune do not silently drop it.
+	Observe func(*rt.Context)
+	// Metrics, when true, attaches a per-run obs registry to each context
+	// and stores its end-of-run snapshot in Measurement.Metrics.
+	Metrics bool
 }
 
 // PaperRunConfig reproduces the Section VII-A setup: YCSB workload with
@@ -71,6 +80,11 @@ type Measurement struct {
 	Env            core.Stats
 
 	Checksum uint64
+
+	// Metrics is the end-of-run observability snapshot, present only when
+	// RunConfig.Metrics was set. Its counters cover the whole run (build
+	// phase included), unlike the measured-phase deltas above.
+	Metrics *obs.Snapshot
 }
 
 // Run executes one benchmark under one mode and collects all metrics from
@@ -82,6 +96,14 @@ func Run(benchmark string, mode rt.Mode, cfg RunConfig) (Measurement, error) {
 	}
 	if cfg.Tune != nil {
 		cfg.Tune(ctx)
+	}
+	if cfg.Observe != nil {
+		cfg.Observe(ctx)
+	}
+	var metricsReg *obs.Registry
+	if cfg.Metrics {
+		metricsReg = obs.NewRegistry()
+		ctx.RegisterMetrics(metricsReg)
 	}
 
 	var result kvstore.Result
@@ -150,6 +172,10 @@ func Run(benchmark string, mode rt.Mode, cfg RunConfig) (Measurement, error) {
 		DynamicChecks: end.env.DynamicChecks - base.env.DynamicChecks,
 		AbsToRel:      end.env.AbsToRel - base.env.AbsToRel,
 		RelToAbs:      end.env.RelToAbs - base.env.RelToAbs,
+	}
+	if metricsReg != nil {
+		snap := metricsReg.Snapshot()
+		m.Metrics = &snap
 	}
 	return m, nil
 }

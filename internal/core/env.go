@@ -32,6 +32,9 @@ func (s *Stats) Add(other Stats) {
 	s.RelToAbs += other.RelToAbs
 }
 
+// Conversions returns the total conversions in both directions.
+func (s Stats) Conversions() uint64 { return s.AbsToRel + s.RelToAbs }
+
 // Env evaluates pointer operations under user-transparent persistent
 // reference semantics (the paper's Figure 4 table). It performs the runtime
 // checks, invokes the Translator where a conversion is required, and counts

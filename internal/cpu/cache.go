@@ -26,6 +26,18 @@ type CacheStats struct {
 	Misses uint64
 }
 
+// Accesses returns total lookups.
+func (s CacheStats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns Hits/Accesses, and 0 (not NaN) for an untouched cache so
+// formatted reports stay numeric.
+func (s CacheStats) HitRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Hits) / float64(a)
+	}
+	return 0
+}
+
 // cache is one level of set-associative cache with true-LRU replacement.
 type cache struct {
 	cfg   CacheConfig

@@ -90,6 +90,18 @@ type TLBStats struct {
 	Walks  uint64
 }
 
+// Accesses returns total translations.
+func (s TLBStats) Accesses() uint64 { return s.L1Hits + s.L2Hits + s.Walks }
+
+// HitRate returns the fraction of translations served without a page walk,
+// and 0 (not NaN) when no translations happened.
+func (s TLBStats) HitRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.L1Hits+s.L2Hits) / float64(a)
+	}
+	return 0
+}
+
 // CPU is the single-core timing model.
 type CPU struct {
 	cfg   Config

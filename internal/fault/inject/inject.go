@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"nvref/internal/fault"
+	"nvref/internal/obs"
 	"nvref/internal/pmem"
 )
 
@@ -127,6 +128,34 @@ func (s *Store) Load(name string) (pmem.Meta, []byte, error) {
 		fault.FlipBit(data, s.rng)
 	}
 	return meta, data, nil
+}
+
+// CountsByClass tallies the fired faults per class.
+func (s *Store) CountsByClass() map[fault.Class]uint64 {
+	out := make(map[fault.Class]uint64)
+	for _, e := range s.Events {
+		out[e.Fault.Class]++
+	}
+	return out
+}
+
+// RegisterMetrics binds per-class fired-fault counters into reg, one series
+// per fault class so injections are attributable in exported snapshots.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	for _, class := range []fault.Class{fault.Transient, fault.Torn, fault.BitFlip, fault.Stale} {
+		class := class
+		reg.CounterFunc("inject_faults_fired_total_"+obs.SanitizeName(class.String()),
+			"injected "+class.String()+" faults that fired",
+			func() uint64 {
+				var n uint64
+				for _, e := range s.Events {
+					if e.Fault.Class == class {
+						n++
+					}
+				}
+				return n
+			})
+	}
 }
 
 // List implements pmem.Store.

@@ -16,6 +16,15 @@ type BufferStats struct {
 // Accesses returns total lookups.
 func (s BufferStats) Accesses() uint64 { return s.Hits + s.Misses }
 
+// HitRate returns Hits/Accesses, and 0 (not NaN) for an untouched buffer so
+// formatted reports stay numeric.
+func (s BufferStats) HitRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Hits) / float64(a)
+	}
+	return 0
+}
+
 // lruBuffer is a tiny fully-associative cache with LRU ordering. The slice
 // front is the most recently used entry.
 type lruBuffer[K comparable, V any] struct {

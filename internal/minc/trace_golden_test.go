@@ -1,0 +1,153 @@
+package minc
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvref/internal/obs"
+	"nvref/internal/rt"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenTraceProg exercises every traced operation kind: persistent
+// allocation, pointer stores/loads in both heaps, data access through a
+// persistent pointer, and free. It is fixed — the simulator is
+// deterministic, so its event sequence is too.
+const goldenTraceProg = `
+int main() {
+  int *p = pmalloc(16);
+  int *q = pmalloc(16);
+  *p = 7;
+  *q = *p + 35;
+  p = q;
+  print(*p);
+  pfree(q);
+  return 0;
+}
+`
+
+// runGoldenTrace executes the fixed program under HW with a capturing
+// tracer and returns the structured events alongside the text rendering
+// the sink produced, line per event.
+func runGoldenTrace(t *testing.T) ([]obs.Event, string) {
+	t.Helper()
+	prog, _, err := Compile(goldenTraceProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := rt.New(rt.Config{Mode: rt.HW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	tr := obs.NewTracer(obs.DefaultTraceCapacity)
+	tr.SetSink(func(e obs.Event) {
+		text.WriteString(rt.FormatEvent(e))
+		text.WriteByte('\n')
+	})
+	ctx.SetTracer(tr)
+	m, err := NewMachine(prog, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit != 0 || len(res.Output) != 1 || res.Output[0] != 42 {
+		t.Fatalf("fixed program changed behaviour: exit=%d output=%v", res.Exit, res.Output)
+	}
+	return tr.Events(), text.String()
+}
+
+// TestTraceGolden pins the structured event sequence of a fixed program:
+// the text the sink renders must match the checked-in golden file, and the
+// compat formatter over the ring-buffered events must reproduce that text
+// exactly — proving the structured trace subsumes the legacy one.
+func TestTraceGolden(t *testing.T) {
+	events, text := runGoldenTrace(t)
+	if len(events) == 0 {
+		t.Fatal("no events traced")
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if text != string(want) {
+		t.Errorf("trace diverged from golden file (run with -update if intended)\n got:\n%s\nwant:\n%s", text, want)
+	}
+
+	// The ring holds the same events the sink saw, in order; re-rendering
+	// them through the compat formatter must give the identical legacy text.
+	var refmt strings.Builder
+	for _, e := range events {
+		refmt.WriteString(rt.FormatEvent(e))
+		refmt.WriteByte('\n')
+	}
+	if refmt.String() != text {
+		t.Errorf("FormatEvent over ring events != sink text\nring:\n%s\nsink:\n%s", refmt.String(), text)
+	}
+}
+
+// TestTraceGoldenKinds asserts the fixed program covers every traced
+// operation kind, so the golden file keeps exercising the full formatter.
+func TestTraceGoldenKinds(t *testing.T) {
+	events, _ := runGoldenTrace(t)
+	seen := map[obs.EventKind]bool{}
+	for _, e := range events {
+		seen[e.Kind] = true
+	}
+	for _, k := range []obs.EventKind{
+		obs.EvLoad, obs.EvStore, obs.EvLoadPtr, obs.EvStorePtr,
+		obs.EvAlloc, obs.EvFree,
+	} {
+		if !seen[k] {
+			t.Errorf("fixed program never produced %q events", k)
+		}
+	}
+}
+
+// TestTraceGoldenJSONLRoundTrip writes the golden events as JSONL, reads
+// them back, and re-renders: byte-identical text both before and after the
+// round trip.
+func TestTraceGoldenJSONLRoundTrip(t *testing.T) {
+	events, text := runGoldenTrace(t)
+
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip: %d events, want %d", len(back), len(events))
+	}
+	var refmt strings.Builder
+	for i, e := range back {
+		if e != events[i] {
+			t.Errorf("event %d changed in round trip:\n got %+v\nwant %+v", i, e, events[i])
+		}
+		refmt.WriteString(rt.FormatEvent(e))
+		refmt.WriteByte('\n')
+	}
+	if refmt.String() != text {
+		t.Error("text rendering changed across JSONL round trip")
+	}
+}

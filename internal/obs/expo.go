@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SchemaVersion identifies the snapshot document layout. Bump it whenever a
+// field changes meaning; trajectory tooling keys on it before reading.
+const SchemaVersion = 1
+
+// Snapshot is a point-in-time export of every registered series.
+type Snapshot struct {
+	Schema int              `json:"schema"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one exported series.
+type SeriesSnapshot struct {
+	Name  string `json:"name"`
+	Type  string `json:"type"` // counter, gauge, histogram
+	Help  string `json:"help,omitempty"`
+	Value int64  `json:"value"` // counter/gauge value; histogram sample count
+
+	// Histogram-only fields.
+	Sum     uint64   `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket. Le is the inclusive upper
+// bound; the +Inf bucket has Inf set instead.
+type Bucket struct {
+	Le    uint64 `json:"le"`
+	Inf   bool   `json:"inf,omitempty"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot captures every series, reading collector functions now. Series
+// are sorted by name so output is stable.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	list := make([]*series, 0, len(r.byName))
+	for _, s := range r.byName {
+		list = append(list, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+
+	snap := Snapshot{Schema: SchemaVersion, Series: make([]SeriesSnapshot, 0, len(list))}
+	for _, s := range list {
+		out := SeriesSnapshot{Name: s.name, Type: s.kind.String(), Help: s.help}
+		switch s.kind {
+		case kindCounter:
+			out.Value = int64(s.counter.Value())
+		case kindGauge:
+			out.Value = s.gauge.Value()
+		case kindCounterFunc:
+			out.Value = int64(s.cfn())
+		case kindGaugeFunc:
+			out.Value = s.gfn()
+		case kindHistogram:
+			h := s.hist
+			out.Value = int64(h.Count())
+			out.Sum = h.Sum()
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				out.Buckets = append(out.Buckets, Bucket{Le: b, Count: cum})
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			out.Buckets = append(out.Buckets, Bucket{Inf: true, Count: cum})
+		}
+		snap.Series = append(snap.Series, out)
+	}
+	return snap
+}
+
+// Find returns the named series from the snapshot.
+func (s Snapshot) Find(name string) (SeriesSnapshot, bool) {
+	for _, ser := range s.Series {
+		if ser.Name == name {
+			return ser, true
+		}
+	}
+	return SeriesSnapshot{}, false
+}
+
+// Value returns the named series' value, or 0 when absent (missing series
+// read as never-incremented counters, which is what comparisons want).
+func (s Snapshot) Value(name string) int64 {
+	ser, ok := s.Find(name)
+	if !ok {
+		return 0
+	}
+	return ser.Value
+}
+
+// WriteJSON writes the snapshot as one indented JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SanitizeName maps an arbitrary label (a site name, a pool name) onto the
+// metric-name alphabet [a-zA-Z0-9_:], replacing every other rune with '_',
+// so dynamically derived series are always legal exposition output.
+func SanitizeName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4: HELP/TYPE comments followed by samples).
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, ser := range s.Series {
+		if ser.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", ser.Name, ser.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", ser.Name, ser.Type); err != nil {
+			return err
+		}
+		if ser.Type == "histogram" {
+			for _, b := range ser.Buckets {
+				le := fmt.Sprintf("%d", b.Le)
+				if b.Inf {
+					le = "+Inf"
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", ser.Name, le, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", ser.Name, ser.Sum, ser.Name, ser.Value); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", ser.Name, ser.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

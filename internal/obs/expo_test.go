@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func sampleRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("rt_pointer_loads_total", "pointer loads").Add(12)
+	r.Gauge("storep_occupancy", "FSM entries in flight").Set(3)
+	r.Histogram("walk_cycles", "VAW walk cycles", []uint64{8, 32}).Observe(30)
+	r.CounterFunc("core_dynamic_checks_total", "determineX/Y checks", func() uint64 { return 99 })
+	return r
+}
+
+func TestSnapshotStableAndVersioned(t *testing.T) {
+	snap := sampleRegistry().Snapshot()
+	if snap.Schema != SchemaVersion {
+		t.Errorf("schema = %d, want %d", snap.Schema, SchemaVersion)
+	}
+	for i := 1; i < len(snap.Series); i++ {
+		if snap.Series[i-1].Name >= snap.Series[i].Name {
+			t.Error("series not sorted by name")
+		}
+	}
+	if snap.Value("rt_pointer_loads_total") != 12 {
+		t.Error("counter value wrong")
+	}
+	if snap.Value("core_dynamic_checks_total") != 99 {
+		t.Error("collector value wrong")
+	}
+	if snap.Value("no_such_series") != 0 {
+		t.Error("missing series should read 0")
+	}
+	if _, ok := snap.Find("storep_occupancy"); !ok {
+		t.Error("gauge missing")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleRegistry().Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || len(got.Series) != 4 {
+		t.Errorf("round trip: schema=%d series=%d", got.Schema, len(got.Series))
+	}
+	h, ok := got.Find("walk_cycles")
+	if !ok || h.Type != "histogram" || h.Sum != 30 || len(h.Buckets) != 3 {
+		t.Errorf("histogram round trip broken: %+v", h)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, sampleRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP rt_pointer_loads_total pointer loads",
+		"# TYPE rt_pointer_loads_total counter",
+		"rt_pointer_loads_total 12",
+		"# TYPE storep_occupancy gauge",
+		"storep_occupancy 3",
+		"# TYPE core_dynamic_checks_total counter",
+		"core_dynamic_checks_total 99",
+		"# TYPE walk_cycles histogram",
+		`walk_cycles_bucket{le="8"} 0`,
+		`walk_cycles_bucket{le="32"} 1`,
+		`walk_cycles_bucket{le="+Inf"} 1`,
+		"walk_cycles_sum 30",
+		"walk_cycles_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	reg := sampleRegistry()
+	mux := Mux(reg)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "rt_pointer_loads_total 12") {
+		t.Errorf("/metrics: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if snap.Value("rt_pointer_loads_total") != 12 {
+		t.Error("/metrics.json value wrong")
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 200 {
+		t.Errorf("/debug/pprof/cmdline code = %d", rec.Code)
+	}
+}

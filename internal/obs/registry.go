@@ -1,0 +1,260 @@
+// Package obs is the unified observability plane of the reproduction: a
+// zero-dependency (standard library only) metrics registry and structured
+// event tracer shared by the runtime, hardware model, pool, transaction,
+// and fault layers.
+//
+// The registry holds three instrument kinds — monotonic counters, gauges,
+// and fixed-bucket histograms — plus pull-style collector series
+// (CounterFunc/GaugeFunc) that read a live stat struct only at snapshot
+// time. Instruments are atomic and allocation-free on the hot path, and
+// every mutating method is a no-op when the owning registry is disabled or
+// the instrument pointer is nil, so instrumented code needs no guards.
+//
+// Snapshots export through three sinks: Prometheus-style text exposition,
+// a schema-versioned JSON document, and (for traces) JSONL event streams.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabledAlways backs instruments created outside a registry; it reads true
+// forever so the nil-safe fast path stays branch-predictable.
+var enabledAlways = func() *atomic.Bool {
+	b := new(atomic.Bool)
+	b.Store(true)
+	return b
+}()
+
+// Counter is a monotonically increasing series.
+type Counter struct {
+	v  atomic.Uint64
+	on *atomic.Bool
+}
+
+// Inc adds one. Safe on a nil receiver and free when the registry is
+// disabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add accumulates n.
+func (c *Counter) Add(n uint64) {
+	if c == nil || !c.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a series that can move in both directions.
+type Gauge struct {
+	v  atomic.Int64
+	on *atomic.Bool
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Bounds are inclusive
+// upper edges in ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64
+	count  atomic.Uint64
+	on     *atomic.Bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observed samples (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed samples (0 on nil).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// seriesKind discriminates registered series.
+type seriesKind uint8
+
+const (
+	kindCounter seriesKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k seriesKind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// series is one registered name.
+type series struct {
+	name string
+	help string
+	kind seriesKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cfn     func() uint64
+	gfn     func() int64
+}
+
+// Registry is a named collection of series. The zero value is not usable;
+// construct with NewRegistry. Registration is idempotent by name: asking
+// for an existing name returns the existing instrument (a kind mismatch
+// panics — it is a programming error, like registering two Prometheus
+// collectors under one name).
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*series
+	enabled atomic.Bool
+}
+
+// NewRegistry returns an enabled, empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{byName: make(map[string]*series)}
+	r.enabled.Store(true)
+	return r
+}
+
+// SetEnabled turns all of the registry's write paths on or off. Disabled
+// instruments cost one atomic load per call.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether the registry accepts writes.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+func (r *Registry) register(name, help string, kind seriesKind) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byName[name]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: series %q re-registered as %s (was %s)", name, kind, s.kind))
+		}
+		return s
+	}
+	s := &series{name: name, help: help, kind: kind}
+	r.byName[name] = s
+	return s
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	s := r.register(name, help, kindCounter)
+	if s.counter == nil {
+		s.counter = &Counter{on: &r.enabled}
+	}
+	return s.counter
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	s := r.register(name, help, kindGauge)
+	if s.gauge == nil {
+		s.gauge = &Gauge{on: &r.enabled}
+	}
+	return s.gauge
+}
+
+// Histogram returns the named histogram, creating it on first use with the
+// given inclusive upper bucket bounds (ascending; +Inf added implicitly).
+func (r *Registry) Histogram(name, help string, bounds []uint64) *Histogram {
+	s := r.register(name, help, kindHistogram)
+	if s.hist == nil {
+		b := make([]uint64, len(bounds))
+		copy(b, bounds)
+		s.hist = &Histogram{
+			bounds: b,
+			counts: make([]atomic.Uint64, len(b)+1),
+			on:     &r.enabled,
+		}
+	}
+	return s.hist
+}
+
+// CounterFunc registers a pull-style counter whose value is read from fn at
+// snapshot time. It is the zero-hot-path-cost way to export an existing
+// stats struct: the instrumented code keeps its plain field increments and
+// the registry samples them on demand. Re-registering a name replaces fn
+// (collectors are rebound when a fresh Context reuses a registry).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	s := r.register(name, help, kindCounterFunc)
+	s.cfn = fn
+}
+
+// GaugeFunc registers a pull-style gauge read from fn at snapshot time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	s := r.register(name, help, kindGaugeFunc)
+	s.gfn = fn
+}
+
+// Names returns the registered series names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+
+	// Idempotent registration returns the same instrument.
+	if r.Counter("ops_total", "ops") != c {
+		t.Error("re-registering a counter returned a different instrument")
+	}
+	if r.Gauge("depth", "queue depth") != g {
+		t.Error("re-registering a gauge returned a different instrument")
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(9)
+	tr.Emit(Event{})
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments should read zero")
+	}
+	if tr.Events() != nil || tr.Len() != 0 || tr.Emitted() != 0 {
+		t.Error("nil tracer should read empty")
+	}
+}
+
+func TestDisabledRegistryDropsWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []uint64{10})
+	r.SetEnabled(false)
+	if r.Enabled() {
+		t.Fatal("registry still enabled")
+	}
+	c.Inc()
+	g.Set(5)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("disabled registry accepted writes")
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Error("re-enabled registry dropped a write")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "cycles", []uint64{1, 10, 100})
+	for _, v := range []uint64{0, 1, 2, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 1124 {
+		t.Errorf("sum = %d, want 1124", h.Sum())
+	}
+	snap, ok := r.Snapshot().Find("lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// Cumulative counts: <=1: 2, <=10: 4, <=100: 6, +Inf: 7.
+	want := []uint64{2, 4, 6, 7}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("buckets = %d, want %d", len(snap.Buckets), len(want))
+	}
+	for i, b := range snap.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if !snap.Buckets[3].Inf {
+		t.Error("last bucket not +Inf")
+	}
+}
+
+func TestCollectorFuncsReadLive(t *testing.T) {
+	r := NewRegistry()
+	v := uint64(0)
+	r.CounterFunc("live_total", "live", func() uint64 { return v })
+	r.GaugeFunc("live_gauge", "live", func() int64 { return int64(v) * 2 })
+	if got := r.Snapshot().Value("live_total"); got != 0 {
+		t.Errorf("collector = %d, want 0", got)
+	}
+	v = 42
+	snap := r.Snapshot()
+	if got := snap.Value("live_total"); got != 42 {
+		t.Errorf("collector = %d, want 42", got)
+	}
+	if got := snap.Value("live_gauge"); got != 84 {
+		t.Errorf("gauge collector = %d, want 84", got)
+	}
+	// Rebinding replaces the function.
+	r.CounterFunc("live_total", "live", func() uint64 { return 7 })
+	if got := r.Snapshot().Value("live_total"); got != 7 {
+		t.Errorf("rebound collector = %d, want 7", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta", "")
+	r.Counter("alpha", "")
+	r.Gauge("mid", "")
+	names := r.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}

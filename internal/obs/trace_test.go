@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerRingOrderAndWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Emit(Event{Cycle: uint64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.Cycle != uint64(i+2) {
+			t.Errorf("event %d cycle = %d, want %d", i, e.Cycle, i+2)
+		}
+		if e.Seq != uint64(i+3) {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, i+3)
+		}
+	}
+	if tr.Len() != 4 || tr.Emitted() != 6 {
+		t.Errorf("Len=%d Emitted=%d, want 4, 6", tr.Len(), tr.Emitted())
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Emitted() != 0 {
+		t.Error("reset did not clear the tracer")
+	}
+}
+
+func TestTracerSinkSeesOrderedEvents(t *testing.T) {
+	tr := NewTracer(8)
+	var got []uint64
+	tr.SetSink(func(e Event) { got = append(got, e.Seq) })
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{})
+	}
+	for i, s := range got {
+		if s != uint64(i+1) {
+			t.Fatalf("sink order broken: %v", got)
+		}
+	}
+	tr.SetSink(nil)
+	tr.Emit(Event{})
+	if len(got) != 5 {
+		t.Error("detached sink still invoked")
+	}
+}
+
+// TestTracerConcurrentEmit is the regression test for the old interleaved
+// text trace: concurrent emitters through one tracer must produce whole,
+// ordered records. Run with -race.
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(1 << 12)
+	var buf bytes.Buffer
+	tr.SetSink(func(e Event) {
+		// Emulate the multi-write formatting the old tracef did.
+		buf.WriteString("[")
+		buf.WriteString(e.Mode)
+		buf.WriteString("] ")
+		buf.WriteString(e.Kind.String())
+		buf.WriteString("\n")
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Emit(Event{Mode: "HW", Kind: EvLoad})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("%d lines, want 800", len(lines))
+	}
+	for _, l := range lines {
+		if l != "[HW] load" {
+			t.Fatalf("interleaved line %q", l)
+		}
+	}
+	seqs := tr.Events()
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i].Seq != seqs[i-1].Seq+1 {
+			t.Fatal("sequence numbers not contiguous")
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Cycle: 10, Mode: "HW", Kind: EvLoadPtr, P: 0x8000000100000010, Off: 8, Val: 42, Res: 43, Conv: ConvRelToAbs},
+		{Seq: 2, Cycle: 20, Mode: "SW", Kind: EvStorePtr, P: 5, Off: -8, Val: 6, Res: 7, Conv: ConvAbsToRel},
+		{Seq: 3, Cycle: 30, Mode: "Volatile", Kind: EvStore, P: 9, Val: 1, Conv: ConvNone},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(strings.NewReader(buf.String() + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round-trip lost events: %d != %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+	// Kinds and conversions are encoded as names, not numbers.
+	if !strings.Contains(buf.String(), `"kind":"loadPtr"`) || !strings.Contains(buf.String(), `"conv":"va2ra"`) {
+		t.Errorf("JSONL not self-describing:\n%s", buf.String())
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"kind\":\"nope\"}\n")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"conv":"sideways"}` + "\n")); err == nil {
+		t.Error("unknown conversion accepted")
+	}
+}
+
+func TestJSONLSinkStreams(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(2) // smaller than the event count: ring drops, sink keeps all
+	tr.SetSink(JSONLSink(&buf, nil))
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: EvAlloc, Cycle: uint64(i)})
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("sink captured %d events, want 5", len(events))
+	}
+	if tr.Len() != 2 {
+		t.Errorf("ring retained %d, want 2", tr.Len())
+	}
+}
+
+func TestKindAndConversionStrings(t *testing.T) {
+	if EvStorePtr.String() != "storePtr" || EvFree.String() != "free" {
+		t.Error("kind names wrong")
+	}
+	if ConvRelToAbs.String() != "ra2va" || ConvNone.String() != "none" {
+		t.Error("conversion names wrong")
+	}
+	if EventKind(99).String() == "" || Conversion(99).String() == "" {
+		t.Error("out-of-range values should still print")
+	}
+}

@@ -111,7 +111,25 @@ func Fsck(p *Pool) *FsckReport {
 	return rep
 }
 
+// record accumulates the scan's findings into the owning registry's stats.
+func (r *FsckReport) record(reg *Registry) {
+	reg.Stats.FsckRuns++
+	for _, i := range r.Issues {
+		if i.Severity == FsckError {
+			reg.Stats.FsckErrors++
+		} else {
+			reg.Stats.FsckWarns++
+		}
+	}
+}
+
 func fsckScan(p *Pool) (*FsckReport, []fsckBlock) {
+	rep, blocks := fsckWalk(p)
+	rep.record(p.reg)
+	return rep, blocks
+}
+
+func fsckWalk(p *Pool) (*FsckReport, []fsckBlock) {
 	rep := &FsckReport{}
 	if !p.attached {
 		rep.addf(FsckError, 0, "pool %q is detached", p.name)

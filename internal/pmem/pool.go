@@ -144,6 +144,30 @@ func (p *Pool) Base() uint64 { return p.base }
 // Attached reports whether the pool is currently mapped.
 func (p *Pool) Attached() bool { return p.attached }
 
+// RegistryStats counts the pool-lifecycle and store-path events the
+// observability plane exports. Retries and fsck findings are the interesting
+// series: both are zero on a healthy run.
+type RegistryStats struct {
+	Creates     uint64
+	Opens       uint64
+	Checkpoints uint64
+	Detaches    uint64
+	Attaches    uint64
+
+	// StoreRetries counts extra attempts after transient store faults on
+	// the snapshot and open paths (first attempts are not counted).
+	StoreRetries uint64
+
+	BytesSaved  uint64 // image bytes checkpointed to the store
+	BytesLoaded uint64 // image bytes restored from the store
+
+	// Fsck findings, accumulated over every check run against this
+	// registry's pools (Repair's rescans included).
+	FsckRuns   uint64
+	FsckErrors uint64
+	FsckWarns  uint64
+}
+
 // Registry owns the process's pools and implements core.Translator. The
 // pool mapping base is chosen by a bump allocator over the NVM half of the
 // address space; distinct Registry instances (distinct "runs") can start at
@@ -157,6 +181,8 @@ type Registry struct {
 	nextID   uint32
 	nextBase uint64
 	retry    fault.RetryPolicy
+
+	Stats RegistryStats
 }
 
 // Option configures a Registry.
@@ -221,6 +247,7 @@ func (r *Registry) Create(name string, size uint64) (*Pool, error) {
 		return nil, err
 	}
 	r.register(p)
+	r.Stats.Creates++
 	return p, nil
 }
 
@@ -255,7 +282,21 @@ func (r *Registry) Open(name string) (*Pool, error) {
 		r.nextID = meta.ID + 1
 	}
 	r.register(p)
+	r.Stats.Opens++
 	return p, nil
+}
+
+// retryCounted runs op under the registry's retry policy, counting the
+// extra attempts transient faults cost into Stats.StoreRetries.
+func (r *Registry) retryCounted(op func() error) error {
+	first := true
+	return r.retry.Retry(func() error {
+		if !first {
+			r.Stats.StoreRetries++
+		}
+		first = false
+		return op()
+	})
 }
 
 // loadImage fetches and validates a pool image, retrying transient store
@@ -264,7 +305,7 @@ func (r *Registry) Open(name string) (*Pool, error) {
 func (r *Registry) loadImage(name string) (Meta, []byte, error) {
 	var meta Meta
 	var data []byte
-	err := r.retry.Retry(func() error {
+	err := r.retryCounted(func() error {
 		m, d, e := r.store.Load(name)
 		if e != nil {
 			return e
@@ -281,6 +322,7 @@ func (r *Registry) loadImage(name string) (Meta, []byte, error) {
 	if err := verifyImage(meta, data); err != nil {
 		return Meta{}, nil, err
 	}
+	r.Stats.BytesLoaded += uint64(len(data))
 	return meta, data, nil
 }
 
@@ -300,7 +342,12 @@ func (r *Registry) Checkpoint(p *Pool) error {
 		return err
 	}
 	meta := Meta{ID: p.id, Name: p.name, Size: p.size, Sum: ImageChecksum(data)}
-	return r.retry.Retry(func() error { return r.store.Save(meta, data) })
+	if err := r.retryCounted(func() error { return r.store.Save(meta, data) }); err != nil {
+		return err
+	}
+	r.Stats.Checkpoints++
+	r.Stats.BytesSaved += uint64(len(data))
+	return nil
 }
 
 // Close checkpoints the pool and removes it from the process: the mapping
@@ -331,7 +378,11 @@ func (r *Registry) Detach(p *Pool) error {
 			return err
 		}
 	}
-	return r.unmapPool(p)
+	if err := r.unmapPool(p); err != nil {
+		return err
+	}
+	r.Stats.Detaches++
+	return nil
 }
 
 // Attach remaps a detached pool, restoring its checkpointed contents, at a
@@ -359,9 +410,17 @@ func (r *Registry) reattach(p *Pool) error {
 		if err := r.as.Restore(p.base, data); err != nil {
 			return err
 		}
-		return p.checkHeader()
+		if err := p.checkHeader(); err != nil {
+			return err
+		}
+		r.Stats.Attaches++
+		return nil
 	}
-	return p.initHeader()
+	if err := p.initHeader(); err != nil {
+		return err
+	}
+	r.Stats.Attaches++
+	return nil
 }
 
 // Pools returns all registered pools sorted by ID.

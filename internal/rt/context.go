@@ -2,13 +2,13 @@ package rt
 
 import (
 	"fmt"
-	"io"
 
 	"nvref/internal/core"
 	"nvref/internal/cpu"
 	"nvref/internal/fault"
 	"nvref/internal/hw"
 	"nvref/internal/mem"
+	"nvref/internal/obs"
 	"nvref/internal/pmem"
 )
 
@@ -99,8 +99,13 @@ type Context struct {
 	// the bypass predictor it leaves as future work.
 	MMUCriticalPath bool
 
-	// trace, when non-nil, receives one line per reference operation.
-	trace io.Writer
+	// tracer, when non-nil, receives one structured event per reference
+	// operation (see SetTrace / SetTracer).
+	tracer *obs.Tracer
+
+	// siteCounts, when non-nil, counts reference operations per static
+	// site (see EnableSiteCounts).
+	siteCounts map[string]uint64
 
 	// policy is the fault-handling policy; see SetPolicy.
 	policy fault.Policy
@@ -349,10 +354,42 @@ func (c *Context) resolve(site *Site, p core.Ptr, off int64) uint64 {
 	panic("rt: unknown mode")
 }
 
+// EnableSiteCounts turns on per-site operation counting: every reference
+// operation increments a counter keyed by its static site's name. Off by
+// default (the map probe is measurable on the hot path); read the result
+// with SiteCounts or export it with ExportSiteCounts.
+func (c *Context) EnableSiteCounts() {
+	if c.siteCounts == nil {
+		c.siteCounts = make(map[string]uint64)
+	}
+}
+
+// SiteCounts returns a copy of the per-site operation counts (nil when
+// counting was never enabled).
+func (c *Context) SiteCounts() map[string]uint64 {
+	if c.siteCounts == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(c.siteCounts))
+	for k, v := range c.siteCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// countSite records one operation at a static site when counting is on.
+func (c *Context) countSite(site *Site) {
+	if c.siteCounts == nil {
+		return
+	}
+	c.siteCounts[site.Name]++
+}
+
 // LoadWord loads the 64-bit scalar at p+off.
 func (c *Context) LoadWord(site *Site, p core.Ptr, off int64) uint64 {
+	c.countSite(site)
 	va := c.resolve(site, p, off)
-	c.traceAccess("load    ", p, off, va)
+	c.traceAccess(obs.EvLoad, p, off, va)
 	c.CPU.Load(va)
 	v, err := c.AS.Load64(va)
 	if err != nil {
@@ -363,8 +400,9 @@ func (c *Context) LoadWord(site *Site, p core.Ptr, off int64) uint64 {
 
 // StoreWord stores a 64-bit scalar at p+off (the storeD instruction).
 func (c *Context) StoreWord(site *Site, p core.Ptr, off int64, v uint64) {
+	c.countSite(site)
 	va := c.resolve(site, p, off)
-	c.traceAccess("storeD  ", p, off, va)
+	c.traceAccess(obs.EvStore, p, off, va)
 	c.CPU.Store(va)
 	if err := c.AS.Store64(va, v); err != nil {
 		c.fail("StoreWord", err)
@@ -378,6 +416,7 @@ func (c *Context) StoreWord(site *Site, p core.Ptr, off int64, v uint64) {
 // conversion — the effect the paper's Figure 12 credits for beating the
 // explicit model, whose object IDs must be converted at every access.
 func (c *Context) LoadPtr(site *Site, p core.Ptr, off int64) core.Ptr {
+	c.countSite(site)
 	c.Stats.PointerLoads++
 	va := c.resolve(site, p, off)
 	c.CPU.Load(va)
@@ -437,6 +476,7 @@ func (c *Context) loadPtrLocal(site *Site, loaded core.Ptr) core.Ptr {
 // routine; Explicit stores the object ID unchanged; Volatile stores the
 // virtual address.
 func (c *Context) StorePtr(site *Site, p core.Ptr, off int64, q core.Ptr) {
+	c.countSite(site)
 	c.Stats.PointerStores++
 	switch c.Mode {
 	case Volatile, Explicit:
@@ -501,6 +541,7 @@ func (c *Context) StorePtr(site *Site, p core.Ptr, off int64, q core.Ptr) {
 
 // PtrEq compares two references for equality under the mode's semantics.
 func (c *Context) PtrEq(site *Site, p, q core.Ptr) bool {
+	c.countSite(site)
 	c.CPU.Exec(1)
 	switch c.Mode {
 	case Volatile, Explicit:
@@ -550,6 +591,7 @@ func (c *Context) hwEqual(p, q core.Ptr) (bool, error) {
 // PtrLess orders two references under the mode's semantics (the
 // relational rows of Figure 4).
 func (c *Context) PtrLess(site *Site, p, q core.Ptr) bool {
+	c.countSite(site)
 	c.CPU.Exec(1)
 	switch c.Mode {
 	case Volatile, Explicit:
@@ -588,6 +630,7 @@ func (c *Context) PtrLess(site *Site, p, q core.Ptr) bool {
 // yields its current virtual address; the explicit model's integer view of
 // an object ID is the ID itself, by that model's typed discipline.
 func (c *Context) PtrToInt(site *Site, p core.Ptr) uint64 {
+	c.countSite(site)
 	c.CPU.Exec(1)
 	switch c.Mode {
 	case Volatile, Explicit:
@@ -622,6 +665,7 @@ func (c *Context) PtrToInt(site *Site, p core.Ptr) uint64 {
 // PtrDiff subtracts two references in units of elemSize (the pointer
 // difference rows of Figure 4).
 func (c *Context) PtrDiff(site *Site, p, q core.Ptr, elemSize int64) int64 {
+	c.countSite(site)
 	c.CPU.Exec(2)
 	switch c.Mode {
 	case Volatile, Explicit:
@@ -693,6 +737,12 @@ func (c *Context) Pmalloc(size uint64) core.Ptr {
 
 // pmallocFrom is Pmalloc against a chosen pool.
 func (c *Context) pmallocFrom(pool *pmem.Pool, size uint64) core.Ptr {
+	p := c.pmallocRaw(pool, size)
+	c.traceAllocFree(obs.EvAlloc, p, size)
+	return p
+}
+
+func (c *Context) pmallocRaw(pool *pmem.Pool, size uint64) core.Ptr {
 	c.Stats.Allocs++
 	c.CPU.Exec(allocInstrs)
 	if c.Mode == Volatile {
@@ -751,7 +801,9 @@ func (c *Context) Malloc(size uint64) core.Ptr {
 	for i := 0; i < allocStores; i++ {
 		c.CPU.Store(va + uint64(i*8))
 	}
-	return core.FromVA(va)
+	p := core.FromVA(va)
+	c.traceAllocFree(obs.EvAlloc, p, size)
+	return p
 }
 
 // FreeVolatile returns a Malloc'd object of the given size to the heap.
@@ -759,12 +811,14 @@ func (c *Context) FreeVolatile(p core.Ptr, size uint64) {
 	c.Stats.Frees++
 	c.CPU.Exec(freeInstrs)
 	c.heap.release(p.VA(), size)
+	c.traceAllocFree(obs.EvFree, p, size)
 }
 
 // Pfree releases a persistent object (or its volatile stand-in).
 func (c *Context) Pfree(p core.Ptr, size uint64) {
 	c.Stats.Frees++
 	c.CPU.Exec(freeInstrs)
+	c.traceAllocFree(obs.EvFree, p, size)
 	if c.Mode == Volatile {
 		c.heap.release(p.VA(), size)
 		return

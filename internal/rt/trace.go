@@ -5,61 +5,125 @@ import (
 	"io"
 
 	"nvref/internal/core"
+	"nvref/internal/obs"
 )
 
-// Execution tracing: when a trace writer is attached, the Context emits
-// one line per reference operation — the representation of every operand,
-// the resolved address, and the conversions performed. The trace is the
-// debugging view of the reference machinery: reading it next to the
-// Figure 4 table shows each rule firing.
+// Execution tracing: when a tracer is attached, the Context emits one
+// structured obs.Event per reference operation — the representation of
+// every operand, the resolved address, and the conversions performed. The
+// trace is the debugging view of the reference machinery: reading it next
+// to the Figure 4 table shows each rule firing.
 //
-// Tracing is off (nil writer) by default and costs nothing when off.
+// The old unstructured text stream survives as a compat rendering:
+// SetTrace(w) attaches a tracer whose sink writes FormatEvent lines to w,
+// so existing consumers see byte-identical output — but emission now goes
+// through the tracer's mutex, so a Context shared across goroutines can no
+// longer interleave partial lines.
+//
+// Tracing is off (nil tracer) by default and costs one nil check when off.
 
-// SetTrace attaches (or detaches, with nil) a trace writer.
-func (c *Context) SetTrace(w io.Writer) { c.trace = w }
-
-// tracef emits one trace line when tracing is on.
-func (c *Context) tracef(format string, args ...any) {
-	if c.trace == nil {
+// SetTrace attaches (or detaches, with nil) a legacy text trace writer.
+// Lines are produced from the structured events by FormatEvent.
+func (c *Context) SetTrace(w io.Writer) {
+	if w == nil {
+		c.tracer = nil
 		return
 	}
-	fmt.Fprintf(c.trace, "[%s @%d] ", c.Mode, c.CPU.Stats.Cycles)
-	fmt.Fprintf(c.trace, format, args...)
-	fmt.Fprintln(c.trace)
+	t := obs.NewTracer(obs.DefaultTraceCapacity)
+	t.SetSink(func(e obs.Event) { fmt.Fprintln(w, FormatEvent(e)) })
+	c.tracer = t
 }
 
-// traceOn reports whether tracing is active (to skip building strings).
-func (c *Context) traceOn() bool { return c.trace != nil }
+// SetTracer attaches a structured event tracer (nil detaches). Callers that
+// want JSONL output or programmatic event access use this instead of
+// SetTrace; both cannot be active at once — last call wins.
+func (c *Context) SetTracer(t *obs.Tracer) { c.tracer = t }
 
-// Traced operation wrappers. These delegate to the regular operations and
-// describe what happened; kernels and the minc interpreter call the plain
-// ops, which emit through the hooks below.
+// Tracer returns the attached tracer (nil when tracing is off).
+func (c *Context) Tracer() *obs.Tracer { return c.tracer }
+
+// traceOn reports whether tracing is active (to skip building events).
+func (c *Context) traceOn() bool { return c.tracer != nil }
+
+// FormatEvent renders a structured event in the legacy text trace format,
+// byte-for-byte what the old io.Writer trace printed.
+func FormatEvent(e obs.Event) string {
+	prefix := fmt.Sprintf("[%s @%d] ", e.Mode, e.Cycle)
+	switch e.Kind {
+	case obs.EvLoadPtr:
+		note := ""
+		if e.Conv != obs.ConvNone {
+			note = fmt.Sprintf(" -> local %s (pdy=pxr conversion)", core.Ptr(e.Res))
+		}
+		return prefix + fmt.Sprintf("loadPtr  %s+%d = %s%s", core.Ptr(e.P), e.Off, core.Ptr(e.Val), note)
+	case obs.EvStorePtr:
+		note := ""
+		if e.Conv != obs.ConvNone {
+			note = fmt.Sprintf(" (converted from %s)", core.Ptr(e.Val))
+		}
+		return prefix + fmt.Sprintf("storePtr %s+%d <- %s%s", core.Ptr(e.P), e.Off, core.Ptr(e.Res), note)
+	case obs.EvLoad:
+		return prefix + fmt.Sprintf("load     %s+%d @ va %#x", core.Ptr(e.P), e.Off, e.Val)
+	case obs.EvStore:
+		return prefix + fmt.Sprintf("storeD   %s+%d @ va %#x", core.Ptr(e.P), e.Off, e.Val)
+	case obs.EvAlloc:
+		return prefix + fmt.Sprintf("alloc    %s (%d bytes)", core.Ptr(e.P), e.Val)
+	case obs.EvFree:
+		return prefix + fmt.Sprintf("free     %s (%d bytes)", core.Ptr(e.P), e.Val)
+	}
+	return prefix + fmt.Sprintf("%s %s+%d val %#x", e.Kind, core.Ptr(e.P), e.Off, e.Val)
+}
+
+// event seeds an Event with the Context's position (mode and cycle).
+func (c *Context) event(kind obs.EventKind) obs.Event {
+	return obs.Event{Cycle: c.CPU.Stats.Cycles, Mode: c.Mode.String(), Kind: kind}
+}
+
+// Traced operation hooks. The regular operations call these; with no tracer
+// attached each costs one nil check.
 
 func (c *Context) traceLoadPtr(p core.Ptr, off int64, loaded, local core.Ptr) {
 	if !c.traceOn() {
 		return
 	}
-	note := ""
+	e := c.event(obs.EvLoadPtr)
+	e.P, e.Off, e.Val, e.Res = uint64(p), off, uint64(loaded), uint64(local)
 	if loaded != local {
-		note = fmt.Sprintf(" -> local %s (pdy=pxr conversion)", local)
+		e.Conv = obs.ConvRelToAbs
 	}
-	c.tracef("loadPtr  %s+%d = %s%s", p, off, loaded, note)
+	c.tracer.Emit(e)
 }
 
 func (c *Context) traceStorePtr(p core.Ptr, off int64, q, stored core.Ptr) {
 	if !c.traceOn() {
 		return
 	}
-	note := ""
+	e := c.event(obs.EvStorePtr)
+	e.P, e.Off, e.Val, e.Res = uint64(p), off, uint64(q), uint64(stored)
 	if q != stored {
-		note = fmt.Sprintf(" (converted from %s)", q)
+		if stored.IsRelative() {
+			e.Conv = obs.ConvAbsToRel
+		} else {
+			e.Conv = obs.ConvRelToAbs
+		}
 	}
-	c.tracef("storePtr %s+%d <- %s%s", p, off, stored, note)
+	c.tracer.Emit(e)
 }
 
-func (c *Context) traceAccess(kind string, p core.Ptr, off int64, va uint64) {
+func (c *Context) traceAllocFree(kind obs.EventKind, p core.Ptr, size uint64) {
 	if !c.traceOn() {
 		return
 	}
-	c.tracef("%s %s+%d @ va %#x", kind, p, off, va)
+	e := c.event(kind)
+	e.P, e.Val = uint64(p), size
+	c.tracer.Emit(e)
+}
+
+func (c *Context) traceAccess(kind obs.EventKind, p core.Ptr, off int64, va uint64) {
+	if !c.traceOn() {
+		return
+	}
+	e := c.event(kind)
+	e.P, e.Off, e.Val = uint64(p), off, va
+	c.tracer.Emit(e)
 }

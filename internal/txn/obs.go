@@ -1,0 +1,21 @@
+package txn
+
+import "nvref/internal/obs"
+
+// RegisterMetrics binds the manager's transaction counters into reg as
+// collector series, read live at snapshot time.
+func (m *Manager) RegisterMetrics(reg *obs.Registry) {
+	ctr := func(name, help string, fn func() uint64) { reg.CounterFunc(name, help, fn) }
+	ctr("txn_begins_total", "transactions opened", func() uint64 { return m.Stats.Begins })
+	ctr("txn_commits_total", "transactions committed", func() uint64 { return m.Stats.Commits })
+	ctr("txn_aborts_total", "transactions aborted", func() uint64 { return m.Stats.Aborts })
+	ctr("txn_rollbacks_total", "rollback passes (aborts plus crash recoveries)", func() uint64 { return m.Stats.Rollbacks })
+	ctr("txn_words_logged_total", "undo-log entries written", func() uint64 { return m.Stats.WordsLogged })
+	ctr("txn_log_bytes_total", "undo-log bytes written", func() uint64 { return m.Stats.LogBytes() })
+	reg.GaugeFunc("txn_active", "1 while a transaction is open", func() int64 {
+		if m.active {
+			return 1
+		}
+		return 0
+	})
+}

@@ -42,6 +42,18 @@ var (
 	ErrNoLog     = errors.New("txn: pool has no installed log")
 )
 
+// Stats counts transaction outcomes and undo-log volume.
+type Stats struct {
+	Begins      uint64
+	Commits     uint64
+	Aborts      uint64
+	Rollbacks   uint64 // rollback passes run (aborts plus crash recoveries)
+	WordsLogged uint64 // undo entries written
+}
+
+// LogBytes returns the undo-log bytes written (entries are 16 bytes).
+func (s Stats) LogBytes() uint64 { return s.WordsLogged * entrySize }
+
 // Manager runs transactions against one pool.
 type Manager struct {
 	pool    *pmem.Pool
@@ -49,6 +61,8 @@ type Manager struct {
 	logOff  uint64
 	maxEnts uint64
 	active  bool
+
+	Stats Stats
 }
 
 // Install allocates an undo log with capacity for maxEntries word writes
@@ -113,6 +127,7 @@ func (m *Manager) Begin() error {
 	m.store(offLState, stateActive)
 	fault.Crash("txn.begin.armed")
 	m.active = true
+	m.Stats.Begins++
 	return nil
 }
 
@@ -137,6 +152,7 @@ func (m *Manager) WriteWord(poolOff uint64, v uint64) error {
 	fault.Crash("txn.write.entry-old")
 	m.store(offLCount, count+1) // log persisted before the data write
 	fault.Crash("txn.write.published")
+	m.Stats.WordsLogged++
 	if err := m.as.Store64(m.pool.Base()+poolOff, v); err != nil {
 		return err
 	}
@@ -154,6 +170,7 @@ func (m *Manager) Commit() error {
 	m.store(offLCount, 0)
 	fault.Crash("txn.commit.done")
 	m.active = false
+	m.Stats.Commits++
 	return nil
 }
 
@@ -164,6 +181,7 @@ func (m *Manager) Abort() error {
 	}
 	m.rollback()
 	m.active = false
+	m.Stats.Aborts++
 	return nil
 }
 
@@ -172,6 +190,7 @@ func (m *Manager) Abort() error {
 // active with its entries intact, so a later recovery re-runs the whole
 // rollback; re-applying old values is idempotent.
 func (m *Manager) rollback() {
+	m.Stats.Rollbacks++
 	count := m.load(offLCount)
 	for i := count; i > 0; i-- {
 		ent := offLEntry0 + (i-1)*entrySize

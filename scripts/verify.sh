@@ -1,6 +1,8 @@
 #!/bin/sh
 # Full verification: build, vet, and the race-enabled test suite — which
 # includes the fault matrix, the crash-point sweep, and the recovery tests.
+# The observability layer gets its own race leg plus a coverage gate: it is
+# what every other package trusts for its numbers, so it stays >= 80%.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -8,3 +10,14 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+go test -race -coverprofile=/tmp/obs_cover.out ./internal/obs/...
+go tool cover -func=/tmp/obs_cover.out | awk '
+	/^total:/ {
+		sub(/%/, "", $3)
+		printf "internal/obs coverage: %s%% (gate: 80%%)\n", $3
+		if ($3 + 0 < 80) {
+			print "FAIL: internal/obs coverage below 80%"
+			exit 1
+		}
+	}'

@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: build test verify bench faults
+.PHONY: build test verify bench faults serve
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
 
 # Full gate: build + vet + race-enabled tests (fault matrix and crash
 # sweep included). CI and pre-merge runs use this.
@@ -18,3 +18,7 @@ bench:
 
 faults:
 	$(GO) run ./cmd/nvbench -experiment faults
+
+# Run the sharded KV daemon with persistent pools and the metrics mux.
+serve:
+	$(GO) run ./cmd/nvserved -data ./nvserved-data -http localhost:9090

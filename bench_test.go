@@ -61,6 +61,8 @@ func BenchmarkFig11(b *testing.B) {
 					}
 					b.StartTimer()
 					cycles += runOps(s, ctx, w)
+					b.StopTimer()
+					s.Close()
 				}
 				b.ReportMetric(float64(cycles)/float64(b.N*len(w.Ops)), "simcycles/op")
 			})
@@ -110,7 +112,9 @@ func BenchmarkFig13(b *testing.B) {
 				before := ctx.CPU.Stats.Branch.Mispredicts
 				b.StartTimer()
 				runOps(s, ctx, w)
+				b.StopTimer()
 				mispredicts += ctx.CPU.Stats.Branch.Mispredicts - before
+				s.Close()
 			}
 			b.ReportMetric(float64(mispredicts)/float64(b.N*len(w.Ops)/1000), "mispred/kop")
 		})
@@ -132,9 +136,11 @@ func BenchmarkTable5(b *testing.B) {
 		c0, a0, r0 := ctx.Stats.SWCheckBranches, ctx.Env.Stats.AbsToRel, ctx.Env.Stats.RelToAbs
 		b.StartTimer()
 		runOps(s, ctx, w)
+		b.StopTimer()
 		checks += ctx.Stats.SWCheckBranches - c0
 		abs2rel += ctx.Env.Stats.AbsToRel - a0
 		rel2abs += ctx.Env.Stats.RelToAbs - r0
+		s.Close()
 	}
 	ops := float64(b.N * len(w.Ops))
 	b.ReportMetric(float64(checks)/ops, "checks/op")
@@ -162,6 +168,8 @@ func BenchmarkFig14(b *testing.B) {
 				}
 				b.StartTimer()
 				cycles += runOps(s, ctx, w)
+				b.StopTimer()
+				s.Close()
 			}
 			b.ReportMetric(float64(cycles)/float64(b.N*len(w.Ops)), "simcycles/op")
 		})
@@ -183,10 +191,12 @@ func BenchmarkFig15(b *testing.B) {
 		s0, p0, v0, m0 := ctx.Stats.StorePOps, ctx.MMU.POLB.Stats.Accesses(), ctx.MMU.VALB.Stats.Accesses(), ctx.CPU.Stats.MemoryAccesses()
 		b.StartTimer()
 		runOps(s, ctx, w)
+		b.StopTimer()
 		storeP += ctx.Stats.StorePOps - s0
 		polb += ctx.MMU.POLB.Stats.Accesses() - p0
 		valb += ctx.MMU.VALB.Stats.Accesses() - v0
 		mem += ctx.CPU.Stats.MemoryAccesses() - m0
+		s.Close()
 	}
 	b.ReportMetric(100*float64(storeP)/float64(mem), "storeP%")
 	b.ReportMetric(100*float64(polb)/float64(mem), "POLB%")

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead")
+		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve")
 	quick := flag.Bool("quick", false, "run the scaled-down workload")
 	format := flag.String("format", "table", "output format: table, csv (fig11, fig13, fig14, fig15, table5, knn, scaling), or json (full measurement document)")
 	httpAddr := flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running (e.g. localhost:9090)")
@@ -49,10 +49,14 @@ func main() {
 	}
 
 	var err error
-	switch *format {
-	case "csv":
+	switch {
+	case *experiment == "serve":
+		// The serve experiment drives the nvserved tier rather than the
+		// single-context harness; it has its own table and JSON forms.
+		err = serve(*quick, *format == "json")
+	case *format == "csv":
 		err = runCSV(*experiment, cfg)
-	case "json":
+	case *format == "json":
 		err = runJSON(cfg)
 	default:
 		err = run(*experiment, cfg)
@@ -176,6 +180,27 @@ func run(experiment string, cfg bench.RunConfig) error {
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}
+
+// serve runs the nvserved closed-loop shard sweep plus the kill/restart
+// recovery leg, and enforces the experiment's acceptance gates.
+func serve(quick, asJSON bool) error {
+	res, err := bench.RunServe(bench.ServeSpecFor(quick))
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		if err := bench.WriteServeJSON(os.Stdout, res); err != nil {
+			return err
+		}
+	} else {
+		bench.WriteServe(os.Stdout, res)
+	}
+	if !res.Pass() {
+		return fmt.Errorf("serve acceptance failed: speedup=%.2fx recovered=%v",
+			res.SimSpeedup, res.Recovery.Recovered)
 	}
 	return nil
 }

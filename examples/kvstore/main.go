@@ -34,6 +34,7 @@ func main() {
 		}
 		s := kvstore.New(ctx, func(c *rt.Context) structures.Index { return structures.NewRB(c) })
 		res := s.RunWorkload(w)
+		s.Close()
 		if mode == rt.Volatile {
 			volatileCycles = res.Cycles
 		}

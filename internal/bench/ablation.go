@@ -46,7 +46,9 @@ func runRB(mode rt.Mode, spec ycsb.Spec, tune func(*rt.Context)) (uint64, *rt.Co
 			s.Set(op.Key, op.Value)
 		}
 	}
-	return ctx.CPU.Stats.Cycles - start, ctx, nil
+	cycles := ctx.CPU.Stats.Cycles - start
+	s.Close()
+	return cycles, ctx, nil
 }
 
 // ReuseAblation quantifies Figure 12: HW with conversion reuse, HW with
@@ -210,7 +212,9 @@ func runWorkloadRB(ctx *rt.Context, spec ycsb.Spec) uint64 {
 			s.Set(op.Key, op.Value)
 		}
 	}
-	return ctx.CPU.Stats.Cycles - start
+	cycles := ctx.CPU.Stats.Cycles - start
+	s.Close()
+	return cycles
 }
 
 // TxnAblation measures the undo-log transaction overhead on raw pool

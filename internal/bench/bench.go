@@ -109,6 +109,7 @@ func Run(benchmark string, mode rt.Mode, cfg RunConfig) (Measurement, error) {
 	var result kvstore.Result
 	// Counter snapshots at the start of the measured phase.
 	var base snapshot
+	var store *kvstore.Store
 
 	if benchmark == "LL" {
 		h := kvstore.NewListHarness(ctx)
@@ -132,6 +133,7 @@ func Run(benchmark string, mode rt.Mode, cfg RunConfig) (Measurement, error) {
 			return Measurement{}, err
 		}
 		s := kvstore.New(ctx, ctor)
+		store = s
 		w := ycsb.Generate(cfg.Spec)
 		for _, kv := range w.Load {
 			s.Set(kv.Key, kv.Value)
@@ -151,6 +153,10 @@ func Run(benchmark string, mode rt.Mode, cfg RunConfig) (Measurement, error) {
 	}
 
 	end := snap(ctx)
+	if store != nil {
+		// After the final snapshot, so the buffer release is not measured.
+		store.Close()
+	}
 	m := Measurement{
 		Benchmark: benchmark,
 		Mode:      mode,

@@ -5,6 +5,7 @@
 package kvstore
 
 import (
+	"nvref/internal/core"
 	"nvref/internal/rt"
 	"nvref/internal/structures"
 	"nvref/internal/ycsb"
@@ -27,20 +28,30 @@ var (
 type Store struct {
 	ctx    *rt.Context
 	idx    structures.Index
-	buf    []uint64 // request buffer addresses (DRAM)
+	buf    core.Ptr // request buffer (DRAM)
 	bufPtr uint64
 }
 
 // New builds a store whose mapping is provided by newIndex.
 func New(ctx *rt.Context, newIndex structures.IndexConstructor) *Store {
 	s := &Store{ctx: ctx, idx: newIndex(ctx)}
-	buf := ctx.Malloc(harnessBufferSlots * 8)
-	s.bufPtr = buf.VA()
+	s.buf = ctx.Malloc(harnessBufferSlots * 8)
+	s.bufPtr = s.buf.VA()
 	return s
 }
 
 // Index exposes the underlying index.
 func (s *Store) Index() structures.Index { return s.idx }
+
+// Close releases the DRAM request buffer allocated in New. The index (and
+// anything persistent) is untouched; only the harness front end's volatile
+// state is returned to the heap. Close is idempotent.
+func (s *Store) Close() {
+	if s.bufPtr != 0 {
+		s.ctx.FreeVolatile(s.buf, harnessBufferSlots*8)
+		s.buf, s.bufPtr = core.Null, 0
+	}
+}
 
 // overhead replays the front-end work of one request.
 func (s *Store) overhead() {
@@ -63,9 +74,37 @@ func (s *Store) Get(key uint64) (uint64, bool) {
 	return s.idx.Lookup(key)
 }
 
+// Deleter is an index supporting key removal.
+type Deleter interface {
+	Delete(key uint64) bool
+}
+
+// Delete removes a key, returning whether it was present and whether the
+// index supports removal at all.
+func (s *Store) Delete(key uint64) (found, ok bool) {
+	s.overhead()
+	d, ok := s.idx.(Deleter)
+	if !ok {
+		return false, false
+	}
+	return d.Delete(key), true
+}
+
 // Scanner is an index supporting ordered range reads (YCSB E).
 type Scanner interface {
 	Scan(start uint64, limit int, visit func(key, value uint64)) int
+}
+
+// ScanVisit reads up to limit ordered pairs starting at the smallest key
+// >= start, invoking visit for each. It returns the pair count, or -1 if
+// the index does not support scans.
+func (s *Store) ScanVisit(start uint64, limit int, visit func(key, value uint64)) int {
+	s.overhead()
+	sc, ok := s.idx.(Scanner)
+	if !ok {
+		return -1
+	}
+	return sc.Scan(start, limit, visit)
 }
 
 // Scan reads up to limit ordered pairs starting at the smallest key >=

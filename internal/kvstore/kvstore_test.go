@@ -138,3 +138,48 @@ func TestScanUnsupportedIndex(t *testing.T) {
 		t.Errorf("hash Scan = %d, want -1 (unsupported)", n)
 	}
 }
+
+// TestCloseReleasesBuffer verifies Close returns the DRAM request buffer to
+// the heap (the next Malloc of the same size reuses the block) and that
+// Close is idempotent.
+func TestCloseReleasesBuffer(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	s := New(ctx, func(c *rt.Context) structures.Index { return structures.NewRB(c) })
+	s.Set(1, 100)
+	freed := s.buf
+	s.Close()
+	if got := ctx.Malloc(harnessBufferSlots * 8); got != freed {
+		t.Errorf("freed buffer not reused: Malloc = %s, want %s", got, freed)
+	}
+	s.Close() // must be a no-op, not a double free
+}
+
+func TestDeleteThroughStore(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	s := New(ctx, func(c *rt.Context) structures.Index { return structures.NewRB(c) })
+	defer s.Close()
+	s.Set(1, 100)
+	if found, ok := s.Delete(1); !ok || !found {
+		t.Errorf("Delete(1) = (%v,%v)", found, ok)
+	}
+	if _, ok := s.Get(1); ok {
+		t.Error("key survived Delete")
+	}
+	if found, ok := s.Delete(1); !ok || found {
+		t.Errorf("re-Delete(1) = (%v,%v)", found, ok)
+	}
+}
+
+func TestScanVisit(t *testing.T) {
+	ctx := rt.MustNew(rt.HW)
+	s := New(ctx, func(c *rt.Context) structures.Index { return structures.NewRB(c) })
+	defer s.Close()
+	for k := uint64(0); k < 10; k++ {
+		s.Set(k, k*3)
+	}
+	var got []uint64
+	n := s.ScanVisit(4, 3, func(k, v uint64) { got = append(got, k) })
+	if n != 3 || len(got) != 3 || got[0] != 4 || got[2] != 6 {
+		t.Errorf("ScanVisit = %d, keys %v", n, got)
+	}
+}

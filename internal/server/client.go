@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+)
+
+// Client is a synchronous nvserved client over one TCP connection. It is
+// not safe for concurrent use; open one Client per goroutine (as the
+// closed-loop load generator does), or use Pipeline to keep many requests
+// in flight on a single connection.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  []byte
+}
+
+// Dial connects to an nvserved instance.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) send(req *Request) error {
+	body, err := AppendRequest(c.buf[:0], req)
+	if err != nil {
+		return err
+	}
+	c.buf = body[:0]
+	if err := WriteFrame(c.bw, body); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *Client) recv(req *Request) (*Reply, error) {
+	body, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := DecodeReply(req, body)
+	if err != nil {
+		return nil, err
+	}
+	return rep, rep.Err()
+}
+
+func (c *Client) roundTrip(req *Request) (*Reply, error) {
+	if err := c.send(req); err != nil {
+		return nil, err
+	}
+	return c.recv(req)
+}
+
+// Get reads a key.
+func (c *Client) Get(key uint64) (uint64, bool, error) {
+	rep, err := c.roundTrip(&Request{Op: OpGet, Key: key})
+	if err != nil {
+		return 0, false, err
+	}
+	return rep.Value, rep.Found, nil
+}
+
+// Put inserts or updates a key.
+func (c *Client) Put(key, value uint64) error {
+	_, err := c.roundTrip(&Request{Op: OpPut, Key: key, Value: value})
+	return err
+}
+
+// Delete removes a key, reporting whether it was present.
+func (c *Client) Delete(key uint64) (bool, error) {
+	rep, err := c.roundTrip(&Request{Op: OpDelete, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return rep.Found, nil
+}
+
+// Scan reads up to limit pairs in ascending key order starting at the
+// smallest key >= start, merged across every shard.
+func (c *Client) Scan(start uint64, limit int) ([]KV, error) {
+	rep, err := c.roundTrip(&Request{Op: OpScan, Key: start, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Pairs, nil
+}
+
+// Batch executes the sub-requests as one frame; the server scatters them
+// to their shards and gathers replies back into request order.
+func (c *Client) Batch(sub []Request) ([]Reply, error) {
+	req := &Request{Op: OpBatch, Sub: sub}
+	rep, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Sub, nil
+}
+
+// Stats fetches the server's statistics document.
+func (c *Client) Stats() (*Stats, error) {
+	rep, err := c.roundTrip(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	var st Stats
+	if err := json.Unmarshal(rep.Blob, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Checkpoint forces a synchronous durability barrier on every shard.
+func (c *Client) Checkpoint() error {
+	_, err := c.roundTrip(&Request{Op: OpCheckpoint})
+	return err
+}
+
+// Pipeline queues requests without waiting for replies; Run flushes them
+// as a burst of frames and reads the replies in order. This exercises the
+// protocol's pipelining: many requests in flight on one connection.
+type Pipeline struct {
+	c    *Client
+	reqs []*Request
+	err  error
+}
+
+// Pipeline starts an empty pipeline on the connection.
+func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
+
+func (p *Pipeline) add(req *Request) {
+	if p.err != nil {
+		return
+	}
+	body, err := AppendRequest(nil, req)
+	if err != nil {
+		p.err = err
+		return
+	}
+	if err := WriteFrame(p.c.bw, body); err != nil {
+		p.err = err
+		return
+	}
+	p.reqs = append(p.reqs, req)
+}
+
+// Get queues a GET.
+func (p *Pipeline) Get(key uint64) { p.add(&Request{Op: OpGet, Key: key}) }
+
+// Put queues a PUT.
+func (p *Pipeline) Put(key, value uint64) { p.add(&Request{Op: OpPut, Key: key, Value: value}) }
+
+// Delete queues a DELETE.
+func (p *Pipeline) Delete(key uint64) { p.add(&Request{Op: OpDelete, Key: key}) }
+
+// Scan queues a SCAN.
+func (p *Pipeline) Scan(start uint64, limit int) {
+	p.add(&Request{Op: OpScan, Key: start, Limit: limit})
+}
+
+// Run flushes the queued frames and collects every reply, in order.
+func (p *Pipeline) Run() ([]Reply, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if err := p.c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]Reply, 0, len(p.reqs))
+	for _, req := range p.reqs {
+		rep, err := p.c.recv(req)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *rep)
+	}
+	p.reqs = p.reqs[:0]
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nvref/internal/obs"
+)
+
+// TestDisjointShardsUnaffectedByCrashes is the serving tier's isolation
+// property under -race: client goroutines hammer shards 1..3 (keys chosen
+// by ShardFor) while the main goroutine repeatedly power-cycles shard 0.
+// Every write to a surviving shard must remain readable with the value
+// just written, and no shard but 0 may record a crash. A scraper goroutine
+// snapshots the metrics registry throughout, so the race detector also
+// covers the collector paths.
+func TestDisjointShardsUnaffectedByCrashes(t *testing.T) {
+	const (
+		shards      = 4
+		keysPerGor  = 48
+		crashRounds = 20
+	)
+	reg := obs.NewRegistry()
+	ts := startServer(t, Config{Shards: shards, CheckpointEvery: 64, Reg: reg})
+
+	// Partition a key range by destination shard.
+	keysFor := make([][]uint64, shards)
+	for k := uint64(0); ; k++ {
+		s := ShardFor(k, shards)
+		if len(keysFor[s]) < keysPerGor {
+			keysFor[s] = append(keysFor[s], k)
+		}
+		full := true
+		for _, ks := range keysFor {
+			if len(ks) < keysPerGor {
+				full = false
+				break
+			}
+		}
+		if full {
+			break
+		}
+	}
+
+	stop := make(chan struct{})
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 1; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			cl, err := Dial(ts.addr)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			defer cl.Close()
+			for round := uint64(1); ; round++ {
+				for _, k := range keysFor[s] {
+					want := k ^ round
+					if err := cl.Put(k, want); err != nil {
+						errs[s] = fmt.Errorf("put %d: %w", k, err)
+						return
+					}
+					v, ok, err := cl.Get(k)
+					if err != nil {
+						errs[s] = fmt.Errorf("get %d: %w", k, err)
+						return
+					}
+					if !ok || v != want {
+						errs[s] = fmt.Errorf("shard %d key %d round %d: got (%d,%v), want %d — crash of shard 0 leaked", s, k, round, v, ok, want)
+						return
+					}
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(s)
+	}
+
+	// Scrape metrics concurrently: collectors must be race-free against the
+	// workers and the crash/recovery path.
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.Snapshot()
+			}
+		}
+	}()
+
+	for i := 0; i < crashRounds; i++ {
+		if err := ts.InjectCrash(0); err != nil {
+			t.Fatalf("crash round %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	<-scrapeDone
+
+	for s := 1; s < shards; s++ {
+		if errs[s] != nil {
+			t.Errorf("shard %d worker: %v", s, errs[s])
+		}
+	}
+	st := ts.CollectStats()
+	if got := st.PerShard[0].Crashes; got != crashRounds {
+		t.Errorf("shard 0 crashes = %d, want %d", got, crashRounds)
+	}
+	if got := st.PerShard[0].Recoveries; got != crashRounds {
+		t.Errorf("shard 0 recoveries = %d, want %d", got, crashRounds)
+	}
+	for s := 1; s < shards; s++ {
+		sh := st.PerShard[s]
+		if sh.Crashes != 0 {
+			t.Errorf("shard %d recorded %d crashes; only shard 0 was power-cycled", s, sh.Crashes)
+		}
+		if sh.Ops == 0 {
+			t.Errorf("shard %d executed no operations", s)
+		}
+	}
+}

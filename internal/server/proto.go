@@ -1,0 +1,438 @@
+// Package server implements nvserved: a network-facing persistent
+// key-value service over the simulated runtime. The keyspace is sharded
+// across N independent engine shards; each shard owns its own rt.Context,
+// pmem pool, and kvstore.Store, and a single worker goroutine consumes a
+// bounded request queue — so the single-threaded simulation core stays
+// correct with no locking on the hot path, and shards execute truly
+// independently (the simulated machine is one core per shard).
+//
+// The wire protocol is length-prefixed binary frames over TCP:
+//
+//	frame    := u32 bodyLen | body            (little-endian, bodyLen ≤ MaxFrame)
+//	request  := u8 op | payload
+//	reply    := u8 status | payload
+//
+// Operations and payloads:
+//
+//	GET        key u64                     → found u8, value u64
+//	PUT        key u64, value u64          → (empty)
+//	DELETE     key u64                     → found u8
+//	SCAN       start u64, limit u32        → count u32, count×(key u64, value u64)
+//	BATCH      count u32, count×sub-request → count u32, count×sub-reply
+//	STATS      (empty)                     → len u32, JSON bytes
+//	CHECKPOINT (empty)                     → (empty)
+//
+// Responses are returned in request order on each connection, so clients
+// may pipeline: write many frames, then read as many replies.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op codes of the wire protocol.
+const (
+	OpGet        byte = 1
+	OpPut        byte = 2
+	OpDelete     byte = 3
+	OpScan       byte = 4
+	OpBatch      byte = 5
+	OpStats      byte = 6
+	OpCheckpoint byte = 7
+)
+
+// Reply status codes.
+const (
+	StatusOK         byte = 0
+	StatusBadRequest byte = 1
+	StatusInternal   byte = 2
+)
+
+// MaxFrame bounds a single frame body; anything larger is a protocol
+// error and the connection is dropped.
+const MaxFrame = 1 << 20
+
+// MaxScanLimit bounds how many pairs one SCAN may return (keeps the reply
+// under MaxFrame).
+const MaxScanLimit = 4096
+
+// MaxBatch bounds how many sub-requests one BATCH may carry.
+const MaxBatch = 1024
+
+// ErrProto reports a malformed frame or payload.
+var ErrProto = errors.New("server: protocol error")
+
+// KV is one key/value pair in a SCAN reply.
+type KV struct {
+	Key   uint64 `json:"key"`
+	Value uint64 `json:"value"`
+}
+
+// Request is one decoded operation.
+type Request struct {
+	Op    byte
+	Key   uint64
+	Value uint64
+	Limit int
+	Sub   []Request // BATCH only; sub-requests may not themselves batch
+}
+
+// Reply is one decoded response.
+type Reply struct {
+	Status byte
+	Found  bool
+	Value  uint64
+	Pairs  []KV
+	Sub    []Reply
+	Blob   []byte // STATS JSON
+}
+
+// Err converts a non-OK status into an error (nil when Status is OK).
+func (r *Reply) Err() error {
+	switch r.Status {
+	case StatusOK:
+		return nil
+	case StatusBadRequest:
+		return fmt.Errorf("%w: bad request", ErrProto)
+	default:
+		return fmt.Errorf("server: internal error (status %d)", r.Status)
+	}
+}
+
+// ---- Frame I/O -----------------------------------------------------------
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w: frame body %d bytes exceeds %d", ErrProto, len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame body.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: frame body %d bytes exceeds %d", ErrProto, n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// ---- Request encoding ----------------------------------------------------
+
+// AppendRequest appends the wire form of req to buf.
+func AppendRequest(buf []byte, req *Request) ([]byte, error) {
+	buf = append(buf, req.Op)
+	switch req.Op {
+	case OpGet, OpDelete:
+		buf = binary.LittleEndian.AppendUint64(buf, req.Key)
+	case OpPut:
+		buf = binary.LittleEndian.AppendUint64(buf, req.Key)
+		buf = binary.LittleEndian.AppendUint64(buf, req.Value)
+	case OpScan:
+		buf = binary.LittleEndian.AppendUint64(buf, req.Key)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(req.Limit))
+	case OpBatch:
+		if len(req.Sub) > MaxBatch {
+			return nil, fmt.Errorf("%w: batch of %d exceeds %d", ErrProto, len(req.Sub), MaxBatch)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Sub)))
+		for i := range req.Sub {
+			sub := &req.Sub[i]
+			if sub.Op == OpBatch || sub.Op == OpStats || sub.Op == OpCheckpoint {
+				return nil, fmt.Errorf("%w: op %d may not appear inside a batch", ErrProto, sub.Op)
+			}
+			var err error
+			if buf, err = AppendRequest(buf, sub); err != nil {
+				return nil, err
+			}
+		}
+	case OpStats, OpCheckpoint:
+		// No payload.
+	default:
+		return nil, fmt.Errorf("%w: unknown op %d", ErrProto, req.Op)
+	}
+	return buf, nil
+}
+
+// cursor is a bounds-checked little-endian reader over a frame body.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) u8() (byte, error) {
+	if c.off+1 > len(c.b) {
+		return 0, fmt.Errorf("%w: truncated payload", ErrProto)
+	}
+	v := c.b[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if c.off+4 > len(c.b) {
+		return 0, fmt.Errorf("%w: truncated payload", ErrProto)
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if c.off+8 > len(c.b) {
+		return 0, fmt.Errorf("%w: truncated payload", ErrProto)
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *cursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.off+n > len(c.b) {
+		return nil, fmt.Errorf("%w: truncated payload", ErrProto)
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v, nil
+}
+
+// DecodeRequest parses one request frame body.
+func DecodeRequest(body []byte) (*Request, error) {
+	c := &cursor{b: body}
+	req, err := decodeRequest(c, true)
+	if err != nil {
+		return nil, err
+	}
+	if c.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrProto, len(body)-c.off)
+	}
+	return req, nil
+}
+
+func decodeRequest(c *cursor, allowBatch bool) (*Request, error) {
+	op, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{Op: op}
+	switch op {
+	case OpGet, OpDelete:
+		if req.Key, err = c.u64(); err != nil {
+			return nil, err
+		}
+	case OpPut:
+		if req.Key, err = c.u64(); err != nil {
+			return nil, err
+		}
+		if req.Value, err = c.u64(); err != nil {
+			return nil, err
+		}
+	case OpScan:
+		if req.Key, err = c.u64(); err != nil {
+			return nil, err
+		}
+		limit, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if limit > MaxScanLimit {
+			return nil, fmt.Errorf("%w: scan limit %d exceeds %d", ErrProto, limit, MaxScanLimit)
+		}
+		req.Limit = int(limit)
+	case OpBatch:
+		if !allowBatch {
+			return nil, fmt.Errorf("%w: nested batch", ErrProto)
+		}
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxBatch {
+			return nil, fmt.Errorf("%w: batch of %d exceeds %d", ErrProto, n, MaxBatch)
+		}
+		req.Sub = make([]Request, n)
+		for i := range req.Sub {
+			sub, err := decodeRequest(c, false)
+			if err != nil {
+				return nil, err
+			}
+			if sub.Op == OpStats || sub.Op == OpCheckpoint {
+				return nil, fmt.Errorf("%w: op %d may not appear inside a batch", ErrProto, sub.Op)
+			}
+			req.Sub[i] = *sub
+		}
+	case OpStats, OpCheckpoint:
+		// No payload.
+	default:
+		return nil, fmt.Errorf("%w: unknown op %d", ErrProto, op)
+	}
+	return req, nil
+}
+
+// ---- Reply encoding ------------------------------------------------------
+
+// AppendReply appends the wire form of rep (for operation op) to buf.
+func AppendReply(buf []byte, op byte, rep *Reply) []byte {
+	buf = append(buf, rep.Status)
+	if rep.Status != StatusOK {
+		return buf
+	}
+	switch op {
+	case OpGet:
+		buf = append(buf, boolByte(rep.Found))
+		buf = binary.LittleEndian.AppendUint64(buf, rep.Value)
+	case OpDelete:
+		buf = append(buf, boolByte(rep.Found))
+	case OpScan:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rep.Pairs)))
+		for _, kv := range rep.Pairs {
+			buf = binary.LittleEndian.AppendUint64(buf, kv.Key)
+			buf = binary.LittleEndian.AppendUint64(buf, kv.Value)
+		}
+	case OpStats:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rep.Blob)))
+		buf = append(buf, rep.Blob...)
+	case OpPut, OpCheckpoint:
+		// No payload.
+	}
+	return buf
+}
+
+// AppendBatchReply encodes a BATCH reply; sub-reply payloads depend on the
+// sub-request ops, so the request travels along.
+func AppendBatchReply(buf []byte, req *Request, rep *Reply) []byte {
+	buf = append(buf, rep.Status)
+	if rep.Status != StatusOK {
+		return buf
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rep.Sub)))
+	for i := range rep.Sub {
+		buf = AppendReply(buf, req.Sub[i].Op, &rep.Sub[i])
+	}
+	return buf
+}
+
+// DecodeReply parses a reply frame body for a request of the given shape.
+func DecodeReply(req *Request, body []byte) (*Reply, error) {
+	c := &cursor{b: body}
+	rep, err := decodeReply(c, req)
+	if err != nil {
+		return nil, err
+	}
+	if c.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrProto, len(body)-c.off)
+	}
+	return rep, nil
+}
+
+func decodeReply(c *cursor, req *Request) (*Reply, error) {
+	status, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Reply{Status: status}
+	if status != StatusOK {
+		return rep, nil
+	}
+	switch req.Op {
+	case OpGet:
+		f, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		rep.Found = f != 0
+		if rep.Value, err = c.u64(); err != nil {
+			return nil, err
+		}
+	case OpDelete:
+		f, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		rep.Found = f != 0
+	case OpScan:
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxScanLimit {
+			return nil, fmt.Errorf("%w: scan reply of %d pairs exceeds %d", ErrProto, n, MaxScanLimit)
+		}
+		rep.Pairs = make([]KV, n)
+		for i := range rep.Pairs {
+			if rep.Pairs[i].Key, err = c.u64(); err != nil {
+				return nil, err
+			}
+			if rep.Pairs[i].Value, err = c.u64(); err != nil {
+				return nil, err
+			}
+		}
+	case OpBatch:
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) != len(req.Sub) {
+			return nil, fmt.Errorf("%w: batch reply has %d entries, request had %d", ErrProto, n, len(req.Sub))
+		}
+		rep.Sub = make([]Reply, n)
+		for i := range rep.Sub {
+			sub, err := decodeReply(c, &req.Sub[i])
+			if err != nil {
+				return nil, err
+			}
+			rep.Sub[i] = *sub
+		}
+	case OpStats:
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		blob, err := c.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		rep.Blob = append([]byte(nil), blob...)
+	case OpPut, OpCheckpoint:
+		// No payload.
+	}
+	return rep, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---- Sharding ------------------------------------------------------------
+
+// ShardFor maps a key to one of n shards with a splitmix64-style mixer, so
+// adjacent keys spread across shards and zipfian hot keys land on
+// independently chosen shards.
+func ShardFor(key uint64, n int) int {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(n))
+}

@@ -1,0 +1,504 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvref/internal/fault"
+	"nvref/internal/obs"
+	"nvref/internal/pmem"
+	"nvref/internal/rt"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Shards is the number of independent engine shards (default 4).
+	Shards int
+	// Mode is the reference model every shard runs under (default rt.HW).
+	// rt.Volatile stores absolute pointers, which cannot survive the pool
+	// relocation that recovery performs, so the serving tier promotes it to
+	// rt.HW.
+	Mode rt.Mode
+	// PoolSize is each shard's pool size (default 32 MiB). Checkpoints
+	// snapshot the whole pool, so serving pools are far smaller than the
+	// benchmark default.
+	PoolSize uint64
+	// QueueDepth bounds each shard's request queue (default 128); a full
+	// queue applies backpressure to connection readers.
+	QueueDepth int
+	// CheckpointEvery checkpoints a shard after that many operations
+	// (default 8192; negative means only at explicit barriers and graceful
+	// shutdown).
+	CheckpointEvery int
+	// StoreFor supplies each shard's backing store. Nil stores every shard
+	// in a fresh MemStore (persistent across crashes injected into this
+	// server, not across processes).
+	StoreFor func(shard int) pmem.Store
+	// SchedFor, when non-nil, arms a per-shard fault scheduler; the shard
+	// worker evaluates it at CrashPointOp before every data operation.
+	SchedFor func(shard int) fault.Scheduler
+	// Reg, when non-nil, receives the server's metrics: per-shard queue
+	// depth gauges, op counters and latency histograms, plus connection
+	// and request counts. Reuse it with obs.Mux to serve /metrics.
+	Reg *obs.Registry
+}
+
+func (c *Config) fillDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Mode == rt.Volatile {
+		c.Mode = rt.HW
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 32 << 20
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 8192
+	}
+}
+
+// latencyBounds are the microsecond buckets of the per-shard latency
+// histograms (queue wait + service time, measured at the worker).
+var latencyBounds = []uint64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 50000}
+
+// Server is the sharded persistent KV service.
+type Server struct {
+	cfg    Config
+	shards []*shard
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup // connection handlers + acceptor
+
+	connCount atomic.Int64
+	requests  atomic.Uint64
+	errored   atomic.Uint64
+	started   time.Time
+}
+
+// New builds the server and opens every shard, recovering any pool image
+// its store already holds (the restart path: pmem.Open + Fsck per shard).
+// The shard workers start immediately; Serve only adds the network front.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{}), started: time.Now()}
+	for i := 0; i < cfg.Shards; i++ {
+		sc := shardConfig{
+			id:              i,
+			mode:            cfg.Mode,
+			poolSize:        cfg.PoolSize,
+			queueDepth:      cfg.QueueDepth,
+			checkpointEvery: cfg.CheckpointEvery,
+		}
+		if cfg.StoreFor != nil {
+			sc.store = cfg.StoreFor(i)
+		} else {
+			sc.store = pmem.NewMemStore()
+		}
+		if cfg.SchedFor != nil {
+			sc.sched = cfg.SchedFor(i)
+		}
+		if cfg.Reg != nil {
+			sc.latency = cfg.Reg.Histogram(
+				fmt.Sprintf("server_shard%d_latency_us", i),
+				fmt.Sprintf("shard %d request latency (queue wait + service), microseconds", i),
+				latencyBounds)
+		}
+		sh, err := newShard(sc)
+		if err != nil {
+			// Unwind the shards already running.
+			for _, prev := range s.shards {
+				close(prev.queue)
+				<-prev.done
+			}
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+		go sh.run()
+	}
+	if cfg.Reg != nil {
+		s.registerMetrics(cfg.Reg)
+	}
+	return s, nil
+}
+
+// registerMetrics exports the serving-plane series. Every collector reads
+// only atomics (or channel lengths), so scraping never races the workers.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("server_connections", "open client connections", func() int64 { return s.connCount.Load() })
+	reg.CounterFunc("server_requests_total", "requests received across all connections", func() uint64 { return s.requests.Load() })
+	reg.CounterFunc("server_errors_total", "requests answered with a non-OK status", func() uint64 { return s.errored.Load() })
+	reg.GaugeFunc("server_shards", "configured shard count", func() int64 { return int64(len(s.shards)) })
+	for i, sh := range s.shards {
+		i, sh := i, sh
+		pfx := fmt.Sprintf("server_shard%d_", i)
+		reg.GaugeFunc(pfx+"queue_depth", "requests waiting in the shard queue", func() int64 { return int64(len(sh.queue)) })
+		reg.CounterFunc(pfx+"ops_total", "operations executed by the shard worker", func() uint64 { return sh.ops.Load() })
+		reg.CounterFunc(pfx+"gets_total", "GET operations", func() uint64 { return sh.gets.Load() })
+		reg.CounterFunc(pfx+"puts_total", "PUT operations", func() uint64 { return sh.puts.Load() })
+		reg.CounterFunc(pfx+"deletes_total", "DELETE operations", func() uint64 { return sh.dels.Load() })
+		reg.CounterFunc(pfx+"scans_total", "SCAN operations", func() uint64 { return sh.scans.Load() })
+		reg.GaugeFunc(pfx+"keys", "live keys in the shard index", func() int64 { return int64(sh.keys.Load()) })
+		reg.CounterFunc(pfx+"cycles_total", "simulated cycles consumed by the shard engine", func() uint64 { return sh.cycles.Load() })
+		reg.CounterFunc(pfx+"checkpoints_total", "pool checkpoints written", func() uint64 { return sh.checkpoints.Load() })
+		reg.CounterFunc(pfx+"crashes_total", "injected crashes", func() uint64 { return sh.crashes.Load() })
+		reg.CounterFunc(pfx+"recoveries_total", "successful crash recoveries", func() uint64 { return sh.recoveries.Load() })
+		reg.CounterFunc(pfx+"fsck_errors_total", "fsck errors found at open/recovery", func() uint64 { return sh.fsckErrors.Load() })
+	}
+}
+
+// Shards returns the configured shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// ShardCycles returns each shard's simulated cycle counter — the serving
+// tier's notion of per-core time, used by the bench to compute makespan.
+func (s *Server) ShardCycles() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.cycles.Load()
+	}
+	return out
+}
+
+// ListenAndServe listens on addr and serves until Close or Abort.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Start listens on addr and serves in the background, returning the bound
+// address (use ":0" to pick a free port).
+func (s *Server) Start(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.Serve(l)
+	}()
+	return l.Addr(), nil
+}
+
+// Serve accepts connections on l until the server closes.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("server: closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn reads frames, dispatches them to shards, and writes replies
+// in request order. A writer goroutine consumes a FIFO of pending reply
+// channels, so many requests can be in flight per connection (pipelining).
+func (s *Server) handleConn(conn net.Conn) {
+	s.connCount.Add(1)
+	defer s.connCount.Add(-1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	type pending struct {
+		req  *Request
+		resp chan Reply
+	}
+	// fifo carries in-flight requests to the writer in arrival order.
+	fifo := make(chan pending, s.cfg.QueueDepth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriter(conn)
+		buf := make([]byte, 0, 512)
+		for p := range fifo {
+			rep := <-p.resp
+			if rep.Status != StatusOK {
+				s.errored.Add(1)
+			}
+			buf = buf[:0]
+			if p.req.Op == OpBatch {
+				buf = AppendBatchReply(buf, p.req, &rep)
+			} else {
+				buf = AppendReply(buf, p.req.Op, &rep)
+			}
+			if err := WriteFrame(bw, buf); err != nil {
+				return
+			}
+			// Flush only when no reply is immediately ready: coalesces
+			// pipelined replies into fewer writes.
+			if len(fifo) == 0 {
+				if err := bw.Flush(); err != nil {
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	br := bufio.NewReader(conn)
+	for {
+		body, err := ReadFrame(br)
+		if err != nil {
+			break
+		}
+		req, err := DecodeRequest(body)
+		if err != nil {
+			// Protocol error: answer and drop the connection.
+			resp := make(chan Reply, 1)
+			resp <- Reply{Status: StatusBadRequest}
+			fifo <- pending{req: &Request{Op: OpPut}, resp: resp}
+			break
+		}
+		s.requests.Add(1)
+		resp := s.dispatch(req)
+		fifo <- pending{req: req, resp: resp}
+	}
+	close(fifo)
+	<-writerDone
+}
+
+// dispatch routes a request and returns the channel its single reply will
+// arrive on. The reply channel is buffered so workers never block on a
+// slow connection.
+func (s *Server) dispatch(req *Request) chan Reply {
+	resp := make(chan Reply, 1)
+	switch req.Op {
+	case OpGet, OpPut, OpDelete:
+		sh := s.shards[ShardFor(req.Key, len(s.shards))]
+		sh.queue <- &request{op: req.Op, key: req.Key, value: req.Value, start: time.Now(), resp: resp}
+	case OpScan:
+		go func() { resp <- s.scatterScan(req.Key, req.Limit) }()
+	case OpBatch:
+		go func() { resp <- s.batch(req) }()
+	case OpStats:
+		go func() { resp <- s.statsReply() }()
+	case OpCheckpoint:
+		go func() {
+			if err := s.Checkpoint(); err != nil {
+				resp <- Reply{Status: StatusInternal}
+				return
+			}
+			resp <- Reply{Status: StatusOK}
+		}()
+	default:
+		resp <- Reply{Status: StatusBadRequest}
+	}
+	return resp
+}
+
+// scatterScan runs the range read on every shard (keys are hash-sharded,
+// so any shard may hold part of the range) and merges the ordered partial
+// results down to limit pairs.
+func (s *Server) scatterScan(start uint64, limit int) Reply {
+	parts := make([]chan Reply, len(s.shards))
+	now := time.Now()
+	for i, sh := range s.shards {
+		parts[i] = make(chan Reply, 1)
+		sh.queue <- &request{op: OpScan, key: start, limit: limit, start: now, resp: parts[i]}
+	}
+	var all []KV
+	for _, ch := range parts {
+		rep := <-ch
+		if rep.Status != StatusOK {
+			return Reply{Status: rep.Status}
+		}
+		all = append(all, rep.Pairs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	return Reply{Status: StatusOK, Pairs: all}
+}
+
+// batch scatters the sub-requests to their shards (preserving per-shard
+// order), then gathers the replies back into request order — the per-shard
+// request batching the protocol exists for.
+func (s *Server) batch(req *Request) Reply {
+	resps := make([]chan Reply, len(req.Sub))
+	now := time.Now()
+	for i := range req.Sub {
+		sub := &req.Sub[i]
+		resps[i] = make(chan Reply, 1)
+		switch sub.Op {
+		case OpGet, OpPut, OpDelete:
+			sh := s.shards[ShardFor(sub.Key, len(s.shards))]
+			sh.queue <- &request{op: sub.Op, key: sub.Key, value: sub.Value, start: now, resp: resps[i]}
+		case OpScan:
+			ch := resps[i]
+			sub := sub
+			go func() { ch <- s.scatterScan(sub.Key, sub.Limit) }()
+		default:
+			resps[i] <- Reply{Status: StatusBadRequest}
+		}
+	}
+	rep := Reply{Status: StatusOK, Sub: make([]Reply, len(req.Sub))}
+	for i, ch := range resps {
+		rep.Sub[i] = <-ch
+	}
+	return rep
+}
+
+// Stats is the decoded STATS document.
+type Stats struct {
+	Shards      int          `json:"shards"`
+	Connections int64        `json:"connections"`
+	Requests    uint64       `json:"requests"`
+	Errors      uint64       `json:"errors"`
+	UptimeMS    int64        `json:"uptime_ms"`
+	PerShard    []ShardStats `json:"per_shard"`
+}
+
+// CollectStats assembles the server's statistics from published counters.
+func (s *Server) CollectStats() Stats {
+	st := Stats{
+		Shards:      len(s.shards),
+		Connections: s.connCount.Load(),
+		Requests:    s.requests.Load(),
+		Errors:      s.errored.Load(),
+		UptimeMS:    time.Since(s.started).Milliseconds(),
+	}
+	for _, sh := range s.shards {
+		st.PerShard = append(st.PerShard, sh.stats())
+	}
+	return st
+}
+
+func (s *Server) statsReply() Reply {
+	blob, err := json.Marshal(s.CollectStats())
+	if err != nil {
+		return Reply{Status: StatusInternal}
+	}
+	return Reply{Status: StatusOK, Blob: blob}
+}
+
+// Checkpoint forces every shard to publish its root and snapshot its pool
+// to the backing store, synchronously. This is the durability barrier
+// clients can request (the CHECKPOINT op).
+func (s *Server) Checkpoint() error {
+	resps := make([]chan Reply, len(s.shards))
+	for i, sh := range s.shards {
+		resps[i] = make(chan Reply, 1)
+		sh.queue <- &request{ctl: ctlCheckpoint, resp: resps[i]}
+	}
+	for _, ch := range resps {
+		if rep := <-ch; rep.Status != StatusOK {
+			return errors.New("server: checkpoint failed")
+		}
+	}
+	return nil
+}
+
+// InjectCrash makes one shard lose power and recover from its last
+// checkpoint, synchronously, while every other shard keeps serving. It is
+// the server-level fault-injection hook the crash tests drive.
+func (s *Server) InjectCrash(shardID int) error {
+	if shardID < 0 || shardID >= len(s.shards) {
+		return fmt.Errorf("server: no shard %d", shardID)
+	}
+	resp := make(chan Reply, 1)
+	s.shards[shardID].queue <- &request{ctl: ctlCrash, resp: resp}
+	if rep := <-resp; rep.Status != StatusOK {
+		return errors.New("server: injected crash failed to recover")
+	}
+	return nil
+}
+
+// Close shuts the server down gracefully: stop accepting, sever client
+// connections, drain every shard queue, and checkpoint every pool.
+func (s *Server) Close() error {
+	s.shutdownNetwork()
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+	return nil
+}
+
+// Abort is the simulated kill -9: the network and workers stop without a
+// final checkpoint, so every shard rolls back to its last checkpoint when
+// a new server opens the same stores.
+func (s *Server) Abort() {
+	s.shutdownNetwork()
+	for _, sh := range s.shards {
+		sh.abort.Store(true)
+		close(sh.queue)
+	}
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+}
+
+func (s *Server) shutdownNetwork() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

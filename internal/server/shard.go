@@ -1,0 +1,316 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"nvref/internal/fault"
+	"nvref/internal/kvstore"
+	"nvref/internal/obs"
+	"nvref/internal/pmem"
+	"nvref/internal/rt"
+	"nvref/internal/structures"
+)
+
+// CrashPointOp is the fault crash point each shard worker evaluates before
+// every data operation. Arm a per-shard fault.Scheduler (Config.Sched) to
+// make the shard lose power there and recover from its last checkpoint
+// while the other shards keep serving.
+const CrashPointOp = "server.shard.op"
+
+var siteShardRoot = rt.NewSite("server.shard.root", false)
+
+// Control request kinds (zero means a data request).
+const (
+	ctlCheckpoint byte = iota + 1
+	ctlCrash
+)
+
+// request is one unit of work on a shard queue. Exactly one response is
+// delivered on resp.
+type request struct {
+	op         byte
+	key, value uint64
+	limit      int
+	ctl        byte
+	start      time.Time
+	resp       chan Reply
+}
+
+// shardConfig parameterizes one engine shard.
+type shardConfig struct {
+	id              int
+	mode            rt.Mode
+	store           pmem.Store // nil disables persistence (and crash recovery)
+	poolSize        uint64
+	queueDepth      int
+	checkpointEvery int
+	sched           fault.Scheduler // per-shard; evaluated at CrashPointOp
+	latency         *obs.Histogram  // queue+service latency, microseconds
+}
+
+// shard is one engine shard: a single worker goroutine owns the simulation
+// context, index, and store, and consumes the bounded queue. All other
+// goroutines communicate through the queue and the published atomics.
+type shard struct {
+	cfg   shardConfig
+	queue chan *request
+	done  chan struct{}
+
+	// Worker-owned engine state. Never touched outside the worker (and
+	// open(), which runs before the worker starts).
+	ctx       *rt.Context
+	st        *kvstore.Store
+	rb        *structures.RB
+	sinceCkpt int
+
+	// Published state, read by metrics collectors and STATS.
+	ops, gets, puts, dels, scans   atomic.Uint64
+	crashes, recoveries            atomic.Uint64
+	checkpoints                    atomic.Uint64
+	fsckErrors, fsckWarns, repairs atomic.Uint64
+	cycles, keys                   atomic.Uint64
+	queueHighWater                 atomic.Uint64
+
+	// abort, when true at drain time, suppresses the final checkpoint —
+	// the simulated kill -9 path.
+	abort atomic.Bool
+}
+
+func newShard(cfg shardConfig) (*shard, error) {
+	if cfg.queueDepth <= 0 {
+		cfg.queueDepth = 128
+	}
+	sh := &shard{
+		cfg:   cfg,
+		queue: make(chan *request, cfg.queueDepth),
+		done:  make(chan struct{}),
+	}
+	if err := sh.open(); err != nil {
+		return nil, fmt.Errorf("server: shard %d: %w", cfg.id, err)
+	}
+	return sh, nil
+}
+
+// open builds the engine over the shard's store. When the store already
+// holds a pool image from a previous incarnation (a prior process, or this
+// shard before a crash), the pool is reopened, fsck-checked (repairing if
+// needed), and the index is re-seated on the persisted root.
+func (sh *shard) open() error {
+	ctx, err := rt.New(rt.Config{Mode: sh.cfg.mode, Store: sh.cfg.store, PoolSize: sh.cfg.poolSize})
+	if err != nil {
+		return err
+	}
+	rep := pmem.Fsck(ctx.Pool)
+	for _, issue := range rep.Issues {
+		if issue.Severity == pmem.FsckError {
+			sh.fsckErrors.Add(1)
+		} else {
+			sh.fsckWarns.Add(1)
+		}
+	}
+	if !rep.Consistent() {
+		if _, err := pmem.Repair(ctx.Pool); err != nil {
+			return fmt.Errorf("repair: %w", err)
+		}
+		sh.repairs.Add(1)
+	}
+	st := kvstore.New(ctx, func(c *rt.Context) structures.Index { return structures.NewRB(c) })
+	rb := st.Index().(*structures.RB)
+	if root := ctx.Root(siteShardRoot); !ctx.IsNull(root) {
+		// Re-seat the tree, then count keys with one full scan (the pool
+		// root records only the reference, not the cardinality).
+		rb.SetRootRef(root, 0)
+		n := rb.Scan(0, math.MaxInt32, func(k, v uint64) {})
+		rb.SetRootRef(root, uint64(n))
+	}
+	sh.ctx, sh.st, sh.rb = ctx, st, rb
+	sh.sinceCkpt = 0
+	sh.publish()
+	return nil
+}
+
+// publish copies the worker-owned counters the collectors export.
+func (sh *shard) publish() {
+	sh.cycles.Store(sh.ctx.CPU.Stats.Cycles)
+	sh.keys.Store(sh.rb.Len())
+}
+
+// run is the worker loop: block for one request, then drain a small batch
+// from the queue without blocking, process it, and publish once — queueing
+// amortizes the checkpoint cadence and the metric publication.
+func (sh *shard) run() {
+	defer close(sh.done)
+	const maxBatch = 64
+	batch := make([]*request, 0, maxBatch)
+	open := true
+	for open {
+		req, ok := <-sh.queue
+		if !ok {
+			break
+		}
+		batch = append(batch[:0], req)
+	drain:
+		for len(batch) < maxBatch {
+			select {
+			case r, ok := <-sh.queue:
+				if !ok {
+					open = false
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		if hw := uint64(len(batch) + len(sh.queue)); hw > sh.queueHighWater.Load() {
+			sh.queueHighWater.Store(hw)
+		}
+		for _, r := range batch {
+			sh.handle(r)
+		}
+		sh.afterBatch(len(batch))
+	}
+	// Drain whatever arrived between the last receive and queue close.
+	for req := range sh.queue {
+		sh.handle(req)
+	}
+	if !sh.abort.Load() {
+		_ = sh.checkpoint()
+	}
+	sh.publish()
+}
+
+// handle executes one request and delivers its reply.
+func (sh *shard) handle(req *request) {
+	switch req.ctl {
+	case ctlCheckpoint:
+		if err := sh.checkpoint(); err != nil {
+			req.resp <- Reply{Status: StatusInternal}
+			return
+		}
+		req.resp <- Reply{Status: StatusOK}
+		return
+	case ctlCrash:
+		sh.crashAndRecover()
+		req.resp <- Reply{Status: StatusOK}
+		return
+	}
+	if sh.cfg.sched != nil && sh.cfg.sched.Hit(CrashPointOp) {
+		sh.crashAndRecover()
+	}
+	var rep Reply
+	rep.Status = StatusOK
+	switch req.op {
+	case OpGet:
+		rep.Value, rep.Found = sh.st.Get(req.key)
+		sh.gets.Add(1)
+	case OpPut:
+		sh.st.Set(req.key, req.value)
+		sh.puts.Add(1)
+	case OpDelete:
+		rep.Found, _ = sh.st.Delete(req.key)
+		sh.dels.Add(1)
+	case OpScan:
+		rep.Pairs = make([]KV, 0, req.limit)
+		sh.st.ScanVisit(req.key, req.limit, func(k, v uint64) {
+			rep.Pairs = append(rep.Pairs, KV{Key: k, Value: v})
+		})
+		sh.scans.Add(1)
+	default:
+		rep = Reply{Status: StatusBadRequest}
+	}
+	sh.ops.Add(1)
+	if sh.cfg.latency != nil && !req.start.IsZero() {
+		sh.cfg.latency.Observe(uint64(time.Since(req.start).Microseconds()))
+	}
+	req.resp <- rep
+}
+
+// afterBatch publishes counters and runs the periodic checkpoint.
+func (sh *shard) afterBatch(n int) {
+	sh.publish()
+	if sh.cfg.checkpointEvery > 0 {
+		sh.sinceCkpt += n
+		if sh.sinceCkpt >= sh.cfg.checkpointEvery {
+			_ = sh.checkpoint() // next one retries; durability is at-checkpoint
+		}
+	}
+}
+
+// checkpoint publishes the index root into the pool header and snapshots
+// every pool to the backing store. This is the durability barrier: a crash
+// rolls the shard back to its most recent checkpoint.
+func (sh *shard) checkpoint() error {
+	if sh.cfg.store == nil {
+		return nil
+	}
+	sh.ctx.SetRoot(siteShardRoot, sh.rb.Root())
+	if err := sh.ctx.Persist(); err != nil {
+		return err
+	}
+	sh.checkpoints.Add(1)
+	sh.sinceCkpt = 0
+	return nil
+}
+
+// crashAndRecover simulates losing power on this shard alone: the mapped
+// pool, the DRAM heap, and every local pointer vanish; recovery reopens the
+// pool from the store's last checkpointed image (possibly at a different
+// base — relative references make that safe), fscks it, and re-seats the
+// index from the persisted root. Operations acknowledged after the last
+// checkpoint are rolled back, which is the service's documented durability
+// contract.
+func (sh *shard) crashAndRecover() {
+	sh.crashes.Add(1)
+	sh.ctx, sh.st, sh.rb = nil, nil, nil
+	if err := sh.open(); err != nil {
+		// A shard that cannot recover is a harness bug (the store is
+		// in-process); fail loudly rather than serving from nil state.
+		panic(fmt.Sprintf("server: shard %d failed to recover: %v", sh.cfg.id, err))
+	}
+	sh.recoveries.Add(1)
+}
+
+// ShardStats is the per-shard block of a STATS reply.
+type ShardStats struct {
+	ID          int    `json:"id"`
+	Ops         uint64 `json:"ops"`
+	Gets        uint64 `json:"gets"`
+	Puts        uint64 `json:"puts"`
+	Deletes     uint64 `json:"deletes"`
+	Scans       uint64 `json:"scans"`
+	Keys        uint64 `json:"keys"`
+	Cycles      uint64 `json:"cycles"`
+	QueueDepth  int    `json:"queue_depth"`
+	QueueHigh   uint64 `json:"queue_high_water"`
+	Checkpoints uint64 `json:"checkpoints"`
+	Crashes     uint64 `json:"crashes"`
+	Recoveries  uint64 `json:"recoveries"`
+	FsckErrors  uint64 `json:"fsck_errors"`
+	FsckWarns   uint64 `json:"fsck_warns"`
+	Repairs     uint64 `json:"repairs"`
+}
+
+func (sh *shard) stats() ShardStats {
+	return ShardStats{
+		ID:          sh.cfg.id,
+		Ops:         sh.ops.Load(),
+		Gets:        sh.gets.Load(),
+		Puts:        sh.puts.Load(),
+		Deletes:     sh.dels.Load(),
+		Scans:       sh.scans.Load(),
+		Keys:        sh.keys.Load(),
+		Cycles:      sh.cycles.Load(),
+		QueueDepth:  len(sh.queue),
+		QueueHigh:   sh.queueHighWater.Load(),
+		Checkpoints: sh.checkpoints.Load(),
+		Crashes:     sh.crashes.Load(),
+		Recoveries:  sh.recoveries.Load(),
+		FsckErrors:  sh.fsckErrors.Load(),
+		FsckWarns:   sh.fsckWarns.Load(),
+		Repairs:     sh.repairs.Load(),
+	}
+}

@@ -21,3 +21,16 @@ go tool cover -func=/tmp/obs_cover.out | awk '
 			exit 1
 		}
 	}'
+
+# The serving tier is the only concurrent subsystem; its race leg carries
+# the same coverage gate.
+go test -race -coverprofile=/tmp/server_cover.out ./internal/server/...
+go tool cover -func=/tmp/server_cover.out | awk '
+	/^total:/ {
+		sub(/%/, "", $3)
+		printf "internal/server coverage: %s%% (gate: 80%%)\n", $3
+		if ($3 + 0 < 80) {
+			print "FAIL: internal/server coverage below 80%"
+			exit 1
+		}
+	}'

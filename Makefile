@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: build test verify bench faults serve
+.PHONY: build test fuzz verify bench faults resilience serve
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(MAKE) fuzz
+
+# Short fuzz smoke over the wire decoder; verify.sh runs the same leg.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/server/
 
 # Full gate: build + vet + race-enabled tests (fault matrix and crash
 # sweep included). CI and pre-merge runs use this.
@@ -18,6 +22,10 @@ bench:
 
 faults:
 	$(GO) run ./cmd/nvbench -experiment faults
+
+# Self-healing gate: shard kills + network faults, zero acked-write loss.
+resilience:
+	$(GO) run ./cmd/nvbench -experiment resilience
 
 # Run the sharded KV daemon with persistent pools and the metrics mux.
 serve:

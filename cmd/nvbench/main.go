@@ -24,7 +24,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve")
+		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve, resilience")
 	quick := flag.Bool("quick", false, "run the scaled-down workload")
 	format := flag.String("format", "table", "output format: table, csv (fig11, fig13, fig14, fig15, table5, knn, scaling), or json (full measurement document)")
 	httpAddr := flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running (e.g. localhost:9090)")
@@ -54,6 +54,10 @@ func main() {
 		// The serve experiment drives the nvserved tier rather than the
 		// single-context harness; it has its own table and JSON forms.
 		err = serve(*quick, *format == "json")
+	case *experiment == "resilience":
+		// The resilience experiment likewise targets the serving tier:
+		// closed-loop load under shard kills and network faults.
+		err = resilience(*quick, *format == "json")
 	case *format == "csv":
 		err = runCSV(*experiment, cfg)
 	case *format == "json":
@@ -201,6 +205,28 @@ func serve(quick, asJSON bool) error {
 	if !res.Pass() {
 		return fmt.Errorf("serve acceptance failed: speedup=%.2fx recovered=%v",
 			res.SimSpeedup, res.Recovery.Recovered)
+	}
+	return nil
+}
+
+// resilience runs the self-healing experiment: YCSB load under repeated
+// worker kills plus a flaky network, gated on zero lost acknowledged
+// writes, supervisor-driven restarts, and a clean post-fault probe.
+func resilience(quick, asJSON bool) error {
+	res, err := bench.RunResilience(bench.ResilienceSpecFor(quick))
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		if err := bench.WriteResilienceJSON(os.Stdout, res); err != nil {
+			return err
+		}
+	} else {
+		bench.WriteResilience(os.Stdout, res)
+	}
+	if !res.Pass() {
+		return fmt.Errorf("resilience acceptance failed: kills=%d restarts=%d lost=%d missing=%d probeErrors=%d",
+			res.Kills, res.Restarts, res.LostWrites, res.MissingKeys, res.ProbeErrors)
 	}
 	return nil
 }

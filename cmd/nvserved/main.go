@@ -13,6 +13,14 @@
 // live in process memory (gone at exit, but crash injection inside the
 // process still exercises recovery).
 //
+// The serving tier is self-healing: each shard worker runs under a
+// supervisor that catches panics, fscks and repairs the shard's pool, and
+// restarts the worker in place; a watchdog opens the shard's circuit
+// breaker when the worker wedges; and a background scrubber periodically
+// fscks idle shards (-scrub-every). Overload is bounded by -admit-wait:
+// requests that cannot be queued in time are answered with an explicit
+// SHED frame instead of blocking the connection.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain every
 // shard queue, checkpoint every pool.
 package main
@@ -26,6 +34,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"nvref/internal/obs"
 	"nvref/internal/pmem"
@@ -42,6 +51,10 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 128, "per-shard bounded queue depth")
 	ckptEvery := flag.Int("checkpoint-every", 8192, "operations between shard checkpoints (negative: only at shutdown)")
 	httpAddr := flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address")
+	admitWait := flag.Duration("admit-wait", 50*time.Millisecond, "max wait for space in a full shard queue before shedding (negative: shed immediately)")
+	wedgeTimeout := flag.Duration("wedge-timeout", 2*time.Second, "declare a shard wedged after this long without progress on queued work (negative: disable watchdog)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 100*time.Millisecond, "how long an open shard circuit breaker fails fast before probing")
+	scrubEvery := flag.Duration("scrub-every", 30*time.Second, "background fsck period for idle shards (0: disable scrubbing)")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -55,7 +68,14 @@ func main() {
 		PoolSize:        *poolSize,
 		QueueDepth:      *queueDepth,
 		CheckpointEvery: *ckptEvery,
+		AdmitWait:       *admitWait,
+		WedgeTimeout:    *wedgeTimeout,
+		BreakerCooldown: *breakerCooldown,
+		ScrubEvery:      *scrubEvery,
 		Reg:             obs.NewRegistry(),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "nvserved: "+format+"\n", args...)
+		},
 	}
 	if *data != "" {
 		cfg.StoreFor = func(i int) pmem.Store {

@@ -182,3 +182,39 @@ func (t *Trigger) Fired() bool {
 	defer t.mu.Unlock()
 	return t.hits >= t.n
 }
+
+// Periodic is a goroutine-safe Scheduler that fires on every nth execution
+// of one labeled crash point — the recurring sibling of Trigger. The
+// flaky-network wrapper uses it to fault a steady fraction of I/O calls;
+// an empty label matches every point, so one Periodic can drive both the
+// read and write points at once.
+type Periodic struct {
+	label string
+	every uint64
+	hits  atomic.Uint64
+	fired atomic.Uint64
+}
+
+// NewPeriodic returns a Periodic firing at every nth (1-based) hit of
+// label; an empty label matches all points.
+func NewPeriodic(label string, every int) *Periodic {
+	if every < 1 {
+		every = 1
+	}
+	return &Periodic{label: label, every: uint64(every)}
+}
+
+// Hit implements Scheduler.
+func (p *Periodic) Hit(label string) bool {
+	if p.label != "" && label != p.label {
+		return false
+	}
+	if p.hits.Add(1)%p.every != 0 {
+		return false
+	}
+	p.fired.Add(1)
+	return true
+}
+
+// Fired returns how many times the scheduler has fired.
+func (p *Periodic) Fired() uint64 { return p.fired.Load() }

@@ -1,0 +1,126 @@
+// Package flaky wraps a net.Conn with deterministic, seed-driven network
+// fault injection: scheduled Read/Write calls are delayed, truncated, or
+// severed outright. It is the network-level sibling of fault/inject (which
+// faults the pmem store): the same fault.Scheduler decides *when* a fault
+// fires and the same seeded fault.Rand decides *what* happens, so a given
+// (schedule, seed) pair reproduces the same flaky network byte-for-byte.
+//
+// The wrapper injects faults the transport can really produce — a peer
+// resetting the connection (drop), a frame cut mid-write (truncate), a
+// congested link (delay) — so the serving tier's client resilience (retry,
+// re-dial, deadlines) is exercised against realistic failures rather than
+// synthetic error values: a severed conn yields the same *net.OpError a
+// real reset does.
+package flaky
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+
+	"nvref/internal/fault"
+)
+
+// Crash-point labels the wrapper evaluates on the armed scheduler. Reads
+// and writes are separate points so a schedule can fault only one
+// direction.
+const (
+	PointRead  = "flaky.conn.read"
+	PointWrite = "flaky.conn.write"
+)
+
+// Config parameterizes the wrapper.
+type Config struct {
+	// Sched decides which Read/Write calls fault. Nil never faults.
+	Sched fault.Scheduler
+	// Seed drives which fault class fires and where truncation cuts.
+	Seed uint64
+	// MaxDelay bounds an injected delay (default 2ms).
+	MaxDelay time.Duration
+}
+
+// Conn is a net.Conn with scheduled faults on Read and Write. Counters are
+// atomics so tests and the bench can read them while traffic flows.
+type Conn struct {
+	net.Conn
+	cfg Config
+	rng *fault.Rand
+
+	// Drops, Truncs, Delays count the injected faults by class.
+	Drops, Truncs, Delays atomic.Uint64
+}
+
+// Wrap wraps c. The zero Config passes everything through.
+func Wrap(c net.Conn, cfg Config) *Conn {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	return &Conn{Conn: c, cfg: cfg, rng: fault.NewRand(cfg.Seed | 1)}
+}
+
+// Dialer returns a dial function that wraps every new connection — plug it
+// into server.DialResilientFunc to put the flaky network between the
+// resilient client and the server. Each connection shares the scheduler
+// (faults are scheduled across the client's lifetime, re-dials included)
+// but derives its own rng stream.
+func Dialer(cfg Config) func(addr string) (net.Conn, error) {
+	var n atomic.Uint64
+	return func(addr string) (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		sub := cfg
+		sub.Seed = cfg.Seed + 0x9e3779b97f4a7c15*n.Add(1)
+		return Wrap(c, sub), nil
+	}
+}
+
+// fire picks and applies one fault class. It reports whether the
+// connection was severed (the caller should fall through to the underlying
+// op, which then fails with the transport's own error).
+func (c *Conn) fire(p []byte, writing bool) (truncated int, severed bool) {
+	switch c.rng.Intn(3) {
+	case 0: // drop: sever the connection mid-operation
+		c.Drops.Add(1)
+		_ = c.Conn.Close()
+		return 0, true
+	case 1: // truncate: deliver only a prefix, then sever
+		if writing && len(p) > 0 {
+			c.Truncs.Add(1)
+			n, _ := c.Conn.Write(p[:c.rng.Intn(len(p))])
+			_ = c.Conn.Close()
+			return n, true
+		}
+		// Truncating a read is the peer's write cut short: just sever.
+		c.Truncs.Add(1)
+		_ = c.Conn.Close()
+		return 0, true
+	default: // delay: a congested link, bounded by MaxDelay
+		c.Delays.Add(1)
+		time.Sleep(time.Duration(c.rng.Intn(int(c.cfg.MaxDelay))) + time.Microsecond)
+		return 0, false
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.cfg.Sched != nil && c.cfg.Sched.Hit(PointRead) {
+		if _, severed := c.fire(p, false); severed {
+			// The closed conn produces the real transport error.
+			return c.Conn.Read(p)
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.cfg.Sched != nil && c.cfg.Sched.Hit(PointWrite) {
+		if n, severed := c.fire(p, true); severed {
+			if n > 0 {
+				return n, net.ErrClosed
+			}
+			return c.Conn.Write(p)
+		}
+	}
+	return c.Conn.Write(p)
+}

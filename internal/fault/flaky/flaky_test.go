@@ -1,0 +1,158 @@
+package flaky
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"nvref/internal/fault"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := conn.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := conn.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l
+}
+
+func dialEcho(t *testing.T, l net.Listener, cfg Config) *Conn {
+	t.Helper()
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Wrap(raw, cfg)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestPassthrough: a zero schedule never faults; bytes flow unchanged.
+func TestPassthrough(t *testing.T) {
+	l := echoServer(t)
+	c := dialEcho(t, l, Config{Seed: 1})
+	msg := []byte("hello over a calm network")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echo got %q, want %q", got, msg)
+	}
+	if c.Drops.Load()+c.Truncs.Load()+c.Delays.Load() != 0 {
+		t.Fatal("faults fired with no scheduler armed")
+	}
+}
+
+// TestEveryWriteFaults arms a fire-always scheduler on the write point and
+// keeps writing until the connection dies: within a few writes a drop or
+// truncation must sever it, and every write must have recorded a fault.
+func TestEveryWriteFaults(t *testing.T) {
+	l := echoServer(t)
+	c := dialEcho(t, l, Config{Sched: fault.NewPeriodic(PointWrite, 1), Seed: 42})
+	var sawError bool
+	for i := 0; i < 64; i++ {
+		if _, err := c.Write([]byte("payload payload payload")); err != nil {
+			sawError = true
+			break
+		}
+	}
+	if !sawError {
+		t.Fatal("64 always-faulting writes all succeeded; drop/truncate never fired")
+	}
+	total := c.Drops.Load() + c.Truncs.Load() + c.Delays.Load()
+	if total == 0 {
+		t.Fatal("no fault counters recorded")
+	}
+	if c.Drops.Load()+c.Truncs.Load() == 0 {
+		t.Fatal("connection errored without a drop or truncation")
+	}
+}
+
+// TestReadFaultSevers arms the read point: a scheduled read must either
+// delay (data still arrives) or sever the conn (read fails) — and the
+// same seed must reproduce the same class sequence.
+func TestReadFaultSevers(t *testing.T) {
+	classes := func(seed uint64) (drops, truncs, delays uint64) {
+		l := echoServer(t)
+		c := dialEcho(t, l, Config{Sched: fault.NewPeriodic(PointRead, 1), Seed: seed})
+		buf := make([]byte, 16)
+		for i := 0; i < 32; i++ {
+			if _, err := c.Write([]byte("0123456789abcdef")); err != nil {
+				break
+			}
+			c.SetReadDeadline(time.Now().Add(time.Second))
+			if _, err := c.Read(buf); err != nil {
+				break
+			}
+		}
+		return c.Drops.Load(), c.Truncs.Load(), c.Delays.Load()
+	}
+	d1, t1, dl1 := classes(7)
+	if d1+t1+dl1 == 0 {
+		t.Fatal("no read faults fired")
+	}
+	d2, t2, dl2 := classes(7)
+	if d1 != d2 || t1 != t2 || dl1 != dl2 {
+		t.Fatalf("same seed diverged: (%d,%d,%d) vs (%d,%d,%d)", d1, t1, dl1, d2, t2, dl2)
+	}
+}
+
+// TestDialerWrapsEveryConn: connections from the Dialer share the
+// scheduler but carry their own rng streams.
+func TestDialerWrapsEveryConn(t *testing.T) {
+	l := echoServer(t)
+	sched := fault.NewPeriodic("", 1)
+	dial := Dialer(Config{Sched: sched, Seed: 9})
+	for i := 0; i < 3; i++ {
+		conn, err := dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write([]byte("x"))
+		conn.Close()
+	}
+	if sched.Fired() == 0 {
+		t.Fatal("shared scheduler never fired across dialed conns")
+	}
+}
+
+func readFull(c net.Conn, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := c.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Circuit-breaker states. The breaker guards one shard's queue: while the
+// shard is recovering or wedged the breaker is open and admission fails
+// fast with StatusUnavailable instead of queueing work the shard cannot
+// serve. After the cooldown one probe request is let through (half-open);
+// the worker closes the breaker when it serves any request, and a shed
+// probe re-opens it.
+const (
+	brClosed int32 = iota
+	brOpen
+	brHalfOpen
+)
+
+func breakerStateName(s int32) string {
+	switch s {
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-shard circuit breaker. All fields are atomics: Allow is
+// called on every dispatch, ForceOpen/Reset from the supervisor and
+// watchdog, and the worker resets it after serving — none of them may
+// block another.
+type breaker struct {
+	state    atomic.Int32
+	openedNS atomic.Int64 // when the breaker last opened (UnixNano)
+	cooldown time.Duration
+	opens    atomic.Uint64
+}
+
+func newBreaker(cooldown time.Duration) *breaker {
+	return &breaker{cooldown: cooldown}
+}
+
+// Allow reports whether a request may be admitted to the shard queue.
+// While open it fails until the cooldown has elapsed, then transitions to
+// half-open and admits exactly one probe per transition.
+func (b *breaker) Allow() bool {
+	switch b.state.Load() {
+	case brClosed:
+		return true
+	case brOpen:
+		if b.cooldown > 0 && time.Since(time.Unix(0, b.openedNS.Load())) >= b.cooldown {
+			// The CAS winner carries the probe; losers stay refused.
+			return b.state.CompareAndSwap(brOpen, brHalfOpen)
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// ForceOpen trips the breaker (recovery in flight, or the watchdog
+// declared the worker wedged) and restamps the cooldown clock.
+func (b *breaker) ForceOpen() {
+	b.openedNS.Store(time.Now().UnixNano())
+	if b.state.Swap(brOpen) != brOpen {
+		b.opens.Add(1)
+	}
+}
+
+// Reset closes the breaker (the shard served a request, or recovery
+// completed).
+func (b *breaker) Reset() { b.state.Store(brClosed) }
+
+// State returns the current state for metrics and stats.
+func (b *breaker) State() int32 { return b.state.Load() }
+
+// Opens returns how many times the breaker has tripped.
+func (b *breaker) Opens() uint64 { return b.opens.Load() }

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := newBreaker(20 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("closed breaker refused")
+	}
+	if b.State() != brClosed || breakerStateName(b.State()) != "closed" {
+		t.Fatalf("fresh breaker state = %s", breakerStateName(b.State()))
+	}
+
+	b.ForceOpen()
+	if b.State() != brOpen || b.Opens() != 1 {
+		t.Fatalf("after ForceOpen: state=%s opens=%d", breakerStateName(b.State()), b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	// Re-tripping an already-open breaker must not double-count.
+	b.ForceOpen()
+	if b.Opens() != 1 {
+		t.Fatalf("re-trip counted: opens=%d", b.Opens())
+	}
+
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if b.State() != brHalfOpen {
+		t.Fatalf("after probe admission: state=%s, want half-open", breakerStateName(b.State()))
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+
+	b.Reset()
+	if b.State() != brClosed || !b.Allow() {
+		t.Fatal("reset breaker must be closed and admitting")
+	}
+
+	// A failed probe re-opens and restarts the cooldown clock.
+	b.ForceOpen()
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.ForceOpen()
+	if b.Opens() != 3 {
+		t.Fatalf("opens=%d, want 3", b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("freshly re-opened breaker admitted immediately")
+	}
+}
+
+func TestBreakerProbeSingleWinner(t *testing.T) {
+	b := newBreaker(time.Millisecond)
+	b.ForceOpen()
+	time.Sleep(5 * time.Millisecond)
+	// Many concurrent Allow calls after cooldown: exactly one probe.
+	const callers = 16
+	results := make(chan bool, callers)
+	for i := 0; i < callers; i++ {
+		go func() { results <- b.Allow() }()
+	}
+	admitted := 0
+	for i := 0; i < callers; i++ {
+		if <-results {
+			admitted++
+		}
+	}
+	if admitted != 1 {
+		t.Fatalf("half-open admitted %d probes, want exactly 1", admitted)
+	}
+}

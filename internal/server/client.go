@@ -4,18 +4,30 @@ import (
 	"bufio"
 	"encoding/json"
 	"net"
+	"time"
 )
 
 // Client is a synchronous nvserved client over one TCP connection. It is
 // not safe for concurrent use; open one Client per goroutine (as the
 // closed-loop load generator does), or use Pipeline to keep many requests
 // in flight on a single connection.
+//
+// By default every network operation carries an I/O deadline (DefaultTimeout)
+// so a dead peer fails the call instead of hanging it forever; tune it with
+// SetTimeout. For fail-fast behavior on the server side too, SetTTL attaches
+// a deadline envelope to every request.
 type Client struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	buf  []byte
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	buf     []byte
+	timeout time.Duration
+	ttl     uint32
 }
+
+// DefaultTimeout is the I/O deadline applied to each send and receive
+// unless SetTimeout overrides it.
+const DefaultTimeout = 30 * time.Second
 
 // Dial connects to an nvserved instance.
 func Dial(addr string) (*Client, error) {
@@ -23,15 +35,38 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
-	}, nil
+	return NewClient(conn), nil
 }
+
+// NewClient wraps an established connection (use it to interpose fault
+// injectors or custom transports).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		bw:      bufio.NewWriter(conn),
+		timeout: DefaultTimeout,
+	}
+}
+
+// SetTimeout sets the per-operation I/O deadline (0 disables deadlines —
+// the pre-resilience behavior of blocking forever on a dead peer).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetTTL attaches a deadline envelope of ttlMS milliseconds to every
+// subsequent request (0 removes it): the server answers StatusDeadline
+// instead of executing an operation still queued past its budget.
+func (c *Client) SetTTL(ttlMS uint32) { c.ttl = ttlMS }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) stamp(req *Request) *Request {
+	if c.ttl > 0 && req.TTLms == 0 {
+		req.TTLms = c.ttl
+	}
+	return req
+}
 
 func (c *Client) send(req *Request) error {
 	body, err := AppendRequest(c.buf[:0], req)
@@ -39,6 +74,11 @@ func (c *Client) send(req *Request) error {
 		return err
 	}
 	c.buf = body[:0]
+	if c.timeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+			return err
+		}
+	}
 	if err := WriteFrame(c.bw, body); err != nil {
 		return err
 	}
@@ -46,6 +86,11 @@ func (c *Client) send(req *Request) error {
 }
 
 func (c *Client) recv(req *Request) (*Reply, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, err
+		}
+	}
 	body, err := ReadFrame(c.br)
 	if err != nil {
 		return nil, err
@@ -58,7 +103,7 @@ func (c *Client) recv(req *Request) (*Reply, error) {
 }
 
 func (c *Client) roundTrip(req *Request) (*Reply, error) {
-	if err := c.send(req); err != nil {
+	if err := c.send(c.stamp(req)); err != nil {
 		return nil, err
 	}
 	return c.recv(req)
@@ -144,7 +189,7 @@ func (p *Pipeline) add(req *Request) {
 	if p.err != nil {
 		return
 	}
-	body, err := AppendRequest(nil, req)
+	body, err := AppendRequest(nil, p.c.stamp(req))
 	if err != nil {
 		p.err = err
 		return
@@ -174,6 +219,11 @@ func (p *Pipeline) Scan(start uint64, limit int) {
 func (p *Pipeline) Run() ([]Reply, error) {
 	if p.err != nil {
 		return nil, p.err
+	}
+	if p.c.timeout > 0 {
+		if err := p.c.conn.SetWriteDeadline(time.Now().Add(p.c.timeout)); err != nil {
+			return nil, err
+		}
 	}
 	if err := p.c.bw.Flush(); err != nil {
 		return nil, err

@@ -22,6 +22,20 @@
 //	STATS      (empty)                     → len u32, JSON bytes
 //	CHECKPOINT (empty)                     → (empty)
 //
+// A request may be prefixed with a deadline envelope — `u8 OpDeadline |
+// u32 ttl_ms` — giving the server a time budget: requests still queued
+// when the budget expires are answered with StatusDeadline instead of
+// executing. The envelope is only legal at the top level of a frame.
+//
+// Besides OK, BadRequest, and Internal, replies carry the overload and
+// availability statuses of the self-healing tier: StatusShed (the shard's
+// bounded queue refused admission), StatusUnavailable (the shard's
+// circuit breaker is open — it is recovering or wedged), and
+// StatusDeadline (the request's budget expired before execution). All
+// three are explicit fail-fast frames: the server answers immediately
+// rather than blocking the connection, and Retryable reports which
+// errors a client may safely retry for these idempotent operations.
+//
 // Responses are returned in request order on each connection, so clients
 // may pipeline: write many frames, then read as many replies.
 package server
@@ -31,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Op codes of the wire protocol.
@@ -42,6 +57,9 @@ const (
 	OpBatch      byte = 5
 	OpStats      byte = 6
 	OpCheckpoint byte = 7
+	// OpDeadline is the envelope prefix carrying a request time budget; it
+	// wraps exactly one top-level request and never appears inside a batch.
+	OpDeadline byte = 8
 )
 
 // Reply status codes.
@@ -49,6 +67,15 @@ const (
 	StatusOK         byte = 0
 	StatusBadRequest byte = 1
 	StatusInternal   byte = 2
+	// StatusShed: the shard's bounded queue refused admission within the
+	// admission wait — the server is overloaded. Retryable after backoff.
+	StatusShed byte = 3
+	// StatusUnavailable: the shard's circuit breaker is open (the shard is
+	// recovering from a crash or wedged). Retryable after backoff.
+	StatusUnavailable byte = 4
+	// StatusDeadline: the request's deadline envelope expired before the
+	// shard executed it; the operation was not applied.
+	StatusDeadline byte = 5
 )
 
 // MaxFrame bounds a single frame body; anything larger is a protocol
@@ -62,8 +89,46 @@ const MaxScanLimit = 4096
 // MaxBatch bounds how many sub-requests one BATCH may carry.
 const MaxBatch = 1024
 
+// MaxTTLms bounds the deadline envelope's budget (one hour): anything
+// larger is a malformed frame, not a deadline.
+const MaxTTLms = 3600 * 1000
+
 // ErrProto reports a malformed frame or payload.
 var ErrProto = errors.New("server: protocol error")
+
+// Typed errors for the fail-fast statuses, so clients can pick a retry
+// policy with errors.Is.
+var (
+	ErrShed        = errors.New("server: overloaded, request shed")
+	ErrUnavailable = errors.New("server: shard unavailable")
+	ErrDeadline    = errors.New("server: deadline exceeded")
+)
+
+// Retryable reports whether err is worth retrying on the same or a fresh
+// connection: the explicit fail-fast statuses (shed, unavailable,
+// deadline — every protocol op is idempotent, so a deadline-expired write
+// may be reissued) and transport-level failures. Protocol errors and
+// internal errors are not retryable.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrShed) || errors.Is(err, ErrUnavailable) || errors.Is(err, ErrDeadline) {
+		return true
+	}
+	if errors.Is(err, ErrProto) {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
 
 // KV is one key/value pair in a SCAN reply.
 type KV struct {
@@ -78,6 +143,9 @@ type Request struct {
 	Value uint64
 	Limit int
 	Sub   []Request // BATCH only; sub-requests may not themselves batch
+	// TTLms, when nonzero, is the deadline envelope's time budget in
+	// milliseconds. Only legal on a top-level request.
+	TTLms uint32
 }
 
 // Reply is one decoded response.
@@ -97,6 +165,12 @@ func (r *Reply) Err() error {
 		return nil
 	case StatusBadRequest:
 		return fmt.Errorf("%w: bad request", ErrProto)
+	case StatusShed:
+		return ErrShed
+	case StatusUnavailable:
+		return ErrUnavailable
+	case StatusDeadline:
+		return ErrDeadline
 	default:
 		return fmt.Errorf("server: internal error (status %d)", r.Status)
 	}
@@ -137,8 +211,21 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 
 // ---- Request encoding ----------------------------------------------------
 
-// AppendRequest appends the wire form of req to buf.
+// AppendRequest appends the wire form of req to buf, emitting the
+// deadline envelope first when the request carries a time budget.
 func AppendRequest(buf []byte, req *Request) ([]byte, error) {
+	if req.TTLms > 0 {
+		if req.TTLms > MaxTTLms {
+			return nil, fmt.Errorf("%w: ttl %dms exceeds %dms", ErrProto, req.TTLms, MaxTTLms)
+		}
+		buf = append(buf, OpDeadline)
+		buf = binary.LittleEndian.AppendUint32(buf, req.TTLms)
+	}
+	return appendRequestBody(buf, req)
+}
+
+// appendRequestBody appends the envelope-free wire form of req.
+func appendRequestBody(buf []byte, req *Request) ([]byte, error) {
 	buf = append(buf, req.Op)
 	switch req.Op {
 	case OpGet, OpDelete:
@@ -159,8 +246,11 @@ func AppendRequest(buf []byte, req *Request) ([]byte, error) {
 			if sub.Op == OpBatch || sub.Op == OpStats || sub.Op == OpCheckpoint {
 				return nil, fmt.Errorf("%w: op %d may not appear inside a batch", ErrProto, sub.Op)
 			}
+			if sub.TTLms != 0 {
+				return nil, fmt.Errorf("%w: deadline envelope inside a batch", ErrProto)
+			}
 			var err error
-			if buf, err = AppendRequest(buf, sub); err != nil {
+			if buf, err = appendRequestBody(buf, sub); err != nil {
 				return nil, err
 			}
 		}
@@ -214,9 +304,26 @@ func (c *cursor) bytes(n int) ([]byte, error) {
 	return v, nil
 }
 
-// DecodeRequest parses one request frame body.
+// remaining returns how many undecoded bytes the cursor still holds; count
+// prefixes are validated against it before any allocation, so a tiny frame
+// claiming a huge count never earns a huge make().
+func (c *cursor) remaining() int { return len(c.b) - c.off }
+
+// DecodeRequest parses one request frame body, unwrapping an optional
+// top-level deadline envelope into Request.TTLms.
 func DecodeRequest(body []byte) (*Request, error) {
 	c := &cursor{b: body}
+	var ttl uint32
+	if len(body) > 0 && body[0] == OpDeadline {
+		c.off = 1
+		var err error
+		if ttl, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if ttl == 0 || ttl > MaxTTLms {
+			return nil, fmt.Errorf("%w: ttl %dms outside (0, %d]", ErrProto, ttl, MaxTTLms)
+		}
+	}
 	req, err := decodeRequest(c, true)
 	if err != nil {
 		return nil, err
@@ -224,6 +331,7 @@ func DecodeRequest(body []byte) (*Request, error) {
 	if c.off != len(body) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrProto, len(body)-c.off)
 	}
+	req.TTLms = ttl
 	return req, nil
 }
 
@@ -267,6 +375,11 @@ func decodeRequest(c *cursor, allowBatch bool) (*Request, error) {
 		}
 		if n > MaxBatch {
 			return nil, fmt.Errorf("%w: batch of %d exceeds %d", ErrProto, n, MaxBatch)
+		}
+		// Every sub-request is at least one op byte, so a count the
+		// remaining bytes cannot satisfy is rejected before allocating.
+		if int(n) > c.remaining() {
+			return nil, fmt.Errorf("%w: batch count %d exceeds %d remaining bytes", ErrProto, n, c.remaining())
 		}
 		req.Sub = make([]Request, n)
 		for i := range req.Sub {
@@ -375,6 +488,9 @@ func decodeReply(c *cursor, req *Request) (*Reply, error) {
 		}
 		if n > MaxScanLimit {
 			return nil, fmt.Errorf("%w: scan reply of %d pairs exceeds %d", ErrProto, n, MaxScanLimit)
+		}
+		if int(n)*16 > c.remaining() {
+			return nil, fmt.Errorf("%w: scan reply count %d exceeds %d remaining bytes", ErrProto, n, c.remaining())
 		}
 		rep.Pairs = make([]KV, n)
 		for i := range rep.Pairs {

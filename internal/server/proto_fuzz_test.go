@@ -1,0 +1,147 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds are the valid frames (length prefix included) seeding the
+// corpus — one per op, a deadline-enveloped request, and a batch.
+func fuzzSeeds(f *testing.F) {
+	reqs := []*Request{
+		{Op: OpGet, Key: 42},
+		{Op: OpPut, Key: 1, Value: 2},
+		{Op: OpDelete, Key: ^uint64(0)},
+		{Op: OpScan, Key: 7, Limit: 100},
+		{Op: OpStats},
+		{Op: OpCheckpoint},
+		{Op: OpPut, Key: 9, Value: 10, TTLms: 250},
+		{Op: OpBatch, TTLms: 50, Sub: []Request{
+			{Op: OpGet, Key: 1},
+			{Op: OpPut, Key: 2, Value: 3},
+			{Op: OpScan, Key: 5, Limit: 6},
+		}},
+	}
+	for _, req := range reqs {
+		body, err := AppendRequest(nil, req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, body); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Hostile seeds: oversized length prefix, huge batch count, huge scan
+	// limit, truncated header.
+	big := make([]byte, 4)
+	binary.LittleEndian.PutUint32(big, MaxFrame+1)
+	f.Add(big)
+	f.Add([]byte{5, 0, 0, 0, OpBatch, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{13, 0, 0, 0, OpScan, 1, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{1, 0})
+}
+
+// FuzzDecodeFrame feeds arbitrary byte streams through the exact framing
+// and decoding path handleConn runs: ReadFrame must bound every
+// allocation, DecodeRequest must reject malformed payloads with ErrProto
+// (never panic), and anything it accepts must re-encode and re-decode to
+// the identical request (the codec is a bijection on valid frames).
+func FuzzDecodeFrame(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return // short or oversized frame: rejected before allocation
+		}
+		if len(body) > MaxFrame {
+			t.Fatalf("ReadFrame returned %d bytes, beyond MaxFrame", len(body))
+		}
+		req, err := DecodeRequest(body)
+		if err != nil {
+			if !errors.Is(err, ErrProto) {
+				t.Fatalf("DecodeRequest rejected with non-protocol error %v", err)
+			}
+			return
+		}
+		enc, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("decoded request %+v does not re-encode: %v", req, err)
+		}
+		again, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded request %+v does not re-decode: %v", req, err)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip diverged: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// TestDeadlineEnvelope covers the envelope's decode rules directly: TTL
+// round trip, zero/oversized TTL rejection, and envelope-inside-batch
+// rejection.
+func TestDeadlineEnvelope(t *testing.T) {
+	got := roundTripRequest(t, &Request{Op: OpPut, Key: 3, Value: 4, TTLms: 1500})
+	if got.TTLms != 1500 {
+		t.Fatalf("TTL round trip: got %d, want 1500", got.TTLms)
+	}
+
+	bad := map[string][]byte{
+		"zero ttl":      {OpDeadline, 0, 0, 0, 0, OpStats},
+		"oversized ttl": {OpDeadline, 0xFF, 0xFF, 0xFF, 0xFF, OpStats},
+		"bare envelope": {OpDeadline, 10, 0, 0, 0},
+		"double envelope": {OpDeadline, 10, 0, 0, 0,
+			OpDeadline, 10, 0, 0, 0, OpStats},
+		"envelope in batch": {OpBatch, 1, 0, 0, 0, OpDeadline, 10, 0, 0, 0, OpGet, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for name, body := range bad {
+		if _, err := DecodeRequest(body); !errors.Is(err, ErrProto) {
+			t.Errorf("%s: err = %v, want ErrProto", name, err)
+		}
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpPut, TTLms: MaxTTLms + 1}); !errors.Is(err, ErrProto) {
+		t.Errorf("encode oversized ttl: err = %v, want ErrProto", err)
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpBatch, Sub: []Request{{Op: OpGet, TTLms: 5}}}); !errors.Is(err, ErrProto) {
+		t.Errorf("encode ttl in batch: err = %v, want ErrProto", err)
+	}
+}
+
+// TestDecodeBoundsCounts proves the decoder validates count prefixes
+// against the remaining bytes before allocating: a tiny frame claiming the
+// maximum counts must be rejected, not trusted.
+func TestDecodeBoundsCounts(t *testing.T) {
+	batch := []byte{OpBatch, 0, 4, 0, 0} // 1024 subs claimed, 0 bytes follow
+	if _, err := DecodeRequest(batch); !errors.Is(err, ErrProto) {
+		t.Errorf("undersized batch: err = %v, want ErrProto", err)
+	}
+	// Scan reply claiming MaxScanLimit pairs with an empty body.
+	scanRep := []byte{StatusOK, 0, 16, 0, 0}
+	if _, err := DecodeReply(&Request{Op: OpScan, Limit: 10}, scanRep); !errors.Is(err, ErrProto) {
+		t.Errorf("undersized scan reply: err = %v, want ErrProto", err)
+	}
+}
+
+// TestRetryable pins the retry classification: fail-fast statuses and
+// transport failures retry; protocol and internal errors do not.
+func TestRetryable(t *testing.T) {
+	for _, err := range []error{ErrShed, ErrUnavailable, ErrDeadline} {
+		if !Retryable(err) {
+			t.Errorf("%v must be retryable", err)
+		}
+	}
+	internal := (&Reply{Status: StatusInternal}).Err()
+	for _, err := range []error{nil, ErrProto, internal} {
+		if Retryable(err) {
+			t.Errorf("%v must not be retryable", err)
+		}
+	}
+	if !Retryable((&Reply{Status: StatusShed}).Err()) {
+		t.Error("shed reply error must be retryable")
+	}
+}

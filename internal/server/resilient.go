@@ -1,0 +1,261 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"nvref/internal/fault"
+)
+
+// RetryPolicy parameterizes ResilientClient: how many attempts an
+// operation gets, how backoff grows between them, and the deadlines each
+// attempt carries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per operation, the first
+	// included (default 8).
+	MaxAttempts int
+	// BaseBackoff is the backoff before the first retry; it doubles per
+	// retry (default 2ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the grown backoff (default 250ms).
+	MaxBackoff time.Duration
+	// Timeout is the per-attempt I/O deadline on the underlying
+	// connection (default 2s).
+	Timeout time.Duration
+	// TTLms, when nonzero, attaches a deadline envelope to every request
+	// so the server fails queued work fast instead of executing it late.
+	TTLms uint32
+	// Seed drives the backoff jitter deterministically (default 1).
+	Seed uint64
+}
+
+func (p *RetryPolicy) fillDefaults() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 2 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 2 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// backoff returns the sleep before retry number retry (1-based):
+// exponential growth capped at MaxBackoff, with equal jitter (half fixed,
+// half uniform) so synchronized clients spread out instead of retrying in
+// lockstep.
+func (p *RetryPolicy) backoff(retry int, rng *fault.Rand) time.Duration {
+	d := p.BaseBackoff << uint(retry-1)
+	if d <= 0 || d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rng.Intn(int(half)))
+}
+
+// ResilientClient wraps Client with the client half of the self-healing
+// tier: per-attempt I/O deadlines, retry with exponential backoff and
+// jitter for the retryable failures (shed, unavailable, deadline, and
+// transport errors — every protocol operation is idempotent), and
+// automatic re-dial when the connection itself breaks. Like Client it is
+// not safe for concurrent use; open one per goroutine.
+type ResilientClient struct {
+	addr     string
+	policy   RetryPolicy
+	dialConn func(addr string) (net.Conn, error)
+	c        *Client
+	rng      *fault.Rand
+
+	retries atomic.Uint64
+	redials atomic.Uint64
+}
+
+// DialResilient connects a ResilientClient to an nvserved instance. The
+// initial dial is itself retried under the policy.
+func DialResilient(addr string, policy RetryPolicy) (*ResilientClient, error) {
+	return DialResilientFunc(addr, policy, func(addr string) (net.Conn, error) {
+		return net.Dial("tcp", addr)
+	})
+}
+
+// DialResilientFunc is DialResilient with a custom transport — the hook
+// the flaky-network injector plugs into.
+func DialResilientFunc(addr string, policy RetryPolicy, dialConn func(addr string) (net.Conn, error)) (*ResilientClient, error) {
+	policy.fillDefaults()
+	r := &ResilientClient{
+		addr:     addr,
+		policy:   policy,
+		dialConn: dialConn,
+		rng:      fault.NewRand(policy.Seed),
+	}
+	if _, err := r.client(); err != nil {
+		// Leave the first dial to the first operation's retry loop only if
+		// the caller insists; failing fast here surfaces config errors.
+		return nil, err
+	}
+	return r, nil
+}
+
+// Retries returns how many operation attempts were retried.
+func (r *ResilientClient) Retries() uint64 { return r.retries.Load() }
+
+// Redials returns how many replacement connections were dialed (the first
+// dial excluded).
+func (r *ResilientClient) Redials() uint64 { return r.redials.Load() }
+
+// Close closes the current connection, if any.
+func (r *ResilientClient) Close() error {
+	if r.c == nil {
+		return nil
+	}
+	err := r.c.Close()
+	r.c = nil
+	return err
+}
+
+func (r *ResilientClient) client() (*Client, error) {
+	if r.c != nil {
+		return r.c, nil
+	}
+	conn, err := r.dialConn(r.addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(conn)
+	c.SetTimeout(r.policy.Timeout)
+	c.SetTTL(r.policy.TTLms)
+	r.c = c
+	return c, nil
+}
+
+// dropConn discards the connection after a transport-level failure; the
+// next attempt re-dials. Status errors (shed/unavailable/deadline) keep
+// the connection: a full reply frame was read, so the stream is in sync.
+func (r *ResilientClient) dropConn() {
+	if r.c != nil {
+		_ = r.c.Close()
+		r.c = nil
+		r.redials.Add(1)
+	}
+}
+
+// statusError reports whether err is one of the explicit fail-fast reply
+// statuses (as opposed to a transport failure).
+func statusError(err error) bool {
+	return errors.Is(err, ErrShed) || errors.Is(err, ErrUnavailable) || errors.Is(err, ErrDeadline)
+}
+
+// do runs fn under the retry policy.
+func (r *ResilientClient) do(fn func(c *Client) error) error {
+	var last error
+	for attempt := 1; attempt <= r.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			r.retries.Add(1)
+			time.Sleep(r.policy.backoff(attempt-1, r.rng))
+		}
+		c, err := r.client()
+		if err != nil {
+			last = err // dial failures are always retryable
+			continue
+		}
+		if err := fn(c); err != nil {
+			last = err
+			if !Retryable(err) {
+				return err
+			}
+			if !statusError(err) {
+				r.dropConn()
+			}
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("server: giving up after %d attempts: %w", r.policy.MaxAttempts, last)
+}
+
+// Get reads a key.
+func (r *ResilientClient) Get(key uint64) (value uint64, found bool, err error) {
+	err = r.do(func(c *Client) error {
+		var e error
+		value, found, e = c.Get(key)
+		return e
+	})
+	return value, found, err
+}
+
+// Put inserts or updates a key. PUT is idempotent, so a retry after an
+// ambiguous transport failure is safe: re-applying the same (key, value)
+// converges to the same state.
+func (r *ResilientClient) Put(key, value uint64) error {
+	return r.do(func(c *Client) error { return c.Put(key, value) })
+}
+
+// Delete removes a key. Found reports presence on the attempt that
+// succeeded — after a retry that raced an earlier ambiguous attempt it may
+// be false even though this call performed the delete.
+func (r *ResilientClient) Delete(key uint64) (found bool, err error) {
+	err = r.do(func(c *Client) error {
+		var e error
+		found, e = c.Delete(key)
+		return e
+	})
+	return found, err
+}
+
+// Scan reads up to limit pairs starting at the smallest key >= start.
+func (r *ResilientClient) Scan(start uint64, limit int) (pairs []KV, err error) {
+	err = r.do(func(c *Client) error {
+		var e error
+		pairs, e = c.Scan(start, limit)
+		return e
+	})
+	return pairs, err
+}
+
+// Batch executes the sub-requests as one frame, retrying the whole batch
+// while any sub-reply carries a retryable status (sub-requests are
+// idempotent, so re-running already-applied ones is safe).
+func (r *ResilientClient) Batch(sub []Request) (reps []Reply, err error) {
+	err = r.do(func(c *Client) error {
+		rs, e := c.Batch(sub)
+		if e != nil {
+			return e
+		}
+		for i := range rs {
+			if se := rs[i].Err(); se != nil && Retryable(se) {
+				return se
+			}
+		}
+		reps = rs
+		return nil
+	})
+	return reps, err
+}
+
+// Stats fetches the server's statistics document.
+func (r *ResilientClient) Stats() (st *Stats, err error) {
+	err = r.do(func(c *Client) error {
+		var e error
+		st, e = c.Stats()
+		return e
+	})
+	return st, err
+}
+
+// Checkpoint forces a synchronous durability barrier on every shard.
+func (r *ResilientClient) Checkpoint() error {
+	return r.do(func(c *Client) error { return c.Checkpoint() })
+}

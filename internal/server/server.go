@@ -31,12 +31,28 @@ type Config struct {
 	// benchmark default.
 	PoolSize uint64
 	// QueueDepth bounds each shard's request queue (default 128); a full
-	// queue applies backpressure to connection readers.
+	// queue applies backpressure to connection readers up to AdmitWait,
+	// then sheds.
 	QueueDepth int
 	// CheckpointEvery checkpoints a shard after that many operations
 	// (default 8192; negative means only at explicit barriers and graceful
 	// shutdown).
 	CheckpointEvery int
+	// AdmitWait bounds how long admission waits for space in a full shard
+	// queue before answering StatusShed (default 50ms; negative sheds
+	// immediately on a full queue).
+	AdmitWait time.Duration
+	// WedgeTimeout is how long a shard may hold queued work without making
+	// progress before the watchdog declares it wedged and opens its
+	// circuit breaker (default 2s; negative disables the watchdog).
+	WedgeTimeout time.Duration
+	// BreakerCooldown is how long an open shard breaker fails fast before
+	// admitting a half-open probe (default 100ms).
+	BreakerCooldown time.Duration
+	// ScrubEvery, when positive, runs the background scrubber: idle
+	// healthy shards are fsck-checked (and repaired if needed) at this
+	// period, Pangolin-style. Zero disables scrubbing.
+	ScrubEvery time.Duration
 	// StoreFor supplies each shard's backing store. Nil stores every shard
 	// in a fresh MemStore (persistent across crashes injected into this
 	// server, not across processes).
@@ -45,9 +61,13 @@ type Config struct {
 	// worker evaluates it at CrashPointOp before every data operation.
 	SchedFor func(shard int) fault.Scheduler
 	// Reg, when non-nil, receives the server's metrics: per-shard queue
-	// depth gauges, op counters and latency histograms, plus connection
-	// and request counts. Reuse it with obs.Mux to serve /metrics.
+	// depth gauges, op counters and latency histograms, supervisor and
+	// breaker counters, plus connection and request counts. Reuse it with
+	// obs.Mux to serve /metrics.
 	Reg *obs.Registry
+	// Logf, when non-nil, receives supervisor, watchdog, and scrubber
+	// events (one line each).
+	Logf func(format string, args ...any)
 }
 
 func (c *Config) fillDefaults() {
@@ -65,6 +85,18 @@ func (c *Config) fillDefaults() {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 8192
+	}
+	if c.AdmitWait == 0 {
+		c.AdmitWait = 50 * time.Millisecond
+	}
+	if c.AdmitWait < 0 {
+		c.AdmitWait = 0
+	}
+	if c.WedgeTimeout == 0 {
+		c.WedgeTimeout = 2 * time.Second
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 100 * time.Millisecond
 	}
 }
 
@@ -84,6 +116,10 @@ type Server struct {
 
 	wg sync.WaitGroup // connection handlers + acceptor
 
+	bgStop   chan struct{} // watchdog + scrubber
+	bgWG     sync.WaitGroup
+	stopOnce sync.Once
+
 	connCount atomic.Int64
 	requests  atomic.Uint64
 	errored   atomic.Uint64
@@ -92,10 +128,16 @@ type Server struct {
 
 // New builds the server and opens every shard, recovering any pool image
 // its store already holds (the restart path: pmem.Open + Fsck per shard).
-// The shard workers start immediately; Serve only adds the network front.
+// The shard workers start immediately under their supervisors; Serve only
+// adds the network front.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
-	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{}), started: time.Now()}
+	s := &Server{
+		cfg:     cfg,
+		conns:   make(map[net.Conn]struct{}),
+		bgStop:  make(chan struct{}),
+		started: time.Now(),
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sc := shardConfig{
 			id:              i,
@@ -103,6 +145,8 @@ func New(cfg Config) (*Server, error) {
 			poolSize:        cfg.PoolSize,
 			queueDepth:      cfg.QueueDepth,
 			checkpointEvery: cfg.CheckpointEvery,
+			admitWait:       cfg.AdmitWait,
+			logf:            cfg.Logf,
 		}
 		if cfg.StoreFor != nil {
 			sc.store = cfg.StoreFor(i)
@@ -118,7 +162,7 @@ func New(cfg Config) (*Server, error) {
 				fmt.Sprintf("shard %d request latency (queue wait + service), microseconds", i),
 				latencyBounds)
 		}
-		sh, err := newShard(sc)
+		sh, err := newShard(sc, newBreaker(cfg.BreakerCooldown))
 		if err != nil {
 			// Unwind the shards already running.
 			for _, prev := range s.shards {
@@ -128,12 +172,102 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.shards = append(s.shards, sh)
-		go sh.run()
+		go sh.supervise()
+	}
+	if cfg.WedgeTimeout > 0 {
+		s.bgWG.Add(1)
+		go s.watchdog()
+	}
+	if cfg.ScrubEvery > 0 {
+		s.bgWG.Add(1)
+		go s.scrubber()
 	}
 	if cfg.Reg != nil {
 		s.registerMetrics(cfg.Reg)
 	}
 	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// watchdog detects wedged workers: a shard that holds queued work but has
+// not advanced its heartbeat across a full WedgeTimeout window is declared
+// wedged, its breaker opens (new requests fail fast with UNAVAILABLE), and
+// the worker heals itself — resetting state and breaker — the moment it
+// serves a request again.
+func (s *Server) watchdog() {
+	defer s.bgWG.Done()
+	tick := s.cfg.WedgeTimeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	lastBeat := make([]int64, len(s.shards))
+	stuckSince := make([]time.Time, len(s.shards))
+	for i, sh := range s.shards {
+		lastBeat[i] = sh.heartbeat.Load()
+	}
+	for {
+		select {
+		case <-s.bgStop:
+			return
+		case now := <-t.C:
+			for i, sh := range s.shards {
+				hb := sh.heartbeat.Load()
+				if len(sh.queue) == 0 || hb != lastBeat[i] {
+					// Idle, or making progress: not stuck.
+					lastBeat[i] = hb
+					stuckSince[i] = time.Time{}
+					continue
+				}
+				if stuckSince[i].IsZero() {
+					stuckSince[i] = now
+					continue
+				}
+				if now.Sub(stuckSince[i]) >= s.cfg.WedgeTimeout && sh.state.Load() == stateHealthy {
+					sh.state.Store(stateWedged)
+					sh.breaker.ForceOpen()
+					sh.wedges.Add(1)
+					s.logf("shard %d: wedged (no progress for %v with %d queued); breaker open",
+						i, now.Sub(stuckSince[i]).Round(time.Millisecond), len(sh.queue))
+				}
+			}
+		}
+	}
+}
+
+// scrubber periodically fscks idle healthy shards in the background (the
+// Pangolin-style online scrub): crash residue is repaired before it can
+// compound, without stalling foreground traffic — busy or unhealthy shards
+// are skipped and retried next period.
+func (s *Server) scrubber() {
+	defer s.bgWG.Done()
+	t := time.NewTicker(s.cfg.ScrubEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.bgStop:
+			return
+		case <-t.C:
+			for _, sh := range s.shards {
+				if sh.state.Load() != stateHealthy || len(sh.queue) > 0 {
+					continue
+				}
+				resp := make(chan Reply, 1)
+				select {
+				case sh.queue <- &request{ctl: ctlScrub, resp: resp}:
+					<-resp
+				default:
+					// Shard got busy between the check and the send; skip.
+				}
+			}
+		}
+	}
 }
 
 // registerMetrics exports the serving-plane series. Every collector reads
@@ -147,6 +281,8 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 		i, sh := i, sh
 		pfx := fmt.Sprintf("server_shard%d_", i)
 		reg.GaugeFunc(pfx+"queue_depth", "requests waiting in the shard queue", func() int64 { return int64(len(sh.queue)) })
+		reg.GaugeFunc(pfx+"state", "supervision state (0 healthy, 1 recovering, 2 wedged)", func() int64 { return int64(sh.state.Load()) })
+		reg.GaugeFunc(pfx+"breaker_state", "circuit breaker state (0 closed, 1 open, 2 half-open)", func() int64 { return int64(sh.breaker.State()) })
 		reg.CounterFunc(pfx+"ops_total", "operations executed by the shard worker", func() uint64 { return sh.ops.Load() })
 		reg.CounterFunc(pfx+"gets_total", "GET operations", func() uint64 { return sh.gets.Load() })
 		reg.CounterFunc(pfx+"puts_total", "PUT operations", func() uint64 { return sh.puts.Load() })
@@ -155,9 +291,21 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 		reg.GaugeFunc(pfx+"keys", "live keys in the shard index", func() int64 { return int64(sh.keys.Load()) })
 		reg.CounterFunc(pfx+"cycles_total", "simulated cycles consumed by the shard engine", func() uint64 { return sh.cycles.Load() })
 		reg.CounterFunc(pfx+"checkpoints_total", "pool checkpoints written", func() uint64 { return sh.checkpoints.Load() })
-		reg.CounterFunc(pfx+"crashes_total", "injected crashes", func() uint64 { return sh.crashes.Load() })
+		reg.CounterFunc(pfx+"crashes_total", "injected power-loss crashes", func() uint64 { return sh.crashes.Load() })
 		reg.CounterFunc(pfx+"recoveries_total", "successful crash recoveries", func() uint64 { return sh.recoveries.Load() })
+		reg.CounterFunc(pfx+"panics_total", "worker panics caught by the supervisor", func() uint64 { return sh.panics.Load() })
+		reg.CounterFunc(pfx+"restarts_total", "worker restarts by the supervisor", func() uint64 { return sh.restarts.Load() })
+		reg.CounterFunc(pfx+"salvages_total", "software-crash recoveries that preserved state", func() uint64 { return sh.salvages.Load() })
+		reg.CounterFunc(pfx+"rollbacks_total", "software-crash recoveries that fell back to checkpoint rollback", func() uint64 { return sh.rollbacks.Load() })
+		reg.CounterFunc(pfx+"wedges_total", "times the watchdog declared the worker wedged", func() uint64 { return sh.wedges.Load() })
+		reg.CounterFunc(pfx+"shed_total", "requests shed by bounded-queue admission", func() uint64 { return sh.sheds.Load() })
+		reg.CounterFunc(pfx+"unavailable_total", "requests refused while the breaker was open", func() uint64 { return sh.unavail.Load() })
+		reg.CounterFunc(pfx+"deadline_drops_total", "queued requests dropped at their deadline", func() uint64 { return sh.deadlineDrops.Load() })
+		reg.CounterFunc(pfx+"scrubs_total", "background fsck scrubs", func() uint64 { return sh.scrubs.Load() })
+		reg.CounterFunc(pfx+"scrub_issues_total", "issues found by fsck during scrub/salvage", func() uint64 { return sh.scrubIssues.Load() })
+		reg.CounterFunc(pfx+"breaker_opens_total", "times the circuit breaker tripped", func() uint64 { return sh.breaker.Opens() })
 		reg.CounterFunc(pfx+"fsck_errors_total", "fsck errors found at open/recovery", func() uint64 { return sh.fsckErrors.Load() })
+		reg.CounterFunc(pfx+"repairs_total", "pool repairs performed", func() uint64 { return sh.repairs.Load() })
 	}
 }
 
@@ -284,18 +432,30 @@ func (s *Server) handleConn(conn net.Conn) {
 		bw.Flush()
 	}()
 
+	// badFrame answers a protocol violation with a clean error frame (so
+	// the peer learns why) before the connection is dropped.
+	badFrame := func() {
+		resp := make(chan Reply, 1)
+		resp <- Reply{Status: StatusBadRequest}
+		fifo <- pending{req: &Request{Op: OpPut}, resp: resp}
+	}
+
 	br := bufio.NewReader(conn)
 	for {
 		body, err := ReadFrame(br)
 		if err != nil {
+			if errors.Is(err, ErrProto) {
+				// Oversized length prefix: refuse it explicitly instead of
+				// silently hanging up (the body was never read, so the
+				// stream cannot be resynchronized — drop after answering).
+				badFrame()
+			}
 			break
 		}
 		req, err := DecodeRequest(body)
 		if err != nil {
-			// Protocol error: answer and drop the connection.
-			resp := make(chan Reply, 1)
-			resp <- Reply{Status: StatusBadRequest}
-			fifo <- pending{req: &Request{Op: OpPut}, resp: resp}
+			// Malformed payload: answer and drop the connection.
+			badFrame()
 			break
 		}
 		s.requests.Add(1)
@@ -308,17 +468,23 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // dispatch routes a request and returns the channel its single reply will
 // arrive on. The reply channel is buffered so workers never block on a
-// slow connection.
+// slow connection. A request carrying a deadline envelope gets its
+// absolute deadline stamped here; admission and the worker both honor it.
 func (s *Server) dispatch(req *Request) chan Reply {
 	resp := make(chan Reply, 1)
+	now := time.Now()
+	var deadline time.Time
+	if req.TTLms > 0 {
+		deadline = now.Add(time.Duration(req.TTLms) * time.Millisecond)
+	}
 	switch req.Op {
 	case OpGet, OpPut, OpDelete:
 		sh := s.shards[ShardFor(req.Key, len(s.shards))]
-		sh.queue <- &request{op: req.Op, key: req.Key, value: req.Value, start: time.Now(), resp: resp}
+		sh.submit(&request{op: req.Op, key: req.Key, value: req.Value, start: now, deadline: deadline, resp: resp})
 	case OpScan:
-		go func() { resp <- s.scatterScan(req.Key, req.Limit) }()
+		go func() { resp <- s.scatterScan(req.Key, req.Limit, deadline) }()
 	case OpBatch:
-		go func() { resp <- s.batch(req) }()
+		go func() { resp <- s.batch(req, deadline) }()
 	case OpStats:
 		go func() { resp <- s.statsReply() }()
 	case OpCheckpoint:
@@ -338,12 +504,12 @@ func (s *Server) dispatch(req *Request) chan Reply {
 // scatterScan runs the range read on every shard (keys are hash-sharded,
 // so any shard may hold part of the range) and merges the ordered partial
 // results down to limit pairs.
-func (s *Server) scatterScan(start uint64, limit int) Reply {
+func (s *Server) scatterScan(start uint64, limit int, deadline time.Time) Reply {
 	parts := make([]chan Reply, len(s.shards))
 	now := time.Now()
 	for i, sh := range s.shards {
 		parts[i] = make(chan Reply, 1)
-		sh.queue <- &request{op: OpScan, key: start, limit: limit, start: now, resp: parts[i]}
+		sh.submit(&request{op: OpScan, key: start, limit: limit, start: now, deadline: deadline, resp: parts[i]})
 	}
 	var all []KV
 	for _, ch := range parts {
@@ -362,8 +528,9 @@ func (s *Server) scatterScan(start uint64, limit int) Reply {
 
 // batch scatters the sub-requests to their shards (preserving per-shard
 // order), then gathers the replies back into request order — the per-shard
-// request batching the protocol exists for.
-func (s *Server) batch(req *Request) Reply {
+// request batching the protocol exists for. The frame's deadline envelope
+// applies to every sub-request.
+func (s *Server) batch(req *Request, deadline time.Time) Reply {
 	resps := make([]chan Reply, len(req.Sub))
 	now := time.Now()
 	for i := range req.Sub {
@@ -372,11 +539,11 @@ func (s *Server) batch(req *Request) Reply {
 		switch sub.Op {
 		case OpGet, OpPut, OpDelete:
 			sh := s.shards[ShardFor(sub.Key, len(s.shards))]
-			sh.queue <- &request{op: sub.Op, key: sub.Key, value: sub.Value, start: now, resp: resps[i]}
+			sh.submit(&request{op: sub.Op, key: sub.Key, value: sub.Value, start: now, deadline: deadline, resp: resps[i]})
 		case OpScan:
 			ch := resps[i]
 			sub := sub
-			go func() { ch <- s.scatterScan(sub.Key, sub.Limit) }()
+			go func() { ch <- s.scatterScan(sub.Key, sub.Limit, deadline) }()
 		default:
 			resps[i] <- Reply{Status: StatusBadRequest}
 		}
@@ -423,7 +590,8 @@ func (s *Server) statsReply() Reply {
 
 // Checkpoint forces every shard to publish its root and snapshot its pool
 // to the backing store, synchronously. This is the durability barrier
-// clients can request (the CHECKPOINT op).
+// clients can request (the CHECKPOINT op). Control requests bypass
+// admission control: they block until the shard takes them.
 func (s *Server) Checkpoint() error {
 	resps := make([]chan Reply, len(s.shards))
 	for i, sh := range s.shards {
@@ -453,10 +621,70 @@ func (s *Server) InjectCrash(shardID int) error {
 	return nil
 }
 
+// InjectPanic kills one shard's worker goroutine mid-stream (a software
+// crash, distinct from InjectCrash's power loss) and waits for the
+// supervisor to repair the pool and restart the worker. Acknowledged
+// writes survive: the pool's memory outlives the goroutine, so recovery
+// salvages state instead of rolling back.
+func (s *Server) InjectPanic(shardID int) error {
+	if shardID < 0 || shardID >= len(s.shards) {
+		return fmt.Errorf("server: no shard %d", shardID)
+	}
+	sh := s.shards[shardID]
+	gen := sh.restarts.Load()
+	resp := make(chan Reply, 1)
+	sh.queue <- &request{ctl: ctlPanic, resp: resp}
+	<-resp // the supervisor fails the doomed request with UNAVAILABLE
+	deadline := time.Now().Add(5 * time.Second)
+	for sh.restarts.Load() == gen {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server: shard %d was not restarted by its supervisor", shardID)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// InjectWedge makes one shard's worker sleep for d mid-stream and returns
+// when it wakes — run it from a separate goroutine to observe the watchdog
+// declaring the shard wedged while requests are queued behind the sleep.
+func (s *Server) InjectWedge(shardID int, d time.Duration) error {
+	if shardID < 0 || shardID >= len(s.shards) {
+		return fmt.Errorf("server: no shard %d", shardID)
+	}
+	resp := make(chan Reply, 1)
+	s.shards[shardID].queue <- &request{ctl: ctlWedge, wedge: d, resp: resp}
+	if rep := <-resp; rep.Status != StatusOK && rep.Status != StatusUnavailable {
+		return fmt.Errorf("server: wedge injection answered status %d", rep.Status)
+	}
+	return nil
+}
+
+// Scrub synchronously fscks every healthy shard once (the scrubber's
+// on-demand form).
+func (s *Server) Scrub() {
+	for _, sh := range s.shards {
+		if sh.state.Load() != stateHealthy {
+			continue
+		}
+		resp := make(chan Reply, 1)
+		sh.queue <- &request{ctl: ctlScrub, resp: resp}
+		<-resp
+	}
+}
+
+// stopBackground stops the watchdog and scrubber (idempotent).
+func (s *Server) stopBackground() {
+	s.stopOnce.Do(func() { close(s.bgStop) })
+	s.bgWG.Wait()
+}
+
 // Close shuts the server down gracefully: stop accepting, sever client
-// connections, drain every shard queue, and checkpoint every pool.
+// connections, stop the watchdog/scrubber, drain every shard queue, and
+// checkpoint every pool.
 func (s *Server) Close() error {
 	s.shutdownNetwork()
+	s.stopBackground()
 	for _, sh := range s.shards {
 		close(sh.queue)
 	}
@@ -471,6 +699,7 @@ func (s *Server) Close() error {
 // a new server opens the same stores.
 func (s *Server) Abort() {
 	s.shutdownNetwork()
+	s.stopBackground()
 	for _, sh := range s.shards {
 		sh.abort.Store(true)
 		close(sh.queue)

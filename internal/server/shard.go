@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -22,11 +23,47 @@ const CrashPointOp = "server.shard.op"
 
 var siteShardRoot = rt.NewSite("server.shard.root", false)
 
+// Shard supervision states, published in the state atomic for the
+// watchdog, the scrubber, metrics, and STATS.
+const (
+	stateHealthy int32 = iota
+	// stateRecovering: the worker panicked and the supervisor is running
+	// fsck/repair recovery; the breaker is open.
+	stateRecovering
+	// stateWedged: the watchdog saw queued work but no heartbeat for
+	// longer than the wedge timeout; the breaker is open until the worker
+	// makes progress again.
+	stateWedged
+)
+
+func shardStateName(s int32) string {
+	switch s {
+	case stateRecovering:
+		return "recovering"
+	case stateWedged:
+		return "wedged"
+	default:
+		return "healthy"
+	}
+}
+
 // Control request kinds (zero means a data request).
 const (
 	ctlCheckpoint byte = iota + 1
 	ctlCrash
+	// ctlPanic makes the worker panic — the injected software crash the
+	// supervisor must catch, repair, and restart from.
+	ctlPanic
+	// ctlWedge makes the worker sleep, simulating a wedged shard the
+	// heartbeat watchdog must detect.
+	ctlWedge
+	// ctlScrub runs an online fsck of the shard's pool (the Pangolin-style
+	// background scrub), repairing any crash residue it finds.
+	ctlScrub
 )
+
+// errWorkerKilled is the payload of an injected worker panic.
+var errWorkerKilled = errors.New("server: injected worker panic")
 
 // request is one unit of work on a shard queue. Exactly one response is
 // delivered on resp.
@@ -35,7 +72,9 @@ type request struct {
 	key, value uint64
 	limit      int
 	ctl        byte
+	wedge      time.Duration // ctlWedge only
 	start      time.Time
+	deadline   time.Time // zero means no deadline
 	resp       chan Reply
 }
 
@@ -47,28 +86,42 @@ type shardConfig struct {
 	poolSize        uint64
 	queueDepth      int
 	checkpointEvery int
+	admitWait       time.Duration   // max bounded-queue wait before SHED
 	sched           fault.Scheduler // per-shard; evaluated at CrashPointOp
 	latency         *obs.Histogram  // queue+service latency, microseconds
+	logf            func(format string, args ...any)
 }
 
 // shard is one engine shard: a single worker goroutine owns the simulation
-// context, index, and store, and consumes the bounded queue. All other
-// goroutines communicate through the queue and the published atomics.
+// context, index, and store, and consumes the bounded queue. The worker
+// runs under a supervisor (supervise) that catches panics, repairs the
+// pool, and restarts the worker in place. All other goroutines communicate
+// through the queue and the published atomics.
 type shard struct {
-	cfg   shardConfig
-	queue chan *request
-	done  chan struct{}
+	cfg     shardConfig
+	queue   chan *request
+	done    chan struct{}
+	breaker *breaker
 
-	// Worker-owned engine state. Never touched outside the worker (and
-	// open(), which runs before the worker starts).
+	// Worker-owned engine state. Never touched outside the worker, open()
+	// (which runs before the worker starts), and the supervisor (which
+	// runs only while the worker goroutine's loop is not executing).
 	ctx       *rt.Context
 	st        *kvstore.Store
 	rb        *structures.RB
 	sinceCkpt int
+	pending   []*request // batch being processed; supervisor fails the rest on panic
+	pendIdx   int
 
 	// Published state, read by metrics collectors and STATS.
+	state                          atomic.Int32
+	heartbeat                      atomic.Int64 // UnixNano of last worker progress
 	ops, gets, puts, dels, scans   atomic.Uint64
 	crashes, recoveries            atomic.Uint64
+	panics, restarts, salvages     atomic.Uint64
+	rollbacks, wedges              atomic.Uint64
+	sheds, unavail, deadlineDrops  atomic.Uint64
+	scrubs, scrubIssues            atomic.Uint64
 	checkpoints                    atomic.Uint64
 	fsckErrors, fsckWarns, repairs atomic.Uint64
 	cycles, keys                   atomic.Uint64
@@ -79,19 +132,27 @@ type shard struct {
 	abort atomic.Bool
 }
 
-func newShard(cfg shardConfig) (*shard, error) {
+func newShard(cfg shardConfig, br *breaker) (*shard, error) {
 	if cfg.queueDepth <= 0 {
 		cfg.queueDepth = 128
 	}
 	sh := &shard{
-		cfg:   cfg,
-		queue: make(chan *request, cfg.queueDepth),
-		done:  make(chan struct{}),
+		cfg:     cfg,
+		queue:   make(chan *request, cfg.queueDepth),
+		done:    make(chan struct{}),
+		breaker: br,
 	}
+	sh.beat()
 	if err := sh.open(); err != nil {
 		return nil, fmt.Errorf("server: shard %d: %w", cfg.id, err)
 	}
 	return sh, nil
+}
+
+func (sh *shard) logf(format string, args ...any) {
+	if sh.cfg.logf != nil {
+		sh.cfg.logf(format, args...)
+	}
 }
 
 // open builds the engine over the shard's store. When the store already
@@ -138,49 +199,219 @@ func (sh *shard) publish() {
 	sh.keys.Store(sh.rb.Len())
 }
 
+// beat records worker progress for the heartbeat watchdog.
+func (sh *shard) beat() { sh.heartbeat.Store(time.Now().UnixNano()) }
+
+// submit is the admission-controlled entry to the shard queue. It never
+// blocks unboundedly: an open breaker answers UNAVAILABLE immediately, a
+// full queue is waited on only up to admitWait (clamped to the request's
+// own deadline), then the request is SHED. Every refused request still
+// receives exactly one reply.
+func (sh *shard) submit(r *request) {
+	if !sh.breaker.Allow() {
+		sh.unavail.Add(1)
+		r.resp <- Reply{Status: StatusUnavailable}
+		return
+	}
+	select {
+	case sh.queue <- r:
+		return
+	default:
+	}
+	wait := sh.cfg.admitWait
+	if !r.deadline.IsZero() {
+		if d := time.Until(r.deadline); d < wait {
+			wait = d
+		}
+	}
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case sh.queue <- r:
+			return
+		case <-t.C:
+		}
+	}
+	sh.sheds.Add(1)
+	// A shed probe means the shard is still not serving: re-trip.
+	if sh.breaker.State() == brHalfOpen {
+		sh.breaker.ForceOpen()
+	}
+	r.resp <- Reply{Status: StatusShed}
+}
+
+// supervise is the shard's outer loop: run the worker until the queue
+// closes, and any time the worker panics — an injected software crash, a
+// fault-scheduler power cut, or a genuine bug — recover, repair the pool,
+// and restart the worker in place while the rest of the server keeps
+// serving.
+func (sh *shard) supervise() {
+	defer close(sh.done)
+	for {
+		crash := sh.runGuarded()
+		if crash == nil {
+			return // queue closed: normal shutdown (final checkpoint done)
+		}
+		sh.recoverWorker(crash)
+	}
+}
+
+// runGuarded runs the worker loop, converting a panic into a return value
+// for the supervisor. A nil return means the queue closed cleanly.
+func (sh *shard) runGuarded() (crash any) {
+	defer func() {
+		if r := recover(); r != nil {
+			crash = r
+		}
+	}()
+	sh.run()
+	return nil
+}
+
+// recoverWorker is the supervisor's repair path after a worker panic. A
+// fault-scheduler crash (*fault.CrashPanic) models power loss: the shard
+// rolls back to its last checkpoint. Any other panic is a software crash:
+// the pool's contents survive, so the supervisor scrubs it (pmem.Fsck,
+// pmem.Repair), verifies the index, and salvages the current state —
+// acknowledged writes are preserved. If salvage fails the shard falls back
+// to the power-loss rollback.
+func (sh *shard) recoverWorker(crash any) {
+	sh.panics.Add(1)
+	sh.state.Store(stateRecovering)
+	sh.breaker.ForceOpen()
+	sh.failPending()
+	if c, isPower := fault.AsCrash(crash); isPower {
+		sh.logf("shard %d: power lost at %s; rolling back to last checkpoint", sh.cfg.id, c.Label)
+		sh.crashAndRecover()
+	} else if sh.salvage() {
+		sh.salvages.Add(1)
+		sh.logf("shard %d: worker panic (%v); pool scrubbed clean, state salvaged", sh.cfg.id, crash)
+	} else {
+		sh.rollbacks.Add(1)
+		sh.logf("shard %d: worker panic (%v); salvage failed, rolling back to last checkpoint", sh.cfg.id, crash)
+		sh.crashAndRecover()
+	}
+	sh.beat()
+	sh.restarts.Add(1)
+	sh.state.Store(stateHealthy)
+	sh.breaker.Reset()
+}
+
+// failPending answers UNAVAILABLE on every request of the interrupted
+// batch that never got a reply — including the in-flight one that took the
+// panic. Sends are non-blocking: a request that somehow was answered
+// already must not wedge the supervisor.
+func (sh *shard) failPending() {
+	for _, r := range sh.pending[sh.pendIdx:] {
+		select {
+		case r.resp <- Reply{Status: StatusUnavailable}:
+			sh.unavail.Add(1)
+		default:
+		}
+	}
+	sh.pending = sh.pending[:0]
+	sh.pendIdx = 0
+}
+
+// salvage recovers from a software crash without losing state: the mapped
+// pool survived the panic, so scrub it, repair crash residue, sanity-check
+// the index by walking it, and publish a salvage checkpoint so the backing
+// store also reflects every acknowledged write. Any failure — structural
+// corruption Repair refuses, an index walk that disagrees with the
+// recorded cardinality, or a panic out of the walk itself — reports false
+// and the caller rolls back instead.
+func (sh *shard) salvage() (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	rep := pmem.Fsck(sh.ctx.Pool)
+	sh.scrubIssues.Add(uint64(len(rep.Issues)))
+	if !rep.Consistent() {
+		if _, err := pmem.Repair(sh.ctx.Pool); err != nil {
+			return false
+		}
+		sh.repairs.Add(1)
+	}
+	n := sh.rb.Scan(0, math.MaxInt32, func(k, v uint64) {})
+	if uint64(n) != sh.rb.Len() {
+		return false
+	}
+	if err := sh.checkpoint(); err != nil {
+		return false
+	}
+	sh.publish()
+	return true
+}
+
 // run is the worker loop: block for one request, then drain a small batch
 // from the queue without blocking, process it, and publish once — queueing
-// amortizes the checkpoint cadence and the metric publication.
+// amortizes the checkpoint cadence and the metric publication. When the
+// queue closes it drains the remainder and writes the final checkpoint
+// (unless aborting), so a clean return means the shard is durable.
 func (sh *shard) run() {
-	defer close(sh.done)
 	const maxBatch = 64
-	batch := make([]*request, 0, maxBatch)
 	open := true
 	for open {
 		req, ok := <-sh.queue
 		if !ok {
 			break
 		}
-		batch = append(batch[:0], req)
+		sh.beat()
+		sh.pending = append(sh.pending[:0], req)
 	drain:
-		for len(batch) < maxBatch {
+		for len(sh.pending) < maxBatch {
 			select {
 			case r, ok := <-sh.queue:
 				if !ok {
 					open = false
 					break drain
 				}
-				batch = append(batch, r)
+				sh.pending = append(sh.pending, r)
 			default:
 				break drain
 			}
 		}
-		if hw := uint64(len(batch) + len(sh.queue)); hw > sh.queueHighWater.Load() {
+		if hw := uint64(len(sh.pending) + len(sh.queue)); hw > sh.queueHighWater.Load() {
 			sh.queueHighWater.Store(hw)
 		}
-		for _, r := range batch {
-			sh.handle(r)
+		n := len(sh.pending)
+		for i := 0; i < n; i++ {
+			sh.pendIdx = i
+			sh.handle(sh.pending[i])
+			sh.beat()
+			sh.heal()
 		}
-		sh.afterBatch(len(batch))
+		sh.pending = sh.pending[:0]
+		sh.pendIdx = 0
+		sh.afterBatch(n)
 	}
 	// Drain whatever arrived between the last receive and queue close.
 	for req := range sh.queue {
+		sh.pending = append(sh.pending[:0], req)
+		sh.pendIdx = 0
 		sh.handle(req)
+		sh.pending = sh.pending[:0]
 	}
 	if !sh.abort.Load() {
 		_ = sh.checkpoint()
 	}
 	sh.publish()
+}
+
+// heal closes the breaker after genuine progress: a wedged shard that
+// serves a request again is healthy, and a half-open probe that got served
+// proves recovery.
+func (sh *shard) heal() {
+	if sh.state.Load() == stateWedged {
+		sh.state.Store(stateHealthy)
+		sh.logf("shard %d: worker resumed after wedge", sh.cfg.id)
+	}
+	if sh.breaker.State() != brClosed {
+		sh.breaker.Reset()
+	}
 }
 
 // handle executes one request and delivers its reply.
@@ -197,9 +428,26 @@ func (sh *shard) handle(req *request) {
 		sh.crashAndRecover()
 		req.resp <- Reply{Status: StatusOK}
 		return
+	case ctlPanic:
+		// The injected software crash: the supervisor answers this request
+		// (UNAVAILABLE, via failPending) and restarts the worker.
+		panic(errWorkerKilled)
+	case ctlWedge:
+		time.Sleep(req.wedge)
+		req.resp <- Reply{Status: StatusOK}
+		return
+	case ctlScrub:
+		sh.scrub()
+		req.resp <- Reply{Status: StatusOK}
+		return
 	}
 	if sh.cfg.sched != nil && sh.cfg.sched.Hit(CrashPointOp) {
 		sh.crashAndRecover()
+	}
+	if !req.deadline.IsZero() && time.Now().After(req.deadline) {
+		sh.deadlineDrops.Add(1)
+		req.resp <- Reply{Status: StatusDeadline}
+		return
 	}
 	var rep Reply
 	rep.Status = StatusOK
@@ -227,6 +475,20 @@ func (sh *shard) handle(req *request) {
 		sh.cfg.latency.Observe(uint64(time.Since(req.start).Microseconds()))
 	}
 	req.resp <- rep
+}
+
+// scrub is the online Pangolin-style check: fsck the live pool between
+// requests and reclaim any repairable residue before it can compound.
+func (sh *shard) scrub() {
+	sh.scrubs.Add(1)
+	rep := pmem.Fsck(sh.ctx.Pool)
+	sh.scrubIssues.Add(uint64(len(rep.Issues)))
+	if rep.Clean() {
+		return
+	}
+	if _, err := pmem.Repair(sh.ctx.Pool); err == nil {
+		sh.repairs.Add(1)
+	}
 }
 
 // afterBatch publishes counters and runs the periodic checkpoint.
@@ -262,7 +524,7 @@ func (sh *shard) checkpoint() error {
 // base — relative references make that safe), fscks it, and re-seats the
 // index from the persisted root. Operations acknowledged after the last
 // checkpoint are rolled back, which is the service's documented durability
-// contract.
+// contract for power loss.
 func (sh *shard) crashAndRecover() {
 	sh.crashes.Add(1)
 	sh.ctx, sh.st, sh.rb = nil, nil, nil
@@ -276,41 +538,67 @@ func (sh *shard) crashAndRecover() {
 
 // ShardStats is the per-shard block of a STATS reply.
 type ShardStats struct {
-	ID          int    `json:"id"`
-	Ops         uint64 `json:"ops"`
-	Gets        uint64 `json:"gets"`
-	Puts        uint64 `json:"puts"`
-	Deletes     uint64 `json:"deletes"`
-	Scans       uint64 `json:"scans"`
-	Keys        uint64 `json:"keys"`
-	Cycles      uint64 `json:"cycles"`
-	QueueDepth  int    `json:"queue_depth"`
-	QueueHigh   uint64 `json:"queue_high_water"`
-	Checkpoints uint64 `json:"checkpoints"`
-	Crashes     uint64 `json:"crashes"`
-	Recoveries  uint64 `json:"recoveries"`
-	FsckErrors  uint64 `json:"fsck_errors"`
-	FsckWarns   uint64 `json:"fsck_warns"`
-	Repairs     uint64 `json:"repairs"`
+	ID            int    `json:"id"`
+	State         string `json:"state"`
+	Breaker       string `json:"breaker"`
+	Ops           uint64 `json:"ops"`
+	Gets          uint64 `json:"gets"`
+	Puts          uint64 `json:"puts"`
+	Deletes       uint64 `json:"deletes"`
+	Scans         uint64 `json:"scans"`
+	Keys          uint64 `json:"keys"`
+	Cycles        uint64 `json:"cycles"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueHigh     uint64 `json:"queue_high_water"`
+	Checkpoints   uint64 `json:"checkpoints"`
+	Crashes       uint64 `json:"crashes"`
+	Recoveries    uint64 `json:"recoveries"`
+	Panics        uint64 `json:"panics"`
+	Restarts      uint64 `json:"restarts"`
+	Salvages      uint64 `json:"salvages"`
+	Rollbacks     uint64 `json:"rollbacks"`
+	Wedges        uint64 `json:"wedges"`
+	Sheds         uint64 `json:"sheds"`
+	Unavailable   uint64 `json:"unavailable"`
+	DeadlineDrops uint64 `json:"deadline_drops"`
+	Scrubs        uint64 `json:"scrubs"`
+	ScrubIssues   uint64 `json:"scrub_issues"`
+	BreakerOpens  uint64 `json:"breaker_opens"`
+	FsckErrors    uint64 `json:"fsck_errors"`
+	FsckWarns     uint64 `json:"fsck_warns"`
+	Repairs       uint64 `json:"repairs"`
 }
 
 func (sh *shard) stats() ShardStats {
 	return ShardStats{
-		ID:          sh.cfg.id,
-		Ops:         sh.ops.Load(),
-		Gets:        sh.gets.Load(),
-		Puts:        sh.puts.Load(),
-		Deletes:     sh.dels.Load(),
-		Scans:       sh.scans.Load(),
-		Keys:        sh.keys.Load(),
-		Cycles:      sh.cycles.Load(),
-		QueueDepth:  len(sh.queue),
-		QueueHigh:   sh.queueHighWater.Load(),
-		Checkpoints: sh.checkpoints.Load(),
-		Crashes:     sh.crashes.Load(),
-		Recoveries:  sh.recoveries.Load(),
-		FsckErrors:  sh.fsckErrors.Load(),
-		FsckWarns:   sh.fsckWarns.Load(),
-		Repairs:     sh.repairs.Load(),
+		ID:            sh.cfg.id,
+		State:         shardStateName(sh.state.Load()),
+		Breaker:       breakerStateName(sh.breaker.State()),
+		Ops:           sh.ops.Load(),
+		Gets:          sh.gets.Load(),
+		Puts:          sh.puts.Load(),
+		Deletes:       sh.dels.Load(),
+		Scans:         sh.scans.Load(),
+		Keys:          sh.keys.Load(),
+		Cycles:        sh.cycles.Load(),
+		QueueDepth:    len(sh.queue),
+		QueueHigh:     sh.queueHighWater.Load(),
+		Checkpoints:   sh.checkpoints.Load(),
+		Crashes:       sh.crashes.Load(),
+		Recoveries:    sh.recoveries.Load(),
+		Panics:        sh.panics.Load(),
+		Restarts:      sh.restarts.Load(),
+		Salvages:      sh.salvages.Load(),
+		Rollbacks:     sh.rollbacks.Load(),
+		Wedges:        sh.wedges.Load(),
+		Sheds:         sh.sheds.Load(),
+		Unavailable:   sh.unavail.Load(),
+		DeadlineDrops: sh.deadlineDrops.Load(),
+		Scrubs:        sh.scrubs.Load(),
+		ScrubIssues:   sh.scrubIssues.Load(),
+		BreakerOpens:  sh.breaker.Opens(),
+		FsckErrors:    sh.fsckErrors.Load(),
+		FsckWarns:     sh.fsckWarns.Load(),
+		Repairs:       sh.repairs.Load(),
 	}
 }

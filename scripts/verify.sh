@@ -34,3 +34,13 @@ go tool cover -func=/tmp/server_cover.out | awk '
 			exit 1
 		}
 	}'
+
+# Resilience leg: the self-healing gate end to end — repeated shard kills
+# plus flaky-network faults must lose zero acked writes and return the
+# service to a zero error rate without a process restart.
+go test -race -run 'TestResilienceSmoke' ./internal/bench/
+go run ./cmd/nvbench -experiment resilience -quick
+
+# Fuzz smoke over the wire decoder: malformed frames must be rejected
+# with protocol errors, never a panic or unbounded allocation.
+go test -run='^$' -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/server/

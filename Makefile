@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test fuzz verify bench faults resilience serve
+.PHONY: build test fuzz verify bench faults resilience repl serve
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,11 @@ build:
 test:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(MAKE) fuzz
 
-# Short fuzz smoke over the wire decoder; verify.sh runs the same leg.
+# Short fuzz smoke over both halves of the wire codec; verify.sh runs the
+# same legs.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/server/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeReply -fuzztime=10s ./internal/server/
 
 # Full gate: build + vet + race-enabled tests (fault matrix and crash
 # sweep included). CI and pre-merge runs use this.
@@ -26,6 +28,11 @@ faults:
 # Self-healing gate: shard kills + network faults, zero acked-write loss.
 resilience:
 	$(GO) run ./cmd/nvbench -experiment resilience
+
+# Replication gate: primary killed mid-stream, replica promoted, zero
+# acked-write loss across the failover.
+repl:
+	$(GO) run ./cmd/nvbench -experiment replication
 
 # Run the sharded KV daemon with persistent pools and the metrics mux.
 serve:

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve, resilience")
+		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve, resilience, replication")
 	quick := flag.Bool("quick", false, "run the scaled-down workload")
 	format := flag.String("format", "table", "output format: table, csv (fig11, fig13, fig14, fig15, table5, knn, scaling), or json (full measurement document)")
 	httpAddr := flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running (e.g. localhost:9090)")
@@ -54,6 +54,10 @@ func main() {
 		// The serve experiment drives the nvserved tier rather than the
 		// single-context harness; it has its own table and JSON forms.
 		err = serve(*quick, *format == "json")
+	case *experiment == "replication":
+		// The replication experiment drives a primary/replica pair:
+		// in-process servers, real sockets, a real kill and promotion.
+		err = replication(*quick, *format == "json")
 	case *experiment == "resilience":
 		// The resilience experiment likewise targets the serving tier:
 		// closed-loop load under shard kills and network faults.
@@ -227,6 +231,30 @@ func resilience(quick, asJSON bool) error {
 	if !res.Pass() {
 		return fmt.Errorf("resilience acceptance failed: kills=%d restarts=%d lost=%d missing=%d probeErrors=%d",
 			res.Kills, res.Restarts, res.LostWrites, res.MissingKeys, res.ProbeErrors)
+	}
+	return nil
+}
+
+// replication runs the primary/replica experiment: YCSB load over a flaky
+// network with the primary killed mid-stream, gated on zero lost
+// acknowledged writes on the promoted replica, a held-ack discipline that
+// makes that check sound, and replication lag draining to zero in place.
+func replication(quick, asJSON bool) error {
+	res, err := bench.RunReplication(bench.ReplicationSpecFor(quick))
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		if err := bench.WriteReplicationJSON(os.Stdout, res); err != nil {
+			return err
+		}
+	} else {
+		bench.WriteReplication(os.Stdout, res)
+	}
+	if !res.Pass() {
+		return fmt.Errorf("replication acceptance failed: promotions=%d lagDrained=%v degraded=%d timeout=%d lost=%d missing=%d probeErrors=%d",
+			res.Promotions, res.LagDrained, res.DegradedAcks, res.TimeoutAcks,
+			res.LostWrites, res.MissingKeys, res.ProbeErrors)
 	}
 	return nil
 }

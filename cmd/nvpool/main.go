@@ -17,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"nvref/internal/mem"
 	"nvref/internal/obs"
 	"nvref/internal/pmem"
+	"nvref/internal/repl"
 )
 
 func main() {
@@ -98,7 +100,7 @@ func main() {
 		fsck(reg, pool, *repair)
 
 	case "stats":
-		if err := stats(store, flag.Arg(1), *jsonOut); err != nil {
+		if err := stats(store, *dir, flag.Arg(1), *jsonOut); err != nil {
 			fail(err)
 		}
 
@@ -110,7 +112,7 @@ func main() {
 // stats opens the named pool (or every stored pool when name is empty),
 // runs one fsck scan so finding counters are populated, and emits every
 // registered series as Prometheus text or a JSON snapshot.
-func stats(store pmem.Store, name string, jsonOut bool) error {
+func stats(store pmem.Store, dir, name string, jsonOut bool) error {
 	names := []string{name}
 	if name == "" {
 		var err error
@@ -133,10 +135,44 @@ func stats(store pmem.Store, name string, jsonOut bool) error {
 		pmem.RegisterPoolMetrics(metrics, pool)
 		pmem.Fsck(pool)
 	}
+	registerOplogStats(metrics, dir)
 	if jsonOut {
 		return metrics.Snapshot().WriteJSON(os.Stdout)
 	}
 	return obs.WritePrometheus(os.Stdout, metrics.Snapshot())
+}
+
+// registerOplogStats surfaces replication op-log images, if the inspected
+// shard directory has an oplog/ subdirectory (the layout nvserved's
+// replication roles write). Each log contributes its retained size,
+// sequence window, and damage counters to the stats document.
+func registerOplogStats(metrics *obs.Registry, dir string) {
+	oplogDir := filepath.Join(dir, "oplog")
+	if fi, err := os.Stat(oplogDir); err != nil || !fi.IsDir() {
+		return
+	}
+	store, err := pmem.NewDirStore(oplogDir)
+	if err != nil {
+		return
+	}
+	names, err := store.List()
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		l, err := repl.OpenLog(store, n, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvpool: oplog %s: %v\n", n, err)
+			continue
+		}
+		st := l.Stats()
+		pfx := "oplog_" + n + "_"
+		metrics.GaugeFunc(pfx+"records", "retained operation-log records", func() int64 { return int64(st.Records) })
+		metrics.GaugeFunc(pfx+"bytes", "retained operation-log bytes", func() int64 { return int64(st.Bytes) })
+		metrics.GaugeFunc(pfx+"last_seq", "newest logged sequence number", func() int64 { return int64(st.LastSeq) })
+		metrics.GaugeFunc(pfx+"base_seq", "oldest retained sequence number", func() int64 { return int64(st.BaseSeq) })
+		metrics.GaugeFunc(pfx+"torn_records", "records dropped at reload for CRC or sequence damage", func() int64 { return int64(st.TornRecords) })
+	}
 }
 
 // fsck checks (and with repair, fixes) the pool's allocator structures and

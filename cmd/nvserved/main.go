@@ -21,6 +21,19 @@
 // requests that cannot be queued in time are answered with an explicit
 // SHED frame instead of blocking the connection.
 //
+// Replication runs a pair of daemons:
+//
+//	nvserved -addr :7070 -role primary -data /var/a
+//	nvserved -addr :7071 -role replica -follow localhost:7070 -data /var/b -promote-after 3s
+//
+// The primary appends every write to a per-shard op log (persisted under
+// <data>/shard-N/oplog/) and holds the write's acknowledgment until the
+// replica has pulled, applied, and acknowledged the record — an
+// acknowledged write therefore exists on both sides. The replica serves
+// reads (rejecting writes with READONLY, and gated reads with LAGGING when
+// behind) and, with -promote-after, promotes itself to primary when the
+// primary goes silent.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain every
 // shard queue, checkpoint every pool.
 package main
@@ -55,10 +68,20 @@ func main() {
 	wedgeTimeout := flag.Duration("wedge-timeout", 2*time.Second, "declare a shard wedged after this long without progress on queued work (negative: disable watchdog)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 100*time.Millisecond, "how long an open shard circuit breaker fails fast before probing")
 	scrubEvery := flag.Duration("scrub-every", 30*time.Second, "background fsck period for idle shards (0: disable scrubbing)")
+	role := flag.String("role", "standalone", "replication role: standalone, primary, or replica")
+	follow := flag.String("follow", "", "primary address a replica ships the op log from (required with -role replica)")
+	promoteAfter := flag.Duration("promote-after", 0, "replica self-promotes after this long without primary contact (0: manual promotion only)")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
 	if err != nil {
+		fatal(err)
+	}
+	r, err := parseRole(*role)
+	if err != nil {
+		fatal(err)
+	}
+	if err := validateFlags(*shards, *queueDepth, *poolSize, *breakerCooldown, *scrubEvery, *promoteAfter, r, *follow); err != nil {
 		fatal(err)
 	}
 
@@ -72,6 +95,9 @@ func main() {
 		WedgeTimeout:    *wedgeTimeout,
 		BreakerCooldown: *breakerCooldown,
 		ScrubEvery:      *scrubEvery,
+		Role:            r,
+		FollowAddr:      *follow,
+		PromoteAfter:    *promoteAfter,
 		Reg:             obs.NewRegistry(),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "nvserved: "+format+"\n", args...)
@@ -84,6 +110,17 @@ func main() {
 				fatal(err)
 			}
 			return st
+		}
+		if r != server.RoleStandalone {
+			// The op log lives in a subdirectory so the shard directory
+			// itself keeps listing only pool images (nvpool stats et al).
+			cfg.LogStoreFor = func(i int) pmem.Store {
+				st, err := pmem.NewDirStore(filepath.Join(*data, fmt.Sprintf("shard-%d", i), "oplog"))
+				if err != nil {
+					fatal(err)
+				}
+				return st
+			}
 		}
 	}
 
@@ -111,7 +148,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "nvserved: %d shards (%s mode) serving on %s\n", *shards, m, bound)
+	if r == server.RoleReplica {
+		fmt.Fprintf(os.Stderr, "nvserved: %d shards (%s mode) serving on %s as replica of %s\n", *shards, m, bound, *follow)
+	} else {
+		fmt.Fprintf(os.Stderr, "nvserved: %d shards (%s mode) serving on %s as %s\n", *shards, m, bound, *role)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -121,6 +162,51 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "nvserved: bye")
+}
+
+func parseRole(s string) (int32, error) {
+	switch strings.ToLower(s) {
+	case "standalone":
+		return server.RoleStandalone, nil
+	case "primary":
+		return server.RolePrimary, nil
+	case "replica":
+		return server.RoleReplica, nil
+	}
+	return 0, fmt.Errorf("unknown role %q (want standalone, primary, or replica)", s)
+}
+
+// validateFlags rejects flag combinations the server would only trip over
+// later, each with a one-line actionable error.
+func validateFlags(shards, queueDepth int, poolSize uint64, breakerCooldown, scrubEvery, promoteAfter time.Duration, role int32, follow string) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", shards)
+	}
+	if queueDepth < 1 {
+		return fmt.Errorf("-queue-depth must be at least 1, got %d", queueDepth)
+	}
+	if poolSize == 0 {
+		return fmt.Errorf("-pool-size must be nonzero")
+	}
+	if breakerCooldown < 0 {
+		return fmt.Errorf("-breaker-cooldown must not be negative, got %s", breakerCooldown)
+	}
+	if scrubEvery < 0 {
+		return fmt.Errorf("-scrub-every must not be negative, got %s (use 0 to disable)", scrubEvery)
+	}
+	if promoteAfter < 0 {
+		return fmt.Errorf("-promote-after must not be negative, got %s (use 0 for manual promotion)", promoteAfter)
+	}
+	if role == server.RoleReplica && follow == "" {
+		return fmt.Errorf("-role replica requires -follow with the primary's address")
+	}
+	if role != server.RoleReplica && follow != "" {
+		return fmt.Errorf("-follow only makes sense with -role replica")
+	}
+	if role != server.RoleReplica && promoteAfter > 0 {
+		return fmt.Errorf("-promote-after only makes sense with -role replica")
+	}
+	return nil
 }
 
 func parseMode(s string) (rt.Mode, error) {

@@ -1,0 +1,325 @@
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"nvref/internal/pmem"
+)
+
+// logMagic heads every log image stored through a pmem.Store.
+const logMagic = "NVOPLOG1"
+
+// logHeaderSize is magic + last-seq u64 + count u32.
+const logHeaderSize = len(logMagic) + 8 + 4
+
+// ErrSeqGap reports an AppendAt whose sequence number is not the log's
+// next — the replica lost a record and must re-pull.
+var ErrSeqGap = errors.New("repl: sequence gap")
+
+// Log is one shard's persistent operation log: records appended in
+// sequence order, truncated at checkpoints, and durably saved as a single
+// image through a pmem.Store (the same NVM-device model the pool images
+// use, so a log image carries the store's CRC64 integrity checksum on top
+// of the per-record CRC32).
+//
+// Durability contract: appends are in-memory and become durable at the
+// next Flush — automatically every FlushEvery appends, at every
+// TruncateThrough (the checkpoint path), and on demand. A crash loses the
+// unflushed tail, exactly as a shard loses operations after its last
+// checkpoint; the replication tier exists to close that window with a
+// second copy, not to pretend single-copy appends are free.
+//
+// A Log is safe for concurrent use: the owning shard worker appends while
+// connection handlers read Since for log shipping.
+type Log struct {
+	mu         sync.Mutex
+	store      pmem.Store // nil: volatile (no Flush/Reload persistence)
+	name       string
+	flushEvery int
+
+	recs  []Record
+	last  uint64 // seq of the newest record ever appended (0 = none)
+	dirty int    // appends since the last successful flush
+
+	flushes   uint64
+	flushErrs uint64
+	truncated uint64 // records dropped by truncation
+	torn      uint64 // records dropped at reload (CRC or sequence damage)
+}
+
+// OpenLog opens (or creates) the named log in store, loading any durable
+// image. flushEvery <= 0 disables automatic flushing (explicit Flush and
+// the truncation path still persist). A nil store keeps the log in memory
+// only.
+func OpenLog(store pmem.Store, name string, flushEvery int) (*Log, error) {
+	l := &Log{store: store, name: name, flushEvery: flushEvery}
+	if err := l.Reload(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Name returns the log's image name in its store.
+func (l *Log) Name() string { return l.name }
+
+// Append assigns the next sequence number to (op, key, value), appends the
+// record, and returns it. The primary's write path calls this before
+// applying the operation (write-ahead order).
+func (l *Log) Append(op byte, key, value uint64) Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := Record{Seq: l.last + 1, Op: op, Key: key, Value: value}
+	l.recs = append(l.recs, rec)
+	l.last = rec.Seq
+	l.noteAppend()
+	return rec
+}
+
+// AppendAt appends a record that already carries its sequence number (the
+// replica's apply path). The sequence must be exactly the log's next;
+// anything else is ErrSeqGap.
+func (l *Log) AppendAt(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rec.Seq != l.last+1 {
+		return fmt.Errorf("%w: record %d after %d", ErrSeqGap, rec.Seq, l.last)
+	}
+	l.recs = append(l.recs, rec)
+	l.last = rec.Seq
+	l.noteAppend()
+	return nil
+}
+
+// noteAppend runs the automatic flush cadence. Called with mu held.
+func (l *Log) noteAppend() {
+	l.dirty++
+	if l.flushEvery > 0 && l.dirty >= l.flushEvery {
+		if err := l.flushLocked(); err != nil {
+			l.flushErrs++
+		}
+	}
+}
+
+// LastSeq returns the newest sequence number ever appended (0 if none).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// BaseSeq returns the oldest retained sequence number (0 when the log
+// holds no records).
+func (l *Log) BaseSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.recs) == 0 {
+		return 0
+	}
+	return l.recs[0].Seq
+}
+
+// Len returns how many records the log retains.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Bytes returns the retained records' size in bytes.
+func (l *Log) Bytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(len(l.recs)) * RecordSize
+}
+
+// Since returns a copy of up to max retained records with Seq > seq (all
+// of them when max <= 0). This is the log-shipping read.
+func (l *Log) Since(seq uint64, max int) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	recs := l.recs
+	if len(recs) == 0 {
+		return nil
+	}
+	base := recs[0].Seq
+	if seq >= base {
+		skip := seq - base + 1
+		if skip >= uint64(len(recs)) {
+			return nil
+		}
+		recs = recs[skip:]
+	}
+	if max > 0 && len(recs) > max {
+		recs = recs[:max]
+	}
+	out := make([]Record, len(recs))
+	copy(out, recs)
+	return out
+}
+
+// TruncateThrough drops every retained record with Seq <= seq and flushes
+// the survivor image — the checkpoint path: once a pool snapshot covers a
+// prefix of the log, that prefix is garbage (but a primary must keep
+// records its replica has not acknowledged, so its callers pass
+// min(checkpointed, replica-acked)).
+func (l *Log) TruncateThrough(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	drop := 0
+	for drop < len(l.recs) && l.recs[drop].Seq <= seq {
+		drop++
+	}
+	if drop > 0 {
+		l.truncated += uint64(drop)
+		l.recs = append(l.recs[:0], l.recs[drop:]...)
+	}
+	if err := l.flushLocked(); err != nil {
+		l.flushErrs++
+		return err
+	}
+	return nil
+}
+
+// Flush durably saves the log image.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.flushLocked(); err != nil {
+		l.flushErrs++
+		return err
+	}
+	return nil
+}
+
+func (l *Log) flushLocked() error {
+	if l.store == nil {
+		l.dirty = 0
+		return nil
+	}
+	data := l.encodeLocked()
+	meta := pmem.Meta{
+		ID:   crc32.ChecksumIEEE([]byte(l.name)),
+		Name: l.name,
+		Size: uint64(len(data)),
+		Sum:  pmem.ImageChecksum(data),
+	}
+	if err := l.store.Save(meta, data); err != nil {
+		return err
+	}
+	l.flushes++
+	l.dirty = 0
+	return nil
+}
+
+func (l *Log) encodeLocked() []byte {
+	buf := make([]byte, 0, logHeaderSize+len(l.recs)*RecordSize)
+	buf = append(buf, logMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, l.last)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.recs)))
+	for _, r := range l.recs {
+		buf = AppendRecord(buf, r)
+	}
+	return buf
+}
+
+// Reload discards in-memory state and re-adopts the durable image — the
+// crash-recovery path (and the constructor's load). A missing image is an
+// empty log. Individually damaged records (CRC failure, sequence break)
+// truncate the reload at the damage point and are counted in TornRecords;
+// a damaged image header or store-level checksum mismatch is an error.
+func (l *Log) Reload() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.store == nil {
+		return nil
+	}
+	meta, data, err := l.store.Load(l.name)
+	if errors.Is(err, pmem.ErrStoreMissing) {
+		l.recs, l.last, l.dirty = nil, 0, 0
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if meta.Sum != 0 && pmem.ImageChecksum(data) != meta.Sum {
+		return fmt.Errorf("%w: log image %q checksum mismatch", pmem.ErrCorrupt, l.name)
+	}
+	if len(data) < logHeaderSize || string(data[:len(logMagic)]) != logMagic {
+		return fmt.Errorf("%w: log image %q: bad header", pmem.ErrCorrupt, l.name)
+	}
+	p := len(logMagic)
+	last := binary.LittleEndian.Uint64(data[p:])
+	p += 8
+	count := uint64(binary.LittleEndian.Uint32(data[p:]))
+	p += 4
+	if uint64(len(data)-p) != count*RecordSize {
+		return fmt.Errorf("%w: log image %q: %d bytes for %d records",
+			pmem.ErrCorrupt, l.name, len(data)-p, count)
+	}
+	recs := make([]Record, 0, count)
+	torn := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		rec, err := DecodeRecord(data[p+int(i)*RecordSize:])
+		if err != nil {
+			torn = count - i
+			break
+		}
+		if len(recs) > 0 && rec.Seq != recs[len(recs)-1].Seq+1 {
+			torn = count - i
+			break
+		}
+		recs = append(recs, rec)
+	}
+	l.recs = recs
+	l.torn += torn
+	if torn > 0 {
+		// The image's last-seq header counted the dropped suffix.
+		if len(recs) > 0 {
+			l.last = recs[len(recs)-1].Seq
+		} else {
+			l.last = 0
+		}
+	} else {
+		l.last = last
+	}
+	l.dirty = 0
+	return nil
+}
+
+// LogStats is a point-in-time summary of a log's state and lifetime
+// counters, exported into metrics and STATS documents.
+type LogStats struct {
+	LastSeq     uint64 `json:"last_seq"`
+	BaseSeq     uint64 `json:"base_seq"`
+	Records     int    `json:"records"`
+	Bytes       uint64 `json:"bytes"`
+	Dirty       int    `json:"dirty"`
+	Flushes     uint64 `json:"flushes"`
+	FlushErrors uint64 `json:"flush_errors"`
+	Truncated   uint64 `json:"truncated"`
+	TornRecords uint64 `json:"torn_records"`
+}
+
+// Stats returns the log's current statistics.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := LogStats{
+		LastSeq:     l.last,
+		Records:     len(l.recs),
+		Bytes:       uint64(len(l.recs)) * RecordSize,
+		Dirty:       l.dirty,
+		Flushes:     l.flushes,
+		FlushErrors: l.flushErrs,
+		Truncated:   l.truncated,
+		TornRecords: l.torn,
+	}
+	if len(l.recs) > 0 {
+		st.BaseSeq = l.recs[0].Seq
+	}
+	return st
+}

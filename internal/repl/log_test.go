@@ -1,0 +1,309 @@
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"nvref/internal/pmem"
+)
+
+func mustOpen(t *testing.T, store pmem.Store, name string, flushEvery int) *Log {
+	t.Helper()
+	l, err := OpenLog(store, name, flushEvery)
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	return l
+}
+
+func TestLogAppendAndQuery(t *testing.T) {
+	l := mustOpen(t, nil, "a", 0)
+	if l.LastSeq() != 0 || l.BaseSeq() != 0 || l.Len() != 0 || l.Bytes() != 0 {
+		t.Fatal("fresh log not empty")
+	}
+	for i := uint64(1); i <= 10; i++ {
+		rec := l.Append(RecPut, i, i*2)
+		if rec.Seq != i {
+			t.Fatalf("append %d assigned seq %d", i, rec.Seq)
+		}
+	}
+	if l.LastSeq() != 10 || l.BaseSeq() != 1 || l.Len() != 10 {
+		t.Fatalf("after 10 appends: last=%d base=%d len=%d", l.LastSeq(), l.BaseSeq(), l.Len())
+	}
+	if l.Bytes() != 10*RecordSize {
+		t.Fatalf("bytes = %d", l.Bytes())
+	}
+
+	// Since is exclusive of seq and respects max.
+	if got := l.Since(0, 0); len(got) != 10 || got[0].Seq != 1 {
+		t.Fatalf("Since(0): %d records", len(got))
+	}
+	if got := l.Since(7, 0); len(got) != 3 || got[0].Seq != 8 {
+		t.Fatalf("Since(7): %+v", got)
+	}
+	if got := l.Since(0, 4); len(got) != 4 || got[3].Seq != 4 {
+		t.Fatalf("Since(0, 4): %+v", got)
+	}
+	if got := l.Since(10, 0); got != nil {
+		t.Fatalf("Since(last): %+v", got)
+	}
+	if got := l.Since(99, 0); got != nil {
+		t.Fatalf("Since(beyond): %+v", got)
+	}
+}
+
+func TestLogAppendAt(t *testing.T) {
+	l := mustOpen(t, nil, "a", 0)
+	if err := l.AppendAt(Record{Seq: 1, Key: 1, Op: RecPut}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendAt(Record{Seq: 3, Key: 3, Op: RecPut}); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap: %v", err)
+	}
+	if err := l.AppendAt(Record{Seq: 1, Key: 1, Op: RecPut}); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := l.AppendAt(Record{Seq: 2, Key: 2, Op: RecPut}); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastSeq() != 2 {
+		t.Fatalf("last = %d", l.LastSeq())
+	}
+}
+
+func TestLogTruncate(t *testing.T) {
+	l := mustOpen(t, nil, "a", 0)
+	for i := 0; i < 10; i++ {
+		l.Append(RecPut, uint64(i), 0)
+	}
+	if err := l.TruncateThrough(6); err != nil {
+		t.Fatal(err)
+	}
+	if l.BaseSeq() != 7 || l.Len() != 4 || l.LastSeq() != 10 {
+		t.Fatalf("after truncate: base=%d len=%d last=%d", l.BaseSeq(), l.Len(), l.LastSeq())
+	}
+	if got := l.Since(0, 0); len(got) != 4 || got[0].Seq != 7 {
+		t.Fatalf("Since after truncate: %+v", got)
+	}
+	st := l.Stats()
+	if st.Truncated != 6 {
+		t.Fatalf("truncated = %d", st.Truncated)
+	}
+	// Truncating everything leaves an empty log that still knows its
+	// last sequence, so appends continue densely.
+	if err := l.TruncateThrough(10); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 || l.LastSeq() != 10 {
+		t.Fatalf("after full truncate: len=%d last=%d", l.Len(), l.LastSeq())
+	}
+	if rec := l.Append(RecPut, 1, 1); rec.Seq != 11 {
+		t.Fatalf("append after full truncate: seq %d", rec.Seq)
+	}
+}
+
+func TestLogPersistence(t *testing.T) {
+	store := pmem.NewMemStore()
+	l := mustOpen(t, store, "shard-0", 0)
+	for i := uint64(1); i <= 5; i++ {
+		l.Append(RecPut, i, i+100)
+	}
+	l.Append(RecDelete, 3, 0)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh open on the same store sees the identical log.
+	l2 := mustOpen(t, store, "shard-0", 0)
+	if l2.LastSeq() != 6 || l2.Len() != 6 {
+		t.Fatalf("reopened: last=%d len=%d", l2.LastSeq(), l2.Len())
+	}
+	recs := l2.Since(0, 0)
+	if recs[5].Op != RecDelete || recs[5].Key != 3 {
+		t.Fatalf("reopened tail: %+v", recs[5])
+	}
+
+	// Unflushed appends are lost on reload — the documented durability
+	// contract.
+	l2.Append(RecPut, 99, 99)
+	if err := l2.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if l2.LastSeq() != 6 {
+		t.Fatalf("reload kept unflushed tail: last=%d", l2.LastSeq())
+	}
+}
+
+func TestLogFlushCadence(t *testing.T) {
+	store := pmem.NewMemStore()
+	l := mustOpen(t, store, "s", 2)
+	l.Append(RecPut, 1, 1)
+	if st := l.Stats(); st.Flushes != 0 || st.Dirty != 1 {
+		t.Fatalf("after 1 append: %+v", st)
+	}
+	l.Append(RecPut, 2, 2)
+	if st := l.Stats(); st.Flushes != 1 || st.Dirty != 0 {
+		t.Fatalf("after 2 appends: %+v", st)
+	}
+	// The flushed image is already durable.
+	l2 := mustOpen(t, store, "s", 2)
+	if l2.LastSeq() != 2 {
+		t.Fatalf("cadence flush not durable: last=%d", l2.LastSeq())
+	}
+}
+
+func TestLogEmptyFlushAndMissing(t *testing.T) {
+	store := pmem.NewMemStore()
+	l := mustOpen(t, store, "empty", 0)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, store, "empty", 0)
+	if l2.Len() != 0 || l2.LastSeq() != 0 {
+		t.Fatal("empty image round trip failed")
+	}
+	// A name never saved is an empty log, not an error.
+	l3 := mustOpen(t, store, "never-saved", 0)
+	if l3.Len() != 0 {
+		t.Fatal("missing image should open empty")
+	}
+}
+
+// resave mutates the stored image bytes through fn and re-seals the
+// store-level checksum, so only record-level validation can object.
+func resave(t *testing.T, store pmem.Store, name string, fn func([]byte)) {
+	t.Helper()
+	meta, data, err := store.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn(data)
+	meta.Sum = pmem.ImageChecksum(data)
+	meta.Size = uint64(len(data))
+	if err := store.Save(meta, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogReloadTornTail(t *testing.T) {
+	store := pmem.NewMemStore()
+	l := mustOpen(t, store, "torn", 0)
+	for i := uint64(1); i <= 8; i++ {
+		l.Append(RecPut, i, i)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt record 5 (0-indexed) in place: reload must keep 1..5 and
+	// drop the damaged suffix.
+	resave(t, store, "torn", func(data []byte) {
+		data[logHeaderSize+5*RecordSize+3] ^= 0xff
+	})
+	l2 := mustOpen(t, store, "torn", 0)
+	if l2.Len() != 5 || l2.LastSeq() != 5 {
+		t.Fatalf("torn reload: len=%d last=%d", l2.Len(), l2.LastSeq())
+	}
+	if st := l2.Stats(); st.TornRecords != 3 {
+		t.Fatalf("torn records = %d, want 3", st.TornRecords)
+	}
+	// Appends continue from the surviving tail.
+	if rec := l2.Append(RecPut, 9, 9); rec.Seq != 6 {
+		t.Fatalf("append after torn reload: seq %d", rec.Seq)
+	}
+}
+
+func TestLogReloadSeqBreak(t *testing.T) {
+	store := pmem.NewMemStore()
+	l := mustOpen(t, store, "gap", 0)
+	for i := uint64(1); i <= 4; i++ {
+		l.Append(RecPut, i, i)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite record 2 (0-indexed) with a jumped sequence number and a
+	// valid CRC: contiguity checking must truncate there.
+	resave(t, store, "gap", func(data []byte) {
+		off := logHeaderSize + 2*RecordSize
+		rec := AppendRecord(nil, Record{Seq: 9, Key: 1, Op: RecPut})
+		copy(data[off:], rec)
+	})
+	l2 := mustOpen(t, store, "gap", 0)
+	if l2.Len() != 2 || l2.LastSeq() != 2 {
+		t.Fatalf("seq-break reload: len=%d last=%d", l2.Len(), l2.LastSeq())
+	}
+}
+
+func TestLogReloadCorruptImage(t *testing.T) {
+	store := pmem.NewMemStore()
+	l := mustOpen(t, store, "x", 0)
+	l.Append(RecPut, 1, 1)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Store-level checksum mismatch (flip a byte, keep the old Sum).
+	meta, data, err := store.Load("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff
+	if err := store.Save(meta, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLog(store, "x", 0); !errors.Is(err, pmem.ErrCorrupt) {
+		t.Fatalf("checksum mismatch: %v", err)
+	}
+
+	// Bad magic with a re-sealed checksum.
+	resave(t, store, "x", func(d []byte) { copy(d, "WRONGMAG") })
+	if _, err := OpenLog(store, "x", 0); !errors.Is(err, pmem.ErrCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	// Header record count that disagrees with the image length.
+	l3 := mustOpen(t, store, "y", 0)
+	l3.Append(RecPut, 1, 1)
+	if err := l3.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resave(t, store, "y", func(d []byte) {
+		binary.LittleEndian.PutUint32(d[len(logMagic)+8:], 7)
+	})
+	if _, err := OpenLog(store, "y", 0); !errors.Is(err, pmem.ErrCorrupt) {
+		t.Fatalf("count mismatch: %v", err)
+	}
+
+	// Truncated header.
+	l4 := mustOpen(t, store, "z", 0)
+	if err := l4.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	meta, _, err = store.Load("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := []byte(logMagic[:4])
+	meta.Sum = pmem.ImageChecksum(short)
+	meta.Size = uint64(len(short))
+	if err := store.Save(meta, short); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLog(store, "z", 0); !errors.Is(err, pmem.ErrCorrupt) {
+		t.Fatalf("short header: %v", err)
+	}
+}
+
+func TestLogStats(t *testing.T) {
+	l := mustOpen(t, nil, "s", 0)
+	l.Append(RecPut, 1, 1)
+	l.Append(RecPut, 2, 2)
+	st := l.Stats()
+	if st.LastSeq != 2 || st.BaseSeq != 1 || st.Records != 2 || st.Bytes != 2*RecordSize || st.Dirty != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if l.Name() != "s" {
+		t.Fatalf("name = %q", l.Name())
+	}
+}

@@ -1,0 +1,109 @@
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	cases := []Record{
+		{Seq: 1, Key: 42, Value: 4242, Op: RecPut},
+		{Seq: 1<<63 + 7, Key: ^uint64(0), Value: 0, Op: RecDelete},
+		{Seq: 999, Key: 0, Value: ^uint64(0), Op: RecPut},
+	}
+	for _, want := range cases {
+		b := AppendRecord(nil, want)
+		if len(b) != RecordSize {
+			t.Fatalf("encoded size %d, want %d", len(b), RecordSize)
+		}
+		got, err := DecodeRecord(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestRecordCRCCorruptionRejected(t *testing.T) {
+	rec := Record{Seq: 7, Key: 11, Value: 13, Op: RecPut}
+	clean := AppendRecord(nil, rec)
+	// Flipping any single byte must fail validation: either the CRC no
+	// longer matches, or (for the CRC bytes themselves) it no longer
+	// matches the payload.
+	for i := 0; i < RecordSize; i++ {
+		b := append([]byte(nil), clean...)
+		b[i] ^= 0x40
+		if _, err := DecodeRecord(b); !errors.Is(err, ErrBadRecord) {
+			t.Fatalf("byte %d flipped: got err %v, want ErrBadRecord", i, err)
+		}
+	}
+}
+
+func TestRecordShortBuffer(t *testing.T) {
+	if _, err := DecodeRecord(make([]byte, RecordSize-1)); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("short buffer: %v", err)
+	}
+}
+
+// reseal recomputes the record CRC after a deliberate mutation, so the
+// validation that fires is the semantic one, not the checksum.
+func reseal(b []byte) []byte {
+	binary.LittleEndian.PutUint32(b[28:], crc32.ChecksumIEEE(b[:28]))
+	return b
+}
+
+func TestRecordSemanticValidation(t *testing.T) {
+	base := AppendRecord(nil, Record{Seq: 1, Key: 2, Value: 3, Op: RecPut})
+
+	unknownOp := append([]byte(nil), base...)
+	unknownOp[24] = 99
+	if _, err := DecodeRecord(reseal(unknownOp)); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("unknown op: %v", err)
+	}
+
+	reserved := append([]byte(nil), base...)
+	reserved[26] = 1
+	if _, err := DecodeRecord(reseal(reserved)); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("nonzero reserved: %v", err)
+	}
+}
+
+func TestEncodeDecodeRecords(t *testing.T) {
+	recs := []Record{
+		{Seq: 1, Key: 10, Value: 100, Op: RecPut},
+		{Seq: 2, Key: 10, Value: 0, Op: RecDelete},
+		{Seq: 3, Key: 11, Value: 111, Op: RecPut},
+	}
+	b := EncodeRecords(recs)
+	got, err := DecodeRecords(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+
+	if _, err := DecodeRecords(b[:len(b)-1], 0); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("ragged buffer: %v", err)
+	}
+	if _, err := DecodeRecords(b, 2); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("max exceeded: %v", err)
+	}
+	bad := append([]byte(nil), b...)
+	bad[RecordSize+5] ^= 0xff // corrupt the middle record
+	if _, err := DecodeRecords(bad, 0); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("embedded bad record: %v", err)
+	}
+	if got, err := DecodeRecords(nil, 0); err != nil || len(got) != 0 {
+		t.Fatalf("empty buffer: (%v, %v)", got, err)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net"
 	"time"
+
+	"nvref/internal/repl"
 )
 
 // Client is a synchronous nvserved client over one TCP connection. It is
@@ -124,6 +126,47 @@ func (c *Client) Put(key, value uint64) error {
 	return err
 }
 
+// PutSeq is Put returning the serving shard and the operation-log
+// sequence number it assigned (both zero on a standalone server) — the
+// read-your-writes token a client stamps later GETs with.
+func (c *Client) PutSeq(key, value uint64) (shard uint32, seq uint64, err error) {
+	rep, err := c.roundTrip(&Request{Op: OpPut, Key: key, Value: value})
+	if err != nil {
+		return 0, 0, err
+	}
+	return rep.Shard, rep.Seq, nil
+}
+
+// GetAt reads a key with a read-your-writes token: a server whose applied
+// sequence for the key's shard is behind gate answers ErrLagging instead
+// of a stale value. gate 0 is a plain Get.
+func (c *Client) GetAt(key, gate uint64) (uint64, bool, error) {
+	rep, err := c.roundTrip(&Request{Op: OpGet, Key: key, Gate: gate})
+	if err != nil {
+		return 0, false, err
+	}
+	return rep.Value, rep.Found, nil
+}
+
+// Pull fetches up to max operation-log records of one shard after
+// sequence number `after`, plus the shard's newest logged sequence — the
+// log-shipping read a follower drives.
+func (c *Client) Pull(shard uint32, after uint64, max int) (last uint64, recs []repl.Record, err error) {
+	rep, err := c.roundTrip(&Request{Op: OpReplicate, Shard: shard, Seq: after, Limit: max})
+	if err != nil {
+		return 0, nil, err
+	}
+	return rep.Seq, rep.Recs, nil
+}
+
+// ReplAck tells a primary that every record of the shard up to seq is
+// applied and logged on this replica; the primary releases held write
+// acks and may truncate its log through seq.
+func (c *Client) ReplAck(shard uint32, seq uint64) error {
+	_, err := c.roundTrip(&Request{Op: OpReplAck, Shard: shard, Seq: seq})
+	return err
+}
+
 // Delete removes a key, reporting whether it was present.
 func (c *Client) Delete(key uint64) (bool, error) {
 	rep, err := c.roundTrip(&Request{Op: OpDelete, Key: key})
@@ -213,6 +256,17 @@ func (p *Pipeline) Delete(key uint64) { p.add(&Request{Op: OpDelete, Key: key}) 
 // Scan queues a SCAN.
 func (p *Pipeline) Scan(start uint64, limit int) {
 	p.add(&Request{Op: OpScan, Key: start, Limit: limit})
+}
+
+// Pull queues a replication pull (the follower pipelines one per shard in
+// its in-flight window).
+func (p *Pipeline) Pull(shard uint32, after uint64, max int) {
+	p.add(&Request{Op: OpReplicate, Shard: shard, Seq: after, Limit: max})
+}
+
+// ReplAck queues a replication acknowledgment.
+func (p *Pipeline) ReplAck(shard uint32, seq uint64) {
+	p.add(&Request{Op: OpReplAck, Shard: shard, Seq: seq})
 }
 
 // Run flushes the queued frames and collects every reply, in order.

@@ -15,17 +15,28 @@
 // Operations and payloads:
 //
 //	GET        key u64                     → found u8, value u64
-//	PUT        key u64, value u64          → (empty)
-//	DELETE     key u64                     → found u8
+//	PUT        key u64, value u64          → shard u32, seq u64
+//	DELETE     key u64                     → found u8, shard u32, seq u64
 //	SCAN       start u64, limit u32        → count u32, count×(key u64, value u64)
 //	BATCH      count u32, count×sub-request → count u32, count×sub-reply
 //	STATS      (empty)                     → len u32, JSON bytes
 //	CHECKPOINT (empty)                     → (empty)
+//	REPLICATE  shard u32, after u64, max u32 → last u64, count u32, count×record
+//	REPLACK    shard u32, seq u64          → (empty)
+//
+// PUT and DELETE replies name the shard that served the write and the
+// operation-log sequence number it assigned (both zero on a shard that
+// keeps no log — a standalone server). REPLICATE and REPLACK are the
+// replication tier's log-shipping pull and applied-durability ack
+// (repl.go); a record is repl.RecordSize bytes (internal/repl).
 //
 // A request may be prefixed with a deadline envelope — `u8 OpDeadline |
 // u32 ttl_ms` — giving the server a time budget: requests still queued
 // when the budget expires are answered with StatusDeadline instead of
-// executing. The envelope is only legal at the top level of a frame.
+// executing. A GET may additionally carry a seq-gate envelope — `u8
+// OpSeqGate | u64 seq` — the read-your-writes token checked against the
+// shard's applied sequence. Envelopes are only legal at the top level of
+// a frame, deadline first.
 //
 // Besides OK, BadRequest, and Internal, replies carry the overload and
 // availability statuses of the self-healing tier: StatusShed (the shard's
@@ -46,6 +57,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+
+	"nvref/internal/repl"
 )
 
 // Op codes of the wire protocol.
@@ -60,6 +73,22 @@ const (
 	// OpDeadline is the envelope prefix carrying a request time budget; it
 	// wraps exactly one top-level request and never appears inside a batch.
 	OpDeadline byte = 8
+	// OpReplicate is the replication pull: a replica asks one shard's
+	// primary for log records after a sequence number. Payload: shard u32,
+	// after-seq u64, max u32. The reply carries the shard's newest sequence
+	// number and the raw records (replication.go).
+	OpReplicate byte = 9
+	// OpReplAck is the replica's durability acknowledgment: every record of
+	// the shard up to seq is applied and logged on the replica. Payload:
+	// shard u32, seq u64. The primary releases held client write acks up to
+	// seq and may truncate its log through it.
+	OpReplAck byte = 10
+	// OpSeqGate is the read-your-writes envelope: a GET stamped with the
+	// writer's last acknowledged sequence number for the key's shard. A
+	// shard whose applied sequence lags the token answers StatusLagging
+	// instead of serving a stale read. Legal only at the top level, only on
+	// GET, and only after any OpDeadline envelope.
+	OpSeqGate byte = 11
 )
 
 // Reply status codes.
@@ -76,6 +105,13 @@ const (
 	// StatusDeadline: the request's deadline envelope expired before the
 	// shard executed it; the operation was not applied.
 	StatusDeadline byte = 5
+	// StatusLagging: the request's seq-gate token is ahead of the shard's
+	// applied sequence (a replica that has not caught up). Retryable: the
+	// replica is pulling, or the client should redirect to the primary.
+	StatusLagging byte = 6
+	// StatusReadOnly: a write was sent to a replica. Retryable so a
+	// failover client rotates to the next endpoint in its list.
+	StatusReadOnly byte = 7
 )
 
 // MaxFrame bounds a single frame body; anything larger is a protocol
@@ -88,6 +124,10 @@ const MaxScanLimit = 4096
 
 // MaxBatch bounds how many sub-requests one BATCH may carry.
 const MaxBatch = 1024
+
+// MaxReplBatch bounds how many log records one OpReplicate pull may
+// request or return (128 KiB of records, comfortably inside MaxFrame).
+const MaxReplBatch = 4096
 
 // MaxTTLms bounds the deadline envelope's budget (one hour): anything
 // larger is a malformed frame, not a deadline.
@@ -102,6 +142,8 @@ var (
 	ErrShed        = errors.New("server: overloaded, request shed")
 	ErrUnavailable = errors.New("server: shard unavailable")
 	ErrDeadline    = errors.New("server: deadline exceeded")
+	ErrLagging     = errors.New("server: replica lags the read's seq token")
+	ErrReadOnly    = errors.New("server: replica is read-only")
 )
 
 // Retryable reports whether err is worth retrying on the same or a fresh
@@ -113,7 +155,8 @@ func Retryable(err error) bool {
 	if err == nil {
 		return false
 	}
-	if errors.Is(err, ErrShed) || errors.Is(err, ErrUnavailable) || errors.Is(err, ErrDeadline) {
+	if errors.Is(err, ErrShed) || errors.Is(err, ErrUnavailable) || errors.Is(err, ErrDeadline) ||
+		errors.Is(err, ErrLagging) || errors.Is(err, ErrReadOnly) {
 		return true
 	}
 	if errors.Is(err, ErrProto) {
@@ -141,11 +184,18 @@ type Request struct {
 	Op    byte
 	Key   uint64
 	Value uint64
-	Limit int
+	Limit int       // SCAN pair limit; REPLICATE max records
 	Sub   []Request // BATCH only; sub-requests may not themselves batch
 	// TTLms, when nonzero, is the deadline envelope's time budget in
 	// milliseconds. Only legal on a top-level request.
 	TTLms uint32
+	// Shard addresses the replication ops (REPLICATE, REPLACK).
+	Shard uint32
+	// Seq is the REPLICATE after-sequence or the REPLACK applied sequence.
+	Seq uint64
+	// Gate, when nonzero, is the seq-gate envelope's read-your-writes
+	// token. Only legal on a top-level GET.
+	Gate uint64
 }
 
 // Reply is one decoded response.
@@ -156,6 +206,13 @@ type Reply struct {
 	Pairs  []KV
 	Sub    []Reply
 	Blob   []byte // STATS JSON
+	// Shard and Seq report which shard served a write and the sequence
+	// number it assigned (zero when the shard keeps no operation log). On a
+	// REPLICATE reply, Seq is the shard's newest logged sequence.
+	Shard uint32
+	Seq   uint64
+	// Recs are a REPLICATE reply's shipped log records.
+	Recs []repl.Record
 }
 
 // Err converts a non-OK status into an error (nil when Status is OK).
@@ -171,6 +228,10 @@ func (r *Reply) Err() error {
 		return ErrUnavailable
 	case StatusDeadline:
 		return ErrDeadline
+	case StatusLagging:
+		return ErrLagging
+	case StatusReadOnly:
+		return ErrReadOnly
 	default:
 		return fmt.Errorf("server: internal error (status %d)", r.Status)
 	}
@@ -212,7 +273,8 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 // ---- Request encoding ----------------------------------------------------
 
 // AppendRequest appends the wire form of req to buf, emitting the
-// deadline envelope first when the request carries a time budget.
+// deadline envelope first when the request carries a time budget, then the
+// seq-gate envelope when it carries a read-your-writes token.
 func AppendRequest(buf []byte, req *Request) ([]byte, error) {
 	if req.TTLms > 0 {
 		if req.TTLms > MaxTTLms {
@@ -220,6 +282,13 @@ func AppendRequest(buf []byte, req *Request) ([]byte, error) {
 		}
 		buf = append(buf, OpDeadline)
 		buf = binary.LittleEndian.AppendUint32(buf, req.TTLms)
+	}
+	if req.Gate > 0 {
+		if req.Op != OpGet {
+			return nil, fmt.Errorf("%w: seq gate on op %d (GET only)", ErrProto, req.Op)
+		}
+		buf = append(buf, OpSeqGate)
+		buf = binary.LittleEndian.AppendUint64(buf, req.Gate)
 	}
 	return appendRequestBody(buf, req)
 }
@@ -243,17 +312,31 @@ func appendRequestBody(buf []byte, req *Request) ([]byte, error) {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Sub)))
 		for i := range req.Sub {
 			sub := &req.Sub[i]
-			if sub.Op == OpBatch || sub.Op == OpStats || sub.Op == OpCheckpoint {
+			if sub.Op == OpBatch || sub.Op == OpStats || sub.Op == OpCheckpoint ||
+				sub.Op == OpReplicate || sub.Op == OpReplAck {
 				return nil, fmt.Errorf("%w: op %d may not appear inside a batch", ErrProto, sub.Op)
 			}
 			if sub.TTLms != 0 {
 				return nil, fmt.Errorf("%w: deadline envelope inside a batch", ErrProto)
+			}
+			if sub.Gate != 0 {
+				return nil, fmt.Errorf("%w: seq-gate envelope inside a batch", ErrProto)
 			}
 			var err error
 			if buf, err = appendRequestBody(buf, sub); err != nil {
 				return nil, err
 			}
 		}
+	case OpReplicate:
+		if req.Limit < 1 || req.Limit > MaxReplBatch {
+			return nil, fmt.Errorf("%w: replicate max %d outside [1, %d]", ErrProto, req.Limit, MaxReplBatch)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, req.Shard)
+		buf = binary.LittleEndian.AppendUint64(buf, req.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(req.Limit))
+	case OpReplAck:
+		buf = binary.LittleEndian.AppendUint32(buf, req.Shard)
+		buf = binary.LittleEndian.AppendUint64(buf, req.Seq)
 	case OpStats, OpCheckpoint:
 		// No payload.
 	default:
@@ -310,7 +393,8 @@ func (c *cursor) bytes(n int) ([]byte, error) {
 func (c *cursor) remaining() int { return len(c.b) - c.off }
 
 // DecodeRequest parses one request frame body, unwrapping an optional
-// top-level deadline envelope into Request.TTLms.
+// top-level deadline envelope into Request.TTLms and an optional seq-gate
+// envelope (deadline first, then gate) into Request.Gate.
 func DecodeRequest(body []byte) (*Request, error) {
 	c := &cursor{b: body}
 	var ttl uint32
@@ -324,6 +408,17 @@ func DecodeRequest(body []byte) (*Request, error) {
 			return nil, fmt.Errorf("%w: ttl %dms outside (0, %d]", ErrProto, ttl, MaxTTLms)
 		}
 	}
+	var gate uint64
+	if c.off < len(body) && body[c.off] == OpSeqGate {
+		c.off++
+		var err error
+		if gate, err = c.u64(); err != nil {
+			return nil, err
+		}
+		if gate == 0 {
+			return nil, fmt.Errorf("%w: zero seq-gate token", ErrProto)
+		}
+	}
 	req, err := decodeRequest(c, true)
 	if err != nil {
 		return nil, err
@@ -331,7 +426,11 @@ func DecodeRequest(body []byte) (*Request, error) {
 	if c.off != len(body) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrProto, len(body)-c.off)
 	}
+	if gate != 0 && req.Op != OpGet {
+		return nil, fmt.Errorf("%w: seq gate on op %d (GET only)", ErrProto, req.Op)
+	}
 	req.TTLms = ttl
+	req.Gate = gate
 	return req, nil
 }
 
@@ -387,10 +486,33 @@ func decodeRequest(c *cursor, allowBatch bool) (*Request, error) {
 			if err != nil {
 				return nil, err
 			}
-			if sub.Op == OpStats || sub.Op == OpCheckpoint {
+			if sub.Op == OpStats || sub.Op == OpCheckpoint ||
+				sub.Op == OpReplicate || sub.Op == OpReplAck {
 				return nil, fmt.Errorf("%w: op %d may not appear inside a batch", ErrProto, sub.Op)
 			}
 			req.Sub[i] = *sub
+		}
+	case OpReplicate:
+		if req.Shard, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if req.Seq, err = c.u64(); err != nil {
+			return nil, err
+		}
+		max, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if max < 1 || max > MaxReplBatch {
+			return nil, fmt.Errorf("%w: replicate max %d outside [1, %d]", ErrProto, max, MaxReplBatch)
+		}
+		req.Limit = int(max)
+	case OpReplAck:
+		if req.Shard, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if req.Seq, err = c.u64(); err != nil {
+			return nil, err
 		}
 	case OpStats, OpCheckpoint:
 		// No payload.
@@ -412,8 +534,19 @@ func AppendReply(buf []byte, op byte, rep *Reply) []byte {
 	case OpGet:
 		buf = append(buf, boolByte(rep.Found))
 		buf = binary.LittleEndian.AppendUint64(buf, rep.Value)
+	case OpPut:
+		buf = binary.LittleEndian.AppendUint32(buf, rep.Shard)
+		buf = binary.LittleEndian.AppendUint64(buf, rep.Seq)
 	case OpDelete:
 		buf = append(buf, boolByte(rep.Found))
+		buf = binary.LittleEndian.AppendUint32(buf, rep.Shard)
+		buf = binary.LittleEndian.AppendUint64(buf, rep.Seq)
+	case OpReplicate:
+		buf = binary.LittleEndian.AppendUint64(buf, rep.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rep.Recs)))
+		for _, r := range rep.Recs {
+			buf = repl.AppendRecord(buf, r)
+		}
 	case OpScan:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rep.Pairs)))
 		for _, kv := range rep.Pairs {
@@ -423,7 +556,7 @@ func AppendReply(buf []byte, op byte, rep *Reply) []byte {
 	case OpStats:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rep.Blob)))
 		buf = append(buf, rep.Blob...)
-	case OpPut, OpCheckpoint:
+	case OpCheckpoint, OpReplAck:
 		// No payload.
 	}
 	return buf
@@ -475,12 +608,53 @@ func decodeReply(c *cursor, req *Request) (*Reply, error) {
 		if rep.Value, err = c.u64(); err != nil {
 			return nil, err
 		}
+	case OpPut:
+		if rep.Shard, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if rep.Seq, err = c.u64(); err != nil {
+			return nil, err
+		}
 	case OpDelete:
 		f, err := c.u8()
 		if err != nil {
 			return nil, err
 		}
 		rep.Found = f != 0
+		if rep.Shard, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if rep.Seq, err = c.u64(); err != nil {
+			return nil, err
+		}
+	case OpReplicate:
+		if rep.Seq, err = c.u64(); err != nil {
+			return nil, err
+		}
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxReplBatch {
+			return nil, fmt.Errorf("%w: replicate reply of %d records exceeds %d", ErrProto, n, MaxReplBatch)
+		}
+		if int(n)*repl.RecordSize > c.remaining() {
+			return nil, fmt.Errorf("%w: replicate reply count %d exceeds %d remaining bytes", ErrProto, n, c.remaining())
+		}
+		if n > 0 {
+			rep.Recs = make([]repl.Record, n)
+			for i := range rep.Recs {
+				b, err := c.bytes(repl.RecordSize)
+				if err != nil {
+					return nil, err
+				}
+				r, err := repl.DecodeRecord(b)
+				if err != nil {
+					return nil, fmt.Errorf("%w: record %d: %v", ErrProto, i, err)
+				}
+				rep.Recs[i] = r
+			}
+		}
 	case OpScan:
 		n, err := c.u32()
 		if err != nil {
@@ -527,7 +701,7 @@ func decodeReply(c *cursor, req *Request) (*Reply, error) {
 			return nil, err
 		}
 		rep.Blob = append([]byte(nil), blob...)
-	case OpPut, OpCheckpoint:
+	case OpCheckpoint, OpReplAck:
 		// No payload.
 	}
 	return rep, nil

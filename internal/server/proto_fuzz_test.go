@@ -6,6 +6,8 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+
+	"nvref/internal/repl"
 )
 
 // fuzzSeeds are the valid frames (length prefix included) seeding the
@@ -19,6 +21,10 @@ func fuzzSeeds(f *testing.F) {
 		{Op: OpStats},
 		{Op: OpCheckpoint},
 		{Op: OpPut, Key: 9, Value: 10, TTLms: 250},
+		{Op: OpGet, Key: 8, Gate: 12345},
+		{Op: OpGet, Key: 8, TTLms: 20, Gate: 1},
+		{Op: OpReplicate, Shard: 1, Seq: 5, Limit: 128},
+		{Op: OpReplAck, Shard: 3, Seq: 999},
 		{Op: OpBatch, TTLms: 50, Sub: []Request{
 			{Op: OpGet, Key: 1},
 			{Op: OpPut, Key: 2, Value: 3},
@@ -82,6 +88,131 @@ func FuzzDecodeFrame(f *testing.F) {
 	})
 }
 
+// replyFuzzReq maps a fuzzed op byte to the request shape DecodeReply
+// parses against. Batch uses a fixed two-element shape so the reply's
+// count field has something to disagree with.
+func replyFuzzReq(op byte) *Request {
+	if op == OpBatch {
+		return &Request{Op: OpBatch, Sub: []Request{{Op: OpGet, Key: 1}, {Op: OpPut, Key: 2, Value: 3}}}
+	}
+	return &Request{Op: op, Limit: 16}
+}
+
+// FuzzDecodeReply is FuzzDecodeFrame's mirror for the client half:
+// arbitrary reply bodies against every request shape must be rejected
+// with ErrProto (never panic, never over-allocate), and any accepted
+// reply must survive an encode/decode round trip unchanged.
+func FuzzDecodeReply(f *testing.F) {
+	seedReps := []struct {
+		op  byte
+		rep Reply
+	}{
+		{OpGet, Reply{Status: StatusOK, Found: true, Value: 77}},
+		{OpGet, Reply{Status: StatusOK}},
+		{OpGet, Reply{Status: StatusLagging}},
+		{OpPut, Reply{Status: StatusOK, Shard: 2, Seq: 41}},
+		{OpPut, Reply{Status: StatusReadOnly}},
+		{OpDelete, Reply{Status: StatusOK, Found: true, Shard: 1, Seq: 9}},
+		{OpScan, Reply{Status: StatusOK, Pairs: []KV{{Key: 1, Value: 2}, {Key: 3, Value: 4}}}},
+		{OpStats, Reply{Status: StatusOK, Blob: []byte(`{"shards":2}`)}},
+		{OpCheckpoint, Reply{Status: StatusOK}},
+		{OpReplAck, Reply{Status: StatusOK}},
+		{OpReplicate, Reply{Status: StatusOK, Seq: 12, Recs: []repl.Record{
+			{Seq: 11, Key: 5, Value: 6, Op: repl.RecPut},
+			{Seq: 12, Key: 5, Op: repl.RecDelete},
+		}}},
+		{OpGet, Reply{Status: StatusShed}},
+		{OpPut, Reply{Status: StatusInternal}},
+	}
+	for _, s := range seedReps {
+		f.Add(s.op, AppendReply(nil, s.op, &s.rep))
+	}
+	batchRep := Reply{Status: StatusOK, Sub: []Reply{
+		{Status: StatusOK, Found: true, Value: 10},
+		{Status: StatusOK, Shard: 0, Seq: 3},
+	}}
+	f.Add(OpBatch, AppendBatchReply(nil, replyFuzzReq(OpBatch), &batchRep))
+	// Hostile seeds: replicate reply claiming MaxReplBatch records with no
+	// bytes, scan reply with a huge count, batch count mismatch.
+	f.Add(OpReplicate, []byte{StatusOK, 9, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0, 0})
+	f.Add(OpScan, []byte{StatusOK, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(OpBatch, []byte{StatusOK, 7, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, op byte, data []byte) {
+		req := replyFuzzReq(op)
+		rep, err := DecodeReply(req, data)
+		if err != nil {
+			if !errors.Is(err, ErrProto) {
+				t.Fatalf("DecodeReply rejected with non-protocol error %v", err)
+			}
+			return
+		}
+		if len(rep.Recs) > MaxReplBatch || len(rep.Pairs) > MaxScanLimit {
+			t.Fatalf("decoded reply exceeds protocol bounds: %d recs, %d pairs", len(rep.Recs), len(rep.Pairs))
+		}
+		var enc []byte
+		if req.Op == OpBatch {
+			enc = AppendBatchReply(nil, req, rep)
+		} else {
+			enc = AppendReply(nil, req.Op, rep)
+		}
+		again, err := DecodeReply(req, enc)
+		if err != nil {
+			t.Fatalf("accepted reply %+v does not re-decode: %v", rep, err)
+		}
+		if !reflect.DeepEqual(rep, again) {
+			t.Fatalf("reply round trip diverged: %+v vs %+v", rep, again)
+		}
+	})
+}
+
+// TestReplProtoRoundTrip pins the replication ops' wire rules: request and
+// reply round trips, the seq-gate envelope's validation, and the bounds on
+// pull sizes.
+func TestReplProtoRoundTrip(t *testing.T) {
+	for _, req := range []*Request{
+		{Op: OpReplicate, Shard: 3, Seq: 77, Limit: MaxReplBatch},
+		{Op: OpReplAck, Shard: 0, Seq: 1},
+		{Op: OpGet, Key: 5, Gate: 99},
+		{Op: OpGet, Key: 5, TTLms: 10, Gate: 99},
+	} {
+		if got := roundTripRequest(t, req); !reflect.DeepEqual(got, req) {
+			t.Errorf("round trip: got %+v, want %+v", got, req)
+		}
+	}
+
+	// Gate envelope rules: GET-only, nonzero, top-level only.
+	if _, err := AppendRequest(nil, &Request{Op: OpPut, Key: 1, Gate: 5}); !errors.Is(err, ErrProto) {
+		t.Errorf("gate on PUT: %v", err)
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpBatch, Sub: []Request{{Op: OpGet, Gate: 5}}}); !errors.Is(err, ErrProto) {
+		t.Errorf("gate in batch: %v", err)
+	}
+	bad := map[string][]byte{
+		"zero gate":    {OpSeqGate, 0, 0, 0, 0, 0, 0, 0, 0, OpGet, 1, 0, 0, 0, 0, 0, 0, 0},
+		"gate on put":  {OpSeqGate, 5, 0, 0, 0, 0, 0, 0, 0, OpPut, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0},
+		"bare gate":    {OpSeqGate, 5, 0, 0, 0, 0, 0, 0, 0},
+		"double gate":  {OpSeqGate, 5, 0, 0, 0, 0, 0, 0, 0, OpSeqGate, 5, 0, 0, 0, 0, 0, 0, 0, OpGet, 1, 0, 0, 0, 0, 0, 0, 0},
+		"pull limit 0": {OpReplicate, 1, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for name, body := range bad {
+		if _, err := DecodeRequest(body); !errors.Is(err, ErrProto) {
+			t.Errorf("%s: err = %v, want ErrProto", name, err)
+		}
+	}
+
+	// Pull limit above MaxReplBatch on either side of the wire.
+	if _, err := AppendRequest(nil, &Request{Op: OpReplicate, Limit: MaxReplBatch + 1}); !errors.Is(err, ErrProto) {
+		t.Errorf("encode oversized pull: %v", err)
+	}
+	// Replication ops are forbidden inside batches.
+	for _, op := range []byte{OpReplicate, OpReplAck} {
+		if _, err := AppendRequest(nil, &Request{Op: OpBatch, Sub: []Request{{Op: op, Limit: 1}}}); !errors.Is(err, ErrProto) {
+			t.Errorf("op %d in batch: %v", op, err)
+		}
+	}
+}
+
 // TestDeadlineEnvelope covers the envelope's decode rules directly: TTL
 // round trip, zero/oversized TTL rejection, and envelope-inside-batch
 // rejection.
@@ -130,7 +261,7 @@ func TestDecodeBoundsCounts(t *testing.T) {
 // TestRetryable pins the retry classification: fail-fast statuses and
 // transport failures retry; protocol and internal errors do not.
 func TestRetryable(t *testing.T) {
-	for _, err := range []error{ErrShed, ErrUnavailable, ErrDeadline} {
+	for _, err := range []error{ErrShed, ErrUnavailable, ErrDeadline, ErrLagging, ErrReadOnly} {
 		if !Retryable(err) {
 			t.Errorf("%v must be retryable", err)
 		}

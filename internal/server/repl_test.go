@@ -1,0 +1,446 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nvref/internal/pmem"
+)
+
+// startPair boots a primary and a replica following it, both on loopback.
+func startPair(t *testing.T, shards int, primaryCfg, replicaCfg func(*Config)) (p, r *Server, paddr, raddr net.Addr) {
+	t.Helper()
+	pcfg := Config{
+		Shards:          shards,
+		Role:            RolePrimary,
+		CheckpointEvery: 128,
+		AckTimeout:      2 * time.Second,
+	}
+	if primaryCfg != nil {
+		primaryCfg(&pcfg)
+	}
+	p, err := New(pcfg)
+	if err != nil {
+		t.Fatalf("primary: %v", err)
+	}
+	paddr, err = p.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("primary start: %v", err)
+	}
+	rcfg := Config{
+		Shards:          shards,
+		Role:            RoleReplica,
+		CheckpointEvery: 128,
+		FollowAddr:      paddr.String(),
+		FollowPoll:      time.Millisecond,
+	}
+	if replicaCfg != nil {
+		replicaCfg(&rcfg)
+	}
+	r, err = New(rcfg)
+	if err != nil {
+		p.Abort()
+		t.Fatalf("replica: %v", err)
+	}
+	raddr, err = r.Start("127.0.0.1:0")
+	if err != nil {
+		p.Abort()
+		r.Abort()
+		t.Fatalf("replica start: %v", err)
+	}
+	return p, r, paddr, raddr
+}
+
+func waitFor(t *testing.T, what string, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReplicationPair(t *testing.T) {
+	p, r, paddr, raddr := startPair(t, 2, nil, nil)
+	defer r.Abort()
+	defer p.Abort()
+
+	// Wait for the follower to make contact so writes are held, not
+	// degraded-acked.
+	waitFor(t, "follower contact", 5*time.Second, func() bool {
+		return r.CollectStats().Follower.Pulls > 0
+	})
+
+	c, err := Dial(paddr.String())
+	if err != nil {
+		t.Fatalf("dial primary: %v", err)
+	}
+	defer c.Close()
+
+	const n = 200
+	tokens := make(map[uint64]uint64, n) // key → seq
+	for k := uint64(1); k <= n; k++ {
+		shard, seq, err := c.PutSeq(k, k*10)
+		if err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+		if seq == 0 {
+			t.Fatalf("put %d: no sequence assigned (shard %d)", k, shard)
+		}
+		tokens[k] = seq
+	}
+	if _, err := c.Delete(5); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+
+	// Lag must drain to zero once writes stop.
+	waitFor(t, "lag drain", 5*time.Second, func() bool {
+		return p.CollectStats().ReplLagRecords == 0
+	})
+
+	// Every acked write is readable on the replica, gated by its token.
+	rc, err := Dial(raddr.String())
+	if err != nil {
+		t.Fatalf("dial replica: %v", err)
+	}
+	defer rc.Close()
+	for k := uint64(1); k <= n; k++ {
+		v, found, err := rc.GetAt(k, tokens[k])
+		if k == 5 {
+			if err != nil {
+				t.Fatalf("get deleted %d: %v", k, err)
+			}
+			if found {
+				t.Fatalf("key %d: delete did not replicate", k)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("get %d: %v", k, err)
+		}
+		if !found || v != k*10 {
+			t.Fatalf("key %d: got (%d, %v), want (%d, true)", k, v, found, k*10)
+		}
+	}
+
+	// A gate from the future is refused with LAGGING, not served stale.
+	if _, _, err := rc.GetAt(1, 1<<40); !errors.Is(err, ErrLagging) {
+		t.Fatalf("future gate: got %v, want ErrLagging", err)
+	}
+	// Plain writes bounce off the replica.
+	if err := rc.Put(999, 1); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("replica put: got %v, want ErrReadOnly", err)
+	}
+
+	// The primary held acks (semi-sync) rather than degrading, and no
+	// held ack timed out.
+	ps := p.CollectStats()
+	for _, sh := range ps.PerShard {
+		if sh.Repl == nil {
+			t.Fatalf("shard %d: no repl stats on a primary", sh.ID)
+		}
+		if sh.Repl.TimeoutAcks != 0 {
+			t.Fatalf("shard %d: %d write acks timed out", sh.ID, sh.Repl.TimeoutAcks)
+		}
+	}
+	if ps.Role != "primary" {
+		t.Fatalf("primary role = %q", ps.Role)
+	}
+	if rs := r.CollectStats(); rs.Role != "replica" || rs.Follower == nil {
+		t.Fatalf("replica stats: role=%q follower=%v", rs.Role, rs.Follower)
+	}
+}
+
+func TestPromotionPreservesAckedWrites(t *testing.T) {
+	p, r, paddr, raddr := startPair(t, 2, nil, nil)
+	defer r.Abort()
+	pKilled := false
+	defer func() {
+		if !pKilled {
+			p.Abort()
+		}
+	}()
+
+	waitFor(t, "follower contact", 5*time.Second, func() bool {
+		return r.CollectStats().Follower.Pulls > 0
+	})
+
+	c, err := Dial(paddr.String())
+	if err != nil {
+		t.Fatalf("dial primary: %v", err)
+	}
+	const n = 150
+	acked := make(map[uint64]uint64, n)
+	for k := uint64(1); k <= n; k++ {
+		if _, _, err := c.PutSeq(k, k^0xabcd); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+		acked[k] = k ^ 0xabcd
+	}
+	c.Close()
+
+	// Zero-loss precondition: every ack waited for replica coverage.
+	ps := p.CollectStats()
+	for _, sh := range ps.PerShard {
+		if sh.Repl.DegradedAcks != 0 {
+			t.Fatalf("shard %d: %d degraded acks — test raced the follower", sh.ID, sh.Repl.DegradedAcks)
+		}
+		if sh.Repl.TimeoutAcks != 0 {
+			t.Fatalf("shard %d: %d timeout acks", sh.ID, sh.Repl.TimeoutAcks)
+		}
+	}
+
+	// Kill the primary outright and promote the replica.
+	p.Abort()
+	pKilled = true
+	if err := r.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if err := r.Promote(); err == nil {
+		t.Fatal("second promote should fail")
+	}
+	if r.Promotions() != 1 {
+		t.Fatalf("promotions = %d, want 1", r.Promotions())
+	}
+
+	// Every acknowledged write must be served by the promoted replica,
+	// which must also accept new writes now.
+	rc, err := Dial(raddr.String())
+	if err != nil {
+		t.Fatalf("dial promoted: %v", err)
+	}
+	defer rc.Close()
+	for k, want := range acked {
+		v, found, err := rc.Get(k)
+		if err != nil {
+			t.Fatalf("get %d: %v", k, err)
+		}
+		if !found || v != want {
+			t.Fatalf("acked write lost: key %d got (%d, %v), want (%d, true)", k, v, found, want)
+		}
+	}
+	if _, seq, err := rc.PutSeq(7777, 1); err != nil || seq == 0 {
+		t.Fatalf("write on promoted replica: seq=%d err=%v", seq, err)
+	}
+	if got := r.CollectStats().Role; got != "primary" {
+		t.Fatalf("promoted role = %q", got)
+	}
+}
+
+// TestOplogSurvivesPowerLoss: with a persistent log flushed on every
+// append, a power-lost shard replays its log tail past the last
+// checkpoint — acked writes survive even though the pool rolled back.
+func TestOplogSurvivesPowerLoss(t *testing.T) {
+	logStores := []pmem.Store{pmem.NewMemStore(), pmem.NewMemStore()}
+	cfg := Config{
+		Shards:          2,
+		Role:            RolePrimary,
+		CheckpointEvery: -1, // never checkpoint on cadence
+		LogStoreFor:     func(i int) pmem.Store { return logStores[i] },
+		LogFlushEvery:   1,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Abort()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 100
+	for k := uint64(1); k <= n; k++ {
+		if err := c.Put(k, k+1); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.InjectCrash(i); err != nil {
+			t.Fatalf("crash shard %d: %v", i, err)
+		}
+	}
+	for k := uint64(1); k <= n; k++ {
+		v, found, err := c.Get(k)
+		if err != nil {
+			t.Fatalf("get %d: %v", k, err)
+		}
+		if !found || v != k+1 {
+			t.Fatalf("key %d lost to power loss despite flushed log: (%d, %v)", k, v, found)
+		}
+	}
+	st := s.CollectStats()
+	var replayed uint64
+	for _, sh := range st.PerShard {
+		replayed += sh.Repl.Replayed
+	}
+	if replayed == 0 {
+		t.Fatal("no records replayed at recovery")
+	}
+}
+
+func TestAckWaiter(t *testing.T) {
+	var ack atomic.Uint64
+	w := newAckWaiter(&ack, time.Hour)
+
+	mkresp := func() chan Reply { return make(chan Reply, 1) }
+
+	// Covered holds deliver immediately.
+	ack.Store(5)
+	r1 := mkresp()
+	w.hold(r1, Reply{Status: StatusOK, Seq: 5})
+	select {
+	case rep := <-r1:
+		if rep.Seq != 5 {
+			t.Fatalf("seq = %d", rep.Seq)
+		}
+	default:
+		t.Fatal("covered hold was parked")
+	}
+
+	// Uncovered holds park until release.
+	r2, r3 := mkresp(), mkresp()
+	w.hold(r2, Reply{Status: StatusOK, Seq: 6})
+	w.hold(r3, Reply{Status: StatusOK, Seq: 7})
+	if w.count() != 2 {
+		t.Fatalf("held = %d, want 2", w.count())
+	}
+	ack.Store(6)
+	w.release(6)
+	if len(r2) != 1 || len(r3) != 0 {
+		t.Fatalf("release(6): r2=%d r3=%d", len(r2), len(r3))
+	}
+	ack.Store(7)
+	w.release(7)
+	if len(r3) != 1 {
+		t.Fatal("release(7) left seq 7 parked")
+	}
+
+	// Sweep expires stale holds with UNAVAILABLE.
+	wFast := newAckWaiter(&ack, time.Nanosecond)
+	r4 := mkresp()
+	wFast.hold(r4, Reply{Status: StatusOK, Seq: 100})
+	time.Sleep(time.Millisecond)
+	wFast.sweep(time.Now())
+	rep := <-r4
+	if rep.Status != StatusUnavailable {
+		t.Fatalf("swept status = %d", rep.Status)
+	}
+	if wFast.timeouts() != 1 {
+		t.Fatalf("timeouts = %d", wFast.timeouts())
+	}
+
+	// Shutdown fails holds and stops parking new ones.
+	r5 := mkresp()
+	w.hold(r5, Reply{Status: StatusOK, Seq: 50})
+	w.shutdown()
+	if rep := <-r5; rep.Status != StatusUnavailable {
+		t.Fatalf("shutdown status = %d", rep.Status)
+	}
+	r6 := mkresp()
+	w.hold(r6, Reply{Status: StatusOK, Seq: 60})
+	if len(r6) != 1 {
+		t.Fatal("post-shutdown hold was parked")
+	}
+}
+
+// TestAutoPromote: a replica whose primary vanishes promotes itself after
+// PromoteAfter of silence.
+func TestAutoPromote(t *testing.T) {
+	p, r, paddr, _ := startPair(t, 1, nil, func(c *Config) {
+		c.PromoteAfter = 100 * time.Millisecond
+	})
+	defer r.Abort()
+
+	waitFor(t, "follower contact", 5*time.Second, func() bool {
+		return r.CollectStats().Follower.Pulls > 0
+	})
+	c, err := Dial(paddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 20; k++ {
+		if err := c.Put(k, k); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	c.Close()
+	p.Abort()
+	waitFor(t, "auto-promotion", 5*time.Second, func() bool {
+		return r.Role() == RolePrimary
+	})
+	if r.Promotions() != 1 {
+		t.Fatalf("promotions = %d", r.Promotions())
+	}
+}
+
+// TestReplicaStartupValidation: a replica must be told whom to follow.
+func TestReplicaStartupValidation(t *testing.T) {
+	if _, err := New(Config{Shards: 1, Role: RoleReplica}); err == nil {
+		t.Fatal("replica without FollowAddr must be rejected")
+	}
+}
+
+// TestDegradedAcksWithoutReplica: a primary with no live replica acks
+// immediately and counts every write as degraded.
+func TestDegradedAcksWithoutReplica(t *testing.T) {
+	s, err := New(Config{Shards: 1, Role: RolePrimary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Abort()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for k := uint64(1); k <= 10; k++ {
+		if err := c.Put(k, k); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	st := s.CollectStats()
+	if got := st.PerShard[0].Repl.DegradedAcks; got != 10 {
+		t.Fatalf("degraded acks = %d, want 10", got)
+	}
+}
+
+// TestFailoverClientRotation: a ResilientClient with a failover list
+// rotates off a read-only replica and lands writes on the primary.
+func TestFailoverClientRotation(t *testing.T) {
+	p, r, paddr, raddr := startPair(t, 1, nil, nil)
+	defer r.Abort()
+	defer p.Abort()
+
+	// List the replica FIRST: the client must discover it is read-only
+	// and rotate to the primary.
+	rc, err := DialResilientList([]string{raddr.String(), paddr.String()}, RetryPolicy{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, _, err := rc.PutRYW(42, 4242); err != nil {
+		t.Fatalf("put via failover list: %v", err)
+	}
+	if rc.Failovers() == 0 {
+		t.Fatal("client never rotated off the read-only replica")
+	}
+	v, found, err := rc.GetRYW(42)
+	if err != nil || !found || v != 4242 {
+		t.Fatalf("GetRYW: (%d, %v, %v)", v, found, err)
+	}
+}

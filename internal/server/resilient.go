@@ -70,17 +70,27 @@ func (p *RetryPolicy) backoff(retry int, rng *fault.Rand) time.Duration {
 // tier: per-attempt I/O deadlines, retry with exponential backoff and
 // jitter for the retryable failures (shed, unavailable, deadline, and
 // transport errors — every protocol operation is idempotent), and
-// automatic re-dial when the connection itself breaks. Like Client it is
-// not safe for concurrent use; open one per goroutine.
+// automatic re-dial when the connection itself breaks. Given several
+// endpoints (DialResilientList) it also fails over: a dead, unavailable,
+// or read-only endpoint rotates the client to the next one, which is how
+// writers find the promoted replica after a primary dies. Like Client it
+// is not safe for concurrent use; open one per goroutine.
 type ResilientClient struct {
-	addr     string
+	addrs    []string
+	cur      int
 	policy   RetryPolicy
 	dialConn func(addr string) (net.Conn, error)
 	c        *Client
 	rng      *fault.Rand
 
-	retries atomic.Uint64
-	redials atomic.Uint64
+	// Read-your-writes state: the newest write sequence seen per shard,
+	// stamped onto GetRYW reads, and the shard count learned lazily.
+	tokens     map[uint32]uint64
+	shardCount int
+
+	retries   atomic.Uint64
+	redials   atomic.Uint64
+	failovers atomic.Uint64
 }
 
 // DialResilient connects a ResilientClient to an nvserved instance. The
@@ -94,17 +104,35 @@ func DialResilient(addr string, policy RetryPolicy) (*ResilientClient, error) {
 // DialResilientFunc is DialResilient with a custom transport — the hook
 // the flaky-network injector plugs into.
 func DialResilientFunc(addr string, policy RetryPolicy, dialConn func(addr string) (net.Conn, error)) (*ResilientClient, error) {
+	return DialResilientList([]string{addr}, policy, dialConn)
+}
+
+// DialResilientList is DialResilientFunc over a failover list: operations
+// use the current endpoint and rotate to the next on dial failure,
+// transport failure, or an endpoint that answers UNAVAILABLE, READONLY,
+// or LAGGING. A nil dialConn uses plain TCP.
+func DialResilientList(addrs []string, policy RetryPolicy, dialConn func(addr string) (net.Conn, error)) (*ResilientClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("server: no endpoints")
+	}
+	if dialConn == nil {
+		dialConn = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
 	policy.fillDefaults()
 	r := &ResilientClient{
-		addr:     addr,
+		addrs:    addrs,
 		policy:   policy,
 		dialConn: dialConn,
 		rng:      fault.NewRand(policy.Seed),
+		tokens:   make(map[uint32]uint64),
 	}
 	if _, err := r.client(); err != nil {
-		// Leave the first dial to the first operation's retry loop only if
-		// the caller insists; failing fast here surfaces config errors.
-		return nil, err
+		// With one endpoint, failing fast surfaces config errors; with a
+		// failover list, the first operation's retry loop keeps rotating.
+		if len(addrs) == 1 {
+			return nil, err
+		}
+		r.rotate()
 	}
 	return r, nil
 }
@@ -115,6 +143,23 @@ func (r *ResilientClient) Retries() uint64 { return r.retries.Load() }
 // Redials returns how many replacement connections were dialed (the first
 // dial excluded).
 func (r *ResilientClient) Redials() uint64 { return r.redials.Load() }
+
+// Failovers returns how many times the client rotated to another
+// endpoint in its list.
+func (r *ResilientClient) Failovers() uint64 { return r.failovers.Load() }
+
+// Endpoint returns the endpoint operations currently use.
+func (r *ResilientClient) Endpoint() string { return r.addrs[r.cur] }
+
+// rotate advances to the next endpoint (a no-op with a single one).
+func (r *ResilientClient) rotate() {
+	if len(r.addrs) < 2 {
+		return
+	}
+	r.dropConn()
+	r.cur = (r.cur + 1) % len(r.addrs)
+	r.failovers.Add(1)
+}
 
 // Close closes the current connection, if any.
 func (r *ResilientClient) Close() error {
@@ -130,7 +175,7 @@ func (r *ResilientClient) client() (*Client, error) {
 	if r.c != nil {
 		return r.c, nil
 	}
-	conn, err := r.dialConn(r.addr)
+	conn, err := r.dialConn(r.addrs[r.cur])
 	if err != nil {
 		return nil, err
 	}
@@ -155,10 +200,19 @@ func (r *ResilientClient) dropConn() {
 // statusError reports whether err is one of the explicit fail-fast reply
 // statuses (as opposed to a transport failure).
 func statusError(err error) bool {
-	return errors.Is(err, ErrShed) || errors.Is(err, ErrUnavailable) || errors.Is(err, ErrDeadline)
+	return errors.Is(err, ErrShed) || errors.Is(err, ErrUnavailable) || errors.Is(err, ErrDeadline) ||
+		errors.Is(err, ErrLagging) || errors.Is(err, ErrReadOnly)
 }
 
-// do runs fn under the retry policy.
+// rotateError reports whether err means this endpoint is the wrong one to
+// keep talking to: dead-ish (unavailable), demoted/replica (read-only),
+// or behind the client's writes (lagging).
+func rotateError(err error) bool {
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrReadOnly) || errors.Is(err, ErrLagging)
+}
+
+// do runs fn under the retry policy, rotating endpoints on failures that
+// implicate the endpoint rather than the request.
 func (r *ResilientClient) do(fn func(c *Client) error) error {
 	var last error
 	for attempt := 1; attempt <= r.policy.MaxAttempts; attempt++ {
@@ -169,6 +223,7 @@ func (r *ResilientClient) do(fn func(c *Client) error) error {
 		c, err := r.client()
 		if err != nil {
 			last = err // dial failures are always retryable
+			r.rotate()
 			continue
 		}
 		if err := fn(c); err != nil {
@@ -178,6 +233,9 @@ func (r *ResilientClient) do(fn func(c *Client) error) error {
 			}
 			if !statusError(err) {
 				r.dropConn()
+				r.rotate()
+			} else if rotateError(err) {
+				r.rotate()
 			}
 			continue
 		}
@@ -243,6 +301,59 @@ func (r *ResilientClient) Batch(sub []Request) (reps []Reply, err error) {
 		return nil
 	})
 	return reps, err
+}
+
+// PutRYW is Put keeping the read-your-writes token: the write's assigned
+// sequence is remembered for its shard, and GetRYW stamps reads with it
+// so a lagging replica refuses to serve older state.
+func (r *ResilientClient) PutRYW(key, value uint64) (shard uint32, seq uint64, err error) {
+	err = r.do(func(c *Client) error {
+		var e error
+		shard, seq, e = c.PutSeq(key, value)
+		return e
+	})
+	if err == nil && seq > r.tokens[shard] {
+		r.tokens[shard] = seq
+	}
+	return shard, seq, err
+}
+
+// GetRYW reads a key gated on the newest write token this client holds
+// for the key's shard: a replica that has not applied that far answers
+// LAGGING, which rotates the client toward an endpoint that has.
+func (r *ResilientClient) GetRYW(key uint64) (value uint64, found bool, err error) {
+	gate := r.gateFor(key)
+	err = r.do(func(c *Client) error {
+		var e error
+		value, found, e = c.GetAt(key, gate)
+		return e
+	})
+	return value, found, err
+}
+
+// gateFor picks the token for key's shard. The shard count (needed to map
+// key → shard) is learned lazily from STATS; until it is known, the
+// maximum token across shards is used — over-conservative but still a
+// correct read-your-writes bound.
+func (r *ResilientClient) gateFor(key uint64) uint64 {
+	if len(r.tokens) == 0 {
+		return 0
+	}
+	if r.shardCount == 0 {
+		if st, err := r.Stats(); err == nil && st.Shards > 0 {
+			r.shardCount = st.Shards
+		}
+	}
+	if r.shardCount > 0 {
+		return r.tokens[uint32(ShardFor(key, r.shardCount))]
+	}
+	var max uint64
+	for _, seq := range r.tokens {
+		if seq > max {
+			max = seq
+		}
+	}
+	return max
 }
 
 // Stats fetches the server's statistics document.

@@ -14,6 +14,7 @@ import (
 	"nvref/internal/fault"
 	"nvref/internal/obs"
 	"nvref/internal/pmem"
+	"nvref/internal/repl"
 	"nvref/internal/rt"
 )
 
@@ -68,6 +69,43 @@ type Config struct {
 	// Logf, when non-nil, receives supervisor, watchdog, and scrubber
 	// events (one line each).
 	Logf func(format string, args ...any)
+
+	// Role selects the replication role (default RoleStandalone: no
+	// operation log, pre-replication behavior). A primary logs every write
+	// and holds write acks for replica acknowledgment while a replica is
+	// live; a replica follows a primary and rejects plain writes.
+	Role int32
+	// FollowAddr is the primary a replica pulls from (required for
+	// RoleReplica).
+	FollowAddr string
+	// FollowDial, when non-nil, replaces the follower's dialer — the hook
+	// fault injectors and in-process tests plug into.
+	FollowDial func(addr string) (net.Conn, error)
+	// FollowPoll is the follower's idle poll interval (default 2ms).
+	FollowPoll time.Duration
+	// ReplBatch bounds the records per pull (default 1024, max MaxReplBatch).
+	ReplBatch int
+	// ReplWindow is the follower's in-flight window: how many shard pulls
+	// are pipelined per round group (default 4).
+	ReplWindow int
+	// AckTimeout bounds how long a primary holds a write ack waiting for
+	// replica acknowledgment before failing it UNAVAILABLE (default 5s).
+	AckTimeout time.Duration
+	// ReplLiveWindow is how recently a replica must have pulled for the
+	// primary to hold write acks for it (default 1s); with no recent pull,
+	// writes are acked immediately and counted as degraded.
+	ReplLiveWindow time.Duration
+	// PromoteAfter, when positive, auto-promotes a replica whose primary
+	// has been unreachable that long. Zero means promotion is manual
+	// (Promote or the operator).
+	PromoteAfter time.Duration
+	// LogStoreFor supplies each shard's operation-log store (replicated
+	// roles only). Nil keeps the logs in memory — crash recovery then
+	// replays nothing, but log shipping still works.
+	LogStoreFor func(shard int) pmem.Store
+	// LogFlushEvery flushes a shard's log image every that many appends
+	// (default 64; negative flushes only at checkpoints).
+	LogFlushEvery int
 }
 
 func (c *Config) fillDefaults() {
@@ -98,6 +136,24 @@ func (c *Config) fillDefaults() {
 	if c.BreakerCooldown == 0 {
 		c.BreakerCooldown = 100 * time.Millisecond
 	}
+	if c.FollowPoll <= 0 {
+		c.FollowPoll = 2 * time.Millisecond
+	}
+	if c.ReplBatch <= 0 || c.ReplBatch > MaxReplBatch {
+		c.ReplBatch = 1024
+	}
+	if c.ReplWindow <= 0 {
+		c.ReplWindow = 4
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 5 * time.Second
+	}
+	if c.ReplLiveWindow <= 0 {
+		c.ReplLiveWindow = time.Second
+	}
+	if c.LogFlushEvery == 0 {
+		c.LogFlushEvery = 64
+	}
 }
 
 // latencyBounds are the microsecond buckets of the per-shard latency
@@ -124,6 +180,8 @@ type Server struct {
 	requests  atomic.Uint64
 	errored   atomic.Uint64
 	started   time.Time
+
+	repl replState
 }
 
 // New builds the server and opens every shard, recovering any pool image
@@ -132,12 +190,16 @@ type Server struct {
 // adds the network front.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
+	if cfg.Role == RoleReplica && cfg.FollowAddr == "" {
+		return nil, errors.New("server: role replica requires a primary address to follow")
+	}
 	s := &Server{
 		cfg:     cfg,
 		conns:   make(map[net.Conn]struct{}),
 		bgStop:  make(chan struct{}),
 		started: time.Now(),
 	}
+	s.repl.role.Store(cfg.Role)
 	for i := 0; i < cfg.Shards; i++ {
 		sc := shardConfig{
 			id:              i,
@@ -152,6 +214,24 @@ func New(cfg Config) (*Server, error) {
 			sc.store = cfg.StoreFor(i)
 		} else {
 			sc.store = pmem.NewMemStore()
+		}
+		if cfg.Role != RoleStandalone {
+			var logStore pmem.Store
+			if cfg.LogStoreFor != nil {
+				logStore = cfg.LogStoreFor(i)
+			}
+			oplog, err := repl.OpenLog(logStore, fmt.Sprintf("oplog-%d", i), cfg.LogFlushEvery)
+			if err != nil {
+				for _, prev := range s.shards {
+					close(prev.queue)
+					<-prev.done
+				}
+				return nil, fmt.Errorf("server: shard %d: %w", i, err)
+			}
+			sc.oplog = oplog
+			sc.role = &s.repl.role
+			sc.replicaLive = s.replicaLive
+			sc.ackTimeout = cfg.AckTimeout
 		}
 		if cfg.SchedFor != nil {
 			sc.sched = cfg.SchedFor(i)
@@ -181,6 +261,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ScrubEvery > 0 {
 		s.bgWG.Add(1)
 		go s.scrubber()
+	}
+	if cfg.Role != RoleStandalone {
+		s.bgWG.Add(1)
+		go s.ackSweeper()
+	}
+	if cfg.Role == RoleReplica {
+		s.repl.follower = newFollower(s, &cfg)
+		go s.repl.follower.run()
 	}
 	if cfg.Reg != nil {
 		s.registerMetrics(cfg.Reg)
@@ -306,6 +394,16 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 		reg.CounterFunc(pfx+"breaker_opens_total", "times the circuit breaker tripped", func() uint64 { return sh.breaker.Opens() })
 		reg.CounterFunc(pfx+"fsck_errors_total", "fsck errors found at open/recovery", func() uint64 { return sh.fsckErrors.Load() })
 		reg.CounterFunc(pfx+"repairs_total", "pool repairs performed", func() uint64 { return sh.repairs.Load() })
+		if sh.cfg.oplog != nil {
+			sh := sh
+			reg.GaugeFunc(pfx+"applied_seq", "newest applied operation-log sequence", func() int64 { return int64(sh.applied.Load()) })
+			reg.GaugeFunc(pfx+"repl_ack_seq", "newest replica-acknowledged sequence", func() int64 { return int64(sh.replAck.Load()) })
+			reg.GaugeFunc(pfx+"oplog_records", "retained operation-log records", func() int64 { return int64(sh.cfg.oplog.Len()) })
+			reg.GaugeFunc(pfx+"oplog_bytes", "retained operation-log bytes", func() int64 { return int64(sh.cfg.oplog.Bytes()) })
+		}
+	}
+	if s.cfg.Role != RoleStandalone {
+		s.registerReplMetrics(reg)
 	}
 }
 
@@ -480,7 +578,11 @@ func (s *Server) dispatch(req *Request) chan Reply {
 	switch req.Op {
 	case OpGet, OpPut, OpDelete:
 		sh := s.shards[ShardFor(req.Key, len(s.shards))]
-		sh.submit(&request{op: req.Op, key: req.Key, value: req.Value, start: now, deadline: deadline, resp: resp})
+		sh.submit(&request{op: req.Op, key: req.Key, value: req.Value, gate: req.Gate, start: now, deadline: deadline, resp: resp})
+	case OpReplicate:
+		resp <- s.replicateReply(req)
+	case OpReplAck:
+		resp <- s.replAckReply(req)
 	case OpScan:
 		go func() { resp <- s.scatterScan(req.Key, req.Limit, deadline) }()
 	case OpBatch:
@@ -557,22 +659,37 @@ func (s *Server) batch(req *Request, deadline time.Time) Reply {
 
 // Stats is the decoded STATS document.
 type Stats struct {
-	Shards      int          `json:"shards"`
-	Connections int64        `json:"connections"`
-	Requests    uint64       `json:"requests"`
-	Errors      uint64       `json:"errors"`
-	UptimeMS    int64        `json:"uptime_ms"`
-	PerShard    []ShardStats `json:"per_shard"`
+	Shards      int    `json:"shards"`
+	Connections int64  `json:"connections"`
+	Requests    uint64 `json:"requests"`
+	Errors      uint64 `json:"errors"`
+	UptimeMS    int64  `json:"uptime_ms"`
+	// Role, Promotions, and the lag fields describe the replication tier
+	// (role is "standalone" when it is off).
+	Role           string          `json:"role"`
+	Promotions     uint64          `json:"promotions"`
+	ReplLagRecords uint64          `json:"repl_lag_records"`
+	ReplLagBytes   uint64          `json:"repl_lag_bytes"`
+	Follower       *FollowerStats  `json:"follower,omitempty"`
+	PerShard       []ShardStats    `json:"per_shard"`
 }
 
 // CollectStats assembles the server's statistics from published counters.
 func (s *Server) CollectStats() Stats {
+	lag := s.replLagRecords()
 	st := Stats{
-		Shards:      len(s.shards),
-		Connections: s.connCount.Load(),
-		Requests:    s.requests.Load(),
-		Errors:      s.errored.Load(),
-		UptimeMS:    time.Since(s.started).Milliseconds(),
+		Shards:         len(s.shards),
+		Connections:    s.connCount.Load(),
+		Requests:       s.requests.Load(),
+		Errors:         s.errored.Load(),
+		UptimeMS:       time.Since(s.started).Milliseconds(),
+		Role:           roleName(s.repl.role.Load()),
+		Promotions:     s.repl.promotions.Load(),
+		ReplLagRecords: lag,
+		ReplLagBytes:   lag * repl.RecordSize,
+	}
+	if f := s.repl.follower; f != nil {
+		st.Follower = f.stats()
 	}
 	for _, sh := range s.shards {
 		st.PerShard = append(st.PerShard, sh.stats())
@@ -679,10 +796,12 @@ func (s *Server) stopBackground() {
 	s.bgWG.Wait()
 }
 
-// Close shuts the server down gracefully: stop accepting, sever client
-// connections, stop the watchdog/scrubber, drain every shard queue, and
-// checkpoint every pool.
+// Close shuts the server down gracefully: stop the follower, stop
+// accepting, sever client connections, stop the watchdog/scrubber/sweeper,
+// drain every shard queue, and checkpoint every pool (which also flushes
+// and truncates the operation logs).
 func (s *Server) Close() error {
+	s.stopFollower()
 	s.shutdownNetwork()
 	s.stopBackground()
 	for _, sh := range s.shards {
@@ -698,6 +817,7 @@ func (s *Server) Close() error {
 // final checkpoint, so every shard rolls back to its last checkpoint when
 // a new server opens the same stores.
 func (s *Server) Abort() {
+	s.stopFollower()
 	s.shutdownNetwork()
 	s.stopBackground()
 	for _, sh := range s.shards {
@@ -706,6 +826,14 @@ func (s *Server) Abort() {
 	}
 	for _, sh := range s.shards {
 		<-sh.done
+	}
+}
+
+// stopFollower stops the replica's pull loop before the shard queues
+// close (its ctlApply submissions must not race the close).
+func (s *Server) stopFollower() {
+	if f := s.repl.follower; f != nil {
+		f.Stop()
 	}
 }
 
@@ -728,6 +856,13 @@ func (s *Server) shutdownNetwork() {
 	}
 	for _, c := range conns {
 		c.Close()
+	}
+	// Connection writers block on held write acks; fail the holds (and
+	// stop new ones) before waiting for the handlers, or Wait deadlocks.
+	for _, sh := range s.shards {
+		if sh.waiter != nil {
+			sh.waiter.shutdown()
+		}
 	}
 	s.wg.Wait()
 }

@@ -11,6 +11,7 @@ import (
 	"nvref/internal/kvstore"
 	"nvref/internal/obs"
 	"nvref/internal/pmem"
+	"nvref/internal/repl"
 	"nvref/internal/rt"
 	"nvref/internal/structures"
 )
@@ -60,6 +61,10 @@ const (
 	// ctlScrub runs an online fsck of the shard's pool (the Pangolin-style
 	// background scrub), repairing any crash residue it finds.
 	ctlScrub
+	// ctlApply replays shipped log records into a replica shard: log each
+	// record (AppendAt), apply it to the store, and advance the applied
+	// sequence — the replica apply loop's worker half.
+	ctlApply
 )
 
 // errWorkerKilled is the payload of an injected worker panic.
@@ -71,8 +76,10 @@ type request struct {
 	op         byte
 	key, value uint64
 	limit      int
+	gate       uint64 // seq-gate read-your-writes token (GET only)
 	ctl        byte
 	wedge      time.Duration // ctlWedge only
+	recs       []repl.Record // ctlApply only
 	start      time.Time
 	deadline   time.Time // zero means no deadline
 	resp       chan Reply
@@ -90,6 +97,12 @@ type shardConfig struct {
 	sched           fault.Scheduler // per-shard; evaluated at CrashPointOp
 	latency         *obs.Histogram  // queue+service latency, microseconds
 	logf            func(format string, args ...any)
+
+	// Replication plumbing (all nil/zero on a standalone server).
+	oplog       *repl.Log      // per-shard operation log; nil disables replication
+	role        *atomic.Int32  // the server's role (RoleStandalone/Primary/Replica)
+	replicaLive func() bool    // primary: a replica pulled recently
+	ackTimeout  time.Duration  // primary: how long a write ack may wait for replica ack
 }
 
 // shard is one engine shard: a single worker goroutine owns the simulation
@@ -127,6 +140,18 @@ type shard struct {
 	cycles, keys                   atomic.Uint64
 	queueHighWater                 atomic.Uint64
 
+	// Replication state (only meaningful when cfg.oplog != nil).
+	waiter       *ackWaiter    // primary: write acks held for replica ack
+	applied      atomic.Uint64 // newest log sequence applied to the store
+	replAck      atomic.Uint64 // primary: newest sequence the replica acked
+	degradedAcks atomic.Uint64 // writes acked without replica coverage
+	replApplied  atomic.Uint64 // records applied from the replication feed
+	replDups     atomic.Uint64 // already-applied records skipped by ctlApply
+	replGaps     atomic.Uint64 // out-of-order apply batches refused
+	replayed     atomic.Uint64 // records replayed from the log at open
+	laggingReads atomic.Uint64 // GETs refused because the gate token was ahead
+	readOnlyRejects atomic.Uint64 // writes refused while serving as replica
+
 	// abort, when true at drain time, suppresses the final checkpoint —
 	// the simulated kill -9 path.
 	abort atomic.Bool
@@ -141,6 +166,9 @@ func newShard(cfg shardConfig, br *breaker) (*shard, error) {
 		queue:   make(chan *request, cfg.queueDepth),
 		done:    make(chan struct{}),
 		breaker: br,
+	}
+	if cfg.oplog != nil {
+		sh.waiter = newAckWaiter(&sh.replAck, cfg.ackTimeout)
 	}
 	sh.beat()
 	if err := sh.open(); err != nil {
@@ -189,7 +217,39 @@ func (sh *shard) open() error {
 	}
 	sh.ctx, sh.st, sh.rb = ctx, st, rb
 	sh.sinceCkpt = 0
+	if sh.cfg.oplog != nil {
+		if err := sh.replayOplog(); err != nil {
+			return err
+		}
+	}
 	sh.publish()
+	return nil
+}
+
+// replayOplog reloads the shard's operation log and replays every retained
+// record into the freshly opened store — the crash-recovery tail replay.
+// The log is only truncated at checkpoints, so its base is never past the
+// checkpoint the pool just reopened from; records the checkpoint already
+// covers re-apply idempotently (each record's effect depends only on the
+// record), and records past the checkpoint restore the logged-but-not-
+// checkpointed suffix. Afterwards the applied sequence resumes at the
+// log's newest sequence, so a recovered primary keeps assigning unique
+// sequence numbers.
+func (sh *shard) replayOplog() error {
+	if err := sh.cfg.oplog.Reload(); err != nil {
+		return fmt.Errorf("oplog: %w", err)
+	}
+	recs := sh.cfg.oplog.Since(0, 0)
+	for _, rec := range recs {
+		switch rec.Op {
+		case repl.RecPut:
+			sh.st.Set(rec.Key, rec.Value)
+		case repl.RecDelete:
+			sh.st.Delete(rec.Key)
+		}
+	}
+	sh.replayed.Add(uint64(len(recs)))
+	sh.applied.Store(sh.cfg.oplog.LastSeq())
 	return nil
 }
 
@@ -281,6 +341,12 @@ func (sh *shard) recoverWorker(crash any) {
 	sh.state.Store(stateRecovering)
 	sh.breaker.ForceOpen()
 	sh.failPending()
+	if sh.waiter != nil {
+		// Held write acks may reference state a rollback is about to erase;
+		// fail them (UNAVAILABLE) so clients retry instead of trusting an
+		// ack the recovered shard might not honor.
+		sh.waiter.failHeld()
+	}
 	if c, isPower := fault.AsCrash(crash); isPower {
 		sh.logf("shard %d: power lost at %s; rolling back to last checkpoint", sh.cfg.id, c.Label)
 		sh.crashAndRecover()
@@ -440,6 +506,9 @@ func (sh *shard) handle(req *request) {
 		sh.scrub()
 		req.resp <- Reply{Status: StatusOK}
 		return
+	case ctlApply:
+		req.resp <- sh.applyRecords(req.recs)
+		return
 	}
 	if sh.cfg.sched != nil && sh.cfg.sched.Hit(CrashPointOp) {
 		sh.crashAndRecover()
@@ -449,6 +518,22 @@ func (sh *shard) handle(req *request) {
 		req.resp <- Reply{Status: StatusDeadline}
 		return
 	}
+	if sh.cfg.oplog != nil {
+		// A replica only mutates through the replication feed: plain client
+		// writes bounce with READONLY so a failover client rotates away.
+		if (req.op == OpPut || req.op == OpDelete) && sh.roleIs(RoleReplica) {
+			sh.readOnlyRejects.Add(1)
+			req.resp <- Reply{Status: StatusReadOnly}
+			return
+		}
+		// Read-your-writes gate: refuse to serve a read older than the
+		// client's token instead of silently returning stale data.
+		if req.op == OpGet && req.gate > sh.applied.Load() {
+			sh.laggingReads.Add(1)
+			req.resp <- Reply{Status: StatusLagging}
+			return
+		}
+	}
 	var rep Reply
 	rep.Status = StatusOK
 	switch req.op {
@@ -456,11 +541,27 @@ func (sh *shard) handle(req *request) {
 		rep.Value, rep.Found = sh.st.Get(req.key)
 		sh.gets.Add(1)
 	case OpPut:
+		// Write-ahead order: the record enters the log before the store
+		// mutates, so a recovered shard never holds an unlogged write.
+		if sh.cfg.oplog != nil {
+			rec := sh.cfg.oplog.Append(repl.RecPut, req.key, req.value)
+			rep.Shard, rep.Seq = uint32(sh.cfg.id), rec.Seq
+		}
 		sh.st.Set(req.key, req.value)
 		sh.puts.Add(1)
+		if rep.Seq != 0 {
+			sh.applied.Store(rep.Seq)
+		}
 	case OpDelete:
+		if sh.cfg.oplog != nil {
+			rec := sh.cfg.oplog.Append(repl.RecDelete, req.key, 0)
+			rep.Shard, rep.Seq = uint32(sh.cfg.id), rec.Seq
+		}
 		rep.Found, _ = sh.st.Delete(req.key)
 		sh.dels.Add(1)
+		if rep.Seq != 0 {
+			sh.applied.Store(rep.Seq)
+		}
 	case OpScan:
 		rep.Pairs = make([]KV, 0, req.limit)
 		sh.st.ScanVisit(req.key, req.limit, func(k, v uint64) {
@@ -474,7 +575,65 @@ func (sh *shard) handle(req *request) {
 	if sh.cfg.latency != nil && !req.start.IsZero() {
 		sh.cfg.latency.Observe(uint64(time.Since(req.start).Microseconds()))
 	}
+	sh.deliver(req, rep)
+}
+
+// roleIs reports whether the server's published role matches r.
+func (sh *shard) roleIs(r int32) bool {
+	return sh.cfg.role != nil && sh.cfg.role.Load() == r
+}
+
+// deliver sends a reply — or, on a primary whose replica is live, parks a
+// logged write's ack in the waiter until the replica acknowledges its
+// sequence (semi-synchronous replication: an acked write exists on both
+// copies). When no replica is live the write is acked immediately and
+// counted as degraded, the documented single-copy window.
+func (sh *shard) deliver(req *request, rep Reply) {
+	if rep.Status == StatusOK && rep.Seq != 0 && sh.roleIs(RolePrimary) {
+		if sh.cfg.replicaLive != nil && sh.cfg.replicaLive() {
+			sh.waiter.hold(req.resp, rep)
+			return
+		}
+		sh.degradedAcks.Add(1)
+	}
 	req.resp <- rep
+}
+
+// applyRecords is the replica apply loop's worker half: validate each
+// shipped record against the applied sequence, log it (write-ahead, same
+// order as the primary), apply it, and advance. Already-applied records
+// are skipped (re-pull overlap after a reconnect); a gap means the feed
+// and the shard disagree, so the batch is refused and the follower
+// re-pulls from the shard's actual applied sequence.
+func (sh *shard) applyRecords(recs []repl.Record) Reply {
+	applied := sh.applied.Load()
+	for _, rec := range recs {
+		if rec.Seq <= applied {
+			sh.replDups.Add(1)
+			continue
+		}
+		if rec.Seq != applied+1 {
+			sh.replGaps.Add(1)
+			return Reply{Status: StatusInternal, Shard: uint32(sh.cfg.id), Seq: applied}
+		}
+		if err := sh.cfg.oplog.AppendAt(rec); err != nil {
+			sh.replGaps.Add(1)
+			return Reply{Status: StatusInternal, Shard: uint32(sh.cfg.id), Seq: applied}
+		}
+		switch rec.Op {
+		case repl.RecPut:
+			sh.st.Set(rec.Key, rec.Value)
+			sh.puts.Add(1)
+		case repl.RecDelete:
+			sh.st.Delete(rec.Key)
+			sh.dels.Add(1)
+		}
+		applied = rec.Seq
+		sh.applied.Store(applied)
+		sh.replApplied.Add(1)
+		sh.sinceCkpt++ // applied records count toward the checkpoint cadence
+	}
+	return Reply{Status: StatusOK, Shard: uint32(sh.cfg.id), Seq: applied}
 }
 
 // scrub is the online Pangolin-style check: fsck the live pool between
@@ -515,6 +674,22 @@ func (sh *shard) checkpoint() error {
 	}
 	sh.checkpoints.Add(1)
 	sh.sinceCkpt = 0
+	if sh.cfg.oplog != nil {
+		// The pool image now covers every applied record, so the log prefix
+		// through the applied sequence is garbage — except on a primary,
+		// which must retain anything its replica has not acknowledged (the
+		// replica can only catch up from the log). TruncateThrough also
+		// flushes, so the checkpoint is a log durability barrier too. A log
+		// flush failure is counted (LogStats.FlushErrors), not fatal: the
+		// pool checkpoint itself succeeded.
+		through := sh.applied.Load()
+		if sh.roleIs(RolePrimary) {
+			if ra := sh.replAck.Load(); ra < through {
+				through = ra
+			}
+		}
+		_ = sh.cfg.oplog.TruncateThrough(through)
+	}
 	return nil
 }
 
@@ -567,6 +742,64 @@ type ShardStats struct {
 	FsckErrors    uint64 `json:"fsck_errors"`
 	FsckWarns     uint64 `json:"fsck_warns"`
 	Repairs       uint64 `json:"repairs"`
+	// Repl is the shard's replication block (nil on a standalone server).
+	Repl *ReplShardStats `json:"repl,omitempty"`
+}
+
+// ReplShardStats is the per-shard replication block of a STATS reply.
+type ReplShardStats struct {
+	Applied         uint64        `json:"applied"`  // newest applied log sequence
+	ReplAck         uint64        `json:"repl_ack"` // primary: newest replica-acked sequence
+	LagRecords      uint64        `json:"lag_records"`
+	HeldAcks        int           `json:"held_acks"`
+	DegradedAcks    uint64        `json:"degraded_acks"`
+	TimeoutAcks     uint64        `json:"timeout_acks"`
+	Applies         uint64        `json:"applies"` // records applied from the feed
+	Dups            uint64        `json:"dups"`
+	Gaps            uint64        `json:"gaps"`
+	Replayed        uint64        `json:"replayed"`
+	LaggingReads    uint64        `json:"lagging_reads"`
+	ReadOnlyRejects uint64        `json:"read_only_rejects"`
+	Log             repl.LogStats `json:"log"`
+}
+
+// replLag returns the shard's replication lag in records: on a primary,
+// applied-but-unacked records; elsewhere zero until the follower reports
+// (the replica's lag lives in FollowerStats, measured against the
+// primary's sequence).
+func (sh *shard) replLag() uint64 {
+	if sh.cfg.oplog == nil || !sh.roleIs(RolePrimary) {
+		return 0
+	}
+	a, r := sh.applied.Load(), sh.replAck.Load()
+	if a <= r {
+		return 0
+	}
+	return a - r
+}
+
+func (sh *shard) replStats() *ReplShardStats {
+	if sh.cfg.oplog == nil {
+		return nil
+	}
+	rs := &ReplShardStats{
+		Applied:         sh.applied.Load(),
+		ReplAck:         sh.replAck.Load(),
+		LagRecords:      sh.replLag(),
+		DegradedAcks:    sh.degradedAcks.Load(),
+		Applies:         sh.replApplied.Load(),
+		Dups:            sh.replDups.Load(),
+		Gaps:            sh.replGaps.Load(),
+		Replayed:        sh.replayed.Load(),
+		LaggingReads:    sh.laggingReads.Load(),
+		ReadOnlyRejects: sh.readOnlyRejects.Load(),
+		Log:             sh.cfg.oplog.Stats(),
+	}
+	if sh.waiter != nil {
+		rs.HeldAcks = sh.waiter.count()
+		rs.TimeoutAcks = sh.waiter.timeouts()
+	}
+	return rs
 }
 
 func (sh *shard) stats() ShardStats {
@@ -600,5 +833,6 @@ func (sh *shard) stats() ShardStats {
 		FsckErrors:    sh.fsckErrors.Load(),
 		FsckWarns:     sh.fsckWarns.Load(),
 		Repairs:       sh.repairs.Load(),
+		Repl:          sh.replStats(),
 	}
 }

@@ -35,12 +35,34 @@ go tool cover -func=/tmp/server_cover.out | awk '
 		}
 	}'
 
+# The replication data plane (op-log records and the persistent log) backs
+# the zero-loss promise, so it carries the same coverage gate.
+go test -race -coverprofile=/tmp/repl_cover.out ./internal/repl/...
+go tool cover -func=/tmp/repl_cover.out | awk '
+	/^total:/ {
+		sub(/%/, "", $3)
+		printf "internal/repl coverage: %s%% (gate: 80%%)\n", $3
+		if ($3 + 0 < 80) {
+			print "FAIL: internal/repl coverage below 80%"
+			exit 1
+		}
+	}'
+
 # Resilience leg: the self-healing gate end to end — repeated shard kills
 # plus flaky-network faults must lose zero acked writes and return the
 # service to a zero error rate without a process restart.
 go test -race -run 'TestResilienceSmoke' ./internal/bench/
 go run ./cmd/nvbench -experiment resilience -quick
 
-# Fuzz smoke over the wire decoder: malformed frames must be rejected
-# with protocol errors, never a panic or unbounded allocation.
+# Replication leg: primary/replica pair under flaky-network YCSB load,
+# primary killed mid-stream — zero acked-write loss on the promoted
+# replica, with the held-ack discipline that makes the check sound, and
+# replication lag draining to zero in place.
+go test -race -run 'TestReplicationSmoke' ./internal/bench/
+go run ./cmd/nvbench -experiment replication -quick
+
+# Fuzz smoke over both halves of the wire codec: malformed frames and
+# replies must be rejected with protocol errors, never a panic or
+# unbounded allocation.
 go test -run='^$' -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/server/
+go test -run='^$' -fuzz=FuzzDecodeReply -fuzztime=10s ./internal/server/

@@ -32,7 +32,10 @@
 // acknowledged write therefore exists on both sides. The replica serves
 // reads (rejecting writes with READONLY, and gated reads with LAGGING when
 // behind) and, with -promote-after, promotes itself to primary when the
-// primary goes silent.
+// primary goes silent. Pair -promote-after with -fence-after on the
+// primary (set below the replica's -promote-after): a primary cut off
+// from its replica then fences itself read-only before the replica can
+// have promoted, so a network partition cannot yield two writable copies.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain every
 // shard queue, checkpoint every pool.
@@ -71,6 +74,7 @@ func main() {
 	role := flag.String("role", "standalone", "replication role: standalone, primary, or replica")
 	follow := flag.String("follow", "", "primary address a replica ships the op log from (required with -role replica)")
 	promoteAfter := flag.Duration("promote-after", 0, "replica self-promotes after this long without primary contact (0: manual promotion only)")
+	fenceAfter := flag.Duration("fence-after", 0, "primary refuses writes after this long without replica contact, fencing against split-brain; set below the replica's -promote-after (0: no fencing)")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -81,7 +85,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := validateFlags(*shards, *queueDepth, *poolSize, *breakerCooldown, *scrubEvery, *promoteAfter, r, *follow); err != nil {
+	if err := validateFlags(*shards, *queueDepth, *poolSize, *breakerCooldown, *scrubEvery, *promoteAfter, *fenceAfter, r, *follow); err != nil {
 		fatal(err)
 	}
 
@@ -98,6 +102,7 @@ func main() {
 		Role:            r,
 		FollowAddr:      *follow,
 		PromoteAfter:    *promoteAfter,
+		FenceAfter:      *fenceAfter,
 		Reg:             obs.NewRegistry(),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "nvserved: "+format+"\n", args...)
@@ -178,7 +183,7 @@ func parseRole(s string) (int32, error) {
 
 // validateFlags rejects flag combinations the server would only trip over
 // later, each with a one-line actionable error.
-func validateFlags(shards, queueDepth int, poolSize uint64, breakerCooldown, scrubEvery, promoteAfter time.Duration, role int32, follow string) error {
+func validateFlags(shards, queueDepth int, poolSize uint64, breakerCooldown, scrubEvery, promoteAfter, fenceAfter time.Duration, role int32, follow string) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, got %d", shards)
 	}
@@ -205,6 +210,12 @@ func validateFlags(shards, queueDepth int, poolSize uint64, breakerCooldown, scr
 	}
 	if role != server.RoleReplica && promoteAfter > 0 {
 		return fmt.Errorf("-promote-after only makes sense with -role replica")
+	}
+	if fenceAfter < 0 {
+		return fmt.Errorf("-fence-after must not be negative, got %s (use 0 to disable fencing)", fenceAfter)
+	}
+	if role != server.RolePrimary && fenceAfter > 0 {
+		return fmt.Errorf("-fence-after only makes sense with -role primary")
 	}
 	return nil
 }

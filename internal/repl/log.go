@@ -31,7 +31,10 @@ var ErrSeqGap = errors.New("repl: sequence gap")
 // TruncateThrough (the checkpoint path), and on demand. A crash loses the
 // unflushed tail, exactly as a shard loses operations after its last
 // checkpoint; the replication tier exists to close that window with a
-// second copy, not to pretend single-copy appends are free.
+// second copy, not to pretend single-copy appends are free. Shipping is
+// durable-only: SinceDurable flushes pending appends and never serves a
+// record the durable image does not cover, so a record that reached a
+// replica is, by construction, a record this log's crash-reload retains.
 //
 // A Log is safe for concurrent use: the owning shard worker appends while
 // connection handlers read Since for log shipping.
@@ -41,9 +44,10 @@ type Log struct {
 	name       string
 	flushEvery int
 
-	recs  []Record
-	last  uint64 // seq of the newest record ever appended (0 = none)
-	dirty int    // appends since the last successful flush
+	recs    []Record
+	last    uint64 // seq of the newest record ever appended (0 = none)
+	flushed uint64 // seq covered by the durable image (== last when store is nil)
+	dirty   int    // appends since the last successful flush
 
 	flushes   uint64
 	flushErrs uint64
@@ -111,6 +115,15 @@ func (l *Log) LastSeq() uint64 {
 	return l.last
 }
 
+// FlushedSeq returns the newest sequence number the durable image covers
+// — what a Reload after power loss would come back with. A volatile
+// (nil-store) log reports its in-memory tail, since reload cannot lose it.
+func (l *Log) FlushedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
 // BaseSeq returns the oldest retained sequence number (0 when the log
 // holds no records).
 func (l *Log) BaseSeq() uint64 {
@@ -137,15 +150,48 @@ func (l *Log) Bytes() uint64 {
 }
 
 // Since returns a copy of up to max retained records with Seq > seq (all
-// of them when max <= 0). This is the log-shipping read.
+// of them when max <= 0), including any not-yet-flushed tail — the local
+// replay read. Log shipping must use SinceDurable instead.
 func (l *Log) Since(seq uint64, max int) []Record {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.sinceLocked(seq, max, l.last)
+}
+
+// SinceDurable is the log-shipping read: it first flushes any pending
+// appends (so shipping is prompt), then returns up to max records with
+// Seq > seq — but never past the durable watermark. A record a replica
+// receives is therefore guaranteed to survive this log's crash-reload,
+// which is what makes an in-place primary recovery unable to regress
+// below (and so reuse sequence numbers of) anything its replica has
+// already applied. If the flush fails (counted in FlushErrors), only the
+// already-durable prefix is served and lag grows visibly instead of
+// durability silently weakening.
+func (l *Log) SinceDurable(seq uint64, max int) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.last > l.flushed {
+		if err := l.flushLocked(); err != nil {
+			l.flushErrs++
+		}
+	}
+	return l.sinceLocked(seq, max, l.flushed)
+}
+
+// sinceLocked copies up to max retained records with seq < Seq <= through.
+// Called with mu held.
+func (l *Log) sinceLocked(seq uint64, max int, through uint64) []Record {
 	recs := l.recs
 	if len(recs) == 0 {
 		return nil
 	}
 	base := recs[0].Seq
+	if through < base {
+		return nil
+	}
+	if keep := through - base + 1; keep < uint64(len(recs)) {
+		recs = recs[:keep]
+	}
 	if seq >= base {
 		skip := seq - base + 1
 		if skip >= uint64(len(recs)) {
@@ -198,6 +244,7 @@ func (l *Log) Flush() error {
 func (l *Log) flushLocked() error {
 	if l.store == nil {
 		l.dirty = 0
+		l.flushed = l.last
 		return nil
 	}
 	data := l.encodeLocked()
@@ -212,6 +259,7 @@ func (l *Log) flushLocked() error {
 	}
 	l.flushes++
 	l.dirty = 0
+	l.flushed = l.last
 	return nil
 }
 
@@ -239,7 +287,7 @@ func (l *Log) Reload() error {
 	}
 	meta, data, err := l.store.Load(l.name)
 	if errors.Is(err, pmem.ErrStoreMissing) {
-		l.recs, l.last, l.dirty = nil, 0, 0
+		l.recs, l.last, l.flushed, l.dirty = nil, 0, 0, 0
 		return nil
 	}
 	if err != nil {
@@ -286,6 +334,7 @@ func (l *Log) Reload() error {
 	} else {
 		l.last = last
 	}
+	l.flushed = l.last
 	l.dirty = 0
 	return nil
 }
@@ -294,6 +343,7 @@ func (l *Log) Reload() error {
 // counters, exported into metrics and STATS documents.
 type LogStats struct {
 	LastSeq     uint64 `json:"last_seq"`
+	FlushedSeq  uint64 `json:"flushed_seq"`
 	BaseSeq     uint64 `json:"base_seq"`
 	Records     int    `json:"records"`
 	Bytes       uint64 `json:"bytes"`
@@ -310,6 +360,7 @@ func (l *Log) Stats() LogStats {
 	defer l.mu.Unlock()
 	st := LogStats{
 		LastSeq:     l.last,
+		FlushedSeq:  l.flushed,
 		Records:     len(l.recs),
 		Bytes:       uint64(len(l.recs)) * RecordSize,
 		Dirty:       l.dirty,

@@ -307,3 +307,71 @@ func TestLogStats(t *testing.T) {
 		t.Fatalf("name = %q", l.Name())
 	}
 }
+
+// failingStore wraps a Store with an injectable Save failure, modeling a
+// log device that stops persisting.
+type failingStore struct {
+	pmem.Store
+	fail bool
+}
+
+func (s *failingStore) Save(meta pmem.Meta, data []byte) error {
+	if s.fail {
+		return errors.New("injected save failure")
+	}
+	return s.Store.Save(meta, data)
+}
+
+// TestLogSinceDurable: shipping is durable-only. A pull flushes pending
+// appends and serves them; when the store fails, only the already-durable
+// prefix ships, so a reload after power loss always retains everything a
+// replica has ever been sent.
+func TestLogSinceDurable(t *testing.T) {
+	fs := &failingStore{Store: pmem.NewMemStore()}
+	l := mustOpen(t, fs, "s", 0) // no flush cadence: pulls drive durability
+	for i := uint64(1); i <= 6; i++ {
+		l.Append(RecPut, i, i)
+	}
+	if got := l.FlushedSeq(); got != 0 {
+		t.Fatalf("flushed = %d before any flush", got)
+	}
+	// The local replay read serves the volatile tail; the shipping read
+	// flushes first, then serves the (now durable) records.
+	if got := l.Since(0, 0); len(got) != 6 {
+		t.Fatalf("Since: %d records", len(got))
+	}
+	if got := l.SinceDurable(0, 0); len(got) != 6 {
+		t.Fatalf("SinceDurable: %d records", len(got))
+	}
+	if l.FlushedSeq() != 6 {
+		t.Fatalf("flushed = %d after shipping", l.FlushedSeq())
+	}
+
+	// With the store failing, new appends are withheld from shipping: a
+	// replica must never apply a record a reload would lose.
+	fs.fail = true
+	l.Append(RecPut, 7, 7)
+	l.Append(RecPut, 8, 8)
+	if got := l.SinceDurable(6, 0); got != nil {
+		t.Fatalf("shipped unflushable records: %+v", got)
+	}
+	if got := l.SinceDurable(0, 0); len(got) != 6 || got[5].Seq != 6 {
+		t.Fatalf("durable prefix: %d records", len(got))
+	}
+	if l.Stats().FlushErrors == 0 {
+		t.Fatal("failed flush not counted")
+	}
+
+	// The store heals: the tail ships on the next pull, and a reload comes
+	// back exactly at the shipped watermark.
+	fs.fail = false
+	if got := l.SinceDurable(6, 0); len(got) != 2 || got[1].Seq != 8 {
+		t.Fatalf("after heal: %+v", got)
+	}
+	if err := l.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastSeq() != 8 || l.FlushedSeq() != 8 {
+		t.Fatalf("reloaded: last=%d flushed=%d", l.LastSeq(), l.FlushedSeq())
+	}
+}

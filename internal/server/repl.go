@@ -8,10 +8,20 @@ package server
 // The flow, end to end:
 //
 //	primary shard worker:  log.Append → apply → hold ack in ackWaiter
-//	replica follower:      OpReplicate pull → ctlApply (AppendAt → apply)
-//	                       → OpReplAck
+//	replica follower:      OpReplicate pull (flush + ship durable-only)
+//	                       → ctlApply (AppendAt → apply → flush)
+//	                       → OpReplAck (covers the durable prefix)
 //	primary ack path:      replAck advances → ackWaiter releases held acks
 //	primary checkpoint:    truncate log through min(applied, replAck)
+//
+// Two durability rules keep the copies convergent across crashes on
+// either side. Shipping is durable-only (Log.SinceDurable): a record a
+// replica has seen always survives the primary's own crash-reload, so an
+// in-place primary recovery can never regress below — and then reuse the
+// sequence numbers of — records its replica already applied. Acking is
+// durable-only too: the replica flushes its log image before REPLACK, so
+// the primary may truncate through replAck knowing a replica restart
+// cannot regress the pull cursor behind the primary's log base.
 //
 // The replica dials the primary (-follow), so the primary needs no
 // knowledge of its replica: any reader of the log may pull. Liveness is
@@ -20,6 +30,15 @@ package server
 // immediately and counts the write as degraded (single-copy). The
 // replication gate asserts both the degraded and the timeout counters are
 // zero, which is what makes "every acked write survives promotion" sound.
+//
+// Fencing: auto-promotion is by silence, so a partitioned-but-alive
+// primary and a self-promoted replica could otherwise both accept writes
+// (split-brain). With FenceAfter set below the replica's PromoteAfter, a
+// primary that has ever seen a replica stops taking writes (READONLY)
+// once the replica has been silent that long — it fences itself before
+// the replica can have promoted, and failover clients rotate to the new
+// primary. With FenceAfter unset that split-brain window is accepted and
+// documented (DESIGN.md §11), like the resurrected-old-primary case.
 
 import (
 	"errors"
@@ -206,6 +225,19 @@ func (s *Server) replicaLive() bool {
 	return lp != 0 && time.Since(time.Unix(0, lp)) <= s.cfg.ReplLiveWindow
 }
 
+// writeFenced reports whether a primary must refuse writes because its
+// replica has been silent past FenceAfter — the self-fencing half of
+// silence-based promotion. A primary that never saw a replica is not
+// fenced (nothing can have promoted against it), and FenceAfter <= 0
+// disables fencing entirely.
+func (s *Server) writeFenced() bool {
+	if s.cfg.FenceAfter <= 0 {
+		return false
+	}
+	lp := s.repl.lastPull.Load()
+	return lp != 0 && time.Since(time.Unix(0, lp)) > s.cfg.FenceAfter
+}
+
 // Promote turns a replica into a primary: stop pulling, fsck every pool
 // (the log tail was already replayed on arrival — each record applies as
 // it ships — so the stores are current through the last pull), and start
@@ -232,10 +264,12 @@ func (s *Server) appliedSeqs() []uint64 {
 	return out
 }
 
-// replicateReply serves an OpReplicate pull: records after req.Seq from
-// the shard's log, plus the newest logged sequence so the replica can
-// measure its lag. Served by connection goroutines — the log has its own
-// lock, so pulls never enter the shard queue.
+// replicateReply serves an OpReplicate pull: durable records after
+// req.Seq from the shard's log (SinceDurable flushes pending appends
+// first, so shipping is prompt but never outruns the durable image), plus
+// the newest logged sequence so the replica can measure its lag. Served
+// by connection goroutines — the log has its own lock, so pulls never
+// enter the shard queue.
 func (s *Server) replicateReply(req *Request) Reply {
 	if int(req.Shard) >= len(s.shards) {
 		return Reply{Status: StatusBadRequest}
@@ -245,7 +279,7 @@ func (s *Server) replicateReply(req *Request) Reply {
 		return Reply{Status: StatusBadRequest}
 	}
 	s.markReplContact()
-	recs := sh.cfg.oplog.Since(req.Seq, req.Limit)
+	recs := sh.cfg.oplog.SinceDurable(req.Seq, req.Limit)
 	s.repl.shipped.Add(uint64(len(recs)))
 	return Reply{Status: StatusOK, Shard: req.Shard, Seq: sh.cfg.oplog.LastSeq(), Recs: recs}
 }
@@ -352,6 +386,21 @@ func (s *Server) registerReplMetrics(reg *obs.Registry) {
 			}
 			return sum
 		})
+	reg.GaugeFunc("server_write_fenced", "1 while a primary refuses writes because its replica went silent past FenceAfter",
+		func() int64 {
+			if s.repl.role.Load() == RolePrimary && s.writeFenced() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("server_repl_fenced_writes_total", "writes refused by primary self-fencing",
+		func() uint64 {
+			var sum uint64
+			for _, sh := range s.shards {
+				sum += sh.fencedWrites.Load()
+			}
+			return sum
+		})
 	reg.CounterFunc("server_repl_timeout_acks_total", "held write acks expired by the sweeper",
 		func() uint64 {
 			var sum uint64
@@ -401,6 +450,7 @@ type follower struct {
 	applies     atomic.Uint64
 	reconnects  atomic.Uint64
 	divergences atomic.Uint64
+	diverged    atomic.Bool // gates the one-time divergence log line
 }
 
 func newFollower(s *Server, cfg *Config) *follower {
@@ -541,6 +591,20 @@ func (f *follower) round(c *Client) (progress bool, err error) {
 			}
 			f.primarySeq[g+idx].Store(rep.Seq)
 			if len(rep.Recs) == 0 {
+				continue
+			}
+			if base := rep.Recs[0].Seq; base > sh.applied.Load()+1 {
+				// The primary's retained log starts past our cursor: it
+				// truncated records we never durably applied. Durable-only
+				// acking makes this unreachable from restarts, so it means
+				// real divergence (e.g. the primary was re-seeded). Refuse
+				// the batch — applying it would silently skip operations —
+				// and surface it loudly; the operator re-seeds this replica.
+				f.divergences.Add(1)
+				if f.diverged.CompareAndSwap(false, true) {
+					f.s.logf("server: follower shard %d diverged from %s: primary ships from seq %d, applied is %d; re-seed this replica",
+						g+idx, f.addr, base, sh.applied.Load())
+				}
 				continue
 			}
 			resp := make(chan Reply, 1)

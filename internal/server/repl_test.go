@@ -444,3 +444,247 @@ func TestFailoverClientRotation(t *testing.T) {
 		t.Fatalf("GetRYW: (%d, %v, %v)", v, found, err)
 	}
 }
+
+// TestPrimaryCrashRecoveryKeepsCopiesConvergent: an in-place primary
+// power loss (pool rollback + op-log reload) with a live, connected
+// replica must not diverge the pair. Shipping is durable-only, so the
+// reloaded log is never behind the replica, sequence numbers are never
+// re-assigned under the replica's feet, and writes after recovery
+// replicate normally.
+func TestPrimaryCrashRecoveryKeepsCopiesConvergent(t *testing.T) {
+	logStores := []pmem.Store{pmem.NewMemStore(), pmem.NewMemStore()}
+	p, r, paddr, raddr := startPair(t, 2, func(c *Config) {
+		c.CheckpointEvery = -1 // pools stay at genesis: recovery leans fully on the log
+		c.LogStoreFor = func(i int) pmem.Store { return logStores[i] }
+		c.LogFlushEvery = -1 // replica pulls are the only flusher (durable-only shipping)
+	}, nil)
+	defer r.Abort()
+	defer p.Abort()
+
+	waitFor(t, "follower contact", 5*time.Second, func() bool {
+		return r.CollectStats().Follower.Pulls > 0
+	})
+	c, err := Dial(paddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tokens := make(map[uint64]uint64)
+	put := func(lo, hi uint64) {
+		for k := lo; k <= hi; k++ {
+			_, seq, err := c.PutSeq(k, k*3)
+			if err != nil {
+				t.Fatalf("put %d: %v", k, err)
+			}
+			tokens[k] = seq
+		}
+	}
+	put(1, 100)
+	waitFor(t, "lag drain", 5*time.Second, func() bool {
+		return p.CollectStats().ReplLagRecords == 0
+	})
+
+	// Power-cycle every primary shard in place: pools roll back, logs
+	// reload at the durable watermark — which durable-only shipping pins
+	// at or above everything the replica has applied.
+	for i := 0; i < p.Shards(); i++ {
+		if err := p.InjectCrash(i); err != nil {
+			t.Fatalf("crash shard %d: %v", i, err)
+		}
+	}
+	put(101, 200)
+	waitFor(t, "lag drain after recovery", 5*time.Second, func() bool {
+		return p.CollectStats().ReplLagRecords == 0
+	})
+
+	// The copies converged: no divergence, no refused batch, and every
+	// acked write — before and after the crash — readable on the replica
+	// at its token.
+	rs := r.CollectStats()
+	if rs.Follower.Divergences != 0 {
+		t.Fatalf("follower divergences = %d", rs.Follower.Divergences)
+	}
+	for _, sh := range rs.PerShard {
+		if sh.Repl.Gaps != 0 {
+			t.Fatalf("shard %d: %d apply gaps", sh.ID, sh.Repl.Gaps)
+		}
+	}
+	rc, err := Dial(raddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	for k, seq := range tokens {
+		v, found, err := rc.GetAt(k, seq)
+		if err != nil {
+			t.Fatalf("get %d: %v", k, err)
+		}
+		if !found || v != k*3 {
+			t.Fatalf("key %d: got (%d, %v), want (%d, true)", k, v, found, k*3)
+		}
+	}
+}
+
+// TestReplicaAckDurabilityAndRestart: REPLACK means "applied and durably
+// logged", so the primary may truncate through replAck and a restarted
+// replica still resumes its pull cursor past the truncated base instead
+// of livelocking on a sequence gap.
+func TestReplicaAckDurabilityAndRestart(t *testing.T) {
+	rlogs := []pmem.Store{pmem.NewMemStore(), pmem.NewMemStore()}
+	rpools := []pmem.Store{pmem.NewMemStore(), pmem.NewMemStore()}
+	var rcfg Config
+	p, r, paddr, _ := startPair(t, 2, nil, func(c *Config) {
+		c.StoreFor = func(i int) pmem.Store { return rpools[i] }
+		c.LogStoreFor = func(i int) pmem.Store { return rlogs[i] }
+		c.LogFlushEvery = -1   // the ack path is the replica's only flusher
+		c.CheckpointEvery = 32 // checkpoint + truncate often: restart must join image and log tail
+		rcfg = *c
+	})
+	defer p.Abort()
+	rAlive := true
+	defer func() {
+		if rAlive {
+			r.Abort()
+		}
+	}()
+
+	waitFor(t, "follower contact", 5*time.Second, func() bool {
+		return r.CollectStats().Follower.Pulls > 0
+	})
+	c, err := Dial(paddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 200
+	tokens := make(map[uint64]uint64, n)
+	for k := uint64(1); k <= n; k++ {
+		_, seq, err := c.PutSeq(k, k+7)
+		if err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+		tokens[k] = seq
+	}
+	waitFor(t, "lag drain", 5*time.Second, func() bool {
+		return p.CollectStats().ReplLagRecords == 0
+	})
+
+	// Every acked sequence is durable on the replica: nothing dirty, the
+	// flushed watermark covering everything applied.
+	for _, sh := range r.CollectStats().PerShard {
+		if sh.Repl.Log.Dirty != 0 || sh.Repl.Log.FlushedSeq < sh.Repl.Applied {
+			t.Fatalf("shard %d: acked beyond durable: %+v", sh.ID, sh.Repl.Log)
+		}
+	}
+
+	// Checkpoint the primary so it truncates its logs through replAck,
+	// then restart the replica on its surviving log stores. The reloaded
+	// applied sequence must meet the primary's truncated base.
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r.Abort()
+	rAlive = false
+	r2, err := New(rcfg)
+	if err != nil {
+		t.Fatalf("restart replica: %v", err)
+	}
+	defer r2.Abort()
+	raddr2, err := r2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "restarted follower contact", 5*time.Second, func() bool {
+		return r2.CollectStats().Follower.Pulls > 0
+	})
+
+	// New writes replicate end to end through the restarted replica, and
+	// the full acked history is served at its tokens — no gap livelock.
+	_, seq, err := c.PutSeq(7777, 42)
+	if err != nil || seq == 0 {
+		t.Fatalf("post-restart put: seq=%d err=%v", seq, err)
+	}
+	rc, err := Dial(raddr2.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	waitFor(t, "restarted replica catch-up", 5*time.Second, func() bool {
+		v, found, err := rc.GetAt(7777, seq)
+		return err == nil && found && v == 42
+	})
+	for k, tok := range tokens {
+		v, found, err := rc.GetAt(k, tok)
+		if err != nil {
+			t.Fatalf("get %d: %v", k, err)
+		}
+		if !found || v != k+7 {
+			t.Fatalf("key %d: got (%d, %v), want (%d, true)", k, v, found, k+7)
+		}
+	}
+	rs := r2.CollectStats()
+	if rs.Follower.Divergences != 0 {
+		t.Fatalf("follower divergences = %d", rs.Follower.Divergences)
+	}
+	for _, sh := range rs.PerShard {
+		if sh.Repl.Gaps != 0 {
+			t.Fatalf("shard %d: %d apply gaps after restart", sh.ID, sh.Repl.Gaps)
+		}
+	}
+}
+
+// TestPrimaryFencing: with FenceAfter set, a primary that has seen a
+// replica refuses writes once the replica goes silent — the fencing half
+// of silence-based promotion — while reads keep flowing. A primary that
+// never saw a replica is not fenced.
+func TestPrimaryFencing(t *testing.T) {
+	solo, err := New(Config{Shards: 1, Role: RolePrimary, FenceAfter: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solo.Abort()
+	saddr, err := solo.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Dial(saddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := sc.Put(1, 1); err != nil {
+		t.Fatalf("write on a never-paired primary: %v", err)
+	}
+	sc.Close()
+
+	p, r, paddr, _ := startPair(t, 1, func(c *Config) {
+		c.FenceAfter = 50 * time.Millisecond
+		c.ReplLiveWindow = 25 * time.Millisecond
+		c.AckTimeout = 100 * time.Millisecond
+	}, nil)
+	defer p.Abort()
+	waitFor(t, "follower contact", 5*time.Second, func() bool {
+		return r.CollectStats().Follower.Pulls > 0
+	})
+	c, err := Dial(paddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put(1, 10); err != nil {
+		t.Fatalf("replicated write: %v", err)
+	}
+
+	r.Abort() // the partition stand-in: the replica goes silent for good
+	waitFor(t, "write fencing", 5*time.Second, func() bool {
+		return errors.Is(c.Put(2, 20), ErrReadOnly)
+	})
+	if v, found, err := c.Get(1); err != nil || !found || v != 10 {
+		t.Fatalf("read on fenced primary: (%d, %v, %v)", v, found, err)
+	}
+	if got := p.CollectStats().PerShard[0].Repl.FencedWrites; got == 0 {
+		t.Fatal("fenced writes not counted")
+	}
+}

@@ -99,6 +99,14 @@ type Config struct {
 	// has been unreachable that long. Zero means promotion is manual
 	// (Promote or the operator).
 	PromoteAfter time.Duration
+	// FenceAfter, when positive, makes a primary that has ever seen a
+	// replica refuse writes (READONLY) once the replica has been silent
+	// that long — the fencing side of silence-based promotion. Set it
+	// below the replica's PromoteAfter so a partitioned primary stops
+	// accepting writes before the replica can have taken over; failover
+	// clients then rotate to the promoted replica. Zero disables fencing,
+	// accepting the documented split-brain window under partition.
+	FenceAfter time.Duration
 	// LogStoreFor supplies each shard's operation-log store (replicated
 	// roles only). Nil keeps the logs in memory — crash recovery then
 	// replays nothing, but log shipping still works.
@@ -231,6 +239,7 @@ func New(cfg Config) (*Server, error) {
 			sc.oplog = oplog
 			sc.role = &s.repl.role
 			sc.replicaLive = s.replicaLive
+			sc.fenced = s.writeFenced
 			sc.ackTimeout = cfg.AckTimeout
 		}
 		if cfg.SchedFor != nil {

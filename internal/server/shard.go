@@ -62,8 +62,9 @@ const (
 	// background scrub), repairing any crash residue it finds.
 	ctlScrub
 	// ctlApply replays shipped log records into a replica shard: log each
-	// record (AppendAt), apply it to the store, and advance the applied
-	// sequence — the replica apply loop's worker half.
+	// record (AppendAt), apply it to the store, advance the applied
+	// sequence, and flush the log image so the returned ack sequence is
+	// durable — the replica apply loop's worker half.
 	ctlApply
 )
 
@@ -99,10 +100,11 @@ type shardConfig struct {
 	logf            func(format string, args ...any)
 
 	// Replication plumbing (all nil/zero on a standalone server).
-	oplog       *repl.Log      // per-shard operation log; nil disables replication
-	role        *atomic.Int32  // the server's role (RoleStandalone/Primary/Replica)
-	replicaLive func() bool    // primary: a replica pulled recently
-	ackTimeout  time.Duration  // primary: how long a write ack may wait for replica ack
+	oplog       *repl.Log     // per-shard operation log; nil disables replication
+	role        *atomic.Int32 // the server's role (RoleStandalone/Primary/Replica)
+	replicaLive func() bool   // primary: a replica pulled recently
+	fenced      func() bool   // primary: self-fenced after replica silence
+	ackTimeout  time.Duration // primary: how long a write ack may wait for replica ack
 }
 
 // shard is one engine shard: a single worker goroutine owns the simulation
@@ -149,8 +151,9 @@ type shard struct {
 	replDups     atomic.Uint64 // already-applied records skipped by ctlApply
 	replGaps     atomic.Uint64 // out-of-order apply batches refused
 	replayed     atomic.Uint64 // records replayed from the log at open
-	laggingReads atomic.Uint64 // GETs refused because the gate token was ahead
+	laggingReads    atomic.Uint64 // GETs refused because the gate token was ahead
 	readOnlyRejects atomic.Uint64 // writes refused while serving as replica
+	fencedWrites    atomic.Uint64 // primary writes refused while self-fenced
 
 	// abort, when true at drain time, suppresses the final checkpoint —
 	// the simulated kill -9 path.
@@ -232,9 +235,19 @@ func (sh *shard) open() error {
 // checkpoint the pool just reopened from; records the checkpoint already
 // covers re-apply idempotently (each record's effect depends only on the
 // record), and records past the checkpoint restore the logged-but-not-
-// checkpointed suffix. Afterwards the applied sequence resumes at the
-// log's newest sequence, so a recovered primary keeps assigning unique
-// sequence numbers.
+// checkpointed suffix.
+//
+// Afterwards the applied sequence resumes at the reloaded log's newest
+// sequence, which is the pre-crash durable watermark. On a primary that
+// regression is safe: shipping is durable-only (Log.SinceDurable) and a
+// write ack only releases on replica acknowledgment, so every sequence
+// the replica has applied — and every replicated ack a client received —
+// is at or below the watermark and survives the reload intact. Sequences
+// above it were never shipped; re-assigning them to new writes cannot
+// diverge the copies. The unflushed tail's own writes were either held
+// (failed by the recovery path, clients retry) or degraded single-copy
+// acks, the documented loss window. replAck therefore remains a valid
+// lower bound across recovery; it is clamped only defensively.
 func (sh *shard) replayOplog() error {
 	if err := sh.cfg.oplog.Reload(); err != nil {
 		return fmt.Errorf("oplog: %w", err)
@@ -250,6 +263,11 @@ func (sh *shard) replayOplog() error {
 	}
 	sh.replayed.Add(uint64(len(recs)))
 	sh.applied.Store(sh.cfg.oplog.LastSeq())
+	if ra := sh.replAck.Load(); ra > sh.applied.Load() {
+		// Unreachable while shipping stays durable-only; never let a stale
+		// replica ack vouch for sequences the reloaded log does not hold.
+		sh.replAck.Store(sh.applied.Load())
+	}
 	return nil
 }
 
@@ -526,6 +544,15 @@ func (sh *shard) handle(req *request) {
 			req.resp <- Reply{Status: StatusReadOnly}
 			return
 		}
+		// Fencing: a primary whose replica has gone silent past FenceAfter
+		// stops taking writes (READONLY, so a failover client rotates to the
+		// promoted replica) instead of diverging into a second writable copy.
+		if (req.op == OpPut || req.op == OpDelete) && sh.roleIs(RolePrimary) &&
+			sh.cfg.fenced != nil && sh.cfg.fenced() {
+			sh.fencedWrites.Add(1)
+			req.resp <- Reply{Status: StatusReadOnly}
+			return
+		}
 		// Read-your-writes gate: refuse to serve a read older than the
 		// client's token instead of silently returning stale data.
 		if req.op == OpGet && req.gate > sh.applied.Load() {
@@ -605,21 +632,38 @@ func (sh *shard) deliver(req *request, rep Reply) {
 // are skipped (re-pull overlap after a reconnect); a gap means the feed
 // and the shard disagree, so the batch is refused and the follower
 // re-pulls from the shard's actual applied sequence.
+//
+// The returned Seq is what the follower will REPLACK, and an ack means
+// "applied and durably logged": the log image is flushed before the ack
+// covers any newly appended record. The primary truncates its log through
+// replAck, so acking a sequence this replica could lose to a restart
+// would strand the follower past the primary's log base — the flush is
+// what keeps the acked prefix re-loadable and the pull cursor resumable.
+// If the flush fails, the ack is capped at the durable watermark; the
+// primary then simply retains (and re-ships nothing of) the tail until a
+// later flush succeeds and a higher ack arrives.
 func (sh *shard) applyRecords(recs []repl.Record) Reply {
 	applied := sh.applied.Load()
+	appended := false
+	fail := func() Reply {
+		sh.replGaps.Add(1)
+		if appended {
+			_ = sh.cfg.oplog.Flush()
+		}
+		return Reply{Status: StatusInternal, Shard: uint32(sh.cfg.id), Seq: applied}
+	}
 	for _, rec := range recs {
 		if rec.Seq <= applied {
 			sh.replDups.Add(1)
 			continue
 		}
 		if rec.Seq != applied+1 {
-			sh.replGaps.Add(1)
-			return Reply{Status: StatusInternal, Shard: uint32(sh.cfg.id), Seq: applied}
+			return fail()
 		}
 		if err := sh.cfg.oplog.AppendAt(rec); err != nil {
-			sh.replGaps.Add(1)
-			return Reply{Status: StatusInternal, Shard: uint32(sh.cfg.id), Seq: applied}
+			return fail()
 		}
+		appended = true
 		switch rec.Op {
 		case repl.RecPut:
 			sh.st.Set(rec.Key, rec.Value)
@@ -633,7 +677,14 @@ func (sh *shard) applyRecords(recs []repl.Record) Reply {
 		sh.replApplied.Add(1)
 		sh.sinceCkpt++ // applied records count toward the checkpoint cadence
 	}
-	return Reply{Status: StatusOK, Shard: uint32(sh.cfg.id), Seq: applied}
+	ack := applied
+	if appended {
+		_ = sh.cfg.oplog.Flush() // error: ack only the durable prefix below
+		if fl := sh.cfg.oplog.FlushedSeq(); fl < ack {
+			ack = fl
+		}
+	}
+	return Reply{Status: StatusOK, Shard: uint32(sh.cfg.id), Seq: ack}
 }
 
 // scrub is the online Pangolin-style check: fsck the live pool between
@@ -702,6 +753,15 @@ func (sh *shard) checkpoint() error {
 // contract for power loss.
 func (sh *shard) crashAndRecover() {
 	sh.crashes.Add(1)
+	if sh.waiter != nil {
+		// Held write acks may cover sequences past the log's durable
+		// watermark — sequences the rollback is about to erase and re-issue.
+		// Fail them now (clients retry) so a later replica ack for a reused
+		// sequence cannot release an ack for a write that no longer exists.
+		// recoverWorker also fails holds, but this path is reached directly
+		// by ctlCrash and the fault scheduler without a worker panic.
+		sh.waiter.failHeld()
+	}
 	sh.ctx, sh.st, sh.rb = nil, nil, nil
 	if err := sh.open(); err != nil {
 		// A shard that cannot recover is a harness bug (the store is
@@ -760,6 +820,7 @@ type ReplShardStats struct {
 	Replayed        uint64        `json:"replayed"`
 	LaggingReads    uint64        `json:"lagging_reads"`
 	ReadOnlyRejects uint64        `json:"read_only_rejects"`
+	FencedWrites    uint64        `json:"fenced_writes"`
 	Log             repl.LogStats `json:"log"`
 }
 
@@ -793,6 +854,7 @@ func (sh *shard) replStats() *ReplShardStats {
 		Replayed:        sh.replayed.Load(),
 		LaggingReads:    sh.laggingReads.Load(),
 		ReadOnlyRejects: sh.readOnlyRejects.Load(),
+		FencedWrites:    sh.fencedWrites.Load(),
 		Log:             sh.cfg.oplog.Stats(),
 	}
 	if sh.waiter != nil {

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve, resilience, replication")
+		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve, resilience, replication, trace")
 	quick := flag.Bool("quick", false, "run the scaled-down workload")
 	format := flag.String("format", "table", "output format: table, csv (fig11, fig13, fig14, fig15, table5, knn, scaling), or json (full measurement document)")
 	httpAddr := flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running (e.g. localhost:9090)")
@@ -58,6 +58,11 @@ func main() {
 		// The replication experiment drives a primary/replica pair:
 		// in-process servers, real sockets, a real kill and promotion.
 		err = replication(*quick, *format == "json")
+	case *experiment == "trace":
+		// The trace experiment drives a traced primary/replica pair:
+		// reply echo and stage-sum soundness, slow-op log, killed-primary
+		// flight dump, and the disabled-path overhead gate.
+		err = trace(*quick, *format == "json")
 	case *experiment == "resilience":
 		// The resilience experiment likewise targets the serving tier:
 		// closed-loop load under shard kills and network faults.
@@ -299,6 +304,31 @@ func inference(out *os.File) error {
 		return err
 	}
 	bench.WriteInference(out, s)
+	return nil
+}
+
+// trace runs the request-tracing experiment: explicit trace envelopes
+// against a primary/replica pair, gated on reply echo everywhere, stage
+// sums bounded by end-to-end latency, full stage coverage, a slow-op log
+// that fires, a flight dump on the kill-driven promotion, and a
+// disabled-path overhead under the threshold.
+func trace(quick, asJSON bool) error {
+	res, err := bench.RunTrace(bench.TraceSpecFor(quick))
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		if err := bench.WriteTraceJSON(os.Stdout, res); err != nil {
+			return err
+		}
+	} else {
+		bench.WriteTrace(os.Stdout, res)
+	}
+	if !res.Pass() {
+		return fmt.Errorf("trace acceptance failed: echoMissing=%d subEchoMissing=%d sumViolations=%d slowOps=%d missingStages=%v promotions=%d dumpHasPromotion=%v dumpSpans=%d overhead=%.2f%%",
+			res.EchoMissing, res.BatchSubEchoMissing, res.SumViolations, res.SlowOps,
+			res.MissingStages, res.Promotions, res.DumpHasPromotion, res.DumpSpans, res.OverheadPct())
+	}
 	return nil
 }
 

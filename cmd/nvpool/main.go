@@ -171,7 +171,11 @@ func registerOplogStats(metrics *obs.Registry, dir string) {
 		metrics.GaugeFunc(pfx+"bytes", "retained operation-log bytes", func() int64 { return int64(st.Bytes) })
 		metrics.GaugeFunc(pfx+"last_seq", "newest logged sequence number", func() int64 { return int64(st.LastSeq) })
 		metrics.GaugeFunc(pfx+"base_seq", "oldest retained sequence number", func() int64 { return int64(st.BaseSeq) })
+		metrics.GaugeFunc(pfx+"flushed_seq", "newest sequence the durable image covers", func() int64 { return int64(st.FlushedSeq) })
 		metrics.GaugeFunc(pfx+"torn_records", "records dropped at reload for CRC or sequence damage", func() int64 { return int64(st.TornRecords) })
+		metrics.GaugeFunc(pfx+"flushes", "image flushes performed over the log's lifetime", func() int64 { return int64(st.Flushes) })
+		metrics.GaugeFunc(pfx+"flush_errors", "image flushes that failed", func() int64 { return int64(st.FlushErrors) })
+		metrics.GaugeFunc(pfx+"truncated", "records dropped by checkpoint truncation", func() int64 { return int64(st.Truncated) })
 	}
 }
 

@@ -37,6 +37,15 @@
 // from its replica then fences itself read-only before the replica can
 // have promoted, so a network partition cannot yield two writable copies.
 //
+// Observability: -trace-sample records a per-stage latency breakdown for a
+// fraction of requests (clients can also request a trace explicitly via the
+// protocol's trace envelope), -slow-op emits a structured wide event for any
+// operation over the threshold, and -flight-dir enables the incident flight
+// recorder: control-plane transitions (promotion, fencing, breaker-open,
+// worker restart, divergence) freeze and dump the recent wide events and
+// spans as JSONL for post-mortem. With -http, /healthz serves liveness
+// (?probe=ready for readiness) and /statusz the full status document.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain every
 // shard queue, checkpoint every pool.
 package main
@@ -75,6 +84,9 @@ func main() {
 	follow := flag.String("follow", "", "primary address a replica ships the op log from (required with -role replica)")
 	promoteAfter := flag.Duration("promote-after", 0, "replica self-promotes after this long without primary contact (0: manual promotion only)")
 	fenceAfter := flag.Duration("fence-after", 0, "primary refuses writes after this long without replica contact, fencing against split-brain; set below the replica's -promote-after (0: no fencing)")
+	traceSample := flag.Float64("trace-sample", 0, "server-side trace sampling rate in [0, 1]: this fraction of requests records a per-stage span breakdown (0: only client-requested traces)")
+	slowOp := flag.Duration("slow-op", 0, "log a structured wide event for any operation slower than this end to end (0: disable the slow-op log)")
+	flightDir := flag.String("flight-dir", "", "directory for incident flight-recorder JSONL dumps (empty: record in memory only)")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -87,6 +99,12 @@ func main() {
 	}
 	if err := validateFlags(*shards, *queueDepth, *poolSize, *breakerCooldown, *scrubEvery, *promoteAfter, *fenceAfter, r, *follow); err != nil {
 		fatal(err)
+	}
+	if *traceSample < 0 || *traceSample > 1 {
+		fatal(fmt.Errorf("-trace-sample must be in [0, 1], got %v", *traceSample))
+	}
+	if *slowOp < 0 {
+		fatal(fmt.Errorf("-slow-op must not be negative, got %s (use 0 to disable)", *slowOp))
 	}
 
 	cfg := server.Config{
@@ -103,6 +121,9 @@ func main() {
 		FollowAddr:      *follow,
 		PromoteAfter:    *promoteAfter,
 		FenceAfter:      *fenceAfter,
+		TraceSample:     *traceSample,
+		SlowOp:          *slowOp,
+		FlightDir:       *flightDir,
 		Reg:             obs.NewRegistry(),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "nvserved: "+format+"\n", args...)
@@ -141,12 +162,17 @@ func main() {
 	}
 
 	if *httpAddr != "" {
+		health := &obs.Health{
+			Live:    srv.Live,
+			Ready:   srv.Ready,
+			Statusz: func() any { return srv.CollectStatusz() },
+		}
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, obs.Mux(cfg.Reg)); err != nil {
+			if err := http.ListenAndServe(*httpAddr, obs.MuxHealth(cfg.Reg, health)); err != nil {
 				fmt.Fprintln(os.Stderr, "nvserved: http:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "nvserved: metrics on http://%s/metrics\n", *httpAddr)
+		fmt.Fprintf(os.Stderr, "nvserved: metrics on http://%s/metrics, health on /healthz, status on /statusz\n", *httpAddr)
 	}
 
 	bound, err := srv.Start(*addr)

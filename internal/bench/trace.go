@@ -1,0 +1,542 @@
+// The trace experiment gates the request-tracing plane's two promises: it
+// tells the truth, and it is effectively free when off.
+//
+// Truth: against a live primary/replica pair, every explicitly traced
+// request's reply echoes its trace ID (batch sub-replies included), the
+// recorded stage durations of a traced op sum to no more than the
+// end-to-end latency the client measured around it, every stage of the
+// vocabulary shows up somewhere across the client, primary, and replica
+// recorders, and the slow-op log fires. Killing the primary mid-run must
+// make the promoted replica's flight recorder freeze and dump a JSONL
+// snapshot that contains the promotion trigger plus the spans in flight.
+//
+// Cost: with the tracing plane attached but no request sampled, a
+// closed-loop PUT/GET workload may regress by less than
+// TraceOverheadThresholdPct against a server with no plane at all.
+// Repetitions interleave both sides so machine drift cancels, and the min
+// is taken per side (the floor is the true cost; the rest is noise).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"nvref/internal/obs"
+	"nvref/internal/rt"
+	"nvref/internal/server"
+)
+
+// TraceOverheadThresholdPct is the acceptance bound on the disabled-path
+// cost of the tracing plane.
+const TraceOverheadThresholdPct = 2.0
+
+// TraceStages is the full stage vocabulary the experiment requires
+// coverage of, across the client, primary, and replica recorders.
+var TraceStages = []string{
+	server.StageClientSend,
+	server.StageDecode,
+	server.StageQueueWait,
+	server.StageExecute,
+	server.StageOplogAppend,
+	server.StageOplogFlush,
+	server.StageReplShip,
+	server.StageReplApply,
+	server.StageAckHold,
+	server.StageReplyEncode,
+}
+
+// TraceSpec parameterizes the trace experiment.
+type TraceSpec struct {
+	Records    int
+	Operations int // traced operations driven against the primary
+	Batches    int // traced batches (each BatchSize sub-ops)
+	BatchSize  int
+	Shards     int
+	Mode       rt.Mode
+	PoolSize   uint64
+	// SlowOp is the primary's slow-op threshold; the default (1ns) makes
+	// every operation a wide event so the slow-op path is exercised
+	// deterministically.
+	SlowOp time.Duration
+	// PromoteAfter is the replica's silence budget before self-promotion.
+	PromoteAfter time.Duration
+	// OverheadOps and OverheadReps size the disabled-path timing phase;
+	// OverheadReps < 1 skips it (race-enabled CI runs, where timing gates
+	// only measure the race detector).
+	OverheadOps  int
+	OverheadReps int
+	Seed         int64
+}
+
+// TraceSpecFor returns the standard experiment sizes.
+func TraceSpecFor(quick bool) TraceSpec {
+	s := TraceSpec{
+		Records:      800,
+		Operations:   600,
+		Batches:      40,
+		BatchSize:    8,
+		Shards:       2,
+		Mode:         rt.HW,
+		PoolSize:     4 << 20,
+		SlowOp:       time.Nanosecond,
+		PromoteAfter: 150 * time.Millisecond,
+		OverheadOps:  6000,
+		OverheadReps: 5,
+		Seed:         23,
+	}
+	if quick {
+		s.Records, s.Operations, s.Batches = 300, 250, 16
+		s.OverheadOps, s.OverheadReps = 2500, 3
+	}
+	return s
+}
+
+// TraceResult is the experiment document.
+type TraceResult struct {
+	Operations int    `json:"operations"`
+	Batches    int    `json:"batches"`
+	Shards     int    `json:"shards"`
+	Mode       string `json:"mode"`
+
+	// Echo and stage-sum checks over the explicitly traced stream.
+	TracedOps           int `json:"traced_ops"`
+	EchoMissing         int `json:"echo_missing"`
+	BatchSubReplies     int `json:"batch_sub_replies"`
+	BatchSubEchoMissing int `json:"batch_sub_echo_missing"`
+	SumChecked          int `json:"sum_checked"`
+	SumViolations       int `json:"sum_violations"`
+
+	// Span production and the slow-op log.
+	PrimarySpans uint64 `json:"primary_spans"`
+	ReplicaSpans uint64 `json:"replica_spans"`
+	ClientSpans  uint64 `json:"client_spans"`
+	SlowOps      uint64 `json:"slow_ops"`
+
+	// Stage coverage across all three recorders.
+	StagesSeen    []string `json:"stages_seen"`
+	MissingStages []string `json:"missing_stages"`
+
+	// Incident leg: the killed-primary flight dump on the promoted replica.
+	Promotions       uint64 `json:"promotions"`
+	DumpPath         string `json:"dump_path"`
+	DumpWideEvents   int    `json:"dump_wide_events"`
+	DumpSpans        int    `json:"dump_spans"`
+	DumpHasPromotion bool   `json:"dump_has_promotion"`
+
+	// Disabled-path overhead.
+	OverheadReps    int   `json:"overhead_reps"`
+	BaselineNS      int64 `json:"baseline_ns"`
+	InstrumentedNS  int64 `json:"instrumented_ns"`
+	OverheadSkipped bool  `json:"overhead_skipped"`
+}
+
+// OverheadPct is the relative disabled-path cost; at or below zero the
+// difference drowned in noise.
+func (r *TraceResult) OverheadPct() float64 {
+	if r.BaselineNS == 0 {
+		return 0
+	}
+	return 100 * float64(r.InstrumentedNS-r.BaselineNS) / float64(r.BaselineNS)
+}
+
+// Pass applies the acceptance gates.
+func (r *TraceResult) Pass() bool {
+	return r.TracedOps > 0 &&
+		r.EchoMissing == 0 &&
+		r.BatchSubReplies > 0 && r.BatchSubEchoMissing == 0 &&
+		r.SumChecked > 0 && r.SumViolations == 0 &&
+		r.SlowOps > 0 &&
+		len(r.MissingStages) == 0 &&
+		r.Promotions == 1 &&
+		r.DumpHasPromotion && r.DumpSpans > 0 &&
+		(r.OverheadSkipped || r.OverheadPct() < TraceOverheadThresholdPct)
+}
+
+// traceID derives a deterministic nonzero trace ID for op i.
+func traceID(seed int64, i int) uint64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// RunTrace executes the experiment against an in-process primary/replica
+// pair on loopback listeners.
+func RunTrace(spec TraceSpec) (*TraceResult, error) {
+	res := &TraceResult{
+		Operations: spec.Operations,
+		Batches:    spec.Batches,
+		Shards:     spec.Shards,
+		Mode:       spec.Mode.String(),
+	}
+
+	flightDir, err := os.MkdirTemp("", "nvbench-flight-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(flightDir)
+
+	// Both sides get explicit recorders so the experiment can read the
+	// spans back; the replica's flight recorder dumps to disk.
+	pspans := obs.NewSpanRecorder(16384, nil)
+	pflight := obs.NewFlightRecorder(0, "", pspans)
+	primary, err := server.New(server.Config{
+		Shards:   spec.Shards,
+		Mode:     spec.Mode,
+		PoolSize: spec.PoolSize,
+		Role:     server.RolePrimary,
+		SlowOp:   spec.SlowOp,
+		Spans:    pspans,
+		Flight:   pflight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	primaryDead := false
+	defer func() {
+		if !primaryDead {
+			primary.Abort()
+		}
+	}()
+	paddr, err := primary.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+
+	rspans := obs.NewSpanRecorder(16384, nil)
+	rflight := obs.NewFlightRecorder(0, flightDir, rspans)
+	replica, err := server.New(server.Config{
+		Shards:       spec.Shards,
+		Mode:         spec.Mode,
+		PoolSize:     spec.PoolSize,
+		Role:         server.RoleReplica,
+		FollowAddr:   paddr.String(),
+		FollowPoll:   time.Millisecond,
+		PromoteAfter: spec.PromoteAfter,
+		Spans:        rspans,
+		Flight:       rflight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer replica.Close()
+	raddr, err := replica.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	if err := waitUntil(5*time.Second, func() bool {
+		fs := replica.CollectStats().Follower
+		return fs != nil && fs.Pulls > 0
+	}); err != nil {
+		return nil, fmt.Errorf("trace: follower never contacted primary: %w", err)
+	}
+
+	cspans := obs.NewSpanRecorder(16384, nil)
+	cl, err := server.Dial(paddr.String())
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	cl.SetSpanRecorder(cspans)
+
+	// Seed phase, untraced.
+	for i := 0; i < spec.Records; i++ {
+		if err := cl.Put(uint64(i)*2654435761, uint64(i)); err != nil {
+			return nil, fmt.Errorf("trace: seed put: %w", err)
+		}
+	}
+
+	// Traced stream: every op carries an explicit sampled trace envelope,
+	// timed end to end around the round trip.
+	type tracedOp struct {
+		id  uint64
+		e2e time.Duration
+	}
+	traced := make([]tracedOp, 0, spec.Operations)
+	for i := 0; i < spec.Operations; i++ {
+		id := traceID(spec.Seed, i)
+		key := uint64(i%spec.Records) * 2654435761
+		req := &server.Request{Op: server.OpPut, Key: key, Value: uint64(i), Trace: id, Sampled: true}
+		if i%3 == 2 {
+			req = &server.Request{Op: server.OpGet, Key: key, Trace: id, Sampled: true}
+		}
+		t0 := time.Now()
+		rep, err := cl.Do(req)
+		e2e := time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("trace: traced op %d: %w", i, err)
+		}
+		res.TracedOps++
+		if rep.Trace != id {
+			res.EchoMissing++
+			continue
+		}
+		traced = append(traced, tracedOp{id: id, e2e: e2e})
+	}
+
+	// Traced batches: every sub-reply must echo the batch's trace ID.
+	for b := 0; b < spec.Batches; b++ {
+		id := traceID(spec.Seed, spec.Operations+b)
+		sub := make([]server.Request, 0, spec.BatchSize)
+		for j := 0; j < spec.BatchSize; j++ {
+			key := uint64((b*spec.BatchSize+j)%spec.Records) * 2654435761
+			if j%2 == 0 {
+				sub = append(sub, server.Request{Op: server.OpPut, Key: key, Value: uint64(j)})
+			} else {
+				sub = append(sub, server.Request{Op: server.OpGet, Key: key})
+			}
+		}
+		rep, err := cl.Do(&server.Request{Op: server.OpBatch, Sub: sub, Trace: id, Sampled: true})
+		if err != nil {
+			return nil, fmt.Errorf("trace: traced batch %d: %w", b, err)
+		}
+		if rep.Trace != id {
+			res.EchoMissing++
+		}
+		for i := range rep.Sub {
+			res.BatchSubReplies++
+			if rep.Sub[i].Trace != id {
+				res.BatchSubEchoMissing++
+			}
+		}
+	}
+
+	// A few traced reads against the replica, so its recorder holds
+	// request-path spans alongside the background apply/flush ones.
+	rcl, err := server.Dial(raddr.String())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 32; i++ {
+		id := traceID(spec.Seed, spec.Operations+spec.Batches+i)
+		key := uint64(i%spec.Records) * 2654435761
+		if _, err := rcl.Do(&server.Request{Op: server.OpGet, Key: key, Trace: id, Sampled: true}); err != nil {
+			rcl.Close()
+			return nil, fmt.Errorf("trace: replica get: %w", err)
+		}
+	}
+	rcl.Close()
+
+	// Let the replica drain so apply-side spans exist before the kill.
+	if err := waitUntil(5*time.Second, func() bool {
+		return primary.CollectStats().ReplLagRecords == 0
+	}); err != nil {
+		return nil, fmt.Errorf("trace: replication lag never drained: %w", err)
+	}
+
+	// Stage-sum soundness: for each traced op, the durations of its spans
+	// (client and primary, matched by trace ID) are disjoint segments of
+	// the client's round trip, so their sum may not exceed it.
+	sums := make(map[uint64]time.Duration)
+	for _, s := range append(cspans.Spans(), pspans.Spans()...) {
+		if s.Trace != 0 {
+			sums[s.Trace] += time.Duration(s.DurNS)
+		}
+	}
+	for _, op := range traced {
+		if _, ok := sums[op.id]; !ok {
+			continue // ring wrapped past this op's spans
+		}
+		res.SumChecked++
+		if sums[op.id] > op.e2e {
+			res.SumViolations++
+		}
+	}
+
+	// Stage coverage across all three recorders.
+	seen := make(map[string]bool)
+	for _, s := range cspans.Spans() {
+		seen[s.Stage] = true
+	}
+	for _, s := range pspans.Spans() {
+		seen[s.Stage] = true
+	}
+	for _, s := range rspans.Spans() {
+		seen[s.Stage] = true
+	}
+	for stage := range seen {
+		res.StagesSeen = append(res.StagesSeen, stage)
+	}
+	sort.Strings(res.StagesSeen)
+	for _, stage := range TraceStages {
+		if !seen[stage] {
+			res.MissingStages = append(res.MissingStages, stage)
+		}
+	}
+	res.PrimarySpans = pspans.Emitted()
+	res.ReplicaSpans = rspans.Emitted()
+	res.ClientSpans = cspans.Emitted()
+	for _, sh := range primary.CollectStats().PerShard {
+		res.SlowOps += sh.SlowOps
+	}
+
+	// Incident leg: kill the primary without ceremony; the replica must
+	// promote itself and its flight recorder must freeze and dump.
+	primary.Abort()
+	primaryDead = true
+	if err := waitUntil(5*time.Second, func() bool {
+		return replica.Role() == server.RolePrimary
+	}); err != nil {
+		return nil, fmt.Errorf("trace: replica never promoted itself: %w", err)
+	}
+	res.Promotions = replica.CollectStats().Promotions
+	if err := waitUntil(5*time.Second, func() bool {
+		return rflight.LastDump() != ""
+	}); err != nil {
+		return nil, fmt.Errorf("trace: promotion never produced a flight dump: %w", err)
+	}
+	res.DumpPath = rflight.LastDump()
+	df, err := os.Open(res.DumpPath)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open flight dump: %w", err)
+	}
+	lines, err := obs.ReadFlightDump(df)
+	df.Close()
+	if err != nil {
+		return nil, fmt.Errorf("trace: parse flight dump: %w", err)
+	}
+	for _, ln := range lines {
+		switch ln.Type {
+		case "wide":
+			res.DumpWideEvents++
+			if ln.Event.Kind == server.TriggerPromotion {
+				res.DumpHasPromotion = true
+			}
+		case "span":
+			res.DumpSpans++
+		}
+	}
+
+	// Disabled-path overhead: a plane-attached-but-unsampled server
+	// against one with no plane, interleaved, min per side.
+	if spec.OverheadReps < 1 {
+		res.OverheadSkipped = true
+		return res, nil
+	}
+	res.OverheadReps = spec.OverheadReps
+	base, inst, err := traceOverhead(spec)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineNS = minNS(base)
+	res.InstrumentedNS = minNS(inst)
+	return res, nil
+}
+
+// traceOverhead times the closed-loop PUT/GET workload against a bare
+// standalone server and one with the tracing plane attached but sampling
+// disabled, interleaving repetitions.
+func traceOverhead(spec TraceSpec) (base, inst []int64, err error) {
+	newServer := func(withPlane bool) (*server.Server, *server.Client, error) {
+		cfg := server.Config{Shards: spec.Shards, Mode: spec.Mode, PoolSize: spec.PoolSize}
+		if withPlane {
+			cfg.Spans = obs.NewSpanRecorder(0, nil)
+		}
+		srv, err := server.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			srv.Abort()
+			return nil, nil, err
+		}
+		cl, err := server.Dial(addr.String())
+		if err != nil {
+			srv.Abort()
+			return nil, nil, err
+		}
+		return srv, cl, nil
+	}
+	bsrv, bcl, err := newServer(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer bsrv.Abort()
+	defer bcl.Close()
+	isrv, icl, err := newServer(true)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer isrv.Abort()
+	defer icl.Close()
+
+	workload := func(cl *server.Client) error {
+		for i := 0; i < spec.OverheadOps; i++ {
+			key := uint64(i%spec.Records) * 2654435761
+			if i%2 == 0 {
+				if err := cl.Put(key, uint64(i)); err != nil {
+					return err
+				}
+			} else {
+				if _, _, err := cl.Get(key); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// One untimed pair so connection and allocator warmup lands on neither
+	// timed side.
+	if err := workload(bcl); err != nil {
+		return nil, nil, err
+	}
+	if err := workload(icl); err != nil {
+		return nil, nil, err
+	}
+	for rep := 0; rep < spec.OverheadReps; rep++ {
+		t0 := time.Now()
+		if err := workload(bcl); err != nil {
+			return nil, nil, err
+		}
+		base = append(base, time.Since(t0).Nanoseconds())
+		t0 = time.Now()
+		if err := workload(icl); err != nil {
+			return nil, nil, err
+		}
+		inst = append(inst, time.Since(t0).Nanoseconds())
+	}
+	return base, inst, nil
+}
+
+// WriteTraceJSON emits the experiment document as JSON.
+func WriteTraceJSON(w io.Writer, r *TraceResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTrace renders the experiment as text.
+func WriteTrace(w io.Writer, r *TraceResult) {
+	fmt.Fprintf(w, "trace: %d traced ops + %d batches, %d shards, %s mode\n",
+		r.TracedOps, r.Batches, r.Shards, r.Mode)
+	fmt.Fprintf(w, "echo: %d/%d op replies carried the trace; %d/%d batch sub-replies\n",
+		r.TracedOps-r.EchoMissing, r.TracedOps, r.BatchSubReplies-r.BatchSubEchoMissing, r.BatchSubReplies)
+	fmt.Fprintf(w, "stage sums: %d ops checked, %d exceeded their end-to-end latency (must be 0)\n",
+		r.SumChecked, r.SumViolations)
+	fmt.Fprintf(w, "spans: client %d, primary %d, replica %d; slow ops %d\n",
+		r.ClientSpans, r.PrimarySpans, r.ReplicaSpans, r.SlowOps)
+	if len(r.MissingStages) == 0 {
+		fmt.Fprintf(w, "stage coverage: all %d stages observed\n", len(TraceStages))
+	} else {
+		fmt.Fprintf(w, "stage coverage: MISSING %v\n", r.MissingStages)
+	}
+	fmt.Fprintf(w, "incident: %d promotion(s); dump %s: %d wide events (promotion trigger %v), %d spans\n",
+		r.Promotions, r.DumpPath, r.DumpWideEvents, r.DumpHasPromotion, r.DumpSpans)
+	if r.OverheadSkipped {
+		fmt.Fprintln(w, "overhead: skipped (reps < 1)")
+	} else {
+		fmt.Fprintf(w, "overhead: baseline %d ns, plane attached %d ns -> %+.2f%% (threshold %.0f%%, min of %d)\n",
+			r.BaselineNS, r.InstrumentedNS, r.OverheadPct(), TraceOverheadThresholdPct, r.OverheadReps)
+	}
+	if r.Pass() {
+		fmt.Fprintln(w, "PASS")
+	} else {
+		fmt.Fprintln(w, "FAIL")
+	}
+}

@@ -1,0 +1,274 @@
+package obs
+
+// Incident flight recorder: a ring of structured "wide events" (one record
+// per interesting occurrence, carrying its whole context — the canonical
+// observability-2.0 shape) that buffers continuously and freezes into a
+// JSONL dump when a trigger fires. The serving tier notes slow ops and
+// control-plane transitions here; when something goes wrong (promotion,
+// fencing, breaker open, supervisor restart, divergence) the recorder
+// writes everything it held — the wide events plus the spans in flight —
+// so the minutes before an incident are preserved without anyone having
+// had tracing "turned up" in advance.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// DefaultFlightCapacity is the wide-event ring size when unspecified.
+const DefaultFlightCapacity = 1024
+
+// WideEvent is one structured record in the flight ring: a slow op with its
+// stage breakdown, or a control-plane trigger.
+type WideEvent struct {
+	TimeUnixNS int64            `json:"time_unix_ns"`
+	Seq        uint64           `json:"seq"`
+	Kind       string           `json:"kind"`
+	Trace      uint64           `json:"trace,omitempty"`
+	Shard      int              `json:"shard"`
+	Op         string           `json:"op,omitempty"`
+	Key        uint64           `json:"key,omitempty"`
+	TotalUS    int64            `json:"total_us,omitempty"`
+	Detail     string           `json:"detail,omitempty"`
+	StagesUS   map[string]int64 `json:"stages_us,omitempty"`
+}
+
+// FlightLine is one line of a flight dump: a wide event or a span that was
+// in flight at trigger time, tagged by Type ("wide" or "span").
+type FlightLine struct {
+	Type  string     `json:"type"`
+	Event *WideEvent `json:"event,omitempty"`
+	Span  *Span      `json:"span,omitempty"`
+}
+
+// FlightRecorder buffers wide events in a fixed ring and snapshots them —
+// along with the attached SpanRecorder's in-flight spans — to a JSONL file
+// when Trigger fires. All methods are nil-safe and safe for concurrent use.
+type FlightRecorder struct {
+	dir   string
+	spans *SpanRecorder
+
+	mu       sync.Mutex
+	ring     []WideEvent
+	next     int
+	wrapped  bool
+	seq      uint64
+	dumps    uint64
+	dumpErrs uint64
+	lastDump string
+}
+
+// NewFlightRecorder returns a recorder retaining the last capacity wide
+// events (DefaultFlightCapacity when capacity <= 0). dir is where Trigger
+// writes dumps (created on demand; empty keeps snapshots in memory only).
+// spans may be nil; when set, dumps include its retained spans.
+func NewFlightRecorder(capacity int, dir string, spans *SpanRecorder) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{
+		dir:   dir,
+		spans: spans,
+		ring:  make([]WideEvent, capacity),
+	}
+}
+
+// Note records one wide event, stamping its time (when zero) and sequence.
+func (f *FlightRecorder) Note(e WideEvent) {
+	if f == nil {
+		return
+	}
+	if e.TimeUnixNS == 0 {
+		e.TimeUnixNS = time.Now().UnixNano()
+	}
+	f.mu.Lock()
+	f.note(e)
+	f.mu.Unlock()
+}
+
+// note appends with the lock held.
+func (f *FlightRecorder) note(e WideEvent) {
+	f.seq++
+	e.Seq = f.seq
+	f.ring[f.next] = e
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.wrapped = true
+	}
+}
+
+// Trigger records a trigger event of the given kind, freezes the ring, and
+// dumps it (plus the spans in flight) as JSONL to the recorder's directory.
+// It returns the dump path, empty when the recorder keeps snapshots in
+// memory only. Dump failures are counted, never propagated as panics.
+func (f *FlightRecorder) Trigger(kind, detail string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	f.note(WideEvent{
+		TimeUnixNS: time.Now().UnixNano(),
+		Kind:       kind,
+		Shard:      -1,
+		Detail:     detail,
+	})
+	f.dumps++
+	n := f.dumps
+	events := f.eventsLocked()
+	f.mu.Unlock()
+
+	if f.dir == "" {
+		return "", nil
+	}
+	// The span snapshot takes the span recorder's own lock; never nest it
+	// under ours.
+	spans := f.spans.Spans()
+
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return "", f.dumpFailed(err)
+	}
+	path := filepath.Join(f.dir, fmt.Sprintf("flight-%03d-%s.jsonl", n, kind))
+	w, err := os.Create(path)
+	if err != nil {
+		return "", f.dumpFailed(err)
+	}
+	if err := WriteFlightDump(w, events, spans); err != nil {
+		w.Close()
+		return "", f.dumpFailed(err)
+	}
+	if err := w.Close(); err != nil {
+		return "", f.dumpFailed(err)
+	}
+	f.mu.Lock()
+	f.lastDump = path
+	f.mu.Unlock()
+	return path, nil
+}
+
+// dumpFailed counts a failed dump and returns the error for logging.
+func (f *FlightRecorder) dumpFailed(err error) error {
+	f.mu.Lock()
+	f.dumpErrs++
+	f.mu.Unlock()
+	return fmt.Errorf("obs: flight dump: %w", err)
+}
+
+// Events returns the retained wide events in recording order.
+func (f *FlightRecorder) Events() []WideEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eventsLocked()
+}
+
+// eventsLocked snapshots the ring with the lock held.
+func (f *FlightRecorder) eventsLocked() []WideEvent {
+	if !f.wrapped {
+		out := make([]WideEvent, f.next)
+		copy(out, f.ring[:f.next])
+		return out
+	}
+	out := make([]WideEvent, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// Len returns how many wide events are retained.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.wrapped {
+		return len(f.ring)
+	}
+	return f.next
+}
+
+// Dumps returns how many triggers have fired.
+func (f *FlightRecorder) Dumps() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}
+
+// DumpErrors returns how many dumps failed to write.
+func (f *FlightRecorder) DumpErrors() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumpErrs
+}
+
+// LastDump returns the path of the most recent successful dump ("" if none).
+func (f *FlightRecorder) LastDump() string {
+	if f == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastDump
+}
+
+// WriteFlightDump writes a flight snapshot as type-tagged JSONL: first the
+// wide events, then the spans that were in flight.
+func WriteFlightDump(w io.Writer, events []WideEvent, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(FlightLine{Type: "wide", Event: &events[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range spans {
+		if err := enc.Encode(FlightLine{Type: "span", Span: &spans[i]}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFlightDump parses a flight dump written by WriteFlightDump.
+func ReadFlightDump(r io.Reader) ([]FlightLine, error) {
+	var out []FlightLine
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var fl FlightLine
+		if err := json.Unmarshal(b, &fl); err != nil {
+			return nil, fmt.Errorf("obs: flight jsonl line %d: %w", line, err)
+		}
+		switch fl.Type {
+		case "wide", "span":
+		default:
+			return nil, fmt.Errorf("obs: flight jsonl line %d: unknown type %q", line, fl.Type)
+		}
+		out = append(out, fl)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRingAndNilSafety(t *testing.T) {
+	f := NewFlightRecorder(3, "", nil)
+	for i := 0; i < 5; i++ {
+		f.Note(WideEvent{Kind: "slow_op", Shard: i})
+	}
+	evs := f.Events()
+	if len(evs) != 3 || f.Len() != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Shard != i+2 {
+			t.Errorf("event %d shard = %d, want %d", i, e.Shard, i+2)
+		}
+		if e.Seq != uint64(i+3) {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, i+3)
+		}
+		if e.TimeUnixNS == 0 {
+			t.Errorf("event %d not timestamped", i)
+		}
+	}
+
+	var nilF *FlightRecorder
+	nilF.Note(WideEvent{})
+	if path, err := nilF.Trigger("promotion", "x"); path != "" || err != nil {
+		t.Error("nil recorder triggered")
+	}
+	if nilF.Events() != nil || nilF.Len() != 0 || nilF.Dumps() != 0 || nilF.DumpErrors() != 0 || nilF.LastDump() != "" {
+		t.Error("nil recorder leaked state")
+	}
+}
+
+func TestFlightTriggerDumpsRingAndSpans(t *testing.T) {
+	dir := t.TempDir()
+	spans := NewSpanRecorder(8, nil)
+	spans.Record(Span{Trace: 9, Stage: "execute", Shard: 0, Op: "put", DurNS: 100})
+	spans.Record(Span{Trace: 9, Stage: "replack_hold", Shard: 0, DurNS: 50})
+	f := NewFlightRecorder(16, dir, spans)
+	f.Note(WideEvent{Kind: "slow_op", Trace: 9, Shard: 0, Op: "put", TotalUS: 1500,
+		StagesUS: map[string]int64{"queue_wait": 100, "execute": 1400}})
+
+	path, err := f.Trigger("promotion", "replica promoted to primary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir || !strings.Contains(filepath.Base(path), "promotion") {
+		t.Fatalf("dump path %q not under %q or missing the trigger kind", path, dir)
+	}
+	if f.Dumps() != 1 || f.LastDump() != path {
+		t.Errorf("Dumps=%d LastDump=%q", f.Dumps(), f.LastDump())
+	}
+
+	file, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	lines, err := ReadFlightDump(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wide, span int
+	var sawTrigger, sawSlow bool
+	for _, ln := range lines {
+		switch ln.Type {
+		case "wide":
+			wide++
+			switch ln.Event.Kind {
+			case "promotion":
+				sawTrigger = true
+				if ln.Event.Detail == "" {
+					t.Error("trigger event lost its detail")
+				}
+			case "slow_op":
+				sawSlow = true
+				if ln.Event.StagesUS["execute"] != 1400 {
+					t.Error("slow op lost its stage breakdown")
+				}
+			}
+		case "span":
+			span++
+		}
+	}
+	if wide != 2 || span != 2 || !sawTrigger || !sawSlow {
+		t.Fatalf("dump shape: %d wide (trigger=%v slow=%v), %d spans", wide, sawTrigger, sawSlow, span)
+	}
+
+	// A second trigger gets a fresh, numbered file.
+	path2, err := f.Trigger("fencing", "replica silent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path2 == path || !strings.Contains(filepath.Base(path2), "fencing") {
+		t.Errorf("second dump %q did not get its own file", path2)
+	}
+}
+
+func TestFlightTriggerWithoutDirStaysInMemory(t *testing.T) {
+	f := NewFlightRecorder(8, "", nil)
+	path, err := f.Trigger("restart", "worker restarted")
+	if err != nil || path != "" {
+		t.Fatalf("memory-only trigger: path=%q err=%v", path, err)
+	}
+	if f.Dumps() != 1 || f.LastDump() != "" {
+		t.Errorf("Dumps=%d LastDump=%q", f.Dumps(), f.LastDump())
+	}
+	evs := f.Events()
+	if len(evs) != 1 || evs[0].Kind != "restart" {
+		t.Fatalf("trigger event not retained: %+v", evs)
+	}
+}
+
+func TestFlightDumpFailureCountedNotFatal(t *testing.T) {
+	// A file where the dump directory should be: MkdirAll fails.
+	tmp := t.TempDir()
+	blocked := filepath.Join(tmp, "not-a-dir")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFlightRecorder(8, blocked, nil)
+	if _, err := f.Trigger("divergence", "gap"); err == nil {
+		t.Fatal("dump into a file path should fail")
+	}
+	if f.DumpErrors() != 1 {
+		t.Errorf("DumpErrors = %d, want 1", f.DumpErrors())
+	}
+	if f.Len() != 1 {
+		t.Error("trigger event lost when the dump failed")
+	}
+}
+
+func TestReadFlightDumpRejectsGarbage(t *testing.T) {
+	if _, err := ReadFlightDump(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := ReadFlightDump(strings.NewReader(`{"type":"sideways"}` + "\n")); err == nil {
+		t.Error("unknown line type accepted")
+	}
+}
+
+func TestWriteFlightDumpOrdersWideThenSpan(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFlightDump(&buf,
+		[]WideEvent{{Kind: "slow_op", Shard: 0}},
+		[]Span{{Trace: 1, Stage: "execute"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := ReadFlightDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 || lines[0].Type != "wide" || lines[1].Type != "span" {
+		t.Fatalf("dump order wrong: %+v", lines)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers Note, Events, and Trigger from many
+// goroutines. Run with -race.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64, t.TempDir(), NewSpanRecorder(16, nil))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Note(WideEvent{Kind: "slow_op", Shard: g, TotalUS: int64(i)})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := f.Trigger("restart", "concurrent"); err != nil {
+				t.Errorf("trigger: %v", err)
+			}
+			_ = f.Events()
+		}
+	}()
+	wg.Wait()
+	if f.Dumps() != 10 {
+		t.Errorf("Dumps = %d, want 10", f.Dumps())
+	}
+}

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 )
@@ -22,13 +24,107 @@ func JSONHandler(r *Registry) http.Handler {
 	})
 }
 
+// Health supplies the process's liveness/readiness/status views to the obs
+// mux. Any field may be nil: liveness then defaults to alive, readiness to
+// ready, and /statusz to a minimal placeholder.
+//
+// The contract: Live reports whether the process is making progress at all
+// (false means "restart me"); Ready reports whether it should receive
+// traffic right now (false while a replica is read-only, a primary is
+// self-fenced, or a shard is lagging/recovering — conditions a restart
+// would not fix), with a human-readable reason.
+type Health struct {
+	Live    func() bool
+	Ready   func() (bool, string)
+	Statusz func() any
+}
+
+// HealthzHandler answers liveness probes, and readiness probes when the
+// request carries ?probe=ready: 200 with the reason when the check passes,
+// 503 otherwise.
+func HealthzHandler(h *Health) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ok, reason := true, "ok"
+		switch {
+		case req.URL.Query().Get("probe") == "ready":
+			if h != nil && h.Ready != nil {
+				ok, reason = h.Ready()
+			}
+		default:
+			if h != nil && h.Live != nil {
+				ok = h.Live()
+				if !ok {
+					reason = "not live"
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, reason)
+	})
+}
+
+// StatuszHandler serves the status document as indented JSON.
+func StatuszHandler(h *Health) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var doc any
+		if h != nil && h.Statusz != nil {
+			doc = h.Statusz()
+		} else {
+			doc = map[string]string{"status": "no status source attached"}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// indexPage is served at the mux root so a browser landing on the obs port
+// finds everything instead of a 404.
+const indexPage = `<!DOCTYPE html>
+<html><head><title>nvref obs</title></head>
+<body>
+<h1>nvref observability</h1>
+<ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
+<li><a href="/metrics.json">/metrics.json</a> — same snapshot as JSON</li>
+<li><a href="/statusz">/statusz</a> — role, readiness, tracing, and shard status</li>
+<li><a href="/healthz">/healthz</a> — liveness probe (<a href="/healthz?probe=ready">?probe=ready</a> for readiness)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>
+</ul>
+</body></html>
+`
+
 // Mux returns a mux exposing the registry at /metrics (text) and
-// /metrics.json, plus the standard net/http/pprof profiling endpoints at
+// /metrics.json, an index page at /, default /healthz and /statusz
+// endpoints, plus the standard net/http/pprof profiling endpoints at
 // /debug/pprof/ — everything nvbench -http needs to watch a long run.
 func Mux(r *Registry) *http.ServeMux {
+	return MuxHealth(r, nil)
+}
+
+// MuxHealth is Mux with the process's health views wired into /healthz and
+// /statusz (nil h keeps the nil-safe defaults: alive, ready, placeholder
+// status).
+func MuxHealth(r *Registry, h *Health) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, indexPage)
+	})
 	mux.Handle("/metrics", Handler(r))
 	mux.Handle("/metrics.json", JSONHandler(r))
+	mux.Handle("/healthz", HealthzHandler(h))
+	mux.Handle("/statusz", StatuszHandler(h))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func muxGet(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestMuxIndexPage(t *testing.T) {
+	mux := Mux(NewRegistry())
+	rec := muxGet(t, mux, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET / = %d, want 200", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, link := range []string{"/metrics", "/metrics.json", "/statusz", "/healthz", "/debug/pprof/"} {
+		if !strings.Contains(body, link) {
+			t.Errorf("index page missing link to %s", link)
+		}
+	}
+	// Only the exact root gets the index; other unknown paths still 404.
+	if rec := muxGet(t, mux, "/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("GET /nope = %d, want 404", rec.Code)
+	}
+}
+
+func TestHealthzDefaultsAndProbes(t *testing.T) {
+	// Nil health: both probes pass.
+	mux := Mux(NewRegistry())
+	if rec := muxGet(t, mux, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("default liveness = %d, want 200", rec.Code)
+	}
+	if rec := muxGet(t, mux, "/healthz?probe=ready"); rec.Code != http.StatusOK {
+		t.Errorf("default readiness = %d, want 200", rec.Code)
+	}
+
+	// Live but not ready: the replica shape.
+	h := &Health{
+		Live:  func() bool { return true },
+		Ready: func() (bool, string) { return false, "read-only replica" },
+	}
+	mux = MuxHealth(NewRegistry(), h)
+	if rec := muxGet(t, mux, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("liveness = %d, want 200", rec.Code)
+	}
+	rec := muxGet(t, mux, "/healthz?probe=ready")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readiness = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "read-only replica") {
+		t.Errorf("readiness reason missing: %q", rec.Body.String())
+	}
+
+	// Dead process: liveness fails too.
+	h.Live = func() bool { return false }
+	if rec := muxGet(t, mux, "/healthz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("dead liveness = %d, want 503", rec.Code)
+	}
+}
+
+func TestStatuszServesDocument(t *testing.T) {
+	h := &Health{Statusz: func() any {
+		return map[string]any{"role": "primary", "ready": true}
+	}}
+	rec := muxGet(t, MuxHealth(NewRegistry(), h), "/statusz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /statusz = %d, want 200", rec.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("statusz is not JSON: %v", err)
+	}
+	if doc["role"] != "primary" {
+		t.Errorf("statusz doc = %v", doc)
+	}
+
+	// No source attached: placeholder, still JSON.
+	rec = muxGet(t, Mux(NewRegistry()), "/statusz")
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("placeholder statusz is not JSON: %v", err)
+	}
+}

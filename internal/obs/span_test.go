@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestSpanRecorderRingOrderAndWrap(t *testing.T) {
+	r := NewSpanRecorder(4, nil)
+	for i := 0; i < 6; i++ {
+		r.Record(Span{Trace: uint64(i + 1), Stage: "execute", Shard: 0})
+	}
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if s.Trace != uint64(i+3) {
+			t.Errorf("span %d trace = %d, want %d", i, s.Trace, i+3)
+		}
+		if s.Seq != uint64(i+3) {
+			t.Errorf("span %d seq = %d, want %d", i, s.Seq, i+3)
+		}
+	}
+	if r.Len() != 4 || r.Emitted() != 6 {
+		t.Errorf("Len=%d Emitted=%d, want 4, 6", r.Len(), r.Emitted())
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Emitted() != 0 {
+		t.Error("reset did not clear the recorder")
+	}
+}
+
+func TestSpanRecorderNilSafe(t *testing.T) {
+	var r *SpanRecorder
+	r.Record(Span{Stage: "execute"})
+	r.RecordTimed(1, "execute", 0, "get", 2, time.Now(), time.Microsecond)
+	r.SetSink(func(Span) {})
+	if r.Spans() != nil || r.Len() != 0 || r.Emitted() != 0 || r.SinkPanics() != 0 {
+		t.Error("nil recorder leaked state")
+	}
+	if !r.Epoch().IsZero() {
+		t.Error("nil recorder has an epoch")
+	}
+	r.Reset()
+}
+
+func TestSpanRecorderFeedsStageHistograms(t *testing.T) {
+	reg := NewRegistry()
+	r := NewSpanRecorder(16, reg)
+	for i := 0; i < 3; i++ {
+		r.RecordTimed(1, "queue_wait", 0, "put", 5, time.Now(), 7*time.Microsecond)
+	}
+	r.RecordTimed(1, "execute", 0, "put", 5, time.Now(), 3*time.Microsecond)
+	snap := reg.Snapshot()
+	var sawQueue, sawExec bool
+	for _, s := range snap.Series {
+		if s.Type != "histogram" {
+			continue
+		}
+		switch s.Name {
+		case "trace_stage_queue_wait_us":
+			sawQueue = true
+			if s.Value != 3 {
+				t.Errorf("queue_wait count = %d, want 3", s.Value)
+			}
+		case "trace_stage_execute_us":
+			sawExec = true
+			if s.Value != 1 {
+				t.Errorf("execute count = %d, want 1", s.Value)
+			}
+		}
+	}
+	if !sawQueue || !sawExec {
+		t.Fatalf("stage histograms missing (queue=%v exec=%v)", sawQueue, sawExec)
+	}
+}
+
+func TestSpanRecorderSinkPanicContained(t *testing.T) {
+	r := NewSpanRecorder(8, nil)
+	calls := 0
+	r.SetSink(func(Span) {
+		calls++
+		panic("sink exploded")
+	})
+	r.Record(Span{Stage: "execute"}) // must not propagate the panic
+	if r.SinkPanics() != 1 {
+		t.Fatalf("SinkPanics = %d, want 1", r.SinkPanics())
+	}
+	r.Record(Span{Stage: "execute"}) // sink detached: not called again
+	if calls != 1 {
+		t.Fatalf("panicking sink called %d times, want 1", calls)
+	}
+	if r.Len() != 2 {
+		t.Errorf("spans lost around the panic: Len = %d, want 2", r.Len())
+	}
+}
+
+// TestSpanRecorderConcurrent hammers Record, Spans, SetSink, and the
+// registry-backed histograms from many goroutines. Run with -race.
+func TestSpanRecorderConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	r := NewSpanRecorder(256, reg)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				r.RecordTimed(uint64(g+1), "execute", g, "put", uint64(i), time.Now(), time.Microsecond)
+			}
+		}(g)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Spans()
+			_ = r.Len()
+			r.SetSink(func(Span) {})
+			r.SetSink(nil)
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := r.Emitted(); got != 2000 {
+		t.Fatalf("Emitted = %d, want 2000", got)
+	}
+	spans := r.Spans()
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Seq != spans[i-1].Seq+1 {
+			t.Fatal("sequence numbers not contiguous")
+		}
+	}
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	spans := []Span{
+		{Trace: 1, Seq: 1, Stage: "server_decode", Shard: -1, Op: "put", Key: 42, StartNS: 100, DurNS: 7},
+		{Trace: 1, Seq: 2, Stage: "execute", Shard: 0, Op: "put", Key: 42, StartNS: 120, DurNS: 900},
+		{Trace: 0, Seq: 3, Stage: "repl_ship", Shard: 1, Op: "replicate", StartNS: 500, DurNS: 30},
+	}
+	var buf bytes.Buffer
+	if err := WriteSpanJSONL(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpanJSONL(strings.NewReader(buf.String() + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("round trip lost spans: %d != %d", len(got), len(spans))
+	}
+	for i := range spans {
+		if got[i] != spans[i] {
+			t.Errorf("span %d: %+v != %+v", i, got[i], spans[i])
+		}
+	}
+	if _, err := ReadSpanJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed span line accepted")
+	}
+}
+
+// TestSpanJSONLGolden pins the span wire schema: external consumers parse
+// these lines, so field names and shapes may only change deliberately
+// (re-bless with -update).
+func TestSpanJSONLGolden(t *testing.T) {
+	r := NewSpanRecorder(8, nil)
+	r.Record(Span{Trace: 0xDEADBEEF, Stage: "server_decode", Shard: -1, Op: "put", Key: 42, StartNS: 1000, DurNS: 350})
+	r.Record(Span{Trace: 0xDEADBEEF, Stage: "queue_wait", Shard: 1, Op: "put", Key: 42, StartNS: 1400, DurNS: 90})
+	r.Record(Span{Trace: 0xDEADBEEF, Stage: "execute", Shard: 1, Op: "put", Key: 42, StartNS: 1500, DurNS: 2100})
+	r.Record(Span{Trace: 0, Stage: "oplog_flush", Shard: 1, Op: "apply", StartNS: 9000, DurNS: 400})
+	var buf bytes.Buffer
+	if err := WriteSpanJSONL(&buf, r.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "spans.golden.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to bless)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("span JSONL schema drifted from golden:\ngot:\n%swant:\n%s", buf.Bytes(), want)
+	}
+}

@@ -111,12 +111,13 @@ type Event struct {
 // output preserves event order even when a Context is (incorrectly but
 // commonly) shared across goroutines.
 type Tracer struct {
-	mu      sync.Mutex
-	ring    []Event
-	next    int
-	wrapped bool
-	seq     uint64
-	sink    func(Event)
+	mu         sync.Mutex
+	ring       []Event
+	next       int
+	wrapped    bool
+	seq        uint64
+	sink       func(Event)
+	sinkPanics uint64
 }
 
 // DefaultTraceCapacity bounds the ring when callers do not choose one.
@@ -132,11 +133,22 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // SetSink forwards every subsequent event to fn (nil detaches). The sink is
-// called with the lock held: keep it fast.
+// called with the lock held: keep it fast. A sink that panics is detached
+// and counted (SinkPanics) — tracing must never take the traced run down.
 func (t *Tracer) SetSink(fn func(Event)) {
 	t.mu.Lock()
 	t.sink = fn
 	t.mu.Unlock()
+}
+
+// SinkPanics returns how many sinks were detached after panicking.
+func (t *Tracer) SinkPanics() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkPanics
 }
 
 // Emit records one event, assigning its sequence number.
@@ -154,9 +166,20 @@ func (t *Tracer) Emit(e Event) {
 		t.wrapped = true
 	}
 	if t.sink != nil {
-		t.sink(e)
+		t.callSink(e)
 	}
 	t.mu.Unlock()
+}
+
+// callSink runs the sink with panic containment (caller holds the lock).
+func (t *Tracer) callSink(e Event) {
+	defer func() {
+		if p := recover(); p != nil {
+			t.sink = nil
+			t.sinkPanics++
+		}
+	}()
+	t.sink(e)
 }
 
 // Events returns the retained events in emission order.

@@ -94,6 +94,70 @@ func TestTracerConcurrentEmit(t *testing.T) {
 	}
 }
 
+func TestTracerSinkPanicContained(t *testing.T) {
+	tr := NewTracer(8)
+	calls := 0
+	tr.SetSink(func(Event) {
+		calls++
+		panic("sink exploded")
+	})
+	tr.Emit(Event{Kind: EvLoad}) // must not propagate
+	if tr.SinkPanics() != 1 {
+		t.Fatalf("SinkPanics = %d, want 1", tr.SinkPanics())
+	}
+	tr.Emit(Event{Kind: EvLoad}) // detached: not called again
+	if calls != 1 {
+		t.Fatalf("panicking sink called %d times, want 1", calls)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("events lost around the panic: Len = %d, want 2", tr.Len())
+	}
+}
+
+// TestTracerConcurrentEmitEventsSetSink races emitters against snapshot
+// readers and sink swaps. Run with -race.
+func TestTracerConcurrentEmitEventsSetSink(t *testing.T) {
+	tr := NewTracer(128)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 300; i++ {
+				tr.Emit(Event{Kind: EvStore, Cycle: uint64(i)})
+			}
+		}()
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tr.Events()
+			_ = tr.Len()
+			tr.SetSink(func(Event) {})
+			tr.SetSink(nil)
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if tr.Emitted() != 1200 {
+		t.Fatalf("Emitted = %d, want 1200", tr.Emitted())
+	}
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatal("sequence numbers not contiguous")
+		}
+	}
+}
+
 func TestJSONLRoundTrip(t *testing.T) {
 	events := []Event{
 		{Seq: 1, Cycle: 10, Mode: "HW", Kind: EvLoadPtr, P: 0x8000000100000010, Off: 8, Val: 42, Res: 43, Conv: ConvRelToAbs},

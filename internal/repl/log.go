@@ -124,6 +124,16 @@ func (l *Log) FlushedSeq() uint64 {
 	return l.flushed
 }
 
+// Unflushed returns how many appended records the durable image does not
+// yet cover — the write-behind a crash right now would replay or lose.
+// Zero for a volatile (nil-store) log, whose flushed watermark tracks the
+// tail.
+func (l *Log) Unflushed() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last - l.flushed
+}
+
 // BaseSeq returns the oldest retained sequence number (0 when the log
 // holds no records).
 func (l *Log) BaseSeq() uint64 {

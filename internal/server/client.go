@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"nvref/internal/obs"
 	"nvref/internal/repl"
 )
 
@@ -25,6 +26,8 @@ type Client struct {
 	buf     []byte
 	timeout time.Duration
 	ttl     uint32
+	sampler *traceSampler
+	spans   *obs.SpanRecorder
 }
 
 // DefaultTimeout is the I/O deadline applied to each send and receive
@@ -60,6 +63,19 @@ func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
 // instead of executing an operation still queued past its budget.
 func (c *Client) SetTTL(ttlMS uint32) { c.ttl = ttlMS }
 
+// SetTraceSample makes the client attach a sampled trace envelope to
+// roughly rate (in (0, 1]) of subsequent requests that do not already
+// carry one; rate <= 0 disables client-side sampling. The seed spreads
+// trace IDs across clients so concurrent workers never collide.
+func (c *Client) SetTraceSample(rate float64, seed uint64) {
+	c.sampler = newTraceSampler(rate, seed)
+}
+
+// SetSpanRecorder attaches a recorder for client_send spans of sampled
+// requests (nil disables client-side span recording; the envelope is
+// still sent, so server-side spans keep their trace ID).
+func (c *Client) SetSpanRecorder(r *obs.SpanRecorder) { c.spans = r }
+
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
@@ -67,10 +83,20 @@ func (c *Client) stamp(req *Request) *Request {
 	if c.ttl > 0 && req.TTLms == 0 {
 		req.TTLms = c.ttl
 	}
+	if req.Trace == 0 && c.sampler != nil {
+		if id, ok := c.sampler.next(); ok {
+			req.Trace, req.Sampled = id, true
+		}
+	}
 	return req
 }
 
 func (c *Client) send(req *Request) error {
+	var start time.Time
+	traced := req.Sampled && c.spans != nil
+	if traced {
+		start = time.Now()
+	}
 	body, err := AppendRequest(c.buf[:0], req)
 	if err != nil {
 		return err
@@ -84,7 +110,13 @@ func (c *Client) send(req *Request) error {
 	if err := WriteFrame(c.bw, body); err != nil {
 		return err
 	}
-	return c.bw.Flush()
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	if traced {
+		c.spans.RecordTimed(req.Trace, StageClientSend, -1, opName(req.Op), req.Key, start, time.Since(start))
+	}
+	return nil
 }
 
 func (c *Client) recv(req *Request) (*Reply, error) {
@@ -110,6 +142,11 @@ func (c *Client) roundTrip(req *Request) (*Reply, error) {
 	}
 	return c.recv(req)
 }
+
+// Do sends an arbitrary request and waits for its reply — the escape
+// hatch for callers that need full control of the envelope fields (an
+// explicit trace ID, a gate plus a deadline, a hand-built batch).
+func (c *Client) Do(req *Request) (*Reply, error) { return c.roundTrip(req) }
 
 // Get reads a key.
 func (c *Client) Get(key uint64) (uint64, bool, error) {
@@ -232,7 +269,13 @@ func (p *Pipeline) add(req *Request) {
 	if p.err != nil {
 		return
 	}
-	body, err := AppendRequest(nil, p.c.stamp(req))
+	req = p.c.stamp(req)
+	var start time.Time
+	traced := req.Sampled && p.c.spans != nil
+	if traced {
+		start = time.Now()
+	}
+	body, err := AppendRequest(nil, req)
 	if err != nil {
 		p.err = err
 		return
@@ -240,6 +283,11 @@ func (p *Pipeline) add(req *Request) {
 	if err := WriteFrame(p.c.bw, body); err != nil {
 		p.err = err
 		return
+	}
+	if traced {
+		// Covers encode + the buffered write; the shared flush in Run is
+		// not attributable to any single pipelined request.
+		p.c.spans.RecordTimed(req.Trace, StageClientSend, -1, opName(req.Op), req.Key, start, time.Since(start))
 	}
 	p.reqs = append(p.reqs, req)
 }

@@ -1,0 +1,104 @@
+package server
+
+// Health probes and the /statusz document. The contract separates two
+// questions an orchestrator asks:
+//
+//   - Live: is the process making progress at all? False means "restart
+//     me" — only Close flips it, since a crashed shard worker is the
+//     supervisor's job, not the restart loop's.
+//   - Ready: should this instance receive client traffic right now? False
+//     while the instance would refuse or mis-serve requests for reasons a
+//     restart cannot fix: a read-only replica, a self-fenced primary, a
+//     shard that is recovering, wedged, or behind its breaker.
+//
+// obs.MuxHealth serves both under /healthz and the full Statusz document
+// under /statusz.
+
+import "fmt"
+
+// Live reports process liveness: true until Close.
+func (s *Server) Live() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
+
+// Ready reports whether this instance should receive client traffic, with
+// a one-line reason when it should not.
+func (s *Server) Ready() (bool, string) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return false, "shutting down"
+	}
+	switch s.repl.role.Load() {
+	case RoleReplica:
+		if lag := s.replLagRecords(); lag > 0 {
+			return false, fmt.Sprintf("read-only replica (%d records behind)", lag)
+		}
+		return false, "read-only replica"
+	case RolePrimary:
+		if s.writeFenced() {
+			return false, "write-fenced: replica silent past FenceAfter"
+		}
+	}
+	for _, sh := range s.shards {
+		if st := sh.state.Load(); st != stateHealthy {
+			return false, fmt.Sprintf("shard %d %s", sh.cfg.id, shardStateName(st))
+		}
+		if bs := sh.breaker.State(); bs != brClosed {
+			return false, fmt.Sprintf("shard %d breaker %s", sh.cfg.id, breakerStateName(bs))
+		}
+	}
+	return true, ""
+}
+
+// TraceStatus summarizes the tracing plane for /statusz.
+type TraceStatus struct {
+	Enabled      bool   `json:"enabled"`
+	SpansEmitted uint64 `json:"spans_emitted"`
+	SlowOpUS     int64  `json:"slow_op_us,omitempty"`
+	FlightEvents int    `json:"flight_events"`
+	FlightDumps  uint64 `json:"flight_dumps"`
+	FlightErrors uint64 `json:"flight_dump_errors"`
+	LastDump     string `json:"last_dump,omitempty"`
+}
+
+// Statusz is the operator-facing status document served at /statusz: the
+// health verdicts with their reason, the tracing plane, and the full
+// stats document.
+type Statusz struct {
+	Live        bool        `json:"live"`
+	Ready       bool        `json:"ready"`
+	ReadyReason string      `json:"ready_reason,omitempty"`
+	Fenced      bool        `json:"fenced"`
+	Trace       TraceStatus `json:"trace"`
+	Stats       Stats       `json:"stats"`
+}
+
+// CollectStatusz assembles the /statusz document.
+func (s *Server) CollectStatusz() Statusz {
+	ready, reason := s.Ready()
+	doc := Statusz{
+		Live:        s.Live(),
+		Ready:       ready,
+		ReadyReason: reason,
+		Fenced:      s.repl.role.Load() == RolePrimary && s.writeFenced(),
+		Stats:       s.CollectStats(),
+	}
+	if s.spans != nil {
+		doc.Trace = TraceStatus{
+			Enabled:      true,
+			SpansEmitted: s.spans.Emitted(),
+			SlowOpUS:     s.cfg.SlowOp.Microseconds(),
+		}
+	}
+	if s.flight != nil {
+		doc.Trace.FlightEvents = s.flight.Len()
+		doc.Trace.FlightDumps = s.flight.Dumps()
+		doc.Trace.FlightErrors = s.flight.DumpErrors()
+		doc.Trace.LastDump = s.flight.LastDump()
+	}
+	return doc
+}

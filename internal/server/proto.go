@@ -33,10 +33,15 @@
 // A request may be prefixed with a deadline envelope — `u8 OpDeadline |
 // u32 ttl_ms` — giving the server a time budget: requests still queued
 // when the budget expires are answered with StatusDeadline instead of
-// executing. A GET may additionally carry a seq-gate envelope — `u8
-// OpSeqGate | u64 seq` — the read-your-writes token checked against the
-// shard's applied sequence. Envelopes are only legal at the top level of
-// a frame, deadline first.
+// executing. Any request may additionally carry a trace envelope — `u8
+// OpTrace | u64 trace_id | u8 flags` — naming the request in the tracing
+// plane; the reply to a traced request is prefixed with a trace echo —
+// `u8 OpTrace | u64 trace_id` — before its status byte, on every
+// sub-reply of a BATCH too, so pipelined and scattered work stays
+// attributable. A GET may carry a seq-gate envelope — `u8 OpSeqGate |
+// u64 seq` — the read-your-writes token checked against the shard's
+// applied sequence. Envelopes are only legal at the top level of a
+// frame, in the order deadline, trace, gate.
 //
 // Besides OK, BadRequest, and Internal, replies carry the overload and
 // availability statuses of the self-healing tier: StatusShed (the shard's
@@ -89,7 +94,18 @@ const (
 	// instead of serving a stale read. Legal only at the top level, only on
 	// GET, and only after any OpDeadline envelope.
 	OpSeqGate byte = 11
+	// OpTrace is the tracing envelope: a nonzero 8-byte trace ID plus a
+	// flags byte (bit 0: sampled — the server records per-stage spans for
+	// the request). Legal only at the top level, after any OpDeadline and
+	// before any OpSeqGate envelope. The same byte prefixes a traced
+	// request's reply (trace echo: `u8 OpTrace | u64 trace_id`, no flags),
+	// including every sub-reply of a BATCH and every error-status reply.
+	OpTrace byte = 12
 )
+
+// traceFlagSampled marks a traced request for span recording; all other
+// flag bits are reserved and must be zero.
+const traceFlagSampled byte = 1 << 0
 
 // Reply status codes.
 const (
@@ -196,6 +212,11 @@ type Request struct {
 	// Gate, when nonzero, is the seq-gate envelope's read-your-writes
 	// token. Only legal on a top-level GET.
 	Gate uint64
+	// Trace, when nonzero, is the trace envelope's request ID; Sampled
+	// asks the server to record per-stage spans for it. Only legal on a
+	// top-level request (sub-requests inherit the batch's trace).
+	Trace   uint64
+	Sampled bool
 }
 
 // Reply is one decoded response.
@@ -213,6 +234,10 @@ type Reply struct {
 	Seq   uint64
 	// Recs are a REPLICATE reply's shipped log records.
 	Recs []repl.Record
+	// Trace, when nonzero, is the trace echo: the request's trace ID,
+	// carried back on the reply (and on every sub-reply of a BATCH) so a
+	// pipelining client can attribute each frame.
+	Trace uint64
 }
 
 // Err converts a non-OK status into an error (nil when Status is OK).
@@ -274,7 +299,8 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 
 // AppendRequest appends the wire form of req to buf, emitting the
 // deadline envelope first when the request carries a time budget, then the
-// seq-gate envelope when it carries a read-your-writes token.
+// trace envelope when it carries a trace ID, then the seq-gate envelope
+// when it carries a read-your-writes token.
 func AppendRequest(buf []byte, req *Request) ([]byte, error) {
 	if req.TTLms > 0 {
 		if req.TTLms > MaxTTLms {
@@ -282,6 +308,17 @@ func AppendRequest(buf []byte, req *Request) ([]byte, error) {
 		}
 		buf = append(buf, OpDeadline)
 		buf = binary.LittleEndian.AppendUint32(buf, req.TTLms)
+	}
+	if req.Trace != 0 {
+		buf = append(buf, OpTrace)
+		buf = binary.LittleEndian.AppendUint64(buf, req.Trace)
+		var flags byte
+		if req.Sampled {
+			flags |= traceFlagSampled
+		}
+		buf = append(buf, flags)
+	} else if req.Sampled {
+		return nil, fmt.Errorf("%w: sampled flag without a trace id", ErrProto)
 	}
 	if req.Gate > 0 {
 		if req.Op != OpGet {
@@ -321,6 +358,9 @@ func appendRequestBody(buf []byte, req *Request) ([]byte, error) {
 			}
 			if sub.Gate != 0 {
 				return nil, fmt.Errorf("%w: seq-gate envelope inside a batch", ErrProto)
+			}
+			if sub.Trace != 0 || sub.Sampled {
+				return nil, fmt.Errorf("%w: trace envelope inside a batch", ErrProto)
 			}
 			var err error
 			if buf, err = appendRequestBody(buf, sub); err != nil {
@@ -392,9 +432,9 @@ func (c *cursor) bytes(n int) ([]byte, error) {
 // claiming a huge count never earns a huge make().
 func (c *cursor) remaining() int { return len(c.b) - c.off }
 
-// DecodeRequest parses one request frame body, unwrapping an optional
-// top-level deadline envelope into Request.TTLms and an optional seq-gate
-// envelope (deadline first, then gate) into Request.Gate.
+// DecodeRequest parses one request frame body, unwrapping the optional
+// top-level envelopes (deadline first, then trace, then seq-gate) into
+// Request.TTLms, Request.Trace/Sampled, and Request.Gate.
 func DecodeRequest(body []byte) (*Request, error) {
 	c := &cursor{b: body}
 	var ttl uint32
@@ -407,6 +447,26 @@ func DecodeRequest(body []byte) (*Request, error) {
 		if ttl == 0 || ttl > MaxTTLms {
 			return nil, fmt.Errorf("%w: ttl %dms outside (0, %d]", ErrProto, ttl, MaxTTLms)
 		}
+	}
+	var trace uint64
+	var sampled bool
+	if c.off < len(body) && body[c.off] == OpTrace {
+		c.off++
+		var err error
+		if trace, err = c.u64(); err != nil {
+			return nil, err
+		}
+		if trace == 0 {
+			return nil, fmt.Errorf("%w: zero trace id", ErrProto)
+		}
+		flags, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		if flags&^traceFlagSampled != 0 {
+			return nil, fmt.Errorf("%w: unknown trace flags %#x", ErrProto, flags)
+		}
+		sampled = flags&traceFlagSampled != 0
 	}
 	var gate uint64
 	if c.off < len(body) && body[c.off] == OpSeqGate {
@@ -431,6 +491,8 @@ func DecodeRequest(body []byte) (*Request, error) {
 	}
 	req.TTLms = ttl
 	req.Gate = gate
+	req.Trace = trace
+	req.Sampled = sampled
 	return req, nil
 }
 
@@ -524,8 +586,13 @@ func decodeRequest(c *cursor, allowBatch bool) (*Request, error) {
 
 // ---- Reply encoding ------------------------------------------------------
 
-// AppendReply appends the wire form of rep (for operation op) to buf.
+// AppendReply appends the wire form of rep (for operation op) to buf,
+// prefixing the trace echo when rep carries a trace ID.
 func AppendReply(buf []byte, op byte, rep *Reply) []byte {
+	if rep.Trace != 0 {
+		buf = append(buf, OpTrace)
+		buf = binary.LittleEndian.AppendUint64(buf, rep.Trace)
+	}
 	buf = append(buf, rep.Status)
 	if rep.Status != StatusOK {
 		return buf
@@ -563,8 +630,14 @@ func AppendReply(buf []byte, op byte, rep *Reply) []byte {
 }
 
 // AppendBatchReply encodes a BATCH reply; sub-reply payloads depend on the
-// sub-request ops, so the request travels along.
+// sub-request ops, so the request travels along. The batch's trace echo
+// (when rep carries one) prefixes the outer reply; each sub-reply carries
+// its own echo via AppendReply.
 func AppendBatchReply(buf []byte, req *Request, rep *Reply) []byte {
+	if rep.Trace != 0 {
+		buf = append(buf, OpTrace)
+		buf = binary.LittleEndian.AppendUint64(buf, rep.Trace)
+	}
 	buf = append(buf, rep.Status)
 	if rep.Status != StatusOK {
 		return buf
@@ -577,9 +650,11 @@ func AppendBatchReply(buf []byte, req *Request, rep *Reply) []byte {
 }
 
 // DecodeReply parses a reply frame body for a request of the given shape.
+// When the request carried a trace ID, every reply (and batch sub-reply)
+// must open with the trace echo.
 func DecodeReply(req *Request, body []byte) (*Reply, error) {
 	c := &cursor{b: body}
-	rep, err := decodeReply(c, req)
+	rep, err := decodeReply(c, req, req.Trace != 0)
 	if err != nil {
 		return nil, err
 	}
@@ -589,12 +664,28 @@ func DecodeReply(req *Request, body []byte) (*Reply, error) {
 	return rep, nil
 }
 
-func decodeReply(c *cursor, req *Request) (*Reply, error) {
+func decodeReply(c *cursor, req *Request, traced bool) (*Reply, error) {
+	var trace uint64
+	if traced {
+		op, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		if op != OpTrace {
+			return nil, fmt.Errorf("%w: traced request's reply lacks the trace echo", ErrProto)
+		}
+		if trace, err = c.u64(); err != nil {
+			return nil, err
+		}
+		if trace == 0 {
+			return nil, fmt.Errorf("%w: zero trace id in reply echo", ErrProto)
+		}
+	}
 	status, err := c.u8()
 	if err != nil {
 		return nil, err
 	}
-	rep := &Reply{Status: status}
+	rep := &Reply{Status: status, Trace: trace}
 	if status != StatusOK {
 		return rep, nil
 	}
@@ -685,7 +776,7 @@ func decodeReply(c *cursor, req *Request) (*Reply, error) {
 		}
 		rep.Sub = make([]Reply, n)
 		for i := range rep.Sub {
-			sub, err := decodeReply(c, &req.Sub[i])
+			sub, err := decodeReply(c, &req.Sub[i], traced)
 			if err != nil {
 				return nil, err
 			}

@@ -30,6 +30,13 @@ func fuzzSeeds(f *testing.F) {
 			{Op: OpPut, Key: 2, Value: 3},
 			{Op: OpScan, Key: 5, Limit: 6},
 		}},
+		{Op: OpGet, Key: 8, Trace: 0xDEADBEEF, Sampled: true},
+		{Op: OpPut, Key: 1, Value: 2, Trace: 5},
+		{Op: OpGet, Key: 8, TTLms: 20, Trace: 9, Sampled: true, Gate: 1},
+		{Op: OpBatch, Trace: 3, Sampled: true, Sub: []Request{
+			{Op: OpGet, Key: 1},
+			{Op: OpPut, Key: 2, Value: 3},
+		}},
 	}
 	for _, req := range reqs {
 		body, err := AppendRequest(nil, req)
@@ -50,6 +57,12 @@ func fuzzSeeds(f *testing.F) {
 	f.Add([]byte{5, 0, 0, 0, OpBatch, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{13, 0, 0, 0, OpScan, 1, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{1, 0})
+	// Hostile trace envelopes: zero ID, unknown flags, truncated envelope,
+	// and a trace inside a batch sub-request.
+	f.Add([]byte{19, 0, 0, 0, OpTrace, 0, 0, 0, 0, 0, 0, 0, 0, 0, OpGet, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{19, 0, 0, 0, OpTrace, 1, 0, 0, 0, 0, 0, 0, 0, 0xFF, OpGet, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{4, 0, 0, 0, OpTrace, 1, 0, 0})
+	f.Add([]byte{24, 0, 0, 0, OpBatch, 1, 0, 0, 0, OpTrace, 1, 0, 0, 0, 0, 0, 0, 0, 1, OpGet, 1, 0, 0, 0, 0, 0, 0, 0})
 }
 
 // FuzzDecodeFrame feeds arbitrary byte streams through the exact framing
@@ -90,12 +103,18 @@ func FuzzDecodeFrame(f *testing.F) {
 
 // replyFuzzReq maps a fuzzed op byte to the request shape DecodeReply
 // parses against. Batch uses a fixed two-element shape so the reply's
-// count field has something to disagree with.
+// count field has something to disagree with. The high bit selects a
+// traced request, so the fuzzer also drives the reply-echo decode path.
 func replyFuzzReq(op byte) *Request {
-	if op == OpBatch {
-		return &Request{Op: OpBatch, Sub: []Request{{Op: OpGet, Key: 1}, {Op: OpPut, Key: 2, Value: 3}}}
+	var trace uint64
+	if op&0x80 != 0 {
+		op &^= 0x80
+		trace = 7
 	}
-	return &Request{Op: op, Limit: 16}
+	if op == OpBatch {
+		return &Request{Op: OpBatch, Trace: trace, Sub: []Request{{Op: OpGet, Key: 1}, {Op: OpPut, Key: 2, Value: 3}}}
+	}
+	return &Request{Op: op, Limit: 16, Trace: trace}
 }
 
 // FuzzDecodeReply is FuzzDecodeFrame's mirror for the client half:
@@ -132,6 +151,19 @@ func FuzzDecodeReply(f *testing.F) {
 		{Status: StatusOK, Shard: 0, Seq: 3},
 	}}
 	f.Add(OpBatch, AppendBatchReply(nil, replyFuzzReq(OpBatch), &batchRep))
+	// Traced shapes: the echo prefix on a value reply, an error reply, and
+	// a batch (high bit of the op selects the traced request shape).
+	tracedGet := Reply{Status: StatusOK, Found: true, Value: 5, Trace: 7}
+	f.Add(OpGet|0x80, AppendReply(nil, OpGet, &tracedGet))
+	tracedShed := Reply{Status: StatusShed, Trace: 7}
+	f.Add(OpPut|0x80, AppendReply(nil, OpPut, &tracedShed))
+	tracedBatch := Reply{Status: StatusOK, Trace: 7, Sub: []Reply{
+		{Status: StatusOK, Found: true, Value: 10, Trace: 7},
+		{Status: StatusOK, Seq: 3, Trace: 7},
+	}}
+	f.Add(OpBatch|0x80, AppendBatchReply(nil, replyFuzzReq(OpBatch|0x80), &tracedBatch))
+	// Traced request whose reply lacks the echo: must be rejected.
+	f.Add(OpGet|0x80, []byte{StatusOK, 1, 77, 0, 0, 0, 0, 0, 0, 0})
 	// Hostile seeds: replicate reply claiming MaxReplBatch records with no
 	// bytes, scan reply with a huge count, batch count mismatch.
 	f.Add(OpReplicate, []byte{StatusOK, 9, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0, 0})

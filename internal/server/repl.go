@@ -81,6 +81,8 @@ func roleName(r int32) string {
 type ackWaiter struct {
 	ack     *atomic.Uint64 // the shard's replica-acked sequence
 	timeout time.Duration
+	spans   *obs.SpanRecorder // sampled holds record replack_hold spans
+	shard   int
 
 	mu     sync.Mutex
 	held   []heldAck // sorted by seq (worker appends are monotonic)
@@ -94,23 +96,30 @@ type heldAck struct {
 	expiry time.Time
 	resp   chan Reply
 	rep    Reply
+	trace  uint64 // nonzero: record the hold as a span on release
+	heldAt time.Time
 }
 
-func newAckWaiter(ack *atomic.Uint64, timeout time.Duration) *ackWaiter {
-	return &ackWaiter{ack: ack, timeout: timeout}
+func newAckWaiter(ack *atomic.Uint64, timeout time.Duration, spans *obs.SpanRecorder, shard int) *ackWaiter {
+	return &ackWaiter{ack: ack, timeout: timeout, spans: spans, shard: shard}
 }
 
 // hold parks (resp, rep) until release covers rep.Seq. The covered check
 // runs under the mutex so a release racing this hold cannot slip between
-// the check and the append (no lost wakeup).
-func (w *ackWaiter) hold(resp chan Reply, rep Reply) {
+// the check and the append (no lost wakeup). A nonzero trace marks a
+// sampled write whose hold duration is recorded as a replack_hold span.
+func (w *ackWaiter) hold(resp chan Reply, rep Reply, trace uint64) {
 	w.mu.Lock()
 	if w.closed || rep.Seq <= w.ack.Load() {
 		w.mu.Unlock()
 		resp <- rep
 		return
 	}
-	w.held = append(w.held, heldAck{seq: rep.Seq, expiry: time.Now().Add(w.timeout), resp: resp, rep: rep})
+	h := heldAck{seq: rep.Seq, expiry: time.Now().Add(w.timeout), resp: resp, rep: rep, trace: trace}
+	if trace != 0 && w.spans != nil {
+		h.heldAt = time.Now()
+	}
+	w.held = append(w.held, h)
 	w.mu.Unlock()
 }
 
@@ -132,6 +141,9 @@ func (w *ackWaiter) release(upTo uint64) {
 	w.mu.Unlock()
 	for _, h := range ready {
 		h.resp <- h.rep
+		if !h.heldAt.IsZero() {
+			w.spans.RecordTimed(h.trace, StageAckHold, w.shard, "", 0, h.heldAt, time.Since(h.heldAt))
+		}
 	}
 }
 
@@ -215,8 +227,12 @@ func (s *Server) Role() int32 { return s.repl.role.Load() }
 // Promotions returns how many times this server was promoted to primary.
 func (s *Server) Promotions() uint64 { return s.repl.promotions.Load() }
 
-// markReplContact records replica traffic for the liveness window.
-func (s *Server) markReplContact() { s.repl.lastPull.Store(time.Now().UnixNano()) }
+// markReplContact records replica traffic for the liveness window, and
+// re-arms the fencing trigger: renewed contact ends a fenced episode.
+func (s *Server) markReplContact() {
+	s.repl.lastPull.Store(time.Now().UnixNano())
+	s.fencedTrip.Store(false)
+}
 
 // replicaLive reports whether a replica pulled or acked recently enough
 // that holding write acks for it is worthwhile.
@@ -253,6 +269,7 @@ func (s *Server) Promote() error {
 	s.Scrub()
 	s.repl.promotions.Add(1)
 	s.logf("server: promoted to primary (applied=%v)", s.appliedSeqs())
+	s.trigger(TriggerPromotion, fmt.Sprintf("replica promoted to primary (applied=%v)", s.appliedSeqs()))
 	return nil
 }
 
@@ -279,8 +296,15 @@ func (s *Server) replicateReply(req *Request) Reply {
 		return Reply{Status: StatusBadRequest}
 	}
 	s.markReplContact()
+	var shipStart time.Time
+	if s.spans != nil {
+		shipStart = time.Now()
+	}
 	recs := sh.cfg.oplog.SinceDurable(req.Seq, req.Limit)
 	s.repl.shipped.Add(uint64(len(recs)))
+	if s.spans != nil {
+		s.spans.RecordTimed(0, StageReplShip, int(req.Shard), "replicate", 0, shipStart, time.Since(shipStart))
+	}
 	return Reply{Status: StatusOK, Shard: req.Shard, Seq: sh.cfg.oplog.LastSeq(), Recs: recs}
 }
 
@@ -416,6 +440,8 @@ func (s *Server) registerReplMetrics(reg *obs.Registry) {
 			func() uint64 { return f.pulls.Load() })
 		reg.CounterFunc("server_follower_reconnects_total", "times the follower re-dialed its primary",
 			func() uint64 { return f.reconnects.Load() })
+		reg.CounterFunc("server_follower_divergences_total", "apply batches refused for log gaps or divergence",
+			func() uint64 { return f.divergences.Load() })
 	}
 }
 
@@ -604,6 +630,9 @@ func (f *follower) round(c *Client) (progress bool, err error) {
 				if f.diverged.CompareAndSwap(false, true) {
 					f.s.logf("server: follower shard %d diverged from %s: primary ships from seq %d, applied is %d; re-seed this replica",
 						g+idx, f.addr, base, sh.applied.Load())
+					f.s.trigger(TriggerDivergence,
+						fmt.Sprintf("follower shard %d: primary ships from seq %d, applied is %d",
+							g+idx, base, sh.applied.Load()))
 				}
 				continue
 			}

@@ -291,14 +291,14 @@ func TestOplogSurvivesPowerLoss(t *testing.T) {
 
 func TestAckWaiter(t *testing.T) {
 	var ack atomic.Uint64
-	w := newAckWaiter(&ack, time.Hour)
+	w := newAckWaiter(&ack, time.Hour, nil, 0)
 
 	mkresp := func() chan Reply { return make(chan Reply, 1) }
 
 	// Covered holds deliver immediately.
 	ack.Store(5)
 	r1 := mkresp()
-	w.hold(r1, Reply{Status: StatusOK, Seq: 5})
+	w.hold(r1, Reply{Status: StatusOK, Seq: 5}, 0)
 	select {
 	case rep := <-r1:
 		if rep.Seq != 5 {
@@ -310,8 +310,8 @@ func TestAckWaiter(t *testing.T) {
 
 	// Uncovered holds park until release.
 	r2, r3 := mkresp(), mkresp()
-	w.hold(r2, Reply{Status: StatusOK, Seq: 6})
-	w.hold(r3, Reply{Status: StatusOK, Seq: 7})
+	w.hold(r2, Reply{Status: StatusOK, Seq: 6}, 0)
+	w.hold(r3, Reply{Status: StatusOK, Seq: 7}, 0)
 	if w.count() != 2 {
 		t.Fatalf("held = %d, want 2", w.count())
 	}
@@ -327,9 +327,9 @@ func TestAckWaiter(t *testing.T) {
 	}
 
 	// Sweep expires stale holds with UNAVAILABLE.
-	wFast := newAckWaiter(&ack, time.Nanosecond)
+	wFast := newAckWaiter(&ack, time.Nanosecond, nil, 0)
 	r4 := mkresp()
-	wFast.hold(r4, Reply{Status: StatusOK, Seq: 100})
+	wFast.hold(r4, Reply{Status: StatusOK, Seq: 100}, 0)
 	time.Sleep(time.Millisecond)
 	wFast.sweep(time.Now())
 	rep := <-r4
@@ -342,13 +342,13 @@ func TestAckWaiter(t *testing.T) {
 
 	// Shutdown fails holds and stops parking new ones.
 	r5 := mkresp()
-	w.hold(r5, Reply{Status: StatusOK, Seq: 50})
+	w.hold(r5, Reply{Status: StatusOK, Seq: 50}, 0)
 	w.shutdown()
 	if rep := <-r5; rep.Status != StatusUnavailable {
 		t.Fatalf("shutdown status = %d", rep.Status)
 	}
 	r6 := mkresp()
-	w.hold(r6, Reply{Status: StatusOK, Seq: 60})
+	w.hold(r6, Reply{Status: StatusOK, Seq: 60}, 0)
 	if len(r6) != 1 {
 		t.Fatal("post-shutdown hold was parked")
 	}

@@ -28,6 +28,11 @@ type RetryPolicy struct {
 	// TTLms, when nonzero, attaches a deadline envelope to every request
 	// so the server fails queued work fast instead of executing it late.
 	TTLms uint32
+	// TraceSample, when > 0, makes each underlying connection attach a
+	// sampled trace envelope to roughly that fraction of requests (see
+	// Client.SetTraceSample). Traces survive redials and failovers: the
+	// sampler lives on the policy's seed, not the connection.
+	TraceSample float64
 	// Seed drives the backoff jitter deterministically (default 1).
 	Seed uint64
 }
@@ -182,6 +187,7 @@ func (r *ResilientClient) client() (*Client, error) {
 	c := NewClient(conn)
 	c.SetTimeout(r.policy.Timeout)
 	c.SetTTL(r.policy.TTLms)
+	c.SetTraceSample(r.policy.TraceSample, r.policy.Seed)
 	r.c = c
 	return c, nil
 }

@@ -70,6 +70,27 @@ type Config struct {
 	// events (one line each).
 	Logf func(format string, args ...any)
 
+	// TraceSample, when positive, is the fraction of untraced requests the
+	// server itself samples for span recording (clients may also request
+	// sampling per request via the trace envelope). Setting any tracing
+	// option attaches the tracing plane; leaving them all zero keeps the
+	// hot path free of it.
+	TraceSample float64
+	// SlowOp, when positive, notes every operation slower than this
+	// (end to end, admission to reply hand-off) into the flight recorder
+	// as a wide event carrying its per-stage breakdown — sampled or not.
+	SlowOp time.Duration
+	// FlightDir is where flight-recorder triggers dump their JSONL
+	// snapshots (empty: the incident ring stays in memory only).
+	FlightDir string
+	// Spans, when non-nil, receives the per-stage spans of sampled
+	// requests. Defaults to a fresh recorder (over Reg) when any tracing
+	// option is set.
+	Spans *obs.SpanRecorder
+	// Flight, when non-nil, is the incident flight recorder. Defaults to a
+	// fresh recorder over FlightDir when the tracing plane is attached.
+	Flight *obs.FlightRecorder
+
 	// Role selects the replication role (default RoleStandalone: no
 	// operation log, pre-replication behavior). A primary logs every write
 	// and holds write acks for replica acknowledgment while a replica is
@@ -189,6 +210,14 @@ type Server struct {
 	errored   atomic.Uint64
 	started   time.Time
 
+	// The tracing plane (nil when no tracing option is configured).
+	spans   *obs.SpanRecorder
+	flight  *obs.FlightRecorder
+	sampler *traceSampler
+	// fencedTrip de-bounces the fencing trigger: one flight dump per
+	// fenced episode, re-armed when the replica makes contact again.
+	fencedTrip atomic.Bool
+
 	repl replState
 }
 
@@ -201,11 +230,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Role == RoleReplica && cfg.FollowAddr == "" {
 		return nil, errors.New("server: role replica requires a primary address to follow")
 	}
+	if cfg.Spans == nil && (cfg.TraceSample > 0 || cfg.SlowOp > 0 || cfg.FlightDir != "" || cfg.Flight != nil) {
+		cfg.Spans = obs.NewSpanRecorder(0, cfg.Reg)
+	}
+	if cfg.Flight == nil && cfg.Spans != nil {
+		cfg.Flight = obs.NewFlightRecorder(0, cfg.FlightDir, cfg.Spans)
+	}
 	s := &Server{
 		cfg:     cfg,
 		conns:   make(map[net.Conn]struct{}),
 		bgStop:  make(chan struct{}),
 		started: time.Now(),
+		spans:   cfg.Spans,
+		flight:  cfg.Flight,
+	}
+	if cfg.Spans != nil {
+		s.sampler = newTraceSampler(cfg.TraceSample, uint64(time.Now().UnixNano())|1)
 	}
 	s.repl.role.Store(cfg.Role)
 	for i := 0; i < cfg.Shards; i++ {
@@ -217,6 +257,12 @@ func New(cfg Config) (*Server, error) {
 			checkpointEvery: cfg.CheckpointEvery,
 			admitWait:       cfg.AdmitWait,
 			logf:            cfg.Logf,
+			spans:           cfg.Spans,
+			flight:          cfg.Flight,
+			slowOp:          cfg.SlowOp,
+		}
+		if cfg.Flight != nil {
+			sc.trigger = s.shardTrigger
 		}
 		if cfg.StoreFor != nil {
 			sc.store = cfg.StoreFor(i)
@@ -291,6 +337,31 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// trigger fires the incident flight recorder (freeze + dump) and logs the
+// outcome. Safe to call with no recorder attached.
+func (s *Server) trigger(kind, detail string) {
+	if s.flight == nil {
+		return
+	}
+	path, err := s.flight.Trigger(kind, detail)
+	switch {
+	case err != nil:
+		s.logf("flight recorder: %s trigger: %v", kind, err)
+	case path != "":
+		s.logf("flight recorder: %s: dumped %s", kind, path)
+	}
+}
+
+// shardTrigger routes shard-worker triggers, de-bouncing fencing: the first
+// refused write of a fenced episode dumps, the rest are the same incident
+// (markReplContact re-arms the trip when the replica returns).
+func (s *Server) shardTrigger(kind, detail string) {
+	if kind == TriggerFencing && !s.fencedTrip.CompareAndSwap(false, true) {
+		return
+	}
+	s.trigger(kind, detail)
+}
+
 // watchdog detects wedged workers: a shard that holds queued work but has
 // not advanced its heartbeat across a full WedgeTimeout window is declared
 // wedged, its breaker opens (new requests fail fast with UNAVAILABLE), and
@@ -332,6 +403,9 @@ func (s *Server) watchdog() {
 					sh.wedges.Add(1)
 					s.logf("shard %d: wedged (no progress for %v with %d queued); breaker open",
 						i, now.Sub(stuckSince[i]).Round(time.Millisecond), len(sh.queue))
+					s.trigger(TriggerBreakerOpen,
+						fmt.Sprintf("shard %d wedged: no progress for %v with %d queued",
+							i, now.Sub(stuckSince[i]).Round(time.Millisecond), len(sh.queue)))
 				}
 			}
 		}
@@ -409,6 +483,9 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 			reg.GaugeFunc(pfx+"repl_ack_seq", "newest replica-acknowledged sequence", func() int64 { return int64(sh.replAck.Load()) })
 			reg.GaugeFunc(pfx+"oplog_records", "retained operation-log records", func() int64 { return int64(sh.cfg.oplog.Len()) })
 			reg.GaugeFunc(pfx+"oplog_bytes", "retained operation-log bytes", func() int64 { return int64(sh.cfg.oplog.Bytes()) })
+			reg.GaugeFunc(pfx+"oplog_flushed_seq", "newest operation-log sequence flushed to the durable image", func() int64 { return int64(sh.cfg.oplog.FlushedSeq()) })
+			reg.GaugeFunc(pfx+"oplog_unflushed_records", "appended records the durable image does not yet cover", func() int64 { return int64(sh.cfg.oplog.Unflushed()) })
+			reg.CounterFunc(pfx+"degraded_acks_total", "writes acked without replica durability (replica not live)", func() uint64 { return sh.degradedAcks.Load() })
 		}
 	}
 	if s.cfg.Role != RoleStandalone {
@@ -504,8 +581,10 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 
 	type pending struct {
-		req  *Request
-		resp chan Reply
+		req     *Request
+		resp    chan Reply
+		trace   uint64
+		sampled bool
 	}
 	// fifo carries in-flight requests to the writer in arrival order.
 	fifo := make(chan pending, s.cfg.QueueDepth)
@@ -518,6 +597,20 @@ func (s *Server) handleConn(conn net.Conn) {
 			rep := <-p.resp
 			if rep.Status != StatusOK {
 				s.errored.Add(1)
+			}
+			// A traced request's reply — and every batch sub-reply — echoes
+			// the wire trace ID, whatever the status. Server-sampled traces
+			// stay server-side: the client never asked, so the echo stays
+			// off the wire.
+			if p.req.Trace != 0 {
+				rep.Trace = p.req.Trace
+				for i := range rep.Sub {
+					rep.Sub[i].Trace = p.req.Trace
+				}
+			}
+			var encStart time.Time
+			if p.sampled {
+				encStart = time.Now()
 			}
 			buf = buf[:0]
 			if p.req.Op == OpBatch {
@@ -535,6 +628,9 @@ func (s *Server) handleConn(conn net.Conn) {
 					return
 				}
 			}
+			if p.sampled {
+				s.spans.RecordTimed(p.trace, StageReplyEncode, -1, opName(p.req.Op), p.req.Key, encStart, time.Since(encStart))
+			}
 		}
 		bw.Flush()
 	}()
@@ -548,6 +644,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 
 	br := bufio.NewReader(conn)
+	traceOn := s.spans != nil
 	for {
 		body, err := ReadFrame(br)
 		if err != nil {
@@ -559,6 +656,10 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			break
 		}
+		var decStart time.Time
+		if traceOn {
+			decStart = time.Now()
+		}
 		req, err := DecodeRequest(body)
 		if err != nil {
 			// Malformed payload: answer and drop the connection.
@@ -566,8 +667,21 @@ func (s *Server) handleConn(conn net.Conn) {
 			break
 		}
 		s.requests.Add(1)
-		resp := s.dispatch(req)
-		fifo <- pending{req: req, resp: resp}
+		// The effective trace: the client's envelope, or a server-sampled
+		// ID for a fraction of untraced requests (spans only — the reply
+		// echo stays tied to the wire envelope).
+		trace, sampled := req.Trace, req.Sampled
+		if trace == 0 {
+			if id, ok := s.sampler.next(); ok {
+				trace, sampled = id, true
+			}
+		}
+		sampled = sampled && traceOn
+		if sampled {
+			s.spans.RecordTimed(trace, StageDecode, -1, opName(req.Op), req.Key, decStart, time.Since(decStart))
+		}
+		resp := s.dispatch(req, trace, sampled)
+		fifo <- pending{req: req, resp: resp, trace: trace, sampled: sampled}
 	}
 	close(fifo)
 	<-writerDone
@@ -577,7 +691,9 @@ func (s *Server) handleConn(conn net.Conn) {
 // arrive on. The reply channel is buffered so workers never block on a
 // slow connection. A request carrying a deadline envelope gets its
 // absolute deadline stamped here; admission and the worker both honor it.
-func (s *Server) dispatch(req *Request) chan Reply {
+// trace and sampled carry the effective trace identity into the shard
+// workers so every hop stamps spans under the same ID.
+func (s *Server) dispatch(req *Request, trace uint64, sampled bool) chan Reply {
 	resp := make(chan Reply, 1)
 	now := time.Now()
 	var deadline time.Time
@@ -587,15 +703,16 @@ func (s *Server) dispatch(req *Request) chan Reply {
 	switch req.Op {
 	case OpGet, OpPut, OpDelete:
 		sh := s.shards[ShardFor(req.Key, len(s.shards))]
-		sh.submit(&request{op: req.Op, key: req.Key, value: req.Value, gate: req.Gate, start: now, deadline: deadline, resp: resp})
+		sh.submit(&request{op: req.Op, key: req.Key, value: req.Value, gate: req.Gate,
+			trace: trace, sampled: sampled, start: now, deadline: deadline, resp: resp})
 	case OpReplicate:
 		resp <- s.replicateReply(req)
 	case OpReplAck:
 		resp <- s.replAckReply(req)
 	case OpScan:
-		go func() { resp <- s.scatterScan(req.Key, req.Limit, deadline) }()
+		go func() { resp <- s.scatterScan(req.Key, req.Limit, deadline, trace, sampled) }()
 	case OpBatch:
-		go func() { resp <- s.batch(req, deadline) }()
+		go func() { resp <- s.batch(req, deadline, trace, sampled) }()
 	case OpStats:
 		go func() { resp <- s.statsReply() }()
 	case OpCheckpoint:
@@ -615,12 +732,13 @@ func (s *Server) dispatch(req *Request) chan Reply {
 // scatterScan runs the range read on every shard (keys are hash-sharded,
 // so any shard may hold part of the range) and merges the ordered partial
 // results down to limit pairs.
-func (s *Server) scatterScan(start uint64, limit int, deadline time.Time) Reply {
+func (s *Server) scatterScan(start uint64, limit int, deadline time.Time, trace uint64, sampled bool) Reply {
 	parts := make([]chan Reply, len(s.shards))
 	now := time.Now()
 	for i, sh := range s.shards {
 		parts[i] = make(chan Reply, 1)
-		sh.submit(&request{op: OpScan, key: start, limit: limit, start: now, deadline: deadline, resp: parts[i]})
+		sh.submit(&request{op: OpScan, key: start, limit: limit,
+			trace: trace, sampled: sampled, start: now, deadline: deadline, resp: parts[i]})
 	}
 	var all []KV
 	for _, ch := range parts {
@@ -641,7 +759,7 @@ func (s *Server) scatterScan(start uint64, limit int, deadline time.Time) Reply 
 // order), then gathers the replies back into request order — the per-shard
 // request batching the protocol exists for. The frame's deadline envelope
 // applies to every sub-request.
-func (s *Server) batch(req *Request, deadline time.Time) Reply {
+func (s *Server) batch(req *Request, deadline time.Time, trace uint64, sampled bool) Reply {
 	resps := make([]chan Reply, len(req.Sub))
 	now := time.Now()
 	for i := range req.Sub {
@@ -650,11 +768,12 @@ func (s *Server) batch(req *Request, deadline time.Time) Reply {
 		switch sub.Op {
 		case OpGet, OpPut, OpDelete:
 			sh := s.shards[ShardFor(sub.Key, len(s.shards))]
-			sh.submit(&request{op: sub.Op, key: sub.Key, value: sub.Value, start: now, deadline: deadline, resp: resps[i]})
+			sh.submit(&request{op: sub.Op, key: sub.Key, value: sub.Value,
+				trace: trace, sampled: sampled, start: now, deadline: deadline, resp: resps[i]})
 		case OpScan:
 			ch := resps[i]
 			sub := sub
-			go func() { ch <- s.scatterScan(sub.Key, sub.Limit, deadline) }()
+			go func() { ch <- s.scatterScan(sub.Key, sub.Limit, deadline, trace, sampled) }()
 		default:
 			resps[i] <- Reply{Status: StatusBadRequest}
 		}

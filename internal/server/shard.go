@@ -81,9 +81,14 @@ type request struct {
 	ctl        byte
 	wedge      time.Duration // ctlWedge only
 	recs       []repl.Record // ctlApply only
-	start      time.Time
-	deadline   time.Time // zero means no deadline
-	resp       chan Reply
+	// trace is the effective trace ID (client envelope or server-sampled);
+	// sampled asks the worker to record per-stage spans under it. The reply
+	// echo is handled at the connection writer, keyed on the wire envelope.
+	trace    uint64
+	sampled  bool
+	start    time.Time
+	deadline time.Time // zero means no deadline
+	resp     chan Reply
 }
 
 // shardConfig parameterizes one engine shard.
@@ -98,6 +103,12 @@ type shardConfig struct {
 	sched           fault.Scheduler // per-shard; evaluated at CrashPointOp
 	latency         *obs.Histogram  // queue+service latency, microseconds
 	logf            func(format string, args ...any)
+
+	// Tracing plane (all nil/zero when tracing is not configured).
+	spans   *obs.SpanRecorder          // per-stage spans of sampled requests
+	flight  *obs.FlightRecorder        // wide events (slow ops) + incident dumps
+	slowOp  time.Duration              // ops slower than this emit a wide event
+	trigger func(kind, detail string)  // flight-recorder trigger hook
 
 	// Replication plumbing (all nil/zero on a standalone server).
 	oplog       *repl.Log     // per-shard operation log; nil disables replication
@@ -154,6 +165,7 @@ type shard struct {
 	laggingReads    atomic.Uint64 // GETs refused because the gate token was ahead
 	readOnlyRejects atomic.Uint64 // writes refused while serving as replica
 	fencedWrites    atomic.Uint64 // primary writes refused while self-fenced
+	slowOps         atomic.Uint64 // ops that exceeded the slow-op threshold
 
 	// abort, when true at drain time, suppresses the final checkpoint —
 	// the simulated kill -9 path.
@@ -171,7 +183,7 @@ func newShard(cfg shardConfig, br *breaker) (*shard, error) {
 		breaker: br,
 	}
 	if cfg.oplog != nil {
-		sh.waiter = newAckWaiter(&sh.replAck, cfg.ackTimeout)
+		sh.waiter = newAckWaiter(&sh.replAck, cfg.ackTimeout, cfg.spans, cfg.id)
 	}
 	sh.beat()
 	if err := sh.open(); err != nil {
@@ -380,6 +392,9 @@ func (sh *shard) recoverWorker(crash any) {
 	sh.restarts.Add(1)
 	sh.state.Store(stateHealthy)
 	sh.breaker.Reset()
+	if sh.cfg.trigger != nil {
+		sh.cfg.trigger(TriggerRestart, fmt.Sprintf("shard %d worker restarted after panic: %v", sh.cfg.id, crash))
+	}
 }
 
 // failPending answers UNAVAILABLE on every request of the interrupted
@@ -525,11 +540,31 @@ func (sh *shard) handle(req *request) {
 		req.resp <- Reply{Status: StatusOK}
 		return
 	case ctlApply:
-		req.resp <- sh.applyRecords(req.recs)
+		var applyStart time.Time
+		if sh.cfg.spans != nil {
+			applyStart = time.Now()
+		}
+		rep := sh.applyRecords(req.recs)
+		if sh.cfg.spans != nil {
+			sh.cfg.spans.RecordTimed(0, StageReplApply, sh.cfg.id, "apply", 0, applyStart, time.Since(applyStart))
+		}
+		req.resp <- rep
 		return
 	}
 	if sh.cfg.sched != nil && sh.cfg.sched.Hit(CrashPointOp) {
 		sh.crashAndRecover()
+	}
+	// Stage timing: sampled requests record spans; with a slow-op threshold
+	// every data request is timed (cheaply — two clock reads) so a slow one
+	// can report its breakdown even when unsampled.
+	timed := sh.cfg.spans != nil && !req.start.IsZero() && (req.sampled || sh.cfg.slowOp > 0)
+	var execStart time.Time
+	if timed {
+		execStart = time.Now()
+		if req.sampled {
+			sh.cfg.spans.RecordTimed(req.trace, StageQueueWait, sh.cfg.id, opName(req.op), req.key,
+				req.start, execStart.Sub(req.start))
+		}
 	}
 	if !req.deadline.IsZero() && time.Now().After(req.deadline) {
 		sh.deadlineDrops.Add(1)
@@ -550,6 +585,10 @@ func (sh *shard) handle(req *request) {
 		if (req.op == OpPut || req.op == OpDelete) && sh.roleIs(RolePrimary) &&
 			sh.cfg.fenced != nil && sh.cfg.fenced() {
 			sh.fencedWrites.Add(1)
+			if sh.cfg.trigger != nil {
+				sh.cfg.trigger(TriggerFencing,
+					fmt.Sprintf("shard %d refused a write while self-fenced (replica silent)", sh.cfg.id))
+			}
 			req.resp <- Reply{Status: StatusReadOnly}
 			return
 		}
@@ -563,6 +602,7 @@ func (sh *shard) handle(req *request) {
 	}
 	var rep Reply
 	rep.Status = StatusOK
+	var appendDur time.Duration
 	switch req.op {
 	case OpGet:
 		rep.Value, rep.Found = sh.st.Get(req.key)
@@ -571,7 +611,14 @@ func (sh *shard) handle(req *request) {
 		// Write-ahead order: the record enters the log before the store
 		// mutates, so a recovered shard never holds an unlogged write.
 		if sh.cfg.oplog != nil {
+			var appendStart time.Time
+			if timed {
+				appendStart = time.Now()
+			}
 			rec := sh.cfg.oplog.Append(repl.RecPut, req.key, req.value)
+			if timed {
+				appendDur = time.Since(appendStart)
+			}
 			rep.Shard, rep.Seq = uint32(sh.cfg.id), rec.Seq
 		}
 		sh.st.Set(req.key, req.value)
@@ -581,7 +628,14 @@ func (sh *shard) handle(req *request) {
 		}
 	case OpDelete:
 		if sh.cfg.oplog != nil {
+			var appendStart time.Time
+			if timed {
+				appendStart = time.Now()
+			}
 			rec := sh.cfg.oplog.Append(repl.RecDelete, req.key, 0)
+			if timed {
+				appendDur = time.Since(appendStart)
+			}
 			rep.Shard, rep.Seq = uint32(sh.cfg.id), rec.Seq
 		}
 		rep.Found, _ = sh.st.Delete(req.key)
@@ -599,6 +653,40 @@ func (sh *shard) handle(req *request) {
 		rep = Reply{Status: StatusBadRequest}
 	}
 	sh.ops.Add(1)
+	if timed {
+		// The stages are disjoint (execute excludes the op-log append), so a
+		// trace's stage durations sum to at most its end-to-end latency.
+		execDur := time.Since(execStart) - appendDur
+		if req.sampled {
+			if appendDur > 0 {
+				sh.cfg.spans.RecordTimed(req.trace, StageOplogAppend, sh.cfg.id, opName(req.op), req.key,
+					execStart, appendDur)
+			}
+			sh.cfg.spans.RecordTimed(req.trace, StageExecute, sh.cfg.id, opName(req.op), req.key,
+				execStart, execDur)
+		}
+		if sh.cfg.slowOp > 0 {
+			if e2e := time.Since(req.start); e2e >= sh.cfg.slowOp {
+				sh.slowOps.Add(1)
+				ev := obs.WideEvent{
+					Kind:    "slow_op",
+					Trace:   req.trace,
+					Shard:   sh.cfg.id,
+					Op:      opName(req.op),
+					Key:     req.key,
+					TotalUS: e2e.Microseconds(),
+					StagesUS: map[string]int64{
+						StageQueueWait: execStart.Sub(req.start).Microseconds(),
+						StageExecute:   execDur.Microseconds(),
+					},
+				}
+				if appendDur > 0 {
+					ev.StagesUS[StageOplogAppend] = appendDur.Microseconds()
+				}
+				sh.cfg.flight.Note(ev)
+			}
+		}
+	}
 	if sh.cfg.latency != nil && !req.start.IsZero() {
 		sh.cfg.latency.Observe(uint64(time.Since(req.start).Microseconds()))
 	}
@@ -618,7 +706,11 @@ func (sh *shard) roleIs(r int32) bool {
 func (sh *shard) deliver(req *request, rep Reply) {
 	if rep.Status == StatusOK && rep.Seq != 0 && sh.roleIs(RolePrimary) {
 		if sh.cfg.replicaLive != nil && sh.cfg.replicaLive() {
-			sh.waiter.hold(req.resp, rep)
+			var trace uint64
+			if req.sampled {
+				trace = req.trace
+			}
+			sh.waiter.hold(req.resp, rep, trace)
 			return
 		}
 		sh.degradedAcks.Add(1)
@@ -679,7 +771,14 @@ func (sh *shard) applyRecords(recs []repl.Record) Reply {
 	}
 	ack := applied
 	if appended {
+		var flushStart time.Time
+		if sh.cfg.spans != nil {
+			flushStart = time.Now()
+		}
 		_ = sh.cfg.oplog.Flush() // error: ack only the durable prefix below
+		if sh.cfg.spans != nil {
+			sh.cfg.spans.RecordTimed(0, StageOplogFlush, sh.cfg.id, "apply", 0, flushStart, time.Since(flushStart))
+		}
 		if fl := sh.cfg.oplog.FlushedSeq(); fl < ack {
 			ack = fl
 		}
@@ -739,7 +838,14 @@ func (sh *shard) checkpoint() error {
 				through = ra
 			}
 		}
+		var flushStart time.Time
+		if sh.cfg.spans != nil {
+			flushStart = time.Now()
+		}
 		_ = sh.cfg.oplog.TruncateThrough(through)
+		if sh.cfg.spans != nil {
+			sh.cfg.spans.RecordTimed(0, StageOplogFlush, sh.cfg.id, "checkpoint", 0, flushStart, time.Since(flushStart))
+		}
 	}
 	return nil
 }
@@ -798,6 +904,7 @@ type ShardStats struct {
 	DeadlineDrops uint64 `json:"deadline_drops"`
 	Scrubs        uint64 `json:"scrubs"`
 	ScrubIssues   uint64 `json:"scrub_issues"`
+	SlowOps       uint64 `json:"slow_ops"`
 	BreakerOpens  uint64 `json:"breaker_opens"`
 	FsckErrors    uint64 `json:"fsck_errors"`
 	FsckWarns     uint64 `json:"fsck_warns"`
@@ -891,6 +998,7 @@ func (sh *shard) stats() ShardStats {
 		DeadlineDrops: sh.deadlineDrops.Load(),
 		Scrubs:        sh.scrubs.Load(),
 		ScrubIssues:   sh.scrubIssues.Load(),
+		SlowOps:       sh.slowOps.Load(),
 		BreakerOpens:  sh.breaker.Opens(),
 		FsckErrors:    sh.fsckErrors.Load(),
 		FsckWarns:     sh.fsckWarns.Load(),

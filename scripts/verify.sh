@@ -61,8 +61,18 @@ go run ./cmd/nvbench -experiment resilience -quick
 go test -race -run 'TestReplicationSmoke' ./internal/bench/
 go run ./cmd/nvbench -experiment replication -quick
 
+# Tracing leg: the request-scoped tracing plane under the race detector —
+# envelope codec, echo discipline, span/flight recorders, health probes —
+# then the nvbench gate: every echo returns, per-trace stage sums fit
+# inside the measured e2e latency, a killed primary leaves a
+# promotion-triggered flight dump, and the disabled plane costs < 2%.
+go test -race -run 'Trace|Span|Flight|Health|Statusz|Readiness|Fenced|Promotion|SlowOp' \
+	./internal/obs/ ./internal/server/ ./internal/bench/
+go run ./cmd/nvbench -experiment trace -quick
+
 # Fuzz smoke over both halves of the wire codec: malformed frames and
 # replies must be rejected with protocol errors, never a panic or
-# unbounded allocation.
+# unbounded allocation. The seed corpora cover the trace envelope and the
+# reply echo on both the request and reply sides.
 go test -run='^$' -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/server/
 go test -run='^$' -fuzz=FuzzDecodeReply -fuzztime=10s ./internal/server/

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test fuzz verify bench faults resilience repl serve
+.PHONY: build test fuzz verify bench faults resilience repl cluster serve
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ resilience:
 # acked-write loss across the failover.
 repl:
 	$(GO) run ./cmd/nvbench -experiment replication
+
+# Cluster gate: a node joins a loaded cluster mid-stream, slots migrate
+# live behind MOVED redirects — zero acked-write loss, zero stale-epoch
+# writes.
+cluster:
+	$(GO) run ./cmd/nvbench -experiment cluster
 
 # Run the sharded KV daemon with persistent pools and the metrics mux.
 serve:

@@ -24,10 +24,11 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve, resilience, replication, trace")
+		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve, resilience, replication, trace, cluster")
 	quick := flag.Bool("quick", false, "run the scaled-down workload")
 	format := flag.String("format", "table", "output format: table, csv (fig11, fig13, fig14, fig15, table5, knn, scaling), or json (full measurement document)")
 	httpAddr := flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running (e.g. localhost:9090)")
+	benchLog := flag.Bool("benchlog", true, "append throughput/p99 trajectory points to BENCH_<experiment>.json (serve, cluster)")
 	flag.Parse()
 
 	cfg := bench.PaperRunConfig()
@@ -53,7 +54,11 @@ func main() {
 	case *experiment == "serve":
 		// The serve experiment drives the nvserved tier rather than the
 		// single-context harness; it has its own table and JSON forms.
-		err = serve(*quick, *format == "json")
+		err = serve(*quick, *format == "json", *benchLog)
+	case *experiment == "cluster":
+		// The cluster experiment drives a multi-node cluster with a node
+		// joining mid-stream and slots migrating live under load.
+		err = clusterExp(*quick, *format == "json", *benchLog)
 	case *experiment == "replication":
 		// The replication experiment drives a primary/replica pair:
 		// in-process servers, real sockets, a real kill and promotion.
@@ -199,7 +204,7 @@ func run(experiment string, cfg bench.RunConfig) error {
 
 // serve runs the nvserved closed-loop shard sweep plus the kill/restart
 // recovery leg, and enforces the experiment's acceptance gates.
-func serve(quick, asJSON bool) error {
+func serve(quick, asJSON, benchLog bool) error {
 	res, err := bench.RunServe(bench.ServeSpecFor(quick))
 	if err != nil {
 		return err
@@ -211,9 +216,42 @@ func serve(quick, asJSON bool) error {
 	} else {
 		bench.WriteServe(os.Stdout, res)
 	}
+	if benchLog && len(res.Points) > 0 {
+		// The trajectory records the largest shard count's point — the
+		// configuration the speedup gate is about.
+		best := res.Points[len(res.Points)-1]
+		appendTrajectory("serve", best.WallOpsPerSec, best.P99us)
+	}
 	if !res.Pass() {
 		return fmt.Errorf("serve acceptance failed: speedup=%.2fx recovered=%v",
 			res.SimSpeedup, res.Recovery.Recovered)
+	}
+	return nil
+}
+
+// clusterExp runs the scale-out experiment: a node joins a loaded cluster
+// mid-stream, slots migrate live, clients follow MOVED redirects, and the
+// gates demand zero acked-write loss and zero stale-epoch writes.
+func clusterExp(quick, asJSON, benchLog bool) error {
+	res, err := bench.RunCluster(bench.ClusterSpecFor(quick))
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		if err := bench.WriteClusterJSON(os.Stdout, res); err != nil {
+			return err
+		}
+	} else {
+		bench.WriteCluster(os.Stdout, res)
+	}
+	if benchLog {
+		appendTrajectory("cluster", res.OpsPerSec, res.P99us)
+	}
+	if !res.Pass() {
+		return fmt.Errorf("cluster acceptance failed: migrated=%d joinerSlots=%d epoch=%d->%d refreshes=%d stale=%d fencedLeft=%d lost=%d missing=%d",
+			res.SlotsMigrated, res.JoinerSlots, res.EpochBefore, res.EpochAfter,
+			res.MapRefreshes, res.StaleEpochWrites, res.FencedSlotsLeft,
+			res.LostWrites, res.MissingKeys)
 	}
 	return nil
 }

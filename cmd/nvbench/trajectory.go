@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// trajPoint is one entry of a BENCH_<experiment>.json performance
+// trajectory: when the experiment ran, at which commit, and the two
+// headline numbers every serving-tier experiment shares.
+type trajPoint struct {
+	Date      string  `json:"date"`
+	Commit    string  `json:"commit,omitempty"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P99us     float64 `json:"p99_us"`
+}
+
+// trajectoryCap bounds a trajectory file; older points roll off.
+const trajectoryCap = 50
+
+// appendTrajectory appends one point to BENCH_<name>.json in the current
+// directory so successive runs accumulate a perf trajectory reviewable in
+// version control. Failures are reported but never fail the experiment —
+// the trajectory is a byproduct, not a gate.
+func appendTrajectory(name string, opsPerSec, p99us float64) {
+	path := "BENCH_" + name + ".json"
+	var pts []trajPoint
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &pts); err != nil {
+			fmt.Fprintf(os.Stderr, "nvbench: %s is not a trajectory, starting over: %v\n", path, err)
+			pts = nil
+		}
+	}
+	pt := trajPoint{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		OpsPerSec: opsPerSec,
+		P99us:     p99us,
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		pt.Commit = strings.TrimSpace(string(out))
+	}
+	pts = append(pts, pt)
+	if len(pts) > trajectoryCap {
+		pts = pts[len(pts)-trajectoryCap:]
+	}
+	data, err := json.MarshalIndent(pts, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvbench: encoding %s: %v\n", path, err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "nvbench: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "nvbench: appended %.0f ops/s (p99 %.0fus) to %s\n", opsPerSec, p99us, path)
+}

@@ -37,6 +37,28 @@
 // from its replica then fences itself read-only before the replica can
 // have promoted, so a network partition cannot yield two writable copies.
 //
+// Clustering scales out horizontally. Founding nodes share a bootstrap
+// map listing every founder's advertised address:
+//
+//	nvserved -addr :7070 -advertise host1:7070 -cluster-peers host1:7070,host2:7070,host3:7070
+//	nvserved -addr :7070 -advertise host2:7070 -cluster-peers host1:7070,host2:7070,host3:7070
+//	nvserved -addr :7070 -advertise host3:7070 -cluster-peers host1:7070,host2:7070,host3:7070
+//
+// Each key hashes to one of -cluster-slots slots; each slot is owned by
+// one node, and requests for keys a node does not own answer MOVED with
+// the owner's address (cluster-aware clients follow automatically). A
+// later node joins a running cluster — under live load — with:
+//
+//	nvserved -addr :7070 -advertise host4:7070 -cluster-join host1:7070
+//
+// which fetches the cluster map from the seed, computes a balanced
+// ownership target, and pulls its share of slots to itself by live
+// migration: snapshot ship, op-log catch-up, fence, final catch-up, and
+// an epoch-bumping handover that redirects clients mid-stream without
+// losing a single acknowledged write. With -data, the installed map
+// persists under <data>/cluster/ and a restarted node rejoins at its
+// last epoch.
+//
 // Observability: -trace-sample records a per-stage latency breakdown for a
 // fraction of requests (clients can also request a trace explicitly via the
 // protocol's trace envelope), -slow-op emits a structured wide event for any
@@ -61,6 +83,7 @@ import (
 	"syscall"
 	"time"
 
+	"nvref/internal/cluster"
 	"nvref/internal/obs"
 	"nvref/internal/pmem"
 	"nvref/internal/rt"
@@ -87,6 +110,10 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "server-side trace sampling rate in [0, 1]: this fraction of requests records a per-stage span breakdown (0: only client-requested traces)")
 	slowOp := flag.Duration("slow-op", 0, "log a structured wide event for any operation slower than this end to end (0: disable the slow-op log)")
 	flightDir := flag.String("flight-dir", "", "directory for incident flight-recorder JSONL dumps (empty: record in memory only)")
+	advertise := flag.String("advertise", "", "cluster address this node advertises to peers and clients (enables the cluster tier; usually the resolvable form of -addr)")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated advertised addresses of every founding node, this one included: builds the epoch-1 bootstrap map (requires -advertise)")
+	clusterSlots := flag.Int("cluster-slots", 64, "cluster map slot count used when bootstrapping with -cluster-peers")
+	clusterJoin := flag.String("cluster-join", "", "advertised address of an existing cluster node to join and rebalance from (requires -advertise; mutually exclusive with -cluster-peers)")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -106,6 +133,9 @@ func main() {
 	if *slowOp < 0 {
 		fatal(fmt.Errorf("-slow-op must not be negative, got %s (use 0 to disable)", *slowOp))
 	}
+	if err := validateClusterFlags(*advertise, *clusterPeers, *clusterJoin, *clusterSlots, r); err != nil {
+		fatal(err)
+	}
 
 	cfg := server.Config{
 		Shards:          *shards,
@@ -124,6 +154,7 @@ func main() {
 		TraceSample:     *traceSample,
 		SlowOp:          *slowOp,
 		FlightDir:       *flightDir,
+		ClusterSelf:     *advertise,
 		Reg:             obs.NewRegistry(),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "nvserved: "+format+"\n", args...)
@@ -147,6 +178,30 @@ func main() {
 				}
 				return st
 			}
+		}
+	}
+
+	if *advertise != "" {
+		if *clusterPeers != "" {
+			peers := strings.Split(*clusterPeers, ",")
+			for i := range peers {
+				peers[i] = strings.TrimSpace(peers[i])
+			}
+			m, err := cluster.New(*clusterSlots, peers)
+			if err != nil {
+				fatal(fmt.Errorf("-cluster-peers: %w", err))
+			}
+			cfg.ClusterMap = m
+		}
+		if *data != "" {
+			// The cluster map persists beside the shards so a restarted node
+			// rejoins at its last installed epoch (a newer persisted image
+			// beats the bootstrap map).
+			st, err := pmem.NewDirStore(filepath.Join(*data, "cluster"))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.ClusterStore = st
 		}
 	}
 
@@ -183,6 +238,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nvserved: %d shards (%s mode) serving on %s as replica of %s\n", *shards, m, bound, *follow)
 	} else {
 		fmt.Fprintf(os.Stderr, "nvserved: %d shards (%s mode) serving on %s as %s\n", *shards, m, bound, *role)
+	}
+	if *clusterJoin != "" {
+		// Join after the listener is up: the seed will start redirecting
+		// clients here as soon as migrated slots commit.
+		if err := srv.JoinCluster(*clusterJoin, nil); err != nil {
+			fatal(fmt.Errorf("cluster join via %s: %w", *clusterJoin, err))
+		}
+		moved, err := srv.Rebalance(nil)
+		if err != nil {
+			fatal(fmt.Errorf("cluster rebalance (%d slots migrated): %w", moved, err))
+		}
+		fmt.Fprintf(os.Stderr, "nvserved: joined cluster via %s, migrated %d slot(s) in\n", *clusterJoin, moved)
+	} else if *advertise != "" {
+		fmt.Fprintf(os.Stderr, "nvserved: cluster node %s\n", *advertise)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -242,6 +311,38 @@ func validateFlags(shards, queueDepth int, poolSize uint64, breakerCooldown, scr
 	}
 	if role != server.RolePrimary && fenceAfter > 0 {
 		return fmt.Errorf("-fence-after only makes sense with -role primary")
+	}
+	return nil
+}
+
+// validateClusterFlags rejects inconsistent cluster flag combinations.
+func validateClusterFlags(advertise, peers, join string, slots int, role int32) error {
+	if advertise == "" {
+		if peers != "" || join != "" {
+			return fmt.Errorf("-cluster-peers and -cluster-join require -advertise")
+		}
+		return nil
+	}
+	if role == server.RoleReplica {
+		return fmt.Errorf("-advertise (cluster tier) cannot combine with -role replica; cluster nodes are primaries")
+	}
+	if peers != "" && join != "" {
+		return fmt.Errorf("-cluster-peers (bootstrap) and -cluster-join (join existing) are mutually exclusive")
+	}
+	if peers != "" {
+		found := false
+		for _, p := range strings.Split(peers, ",") {
+			if strings.TrimSpace(p) == advertise {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("-cluster-peers must include this node's own -advertise address %q", advertise)
+		}
+		if slots < 1 {
+			return fmt.Errorf("-cluster-slots must be at least 1, got %d", slots)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,324 @@
+// Package cluster holds the data plane of the scale-out tier's control
+// state: an epoch-versioned map assigning every key slot to an owning
+// node, a CRC-protected wire/storage image for it, and the rebalance
+// planner that turns "node N joined" into an explicit list of slot moves.
+//
+// The package is deliberately free of any server or network dependency —
+// the serving tier (internal/server) imports it for routing and
+// migration, never the other way around — so the map's semantics
+// (epoch monotonicity, slot assignment, move planning) stay testable in
+// isolation.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Slot-space bounds. The slot count is fixed for a cluster's lifetime
+// (keys hash onto slots; slots move between nodes), so the bounds only
+// have to be generous enough for the deployments the serving tier
+// targets while keeping a hostile map image from forcing large
+// allocations.
+const (
+	// MaxSlots bounds a map's slot count.
+	MaxSlots = 16384
+	// MaxNodes bounds a map's node list.
+	MaxNodes = 1024
+	// MaxNodeAddr bounds one node address string.
+	MaxNodeAddr = 256
+)
+
+// mapMagic heads every encoded cluster map image.
+const mapMagic = "NVCLMAP1"
+
+// ErrBadMap reports a cluster map image that failed validation: bad
+// magic, out-of-bounds counts, a dangling owner index, or a CRC
+// mismatch.
+var ErrBadMap = errors.New("cluster: bad map image")
+
+// Map is one epoch of the cluster's slot assignment: every key hashes to
+// a slot via SlotFor, and Owner[slot] indexes the node that serves it.
+// Maps are immutable once built — WithOwner returns an edited copy at
+// the next epoch — so readers may hold a *Map without locking.
+type Map struct {
+	// Epoch orders map versions: a node or client only ever replaces its
+	// map with one of a strictly higher epoch.
+	Epoch uint64
+	// Slots is the fixed slot count keys hash onto.
+	Slots int
+	// Nodes lists the member addresses (as peers and clients dial them).
+	Nodes []string
+	// Owner maps slot -> index into Nodes.
+	Owner []uint16
+}
+
+// SlotFor maps a key onto one of slots slots with the same splitmix64
+// finalizer the shard router uses: sequential and clustered key patterns
+// spread evenly, so slot load tracks key count.
+func SlotFor(key uint64, slots int) int {
+	x := key + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(slots))
+}
+
+// New builds the epoch-1 bootstrap map: slots dealt contiguously across
+// nodes, so every node started with the same peer list computes the
+// identical map.
+func New(slots int, nodes []string) (*Map, error) {
+	if slots < 1 || slots > MaxSlots {
+		return nil, fmt.Errorf("cluster: slot count %d out of range [1, %d]", slots, MaxSlots)
+	}
+	if len(nodes) < 1 || len(nodes) > MaxNodes {
+		return nil, fmt.Errorf("cluster: node count %d out of range [1, %d]", len(nodes), MaxNodes)
+	}
+	for _, n := range nodes {
+		if n == "" || len(n) > MaxNodeAddr {
+			return nil, fmt.Errorf("cluster: bad node address %q", n)
+		}
+	}
+	m := &Map{
+		Epoch: 1,
+		Slots: slots,
+		Nodes: append([]string(nil), nodes...),
+		Owner: make([]uint16, slots),
+	}
+	per := slots / len(nodes)
+	extra := slots % len(nodes)
+	slot := 0
+	for ni := range nodes {
+		n := per
+		if ni < extra {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			m.Owner[slot] = uint16(ni)
+			slot++
+		}
+	}
+	return m, nil
+}
+
+// OwnerOf returns the address owning slot.
+func (m *Map) OwnerOf(slot int) string { return m.Nodes[m.Owner[slot]] }
+
+// NodeIndex returns the index of addr in Nodes, or -1.
+func (m *Map) NodeIndex(addr string) int {
+	for i, n := range m.Nodes {
+		if n == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Owned counts the slots assigned to addr.
+func (m *Map) Owned(addr string) int {
+	ni := m.NodeIndex(addr)
+	if ni < 0 {
+		return 0
+	}
+	owned := 0
+	for _, o := range m.Owner {
+		if int(o) == ni {
+			owned++
+		}
+	}
+	return owned
+}
+
+// Clone returns a deep copy at the same epoch.
+func (m *Map) Clone() *Map {
+	return &Map{
+		Epoch: m.Epoch,
+		Slots: m.Slots,
+		Nodes: append([]string(nil), m.Nodes...),
+		Owner: append([]uint16(nil), m.Owner...),
+	}
+}
+
+// WithOwner returns a copy of the map at the next epoch with slot owned
+// by addr — the handover commit. An addr not yet in Nodes is appended
+// (how a joining node enters the map on its first migrated slot).
+func (m *Map) WithOwner(slot int, addr string) (*Map, error) {
+	if slot < 0 || slot >= m.Slots {
+		return nil, fmt.Errorf("cluster: slot %d out of range [0, %d)", slot, m.Slots)
+	}
+	if addr == "" || len(addr) > MaxNodeAddr {
+		return nil, fmt.Errorf("cluster: bad node address %q", addr)
+	}
+	next := m.Clone()
+	next.Epoch++
+	ni := next.NodeIndex(addr)
+	if ni < 0 {
+		if len(next.Nodes) >= MaxNodes {
+			return nil, fmt.Errorf("cluster: node count %d at limit", len(next.Nodes))
+		}
+		ni = len(next.Nodes)
+		next.Nodes = append(next.Nodes, addr)
+	}
+	next.Owner[slot] = uint16(ni)
+	return next, nil
+}
+
+// Encode renders the map as a self-validating image:
+//
+//	"NVCLMAP1" | epoch u64 | slots u32 | nodes u16 |
+//	per node: u16 len | addr bytes | per slot: owner u16 | crc32 u32
+//
+// The trailing CRC-32 (IEEE, over everything before it) makes a torn or
+// bit-flipped image detectable on its own, independent of any store-level
+// checksum.
+func (m *Map) Encode() []byte {
+	n := len(mapMagic) + 8 + 4 + 2
+	for _, node := range m.Nodes {
+		n += 2 + len(node)
+	}
+	n += 2*m.Slots + 4
+	buf := make([]byte, 0, n)
+	buf = append(buf, mapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Slots))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Nodes)))
+	for _, node := range m.Nodes {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(node)))
+		buf = append(buf, node...)
+	}
+	for _, o := range m.Owner {
+		buf = binary.LittleEndian.AppendUint16(buf, o)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// Decode parses and validates an Encode image. Every count is
+// bounds-checked before allocation and every owner index must land
+// inside the node list, so a hostile image is an ErrBadMap, never a
+// panic or an unbounded allocation.
+func Decode(data []byte) (*Map, error) {
+	if len(data) < len(mapMagic)+8+4+2+4 || string(data[:len(mapMagic)]) != mapMagic {
+		return nil, fmt.Errorf("%w: bad header", ErrBadMap)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadMap)
+	}
+	p := len(mapMagic)
+	epoch := binary.LittleEndian.Uint64(body[p:])
+	p += 8
+	slots := int(binary.LittleEndian.Uint32(body[p:]))
+	p += 4
+	nodes := int(binary.LittleEndian.Uint16(body[p:]))
+	p += 2
+	if slots < 1 || slots > MaxSlots {
+		return nil, fmt.Errorf("%w: slot count %d", ErrBadMap, slots)
+	}
+	if nodes < 1 || nodes > MaxNodes {
+		return nil, fmt.Errorf("%w: node count %d", ErrBadMap, nodes)
+	}
+	if epoch == 0 {
+		return nil, fmt.Errorf("%w: epoch 0", ErrBadMap)
+	}
+	m := &Map{Epoch: epoch, Slots: slots, Nodes: make([]string, 0, nodes)}
+	for i := 0; i < nodes; i++ {
+		if len(body)-p < 2 {
+			return nil, fmt.Errorf("%w: truncated node list", ErrBadMap)
+		}
+		n := int(binary.LittleEndian.Uint16(body[p:]))
+		p += 2
+		if n < 1 || n > MaxNodeAddr || len(body)-p < n {
+			return nil, fmt.Errorf("%w: bad node address length %d", ErrBadMap, n)
+		}
+		m.Nodes = append(m.Nodes, string(body[p:p+n]))
+		p += n
+	}
+	if len(body)-p != 2*slots {
+		return nil, fmt.Errorf("%w: %d bytes for %d owners", ErrBadMap, len(body)-p, slots)
+	}
+	m.Owner = make([]uint16, slots)
+	for i := range m.Owner {
+		o := binary.LittleEndian.Uint16(body[p:])
+		p += 2
+		if int(o) >= nodes {
+			return nil, fmt.Errorf("%w: slot %d owned by node %d of %d", ErrBadMap, i, o, nodes)
+		}
+		m.Owner[i] = o
+	}
+	return m, nil
+}
+
+// Move is one planned slot handover.
+type Move struct {
+	Slot int
+	From string
+	To   string
+}
+
+// RebalanceTarget computes the fair assignment after addr joins (or, if
+// already a member, after its share is leveled): every node ends within
+// one slot of slots/len(nodes), and slots that are already fairly placed
+// do not move. The result is a target only — actual ownership changes
+// happen one migrated slot at a time through WithOwner.
+func RebalanceTarget(m *Map, addr string) (*Map, error) {
+	if addr == "" || len(addr) > MaxNodeAddr {
+		return nil, fmt.Errorf("cluster: bad node address %q", addr)
+	}
+	t := m.Clone()
+	if t.NodeIndex(addr) < 0 {
+		if len(t.Nodes) >= MaxNodes {
+			return nil, fmt.Errorf("cluster: node count %d at limit", len(t.Nodes))
+		}
+		t.Nodes = append(t.Nodes, addr)
+	}
+	counts := make([]int, len(t.Nodes))
+	for _, o := range t.Owner {
+		counts[o]++
+	}
+	per := t.Slots / len(t.Nodes)
+	extra := t.Slots % len(t.Nodes)
+	quota := func(ni int) int {
+		if ni < extra {
+			return per + 1
+		}
+		return per
+	}
+	// Donors shed their highest-numbered surplus slots into deficit
+	// nodes in node order: deterministic, minimal move count.
+	var surplus []int
+	for slot := t.Slots - 1; slot >= 0; slot-- {
+		ni := int(t.Owner[slot])
+		if counts[ni] > quota(ni) {
+			counts[ni]--
+			surplus = append(surplus, slot)
+		}
+	}
+	sort.Ints(surplus)
+	si := 0
+	for ni := range t.Nodes {
+		for counts[ni] < quota(ni) && si < len(surplus) {
+			t.Owner[surplus[si]] = uint16(ni)
+			counts[ni]++
+			si++
+		}
+	}
+	return t, nil
+}
+
+// PlanMoves diffs two assignments over the same slot space into the
+// explicit handovers that turn cur into target.
+func PlanMoves(cur, target *Map) []Move {
+	var moves []Move
+	for slot := 0; slot < cur.Slots && slot < target.Slots; slot++ {
+		from, to := cur.OwnerOf(slot), target.OwnerOf(slot)
+		if from != to {
+			moves = append(moves, Move{Slot: slot, From: from, To: to})
+		}
+	}
+	return moves
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import "testing"
+
+// TestSlotForRange: the slot index is always in [0, slots).
+func TestSlotForRange(t *testing.T) {
+	for _, n := range []int{1, 2, 16, 64, 1024} {
+		for key := uint64(0); key < 1000; key++ {
+			if s := SlotFor(key, n); s < 0 || s >= n {
+				t.Fatalf("SlotFor(%d, %d) = %d", key, n, s)
+			}
+		}
+	}
+}
+
+// TestSlotForDistribution: a chi-squared goodness-of-fit test over 1e5
+// sequential keys, mirroring the shard router's ShardFor test. Sequential
+// keys are the adversarial input for a weak spreader (the bench workloads
+// use them); uniformity here means slot ownership counts translate into
+// balanced per-node load. Critical values are chi-squared at p = 0.001
+// for n-1 degrees of freedom.
+func TestSlotForDistribution(t *testing.T) {
+	const keys = 100_000
+	// df → critical value at p = 0.001: df 3: 16.27, df 15: 37.70,
+	// df 63: 103.4.
+	critical := map[int]float64{4: 16.27, 16: 37.70, 64: 103.4}
+	for _, n := range []int{4, 16, 64} {
+		counts := make([]int, n)
+		for key := uint64(0); key < keys; key++ {
+			counts[SlotFor(key, n)]++
+		}
+		expected := float64(keys) / float64(n)
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		if limit := critical[n]; chi2 > limit {
+			t.Errorf("n=%d: chi-squared %.2f exceeds %.2f", n, chi2, limit)
+		}
+	}
+}
+
+// TestSlotForStable: placement is a pure function — every node and client
+// must agree with no shared state.
+func TestSlotForStable(t *testing.T) {
+	for key := uint64(0); key < 100; key++ {
+		if SlotFor(key, 64) != SlotFor(key, 64) {
+			t.Fatalf("SlotFor(%d, 64) unstable", key)
+		}
+	}
+}

@@ -240,6 +240,23 @@ func (l *Log) TruncateThrough(seq uint64) error {
 	return nil
 }
 
+// ResetTo drops every retained record, restarts the sequence space at seq
+// (the next AppendAt must carry seq+1), and flushes the emptied image —
+// the re-seed path: a replica wiping its copy to re-adopt a primary
+// snapshot taken at watermark seq.
+func (l *Log) ResetTo(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.truncated += uint64(len(l.recs))
+	l.recs = l.recs[:0]
+	l.last = seq
+	if err := l.flushLocked(); err != nil {
+		l.flushErrs++
+		return err
+	}
+	return nil
+}
+
 // Flush durably saves the log image.
 func (l *Log) Flush() error {
 	l.mu.Lock()

@@ -375,3 +375,34 @@ func TestLogSinceDurable(t *testing.T) {
 		t.Fatalf("reloaded: last=%d flushed=%d", l.LastSeq(), l.FlushedSeq())
 	}
 }
+
+func TestLogResetTo(t *testing.T) {
+	store := pmem.NewMemStore()
+	l := mustOpen(t, store, "r", 0)
+	for i := uint64(1); i <= 8; i++ {
+		l.Append(RecPut, i, i)
+	}
+	if err := l.ResetTo(20); err != nil {
+		t.Fatalf("ResetTo: %v", err)
+	}
+	if l.Len() != 0 || l.LastSeq() != 20 || l.BaseSeq() != 0 {
+		t.Fatalf("after reset: len=%d last=%d base=%d", l.Len(), l.LastSeq(), l.BaseSeq())
+	}
+	// The sequence space restarts at the watermark: 21 is the only legal
+	// next record.
+	if err := l.AppendAt(Record{Seq: 22, Key: 1, Op: RecPut}); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap after reset: %v", err)
+	}
+	if err := l.AppendAt(Record{Seq: 21, Key: 1, Op: RecPut}); err != nil {
+		t.Fatalf("append at watermark+1: %v", err)
+	}
+	// The emptied image is durable: a reload sees the reset, not the old
+	// records.
+	if err := l.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	l2 := mustOpen(t, store, "r", 0)
+	if l2.Len() != 1 || l2.LastSeq() != 21 || l2.BaseSeq() != 21 {
+		t.Fatalf("after reload: len=%d last=%d base=%d", l2.Len(), l2.LastSeq(), l2.BaseSeq())
+	}
+}

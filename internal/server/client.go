@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"nvref/internal/cluster"
 	"nvref/internal/obs"
 	"nvref/internal/repl"
 )
@@ -202,6 +203,58 @@ func (c *Client) Pull(shard uint32, after uint64, max int) (last uint64, recs []
 func (c *Client) ReplAck(shard uint32, seq uint64) error {
 	_, err := c.roundTrip(&Request{Op: OpReplAck, Shard: shard, Seq: seq})
 	return err
+}
+
+// ClusterMap fetches the node's current cluster map image (decode with
+// cluster.Decode). A node with no map answers ErrBadRequest-class status.
+func (c *Client) ClusterMap() ([]byte, error) {
+	rep, err := c.roundTrip(&Request{Op: OpClusterMap})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Blob, nil
+}
+
+// MapUpdate installs a cluster map on the node; a map at or below the
+// node's current epoch answers ErrWrongEpoch.
+func (c *Client) MapUpdate(m *cluster.Map) error {
+	_, err := c.roundTrip(&Request{Op: OpMapUpdate, Blob: m.Encode()})
+	return err
+}
+
+// MigSnapshot reads one bulk-transfer chunk: up to max live pairs of the
+// shard from the key cursor, filtered to the cluster slot (SlotAll: no
+// filter). done means the shard is exhausted; otherwise resume from next.
+func (c *Client) MigSnapshot(shard, slot uint32, cursor uint64, max int) (done bool, next uint64, pairs []KV, err error) {
+	rep, err := c.roundTrip(&Request{Op: OpMigSnapshot, Shard: shard, Slot: slot, Key: cursor, Limit: max})
+	if err != nil {
+		return false, 0, nil, err
+	}
+	return rep.Found, rep.Seq, rep.Pairs, nil
+}
+
+// MigPull reads up to max durable log records of the shard after the
+// cursor, filtered to the cluster slot. through is the highest sequence
+// examined (the next cursor), last the shard's newest logged sequence;
+// contiguous=false means the log truncated past the cursor and the
+// caller must restart from a snapshot.
+func (c *Client) MigPull(shard, slot uint32, after uint64, max int) (contiguous bool, through, last uint64, recs []repl.Record, err error) {
+	rep, err := c.roundTrip(&Request{Op: OpMigPull, Shard: shard, Slot: slot, Seq: after, Limit: max})
+	if err != nil {
+		return false, 0, 0, nil, err
+	}
+	return rep.Found, rep.Seq, rep.Value, rep.Recs, nil
+}
+
+// MigFence fences one cluster slot on its owner toward the acceptor
+// address and returns the per-shard fence sequences the final catch-up
+// must reach.
+func (c *Client) MigFence(slot uint32, acceptor string) ([]uint64, error) {
+	rep, err := c.roundTrip(&Request{Op: OpMigFence, Slot: slot, Addr: acceptor})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Seqs, nil
 }
 
 // Delete removes a key, reporting whether it was present.

@@ -63,6 +63,7 @@ import (
 	"io"
 	"net"
 
+	"nvref/internal/cluster"
 	"nvref/internal/repl"
 )
 
@@ -101,7 +102,43 @@ const (
 	// request's reply (trace echo: `u8 OpTrace | u64 trace_id`, no flags),
 	// including every sub-reply of a BATCH and every error-status reply.
 	OpTrace byte = 12
+	// OpClusterMap fetches the node's current cluster map. No payload; the
+	// reply is `u32 len | map image` (internal/cluster encoding). A node
+	// that has no map answers StatusBadRequest.
+	OpClusterMap byte = 13
+	// OpMapUpdate installs a cluster map of a strictly higher epoch.
+	// Payload: `u32 len | map image`. An epoch at or below the node's
+	// current map is StatusWrongEpoch; a malformed image is
+	// StatusBadRequest. The reply has no payload.
+	OpMapUpdate byte = 14
+	// OpMigSnapshot is the migration/re-seed bulk read: scan one shard's
+	// live pairs from a key cursor, optionally filtered to one cluster
+	// slot. Payload: `shard u32 | slot u32 | cursor u64 | max u32` (slot
+	// SlotAll disables the filter). Reply: `done u8 | next u64 | count u32
+	// | count×(key u64, value u64)` — resume from next until done.
+	OpMigSnapshot byte = 15
+	// OpMigPull is the migration catch-up read: durable log records of one
+	// shard after a sequence number, filtered to one cluster slot. Payload:
+	// `shard u32 | slot u32 | after u64 | max u32`. Reply: `contiguous u8 |
+	// through u64 | last u64 | count u32 | count×record` — through is the
+	// highest sequence examined (the next pull's cursor; records of other
+	// slots advance it without being shipped), last the shard's newest
+	// logged sequence, and contiguous=0 means the log no longer retains
+	// after+1 (the acceptor must restart from a snapshot).
+	OpMigPull byte = 16
+	// OpMigFence fences one cluster slot on its current owner: the donor
+	// refuses every later data operation for the slot with StatusMoved
+	// toward the acceptor address in the payload, and answers with its
+	// per-shard log sequences at the fence point — the watermarks the
+	// acceptor's final catch-up must reach before committing the handover.
+	// Payload: `slot u32 | u16 len | acceptor addr`. Reply: `count u32 |
+	// count×u64`.
+	OpMigFence byte = 17
 )
+
+// SlotAll in OpMigSnapshot/OpMigPull's slot field disables slot
+// filtering — the whole-shard transfer a replica re-seed uses.
+const SlotAll = ^uint32(0)
 
 // traceFlagSampled marks a traced request for span recording; all other
 // flag bits are reserved and must be zero.
@@ -128,6 +165,15 @@ const (
 	// StatusReadOnly: a write was sent to a replica. Retryable so a
 	// failover client rotates to the next endpoint in its list.
 	StatusReadOnly byte = 7
+	// StatusMoved: the key's cluster slot is owned (or being taken over)
+	// by another node. Uniquely among non-OK statuses it carries a payload
+	// — `epoch u64 | u16 len | owner addr` — the redirect hint a
+	// cluster-routing client refreshes its map from. Deliberately not
+	// Retryable: blind retry on the same node cannot succeed.
+	StatusMoved byte = 8
+	// StatusWrongEpoch: an OpMapUpdate carried an epoch at or below the
+	// node's current map. The sender's map is stale; refresh and redrive.
+	StatusWrongEpoch byte = 9
 )
 
 // MaxFrame bounds a single frame body; anything larger is a protocol
@@ -149,6 +195,15 @@ const MaxReplBatch = 4096
 // larger is a malformed frame, not a deadline.
 const MaxTTLms = 3600 * 1000
 
+// MaxMapBytes bounds an encoded cluster map image on the wire (a
+// maximal map under the cluster package's own bounds stays well inside).
+const MaxMapBytes = 512 << 10
+
+// MaxFenceShards bounds an OpMigFence reply's per-shard sequence count
+// (a donor cannot have more watermarks than shards, and no deployment
+// runs anywhere near this many).
+const MaxFenceShards = 4096
+
 // ErrProto reports a malformed frame or payload.
 var ErrProto = errors.New("server: protocol error")
 
@@ -160,7 +215,29 @@ var (
 	ErrDeadline    = errors.New("server: deadline exceeded")
 	ErrLagging     = errors.New("server: replica lags the read's seq token")
 	ErrReadOnly    = errors.New("server: replica is read-only")
+	// ErrMoved matches any *MovedError with errors.Is; use errors.As to
+	// reach the redirect hint.
+	ErrMoved = errors.New("server: key's cluster slot moved")
+	// ErrWrongEpoch reports a map install refused for carrying a stale
+	// epoch.
+	ErrWrongEpoch = errors.New("server: stale cluster map epoch")
 )
+
+// MovedError is the decoded StatusMoved redirect: the slot's owning (or
+// fencing) node and the epoch of the map the refusing node held. It is
+// deliberately not Retryable — the cluster-routing client must refresh
+// its map and re-route rather than hammer the wrong node.
+type MovedError struct {
+	Epoch uint64
+	Addr  string
+}
+
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("server: key's cluster slot moved to %q (epoch %d)", e.Addr, e.Epoch)
+}
+
+// Is makes errors.Is(err, ErrMoved) match.
+func (e *MovedError) Is(target error) bool { return target == ErrMoved }
 
 // Retryable reports whether err is worth retrying on the same or a fresh
 // connection: the explicit fail-fast statuses (shed, unavailable,
@@ -175,7 +252,7 @@ func Retryable(err error) bool {
 		errors.Is(err, ErrLagging) || errors.Is(err, ErrReadOnly) {
 		return true
 	}
-	if errors.Is(err, ErrProto) {
+	if errors.Is(err, ErrProto) || errors.Is(err, ErrMoved) || errors.Is(err, ErrWrongEpoch) {
 		return false
 	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
@@ -217,6 +294,14 @@ type Request struct {
 	// top-level request (sub-requests inherit the batch's trace).
 	Trace   uint64
 	Sampled bool
+	// Slot addresses the cluster migration ops (OpMigSnapshot, OpMigPull,
+	// OpMigFence); SlotAll disables the slot filter on the first two.
+	Slot uint32
+	// Blob is an OpMapUpdate's encoded cluster map image.
+	Blob []byte
+	// Addr is an OpMigFence's acceptor address (where the donor redirects
+	// fenced-slot traffic).
+	Addr string
 }
 
 // Reply is one decoded response.
@@ -226,7 +311,7 @@ type Reply struct {
 	Value  uint64
 	Pairs  []KV
 	Sub    []Reply
-	Blob   []byte // STATS JSON
+	Blob   []byte // STATS JSON; OpClusterMap's encoded map image
 	// Shard and Seq report which shard served a write and the sequence
 	// number it assigned (zero when the shard keeps no operation log). On a
 	// REPLICATE reply, Seq is the shard's newest logged sequence.
@@ -238,6 +323,12 @@ type Reply struct {
 	// carried back on the reply (and on every sub-reply of a BATCH) so a
 	// pipelining client can attribute each frame.
 	Trace uint64
+	// Epoch and Addr are a StatusMoved reply's redirect hint: the refusing
+	// node's map epoch and the slot's owner (or in-flight acceptor).
+	Epoch uint64
+	Addr  string
+	// Seqs are an OpMigFence reply's per-shard fence-point sequences.
+	Seqs []uint64
 }
 
 // Err converts a non-OK status into an error (nil when Status is OK).
@@ -257,6 +348,10 @@ func (r *Reply) Err() error {
 		return ErrLagging
 	case StatusReadOnly:
 		return ErrReadOnly
+	case StatusMoved:
+		return &MovedError{Epoch: r.Epoch, Addr: r.Addr}
+	case StatusWrongEpoch:
+		return ErrWrongEpoch
 	default:
 		return fmt.Errorf("server: internal error (status %d)", r.Status)
 	}
@@ -350,7 +445,7 @@ func appendRequestBody(buf []byte, req *Request) ([]byte, error) {
 		for i := range req.Sub {
 			sub := &req.Sub[i]
 			if sub.Op == OpBatch || sub.Op == OpStats || sub.Op == OpCheckpoint ||
-				sub.Op == OpReplicate || sub.Op == OpReplAck {
+				sub.Op == OpReplicate || sub.Op == OpReplAck || clusterOp(sub.Op) {
 				return nil, fmt.Errorf("%w: op %d may not appear inside a batch", ErrProto, sub.Op)
 			}
 			if sub.TTLms != 0 {
@@ -377,12 +472,50 @@ func appendRequestBody(buf []byte, req *Request) ([]byte, error) {
 	case OpReplAck:
 		buf = binary.LittleEndian.AppendUint32(buf, req.Shard)
 		buf = binary.LittleEndian.AppendUint64(buf, req.Seq)
+	case OpClusterMap:
+		// No payload.
+	case OpMapUpdate:
+		if len(req.Blob) == 0 || len(req.Blob) > MaxMapBytes {
+			return nil, fmt.Errorf("%w: map image of %d bytes outside (0, %d]", ErrProto, len(req.Blob), MaxMapBytes)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Blob)))
+		buf = append(buf, req.Blob...)
+	case OpMigSnapshot:
+		if req.Limit < 1 || req.Limit > MaxScanLimit {
+			return nil, fmt.Errorf("%w: snapshot max %d outside [1, %d]", ErrProto, req.Limit, MaxScanLimit)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, req.Shard)
+		buf = binary.LittleEndian.AppendUint32(buf, req.Slot)
+		buf = binary.LittleEndian.AppendUint64(buf, req.Key)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(req.Limit))
+	case OpMigPull:
+		if req.Limit < 1 || req.Limit > MaxReplBatch {
+			return nil, fmt.Errorf("%w: migration pull max %d outside [1, %d]", ErrProto, req.Limit, MaxReplBatch)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, req.Shard)
+		buf = binary.LittleEndian.AppendUint32(buf, req.Slot)
+		buf = binary.LittleEndian.AppendUint64(buf, req.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(req.Limit))
+	case OpMigFence:
+		if len(req.Addr) == 0 || len(req.Addr) > cluster.MaxNodeAddr {
+			return nil, fmt.Errorf("%w: fence address of %d bytes outside (0, %d]", ErrProto, len(req.Addr), cluster.MaxNodeAddr)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, req.Slot)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(req.Addr)))
+		buf = append(buf, req.Addr...)
 	case OpStats, OpCheckpoint:
 		// No payload.
 	default:
 		return nil, fmt.Errorf("%w: unknown op %d", ErrProto, req.Op)
 	}
 	return buf, nil
+}
+
+// clusterOp reports whether op belongs to the cluster control plane —
+// none may appear inside a batch.
+func clusterOp(op byte) bool {
+	return op == OpClusterMap || op == OpMapUpdate ||
+		op == OpMigSnapshot || op == OpMigPull || op == OpMigFence
 }
 
 // cursor is a bounds-checked little-endian reader over a frame body.
@@ -397,6 +530,15 @@ func (c *cursor) u8() (byte, error) {
 	}
 	v := c.b[c.off]
 	c.off++
+	return v, nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	if c.off+2 > len(c.b) {
+		return 0, fmt.Errorf("%w: truncated payload", ErrProto)
+	}
+	v := binary.LittleEndian.Uint16(c.b[c.off:])
+	c.off += 2
 	return v, nil
 }
 
@@ -549,7 +691,7 @@ func decodeRequest(c *cursor, allowBatch bool) (*Request, error) {
 				return nil, err
 			}
 			if sub.Op == OpStats || sub.Op == OpCheckpoint ||
-				sub.Op == OpReplicate || sub.Op == OpReplAck {
+				sub.Op == OpReplicate || sub.Op == OpReplAck || clusterOp(sub.Op) {
 				return nil, fmt.Errorf("%w: op %d may not appear inside a batch", ErrProto, sub.Op)
 			}
 			req.Sub[i] = *sub
@@ -576,6 +718,63 @@ func decodeRequest(c *cursor, allowBatch bool) (*Request, error) {
 		if req.Seq, err = c.u64(); err != nil {
 			return nil, err
 		}
+	case OpClusterMap:
+		// No payload.
+	case OpMapUpdate:
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 || n > MaxMapBytes {
+			return nil, fmt.Errorf("%w: map image of %d bytes outside (0, %d]", ErrProto, n, MaxMapBytes)
+		}
+		blob, err := c.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		req.Blob = append([]byte(nil), blob...)
+	case OpMigSnapshot, OpMigPull:
+		if req.Shard, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if req.Slot, err = c.u32(); err != nil {
+			return nil, err
+		}
+		cur, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		max, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		bound := uint32(MaxScanLimit)
+		if op == OpMigPull {
+			bound = MaxReplBatch
+			req.Seq = cur
+		} else {
+			req.Key = cur
+		}
+		if max < 1 || max > bound {
+			return nil, fmt.Errorf("%w: migration max %d outside [1, %d]", ErrProto, max, bound)
+		}
+		req.Limit = int(max)
+	case OpMigFence:
+		if req.Slot, err = c.u32(); err != nil {
+			return nil, err
+		}
+		n, err := c.u16()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 || int(n) > cluster.MaxNodeAddr {
+			return nil, fmt.Errorf("%w: fence address of %d bytes outside (0, %d]", ErrProto, n, cluster.MaxNodeAddr)
+		}
+		addr, err := c.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		req.Addr = string(addr)
 	case OpStats, OpCheckpoint:
 		// No payload.
 	default:
@@ -594,6 +793,12 @@ func AppendReply(buf []byte, op byte, rep *Reply) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, rep.Trace)
 	}
 	buf = append(buf, rep.Status)
+	if rep.Status == StatusMoved {
+		// The one non-OK status with a payload: the redirect hint.
+		buf = binary.LittleEndian.AppendUint64(buf, rep.Epoch)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rep.Addr)))
+		return append(buf, rep.Addr...)
+	}
 	if rep.Status != StatusOK {
 		return buf
 	}
@@ -620,10 +825,31 @@ func AppendReply(buf []byte, op byte, rep *Reply) []byte {
 			buf = binary.LittleEndian.AppendUint64(buf, kv.Key)
 			buf = binary.LittleEndian.AppendUint64(buf, kv.Value)
 		}
-	case OpStats:
+	case OpStats, OpClusterMap:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rep.Blob)))
 		buf = append(buf, rep.Blob...)
-	case OpCheckpoint, OpReplAck:
+	case OpMigSnapshot:
+		buf = append(buf, boolByte(rep.Found))
+		buf = binary.LittleEndian.AppendUint64(buf, rep.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rep.Pairs)))
+		for _, kv := range rep.Pairs {
+			buf = binary.LittleEndian.AppendUint64(buf, kv.Key)
+			buf = binary.LittleEndian.AppendUint64(buf, kv.Value)
+		}
+	case OpMigPull:
+		buf = append(buf, boolByte(rep.Found))
+		buf = binary.LittleEndian.AppendUint64(buf, rep.Seq)
+		buf = binary.LittleEndian.AppendUint64(buf, rep.Value)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rep.Recs)))
+		for _, r := range rep.Recs {
+			buf = repl.AppendRecord(buf, r)
+		}
+	case OpMigFence:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rep.Seqs)))
+		for _, s := range rep.Seqs {
+			buf = binary.LittleEndian.AppendUint64(buf, s)
+		}
+	case OpCheckpoint, OpReplAck, OpMapUpdate:
 		// No payload.
 	}
 	return buf
@@ -686,6 +912,24 @@ func decodeReply(c *cursor, req *Request, traced bool) (*Reply, error) {
 		return nil, err
 	}
 	rep := &Reply{Status: status, Trace: trace}
+	if status == StatusMoved {
+		if rep.Epoch, err = c.u64(); err != nil {
+			return nil, err
+		}
+		n, err := c.u16()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > cluster.MaxNodeAddr {
+			return nil, fmt.Errorf("%w: moved address of %d bytes exceeds %d", ErrProto, n, cluster.MaxNodeAddr)
+		}
+		addr, err := c.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		rep.Addr = string(addr)
+		return rep, nil
+	}
 	if status != StatusOK {
 		return rep, nil
 	}
@@ -782,17 +1026,101 @@ func decodeReply(c *cursor, req *Request, traced bool) (*Reply, error) {
 			}
 			rep.Sub[i] = *sub
 		}
-	case OpStats:
+	case OpStats, OpClusterMap:
 		n, err := c.u32()
 		if err != nil {
 			return nil, err
+		}
+		if req.Op == OpClusterMap && n > MaxMapBytes {
+			return nil, fmt.Errorf("%w: map image of %d bytes exceeds %d", ErrProto, n, MaxMapBytes)
 		}
 		blob, err := c.bytes(int(n))
 		if err != nil {
 			return nil, err
 		}
 		rep.Blob = append([]byte(nil), blob...)
-	case OpCheckpoint, OpReplAck:
+	case OpMigSnapshot:
+		f, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		rep.Found = f != 0
+		if rep.Seq, err = c.u64(); err != nil {
+			return nil, err
+		}
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxScanLimit {
+			return nil, fmt.Errorf("%w: snapshot reply of %d pairs exceeds %d", ErrProto, n, MaxScanLimit)
+		}
+		if int(n)*16 > c.remaining() {
+			return nil, fmt.Errorf("%w: snapshot reply count %d exceeds %d remaining bytes", ErrProto, n, c.remaining())
+		}
+		rep.Pairs = make([]KV, n)
+		for i := range rep.Pairs {
+			if rep.Pairs[i].Key, err = c.u64(); err != nil {
+				return nil, err
+			}
+			if rep.Pairs[i].Value, err = c.u64(); err != nil {
+				return nil, err
+			}
+		}
+	case OpMigPull:
+		f, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		rep.Found = f != 0
+		if rep.Seq, err = c.u64(); err != nil {
+			return nil, err
+		}
+		if rep.Value, err = c.u64(); err != nil {
+			return nil, err
+		}
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxReplBatch {
+			return nil, fmt.Errorf("%w: migration pull reply of %d records exceeds %d", ErrProto, n, MaxReplBatch)
+		}
+		if int(n)*repl.RecordSize > c.remaining() {
+			return nil, fmt.Errorf("%w: migration pull count %d exceeds %d remaining bytes", ErrProto, n, c.remaining())
+		}
+		if n > 0 {
+			rep.Recs = make([]repl.Record, n)
+			for i := range rep.Recs {
+				b, err := c.bytes(repl.RecordSize)
+				if err != nil {
+					return nil, err
+				}
+				r, err := repl.DecodeRecord(b)
+				if err != nil {
+					return nil, fmt.Errorf("%w: record %d: %v", ErrProto, i, err)
+				}
+				rep.Recs[i] = r
+			}
+		}
+	case OpMigFence:
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxFenceShards {
+			return nil, fmt.Errorf("%w: fence reply of %d shards exceeds %d", ErrProto, n, MaxFenceShards)
+		}
+		if int(n)*8 > c.remaining() {
+			return nil, fmt.Errorf("%w: fence reply count %d exceeds %d remaining bytes", ErrProto, n, c.remaining())
+		}
+		rep.Seqs = make([]uint64, n)
+		for i := range rep.Seqs {
+			if rep.Seqs[i], err = c.u64(); err != nil {
+				return nil, err
+			}
+		}
+	case OpCheckpoint, OpReplAck, OpMapUpdate:
 		// No payload.
 	}
 	return rep, nil

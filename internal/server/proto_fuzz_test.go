@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"nvref/internal/cluster"
 	"nvref/internal/repl"
 )
 
@@ -37,6 +38,13 @@ func fuzzSeeds(f *testing.F) {
 			{Op: OpGet, Key: 1},
 			{Op: OpPut, Key: 2, Value: 3},
 		}},
+		{Op: OpClusterMap},
+		{Op: OpMapUpdate, Blob: fuzzMapImage()},
+		{Op: OpMigSnapshot, Shard: 1, Slot: 3, Key: 42, Limit: 16},
+		{Op: OpMigSnapshot, Slot: SlotAll, Limit: MaxScanLimit},
+		{Op: OpMigPull, Shard: 1, Slot: 2, Seq: 7, Limit: 64},
+		{Op: OpMigPull, Shard: 0, Slot: SlotAll, Seq: 0, Limit: MaxReplBatch},
+		{Op: OpMigFence, Slot: 5, Addr: "127.0.0.1:9"},
 	}
 	for _, req := range reqs {
 		body, err := AppendRequest(nil, req)
@@ -63,6 +71,22 @@ func fuzzSeeds(f *testing.F) {
 	f.Add([]byte{19, 0, 0, 0, OpTrace, 1, 0, 0, 0, 0, 0, 0, 0, 0xFF, OpGet, 1, 0, 0, 0, 0, 0, 0, 0})
 	f.Add([]byte{4, 0, 0, 0, OpTrace, 1, 0, 0})
 	f.Add([]byte{24, 0, 0, 0, OpBatch, 1, 0, 0, 0, OpTrace, 1, 0, 0, 0, 0, 0, 0, 0, 1, OpGet, 1, 0, 0, 0, 0, 0, 0, 0})
+	// Hostile cluster seeds: map update claiming a 4 GiB image, fence with
+	// an addr length past the body, snapshot with an oversized chunk limit,
+	// and a cluster op smuggled into a batch.
+	f.Add([]byte{5, 0, 0, 0, OpMapUpdate, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{7, 0, 0, 0, OpMigFence, 5, 0, 0, 0, 0xFF, 0xFF})
+	f.Add([]byte{21, 0, 0, 0, OpMigSnapshot, 1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{6, 0, 0, 0, OpBatch, 1, 0, 0, 0, OpClusterMap})
+}
+
+// fuzzMapImage is a small valid encoded cluster map for the corpus.
+func fuzzMapImage() []byte {
+	m, err := cluster.New(4, []string{"127.0.0.1:1", "127.0.0.1:2"})
+	if err != nil {
+		panic(err)
+	}
+	return m.Encode()
 }
 
 // FuzzDecodeFrame feeds arbitrary byte streams through the exact framing
@@ -142,6 +166,16 @@ func FuzzDecodeReply(f *testing.F) {
 		}}},
 		{OpGet, Reply{Status: StatusShed}},
 		{OpPut, Reply{Status: StatusInternal}},
+		{OpGet, Reply{Status: StatusMoved, Epoch: 3, Addr: "127.0.0.1:7"}},
+		{OpPut, Reply{Status: StatusMoved, Epoch: 1, Addr: "x"}},
+		{OpMapUpdate, Reply{Status: StatusWrongEpoch}},
+		{OpClusterMap, Reply{Status: StatusOK, Blob: fuzzMapImage()}},
+		{OpMigSnapshot, Reply{Status: StatusOK, Found: true, Seq: 99, Pairs: []KV{{Key: 1, Value: 2}}}},
+		{OpMigPull, Reply{Status: StatusOK, Found: true, Seq: 12, Value: 15, Recs: []repl.Record{
+			{Seq: 11, Key: 5, Value: 6, Op: repl.RecPut},
+		}}},
+		{OpMigFence, Reply{Status: StatusOK, Seqs: []uint64{3, 9}}},
+		{OpMigFence, Reply{Status: StatusUnavailable}},
 	}
 	for _, s := range seedReps {
 		f.Add(s.op, AppendReply(nil, s.op, &s.rep))
@@ -169,6 +203,11 @@ func FuzzDecodeReply(f *testing.F) {
 	f.Add(OpReplicate, []byte{StatusOK, 9, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0, 0})
 	f.Add(OpScan, []byte{StatusOK, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add(OpBatch, []byte{StatusOK, 7, 0, 0, 0})
+	// Hostile cluster replies: MOVED with an addr length past the body, a
+	// map image claiming 4 GiB, and a fence reply claiming 4 G watermarks.
+	f.Add(OpGet, []byte{StatusMoved, 1, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF})
+	f.Add(OpClusterMap, []byte{StatusOK, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(OpMigFence, []byte{StatusOK, 0xFF, 0xFF, 0xFF, 0xFF})
 
 	f.Fuzz(func(t *testing.T, op byte, data []byte) {
 		req := replyFuzzReq(op)
@@ -181,6 +220,9 @@ func FuzzDecodeReply(f *testing.F) {
 		}
 		if len(rep.Recs) > MaxReplBatch || len(rep.Pairs) > MaxScanLimit {
 			t.Fatalf("decoded reply exceeds protocol bounds: %d recs, %d pairs", len(rep.Recs), len(rep.Pairs))
+		}
+		if len(rep.Seqs) > MaxFenceShards || len(rep.Blob) > MaxFrame {
+			t.Fatalf("decoded reply exceeds protocol bounds: %d seqs, %d blob bytes", len(rep.Seqs), len(rep.Blob))
 		}
 		var enc []byte
 		if req.Op == OpBatch {

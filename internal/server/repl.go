@@ -442,6 +442,8 @@ func (s *Server) registerReplMetrics(reg *obs.Registry) {
 			func() uint64 { return f.reconnects.Load() })
 		reg.CounterFunc("server_follower_divergences_total", "apply batches refused for log gaps or divergence",
 			func() uint64 { return f.divergences.Load() })
+		reg.CounterFunc("server_follower_reseeds_total", "diverged shards rebuilt from a primary snapshot",
+			func() uint64 { return f.reseeds.Load() })
 	}
 }
 
@@ -465,6 +467,8 @@ type follower struct {
 	window       int
 	promoteAfter time.Duration
 
+	autoReseed bool
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
@@ -476,6 +480,7 @@ type follower struct {
 	applies     atomic.Uint64
 	reconnects  atomic.Uint64
 	divergences atomic.Uint64
+	reseeds     atomic.Uint64
 	diverged    atomic.Bool // gates the one-time divergence log line
 }
 
@@ -488,6 +493,7 @@ func newFollower(s *Server, cfg *Config) *follower {
 		batch:        cfg.ReplBatch,
 		window:       cfg.ReplWindow,
 		promoteAfter: cfg.PromoteAfter,
+		autoReseed:   !cfg.NoAutoReseed,
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
 		primarySeq:   make([]atomic.Uint64, len(s.shards)),
@@ -624,15 +630,24 @@ func (f *follower) round(c *Client) (progress bool, err error) {
 				// truncated records we never durably applied. Durable-only
 				// acking makes this unreachable from restarts, so it means
 				// real divergence (e.g. the primary was re-seeded). Refuse
-				// the batch — applying it would silently skip operations —
-				// and surface it loudly; the operator re-seeds this replica.
+				// the batch — applying it would silently skip operations.
 				f.divergences.Add(1)
 				if f.diverged.CompareAndSwap(false, true) {
-					f.s.logf("server: follower shard %d diverged from %s: primary ships from seq %d, applied is %d; re-seed this replica",
+					f.s.logf("server: follower shard %d diverged from %s: primary ships from seq %d, applied is %d",
 						g+idx, f.addr, base, sh.applied.Load())
 					f.s.trigger(TriggerDivergence,
 						fmt.Sprintf("follower shard %d: primary ships from seq %d, applied is %d",
 							g+idx, base, sh.applied.Load()))
+				}
+				if f.autoReseed {
+					// Rebuild the shard from a primary snapshot (the
+					// migration transfer machinery) instead of waiting for
+					// an operator.
+					if err := f.reseed(c, g+idx, base); err != nil {
+						f.s.logf("server: follower shard %d re-seed: %v", g+idx, err)
+					} else {
+						progress = true
+					}
 				}
 				continue
 			}
@@ -665,6 +680,75 @@ func (f *follower) round(c *Client) (progress bool, err error) {
 		}
 	}
 	return progress, nil
+}
+
+// reseed rebuilds one diverged shard from a primary snapshot, reusing the
+// migration transfer machinery (OpMigSnapshot with SlotAll — replicas
+// mirror the primary shard for shard, so the snapshot reads the same
+// shard index). The shard is wiped with its sequence space restarted at
+// base-1, the primary's live pairs are bulk-copied in unlogged chunks,
+// and a checkpoint seals the rebuilt state; the next round's pull resumes
+// contiguously at base. Chunks are unlogged, so a worker crash or restart
+// mid-transfer rolls part of the copy back — the generation check redoes
+// the whole wipe+copy until it completes within one incarnation. (A real
+// process death between the last chunk and the checkpoint would replay
+// pulls over a partially empty store; that window is documented in
+// DESIGN.md §12 as future work.)
+func (f *follower) reseed(c *Client, si int, base uint64) error {
+	sh := f.s.shards[si]
+	watermark := base - 1
+	const attempts = 3
+	for attempt := 1; attempt <= attempts; attempt++ {
+		gen := sh.restarts.Load() + sh.crashes.Load()
+		if err := f.shardCtl(sh, &request{ctl: ctlReseedBegin, value: watermark}); err != nil {
+			return err
+		}
+		cursor := uint64(0)
+		copied := 0
+		for {
+			done, next, pairs, err := c.MigSnapshot(uint32(si), SlotAll, cursor, MaxScanLimit)
+			if err != nil {
+				return err
+			}
+			if err := f.shardCtl(sh, &request{ctl: ctlReseedChunk, recs: pairsToRecords(pairs)}); err != nil {
+				return err
+			}
+			copied += len(pairs)
+			if done {
+				break
+			}
+			cursor = next
+		}
+		if sh.restarts.Load()+sh.crashes.Load() != gen {
+			continue // the worker recovered mid-transfer and rolled chunks back
+		}
+		if err := f.shardCtl(sh, &request{ctl: ctlCheckpoint}); err != nil {
+			return err
+		}
+		f.reseeds.Add(1)
+		f.diverged.Store(false)
+		f.s.logf("server: follower shard %d re-seeded from %s: %d pairs, sequence resumes at %d",
+			si, f.addr, copied, base)
+		f.s.trigger(TriggerReseed,
+			fmt.Sprintf("follower shard %d re-seeded: %d pairs, sequence resumes at %d", si, copied, base))
+		return nil
+	}
+	return fmt.Errorf("server: shard %d re-seed kept racing worker recoveries (%d attempts)", si, attempts)
+}
+
+// shardCtl submits one control request to a shard queue and waits for OK,
+// aborting if the follower is told to stop.
+func (f *follower) shardCtl(sh *shard, req *request) error {
+	req.resp = make(chan Reply, 1)
+	select {
+	case sh.queue <- req:
+	case <-f.stop:
+		return errFollowerStopped
+	}
+	if rep := <-req.resp; rep.Status != StatusOK {
+		return fmt.Errorf("server: reseed control %d: status %d", req.ctl, rep.Status)
+	}
+	return nil
 }
 
 // sleep waits d unless stop fires first; reports whether to keep running.
@@ -706,6 +790,7 @@ type FollowerStats struct {
 	Applied       uint64 `json:"applied"`
 	Reconnects    uint64 `json:"reconnects"`
 	Divergences   uint64 `json:"divergences"`
+	Reseeds       uint64 `json:"reseeds"`
 	LagRecords    uint64 `json:"lag_records"`
 	LagBytes      uint64 `json:"lag_bytes"`
 	LastContactMS int64  `json:"last_contact_ms"`
@@ -719,6 +804,7 @@ func (f *follower) stats() *FollowerStats {
 		Applied:       f.applies.Load(),
 		Reconnects:    f.reconnects.Load(),
 		Divergences:   f.divergences.Load(),
+		Reseeds:       f.reseeds.Load(),
 		LagRecords:    lag,
 		LagBytes:      lag * repl.RecordSize,
 		LastContactMS: time.Since(time.Unix(0, f.lastContact.Load())).Milliseconds(),

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nvref/internal/cluster"
 	"nvref/internal/fault"
 	"nvref/internal/obs"
 	"nvref/internal/pmem"
@@ -135,6 +136,25 @@ type Config struct {
 	// LogFlushEvery flushes a shard's log image every that many appends
 	// (default 64; negative flushes only at checkpoints).
 	LogFlushEvery int
+	// NoAutoReseed disables the follower's automatic re-seed: on a log
+	// divergence it falls back to logging the incident and halting the
+	// shard's replication (the pre-cluster behavior) instead of wiping the
+	// shard and re-seeding from a primary snapshot.
+	NoAutoReseed bool
+
+	// ClusterSelf, when set, turns the cluster tier on: the address this
+	// node is known by in the cluster map (what clients redirect to). A
+	// clustered node runs RolePrimary (Standalone is promoted; Replica is
+	// refused — a replica follows its primary, not the map).
+	ClusterSelf string
+	// ClusterMap is the bootstrap map (typically cluster.New over the
+	// initial peer list — identical on every founding node). A persisted
+	// map of a higher epoch in ClusterStore wins over it. Nil with
+	// ClusterSelf set means the node joins empty (JoinCluster).
+	ClusterMap *cluster.Map
+	// ClusterStore, when non-nil, persists the installed map (CRC-checked
+	// image) so a restarted node rejoins at its last known epoch.
+	ClusterStore pmem.Store
 }
 
 func (c *Config) fillDefaults() {
@@ -218,7 +238,8 @@ type Server struct {
 	// fenced episode, re-armed when the replica makes contact again.
 	fencedTrip atomic.Bool
 
-	repl replState
+	repl    replState
+	cluster clusterState
 }
 
 // New builds the server and opens every shard, recovering any pool image
@@ -229,6 +250,19 @@ func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	if cfg.Role == RoleReplica && cfg.FollowAddr == "" {
 		return nil, errors.New("server: role replica requires a primary address to follow")
+	}
+	if cfg.ClusterSelf != "" {
+		if cfg.Role == RoleReplica {
+			return nil, errors.New("server: a replica cannot join a cluster map (it follows its primary)")
+		}
+		if len(cfg.ClusterSelf) > cluster.MaxNodeAddr {
+			return nil, fmt.Errorf("server: cluster address longer than %d bytes", cluster.MaxNodeAddr)
+		}
+		// A clustered node logs every write: migration catch-up tails the
+		// op log, so the cluster tier implies at least RolePrimary.
+		if cfg.Role == RoleStandalone {
+			cfg.Role = RolePrimary
+		}
 	}
 	if cfg.Spans == nil && (cfg.TraceSample > 0 || cfg.SlowOp > 0 || cfg.FlightDir != "" || cfg.Flight != nil) {
 		cfg.Spans = obs.NewSpanRecorder(0, cfg.Reg)
@@ -248,6 +282,24 @@ func New(cfg Config) (*Server, error) {
 		s.sampler = newTraceSampler(cfg.TraceSample, uint64(time.Now().UnixNano())|1)
 	}
 	s.repl.role.Store(cfg.Role)
+	if cfg.ClusterSelf != "" {
+		s.cluster.self = cfg.ClusterSelf
+		s.cluster.fenced = make(map[int]*fenceInfo)
+		s.cluster.cmap = cfg.ClusterMap
+		if cfg.ClusterStore != nil {
+			persisted, err := cluster.Load(cfg.ClusterStore)
+			if err != nil {
+				return nil, fmt.Errorf("server: persisted cluster map: %w", err)
+			}
+			// The newest epoch wins: a restarted node must not regress to
+			// the bootstrap map after a handover moved its slots.
+			if persisted != nil && (s.cluster.cmap == nil || persisted.Epoch > s.cluster.cmap.Epoch) {
+				s.cluster.cmap = persisted
+				s.logf("cluster: restored persisted map: epoch %d, %d/%d slots owned",
+					persisted.Epoch, persisted.Owned(cfg.ClusterSelf), persisted.Slots)
+			}
+		}
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sc := shardConfig{
 			id:              i,
@@ -287,6 +339,9 @@ func New(cfg Config) (*Server, error) {
 			sc.replicaLive = s.replicaLive
 			sc.fenced = s.writeFenced
 			sc.ackTimeout = cfg.AckTimeout
+		}
+		if cfg.ClusterSelf != "" {
+			sc.owns = s.slotCheck
 		}
 		if cfg.SchedFor != nil {
 			sc.sched = cfg.SchedFor(i)
@@ -490,6 +545,9 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	}
 	if s.cfg.Role != RoleStandalone {
 		s.registerReplMetrics(reg)
+	}
+	if s.clusterOn() {
+		s.registerClusterMetrics(reg)
 	}
 }
 
@@ -709,6 +767,19 @@ func (s *Server) dispatch(req *Request, trace uint64, sampled bool) chan Reply {
 		resp <- s.replicateReply(req)
 	case OpReplAck:
 		resp <- s.replAckReply(req)
+	case OpClusterMap:
+		resp <- s.clusterMapReply()
+	case OpMapUpdate:
+		// In a goroutine: the donor-side install audits and purges released
+		// slots through the shard queues before answering.
+		go func() { resp <- s.mapUpdateReply(req) }()
+	case OpMigSnapshot:
+		go func() { resp <- s.migSnapshotReply(req) }()
+	case OpMigPull:
+		resp <- s.migPullReply(req)
+	case OpMigFence:
+		// In a goroutine: the fence barriers every shard queue.
+		go func() { resp <- s.migFenceReply(req) }()
 	case OpScan:
 		go func() { resp <- s.scatterScan(req.Key, req.Limit, deadline, trace, sampled) }()
 	case OpBatch:
@@ -794,12 +865,14 @@ type Stats struct {
 	UptimeMS    int64  `json:"uptime_ms"`
 	// Role, Promotions, and the lag fields describe the replication tier
 	// (role is "standalone" when it is off).
-	Role           string          `json:"role"`
-	Promotions     uint64          `json:"promotions"`
-	ReplLagRecords uint64          `json:"repl_lag_records"`
-	ReplLagBytes   uint64          `json:"repl_lag_bytes"`
-	Follower       *FollowerStats  `json:"follower,omitempty"`
-	PerShard       []ShardStats    `json:"per_shard"`
+	Role           string         `json:"role"`
+	Promotions     uint64         `json:"promotions"`
+	ReplLagRecords uint64         `json:"repl_lag_records"`
+	ReplLagBytes   uint64         `json:"repl_lag_bytes"`
+	Follower       *FollowerStats `json:"follower,omitempty"`
+	// Cluster describes the cluster tier (nil when it is off).
+	Cluster  *ClusterStats `json:"cluster,omitempty"`
+	PerShard []ShardStats  `json:"per_shard"`
 }
 
 // CollectStats assembles the server's statistics from published counters.
@@ -819,6 +892,7 @@ func (s *Server) CollectStats() Stats {
 	if f := s.repl.follower; f != nil {
 		st.Follower = f.stats()
 	}
+	st.Cluster = s.clusterStats()
 	for _, sh := range s.shards {
 		st.PerShard = append(st.PerShard, sh.stats())
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nvref/internal/cluster"
 	"nvref/internal/fault"
 	"nvref/internal/kvstore"
 	"nvref/internal/obs"
@@ -66,6 +67,33 @@ const (
 	// sequence, and flush the log image so the returned ack sequence is
 	// durable — the replica apply loop's worker half.
 	ctlApply
+	// ctlSnapshot serves one OpMigSnapshot chunk: scan live pairs from the
+	// key cursor in req.key, filtered to cluster slot req.slot (SlotAll:
+	// no filter), up to req.limit pairs — the donor half of migration and
+	// the primary half of a replica re-seed.
+	ctlSnapshot
+	// ctlIngest applies transferred records as fresh local writes: each is
+	// re-logged under this shard's own sequence space (migrated keys hash
+	// onto the acceptor's shards independently of the donor's) — the
+	// acceptor half of migration.
+	ctlIngest
+	// ctlBarrier is a no-op the fence path uses to drain the worker: once
+	// it answers, every data operation admitted before the fence flag was
+	// set has fully executed (the worker is the serializer).
+	ctlBarrier
+	// ctlPurge deletes every live key of cluster slot req.slot (req.slots
+	// wide) through the normal logged delete path — the donor reclaiming a
+	// migrated slot after handover.
+	ctlPurge
+	// ctlReseedBegin wipes the shard for a replica re-seed: delete every
+	// live pair without logging, reset the op log's sequence space to
+	// req.value (the snapshot watermark), and checkpoint so recovery
+	// cannot resurrect the pre-reseed state.
+	ctlReseedBegin
+	// ctlReseedChunk applies one snapshot chunk of a re-seed: store writes
+	// only, no logging — the records' sequences belong to the primary's
+	// log and are accounted for by the ResetTo watermark.
+	ctlReseedChunk
 )
 
 // errWorkerKilled is the payload of an injected worker panic.
@@ -80,7 +108,12 @@ type request struct {
 	gate       uint64 // seq-gate read-your-writes token (GET only)
 	ctl        byte
 	wedge      time.Duration // ctlWedge only
-	recs       []repl.Record // ctlApply only
+	recs       []repl.Record // ctlApply, ctlIngest, ctlReseedChunk
+	// slot/slots scope the migration ctl ops (ctlSnapshot, ctlPurge):
+	// the cluster slot to filter for and the map's slot count. SlotAll
+	// disables the filter (the re-seed path).
+	slot  uint32
+	slots int
 	// trace is the effective trace ID (client envelope or server-sampled);
 	// sampled asks the worker to record per-stage spans under it. The reply
 	// echo is handled at the connection writer, keyed on the wire envelope.
@@ -105,10 +138,10 @@ type shardConfig struct {
 	logf            func(format string, args ...any)
 
 	// Tracing plane (all nil/zero when tracing is not configured).
-	spans   *obs.SpanRecorder          // per-stage spans of sampled requests
-	flight  *obs.FlightRecorder        // wide events (slow ops) + incident dumps
-	slowOp  time.Duration              // ops slower than this emit a wide event
-	trigger func(kind, detail string)  // flight-recorder trigger hook
+	spans   *obs.SpanRecorder         // per-stage spans of sampled requests
+	flight  *obs.FlightRecorder       // wide events (slow ops) + incident dumps
+	slowOp  time.Duration             // ops slower than this emit a wide event
+	trigger func(kind, detail string) // flight-recorder trigger hook
 
 	// Replication plumbing (all nil/zero on a standalone server).
 	oplog       *repl.Log     // per-shard operation log; nil disables replication
@@ -116,6 +149,14 @@ type shardConfig struct {
 	replicaLive func() bool   // primary: a replica pulled recently
 	fenced      func() bool   // primary: self-fenced after replica silence
 	ackTimeout  time.Duration // primary: how long a write ack may wait for replica ack
+
+	// owns, when non-nil, is the cluster ownership check the worker runs
+	// on every data operation: a key whose slot this node does not own
+	// (or has fenced for handover) is refused with StatusMoved toward the
+	// returned address. Running it on the worker — not at dispatch — is
+	// what makes the fence barrier sound: after ctlBarrier drains the
+	// queue, no pre-fence write can still be in flight.
+	owns func(key uint64) (moved bool, epoch uint64, addr string)
 }
 
 // shard is one engine shard: a single worker goroutine owns the simulation
@@ -154,18 +195,22 @@ type shard struct {
 	queueHighWater                 atomic.Uint64
 
 	// Replication state (only meaningful when cfg.oplog != nil).
-	waiter       *ackWaiter    // primary: write acks held for replica ack
-	applied      atomic.Uint64 // newest log sequence applied to the store
-	replAck      atomic.Uint64 // primary: newest sequence the replica acked
-	degradedAcks atomic.Uint64 // writes acked without replica coverage
-	replApplied  atomic.Uint64 // records applied from the replication feed
-	replDups     atomic.Uint64 // already-applied records skipped by ctlApply
-	replGaps     atomic.Uint64 // out-of-order apply batches refused
-	replayed     atomic.Uint64 // records replayed from the log at open
+	waiter          *ackWaiter    // primary: write acks held for replica ack
+	applied         atomic.Uint64 // newest log sequence applied to the store
+	replAck         atomic.Uint64 // primary: newest sequence the replica acked
+	degradedAcks    atomic.Uint64 // writes acked without replica coverage
+	replApplied     atomic.Uint64 // records applied from the replication feed
+	replDups        atomic.Uint64 // already-applied records skipped by ctlApply
+	replGaps        atomic.Uint64 // out-of-order apply batches refused
+	replayed        atomic.Uint64 // records replayed from the log at open
 	laggingReads    atomic.Uint64 // GETs refused because the gate token was ahead
 	readOnlyRejects atomic.Uint64 // writes refused while serving as replica
 	fencedWrites    atomic.Uint64 // primary writes refused while self-fenced
 	slowOps         atomic.Uint64 // ops that exceeded the slow-op threshold
+	moved           atomic.Uint64 // ops refused with StatusMoved (cluster redirect)
+	ingested        atomic.Uint64 // records applied by migration ingest
+	purged          atomic.Uint64 // keys deleted reclaiming migrated slots
+	reseedKeys      atomic.Uint64 // pairs installed by replica re-seed chunks
 
 	// abort, when true at drain time, suppresses the final checkpoint —
 	// the simulated kill -9 path.
@@ -550,6 +595,28 @@ func (sh *shard) handle(req *request) {
 		}
 		req.resp <- rep
 		return
+	case ctlSnapshot:
+		req.resp <- sh.snapshotChunk(req)
+		return
+	case ctlIngest:
+		req.resp <- sh.ingest(req.recs)
+		return
+	case ctlBarrier:
+		req.resp <- Reply{Status: StatusOK}
+		return
+	case ctlPurge:
+		req.resp <- sh.purgeSlot(req.slot, req.slots)
+		return
+	case ctlReseedBegin:
+		req.resp <- sh.reseedBegin(req.value)
+		return
+	case ctlReseedChunk:
+		for _, rec := range req.recs {
+			sh.st.Set(rec.Key, rec.Value)
+		}
+		sh.reseedKeys.Add(uint64(len(req.recs)))
+		req.resp <- Reply{Status: StatusOK}
+		return
 	}
 	if sh.cfg.sched != nil && sh.cfg.sched.Hit(CrashPointOp) {
 		sh.crashAndRecover()
@@ -570,6 +637,13 @@ func (sh *shard) handle(req *request) {
 		sh.deadlineDrops.Add(1)
 		req.resp <- Reply{Status: StatusDeadline}
 		return
+	}
+	if sh.cfg.owns != nil && (req.op == OpGet || req.op == OpPut || req.op == OpDelete) {
+		if moved, epoch, addr := sh.cfg.owns(req.key); moved {
+			sh.moved.Add(1)
+			req.resp <- Reply{Status: StatusMoved, Epoch: epoch, Addr: addr}
+			return
+		}
 	}
 	if sh.cfg.oplog != nil {
 		// A replica only mutates through the replication feed: plain client
@@ -784,6 +858,127 @@ func (sh *shard) applyRecords(recs []repl.Record) Reply {
 		}
 	}
 	return Reply{Status: StatusOK, Shard: uint32(sh.cfg.id), Seq: ack}
+}
+
+// snapshotChunk serves one migration snapshot chunk: scan live pairs from
+// the key cursor in req.key, keep those in slot req.slot (SlotAll keeps
+// everything — the re-seed path), and stop after req.limit kept pairs. The
+// reply's Seq is the cursor the next chunk resumes from; Found set means
+// the store is exhausted and the transfer is complete. The raw scan is
+// chunked so a sparse slot cannot pin the worker for a whole store walk,
+// and the cursor only ever advances past fully consumed keys, so nothing
+// between chunks is skipped.
+func (sh *shard) snapshotChunk(req *request) Reply {
+	rep := Reply{Status: StatusOK, Pairs: make([]KV, 0, req.limit)}
+	const raw = 512
+	cursor := req.key
+	for {
+		var lastConsumed uint64
+		consumed := 0
+		n := sh.st.ScanVisit(cursor, raw, func(k, v uint64) {
+			if len(rep.Pairs) >= req.limit {
+				return // full: leave this key for the next chunk
+			}
+			lastConsumed = k
+			consumed++
+			if req.slot == SlotAll || cluster.SlotFor(k, req.slots) == int(req.slot) {
+				rep.Pairs = append(rep.Pairs, KV{Key: k, Value: v})
+			}
+		})
+		if n < raw && consumed == n {
+			rep.Found = true // store exhausted: transfer complete
+			return rep
+		}
+		if consumed > 0 && lastConsumed == math.MaxUint64 {
+			rep.Found = true
+			return rep
+		}
+		cursor = lastConsumed + 1
+		if len(rep.Pairs) >= req.limit {
+			rep.Seq = cursor
+			return rep
+		}
+	}
+}
+
+// ingest applies transferred records as fresh local writes: each is
+// re-logged under this shard's own sequence space (write-ahead, like a
+// client write), because migrated keys hash onto the acceptor's shards
+// independently of the donor's. Per-key order is preserved — a key lives
+// in exactly one donor shard and its records arrive in donor-log order.
+func (sh *shard) ingest(recs []repl.Record) Reply {
+	for _, rec := range recs {
+		var seq uint64
+		switch rec.Op {
+		case repl.RecPut:
+			if sh.cfg.oplog != nil {
+				seq = sh.cfg.oplog.Append(repl.RecPut, rec.Key, rec.Value).Seq
+			}
+			sh.st.Set(rec.Key, rec.Value)
+			sh.puts.Add(1)
+		case repl.RecDelete:
+			if sh.cfg.oplog != nil {
+				seq = sh.cfg.oplog.Append(repl.RecDelete, rec.Key, 0).Seq
+			}
+			sh.st.Delete(rec.Key)
+			sh.dels.Add(1)
+		default:
+			continue
+		}
+		if seq != 0 {
+			sh.applied.Store(seq)
+		}
+		sh.ingested.Add(1)
+		sh.sinceCkpt++
+	}
+	return Reply{Status: StatusOK}
+}
+
+// purgeSlot reclaims a migrated slot on the donor: every live key of the
+// slot is deleted through the normal logged path, so recovery and a
+// replica (if any) see the reclamation like any other write.
+func (sh *shard) purgeSlot(slot uint32, slots int) Reply {
+	var keys []uint64
+	sh.rb.Scan(0, math.MaxInt32, func(k, v uint64) {
+		if cluster.SlotFor(k, slots) == int(slot) {
+			keys = append(keys, k)
+		}
+	})
+	for _, k := range keys {
+		if sh.cfg.oplog != nil {
+			rec := sh.cfg.oplog.Append(repl.RecDelete, k, 0)
+			sh.applied.Store(rec.Seq)
+		}
+		sh.st.Delete(k)
+		sh.dels.Add(1)
+		sh.sinceCkpt++
+	}
+	sh.purged.Add(uint64(len(keys)))
+	sh.publish()
+	return Reply{Status: StatusOK}
+}
+
+// reseedBegin wipes the shard for a replica re-seed: delete every live
+// pair without logging (the pre-reseed history is being discarded, not
+// replayed), restart the log's sequence space at the snapshot watermark,
+// and checkpoint so a crash cannot resurrect the divergent state.
+func (sh *shard) reseedBegin(watermark uint64) Reply {
+	var keys []uint64
+	sh.rb.Scan(0, math.MaxInt32, func(k, v uint64) { keys = append(keys, k) })
+	for _, k := range keys {
+		sh.st.Delete(k)
+	}
+	if sh.cfg.oplog != nil {
+		if err := sh.cfg.oplog.ResetTo(watermark); err != nil {
+			return Reply{Status: StatusInternal}
+		}
+	}
+	sh.applied.Store(watermark)
+	if err := sh.checkpoint(); err != nil {
+		return Reply{Status: StatusInternal}
+	}
+	sh.publish()
+	return Reply{Status: StatusOK}
 }
 
 // scrub is the online Pangolin-style check: fsck the live pool between

@@ -32,6 +32,9 @@ const (
 	TriggerBreakerOpen = "breaker_open" // watchdog force-opened a wedged shard's breaker
 	TriggerRestart     = "restart"      // supervisor restarted a crashed shard worker
 	TriggerDivergence  = "divergence"   // follower detected a log gap it cannot bridge
+	TriggerMigration   = "migration"    // a cluster slot finished handover (in or out)
+	TriggerEpoch       = "epoch"        // stale-epoch writes detected after a handover
+	TriggerReseed      = "reseed"       // follower re-seeded itself from a primary snapshot
 )
 
 // traceSampler traces every Nth untraced request with a fresh trace ID. A

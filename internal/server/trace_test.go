@@ -386,7 +386,7 @@ func TestFencedPrimaryNotReady(t *testing.T) {
 	if ready, _ := solo.Ready(); !ready {
 		t.Fatal("primary that never saw a replica should be ready")
 	}
-	solo.markReplContact() // a replica appears...
+	solo.markReplContact()                             // a replica appears...
 	waitFor(t, "fencing", 2*time.Second, func() bool { // ...then goes silent
 		ready, _ := solo.Ready()
 		return !ready

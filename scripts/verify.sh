@@ -61,6 +61,24 @@ go run ./cmd/nvbench -experiment resilience -quick
 go test -race -run 'TestReplicationSmoke' ./internal/bench/
 go run ./cmd/nvbench -experiment replication -quick
 
+# Cluster leg: the cluster map and routing package carry their own race
+# leg and coverage gate, then the live-migration gate end to end — a node
+# joins a loaded cluster through a flaky network, at least one slot
+# migrates live, clients follow MOVED redirects by themselves, and the
+# run passes only with zero acked-write loss and zero stale-epoch writes.
+go test -race -coverprofile=/tmp/cluster_cover.out ./internal/cluster/...
+go tool cover -func=/tmp/cluster_cover.out | awk '
+	/^total:/ {
+		sub(/%/, "", $3)
+		printf "internal/cluster coverage: %s%% (gate: 80%%)\n", $3
+		if ($3 + 0 < 80) {
+			print "FAIL: internal/cluster coverage below 80%"
+			exit 1
+		}
+	}'
+go test -race -run 'TestClusterSmoke' ./internal/bench/
+go run ./cmd/nvbench -experiment cluster -quick -benchlog=false
+
 # Tracing leg: the request-scoped tracing plane under the race detector —
 # envelope codec, echo discipline, span/flight recorders, health probes —
 # then the nvbench gate: every echo returns, per-trace stage sums fit

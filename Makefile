@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test fuzz verify bench faults resilience repl cluster serve
+.PHONY: build test fuzz verify bench faults resilience repl cluster sim serve
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,12 @@ repl:
 # writes.
 cluster:
 	$(GO) run ./cmd/nvbench -experiment cluster
+
+# Simulation gate: deterministic cluster simulation — byte-identical
+# same-seed replay, the split-brain fence gate, and a 10-seed nemesis
+# sweep checked for durable linearizability.
+sim:
+	$(GO) run ./cmd/nvbench -experiment sim -benchlog=false
 
 # Run the sharded KV daemon with persistent pools and the metrics mux.
 serve:

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve, resilience, replication, trace, cluster")
+		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve, resilience, replication, trace, cluster, sim")
 	quick := flag.Bool("quick", false, "run the scaled-down workload")
 	format := flag.String("format", "table", "output format: table, csv (fig11, fig13, fig14, fig15, table5, knn, scaling), or json (full measurement document)")
 	httpAddr := flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running (e.g. localhost:9090)")
@@ -63,6 +63,11 @@ func main() {
 		// The replication experiment drives a primary/replica pair:
 		// in-process servers, real sockets, a real kill and promotion.
 		err = replication(*quick, *format == "json")
+	case *experiment == "sim":
+		// The sim experiment drives the deterministic simulator: replay
+		// determinism, the split-brain fence gate, and a seeded nemesis
+		// sweep checked for durable linearizability.
+		err = simExp(*quick, *format == "json", *benchLog)
 	case *experiment == "trace":
 		// The trace experiment drives a traced primary/replica pair:
 		// reply echo and stage-sum soundness, slow-op log, killed-primary
@@ -298,6 +303,35 @@ func replication(quick, asJSON bool) error {
 		return fmt.Errorf("replication acceptance failed: promotions=%d lagDrained=%v degraded=%d timeout=%d lost=%d missing=%d probeErrors=%d",
 			res.Promotions, res.LagDrained, res.DegradedAcks, res.TimeoutAcks,
 			res.LostWrites, res.MissingKeys, res.ProbeErrors)
+	}
+	return nil
+}
+
+// simExp runs the deterministic-simulation experiment: byte-identical
+// same-seed replay, the unfenced/fenced split-brain checker gate, and a
+// multi-seed nemesis sweep with zero durable-linearizability violations.
+// The trajectory point tracks the harness's own overhead (the simulator
+// is single-in-flight on a virtual clock, so this is not server
+// capacity) alongside the serve numbers.
+func simExp(quick, asJSON, benchLog bool) error {
+	res, err := bench.RunSim(bench.SimSpecFor(quick))
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		if err := bench.WriteSimJSON(os.Stdout, res); err != nil {
+			return err
+		}
+	} else {
+		bench.WriteSim(os.Stdout, res)
+	}
+	if benchLog {
+		appendTrajectory("serve", res.OpsPerSec, res.P99us)
+	}
+	if !res.Pass() {
+		return fmt.Errorf("sim acceptance failed: determinism=%v unfencedViolation=%v fencedOK=%v sweepRuns=%d violations=%d failures=%d",
+			res.DeterminismOK, res.UnfencedViolation, res.FencedOK,
+			res.SweepRuns, res.SweepViolations, res.SweepFailures)
 	}
 	return nil
 }

@@ -37,6 +37,10 @@ type Config struct {
 	Seed uint64
 	// MaxDelay bounds an injected delay (default 2ms).
 	MaxDelay time.Duration
+	// Clock serves the injected delays. Nil uses the wall clock; the
+	// deterministic simulator passes its virtual clock so a delay is an
+	// exactly reproducible time advance instead of a real sleep.
+	Clock fault.Clock
 }
 
 // Conn is a net.Conn with scheduled faults on Read and Write. Counters are
@@ -55,6 +59,7 @@ func Wrap(c net.Conn, cfg Config) *Conn {
 	if cfg.MaxDelay <= 0 {
 		cfg.MaxDelay = 2 * time.Millisecond
 	}
+	cfg.Clock = fault.OrWall(cfg.Clock)
 	return &Conn{Conn: c, cfg: cfg, rng: fault.NewRand(cfg.Seed | 1)}
 }
 
@@ -98,7 +103,7 @@ func (c *Conn) fire(p []byte, writing bool) (truncated int, severed bool) {
 		return 0, true
 	default: // delay: a congested link, bounded by MaxDelay
 		c.Delays.Add(1)
-		time.Sleep(time.Duration(c.rng.Intn(int(c.cfg.MaxDelay))) + time.Microsecond)
+		c.cfg.Clock.Sleep(time.Duration(c.rng.Intn(int(c.cfg.MaxDelay))) + time.Microsecond)
 		return 0, false
 	}
 }

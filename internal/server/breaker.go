@@ -3,6 +3,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"nvref/internal/fault"
 )
 
 // Circuit-breaker states. The breaker guards one shard's queue: while the
@@ -36,11 +38,12 @@ type breaker struct {
 	state    atomic.Int32
 	openedNS atomic.Int64 // when the breaker last opened (UnixNano)
 	cooldown time.Duration
+	clock    fault.Clock
 	opens    atomic.Uint64
 }
 
-func newBreaker(cooldown time.Duration) *breaker {
-	return &breaker{cooldown: cooldown}
+func newBreaker(cooldown time.Duration, clock fault.Clock) *breaker {
+	return &breaker{cooldown: cooldown, clock: fault.OrWall(clock)}
 }
 
 // Allow reports whether a request may be admitted to the shard queue.
@@ -51,7 +54,7 @@ func (b *breaker) Allow() bool {
 	case brClosed:
 		return true
 	case brOpen:
-		if b.cooldown > 0 && time.Since(time.Unix(0, b.openedNS.Load())) >= b.cooldown {
+		if b.cooldown > 0 && b.clock.Now().Sub(time.Unix(0, b.openedNS.Load())) >= b.cooldown {
 			// The CAS winner carries the probe; losers stay refused.
 			return b.state.CompareAndSwap(brOpen, brHalfOpen)
 		}
@@ -64,7 +67,7 @@ func (b *breaker) Allow() bool {
 // ForceOpen trips the breaker (recovery in flight, or the watchdog
 // declared the worker wedged) and restamps the cooldown clock.
 func (b *breaker) ForceOpen() {
-	b.openedNS.Store(time.Now().UnixNano())
+	b.openedNS.Store(b.clock.Now().UnixNano())
 	if b.state.Swap(brOpen) != brOpen {
 		b.opens.Add(1)
 	}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestBreakerLifecycle(t *testing.T) {
-	b := newBreaker(20 * time.Millisecond)
+	b := newBreaker(20*time.Millisecond, nil)
 	if !b.Allow() {
 		t.Fatal("closed breaker refused")
 	}
@@ -59,7 +59,7 @@ func TestBreakerLifecycle(t *testing.T) {
 }
 
 func TestBreakerProbeSingleWinner(t *testing.T) {
-	b := newBreaker(time.Millisecond)
+	b := newBreaker(time.Millisecond, nil)
 	b.ForceOpen()
 	time.Sleep(5 * time.Millisecond)
 	// Many concurrent Allow calls after cooldown: exactly one probe.

@@ -386,6 +386,11 @@ func pairsToRecords(pairs []KV) []repl.Record {
 // donor's log truncation; the caller restarts from a fresh snapshot.
 var errMigrationRestart = errors.New("server: migration cursor truncated; restart from snapshot")
 
+// errMigrationStopped reports a migration interrupted by server
+// shutdown; the slot stays with the donor (or fenced for this
+// acceptor, in which case a re-run after restart completes it).
+var errMigrationStopped = errors.New("server: migration interrupted by shutdown")
+
 // MigrateIn takes ownership of one cluster slot: snapshot, catch-up,
 // fence, final catch-up, commit (see the package comment's state
 // machine). dial, when non-nil, replaces the TCP dialer — the hook fault
@@ -405,6 +410,10 @@ func (s *Server) MigrateIn(slot int, dial func(addr string) (net.Conn, error)) e
 	if donor == s.cluster.self {
 		return nil
 	}
+	if !s.migEnter() {
+		return errMigrationStopped
+	}
+	defer s.migExit()
 	dialer := clusterDial(dial)
 	for attempt := 0; ; attempt++ {
 		err := s.migrateOnce(slot, donor, dialer)
@@ -427,6 +436,7 @@ func (s *Server) migrateOnce(slot int, donor string, dial func(addr string) (net
 		return fmt.Errorf("server: dialing donor %s: %w", donor, err)
 	}
 	cl := NewClient(conn)
+	cl.SetTimeout(10 * time.Second) // bound each RPC so shutdown's drain wait is bounded too
 	defer cl.Close()
 
 	// Donor shape and pre-snapshot applied sequences (the catch-up bases:
@@ -446,6 +456,9 @@ func (s *Server) migrateOnce(slot int, donor string, dial func(addr string) (net
 	for ds := 0; ds < st.Shards; ds++ {
 		cursor := uint64(0)
 		for {
+			if s.migStopped() {
+				return errMigrationStopped
+			}
 			done, next, pairs, err := cl.MigSnapshot(uint32(ds), uint32(slot), cursor, MaxScanLimit)
 			if err != nil {
 				return fmt.Errorf("server: snapshot of donor shard %d: %w", ds, err)
@@ -470,6 +483,9 @@ func (s *Server) migrateOnce(slot int, donor string, dial func(addr string) (net
 	// draining a concurrent fence of the same handover; retry briefly.
 	var fenceSeqs []uint64
 	for {
+		if s.migStopped() {
+			return errMigrationStopped
+		}
 		seqs, err := cl.MigFence(uint32(slot), s.cluster.self)
 		if err == nil {
 			fenceSeqs = seqs
@@ -491,6 +507,9 @@ func (s *Server) migrateOnce(slot int, donor string, dial func(addr string) (net
 		}
 	}
 
+	if s.migStopped() {
+		return errMigrationStopped
+	}
 	// Commit: build epoch+1 from the donor's map (the epoch the fence was
 	// validated under), install locally first — this node must serve the
 	// slot before the donor releases it — then on the donor (required:
@@ -534,6 +553,9 @@ func (s *Server) migrateOnce(slot int, donor string, dial func(addr string) (net
 // donor truncated past the cursor — restart from a snapshot.
 func (s *Server) pullUntil(cl *Client, shard, slot uint32, cursor *uint64, target *uint64) error {
 	for {
+		if s.migStopped() {
+			return errMigrationStopped
+		}
 		contiguous, through, last, recs, err := cl.MigPull(shard, slot, *cursor, MaxReplBatch)
 		if err != nil {
 			return fmt.Errorf("server: catch-up pull of donor shard %d: %w", shard, err)

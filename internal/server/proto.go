@@ -865,6 +865,13 @@ func AppendBatchReply(buf []byte, req *Request, rep *Reply) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, rep.Trace)
 	}
 	buf = append(buf, rep.Status)
+	if rep.Status == StatusMoved {
+		// Keep the redirect payload symmetric with AppendReply: the
+		// decoder parses epoch+addr after MOVED regardless of op.
+		buf = binary.LittleEndian.AppendUint64(buf, rep.Epoch)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rep.Addr)))
+		return append(buf, rep.Addr...)
+	}
 	if rep.Status != StatusOK {
 		return buf
 	}

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nvref/internal/fault"
 	"nvref/internal/obs"
 	"nvref/internal/repl"
 )
@@ -81,6 +82,7 @@ func roleName(r int32) string {
 type ackWaiter struct {
 	ack     *atomic.Uint64 // the shard's replica-acked sequence
 	timeout time.Duration
+	clock   fault.Clock       // expiry stamps and sweep comparisons
 	spans   *obs.SpanRecorder // sampled holds record replack_hold spans
 	shard   int
 
@@ -100,8 +102,8 @@ type heldAck struct {
 	heldAt time.Time
 }
 
-func newAckWaiter(ack *atomic.Uint64, timeout time.Duration, spans *obs.SpanRecorder, shard int) *ackWaiter {
-	return &ackWaiter{ack: ack, timeout: timeout, spans: spans, shard: shard}
+func newAckWaiter(ack *atomic.Uint64, timeout time.Duration, clock fault.Clock, spans *obs.SpanRecorder, shard int) *ackWaiter {
+	return &ackWaiter{ack: ack, timeout: timeout, clock: fault.OrWall(clock), spans: spans, shard: shard}
 }
 
 // hold parks (resp, rep) until release covers rep.Seq. The covered check
@@ -115,7 +117,7 @@ func (w *ackWaiter) hold(resp chan Reply, rep Reply, trace uint64) {
 		resp <- rep
 		return
 	}
-	h := heldAck{seq: rep.Seq, expiry: time.Now().Add(w.timeout), resp: resp, rep: rep, trace: trace}
+	h := heldAck{seq: rep.Seq, expiry: w.clock.Now().Add(w.timeout), resp: resp, rep: rep, trace: trace}
 	if trace != 0 && w.spans != nil {
 		h.heldAt = time.Now()
 	}
@@ -230,7 +232,7 @@ func (s *Server) Promotions() uint64 { return s.repl.promotions.Load() }
 // markReplContact records replica traffic for the liveness window, and
 // re-arms the fencing trigger: renewed contact ends a fenced episode.
 func (s *Server) markReplContact() {
-	s.repl.lastPull.Store(time.Now().UnixNano())
+	s.repl.lastPull.Store(s.cfg.Clock.Now().UnixNano())
 	s.fencedTrip.Store(false)
 }
 
@@ -238,7 +240,7 @@ func (s *Server) markReplContact() {
 // that holding write acks for it is worthwhile.
 func (s *Server) replicaLive() bool {
 	lp := s.repl.lastPull.Load()
-	return lp != 0 && time.Since(time.Unix(0, lp)) <= s.cfg.ReplLiveWindow
+	return lp != 0 && s.cfg.Clock.Now().Sub(time.Unix(0, lp)) <= s.cfg.ReplLiveWindow
 }
 
 // writeFenced reports whether a primary must refuse writes because its
@@ -251,7 +253,7 @@ func (s *Server) writeFenced() bool {
 		return false
 	}
 	lp := s.repl.lastPull.Load()
-	return lp != 0 && time.Since(time.Unix(0, lp)) > s.cfg.FenceAfter
+	return lp != 0 && s.cfg.Clock.Now().Sub(time.Unix(0, lp)) > s.cfg.FenceAfter
 }
 
 // Promote turns a replica into a primary: stop pulling, fsck every pool
@@ -338,13 +340,11 @@ func (s *Server) ackSweeper() {
 	if tick < 10*time.Millisecond {
 		tick = 10 * time.Millisecond
 	}
-	t := time.NewTicker(tick)
-	defer t.Stop()
 	for {
 		select {
 		case <-s.bgStop:
 			return
-		case now := <-t.C:
+		case now := <-s.cfg.Clock.After(tick):
 			for _, sh := range s.shards {
 				if sh.waiter != nil {
 					sh.waiter.sweep(now)
@@ -466,6 +466,7 @@ type follower struct {
 	batch        int
 	window       int
 	promoteAfter time.Duration
+	clock        fault.Clock // lastContact stamps and the promotion window
 
 	autoReseed bool
 
@@ -493,6 +494,7 @@ func newFollower(s *Server, cfg *Config) *follower {
 		batch:        cfg.ReplBatch,
 		window:       cfg.ReplWindow,
 		promoteAfter: cfg.PromoteAfter,
+		clock:        fault.OrWall(cfg.Clock),
 		autoReseed:   !cfg.NoAutoReseed,
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
@@ -503,7 +505,7 @@ func newFollower(s *Server, cfg *Config) *follower {
 			return net.DialTimeout("tcp", addr, time.Second)
 		}
 	}
-	f.lastContact.Store(time.Now().UnixNano())
+	f.lastContact.Store(f.clock.Now().UnixNano())
 	return f
 }
 
@@ -516,7 +518,7 @@ func (f *follower) Stop() {
 }
 
 func (f *follower) touch() {
-	f.lastContact.Store(time.Now().UnixNano())
+	f.lastContact.Store(f.clock.Now().UnixNano())
 }
 
 // lagRecords sums, per shard, how far the primary's newest seen sequence
@@ -775,10 +777,11 @@ func (f *follower) maybePromote() bool {
 		return false
 	}
 	lc := time.Unix(0, f.lastContact.Load())
-	if time.Since(lc) < f.promoteAfter {
+	silent := f.clock.Now().Sub(lc)
+	if silent < f.promoteAfter {
 		return false
 	}
-	f.s.logf("server: primary %s silent for %v; promoting", f.addr, time.Since(lc).Round(time.Millisecond))
+	f.s.logf("server: primary %s silent for %v; promoting", f.addr, silent.Round(time.Millisecond))
 	_ = f.s.Promote() // Promote signals our stop
 	return true
 }
@@ -807,6 +810,6 @@ func (f *follower) stats() *FollowerStats {
 		Reseeds:       f.reseeds.Load(),
 		LagRecords:    lag,
 		LagBytes:      lag * repl.RecordSize,
-		LastContactMS: time.Since(time.Unix(0, f.lastContact.Load())).Milliseconds(),
+		LastContactMS: f.clock.Now().Sub(time.Unix(0, f.lastContact.Load())).Milliseconds(),
 	}
 }

@@ -291,7 +291,7 @@ func TestOplogSurvivesPowerLoss(t *testing.T) {
 
 func TestAckWaiter(t *testing.T) {
 	var ack atomic.Uint64
-	w := newAckWaiter(&ack, time.Hour, nil, 0)
+	w := newAckWaiter(&ack, time.Hour, nil, nil, 0)
 
 	mkresp := func() chan Reply { return make(chan Reply, 1) }
 
@@ -327,7 +327,7 @@ func TestAckWaiter(t *testing.T) {
 	}
 
 	// Sweep expires stale holds with UNAVAILABLE.
-	wFast := newAckWaiter(&ack, time.Nanosecond, nil, 0)
+	wFast := newAckWaiter(&ack, time.Nanosecond, nil, nil, 0)
 	r4 := mkresp()
 	wFast.hold(r4, Reply{Status: StatusOK, Seq: 100}, 0)
 	time.Sleep(time.Millisecond)

@@ -70,6 +70,15 @@ type Config struct {
 	// Logf, when non-nil, receives supervisor, watchdog, and scrubber
 	// events (one line each).
 	Logf func(format string, args ...any)
+	// Clock is the time source for every correctness window the server
+	// keeps: request deadlines, held-ack expiry, replica liveness, fencing,
+	// promotion-by-silence, breaker cooldowns, and the watchdog's wedge
+	// window. Nil uses the wall clock; the deterministic simulator
+	// (internal/sim) passes a virtual clock so those windows open and close
+	// at exactly reproducible points. Purely mechanical cadences — socket
+	// deadlines, dial timeouts, follower poll sleeps — stay on the wall
+	// clock regardless, since they pace real goroutines and sockets.
+	Clock fault.Clock
 
 	// TraceSample, when positive, is the fraction of untraced requests the
 	// server itself samples for span recording (clients may also request
@@ -203,6 +212,7 @@ func (c *Config) fillDefaults() {
 	if c.LogFlushEvery == 0 {
 		c.LogFlushEvery = 64
 	}
+	c.Clock = fault.OrWall(c.Clock)
 }
 
 // latencyBounds are the microsecond buckets of the per-shard latency
@@ -224,6 +234,16 @@ type Server struct {
 	bgStop   chan struct{} // watchdog + scrubber
 	bgWG     sync.WaitGroup
 	stopOnce sync.Once
+
+	// Migration gate: MigrateIn registers with migWG so shutdown can
+	// interrupt (migStop) and drain in-flight slot migrations before
+	// the shard queues close — an undrained migration would send to a
+	// closed queue.
+	migMu       sync.Mutex
+	migClosing  bool
+	migWG       sync.WaitGroup
+	migStop     chan struct{}
+	migStopOnce sync.Once
 
 	connCount atomic.Int64
 	requests  atomic.Uint64
@@ -274,6 +294,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		conns:   make(map[net.Conn]struct{}),
 		bgStop:  make(chan struct{}),
+		migStop: make(chan struct{}),
 		started: time.Now(),
 		spans:   cfg.Spans,
 		flight:  cfg.Flight,
@@ -308,6 +329,7 @@ func New(cfg Config) (*Server, error) {
 			queueDepth:      cfg.QueueDepth,
 			checkpointEvery: cfg.CheckpointEvery,
 			admitWait:       cfg.AdmitWait,
+			clock:           cfg.Clock,
 			logf:            cfg.Logf,
 			spans:           cfg.Spans,
 			flight:          cfg.Flight,
@@ -352,7 +374,7 @@ func New(cfg Config) (*Server, error) {
 				fmt.Sprintf("shard %d request latency (queue wait + service), microseconds", i),
 				latencyBounds)
 		}
-		sh, err := newShard(sc, newBreaker(cfg.BreakerCooldown))
+		sh, err := newShard(sc, newBreaker(cfg.BreakerCooldown, cfg.Clock))
 		if err != nil {
 			// Unwind the shards already running.
 			for _, prev := range s.shards {
@@ -428,8 +450,6 @@ func (s *Server) watchdog() {
 	if tick < time.Millisecond {
 		tick = time.Millisecond
 	}
-	t := time.NewTicker(tick)
-	defer t.Stop()
 	lastBeat := make([]int64, len(s.shards))
 	stuckSince := make([]time.Time, len(s.shards))
 	for i, sh := range s.shards {
@@ -439,7 +459,7 @@ func (s *Server) watchdog() {
 		select {
 		case <-s.bgStop:
 			return
-		case now := <-t.C:
+		case now := <-s.cfg.Clock.After(tick):
 			for i, sh := range s.shards {
 				hb := sh.heartbeat.Load()
 				if len(sh.queue) == 0 || hb != lastBeat[i] {
@@ -473,13 +493,11 @@ func (s *Server) watchdog() {
 // are skipped and retried next period.
 func (s *Server) scrubber() {
 	defer s.bgWG.Done()
-	t := time.NewTicker(s.cfg.ScrubEvery)
-	defer t.Stop()
 	for {
 		select {
 		case <-s.bgStop:
 			return
-		case <-t.C:
+		case <-s.cfg.Clock.After(s.cfg.ScrubEvery):
 			for _, sh := range s.shards {
 				if sh.state.Load() != stateHealthy || len(sh.queue) > 0 {
 					continue
@@ -753,7 +771,7 @@ func (s *Server) handleConn(conn net.Conn) {
 // workers so every hop stamps spans under the same ID.
 func (s *Server) dispatch(req *Request, trace uint64, sampled bool) chan Reply {
 	resp := make(chan Reply, 1)
-	now := time.Now()
+	now := s.cfg.Clock.Now()
 	var deadline time.Time
 	if req.TTLms > 0 {
 		deadline = now.Add(time.Duration(req.TTLms) * time.Millisecond)
@@ -805,7 +823,7 @@ func (s *Server) dispatch(req *Request, trace uint64, sampled bool) chan Reply {
 // results down to limit pairs.
 func (s *Server) scatterScan(start uint64, limit int, deadline time.Time, trace uint64, sampled bool) Reply {
 	parts := make([]chan Reply, len(s.shards))
-	now := time.Now()
+	now := s.cfg.Clock.Now()
 	for i, sh := range s.shards {
 		parts[i] = make(chan Reply, 1)
 		sh.submit(&request{op: OpScan, key: start, limit: limit,
@@ -832,7 +850,7 @@ func (s *Server) scatterScan(start uint64, limit int, deadline time.Time, trace 
 // applies to every sub-request.
 func (s *Server) batch(req *Request, deadline time.Time, trace uint64, sampled bool) Reply {
 	resps := make([]chan Reply, len(req.Sub))
-	now := time.Now()
+	now := s.cfg.Clock.Now()
 	for i := range req.Sub {
 		sub := &req.Sub[i]
 		resps[i] = make(chan Reply, 1)
@@ -998,6 +1016,43 @@ func (s *Server) stopBackground() {
 	s.bgWG.Wait()
 }
 
+// migEnter registers an in-process slot migration; false means the
+// server is shutting down and no migration may start.
+func (s *Server) migEnter() bool {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	if s.migClosing {
+		return false
+	}
+	s.migWG.Add(1)
+	return true
+}
+
+func (s *Server) migExit() { s.migWG.Done() }
+
+// migStopped reports whether shutdown was requested; migrations check
+// it between batches so an Abort interrupts them at a batch boundary
+// instead of racing the shard queues.
+func (s *Server) migStopped() bool {
+	select {
+	case <-s.migStop:
+		return true
+	default:
+		return false
+	}
+}
+
+// stopMigrations interrupts in-flight MigrateIn calls and waits for
+// them to unwind; after it returns, no in-process migration submits to
+// the shard queues (idempotent).
+func (s *Server) stopMigrations() {
+	s.migMu.Lock()
+	s.migClosing = true
+	s.migMu.Unlock()
+	s.migStopOnce.Do(func() { close(s.migStop) })
+	s.migWG.Wait()
+}
+
 // Close shuts the server down gracefully: stop the follower, stop
 // accepting, sever client connections, stop the watchdog/scrubber/sweeper,
 // drain every shard queue, and checkpoint every pool (which also flushes
@@ -1006,6 +1061,7 @@ func (s *Server) Close() error {
 	s.stopFollower()
 	s.shutdownNetwork()
 	s.stopBackground()
+	s.stopMigrations()
 	for _, sh := range s.shards {
 		close(sh.queue)
 	}
@@ -1022,6 +1078,7 @@ func (s *Server) Abort() {
 	s.stopFollower()
 	s.shutdownNetwork()
 	s.stopBackground()
+	s.stopMigrations()
 	for _, sh := range s.shards {
 		sh.abort.Store(true)
 		close(sh.queue)

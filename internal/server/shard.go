@@ -134,6 +134,7 @@ type shardConfig struct {
 	checkpointEvery int
 	admitWait       time.Duration   // max bounded-queue wait before SHED
 	sched           fault.Scheduler // per-shard; evaluated at CrashPointOp
+	clock           fault.Clock     // deadline checks and held-ack expiry
 	latency         *obs.Histogram  // queue+service latency, microseconds
 	logf            func(format string, args ...any)
 
@@ -221,6 +222,7 @@ func newShard(cfg shardConfig, br *breaker) (*shard, error) {
 	if cfg.queueDepth <= 0 {
 		cfg.queueDepth = 128
 	}
+	cfg.clock = fault.OrWall(cfg.clock)
 	sh := &shard{
 		cfg:     cfg,
 		queue:   make(chan *request, cfg.queueDepth),
@@ -228,7 +230,7 @@ func newShard(cfg shardConfig, br *breaker) (*shard, error) {
 		breaker: br,
 	}
 	if cfg.oplog != nil {
-		sh.waiter = newAckWaiter(&sh.replAck, cfg.ackTimeout, cfg.spans, cfg.id)
+		sh.waiter = newAckWaiter(&sh.replAck, cfg.ackTimeout, cfg.clock, cfg.spans, cfg.id)
 	}
 	sh.beat()
 	if err := sh.open(); err != nil {
@@ -355,7 +357,7 @@ func (sh *shard) submit(r *request) {
 	}
 	wait := sh.cfg.admitWait
 	if !r.deadline.IsZero() {
-		if d := time.Until(r.deadline); d < wait {
+		if d := r.deadline.Sub(sh.cfg.clock.Now()); d < wait {
 			wait = d
 		}
 	}
@@ -633,7 +635,7 @@ func (sh *shard) handle(req *request) {
 				req.start, execStart.Sub(req.start))
 		}
 	}
-	if !req.deadline.IsZero() && time.Now().After(req.deadline) {
+	if !req.deadline.IsZero() && sh.cfg.clock.Now().After(req.deadline) {
 		sh.deadlineDrops.Add(1)
 		req.resp <- Reply{Status: StatusDeadline}
 		return

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"nvref/internal/sim/linz"
+)
+
+// Event is one line of the recorded history. Ordering is by Idx — the
+// driver-assigned logical sequence number — which is the real timebase
+// of the simulation; VUS (virtual microseconds since the sim epoch) is
+// carried for window debugging and crash attribution.
+type Event struct {
+	Idx    int    `json:"i"`
+	Type   string `json:"type"` // "inv", "ret", "crash", "nemesis"
+	VUS    int64  `json:"vus"`
+	Client int    `json:"client,omitempty"`
+	Op     string `json:"op,omitempty"` // "put", "get", "delete"
+	Key    string `json:"key,omitempty"`
+	Value  uint64 `json:"value,omitempty"`
+	Found  bool   `json:"found,omitempty"`
+	// Outcome on a "ret": "ok", "fail", or "info" (indeterminate — the
+	// request was sent but no acknowledgement came back; it may or may
+	// not have taken effect).
+	Outcome string `json:"outcome,omitempty"`
+	Node    string `json:"node,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// History records the events of one simulation run. It is safe for use
+// from the driver plus nemesis goroutine.
+type History struct {
+	mu     sync.Mutex
+	clock  *VClock
+	events []Event
+}
+
+// NewHistory returns a recorder stamping events from the given clock.
+func NewHistory(clock *VClock) *History {
+	return &History{clock: clock}
+}
+
+func (h *History) append(e Event) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e.Idx = len(h.events)
+	e.VUS = h.clock.Elapsed().Microseconds()
+	h.events = append(h.events, e)
+	return e.Idx
+}
+
+// Invoke records a client invocation and returns its event index.
+func (h *History) Invoke(client int, op, key string, value uint64) int {
+	return h.append(Event{Type: "inv", Client: client, Op: op, Key: key, Value: value})
+}
+
+// Return records the response paired with a prior Invoke from the same
+// client. outcome is "ok", "fail", or "info".
+func (h *History) Return(client int, op, key string, value uint64, found bool, outcome string) {
+	h.append(Event{Type: "ret", Client: client, Op: op, Key: key,
+		Value: value, Found: found, Outcome: outcome})
+}
+
+// Crash records a node crash marker. Every operation acknowledged before
+// this point must survive it (durable linearizability); indeterminate
+// operations invoked before it may be cut off by it.
+func (h *History) Crash(node string) {
+	h.append(Event{Type: "crash", Node: node})
+}
+
+// Nemesis records a non-crash nemesis action for trace readability.
+func (h *History) Nemesis(node, detail string) {
+	h.append(Event{Type: "nemesis", Node: node, Detail: detail})
+}
+
+// Events returns a snapshot copy of the recorded events.
+func (h *History) Events() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Event, len(h.events))
+	copy(out, h.events)
+	return out
+}
+
+// JSONL renders the history one event per line, suitable for writing to
+// a .jsonl file and for the byte-identical determinism comparison.
+func (h *History) JSONL() []byte {
+	var buf []byte
+	for _, e := range h.Events() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			panic(err) // Event has no unmarshalable fields
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// ToLinz converts the recorded event stream into the checker's history
+// form: invocations matched to returns per client (the driver keeps at
+// most one operation in flight per client), crash markers translated to
+// op-index positions.
+func (h *History) ToLinz() (linz.History, error) {
+	events := h.Events()
+	var lh linz.History
+	// pending[client] -> index into lh.Ops of the open invocation.
+	pending := make(map[int]int)
+	for _, e := range events {
+		switch e.Type {
+		case "inv":
+			if _, open := pending[e.Client]; open {
+				return lh, fmt.Errorf("client %d: overlapping invocations at event %d", e.Client, e.Idx)
+			}
+			var kind linz.Kind
+			switch e.Op {
+			case "put":
+				kind = linz.Put
+			case "get":
+				kind = linz.Get
+			case "delete":
+				kind = linz.Delete
+			default:
+				return lh, fmt.Errorf("event %d: unknown op %q", e.Idx, e.Op)
+			}
+			pending[e.Client] = len(lh.Ops)
+			lh.Ops = append(lh.Ops, linz.Op{
+				Kind: kind, Key: e.Key, Value: e.Value,
+				Call: e.Idx, Return: -1, Outcome: linz.Info,
+			})
+		case "ret":
+			oi, open := pending[e.Client]
+			if !open {
+				return lh, fmt.Errorf("client %d: return without invocation at event %d", e.Client, e.Idx)
+			}
+			delete(pending, e.Client)
+			op := &lh.Ops[oi]
+			op.Return = e.Idx
+			op.Found = e.Found
+			if op.Kind == linz.Get {
+				op.Value = e.Value
+			}
+			switch e.Outcome {
+			case "ok":
+				op.Outcome = linz.Ok
+			case "fail":
+				op.Outcome = linz.Fail
+			case "info":
+				op.Outcome = linz.Info
+			default:
+				return lh, fmt.Errorf("event %d: unknown outcome %q", e.Idx, e.Outcome)
+			}
+		case "crash":
+			lh.Crashes = append(lh.Crashes, e.Idx)
+		}
+	}
+	return lh, nil
+}

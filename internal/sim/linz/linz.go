@@ -1,0 +1,272 @@
+// Package linz is a from-scratch durable-linearizability checker for
+// key-value histories recorded by the simulator.
+//
+// The model is a register per key (keys are independent under
+// linearizability, so the history is partitioned per key and each
+// partition is checked alone). Within one key the checker runs a
+// Wing & Gong style search: repeatedly pick an operation whose
+// invocation precedes the return of every not-yet-linearized mandatory
+// operation, apply its effect to the register, and backtrack on
+// mismatch. Visited (linearized-set, register-state) pairs are memoized
+// so the search revisits no state.
+//
+// Durable linearizability (Izraelevitz et al.) extends the condition
+// across crashes: an operation acknowledged before a crash must remain
+// visible after restart, while an operation whose acknowledgement was
+// lost (outcome Info — "indeterminate") is free to either take effect
+// or vanish. Both rules fall out of the encoding here:
+//
+//   - The register is never reset at a crash marker. Post-crash reads
+//     are ordinary operations checked against the same register, so a
+//     lost acked write shows up as an unlinearizable read.
+//   - Ok operations are mandatory (the search must linearize all of
+//     them); Info operations are optional (the search may skip them),
+//     but if chosen, their effect must be placeable before the
+//     operation's effect horizon — its recorded return if the client
+//     observed one, else the first crash after its invocation. The
+//     simulator's driver is synchronous (by the time a client call
+//     returns, the server has either applied the request or will never
+//     see it), which is what makes the recorded return a sound horizon.
+//   - Fail operations are definite refusals that never reached the data
+//     path; they are dropped before the search.
+package linz
+
+import "fmt"
+
+// Kind is the operation type.
+type Kind int
+
+const (
+	Put Kind = iota
+	Get
+	Delete
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Put:
+		return "put"
+	case Get:
+		return "get"
+	default:
+		return "delete"
+	}
+}
+
+// Outcome classifies how the client observed an operation complete.
+type Outcome int
+
+const (
+	// Ok: acknowledged success — the operation definitely took effect
+	// and its response (Found/Value for reads) is binding.
+	Ok Outcome = iota
+	// Fail: definite refusal — the operation definitely did not take
+	// effect and its response carries no information.
+	Fail
+	// Info: indeterminate — the request was sent but no acknowledgement
+	// came back. It may or may not have taken effect.
+	Info
+)
+
+// Op is one completed client operation.
+type Op struct {
+	Kind  Kind
+	Key   string
+	Value uint64 // Put: value written. Ok Get: value observed.
+	Found bool   // Ok Get/Delete: whether the key was present.
+	// Call and Return are logical timestamps (history event indices).
+	// Return is -1 if the client never observed a response.
+	Call    int
+	Return  int
+	Outcome Outcome
+}
+
+// History is a set of completed operations plus crash points, all on
+// the same logical timeline.
+type History struct {
+	Ops []Op
+	// Crashes are event indices at which a node holding the data
+	// crashed. They bound the effect horizon of Info operations that
+	// never returned.
+	Crashes []int
+}
+
+// Result reports the verdict of a check.
+type Result struct {
+	Ok bool
+	// Violations holds one message per key that failed, empty when Ok.
+	Violations []string
+	// Visited is the total number of distinct search states explored.
+	Visited int
+	// Exhausted is set when a per-key search hit the state cap before
+	// reaching a verdict; the key is reported as a violation.
+	Exhausted bool
+}
+
+// stateCap bounds the memoized states explored per key. Histories the
+// simulator produces stay far below it; the cap exists so an
+// adversarial hand-built history cannot hang the checker.
+const stateCap = 4_000_000
+
+// Check verifies the history is durably linearizable.
+func Check(h History) Result {
+	perKey := make(map[string][]Op)
+	var keys []string
+	for _, op := range h.Ops {
+		if op.Outcome == Fail {
+			continue // definite refusal: no effect, no information
+		}
+		if op.Outcome == Info && op.Kind == Get {
+			continue // lost read: no effect, no information
+		}
+		if _, seen := perKey[op.Key]; !seen {
+			keys = append(keys, op.Key)
+		}
+		perKey[op.Key] = append(perKey[op.Key], op)
+	}
+	res := Result{Ok: true}
+	for _, key := range keys {
+		ok, visited, exhausted := checkKey(perKey[key], h.Crashes)
+		res.Visited += visited
+		if exhausted {
+			res.Exhausted = true
+			res.Ok = false
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("key %q: search exceeded %d states", key, stateCap))
+			continue
+		}
+		if !ok {
+			res.Ok = false
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("key %q: no linearization of %d ops", key, len(perKey[key])))
+		}
+	}
+	return res
+}
+
+// register is the sequential specification: a single key that is either
+// absent or holds one value.
+type register struct {
+	present bool
+	value   uint64
+}
+
+type memoKey struct {
+	mask    string
+	present bool
+	value   uint64
+}
+
+// horizon returns the latest event index at which op's effect may be
+// placed: its return if recorded, else the first crash after its call,
+// else unbounded.
+func horizon(op Op, crashes []int) int {
+	if op.Return >= 0 {
+		return op.Return
+	}
+	for _, c := range crashes {
+		if c > op.Call {
+			return c
+		}
+	}
+	return int(^uint(0) >> 1) // max int
+}
+
+// checkKey runs the per-key search. Returns (linearizable, states
+// visited, state cap hit).
+func checkKey(ops []Op, crashes []int) (bool, int, bool) {
+	n := len(ops)
+	if n == 0 {
+		return true, 0, false
+	}
+	horizons := make([]int, n)
+	mandatory := 0
+	for i, op := range ops {
+		horizons[i] = horizon(op, crashes)
+		if op.Outcome == Ok {
+			mandatory++
+		}
+	}
+	if mandatory == 0 {
+		return true, 0, false // every op optional: skip them all
+	}
+
+	maskLen := (n + 7) / 8
+	type frame struct {
+		mask    []byte
+		reg     register
+		maxCall int // minimal placement bound: max Call over linearized set
+		done    int // mandatory ops linearized so far
+	}
+	memo := make(map[memoKey]bool)
+	stack := []frame{{mask: make([]byte, maskLen)}}
+	memo[memoKey{mask: string(stack[0].mask)}] = true
+
+	linearized := func(mask []byte, i int) bool { return mask[i/8]&(1<<(i%8)) != 0 }
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		// minRet over unlinearized mandatory ops: the next linearization
+		// point must precede it, or ordering with a mandatory op breaks.
+		minRet := int(^uint(0) >> 1)
+		for i, op := range ops {
+			if op.Outcome == Ok && !linearized(f.mask, i) && op.Return < minRet {
+				minRet = op.Return
+			}
+		}
+
+		for i, op := range ops {
+			if linearized(f.mask, i) || op.Call >= minRet {
+				continue
+			}
+			// Semantics: does the op's observed response match the
+			// register, and what does it leave behind?
+			reg := f.reg
+			switch op.Kind {
+			case Put:
+				reg = register{present: true, value: op.Value}
+			case Get:
+				if op.Found != f.reg.present || (op.Found && op.Value != f.reg.value) {
+					continue
+				}
+			case Delete:
+				if op.Outcome == Ok && op.Found != f.reg.present {
+					continue
+				}
+				reg = register{}
+			}
+			// Effect horizon: the minimal placement of this op's
+			// linearization point is max(maxCall so far, its own call);
+			// that must not pass the horizon.
+			maxCall := f.maxCall
+			if op.Call > maxCall {
+				maxCall = op.Call
+			}
+			if maxCall >= horizons[i] {
+				continue
+			}
+			done := f.done
+			if op.Outcome == Ok {
+				done++
+			}
+			if done == mandatory {
+				return true, len(memo), false
+			}
+			mask := make([]byte, maskLen)
+			copy(mask, f.mask)
+			mask[i/8] |= 1 << (i % 8)
+			mk := memoKey{mask: string(mask), present: reg.present, value: reg.value}
+			if memo[mk] {
+				continue
+			}
+			if len(memo) >= stateCap {
+				return false, len(memo), true
+			}
+			memo[mk] = true
+			stack = append(stack, frame{mask: mask, reg: reg, maxCall: maxCall, done: done})
+		}
+	}
+	return false, len(memo), false
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"net"
+	"sync"
+)
+
+// Net is the simulator's partitionable network. Nodes still talk over
+// real loopback TCP (so the server's wire path is exercised unchanged),
+// but every dial in the simulation goes through Net.Dialer, which maps
+// the target address back to a node name and consults a directed
+// link-blocking table. Blocking a link severs the live connections that
+// were dialed across it and makes new dials fail with a refused-style
+// error, which is exactly what the retry/fencing machinery sees during
+// a real partition.
+//
+// Blocking is directed: Block("a","b") stops traffic on connections
+// dialed from a to b while leaving b→a dials alone, which is how the
+// asymmetric (one-way) partition schedules are built. A full partition
+// blocks both directions.
+type Net struct {
+	mu    sync.Mutex
+	addrs map[string]string // node name -> listen address
+	nodes map[string]string // listen address -> node name
+	// blocked holds directed edges "from\x00to".
+	blocked map[string]bool
+	// conns tracks live wrapped connections per directed edge so Block
+	// can sever them.
+	conns map[string]map[*simConn]bool
+}
+
+// NewNet returns an empty network registry.
+func NewNet() *Net {
+	return &Net{
+		addrs:   make(map[string]string),
+		nodes:   make(map[string]string),
+		blocked: make(map[string]bool),
+		conns:   make(map[string]map[*simConn]bool),
+	}
+}
+
+func edgeKey(from, to string) string { return from + "\x00" + to }
+
+// Register binds a node name to its listen address. Re-registering after
+// a crash/restart (same name, possibly new address) replaces the old
+// binding.
+func (n *Net) Register(node, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old, ok := n.addrs[node]; ok {
+		delete(n.nodes, old)
+	}
+	n.addrs[node] = addr
+	n.nodes[addr] = node
+}
+
+// Addr returns the registered listen address for a node.
+func (n *Net) Addr(node string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.addrs[node]
+}
+
+// Block cuts the directed link from→to: live connections dialed across
+// it are closed and new dials fail until Unblock.
+func (n *Net) Block(from, to string) {
+	n.mu.Lock()
+	key := edgeKey(from, to)
+	n.blocked[key] = true
+	var sever []*simConn
+	for c := range n.conns[key] {
+		sever = append(sever, c)
+	}
+	n.mu.Unlock()
+	for _, c := range sever {
+		c.Conn.Close()
+	}
+}
+
+// Unblock restores the directed link from→to.
+func (n *Net) Unblock(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, edgeKey(from, to))
+}
+
+// Partition cuts both directions between a and b.
+func (n *Net) Partition(a, b string) {
+	n.Block(a, b)
+	n.Block(b, a)
+}
+
+// Heal restores both directions between a and b.
+func (n *Net) Heal(a, b string) {
+	n.Unblock(a, b)
+	n.Unblock(b, a)
+}
+
+// HealAll clears every blocked link.
+func (n *Net) HealAll() {
+	n.mu.Lock()
+	n.blocked = make(map[string]bool)
+	n.mu.Unlock()
+}
+
+// Blocked reports whether the directed link from→to is currently cut.
+func (n *Net) Blocked(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.blocked[edgeKey(from, to)]
+}
+
+// Dialer returns a dial function that attributes outbound connections to
+// the named node and enforces link blocking. It has the same signature
+// the server's replication and cluster planes accept for dial injection.
+func (n *Net) Dialer(from string) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		n.mu.Lock()
+		to, known := n.nodes[addr]
+		key := edgeKey(from, to)
+		cut := known && n.blocked[key]
+		n.mu.Unlock()
+		if cut {
+			return nil, &net.OpError{Op: "dial", Net: "tcp",
+				Addr: &net.TCPAddr{}, Err: errLinkDown}
+		}
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if !known {
+			return raw, nil
+		}
+		c := &simConn{Conn: raw, net: n, key: key}
+		n.mu.Lock()
+		set := n.conns[key]
+		if set == nil {
+			set = make(map[*simConn]bool)
+			n.conns[key] = set
+		}
+		set[c] = true
+		n.mu.Unlock()
+		return c, nil
+	}
+}
+
+type linkDownError struct{}
+
+func (linkDownError) Error() string   { return "sim: link down" }
+func (linkDownError) Timeout() bool   { return false }
+func (linkDownError) Temporary() bool { return true }
+
+var errLinkDown = linkDownError{}
+
+// simConn wraps a real TCP connection with a link-state check so a
+// Block issued after the handshake still kills in-flight traffic.
+type simConn struct {
+	net.Conn
+	net *Net
+	key string
+}
+
+func (c *simConn) Read(p []byte) (int, error) {
+	if c.cut() {
+		return 0, errLinkDown
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *simConn) Write(p []byte) (int, error) {
+	if c.cut() {
+		return 0, errLinkDown
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *simConn) Close() error {
+	c.net.mu.Lock()
+	if set := c.net.conns[c.key]; set != nil {
+		delete(set, c)
+	}
+	c.net.mu.Unlock()
+	return c.Conn.Close()
+}
+
+func (c *simConn) cut() bool {
+	c.net.mu.Lock()
+	defer c.net.mu.Unlock()
+	if c.net.blocked[c.key] {
+		return true
+	}
+	return false
+}

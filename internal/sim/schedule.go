@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// ActionKind enumerates the nemesis moves a schedule can make.
+type ActionKind string
+
+const (
+	// ActPartition cuts both directions between Node and Peer.
+	ActPartition ActionKind = "partition"
+	// ActOneway cuts only the Node→Peer direction (asymmetric partition).
+	ActOneway ActionKind = "oneway"
+	// ActHeal restores both directions between Node and Peer.
+	ActHeal ActionKind = "heal"
+	// ActHealAll restores every link.
+	ActHealAll ActionKind = "heal-all"
+	// ActAdvance moves the virtual clock forward by D — this is how
+	// fencing, promotion, liveness, and ack-expiry windows elapse.
+	ActAdvance ActionKind = "advance"
+	// ActCrash kills Node without ceremony (no final checkpoint) and
+	// records a crash marker in the history.
+	ActCrash ActionKind = "crash"
+	// ActRestart brings a crashed Node back on its old address with its
+	// retained stores; Role overrides the node's role ("replica" makes a
+	// restarted old primary rejoin as a follower of Peer).
+	ActRestart ActionKind = "restart"
+	// ActWaitRole blocks until Node reports the Role ("primary").
+	ActWaitRole ActionKind = "wait-role"
+	// ActWaitConn blocks until Node's follower has pulled from its
+	// primary at least once since restart.
+	ActWaitConn ActionKind = "wait-conn"
+	// ActRebalance starts (or re-runs, after an acceptor crash) slot
+	// rebalance on Node — cluster topology only.
+	ActRebalance ActionKind = "rebalance"
+	// ActWaitRebalance blocks until the last ActRebalance finished.
+	ActWaitRebalance ActionKind = "wait-rebalance"
+)
+
+// Action is one nemesis move, fired when AfterOp client operations have
+// completed. Actions sharing an AfterOp fire back-to-back with no client
+// operation between them — schedules rely on that to, e.g., partition a
+// link and elapse the fencing window atomically, so no operation ever
+// runs against a half-applied fault.
+type Action struct {
+	AfterOp int
+	Kind    ActionKind
+	Node    string
+	Peer    string
+	D       time.Duration
+	Role    string
+}
+
+// OpKind is a scripted client operation class.
+type OpKind string
+
+const (
+	OpPut    OpKind = "put"
+	OpGet    OpKind = "get"
+	OpDelete OpKind = "delete"
+)
+
+// OpSpec is one scripted operation: kind plus the key index it targets.
+type OpSpec struct {
+	Kind OpKind
+	Key  int
+}
+
+// Schedule declares one simulation: topology, workload, configuration
+// knobs under test, and the nemesis script.
+type Schedule struct {
+	Name     string
+	Topology string // "pair" (primary/replica) or "cluster" (2 primaries, slot migration)
+
+	// Ops is the number of client operations when Script is nil; the
+	// driver draws a seeded put/get/delete mix over Keys. Script, when
+	// set, replaces the random mix with an exact operation sequence —
+	// the split-brain gates use it so the stale read is forced to land
+	// where the violation is observable.
+	Ops    int
+	Keys   int
+	Script []OpSpec
+
+	Clients int
+
+	// DeleteFrac, per mille, is the share of deletes in the random mix.
+	// Gated-read schedules keep it 0: read gates are advanced by
+	// acknowledged put sequence numbers only, so a delete would let a
+	// lagging replica serve the pre-delete value through the gate — a
+	// true stale read the checker would (correctly) flag.
+	DeleteFrac int
+
+	// FenceAfter/PromoteAfter configure the failover windows (virtual
+	// time). Pair topology only.
+	FenceAfter   time.Duration
+	PromoteAfter time.Duration
+
+	// GatedReads makes the driver issue reads with the newest
+	// acknowledged per-shard sequence token, so a lagging node refuses
+	// (and the client rotates) instead of serving stale state. Required
+	// for any pair schedule that lets clients read from the replica.
+	GatedReads bool
+
+	// Flaky wraps client connections with the seed-deterministic fault
+	// injector (delays served by the virtual clock).
+	Flaky      bool
+	FlakyEvery int // one injected fault per that many conn I/O calls
+
+	Actions []Action
+
+	// ExpectViolation marks schedules constructed to corrupt history
+	// (the unfenced split-brain gate): the run passes when the checker
+	// DOES flag a durable-linearizability violation.
+	ExpectViolation bool
+}
+
+// Window constants shared by the builtin schedules (virtual time).
+const (
+	simReplLive     = 200 * time.Millisecond
+	simFenceAfter   = 300 * time.Millisecond
+	simPromoteAfter = 500 * time.Millisecond
+	simAckTimeout   = 2 * time.Second
+)
+
+// splitBrainScript builds the scripted gate workload on one key:
+// warm-up writes and reads, a partition window with writes, then — after
+// the old primary is crashed — reads only. The final reads must precede
+// any fresh write: a write would overwrite the lost value and hide the
+// loss from the reads that follow.
+func splitBrainScript() []OpSpec {
+	var s []OpSpec
+	for i := 0; i < 6; i++ {
+		s = append(s, OpSpec{Kind: OpPut})
+	}
+	s = append(s, OpSpec{Kind: OpGet}, OpSpec{Kind: OpGet})
+	// ops 8..13: partition window (actions fire at AfterOp 8).
+	for i := 0; i < 4; i++ {
+		s = append(s, OpSpec{Kind: OpPut})
+	}
+	s = append(s, OpSpec{Kind: OpGet}, OpSpec{Kind: OpGet})
+	// ops 14..19: old primary crashed (actions at AfterOp 14); reads only.
+	for i := 0; i < 6; i++ {
+		s = append(s, OpSpec{Kind: OpGet})
+	}
+	return s
+}
+
+// SplitBrain is the fencing gate: a primary⇄replica partition long
+// enough for the replica to promote itself, writes during the window,
+// then the old primary crashes and the survivors are read. With fencing
+// disabled the partitioned primary keeps acknowledging writes the
+// promoted replica never saw — a durable-linearizability violation the
+// checker must flag. With FenceAfter below PromoteAfter the old primary
+// fences itself first, clients rotate, and the same script is clean.
+func SplitBrain(fenced bool) Schedule {
+	s := Schedule{
+		Name:         "split-brain-unfenced",
+		Topology:     "pair",
+		Keys:         1,
+		Clients:      1,
+		Script:       splitBrainScript(),
+		PromoteAfter: simPromoteAfter,
+		Actions: []Action{
+			{AfterOp: 8, Kind: ActPartition, Node: "a", Peer: "b"},
+			{AfterOp: 8, Kind: ActAdvance, D: simPromoteAfter + 50*time.Millisecond},
+			{AfterOp: 8, Kind: ActWaitRole, Node: "b", Role: "primary"},
+			{AfterOp: 14, Kind: ActCrash, Node: "a"},
+		},
+		ExpectViolation: true,
+	}
+	if fenced {
+		s.Name = "split-brain-fenced"
+		s.FenceAfter = simFenceAfter
+		s.ExpectViolation = false
+	}
+	return s
+}
+
+// PartitionHeal is a sweep schedule: fenced pair, random workload with
+// gated reads, a full partition that outlives both failover windows,
+// then a heal. The promoted replica carries the traffic; the fenced old
+// primary refuses writes and gated reads keep every read linearizable.
+func PartitionHeal(ops int) Schedule {
+	return Schedule{
+		Name:         "partition-heal",
+		Topology:     "pair",
+		Ops:          ops,
+		Keys:         8,
+		Clients:      3,
+		FenceAfter:   simFenceAfter,
+		PromoteAfter: simPromoteAfter,
+		GatedReads:   true,
+		Actions: []Action{
+			{AfterOp: ops / 4, Kind: ActPartition, Node: "a", Peer: "b"},
+			{AfterOp: ops / 4, Kind: ActAdvance, D: simPromoteAfter + 50*time.Millisecond},
+			{AfterOp: ops / 4, Kind: ActWaitRole, Node: "b", Role: "primary"},
+			{AfterOp: ops / 2, Kind: ActHeal, Node: "a", Peer: "b"},
+		},
+	}
+}
+
+// CrashRestartReplica is a sweep schedule: the replica crashes without
+// warning and later rejoins with its retained stores, recovering from
+// its own log and catching up from the primary. The advance past the
+// replica-liveness window is load-bearing: without it the primary would
+// hold every write ack for a replica that can never answer.
+func CrashRestartReplica(ops int) Schedule {
+	return Schedule{
+		Name:         "crash-restart-replica",
+		Topology:     "pair",
+		Ops:          ops,
+		Keys:         8,
+		Clients:      3,
+		FenceAfter:   0, // a lone primary must keep serving after replica loss
+		PromoteAfter: simPromoteAfter,
+		GatedReads:   true,
+		Actions: []Action{
+			{AfterOp: ops / 3, Kind: ActCrash, Node: "b"},
+			{AfterOp: ops / 3, Kind: ActAdvance, D: simReplLive + 50*time.Millisecond},
+			{AfterOp: 2 * ops / 3, Kind: ActRestart, Node: "b", Role: "replica", Peer: "a"},
+			{AfterOp: 2 * ops / 3, Kind: ActWaitConn, Node: "b"},
+		},
+	}
+}
+
+// CrashFailoverRestart is a sweep schedule: the primary crashes, the
+// replica promotes itself after the silence window, and the old primary
+// later rejoins as a replica following the new primary.
+func CrashFailoverRestart(ops int) Schedule {
+	return Schedule{
+		Name:         "crash-failover-restart",
+		Topology:     "pair",
+		Ops:          ops,
+		Keys:         8,
+		Clients:      3,
+		FenceAfter:   simFenceAfter,
+		PromoteAfter: simPromoteAfter,
+		GatedReads:   true,
+		Actions: []Action{
+			{AfterOp: ops / 3, Kind: ActCrash, Node: "a"},
+			{AfterOp: ops / 3, Kind: ActAdvance, D: simPromoteAfter + 50*time.Millisecond},
+			{AfterOp: ops / 3, Kind: ActWaitRole, Node: "b", Role: "primary"},
+			{AfterOp: 2 * ops / 3, Kind: ActRestart, Node: "a", Role: "replica", Peer: "b"},
+		},
+	}
+}
+
+// MigrationKill is the cluster sweep schedule: node a owns every slot,
+// node b joins empty and starts pulling slots over; mid-migration the
+// acceptor is killed and restarted, and the rebalance is re-run to
+// completion (slot fencing on the donor is idempotent for the same
+// acceptor, so the re-run finishes the half-done handover).
+func MigrationKill(ops int) Schedule {
+	return Schedule{
+		Name:     "migration-kill",
+		Topology: "cluster",
+		Ops:      ops,
+		Keys:     16,
+		Clients:  3,
+		Actions: []Action{
+			{AfterOp: ops / 4, Kind: ActRebalance, Node: "b"},
+			{AfterOp: ops / 3, Kind: ActCrash, Node: "b"},
+			{AfterOp: ops / 2, Kind: ActRestart, Node: "b"},
+			{AfterOp: ops / 2, Kind: ActRebalance, Node: "b"},
+			{AfterOp: 3 * ops / 4, Kind: ActWaitRebalance},
+		},
+	}
+}
+
+// Steady is the no-fault baseline: a healthy pair, deletes included.
+// Its history is the byte-identical determinism gate.
+func Steady(ops int) Schedule {
+	return Schedule{
+		Name:         "steady",
+		Topology:     "pair",
+		Ops:          ops,
+		Keys:         8,
+		Clients:      3,
+		DeleteFrac:   150,
+		FenceAfter:   simFenceAfter,
+		PromoteAfter: simPromoteAfter,
+	}
+}
+
+// FlakySteady is the fault-injector determinism exercise: same healthy
+// pair, but every client connection runs behind the seeded flaky
+// wrapper, with injected delays served by the virtual clock.
+func FlakySteady(ops int) Schedule {
+	s := Steady(ops)
+	s.Name = "flaky-steady"
+	// Injected conn faults make clients rotate onto the replica, so
+	// reads must carry gates — and gates don't cover deletes.
+	s.DeleteFrac = 0
+	s.GatedReads = true
+	s.Flaky = true
+	s.FlakyEvery = 40
+	return s
+}
+
+// Schedules returns the named builtin, for CLI selection.
+func Schedules(name string, ops int) (Schedule, error) {
+	switch name {
+	case "steady":
+		return Steady(ops), nil
+	case "flaky-steady":
+		return FlakySteady(ops), nil
+	case "split-brain-unfenced":
+		return SplitBrain(false), nil
+	case "split-brain-fenced":
+		return SplitBrain(true), nil
+	case "partition-heal":
+		return PartitionHeal(ops), nil
+	case "crash-restart-replica":
+		return CrashRestartReplica(ops), nil
+	case "crash-failover-restart":
+		return CrashFailoverRestart(ops), nil
+	case "migration-kill":
+		return MigrationKill(ops), nil
+	}
+	return Schedule{}, fmt.Errorf("sim: unknown schedule %q", name)
+}

@@ -1,0 +1,858 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nvref/internal/cluster"
+	"nvref/internal/fault"
+	"nvref/internal/fault/flaky"
+	"nvref/internal/pmem"
+	"nvref/internal/rt"
+	"nvref/internal/server"
+	"nvref/internal/sim/linz"
+)
+
+// Fixed simulation sizes. Small shard/pool counts keep a run cheap; the
+// schedules, not the data volume, are what exercise the machinery.
+const (
+	simShards   = 2
+	simSlots    = 16
+	simPoolSize = 4 << 20
+
+	// opTick is the virtual time the driver charges per client
+	// operation — the only per-op clock movement.
+	opTick = time.Millisecond
+
+	// clientWallTimeout is the per-operation I/O deadline on sim client
+	// connections. It is the liveness safety net: if a schedule ever
+	// wedges a node in a state where a reply cannot come (e.g. an ack
+	// held for a dead replica with no clock advance), the operation
+	// resolves as indeterminate instead of hanging the run.
+	clientWallTimeout = 3 * time.Second
+
+	// settleWall is a small real-time pause after each nemesis action so
+	// goroutines woken by it (virtual timers, severed connections) act
+	// before the next client operation. It never moves the virtual
+	// clock, so it cannot perturb the recorded history.
+	settleWall = 10 * time.Millisecond
+
+	barrierWait = 5 * time.Second
+)
+
+// RunConfig parameterizes one simulation run.
+type RunConfig struct {
+	Schedule Schedule
+	Seed     int64
+	// HistoryDir, when set, receives the run's history as
+	// <schedule>-seed<seed>.jsonl for offline replay and inspection.
+	HistoryDir string
+}
+
+// RunResult is the verdict of one run.
+type RunResult struct {
+	Schedule        string   `json:"schedule"`
+	Seed            int64    `json:"seed"`
+	Events          int      `json:"events"`
+	OpsOK           int      `json:"ops_ok"`
+	OpsFail         int      `json:"ops_fail"`
+	OpsInfo         int      `json:"ops_info"`
+	Crashes         int      `json:"crashes"`
+	LinzOK          bool     `json:"linz_ok"`
+	Violations      []string `json:"violations,omitempty"`
+	StatesVisited   int      `json:"states_visited"`
+	ExpectViolation bool     `json:"expect_violation"`
+	// Ok means the checker's verdict matched the schedule's expectation
+	// and the run moved real traffic.
+	Ok          bool   `json:"ok"`
+	Detail      string `json:"detail,omitempty"`
+	HistoryPath string `json:"history_path,omitempty"`
+	History     []byte `json:"-"`
+}
+
+// node is one simulated server process: its identity, its retained
+// stores (which survive crashes, as pmem does), and the live instance.
+type node struct {
+	name        string
+	roleReplica bool
+	follow      string // node name this replica follows
+	addr        string
+	stores      []pmem.Store
+	logStores   []pmem.Store
+	// cluster topology only:
+	clusterStore pmem.Store
+	bootstrap    *cluster.Map
+
+	srv *server.Server
+	up  bool
+}
+
+type sim struct {
+	sched Schedule
+	seed  int64
+	vc    *VClock
+	net   *Net
+	hist  *History
+	rng   *rand.Rand
+
+	nodes map[string]*node
+	order []string // client rotation order
+
+	val uint64 // global write-value sequencer
+
+	// Read gates (GatedReads schedules): newest acknowledged per-shard
+	// sequence, and which shard each key hashed to. Driver-thread only.
+	gateShard map[uint64]uint32
+	gateMax   map[uint32]uint64
+
+	flaky      *flaky.Config
+	flakyConns uint64
+
+	rebalWG  sync.WaitGroup
+	rebalMu  sync.Mutex
+	rebalErr string
+}
+
+// Run executes one schedule under one seed and checks the recorded
+// history for durable linearizability.
+func Run(rc RunConfig) (*RunResult, error) {
+	sched := rc.Schedule
+	if sched.Clients <= 0 {
+		sched.Clients = 1
+	}
+	if sched.Keys <= 0 {
+		sched.Keys = 1
+	}
+	if sched.Script == nil && sched.Ops <= 0 {
+		return nil, errors.New("sim: schedule has no operations")
+	}
+	s := &sim{
+		sched:     sched,
+		seed:      rc.Seed,
+		vc:        NewVClock(),
+		net:       NewNet(),
+		rng:       rand.New(rand.NewSource(rc.Seed)),
+		nodes:     make(map[string]*node),
+		gateShard: make(map[uint64]uint32),
+		gateMax:   make(map[uint32]uint64),
+	}
+	s.hist = NewHistory(s.vc)
+	if sched.Flaky {
+		every := sched.FlakyEvery
+		if every <= 0 {
+			every = 40
+		}
+		s.flaky = &flaky.Config{
+			Sched: fault.NewPeriodic("", every),
+			Seed:  uint64(rc.Seed) | 1,
+			Clock: s.vc,
+		}
+	}
+	defer s.teardown()
+
+	var err error
+	if sched.Topology == "cluster" {
+		err = s.setupCluster()
+	} else {
+		err = s.setupPair()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	clients := make([]*simClient, sched.Clients)
+	for i := range clients {
+		clients[i] = &simClient{s: s, id: i}
+	}
+	defer func() {
+		for _, c := range clients {
+			c.close()
+		}
+	}()
+
+	ops := sched.Script
+	if ops == nil {
+		ops = s.generateOps()
+	}
+	acts := append([]Action(nil), sched.Actions...)
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].AfterOp < acts[j].AfterOp })
+
+	var detail []string
+	ai := 0
+	for i, op := range ops {
+		for ai < len(acts) && acts[ai].AfterOp <= i {
+			if msg := s.fire(acts[ai]); msg != "" {
+				detail = append(detail, msg)
+			}
+			ai++
+		}
+		s.step(clients[s.rng.Intn(len(clients))], op)
+	}
+	for ai < len(acts) {
+		if msg := s.fire(acts[ai]); msg != "" {
+			detail = append(detail, msg)
+		}
+		ai++
+	}
+
+	res := &RunResult{
+		Schedule:        sched.Name,
+		Seed:            rc.Seed,
+		ExpectViolation: sched.ExpectViolation,
+		History:         s.hist.JSONL(),
+	}
+	for _, e := range s.hist.Events() {
+		res.Events++
+		switch e.Type {
+		case "crash":
+			res.Crashes++
+		case "ret":
+			switch e.Outcome {
+			case "ok":
+				res.OpsOK++
+			case "fail":
+				res.OpsFail++
+			case "info":
+				res.OpsInfo++
+			}
+		}
+	}
+	if rc.HistoryDir != "" {
+		path := filepath.Join(rc.HistoryDir,
+			fmt.Sprintf("%s-seed%d.jsonl", sched.Name, rc.Seed))
+		if werr := os.WriteFile(path, res.History, 0o644); werr == nil {
+			res.HistoryPath = path
+		} else {
+			detail = append(detail, fmt.Sprintf("history write: %v", werr))
+		}
+	}
+
+	s.rebalMu.Lock()
+	if s.rebalErr != "" {
+		detail = append(detail, s.rebalErr)
+	}
+	s.rebalMu.Unlock()
+
+	lh, err := s.hist.ToLinz()
+	if err != nil {
+		return nil, fmt.Errorf("sim: malformed history: %w", err)
+	}
+	check := linz.Check(lh)
+	res.LinzOK = check.Ok
+	res.Violations = check.Violations
+	res.StatesVisited = check.Visited
+
+	res.Ok = res.OpsOK > 0 && !check.Exhausted && check.Ok == !sched.ExpectViolation
+	if !res.Ok {
+		switch {
+		case res.OpsOK == 0:
+			detail = append(detail, "no operation succeeded")
+		case check.Exhausted:
+			detail = append(detail, "checker state cap exceeded")
+		case sched.ExpectViolation:
+			detail = append(detail, "expected a durable-linearizability violation; history checked clean")
+		default:
+			detail = append(detail, "history is not durably linearizable")
+		}
+	}
+	res.Detail = strings.Join(detail, "; ")
+	return res, nil
+}
+
+func (s *sim) teardown() {
+	for _, n := range s.nodes {
+		if n.up {
+			n.srv.Abort()
+			n.up = false
+		}
+	}
+}
+
+// --- topology setup ---
+
+func (s *sim) newNode(name string) *node {
+	n := &node{name: name}
+	for i := 0; i < simShards; i++ {
+		n.stores = append(n.stores, pmem.NewMemStore())
+		n.logStores = append(n.logStores, pmem.NewMemStore())
+	}
+	s.nodes[name] = n
+	s.order = append(s.order, name)
+	return n
+}
+
+// config builds a node's server configuration. Crash-survival posture:
+// checkpoints off (CheckpointEvery -1) and the log image flushed on
+// every append, so a kill -9 recovers by replaying the full retained
+// log — and the primary's log is never truncated, which is also what
+// lets a rejoining follower pull a contiguous tail.
+func (s *sim) config(n *node) server.Config {
+	cfg := server.Config{
+		Shards:          simShards,
+		Mode:            rt.HW,
+		PoolSize:        simPoolSize,
+		CheckpointEvery: -1,
+		LogFlushEvery:   1,
+		Clock:           s.vc,
+		AckTimeout:      simAckTimeout,
+		ReplLiveWindow:  simReplLive,
+		StoreFor:        func(i int) pmem.Store { return n.stores[i] },
+		LogStoreFor:     func(i int) pmem.Store { return n.logStores[i] },
+	}
+	switch {
+	case n.clusterStore != nil:
+		cfg.ClusterSelf = n.addr
+		cfg.ClusterMap = n.bootstrap
+		cfg.ClusterStore = n.clusterStore
+	case n.roleReplica:
+		cfg.Role = server.RoleReplica
+		cfg.FollowAddr = s.net.Addr(n.follow)
+		cfg.FollowDial = s.net.Dialer(n.name)
+		cfg.FollowPoll = time.Millisecond
+		cfg.PromoteAfter = s.sched.PromoteAfter
+		cfg.FenceAfter = s.sched.FenceAfter
+	default:
+		cfg.Role = server.RolePrimary
+		cfg.FenceAfter = s.sched.FenceAfter
+	}
+	return cfg
+}
+
+// start boots (or reboots) a node. A restart reuses the node's previous
+// address, so peers and clients reach it where they always did.
+func (s *sim) start(n *node) error {
+	srv, err := server.New(s.config(n))
+	if err != nil {
+		return fmt.Errorf("sim: node %s: %w", n.name, err)
+	}
+	if n.clusterStore != nil {
+		l, err := net.Listen("tcp", n.addr)
+		if err != nil {
+			return fmt.Errorf("sim: node %s rebind %s: %w", n.name, n.addr, err)
+		}
+		go srv.Serve(l)
+	} else {
+		bind := n.addr
+		if bind == "" {
+			bind = "127.0.0.1:0"
+		}
+		addr, err := srv.Start(bind)
+		if err != nil {
+			return fmt.Errorf("sim: node %s bind %s: %w", n.name, bind, err)
+		}
+		n.addr = addr.String()
+	}
+	s.net.Register(n.name, n.addr)
+	n.srv = srv
+	n.up = true
+	return nil
+}
+
+func (s *sim) setupPair() error {
+	a := s.newNode("a")
+	b := s.newNode("b")
+	b.roleReplica = true
+	b.follow = "a"
+	if err := s.start(a); err != nil {
+		return err
+	}
+	if err := s.start(b); err != nil {
+		return err
+	}
+	// Acks must be held against replica durability from the first write.
+	return waitUntil(barrierWait, func() bool {
+		fs := b.srv.CollectStats().Follower
+		return fs != nil && fs.Pulls > 0
+	})
+}
+
+func (s *sim) setupCluster() error {
+	a := s.newNode("a")
+	b := s.newNode("b")
+	a.clusterStore = pmem.NewMemStore()
+	b.clusterStore = pmem.NewMemStore()
+	// The bootstrap map needs a's address before its server exists:
+	// bind first, boot after, exactly like production config would pin
+	// a known host:port.
+	la, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	lb, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		la.Close()
+		return err
+	}
+	a.addr, b.addr = la.Addr().String(), lb.Addr().String()
+	m, err := cluster.New(simSlots, []string{a.addr})
+	if err != nil {
+		la.Close()
+		lb.Close()
+		return err
+	}
+	a.bootstrap = m
+	s.net.Register("a", a.addr)
+	s.net.Register("b", b.addr)
+	if err := s.bootCluster(a, la); err != nil {
+		lb.Close()
+		return err
+	}
+	if err := s.bootCluster(b, lb); err != nil {
+		return err
+	}
+	return b.srv.JoinCluster(a.addr, s.net.Dialer("b"))
+}
+
+func (s *sim) bootCluster(n *node, l net.Listener) error {
+	srv, err := server.New(s.config(n))
+	if err != nil {
+		l.Close()
+		return fmt.Errorf("sim: node %s: %w", n.name, err)
+	}
+	go srv.Serve(l)
+	n.srv = srv
+	n.up = true
+	return nil
+}
+
+// --- nemesis execution ---
+
+func (s *sim) fire(a Action) string {
+	switch a.Kind {
+	case ActPartition:
+		s.hist.Nemesis(a.Node, "partition "+a.Node+"<->"+a.Peer)
+		s.net.Partition(a.Node, a.Peer)
+		time.Sleep(settleWall)
+	case ActOneway:
+		s.hist.Nemesis(a.Node, "block "+a.Node+"->"+a.Peer)
+		s.net.Block(a.Node, a.Peer)
+		time.Sleep(settleWall)
+	case ActHeal:
+		s.hist.Nemesis(a.Node, "heal "+a.Node+"<->"+a.Peer)
+		s.net.Heal(a.Node, a.Peer)
+		time.Sleep(settleWall)
+	case ActHealAll:
+		s.hist.Nemesis("", "heal-all")
+		s.net.HealAll()
+		time.Sleep(settleWall)
+	case ActAdvance:
+		s.hist.Nemesis("", "advance "+a.D.String())
+		s.vc.Advance(a.D)
+		time.Sleep(settleWall)
+	case ActCrash:
+		n := s.nodes[a.Node]
+		if n == nil || !n.up {
+			return "crash: node " + a.Node + " not up"
+		}
+		s.hist.Crash(n.name)
+		n.srv.Abort()
+		n.up = false
+		time.Sleep(settleWall)
+	case ActRestart:
+		n := s.nodes[a.Node]
+		if n == nil || n.up {
+			return "restart: node " + a.Node + " not crashed"
+		}
+		if s.sched.Topology == "cluster" {
+			// A rebalance racing the crash must fully die before the
+			// node returns on the same port.
+			s.waitRebalance(barrierWait)
+		}
+		switch a.Role {
+		case "replica":
+			n.roleReplica = true
+			n.follow = a.Peer
+		case "primary":
+			n.roleReplica = false
+		}
+		if err := s.start(n); err != nil {
+			return err.Error()
+		}
+		s.hist.Nemesis(n.name, "restart")
+		time.Sleep(settleWall)
+	case ActWaitRole:
+		n := s.nodes[a.Node]
+		if err := waitUntil(barrierWait, func() bool {
+			return n.up && n.srv.Role() == server.RolePrimary
+		}); err != nil {
+			return "wait-role " + a.Node + ": " + err.Error()
+		}
+	case ActWaitConn:
+		n := s.nodes[a.Node]
+		if err := waitUntil(barrierWait, func() bool {
+			if !n.up {
+				return false
+			}
+			fs := n.srv.CollectStats().Follower
+			return fs != nil && fs.Pulls > 0
+		}); err != nil {
+			return "wait-conn " + a.Node + ": " + err.Error()
+		}
+	case ActRebalance:
+		n := s.nodes[a.Node]
+		if n == nil || !n.up {
+			return "rebalance: node " + a.Node + " not up"
+		}
+		s.hist.Nemesis(n.name, "rebalance")
+		srv := n.srv
+		s.rebalWG.Add(1)
+		go func() {
+			defer func() {
+				// A crash action can abort this node mid-rebalance;
+				// dying with the node is the simulated outcome, not a
+				// harness failure.
+				if r := recover(); r != nil {
+					s.noteRebal(fmt.Sprintf("rebalance died: %v", r))
+				}
+				s.rebalWG.Done()
+			}()
+			if _, err := srv.Rebalance(s.net.Dialer(n.name)); err != nil {
+				s.noteRebal(fmt.Sprintf("rebalance: %v", err))
+			}
+		}()
+	case ActWaitRebalance:
+		if !s.waitRebalance(2 * barrierWait) {
+			return "wait-rebalance: timed out"
+		}
+	}
+	return ""
+}
+
+func (s *sim) noteRebal(msg string) {
+	s.rebalMu.Lock()
+	s.rebalErr = msg
+	s.rebalMu.Unlock()
+}
+
+func (s *sim) waitRebalance(d time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		s.rebalWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+// --- workload ---
+
+func (s *sim) generateOps() []OpSpec {
+	ops := make([]OpSpec, 0, s.sched.Ops)
+	for i := 0; i < s.sched.Ops; i++ {
+		r := s.rng.Intn(1000)
+		k := s.rng.Intn(s.sched.Keys)
+		switch {
+		case r < 500:
+			ops = append(ops, OpSpec{Kind: OpPut, Key: k})
+		case r < 1000-s.sched.DeleteFrac:
+			ops = append(ops, OpSpec{Kind: OpGet, Key: k})
+		default:
+			ops = append(ops, OpSpec{Kind: OpDelete, Key: k})
+		}
+	}
+	return ops
+}
+
+func keyFor(idx int) uint64 { return uint64(1000 + idx) }
+
+func (s *sim) step(cl *simClient, op OpSpec) {
+	key := keyFor(op.Key)
+	keyStr := strconv.Itoa(op.Key)
+	switch op.Kind {
+	case OpPut:
+		s.val++
+		v := s.val
+		s.hist.Invoke(cl.id, "put", keyStr, v)
+		outcome := cl.put(key, v)
+		s.hist.Return(cl.id, "put", keyStr, v, false, outcome)
+	case OpDelete:
+		s.hist.Invoke(cl.id, "delete", keyStr, 0)
+		found, outcome := cl.del(key)
+		s.hist.Return(cl.id, "delete", keyStr, 0, found, outcome)
+	default:
+		s.hist.Invoke(cl.id, "get", keyStr, 0)
+		v, found, outcome := cl.get(key)
+		s.hist.Return(cl.id, "get", keyStr, v, found, outcome)
+	}
+	s.vc.Advance(opTick)
+}
+
+func (s *sim) noteGate(key uint64, shard uint32, seq uint64) {
+	s.gateShard[key] = shard
+	if seq > s.gateMax[shard] {
+		s.gateMax[shard] = seq
+	}
+}
+
+func (s *sim) gateFor(key uint64) uint64 {
+	sh, ok := s.gateShard[key]
+	if !ok {
+		return 0
+	}
+	return s.gateMax[sh]
+}
+
+// --- sim client ---
+
+// simClient issues one operation at a time and classifies every attempt
+// itself — deliberately NOT the production resilient client, whose
+// internal retries would hide indeterminate attempts from the history.
+// It is sticky: it stays on its current node until that node refuses or
+// disappears, then rotates through the node order deterministically.
+type simClient struct {
+	s        *sim
+	id       int
+	cur      int
+	conn     *server.Client
+	connNode string
+	cc       *server.ClusterClient
+}
+
+func (c *simClient) close() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	if c.cc != nil {
+		c.cc.Close()
+		c.cc = nil
+	}
+}
+
+func (c *simClient) rotate() { c.cur = (c.cur + 1) % len(c.s.order) }
+
+func (c *simClient) drop() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.connNode = ""
+	}
+}
+
+// ensure returns a connection to the client's current node, or nil when
+// the node is down or unreachable (a definite refusal: nothing was sent).
+func (c *simClient) ensure() *server.Client {
+	n := c.s.nodes[c.s.order[c.cur]]
+	if !n.up {
+		c.drop()
+		return nil
+	}
+	if c.conn != nil && c.connNode == n.name {
+		return c.conn
+	}
+	c.drop()
+	nc, err := c.s.dialFrom("c"+strconv.Itoa(c.id), n.addr)
+	if err != nil {
+		return nil
+	}
+	cl := server.NewClient(nc)
+	cl.SetTimeout(clientWallTimeout)
+	c.conn, c.connNode = cl, n.name
+	return cl
+}
+
+func (s *sim) dialFrom(from, addr string) (net.Conn, error) {
+	nc, err := s.net.Dialer(from)(addr)
+	if err != nil {
+		return nil, err
+	}
+	if s.flaky != nil {
+		sub := *s.flaky
+		s.flakyConns++
+		sub.Seed = s.flaky.Seed + 0x9e3779b97f4a7c15*s.flakyConns
+		return flaky.Wrap(nc, sub), nil
+	}
+	return nc, nil
+}
+
+// isRefusal reports errors that mean the operation definitely did not
+// take effect: the server named a reason and refused before touching the
+// data path. Everything else — severed connections, timeouts, and
+// StatusUnavailable (which a primary also returns for a write it APPLIED
+// but could not confirm on the replica) — is indeterminate.
+func isRefusal(err error) bool {
+	return errors.Is(err, server.ErrReadOnly) || errors.Is(err, server.ErrLagging) ||
+		errors.Is(err, server.ErrMoved) || errors.Is(err, server.ErrWrongEpoch) ||
+		errors.Is(err, server.ErrShed) || errors.Is(err, server.ErrDeadline) ||
+		errors.Is(err, server.ErrProto)
+}
+
+func (c *simClient) attempts() int { return 2*len(c.s.order) + 2 }
+
+func (c *simClient) put(key, val uint64) string {
+	if c.s.sched.Topology == "cluster" {
+		cc := c.ensureCluster()
+		if cc == nil {
+			return "fail"
+		}
+		if err := cc.Put(key, val); err != nil {
+			// The routing client may have sent the write before the
+			// error surfaced: indeterminate.
+			return "info"
+		}
+		return "ok"
+	}
+	sawInfo := false
+	for a := 0; a < c.attempts(); a++ {
+		cl := c.ensure()
+		if cl == nil {
+			c.rotate()
+			continue
+		}
+		var err error
+		if c.s.sched.GatedReads {
+			sh, seq, e := cl.PutSeq(key, val)
+			if e == nil {
+				c.s.noteGate(key, sh, seq)
+			}
+			err = e
+		} else {
+			err = cl.Put(key, val)
+		}
+		if err == nil {
+			return "ok"
+		}
+		if isRefusal(err) {
+			c.rotate()
+			continue
+		}
+		sawInfo = true
+		c.drop()
+		c.rotate()
+	}
+	if sawInfo {
+		return "info"
+	}
+	return "fail"
+}
+
+func (c *simClient) del(key uint64) (bool, string) {
+	if c.s.sched.Topology == "cluster" {
+		cc := c.ensureCluster()
+		if cc == nil {
+			return false, "fail"
+		}
+		found, err := cc.Delete(key)
+		if err != nil {
+			return false, "info"
+		}
+		return found, "ok"
+	}
+	sawInfo := false
+	for a := 0; a < c.attempts(); a++ {
+		cl := c.ensure()
+		if cl == nil {
+			c.rotate()
+			continue
+		}
+		found, err := cl.Delete(key)
+		if err == nil {
+			return found, "ok"
+		}
+		if isRefusal(err) {
+			c.rotate()
+			continue
+		}
+		sawInfo = true
+		c.drop()
+		c.rotate()
+	}
+	if sawInfo {
+		return false, "info"
+	}
+	return false, "fail"
+}
+
+// get classifies every read error as a definite failure: a read has no
+// side effect, so a lost response carries no durability obligation and
+// the checker simply drops it.
+func (c *simClient) get(key uint64) (uint64, bool, string) {
+	if c.s.sched.Topology == "cluster" {
+		cc := c.ensureCluster()
+		if cc == nil {
+			return 0, false, "fail"
+		}
+		v, f, err := cc.Get(key)
+		if err != nil {
+			return 0, false, "fail"
+		}
+		return v, f, "ok"
+	}
+	for a := 0; a < c.attempts(); a++ {
+		cl := c.ensure()
+		if cl == nil {
+			c.rotate()
+			continue
+		}
+		var (
+			v   uint64
+			f   bool
+			err error
+		)
+		if c.s.sched.GatedReads {
+			v, f, err = cl.GetAt(key, c.s.gateFor(key))
+		} else {
+			v, f, err = cl.Get(key)
+		}
+		if err == nil {
+			return v, f, "ok"
+		}
+		if !isRefusal(err) {
+			c.drop()
+		}
+		c.rotate()
+	}
+	return 0, false, "fail"
+}
+
+func (c *simClient) ensureCluster() *server.ClusterClient {
+	if c.cc != nil {
+		return c.cc
+	}
+	seeds := make([]string, 0, len(c.s.order))
+	for _, name := range c.s.order {
+		seeds = append(seeds, c.s.nodes[name].addr)
+	}
+	cc, err := server.DialCluster(seeds, server.RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Timeout:     2 * time.Second,
+		Seed:        uint64(c.s.seed) + uint64(c.id)*977,
+	}, c.s.dialClusterFrom("c"+strconv.Itoa(c.id)))
+	if err != nil {
+		return nil
+	}
+	c.cc = cc
+	return cc
+}
+
+func (s *sim) dialClusterFrom(from string) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) { return s.dialFrom(from, addr) }
+}
+
+// waitUntil polls cond every millisecond until it holds or the budget
+// runs out (wall time: barriers are liveness, not history).
+func waitUntil(d time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("condition not reached within %s", d)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestVClock(t *testing.T) {
+	c := NewVClock()
+	t0 := c.Now()
+	if c.Elapsed() != 0 {
+		t.Fatalf("fresh clock elapsed %v", c.Elapsed())
+	}
+	ch := c.After(10 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("After fired before any advance")
+	default:
+	}
+	c.Advance(5 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("After fired early")
+	default:
+	}
+	if c.Waiters() != 1 {
+		t.Fatalf("waiters = %d, want 1", c.Waiters())
+	}
+	c.Advance(5 * time.Millisecond)
+	select {
+	case at := <-ch:
+		if got := at.Sub(t0); got != 10*time.Millisecond {
+			t.Fatalf("fired at +%v, want +10ms", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("After never fired despite due advance")
+	}
+	// Sleep self-advances.
+	c.Sleep(3 * time.Millisecond)
+	if got := c.Elapsed(); got != 13*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 13ms", got)
+	}
+	// Non-positive After fires immediately.
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestNetPartition(t *testing.T) {
+	n := NewNet()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 1)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+					if _, err := c.Write(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	n.Register("srv", l.Addr().String())
+	if got := n.Addr("srv"); got != l.Addr().String() {
+		t.Fatalf("Addr = %q", got)
+	}
+
+	dial := n.Dialer("cli")
+	c, err := dial(n.Addr("srv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Block severs the live conn and refuses new dials.
+	n.Block("cli", "srv")
+	if !n.Blocked("cli", "srv") {
+		t.Fatal("link should report blocked")
+	}
+	if _, err := c.Write([]byte{1}); err == nil {
+		t.Fatal("write over blocked link succeeded")
+	}
+	if _, err := dial(n.Addr("srv")); err == nil {
+		t.Fatal("dial over blocked link succeeded")
+	}
+	// Directed: the reverse direction is unaffected.
+	if n.Blocked("srv", "cli") {
+		t.Fatal("reverse link blocked by directed Block")
+	}
+
+	n.Unblock("cli", "srv")
+	c2, err := dial(n.Addr("srv"))
+	if err != nil {
+		t.Fatalf("dial after unblock: %v", err)
+	}
+	c2.Close()
+
+	n.Partition("cli", "srv")
+	if !n.Blocked("cli", "srv") || !n.Blocked("srv", "cli") {
+		t.Fatal("partition should block both directions")
+	}
+	n.Heal("cli", "srv")
+	if n.Blocked("cli", "srv") || n.Blocked("srv", "cli") {
+		t.Fatal("heal should clear both directions")
+	}
+	n.Block("cli", "srv")
+	n.HealAll()
+	if n.Blocked("cli", "srv") {
+		t.Fatal("heal-all should clear everything")
+	}
+	// Dials to unregistered addresses pass through unwrapped.
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	c3, err := dial(l2.Addr().String())
+	if err != nil {
+		t.Fatalf("dial unregistered: %v", err)
+	}
+	c3.Close()
+}
+
+func TestHistoryToLinz(t *testing.T) {
+	vc := NewVClock()
+	h := NewHistory(vc)
+	h.Invoke(0, "put", "k", 7)
+	h.Return(0, "put", "k", 7, false, "ok")
+	h.Invoke(1, "get", "k", 0)
+	h.Crash("a")
+	h.Return(1, "get", "k", 7, true, "ok")
+	h.Invoke(0, "delete", "k", 0)
+	h.Return(0, "delete", "k", 0, true, "info")
+	h.Nemesis("a", "something")
+
+	lh, err := h.ToLinz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lh.Ops) != 3 {
+		t.Fatalf("ops = %d, want 3", len(lh.Ops))
+	}
+	if len(lh.Crashes) != 1 || lh.Crashes[0] != 3 {
+		t.Fatalf("crashes = %v, want [3]", lh.Crashes)
+	}
+	if lh.Ops[1].Value != 7 || !lh.Ops[1].Found {
+		t.Fatalf("get not carried: %+v", lh.Ops[1])
+	}
+	if got := len(bytes.Split(bytes.TrimSpace(h.JSONL()), []byte("\n"))); got != 8 {
+		t.Fatalf("JSONL lines = %d, want 8", got)
+	}
+
+	// Overlapping invocations from one client are a harness bug.
+	bad := NewHistory(vc)
+	bad.Invoke(0, "put", "k", 1)
+	bad.Invoke(0, "put", "k", 2)
+	if _, err := bad.ToLinz(); err == nil {
+		t.Fatal("overlapping invocations not rejected")
+	}
+	// A return with no invocation is too.
+	bad2 := NewHistory(vc)
+	bad2.Return(0, "put", "k", 1, false, "ok")
+	if _, err := bad2.ToLinz(); err == nil {
+		t.Fatal("orphan return not rejected")
+	}
+}
+
+func TestSchedulesByName(t *testing.T) {
+	for _, name := range []string{
+		"steady", "flaky-steady", "split-brain-unfenced", "split-brain-fenced",
+		"partition-heal", "crash-restart-replica", "crash-failover-restart",
+		"migration-kill",
+	} {
+		s, err := Schedules(name, 60)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("Schedules(%q).Name = %q", name, s.Name)
+		}
+	}
+	if _, err := Schedules("no-such", 60); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+}
+
+// TestDeterminism is the reproducibility gate: the same (schedule, seed)
+// must produce a byte-identical history, from a totally separate stack
+// of servers on different ports.
+func TestDeterminism(t *testing.T) {
+	run := func() *RunResult {
+		r, err := Run(RunConfig{Schedule: Steady(60), Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+	if !r1.Ok || !r2.Ok {
+		t.Fatalf("steady runs not ok: %s / %s", r1.Detail, r2.Detail)
+	}
+	if !bytes.Equal(r1.History, r2.History) {
+		t.Fatalf("same-seed histories differ:\n--- run1 ---\n%s--- run2 ---\n%s",
+			r1.History, r2.History)
+	}
+	r3, err := Run(RunConfig{Schedule: Steady(60), Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(r1.History, r3.History) {
+		t.Fatal("different seeds produced identical histories")
+	}
+}
+
+// TestFenceGate is the headline safety result: with fencing off, the
+// partitioned primary keeps acknowledging writes the promoted replica
+// never saw, and the checker must flag the durable-linearizability
+// violation. Same script with fencing on checks clean.
+func TestFenceGate(t *testing.T) {
+	unfenced, err := Run(RunConfig{Schedule: SplitBrain(false), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unfenced.LinzOK {
+		t.Fatalf("unfenced split-brain checked clean; history:\n%s", unfenced.History)
+	}
+	if !unfenced.Ok {
+		t.Fatalf("unfenced gate run failed: %s", unfenced.Detail)
+	}
+
+	fenced, err := Run(RunConfig{Schedule: SplitBrain(true), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fenced.LinzOK {
+		t.Fatalf("fenced split-brain flagged: %v\nhistory:\n%s", fenced.Violations, fenced.History)
+	}
+	if !fenced.Ok {
+		t.Fatalf("fenced gate run failed: %s", fenced.Detail)
+	}
+}
+
+func TestSweepSchedules(t *testing.T) {
+	scheds := []Schedule{
+		PartitionHeal(90),
+		CrashRestartReplica(90),
+		CrashFailoverRestart(90),
+	}
+	for _, sched := range scheds {
+		for _, seed := range []int64{1, 2} {
+			r, err := Run(RunConfig{Schedule: sched, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", sched.Name, seed, err)
+			}
+			if !r.Ok {
+				t.Fatalf("%s seed %d: %s; violations %v\nhistory:\n%s",
+					sched.Name, seed, r.Detail, r.Violations, r.History)
+			}
+			if r.Crashes == 0 && sched.Name != "partition-heal" {
+				t.Fatalf("%s seed %d: no crash recorded", sched.Name, seed)
+			}
+		}
+	}
+}
+
+func TestMigrationKill(t *testing.T) {
+	r, err := Run(RunConfig{Schedule: MigrationKill(80), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ok {
+		t.Fatalf("migration-kill: %s; violations %v\nhistory:\n%s",
+			r.Detail, r.Violations, r.History)
+	}
+	if r.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", r.Crashes)
+	}
+}
+
+func TestFlakySteady(t *testing.T) {
+	r, err := Run(RunConfig{Schedule: FlakySteady(80), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ok {
+		t.Fatalf("flaky-steady: %s; violations %v", r.Detail, r.Violations)
+	}
+}
+
+func TestRunHistoryDir(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Run(RunConfig{Schedule: Steady(30), Seed: 9, HistoryDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HistoryPath == "" {
+		t.Fatal("no history path recorded")
+	}
+}
+
+func TestRunRejectsEmptySchedule(t *testing.T) {
+	if _, err := Run(RunConfig{Schedule: Schedule{Name: "x", Topology: "pair"}}); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+}

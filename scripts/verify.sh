@@ -79,6 +79,25 @@ go tool cover -func=/tmp/cluster_cover.out | awk '
 go test -race -run 'TestClusterSmoke' ./internal/bench/
 go run ./cmd/nvbench -experiment cluster -quick -benchlog=false
 
+# Simulation leg: the deterministic simulator and its checker under the
+# race detector with a coverage gate (the harness and checker are what
+# the consistency verdicts rest on), then the nvbench gate: same-seed
+# replay is byte-identical, the unfenced split-brain schedule is flagged
+# as a durable-linearizability violation while the fenced one passes,
+# and a fixed-seed nemesis matrix (partitions, crash-restarts, a
+# mid-migration kill) completes with zero violations.
+go test -race -coverprofile=/tmp/sim_cover.out ./internal/sim/...
+go tool cover -func=/tmp/sim_cover.out | awk '
+	/^total:/ {
+		sub(/%/, "", $3)
+		printf "internal/sim coverage: %s%% (gate: 80%%)\n", $3
+		if ($3 + 0 < 80) {
+			print "FAIL: internal/sim coverage below 80%"
+			exit 1
+		}
+	}'
+go run ./cmd/nvbench -experiment sim -quick -benchlog=false
+
 # Tracing leg: the request-scoped tracing plane under the race detector —
 # envelope codec, echo discipline, span/flight recorders, health probes —
 # then the nvbench gate: every echo returns, per-trace stage sums fit

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test fuzz verify bench faults resilience repl cluster sim serve
+.PHONY: build test fuzz verify bench faults resilience repl cluster sim media serve
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,12 @@ cluster:
 # sweep checked for durable linearizability.
 sim:
 	$(GO) run ./cmd/nvbench -experiment sim -benchlog=false
+
+# Media gate: seeded corruptors flip bits and tear pages in live pool
+# images under load — repaired in place from parity, zero acked-write
+# loss, zero client-visible errors, zero promotions.
+media:
+	$(GO) run ./cmd/nvbench -experiment media -benchlog=false
 
 # Run the sharded KV daemon with persistent pools and the metrics mux.
 serve:

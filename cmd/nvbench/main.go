@@ -24,7 +24,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve, resilience, replication, trace, cluster, sim")
+		"which experiment to run: all, fig11, fig13, fig14, fig15, table2, table3, table5, knn, inference, soundness, ablations, scaling, mixes, faults, obs-overhead, serve, resilience, replication, trace, cluster, sim, media")
 	quick := flag.Bool("quick", false, "run the scaled-down workload")
 	format := flag.String("format", "table", "output format: table, csv (fig11, fig13, fig14, fig15, table5, knn, scaling), or json (full measurement document)")
 	httpAddr := flag.String("http", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running (e.g. localhost:9090)")
@@ -63,6 +63,11 @@ func main() {
 		// The replication experiment drives a primary/replica pair:
 		// in-process servers, real sockets, a real kill and promotion.
 		err = replication(*quick, *format == "json")
+	case *experiment == "media":
+		// The media experiment corrupts the primary's pool images under
+		// closed-loop load: parity must repair every flip and torn page in
+		// place, with zero loss, zero client errors, and zero failovers.
+		err = media(*quick, *format == "json", *benchLog)
 	case *experiment == "sim":
 		// The sim experiment drives the deterministic simulator: replay
 		// determinism, the split-brain fence gate, and a seeded nemesis
@@ -332,6 +337,37 @@ func simExp(quick, asJSON, benchLog bool) error {
 		return fmt.Errorf("sim acceptance failed: determinism=%v unfencedViolation=%v fencedOK=%v sweepRuns=%d violations=%d failures=%d",
 			res.DeterminismOK, res.UnfencedViolation, res.FencedOK,
 			res.SweepRuns, res.SweepViolations, res.SweepFailures)
+	}
+	return nil
+}
+
+// media runs the media-fault experiment: seeded corruptors flip bits and
+// tear pages in the primary's checkpointed pool images while a
+// primary/replica pair serves closed-loop YCSB load. The gates demand
+// in-place repair from parity (pages_repaired_total > 0 in the exported
+// metrics), zero acked-write loss, zero client-visible errors, and zero
+// promotions. The trajectory point records the parity-on overhead leg, so
+// BENCH_serve.json prices the layer over time.
+func media(quick, asJSON, benchLog bool) error {
+	res, err := bench.RunMedia(bench.MediaSpecFor(quick))
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		if err := bench.WriteMediaJSON(os.Stdout, res); err != nil {
+			return err
+		}
+	} else {
+		bench.WriteMedia(os.Stdout, res)
+	}
+	if benchLog {
+		appendTrajectory("serve", res.ParityOnOpsPerSec, res.ParityOnP99us)
+	}
+	if !res.Pass() {
+		return fmt.Errorf("media acceptance failed: flips=%d torn=%d crashCycles=%d repaired=%d snapRepaired=%d unrecoverable=%d promotions=%d opsFailed=%d lost=%d missing=%d",
+			res.BitFlips, res.TornPages, res.CrashCycles, res.PagesRepaired,
+			res.SnapshotCounter("pages_repaired_total"), res.Unrecoverable,
+			res.Promotions, res.OpsFailed, res.LostWrites, res.MissingKeys)
 	}
 	return nil
 }

@@ -1,8 +1,9 @@
 // Command nvpool inspects persistent memory pools stored in a directory:
 // it lists pools, dumps allocator state, verifies that every pointer word
-// reachable from a pool's root is in relocatable (relative) form, and
-// checks (optionally repairing) the allocator's crash-consistency
-// invariants.
+// reachable from a pool's root is in relocatable (relative) form, checks
+// (optionally repairing) the allocator's crash-consistency invariants, and
+// scrubs stored images against their page CRCs and parity sidecars —
+// reconstructing corrupt pages in place when -repair is given.
 //
 // Usage:
 //
@@ -10,10 +11,12 @@
 //	nvpool -dir pools info <name>
 //	nvpool -dir pools verify <name>
 //	nvpool -dir pools [-repair] fsck <name>
+//	nvpool -dir pools [-repair] [-json] scrub [name]
 //	nvpool -dir pools [-json] stats [name]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,14 +24,15 @@ import (
 
 	"nvref/internal/mem"
 	"nvref/internal/obs"
+	"nvref/internal/parity"
 	"nvref/internal/pmem"
 	"nvref/internal/repl"
 )
 
 func main() {
 	dir := flag.String("dir", "pools", "pool store directory")
-	repair := flag.Bool("repair", false, "fsck: repair crash residue and checkpoint the pool back")
-	jsonOut := flag.Bool("json", false, "stats: emit a JSON snapshot instead of Prometheus text")
+	repair := flag.Bool("repair", false, "fsck/scrub: repair crash residue or media corruption and write the result back")
+	jsonOut := flag.Bool("json", false, "stats/scrub: emit JSON instead of text")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
@@ -53,6 +57,10 @@ func main() {
 			meta, data, err := store.Load(n)
 			if err != nil {
 				fmt.Printf("%-20s (unreadable: %v)\n", n, err)
+				continue
+			}
+			if pool, ok := parity.PoolName(n); ok {
+				fmt.Printf("%-20s parity sidecar for %s (%d bytes)\n", n, pool, len(data))
 				continue
 			}
 			fmt.Printf("%-20s id=%d size=%d bytes (%d on disk)\n", n, meta.ID, meta.Size, len(data))
@@ -96,8 +104,12 @@ func main() {
 
 	case "fsck":
 		requireName()
+		mediaCheck(store, flag.Arg(1), *repair)
 		reg, pool := open(store, flag.Arg(1))
 		fsck(reg, pool, *repair)
+
+	case "scrub":
+		scrub(store, flag.Arg(1), *repair, *jsonOut)
 
 	case "stats":
 		if err := stats(store, *dir, flag.Arg(1), *jsonOut); err != nil {
@@ -110,7 +122,8 @@ func main() {
 }
 
 // stats opens the named pool (or every stored pool when name is empty),
-// runs one fsck scan so finding counters are populated, and emits every
+// runs one fsck scan and one verify-only media scrub so finding counters
+// (including the parity/scrub gauges) are populated, and emits every
 // registered series as Prometheus text or a JSON snapshot.
 func stats(store pmem.Store, dir, name string, jsonOut bool) error {
 	names := []string{name}
@@ -124,16 +137,24 @@ func stats(store pmem.Store, dir, name string, jsonOut bool) error {
 			return fmt.Errorf("no pools in store")
 		}
 	}
-	reg := pmem.NewRegistry(mem.New(), store)
+	reg := newRegistry(store)
 	metrics := obs.NewRegistry()
 	reg.RegisterMetrics(metrics)
 	for _, n := range names {
+		if parity.IsSidecar(n) {
+			continue // verified as part of its pool's media pass
+		}
 		pool, err := reg.Open(n)
 		if err != nil {
 			return err
 		}
 		pmem.RegisterPoolMetrics(metrics, pool)
 		pmem.Fsck(pool)
+		// Verify-only media pass: populates scrub/parity counters without
+		// touching the store.
+		if _, err := reg.ScrubMedia(n, false); err != nil {
+			return err
+		}
 	}
 	registerOplogStats(metrics, dir)
 	if jsonOut {
@@ -221,13 +242,126 @@ func printFsck(rep *pmem.FsckReport) {
 	}
 }
 
+// newRegistry builds the tool's pool registry. Parity is always armed:
+// reads repair corrupt images from their sidecars, and a checkpoint
+// written by fsck -repair keeps the sidecar current instead of letting it
+// go stale.
+func newRegistry(store pmem.Store) *pmem.Registry {
+	return pmem.NewRegistry(mem.New(), store, pmem.WithParity(parity.Default()))
+}
+
 func open(store pmem.Store, name string) (*pmem.Registry, *pmem.Pool) {
-	reg := pmem.NewRegistry(mem.New(), store)
+	reg := newRegistry(store)
 	pool, err := reg.Open(name)
 	if err != nil {
 		fail(err)
 	}
 	return reg, pool
+}
+
+// mediaCheck is fsck's media pre-pass: the stored image is verified
+// against its page CRCs before the allocator-level checks run. Damage is
+// reconstructed from the parity sidecar with -repair (and the healed
+// image saved back); without -repair it is reported and the run stops —
+// structural fsck on a corrupt image would chase garbage.
+func mediaCheck(store pmem.Store, name string, repair bool) {
+	reg := newRegistry(store)
+	rep, err := reg.ScrubMedia(name, repair)
+	if err != nil {
+		// No stored image to scrub (e.g. the pool was never checkpointed):
+		// nothing for the media layer to say; let Open decide.
+		return
+	}
+	if rep.ImageOK {
+		return
+	}
+	printMedia(rep)
+	switch {
+	case len(rep.Unrecoverable) > 0:
+		fmt.Println("FAIL: damage beyond parity's reach; restore the pool from a replica or backup")
+		os.Exit(1)
+	case rep.Err != "":
+		fmt.Println("FAIL:", rep.Err)
+		os.Exit(1)
+	case !repair:
+		fmt.Println("media corruption present; rerun with -repair to reconstruct from parity")
+		os.Exit(1)
+	}
+}
+
+// scrub verifies (and with repair, heals) the stored image of one pool —
+// or of every pool in the store when name is empty — against page CRCs
+// and parity sidecars. Exit status: 0 when every image ended the pass
+// consistent, 1 otherwise.
+func scrub(store pmem.Store, name string, repair, jsonOut bool) {
+	reg := newRegistry(store)
+	var reports []*pmem.MediaReport
+	if name == "" {
+		var err error
+		reports, err = reg.ScrubAllMedia(repair)
+		if err != nil {
+			fail(err)
+		}
+		if len(reports) == 0 {
+			fmt.Println("no pools")
+			return
+		}
+	} else {
+		rep, err := reg.ScrubMedia(name, repair)
+		if err != nil {
+			fail(err)
+		}
+		reports = []*pmem.MediaReport{rep}
+	}
+	bad := 0
+	for _, rep := range reports {
+		ok := rep.Recovered() && (rep.ImageOK || repair)
+		if !ok {
+			bad++
+		}
+		if !jsonOut {
+			printMedia(rep)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fail(err)
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// printMedia renders one media report as text, one pool per stanza.
+func printMedia(rep *pmem.MediaReport) {
+	switch {
+	case rep.ImageOK:
+		fmt.Printf("%s: image ok, sidecar %s", rep.Pool, rep.Sidecar)
+		if rep.SidecarBuilt {
+			fmt.Printf(" (rebuilt)")
+		}
+		if rep.ParityPages > 0 {
+			fmt.Printf(", %d parity page(s)", rep.ParityPages)
+		}
+		fmt.Println()
+	case len(rep.Unrecoverable) > 0:
+		fmt.Printf("%s: %d corrupt page(s) %v, %d rangelet(s) beyond parity's reach:\n",
+			rep.Pool, len(rep.BadPages), rep.BadPages, len(rep.Unrecoverable))
+		for _, ov := range rep.Unrecoverable {
+			fmt.Printf("  %s\n", ov)
+		}
+	case rep.Healed:
+		fmt.Printf("%s: %d corrupt page(s) %v reconstructed from parity; image healed in place\n",
+			rep.Pool, len(rep.Repaired), rep.Repaired)
+	case rep.Err != "":
+		fmt.Printf("%s: FAIL: %s\n", rep.Pool, rep.Err)
+	default:
+		fmt.Printf("%s: %d corrupt page(s) %v, repairable from parity (rerun with -repair)\n",
+			rep.Pool, len(rep.BadPages), rep.BadPages)
+	}
 }
 
 func requireName() {
@@ -237,7 +371,7 @@ func requireName() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: nvpool [-dir d] [-repair] [-json] list | info <name> | verify <name> | fsck <name> | stats [name]")
+	fmt.Fprintln(os.Stderr, "usage: nvpool [-dir d] [-repair] [-json] list | info <name> | verify <name> | fsck <name> | scrub [name] | stats [name]")
 	os.Exit(2)
 }
 

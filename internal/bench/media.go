@@ -1,0 +1,607 @@
+// The media experiment is the acceptance gate for the parity layer: a
+// primary/replica pair serves closed-loop YCSB load while seeded
+// corruptors flip bits and tear pages in the primary's checkpointed pool
+// images. The damage must be absorbed in place — scrubber and recovery
+// reconstruct the corrupt pages from the XOR parity sidecars — with zero
+// acknowledged-write loss, zero client-visible errors, and zero
+// promotions: the replica is armed for failover and must never need it.
+//
+// Two repair paths are exercised deliberately: the background scrubber
+// finds corruption at rest (scrub-and-repair on an idle shard), and a
+// power-loss crash reopens a corrupt image (repair-on-open during
+// recovery). A final pair of parity-on/parity-off throughput legs prices
+// the whole layer.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvref/internal/fault"
+	"nvref/internal/fault/inject"
+	"nvref/internal/obs"
+	"nvref/internal/parity"
+	"nvref/internal/pmem"
+	"nvref/internal/rt"
+	"nvref/internal/server"
+	"nvref/internal/ycsb"
+)
+
+// MediaSpec parameterizes the media-fault experiment.
+type MediaSpec struct {
+	Records    int
+	Operations int
+	Clients    int
+	Shards     int
+	Mode       rt.Mode
+	PoolSize   uint64
+	// CheckpointEvery is the per-shard checkpoint cadence. Moderate on
+	// purpose: checkpoints both exercise the incremental parity updates
+	// and race the corruptor (a checkpoint that rewrites a corrupted image
+	// before the scrubber sees it is a lost injection, counted, retried).
+	CheckpointEvery int
+	// ScrubEvery is the background scrub-and-repair cadence.
+	ScrubEvery time.Duration
+	// PromoteAfter arms the replica's failover. Generous: the gate is that
+	// media faults are repaired in place fast enough that promotion never
+	// fires.
+	PromoteAfter time.Duration
+	// Cycles is how many corruption injections run concurrently with the
+	// load (alternating bit flips and torn pages, scrub path and
+	// crash-recovery path).
+	Cycles int
+	// OverheadOps sizes the parity-on vs parity-off throughput legs.
+	OverheadOps int
+	// OverheadScrubEvery is the legs' scrub cadence. Deliberately calmer
+	// than ScrubEvery: the faulted phase scrubs aggressively to chase
+	// injected damage, but the tax worth quoting is steady-state parity
+	// maintenance (checkpoint CRC + delta-XOR work) plus a realistic scrub
+	// rate, not a full-image verify every couple of milliseconds.
+	OverheadScrubEvery time.Duration
+	Seed               int64
+}
+
+// MediaSpecFor returns the standard experiment sizes.
+func MediaSpecFor(quick bool) MediaSpec {
+	s := MediaSpec{
+		Records:            3000,
+		Operations:         20000,
+		Clients:            4,
+		Shards:             2,
+		Mode:               rt.HW,
+		PoolSize:           4 << 20,
+		CheckpointEvery:    1000,
+		ScrubEvery:         2 * time.Millisecond,
+		PromoteAfter:       2 * time.Second,
+		Cycles:             8,
+		OverheadOps:        12000,
+		OverheadScrubEvery: 50 * time.Millisecond,
+		Seed:               23,
+	}
+	if quick {
+		s.Records, s.Operations = 1200, 8000
+		s.Cycles = 5
+		s.OverheadOps = 4000
+	}
+	return s
+}
+
+// MediaResult is the experiment document.
+type MediaResult struct {
+	Records    int    `json:"records"`
+	Operations int    `json:"operations"`
+	Clients    int    `json:"clients"`
+	Shards     int    `json:"shards"`
+	Mode       string `json:"mode"`
+
+	// Client-side view: the whole point is that none of the injected media
+	// damage is visible here.
+	OpsOK       int     `json:"ops_ok"`
+	OpsFailed   int     `json:"ops_failed"`
+	Retries     uint64  `json:"retries"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	// Corruption injected into the primary's stores, by class and by the
+	// repair path meant to catch it.
+	BitFlips    int `json:"bit_flips"`
+	TornPages   int `json:"torn_pages"`
+	CrashCycles int `json:"crash_cycles"` // injections driven through crash recovery
+	// RepairRaces counts injections a concurrent checkpoint overwrote
+	// before any repair could see them — lost, not dangerous.
+	RepairRaces int `json:"repair_races"`
+
+	// Primary-side repair work, summed over shards.
+	MediaScrubs    uint64 `json:"media_scrubs"`
+	PagesRepaired  uint64 `json:"pages_repaired"`
+	ParityRebuilds uint64 `json:"parity_rebuilds"`
+	Unrecoverable  uint64 `json:"unrecoverable"`
+	Recoveries     uint64 `json:"recoveries"`
+
+	// Failover never needed: the replica followed throughout.
+	Promotions uint64 `json:"promotions"`
+
+	// Zero-loss sweep on the primary after the run.
+	AckedKeys   int `json:"acked_keys"`
+	LostWrites  int `json:"lost_writes"`
+	MissingKeys int `json:"missing_keys"`
+
+	// Parity tax: identical standalone runs with the layer on and off.
+	ParityOnOpsPerSec  float64 `json:"parity_on_ops_per_sec"`
+	ParityOffOpsPerSec float64 `json:"parity_off_ops_per_sec"`
+	ParityOnP99us      float64 `json:"parity_on_p99_us"`
+	ParityOffP99us     float64 `json:"parity_off_p99_us"`
+
+	// Metrics is the primary's obs registry snapshot; the gate reads the
+	// aggregate pages_repaired_total series from it.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// OverheadPct is the throughput cost of the parity layer in percent.
+func (r *MediaResult) OverheadPct() float64 {
+	if r.ParityOffOpsPerSec <= 0 {
+		return 0
+	}
+	return (1 - r.ParityOnOpsPerSec/r.ParityOffOpsPerSec) * 100
+}
+
+// SnapshotCounter reads one counter series out of the embedded snapshot
+// (-1 when absent), so the acceptance gate checks what the experiment
+// exported, not just its internal tallies.
+func (r *MediaResult) SnapshotCounter(name string) int64 {
+	if r.Metrics == nil {
+		return -1
+	}
+	for _, s := range r.Metrics.Series {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return -1
+}
+
+// Pass applies the acceptance gates: real load moved, every injected
+// class of damage fired and was repaired from parity (pages_repaired_total
+// visible in the exported metrics), nothing was beyond repair, both repair
+// paths ran, no acknowledged write was lost, no client saw an error, and
+// the armed replica never had to promote.
+func (r *MediaResult) Pass() bool {
+	return r.OpsOK > 0 && r.OpsFailed == 0 &&
+		r.BitFlips > 0 && r.TornPages > 0 && r.CrashCycles > 0 &&
+		r.PagesRepaired > 0 && r.SnapshotCounter("pages_repaired_total") > 0 &&
+		r.Unrecoverable == 0 &&
+		r.Recoveries > 0 &&
+		r.Promotions == 0 &&
+		r.AckedKeys > 0 && r.LostWrites == 0 && r.MissingKeys == 0
+}
+
+// mediaCounters sums the per-shard media-fault counters.
+type mediaCounters struct {
+	scrubs, repaired, rebuilds, unrecoverable, recoveries, checkpoints uint64
+}
+
+func sumMedia(s server.Stats) mediaCounters {
+	var c mediaCounters
+	for _, sh := range s.PerShard {
+		c.scrubs += sh.MediaScrubs
+		c.repaired += sh.PagesRepaired
+		c.rebuilds += sh.ParityRebuilds
+		c.unrecoverable += sh.MediaUnrecoverable
+		c.recoveries += sh.Recoveries
+		c.checkpoints += sh.Checkpoints
+	}
+	return c
+}
+
+// corruptPool damages every non-sidecar image in one store with the given
+// class, media-style (bytes change under an unchanged checksum). Returns
+// the number of images hit.
+func corruptPool(st pmem.Store, class fault.Class, rng *fault.Rand) (int, error) {
+	names, err := st.List()
+	if err != nil {
+		return 0, err
+	}
+	hit := 0
+	for _, name := range names {
+		if parity.IsSidecar(name) {
+			continue
+		}
+		if _, err := inject.CorruptStored(st, name, class, parity.DefaultPageSize, rng); err != nil {
+			return hit, err
+		}
+		hit++
+	}
+	return hit, nil
+}
+
+// RunMedia executes the experiment against an in-process primary/replica
+// pair on loopback listeners, corrupting the primary's stores while the
+// load runs.
+func RunMedia(spec MediaSpec) (*MediaResult, error) {
+	res := &MediaResult{
+		Records:    spec.Records,
+		Operations: spec.Operations,
+		Clients:    spec.Clients,
+		Shards:     spec.Shards,
+		Mode:       spec.Mode.String(),
+	}
+
+	// Per-shard stores the corruptor keeps handles to. Log stores are
+	// persistent and flushed every append so a crash-recovery cycle
+	// replays the full acked tail — an injected power loss must not add
+	// write loss on top of the media fault under test.
+	stores := make([]pmem.Store, spec.Shards)
+	logStores := make([]pmem.Store, spec.Shards)
+	for i := range stores {
+		stores[i] = pmem.NewMemStore()
+		logStores[i] = pmem.NewMemStore()
+	}
+	reg := obs.NewRegistry()
+	primary, err := server.New(server.Config{
+		Shards:          spec.Shards,
+		Mode:            spec.Mode,
+		PoolSize:        spec.PoolSize,
+		CheckpointEvery: spec.CheckpointEvery,
+		ScrubEvery:      spec.ScrubEvery,
+		Parity:          parity.Default(),
+		StoreFor:        func(i int) pmem.Store { return stores[i] },
+		Role:            server.RolePrimary,
+		LogStoreFor:     func(i int) pmem.Store { return logStores[i] },
+		LogFlushEvery:   1,
+		Reg:             reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer primary.Close()
+	paddr, err := primary.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+
+	replica, err := server.New(server.Config{
+		Shards:          spec.Shards,
+		Mode:            spec.Mode,
+		PoolSize:        spec.PoolSize,
+		CheckpointEvery: spec.CheckpointEvery,
+		Role:            server.RoleReplica,
+		FollowAddr:      paddr.String(),
+		FollowPoll:      time.Millisecond,
+		PromoteAfter:    spec.PromoteAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer replica.Close()
+	if _, err := replica.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	if err := waitUntil(5*time.Second, func() bool {
+		fs := replica.CollectStats().Follower
+		return fs != nil && fs.Pulls > 0
+	}); err != nil {
+		return nil, fmt.Errorf("media: follower never contacted primary: %w", err)
+	}
+
+	// Load phase, acks recorded for the zero-loss sweep.
+	var seq atomic.Uint64
+	w := ycsb.Generate(ycsb.WorkloadA(spec.Records, spec.Operations, spec.Seed))
+	ackedMax := make(map[uint64]uint64, spec.Records)
+	loader, err := server.DialResilient(paddr.String(), server.RetryPolicy{Seed: uint64(spec.Seed)})
+	if err != nil {
+		return nil, err
+	}
+	const loadBatch = 256
+	for i := 0; i < len(w.Load); i += loadBatch {
+		end := i + loadBatch
+		if end > len(w.Load) {
+			end = len(w.Load)
+		}
+		sub := make([]server.Request, 0, end-i)
+		for _, kv := range w.Load[i:end] {
+			v := seq.Add(1)
+			sub = append(sub, server.Request{Op: server.OpPut, Key: kv.Key, Value: v})
+		}
+		if _, err := loader.Batch(sub); err != nil {
+			return nil, err
+		}
+		for _, r := range sub {
+			if r.Value > ackedMax[r.Key] {
+				ackedMax[r.Key] = r.Value
+			}
+		}
+	}
+	loader.Close()
+	// Seed the stores: every shard now has a checkpointed image and a
+	// parity sidecar for the corruptor to aim at.
+	if err := primary.Checkpoint(); err != nil {
+		return nil, err
+	}
+
+	// Closed-loop clients, single-writer key partitioning, clean network:
+	// any client-visible error is the parity layer failing its promise.
+	type clientAcks map[uint64]uint64
+	acks := make([]clientAcks, spec.Clients)
+	okCounts := make([]int, spec.Clients)
+	failCounts := make([]int, spec.Clients)
+	var retries atomic.Uint64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for ci := 0; ci < spec.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			policy := server.RetryPolicy{
+				MaxAttempts: 16,
+				BaseBackoff: time.Millisecond,
+				MaxBackoff:  80 * time.Millisecond,
+				Timeout:     2 * time.Second,
+				TTLms:       2000,
+				Seed:        uint64(spec.Seed) + uint64(ci)*977,
+			}
+			cl, err := server.DialResilient(paddr.String(), policy)
+			if err != nil {
+				failCounts[ci]++
+				return
+			}
+			defer func() {
+				retries.Add(cl.Retries())
+				cl.Close()
+			}()
+			mine := make(clientAcks)
+			for oi := ci; oi < len(w.Ops); oi += spec.Clients {
+				op := w.Ops[oi]
+				if op.Type == ycsb.Get {
+					if _, _, err := cl.GetRYW(op.Key); err != nil {
+						failCounts[ci]++
+						continue
+					}
+				} else {
+					key := op.Key - op.Key%uint64(spec.Clients) + uint64(ci)
+					v := seq.Add(1)
+					if _, _, err := cl.PutRYW(key, v); err != nil {
+						failCounts[ci]++
+						continue
+					}
+					mine[key] = v
+				}
+				okCounts[ci]++
+			}
+			acks[ci] = mine
+		}(ci)
+	}
+
+	// The corruptor, inline while the clients run. Cycles alternate damage
+	// class (bit flip / torn page) and repair path (background scrub /
+	// crash recovery). Each waits for the repair counter to move — or for
+	// the shard to checkpoint over the damage, a lost race, retried by the
+	// next cycle.
+	rng := fault.NewRand(uint64(spec.Seed)*2654435761 + 1)
+	inject1 := func(cycle int) error {
+		si := cycle % spec.Shards
+		class := fault.BitFlip
+		if cycle%2 == 1 {
+			class = fault.Torn
+		}
+		before := primary.CollectStats().PerShard[si]
+		if _, err := corruptPool(stores[si], class, rng); err != nil {
+			return fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+		if class == fault.BitFlip {
+			res.BitFlips++
+		} else {
+			res.TornPages++
+		}
+		if cycle%4 >= 2 {
+			// Crash-recovery path: power-loss the corrupted shard; open()
+			// must repair the image on the way back up.
+			res.CrashCycles++
+			if err := primary.InjectCrash(si); err != nil {
+				return err
+			}
+		}
+		// The cycle is over only once this shard's store is clean again —
+		// repaired from parity, or rewritten whole by a checkpoint that won
+		// the race. Waiting per shard keeps injections from compounding on
+		// one image (two bad pages in a rangelet would be unrecoverable,
+		// deliberately out of scope here).
+		err := waitUntil(3*time.Second, func() bool {
+			after := primary.CollectStats().PerShard[si]
+			return after.PagesRepaired > before.PagesRepaired || after.Checkpoints > before.Checkpoints
+		})
+		if err != nil {
+			return fmt.Errorf("cycle %d: damage neither repaired nor overwritten: %w", cycle, err)
+		}
+		if primary.CollectStats().PerShard[si].PagesRepaired == before.PagesRepaired {
+			res.RepairRaces++
+		}
+		return nil
+	}
+	for cycle := 0; cycle < spec.Cycles; cycle++ {
+		if err := inject1(cycle); err != nil {
+			return nil, err
+		}
+	}
+	wg.Wait()
+	res.WallSeconds = time.Since(t0).Seconds()
+	res.Retries = retries.Load()
+	for ci := 0; ci < spec.Clients; ci++ {
+		res.OpsOK += okCounts[ci]
+		res.OpsFailed += failCounts[ci]
+		for k, v := range acks[ci] {
+			if v > ackedMax[k] {
+				ackedMax[k] = v
+			}
+		}
+	}
+
+	// Deterministic tail: with the load drained nothing races the
+	// corruptor, so if checkpoint races swallowed injections, re-inject
+	// until at least one repair per class (and one through crash recovery)
+	// actually landed.
+	for res.RepairRaces > 0 || res.CrashCycles == 0 {
+		before := sumMedia(primary.CollectStats())
+		cycle := res.BitFlips + res.TornPages
+		if err := inject1(cycle); err != nil {
+			return nil, err
+		}
+		if sumMedia(primary.CollectStats()).repaired > before.repaired {
+			res.RepairRaces = 0
+		}
+	}
+
+	c := sumMedia(primary.CollectStats())
+	res.MediaScrubs = c.scrubs
+	res.PagesRepaired = c.repaired
+	res.ParityRebuilds = c.rebuilds
+	res.Unrecoverable = c.unrecoverable
+	res.Recoveries = c.recoveries
+	res.Promotions = replica.Promotions() + primary.CollectStats().Promotions
+
+	// Zero-loss sweep on the primary: every acknowledged write present at
+	// no less than its highest acknowledged value.
+	probe, err := server.Dial(paddr.String())
+	if err != nil {
+		return nil, err
+	}
+	defer probe.Close()
+	for k, want := range ackedMax {
+		v, found, err := probe.Get(k)
+		if err != nil {
+			return nil, fmt.Errorf("media: verify get %d: %w", k, err)
+		}
+		if !found {
+			res.MissingKeys++
+			continue
+		}
+		if v < want {
+			res.LostWrites++
+		}
+	}
+	res.AckedKeys = len(ackedMax)
+
+	snap := reg.Snapshot()
+	res.Metrics = &snap
+
+	// Overhead legs: identical standalone servers, parity on vs off, no
+	// corruption — the steady-state price of the layer.
+	res.ParityOnOpsPerSec, res.ParityOnP99us, err = mediaOverheadLeg(spec, true)
+	if err != nil {
+		return nil, err
+	}
+	res.ParityOffOpsPerSec, res.ParityOffP99us, err = mediaOverheadLeg(spec, false)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// mediaOverheadLeg measures closed-loop throughput and client-observed p99
+// on a standalone server with the parity layer on or off.
+func mediaOverheadLeg(spec MediaSpec, parityOn bool) (opsPerSec, p99us float64, err error) {
+	cfg := server.Config{
+		Shards:          spec.Shards,
+		Mode:            spec.Mode,
+		PoolSize:        spec.PoolSize,
+		CheckpointEvery: spec.CheckpointEvery,
+		ScrubEvery:      spec.OverheadScrubEvery,
+	}
+	if parityOn {
+		cfg.Parity = parity.Default()
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer srv.Close()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+
+	w := ycsb.Generate(ycsb.WorkloadA(spec.Records, spec.OverheadOps, spec.Seed+1))
+	loader, err := server.Dial(addr.String())
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, kv := range w.Load {
+		if err := loader.Put(kv.Key, kv.Value); err != nil {
+			loader.Close()
+			return 0, 0, err
+		}
+	}
+	loader.Close()
+
+	lats := make([][]float64, spec.Clients)
+	errs := make([]error, spec.Clients)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for ci := 0; ci < spec.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl, err := server.Dial(addr.String())
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			defer cl.Close()
+			mine := make([]float64, 0, len(w.Ops)/spec.Clients+1)
+			for oi := ci; oi < len(w.Ops); oi += spec.Clients {
+				op := w.Ops[oi]
+				ot := time.Now()
+				if op.Type == ycsb.Get {
+					_, _, err = cl.Get(op.Key)
+				} else {
+					err = cl.Put(op.Key, op.Value)
+				}
+				if err != nil {
+					errs[ci] = err
+					return
+				}
+				mine = append(mine, float64(time.Since(ot).Microseconds()))
+			}
+			lats[ci] = mine
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(t0).Seconds()
+	var all []float64
+	for ci := range lats {
+		if errs[ci] != nil {
+			return 0, 0, fmt.Errorf("media overhead leg (parity=%v): %w", parityOn, errs[ci])
+		}
+		all = append(all, lats[ci]...)
+	}
+	return float64(len(all)) / wall, percentile(all, 99), nil
+}
+
+// WriteMedia renders the experiment as text.
+func WriteMedia(w io.Writer, r *MediaResult) {
+	fmt.Fprintf(w, "media: YCSB-A, %d records / %d ops, %d clients, %d shards, %s mode, parity %d-page rangelets\n",
+		r.Records, r.Operations, r.Clients, r.Shards, r.Mode, parity.DefaultRangeletPages)
+	fmt.Fprintf(w, "injected: %d bit flips, %d torn pages (%d driven through crash recovery, %d lost to checkpoint races)\n",
+		r.BitFlips, r.TornPages, r.CrashCycles, r.RepairRaces)
+	fmt.Fprintf(w, "repairs: %d pages reconstructed from parity over %d scrub passes, %d sidecar rebuilds, %d unrecoverable, %d recoveries\n",
+		r.PagesRepaired, r.MediaScrubs, r.ParityRebuilds, r.Unrecoverable, r.Recoveries)
+	fmt.Fprintf(w, "clients: %d ok / %d failed ops in %.2fs (%d retries); promotions: %d (must be 0)\n",
+		r.OpsOK, r.OpsFailed, r.WallSeconds, r.Retries, r.Promotions)
+	fmt.Fprintf(w, "parity tax: %.0f ops/s on vs %.0f ops/s off (%.1f%%), p99 %.0fus vs %.0fus\n",
+		r.ParityOnOpsPerSec, r.ParityOffOpsPerSec, r.OverheadPct(), r.ParityOnP99us, r.ParityOffP99us)
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "acked writes: %d keys verified, %d missing, %d lost -> %s\n",
+		r.AckedKeys, r.MissingKeys, r.LostWrites, verdict)
+}
+
+// WriteMediaJSON emits the experiment document as JSON.
+func WriteMediaJSON(w io.Writer, r *MediaResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

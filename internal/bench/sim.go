@@ -42,12 +42,13 @@ func SimSpecFor(quick bool) SimSpec {
 		Schedules: []string{
 			"partition-heal", "crash-restart-replica",
 			"crash-failover-restart", "migration-kill", "flaky-steady",
+			"corrupt-under-load",
 		},
 	}
 	if quick {
 		s.Ops = 60
 		s.Seeds = []int64{1, 2, 3}
-		s.Schedules = []string{"partition-heal", "crash-failover-restart", "migration-kill"}
+		s.Schedules = []string{"partition-heal", "crash-failover-restart", "migration-kill", "corrupt-under-load"}
 	}
 	return s
 }

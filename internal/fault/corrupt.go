@@ -37,6 +37,34 @@ func Tear(data []byte, r *Rand) []byte {
 	return out
 }
 
+// TearPage overwrites the tail of one seed-chosen page with garbage in
+// place, modelling a page-granular write torn by power failure: the head
+// of the page holds the old contents, the tail holds whatever the media
+// left behind. Unlike Tear this damages exactly one page, which is the
+// media-fault class an intra-pool parity stripe can repair. Returns the
+// page index (-1 when data is empty or pageSize is not positive).
+func TearPage(data []byte, pageSize int, r *Rand) int {
+	if len(data) == 0 || pageSize <= 0 {
+		return -1
+	}
+	pages := (len(data) + pageSize - 1) / pageSize
+	pg := r.Intn(pages)
+	lo := pg * pageSize
+	hi := lo + pageSize
+	if hi > len(data) {
+		hi = len(data)
+	}
+	page := data[lo:hi]
+	cut := 0
+	if len(page) > 1 {
+		cut = r.Intn(len(page) - 1)
+	}
+	for i := cut; i < len(page); i++ {
+		page[i] = byte(r.Uint64())
+	}
+	return pg
+}
+
 // FlipBit flips one seed-chosen bit of data in place and returns its bit
 // index (-1 when data is empty).
 func FlipBit(data []byte, r *Rand) int {

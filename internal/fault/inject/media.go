@@ -1,0 +1,46 @@
+package inject
+
+import (
+	"fmt"
+
+	"nvref/internal/fault"
+	"nvref/internal/pmem"
+)
+
+// CorruptStored damages the stored image of name in place: it loads the
+// image, mutates the bytes with the given corruptor class, and saves the
+// result back under the SAME metadata. The stored checksum goes stale —
+// exactly what a media fault (bit rot, a torn page program) looks like to
+// the next reader, as opposed to the Save/Load-path faults Store injects.
+//
+// Supported classes: fault.BitFlip (one bit) and fault.Torn (one torn
+// page of pageSize bytes, via fault.TearPage). The mutation is retried a
+// few times if it happens to leave the image checksum-clean (garbage can
+// land on identical bytes), so a successful return means the image is
+// really corrupt. Returns a description of the damage for logs.
+func CorruptStored(st pmem.Store, name string, class fault.Class, pageSize int, rng *fault.Rand) (string, error) {
+	meta, data, err := st.Load(name)
+	if err != nil {
+		return "", err
+	}
+	desc := ""
+	for attempt := 0; ; attempt++ {
+		switch class {
+		case fault.BitFlip:
+			bit := fault.FlipBit(data, rng)
+			desc = fmt.Sprintf("bit %d flipped in %q", bit, name)
+		case fault.Torn:
+			pg := fault.TearPage(data, pageSize, rng)
+			desc = fmt.Sprintf("page %d torn in %q", pg, name)
+		default:
+			return "", fmt.Errorf("inject: class %v cannot corrupt a stored image", class)
+		}
+		if pmem.ImageChecksum(data) != meta.Sum || attempt >= 8 {
+			break
+		}
+	}
+	if err := st.Save(meta, data); err != nil {
+		return "", err
+	}
+	return desc, nil
+}

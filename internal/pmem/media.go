@@ -1,0 +1,283 @@
+// Media-fault tolerance: the registry side of the parity layer.
+//
+// Every checkpoint maintains a self-checksummed parity sidecar (per-page
+// CRC32s + one XOR parity page per rangelet, see internal/parity) stored
+// next to the pool image under parity.SidecarName. On the load path a
+// corrupt image is repaired in place from the sidecar; ScrubMedia walks a
+// stored image on demand — the background scrubber's and nvpool's entry
+// point — verifying, repairing, and re-sealing as needed.
+//
+// Ordering and staleness: the data image is saved first, the sidecar
+// second, with a crash point between them. A crash in that window leaves
+// a sidecar describing the previous image; its recorded image checksum no
+// longer matches, so it is detected as stale and never used for repair —
+// the next checkpoint or scrub pass rebuilds it.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+
+	"nvref/internal/fault"
+	"nvref/internal/parity"
+)
+
+// ErrNoParity reports a corrupt image that cannot be repaired because no
+// usable parity sidecar exists (parity disabled, sidecar missing or
+// damaged, or sidecar stale from a crash mid-checkpoint).
+var ErrNoParity = errors.New("pmem: no usable parity sidecar")
+
+// SidecarState classifies the parity sidecar found (or not) for a pool.
+type SidecarState string
+
+const (
+	SidecarOK      SidecarState = "ok"      // present, intact, describes the image
+	SidecarMissing SidecarState = "missing" // never written (or deleted)
+	SidecarStale   SidecarState = "stale"   // describes an older image (crash window)
+	SidecarCorrupt SidecarState = "corrupt" // blob fails its own checksum
+)
+
+// MediaReport is the outcome of one ScrubMedia pass over a stored pool.
+type MediaReport struct {
+	Pool          string           `json:"pool"`
+	ImageOK       bool             `json:"image_ok"`        // image verified clean on entry
+	Sidecar       SidecarState     `json:"sidecar"`         // state found on entry
+	SidecarBuilt  bool             `json:"sidecar_built"`   // sidecar (re)built this pass
+	BadPages      []int            `json:"bad_pages"`       // every data page failing its CRC
+	Repaired      []int            `json:"repaired"`        // pages reconstructed from parity
+	ParityRebuilt []int            `json:"parity_rebuilt"`  // parity pages recomputed
+	Unrecoverable []parity.Overlap `json:"unrecoverable"`   // rangelets beyond repair
+	Healed        bool             `json:"healed"`          // repaired image saved back to the store
+	ParityPages   int              `json:"parity_pages"`    // parity pages maintained for this pool
+	Err           string           `json:"error,omitempty"` // terminal failure, empty on success
+}
+
+// Recovered reports whether the pass ended with a consistent image.
+func (m *MediaReport) Recovered() bool {
+	return m != nil && m.Err == "" && len(m.Unrecoverable) == 0
+}
+
+// updateSidecar folds a freshly checkpointed image into the pool's parity
+// sidecar — incrementally when the previous image is cached, from scratch
+// otherwise — and durably saves it. Called with the image already saved;
+// the crash point between the two writes is what the torn-parity-update
+// crash test exercises.
+func (r *Registry) updateSidecar(name string, data []byte) error {
+	sc := r.sidecars[name]
+	old := r.lastImg[name]
+	if sc != nil && old != nil {
+		st := sc.Update(old, data)
+		if st.Rebuilt {
+			r.Stats.ParityBuilds++
+		} else {
+			r.Stats.ParityUpdates++
+			r.Stats.DirtyPageWrites += uint64(st.DirtyPages)
+			r.Stats.ParityPageWrites += uint64(st.ParityPageWrites)
+		}
+	} else {
+		sc = parity.Build(data, r.parity)
+		r.Stats.ParityBuilds++
+	}
+	fault.Crash("pmem.parity.save")
+	if err := r.saveSidecar(name, sc); err != nil {
+		return err
+	}
+	r.sidecars[name] = sc
+	r.lastImg[name] = data
+	r.refreshParityPages()
+	return nil
+}
+
+func (r *Registry) saveSidecar(name string, sc *parity.Sidecar) error {
+	blob := sc.Encode()
+	meta := Meta{Name: parity.SidecarName(name), Size: uint64(len(blob)), Sum: ImageChecksum(blob)}
+	if err := r.retryCounted(func() error { return r.store.Save(meta, blob) }); err != nil {
+		return fmt.Errorf("pmem: saving parity sidecar for %q: %w", name, err)
+	}
+	return nil
+}
+
+func (r *Registry) refreshParityPages() {
+	var n uint64
+	for _, sc := range r.sidecars {
+		n += uint64(sc.Rangelets())
+	}
+	r.Stats.ParityPages = n
+}
+
+// loadSidecar finds a parity sidecar that describes the image identified
+// by meta, preferring the in-memory cache over a store round trip. A
+// sidecar that fails its own checksum or describes a different image is
+// reported by state and not returned.
+func (r *Registry) loadSidecar(meta Meta) (*parity.Sidecar, SidecarState) {
+	if sc := r.sidecars[meta.Name]; sc.Describes(meta.Sum, int(meta.Size)) {
+		return sc, SidecarOK
+	}
+	var blob []byte
+	err := r.retryCounted(func() error {
+		_, b, e := r.store.Load(parity.SidecarName(meta.Name))
+		if e != nil {
+			return e
+		}
+		blob = b
+		return nil
+	})
+	if err != nil {
+		return nil, SidecarMissing
+	}
+	sc, err := parity.Decode(blob)
+	if err != nil {
+		return nil, SidecarCorrupt
+	}
+	if !sc.Describes(meta.Sum, int(meta.Size)) {
+		return nil, SidecarStale
+	}
+	return sc, SidecarOK
+}
+
+// repairImage reconstructs a corrupt image from its parity sidecar. data
+// is the bytes as loaded (possibly torn short); the result is a full
+// Meta.Size image whose checksum matches meta.Sum, or an error wrapping
+// ErrCorrupt when the damage exceeds parity's reach. With heal set the
+// repaired image (and any rebuilt parity) is saved back to the store and
+// the caches are refreshed.
+func (r *Registry) repairImage(meta Meta, data []byte, heal bool) ([]byte, *parity.Report, error) {
+	sc, state := r.loadSidecar(meta)
+	if sc == nil {
+		r.Stats.MediaUnrecoverable++
+		return nil, nil, fmt.Errorf("%w: %q: %w (sidecar %s)", ErrCorrupt, meta.Name, ErrNoParity, state)
+	}
+	buf := make([]byte, meta.Size) // zero-extend torn images to full size
+	copy(buf, data)
+	rep := sc.Repair(buf)
+	r.Stats.MediaBadPages += uint64(len(rep.BadPages))
+	if len(rep.Unrecoverable) > 0 {
+		r.Stats.MediaUnrecoverable += uint64(len(rep.Unrecoverable))
+		return nil, rep, fmt.Errorf("%w: %q: %d rangelet(s) unrecoverable, first: %s",
+			ErrCorrupt, meta.Name, len(rep.Unrecoverable), rep.Unrecoverable[0])
+	}
+	if sum := ImageChecksum(buf); sum != meta.Sum {
+		// Parity said clean but the whole-image checksum still disagrees:
+		// damage below CRC32's radar. Refuse to hand back garbage.
+		r.Stats.MediaUnrecoverable++
+		return nil, rep, fmt.Errorf("%w: %q: image checksum %#x after repair, meta says %#x",
+			ErrCorrupt, meta.Name, sum, meta.Sum)
+	}
+	r.Stats.PagesRepaired += uint64(len(rep.Repaired))
+	if len(rep.ParityRebuilt) > 0 {
+		r.Stats.ParityRebuilds++
+	}
+	if heal {
+		if err := r.retryCounted(func() error { return r.store.Save(meta, buf) }); err != nil {
+			return nil, rep, fmt.Errorf("pmem: healing %q after repair: %w", meta.Name, err)
+		}
+		if len(rep.ParityRebuilt) > 0 {
+			if err := r.saveSidecar(meta.Name, sc); err != nil {
+				return nil, rep, err
+			}
+		}
+		r.sidecars[meta.Name] = sc
+		r.lastImg[meta.Name] = buf
+		r.refreshParityPages()
+	}
+	return buf, rep, nil
+}
+
+// ScrubMedia verifies the stored image of one pool against its metadata
+// and parity sidecar, end to end, and (with repair set) fixes what it
+// finds: corrupt data pages are reconstructed from parity and healed in
+// the store, damaged or stale sidecars are rebuilt from an intact image.
+// Unrecoverable damage is reported in the result, not as an error; the
+// error return is for pools that cannot be scrubbed at all (no store, no
+// such image).
+func (r *Registry) ScrubMedia(name string, repair bool) (*MediaReport, error) {
+	if r.store == nil {
+		return nil, fmt.Errorf("pmem: no backing store to scrub")
+	}
+	var meta Meta
+	var data []byte
+	err := r.retryCounted(func() error {
+		m, d, e := r.store.Load(name)
+		if e != nil {
+			// A torn image whose metadata survived is scrubbable: the
+			// missing tail is just more bad pages for parity to rebuild.
+			if !errors.Is(e, ErrCorrupt) || m.Size == 0 {
+				return e
+			}
+		}
+		meta, data = m, d
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrNoSuchPool, name, err)
+	}
+	r.Stats.MediaScrubs++
+	rep := &MediaReport{Pool: name}
+
+	if verr := verifyImage(meta, data); verr == nil {
+		rep.ImageOK = true
+		sc, state := r.loadSidecar(meta)
+		rep.Sidecar = state
+		if sc == nil && repair && r.parity.Enabled {
+			sc = parity.Build(data, r.parity)
+			if err := r.saveSidecar(name, sc); err != nil {
+				rep.Err = err.Error()
+				return rep, nil
+			}
+			rep.SidecarBuilt = true
+			r.Stats.ParityRebuilds++
+		}
+		if sc != nil {
+			r.sidecars[name] = sc
+			r.lastImg[name] = data
+			r.refreshParityPages()
+			rep.ParityPages = sc.Rangelets()
+		}
+		return rep, nil
+	}
+
+	// The image is corrupt: enumerate, reconstruct, heal.
+	sc, state := r.loadSidecar(meta)
+	rep.Sidecar = state
+	repaired, prep, rerr := r.repairImage(meta, data, repair)
+	if prep != nil {
+		rep.BadPages = prep.BadPages
+		rep.Repaired = prep.Repaired
+		rep.ParityRebuilt = prep.ParityRebuilt
+		rep.Unrecoverable = prep.Unrecoverable
+	}
+	if sc != nil {
+		rep.ParityPages = sc.Rangelets()
+	}
+	if rerr != nil {
+		rep.Err = rerr.Error()
+		return rep, nil
+	}
+	rep.Healed = repair && repaired != nil
+	return rep, nil
+}
+
+// ScrubAllMedia runs ScrubMedia over every stored pool image (sidecars
+// themselves are skipped; they are verified as part of their pool's
+// pass). Pools that cannot be loaded at all are reported with Err set.
+func (r *Registry) ScrubAllMedia(repair bool) ([]*MediaReport, error) {
+	if r.store == nil {
+		return nil, fmt.Errorf("pmem: no backing store to scrub")
+	}
+	names, err := r.store.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []*MediaReport
+	for _, name := range names {
+		if parity.IsSidecar(name) {
+			continue
+		}
+		rep, err := r.ScrubMedia(name, repair)
+		if err != nil {
+			rep = &MediaReport{Pool: name, Err: err.Error()}
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -19,6 +19,19 @@ func (r *Registry) RegisterMetrics(reg *obs.Registry) {
 	ctr("pmem_fsck_runs_total", "fsck scans executed", func() uint64 { return r.Stats.FsckRuns })
 	ctr("pmem_fsck_errors_total", "fsck structural-corruption findings", func() uint64 { return r.Stats.FsckErrors })
 	ctr("pmem_fsck_warns_total", "fsck repairable-residue findings", func() uint64 { return r.Stats.FsckWarns })
+	ctr("pmem_parity_builds_total", "full parity sidecar builds", func() uint64 { return r.Stats.ParityBuilds })
+	ctr("pmem_parity_updates_total", "incremental parity delta updates", func() uint64 { return r.Stats.ParityUpdates })
+	ctr("pmem_parity_page_writes_total", "parity pages rewritten by delta updates", func() uint64 { return r.Stats.ParityPageWrites })
+	ctr("pmem_dirty_page_writes_total", "data pages changed across checkpoints", func() uint64 { return r.Stats.DirtyPageWrites })
+	ctr("pmem_media_scrubs_total", "media scrub passes", func() uint64 { return r.Stats.MediaScrubs })
+	ctr("pmem_media_bad_pages_total", "data pages found failing their CRC", func() uint64 { return r.Stats.MediaBadPages })
+	ctr("pmem_pages_repaired_total", "data pages reconstructed from parity", func() uint64 { return r.Stats.PagesRepaired })
+	ctr("pmem_parity_rebuilds_total", "parity sidecars rebuilt", func() uint64 { return r.Stats.ParityRebuilds })
+	ctr("pmem_media_unrecoverable_total", "rangelets with damage beyond parity's reach", func() uint64 { return r.Stats.MediaUnrecoverable })
+
+	reg.GaugeFunc("pmem_parity_pages", "parity pages currently maintained", func() int64 {
+		return int64(r.Stats.ParityPages)
+	})
 
 	reg.GaugeFunc("pmem_pools_attached", "pools currently mapped", func() int64 {
 		return int64(len(r.attached))

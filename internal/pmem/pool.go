@@ -20,6 +20,7 @@ import (
 	"nvref/internal/core"
 	"nvref/internal/fault"
 	"nvref/internal/mem"
+	"nvref/internal/parity"
 )
 
 // Pool geometry and header layout. All header fields are 64-bit
@@ -166,6 +167,23 @@ type RegistryStats struct {
 	FsckRuns   uint64
 	FsckErrors uint64
 	FsckWarns  uint64
+
+	// Media-fault series, all zero unless a parity policy is enabled.
+	// PagesRepaired counts data pages reconstructed from parity (in
+	// memory; Healed media reports say whether the store copy was also
+	// rewritten). MediaUnrecoverable counts rangelets whose damage
+	// exceeded parity's reach — data and parity corrupt together, or two
+	// pages of one rangelet.
+	ParityPages        uint64 // parity pages currently maintained (gauge)
+	ParityBuilds       uint64 // full sidecar builds
+	ParityUpdates      uint64 // incremental old-xor-new delta updates
+	ParityPageWrites   uint64 // parity pages rewritten by delta updates
+	DirtyPageWrites    uint64 // data pages that changed across checkpoints
+	MediaScrubs        uint64 // media verify passes (ScrubMedia)
+	MediaBadPages      uint64 // data pages found failing their CRC
+	PagesRepaired      uint64 // data pages reconstructed from parity
+	ParityRebuilds     uint64 // sidecars rebuilt (stale, missing, or parity-page damage)
+	MediaUnrecoverable uint64 // rangelets beyond parity's reach
 }
 
 // Registry owns the process's pools and implements core.Translator. The
@@ -182,6 +200,14 @@ type Registry struct {
 	nextBase uint64
 	retry    fault.RetryPolicy
 
+	// Media-fault tolerance (nil-safe when the policy is disabled):
+	// sidecars caches each pool's decoded parity table; lastImg holds the
+	// image bytes the sidecar currently describes, so the next checkpoint
+	// can fold only the dirty pages into parity (old xor new).
+	parity   parity.Policy
+	sidecars map[string]*parity.Sidecar
+	lastImg  map[string][]byte
+
 	Stats RegistryStats
 }
 
@@ -193,6 +219,15 @@ type Option func(*Registry)
 // in different runs exercises pointer relocation.
 func WithMapBase(base uint64) Option {
 	return func(r *Registry) { r.nextBase = base }
+}
+
+// WithParity enables the media-fault-tolerance layer: every checkpoint
+// maintains a per-page-CRC + XOR-parity sidecar next to the pool image,
+// and corrupt images encountered on the open/reattach path are repaired
+// in place from parity (single bad page per rangelet) instead of failing
+// with ErrCorrupt.
+func WithParity(pol parity.Policy) Option {
+	return func(r *Registry) { r.parity = pol }
 }
 
 // WithRetryPolicy overrides how the registry retries transient store faults
@@ -213,6 +248,8 @@ func NewRegistry(as *mem.AddressSpace, store Store, opts ...Option) *Registry {
 		nextID:   1,
 		nextBase: mem.NVMBase + 16*mem.PageSize,
 		retry:    fault.DefaultRetry,
+		sidecars: make(map[string]*parity.Sidecar),
+		lastImg:  make(map[string][]byte),
 	}
 	for _, o := range opts {
 		o(r)
@@ -308,7 +345,12 @@ func (r *Registry) loadImage(name string) (Meta, []byte, error) {
 	err := r.retryCounted(func() error {
 		m, d, e := r.store.Load(name)
 		if e != nil {
-			return e
+			// A torn image that still carries its metadata is media
+			// corruption, not a load failure: with parity armed, take the
+			// surviving bytes and fall through to repair.
+			if !r.parity.Enabled || !errors.Is(e, ErrCorrupt) || m.Size == 0 {
+				return e
+			}
 		}
 		meta, data = m, d
 		return nil
@@ -320,7 +362,17 @@ func (r *Registry) loadImage(name string) (Meta, []byte, error) {
 		return Meta{}, nil, fmt.Errorf("%w: %q: %v", ErrNoSuchPool, name, err)
 	}
 	if err := verifyImage(meta, data); err != nil {
-		return Meta{}, nil, err
+		if !r.parity.Enabled {
+			return Meta{}, nil, err
+		}
+		// Media corruption with parity armed: localize the damage with
+		// the per-page CRCs, reconstruct from the XOR stripe, and heal
+		// the store copy, so the open proceeds as if nothing happened.
+		repaired, _, rerr := r.repairImage(meta, data, true)
+		if rerr != nil {
+			return Meta{}, nil, rerr
+		}
+		data = repaired
 	}
 	r.Stats.BytesLoaded += uint64(len(data))
 	return meta, data, nil
@@ -347,6 +399,11 @@ func (r *Registry) Checkpoint(p *Pool) error {
 	}
 	r.Stats.Checkpoints++
 	r.Stats.BytesSaved += uint64(len(data))
+	if r.parity.Enabled {
+		if err := r.updateSidecar(p.name, data); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ErrStoreMissing is returned when a requested pool image is not in the store.
@@ -15,8 +16,12 @@ var ErrStoreMissing = errors.New("pmem: pool image not in store")
 
 // MemStore keeps pool images in process memory. It models the NVM devices
 // for tests and benchmarks: a new Registry over the same MemStore is a new
-// "run" of the program against the same persistent memory.
+// "run" of the program against the same persistent memory. Like the device
+// it stands in for, it tolerates concurrent access — the async scrubber and
+// the media-fault injectors hit the same store from different goroutines,
+// with each Save landing as one atomic image replacement.
 type MemStore struct {
+	mu     sync.RWMutex
 	images map[string]memImage
 }
 
@@ -34,13 +39,17 @@ func NewMemStore() *MemStore {
 func (s *MemStore) Save(meta Meta, data []byte) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	s.mu.Lock()
 	s.images[meta.Name] = memImage{meta: meta, data: cp}
+	s.mu.Unlock()
 	return nil
 }
 
 // Load implements Store.
 func (s *MemStore) Load(name string) (Meta, []byte, error) {
+	s.mu.RLock()
 	img, ok := s.images[name]
+	s.mu.RUnlock()
 	if !ok {
 		return Meta{}, nil, fmt.Errorf("%w: %q", ErrStoreMissing, name)
 	}
@@ -51,16 +60,20 @@ func (s *MemStore) Load(name string) (Meta, []byte, error) {
 
 // List implements Store.
 func (s *MemStore) List() ([]string, error) {
+	s.mu.RLock()
 	names := make([]string, 0, len(s.images))
 	for n := range s.images {
 		names = append(names, n)
 	}
+	s.mu.RUnlock()
 	sort.Strings(names)
 	return names, nil
 }
 
 // Delete implements Store.
 func (s *MemStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.images[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrStoreMissing, name)
 	}
@@ -198,6 +211,15 @@ func (s *DirStore) Load(name string) (Meta, []byte, error) {
 	storedName := string(raw[p : p+nameLen])
 	p += nameLen
 	data := raw[p:]
+	if uint64(len(data)) < size && withSum {
+		// Torn payload under an intact header: a crash or truncation cut
+		// the file short. The parsed metadata and the surviving bytes are
+		// returned alongside the error so the parity layer can zero-extend
+		// the image and reconstruct the missing pages; callers that need an
+		// intact image check the error and behave exactly as before.
+		return Meta{ID: id, Name: storedName, Size: size, Sum: sum}, data,
+			fmt.Errorf("%w: %q: image %d bytes, header says %d", ErrCorrupt, name, len(data), size)
+	}
 	if uint64(len(data)) != size {
 		return Meta{}, nil, fmt.Errorf("%w: %q: image %d bytes, header says %d",
 			ErrCorrupt, name, len(data), size)

@@ -9,6 +9,7 @@ import (
 	"nvref/internal/hw"
 	"nvref/internal/mem"
 	"nvref/internal/obs"
+	"nvref/internal/parity"
 	"nvref/internal/pmem"
 )
 
@@ -124,6 +125,10 @@ type Config struct {
 	// Policy selects strict or permissive handling of storeP faults
 	// across the HW and SW layers; the zero value is fault.Permissive.
 	Policy fault.Policy
+	// Parity, when enabled, maintains per-page checksums and an XOR
+	// parity sidecar for every checkpointed pool image and repairs
+	// corrupt images in place on the open path (see internal/parity).
+	Parity parity.Policy
 }
 
 // New builds a Context for the given mode with a default pool.
@@ -135,6 +140,9 @@ func New(cfg Config) (*Context, error) {
 	var regOpts []pmem.Option
 	if cfg.PoolMapBase != 0 {
 		regOpts = append(regOpts, pmem.WithMapBase(cfg.PoolMapBase))
+	}
+	if cfg.Parity.Enabled {
+		regOpts = append(regOpts, pmem.WithParity(cfg.Parity))
 	}
 	reg := pmem.NewRegistry(as, cfg.Store, regOpts...)
 	heap, err := newVHeap(as, defaultVHeapBase, defaultVHeapSize)

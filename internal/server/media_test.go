@@ -1,0 +1,225 @@
+package server
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"nvref/internal/fault"
+	"nvref/internal/fault/inject"
+	"nvref/internal/parity"
+	"nvref/internal/pmem"
+)
+
+// corruptShardImage damages every non-sidecar image in the shard's store
+// (in practice: the one pool image) with the given fault class, returning
+// how many images were hit. The damage is media-style: bytes change under
+// an unchanged checksum.
+func corruptShardImage(t *testing.T, store pmem.Store, class fault.Class, seed uint64) int {
+	t.Helper()
+	names, err := store.List()
+	if err != nil {
+		t.Fatalf("listing store: %v", err)
+	}
+	hit := 0
+	for _, name := range names {
+		if parity.IsSidecar(name) {
+			continue
+		}
+		desc, err := inject.CorruptStored(store, name, class, parity.DefaultPageSize, fault.NewRand(seed))
+		if err != nil {
+			t.Fatalf("corrupting %q: %v", name, err)
+		}
+		t.Logf("corrupted %q: %s", name, desc)
+		hit++
+	}
+	if hit == 0 {
+		t.Fatal("no pool image in the store to corrupt (checkpoint missing?)")
+	}
+	return hit
+}
+
+// TestScrubberRepairsMediaCorruption is the tentpole's serving-tier leg:
+// a bit flips in a checkpointed pool image while the server keeps running.
+// The background scrubber must detect the flip against the page CRCs,
+// reconstruct the page from the parity sidecar, heal the store in place —
+// no failover, no client-visible error — and leave a flight-recorder dump
+// behind. A subsequent power-loss crash then recovers from the healed
+// image with every acknowledged write intact.
+func TestScrubberRepairsMediaCorruption(t *testing.T) {
+	store := pmem.NewMemStore()
+	dir := t.TempDir()
+	ts := startServer(t, Config{
+		Shards:          1,
+		CheckpointEvery: -1, // no background checkpoints: the image under scrub stays put
+		ScrubEvery:      2 * time.Millisecond,
+		Parity:          parity.Default(),
+		StoreFor:        func(int) pmem.Store { return store },
+		FlightDir:       dir,
+	})
+	cl := dial(t, ts)
+
+	const n = 200
+	for k := uint64(0); k < n; k++ {
+		if err := cl.Put(k, keyVal(k)); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	if err := ts.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	corruptShardImage(t, store, fault.BitFlip, 42)
+
+	st := waitShard(t, ts, 0, "media repair", func(st ShardStats) bool { return st.PagesRepaired >= 1 })
+	if st.MediaScrubs == 0 || st.ParityPages == 0 {
+		t.Errorf("media counters after repair: scrubs=%d parity_pages=%d, want both > 0", st.MediaScrubs, st.ParityPages)
+	}
+	if st.MediaUnrecoverable != 0 {
+		t.Errorf("single flipped bit counted as unrecoverable (%d)", st.MediaUnrecoverable)
+	}
+
+	// The store must now hold the healed image: power-loss recovery reopens
+	// from it, and every acknowledged write must still be there.
+	if err := ts.InjectCrash(0); err != nil {
+		t.Fatalf("crash after heal: %v", err)
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok, err := cl.Get(k)
+		if err != nil {
+			t.Fatalf("get %d after crash: %v", k, err)
+		}
+		if !ok || v != keyVal(k) {
+			t.Fatalf("key %d after recovery from healed image: got (%d,%v), want %d", k, v, ok, keyVal(k))
+		}
+	}
+
+	// A media repair is an incident: the flight recorder must have dumped.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading flight dir: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Error("media repair left no flight-recorder dump")
+	}
+}
+
+// TestCrashRecoveryRepairsCorruptImage covers the load-path half: the
+// corruption is found not by the scrubber but by recovery itself — the
+// image fails verification while a crashed shard reopens it. With parity
+// armed, open() must reconstruct the bad page, heal the store, and bring
+// the shard back with all checkpointed writes, instead of failing
+// recovery.
+func TestCrashRecoveryRepairsCorruptImage(t *testing.T) {
+	store := pmem.NewMemStore()
+	ts := startServer(t, Config{
+		Shards:          1,
+		CheckpointEvery: -1,
+		Parity:          parity.Default(),
+		StoreFor:        func(int) pmem.Store { return store },
+	})
+	cl := dial(t, ts)
+
+	const n = 300
+	for k := uint64(0); k < n; k++ {
+		if err := cl.Put(k, keyVal(k)); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	if err := ts.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	corruptShardImage(t, store, fault.Torn, 7)
+
+	if err := ts.InjectCrash(0); err != nil {
+		t.Fatalf("crash onto corrupt image: %v", err)
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok, err := cl.Get(k)
+		if err != nil {
+			t.Fatalf("get %d after recovery: %v", k, err)
+		}
+		if !ok || v != keyVal(k) {
+			t.Fatalf("key %d after repair-on-open: got (%d,%v), want %d", k, v, ok, keyVal(k))
+		}
+	}
+	st := ts.CollectStats().PerShard[0]
+	if st.PagesRepaired == 0 {
+		t.Error("recovery reopened a corrupt image without counting a repair")
+	}
+	if st.Crashes != 1 || st.Recoveries != 1 {
+		t.Errorf("crash/recovery counters: %d/%d, want 1/1", st.Crashes, st.Recoveries)
+	}
+}
+
+// TestScrubReportsUnrecoverableDamage: damage beyond parity's reach (many
+// pages of one rangelet wiped by a torn image) must be reported — counted,
+// logged, dumped — not silently retried or fatal. The service keeps
+// serving from the live pool, and the next checkpoint re-seals the store
+// with a fresh image and sidecar, after which recovery works again.
+func TestScrubReportsUnrecoverableDamage(t *testing.T) {
+	store := pmem.NewMemStore()
+	ts := startServer(t, Config{
+		Shards:          1,
+		CheckpointEvery: -1,
+		ScrubEvery:      2 * time.Millisecond,
+		Parity:          parity.Default(),
+		StoreFor:        func(int) pmem.Store { return store },
+	})
+	cl := dial(t, ts)
+
+	const n = 200
+	for k := uint64(0); k < n; k++ {
+		if err := cl.Put(k, keyVal(k)); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	if err := ts.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// Truncate the stored image to two pages under its original metadata:
+	// every later content-bearing page reads as zeros, multiple of them in
+	// the same rangelet — beyond single-page reconstruction.
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if parity.IsSidecar(name) {
+			continue
+		}
+		meta, data, err := store.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Save(meta, data[:2*parity.DefaultPageSize]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	waitShard(t, ts, 0, "unrecoverable damage reported", func(st ShardStats) bool {
+		return st.MediaUnrecoverable >= 1
+	})
+
+	// The live pool is untouched: clients keep reading through the damage.
+	for k := uint64(0); k < n; k++ {
+		v, ok, err := cl.Get(k)
+		if err != nil || !ok || v != keyVal(k) {
+			t.Fatalf("get %d while store is damaged: (%d,%v,%v)", k, v, ok, err)
+		}
+	}
+
+	// A fresh checkpoint rewrites image and sidecar; recovery works again.
+	if err := ts.Checkpoint(); err != nil {
+		t.Fatalf("re-seal checkpoint: %v", err)
+	}
+	if err := ts.InjectCrash(0); err != nil {
+		t.Fatalf("crash after re-seal: %v", err)
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok, err := cl.Get(k)
+		if err != nil || !ok || v != keyVal(k) {
+			t.Fatalf("get %d after re-seal recovery: (%d,%v,%v)", k, v, ok, err)
+		}
+	}
+}

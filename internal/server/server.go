@@ -14,6 +14,7 @@ import (
 	"nvref/internal/cluster"
 	"nvref/internal/fault"
 	"nvref/internal/obs"
+	"nvref/internal/parity"
 	"nvref/internal/pmem"
 	"nvref/internal/repl"
 	"nvref/internal/rt"
@@ -55,6 +56,12 @@ type Config struct {
 	// healthy shards are fsck-checked (and repaired if needed) at this
 	// period, Pangolin-style. Zero disables scrubbing.
 	ScrubEvery time.Duration
+	// Parity, when enabled, arms the media-fault-tolerance layer on every
+	// shard pool: checkpoints maintain per-page CRC32s plus an XOR parity
+	// sidecar, crash recovery repairs corrupt pool images in place from
+	// parity, and the background scrubber upgrades from detect-only to
+	// scrub-and-repair over the stored images (see internal/parity).
+	Parity parity.Policy
 	// StoreFor supplies each shard's backing store. Nil stores every shard
 	// in a fresh MemStore (persistent across crashes injected into this
 	// server, not across processes).
@@ -321,6 +328,14 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
+	// One repair-latency histogram shared by every shard: media repairs
+	// are rare incidents, and the obs.Histogram is atomic.
+	var repairHist *obs.Histogram
+	if cfg.Reg != nil && cfg.Parity.Enabled {
+		repairHist = cfg.Reg.Histogram("repair_latency_us",
+			"media-repair pass latency (detect + reconstruct + heal), microseconds",
+			latencyBounds)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sc := shardConfig{
 			id:              i,
@@ -334,6 +349,8 @@ func New(cfg Config) (*Server, error) {
 			spans:           cfg.Spans,
 			flight:          cfg.Flight,
 			slowOp:          cfg.SlowOp,
+			parity:          cfg.Parity,
+			repairLatency:   repairHist,
 		}
 		if cfg.Flight != nil {
 			sc.trigger = s.shardTrigger
@@ -550,6 +567,13 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 		reg.CounterFunc(pfx+"breaker_opens_total", "times the circuit breaker tripped", func() uint64 { return sh.breaker.Opens() })
 		reg.CounterFunc(pfx+"fsck_errors_total", "fsck errors found at open/recovery", func() uint64 { return sh.fsckErrors.Load() })
 		reg.CounterFunc(pfx+"repairs_total", "pool repairs performed", func() uint64 { return sh.repairs.Load() })
+		if s.cfg.Parity.Enabled {
+			reg.CounterFunc(pfx+"media_scrubs_total", "media scrub passes over the shard's stored images", func() uint64 { return sh.mediaScrubs.Load() })
+			reg.CounterFunc(pfx+"pages_repaired_total", "data pages reconstructed from parity", func() uint64 { return sh.pagesRepaired.Load() })
+			reg.CounterFunc(pfx+"parity_rebuilds_total", "parity sidecars rebuilt", func() uint64 { return sh.parityRebuilds.Load() })
+			reg.CounterFunc(pfx+"media_unrecoverable_total", "rangelets with damage beyond parity's reach", func() uint64 { return sh.mediaUnrecoverable.Load() })
+			reg.GaugeFunc(pfx+"parity_pages", "parity pages maintained for the shard's pools", func() int64 { return int64(sh.parityPages.Load()) })
+		}
 		if sh.cfg.oplog != nil {
 			sh := sh
 			reg.GaugeFunc(pfx+"applied_seq", "newest applied operation-log sequence", func() int64 { return int64(sh.applied.Load()) })
@@ -560,6 +584,32 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 			reg.GaugeFunc(pfx+"oplog_unflushed_records", "appended records the durable image does not yet cover", func() int64 { return int64(sh.cfg.oplog.Unflushed()) })
 			reg.CounterFunc(pfx+"degraded_acks_total", "writes acked without replica durability (replica not live)", func() uint64 { return sh.degradedAcks.Load() })
 		}
+	}
+	if s.cfg.Parity.Enabled {
+		// Aggregate media-fault series (the repair_latency_us histogram is
+		// registered at construction, shared across shards).
+		sum := func(f func(*shard) uint64) func() uint64 {
+			return func() uint64 {
+				var n uint64
+				for _, sh := range s.shards {
+					n += f(sh)
+				}
+				return n
+			}
+		}
+		reg.GaugeFunc("parity_pages", "parity pages maintained across all shards", func() int64 {
+			var n uint64
+			for _, sh := range s.shards {
+				n += sh.parityPages.Load()
+			}
+			return int64(n)
+		})
+		reg.CounterFunc("scrub_passes_total", "media scrub passes across all shards",
+			sum(func(sh *shard) uint64 { return sh.mediaScrubs.Load() }))
+		reg.CounterFunc("pages_repaired_total", "data pages reconstructed from parity across all shards",
+			sum(func(sh *shard) uint64 { return sh.pagesRepaired.Load() }))
+		reg.CounterFunc("unrecoverable_total", "rangelets with damage beyond parity's reach across all shards",
+			sum(func(sh *shard) uint64 { return sh.mediaUnrecoverable.Load() }))
 	}
 	if s.cfg.Role != RoleStandalone {
 		s.registerReplMetrics(reg)

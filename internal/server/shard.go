@@ -11,6 +11,7 @@ import (
 	"nvref/internal/fault"
 	"nvref/internal/kvstore"
 	"nvref/internal/obs"
+	"nvref/internal/parity"
 	"nvref/internal/pmem"
 	"nvref/internal/repl"
 	"nvref/internal/rt"
@@ -138,6 +139,12 @@ type shardConfig struct {
 	latency         *obs.Histogram  // queue+service latency, microseconds
 	logf            func(format string, args ...any)
 
+	// Media-fault layer (parity.Enabled arms it): the shard's pool images
+	// carry parity sidecars, the background scrub verifies and repairs
+	// stored images, and recovery heals corrupt images on open.
+	parity        parity.Policy
+	repairLatency *obs.Histogram // media-repair pass latency, microseconds
+
 	// Tracing plane (all nil/zero when tracing is not configured).
 	spans   *obs.SpanRecorder         // per-stage spans of sampled requests
 	flight  *obs.FlightRecorder       // wide events (slow ops) + incident dumps
@@ -192,8 +199,15 @@ type shard struct {
 	scrubs, scrubIssues            atomic.Uint64
 	checkpoints                    atomic.Uint64
 	fsckErrors, fsckWarns, repairs atomic.Uint64
-	cycles, keys                   atomic.Uint64
-	queueHighWater                 atomic.Uint64
+
+	// Media-fault counters (only move when cfg.parity.Enabled).
+	mediaScrubs        atomic.Uint64 // media scrub passes over stored images
+	pagesRepaired      atomic.Uint64 // data pages reconstructed from parity
+	parityRebuilds     atomic.Uint64 // parity sidecars (re)built
+	mediaUnrecoverable atomic.Uint64 // rangelets with damage beyond parity's reach
+	parityPages        atomic.Uint64 // parity pages currently maintained (gauge)
+	cycles, keys       atomic.Uint64
+	queueHighWater     atomic.Uint64
 
 	// Replication state (only meaningful when cfg.oplog != nil).
 	waiter          *ackWaiter    // primary: write acks held for replica ack
@@ -250,9 +264,19 @@ func (sh *shard) logf(format string, args ...any) {
 // shard before a crash), the pool is reopened, fsck-checked (repairing if
 // needed), and the index is re-seated on the persisted root.
 func (sh *shard) open() error {
-	ctx, err := rt.New(rt.Config{Mode: sh.cfg.mode, Store: sh.cfg.store, PoolSize: sh.cfg.poolSize})
+	ctx, err := rt.New(rt.Config{Mode: sh.cfg.mode, Store: sh.cfg.store, PoolSize: sh.cfg.poolSize, Parity: sh.cfg.parity})
 	if err != nil {
 		return err
+	}
+	if n := ctx.Reg.Stats.PagesRepaired; n > 0 {
+		// The load path healed a corrupt image from parity on the way up:
+		// the media fault is already fixed, account and leave a trail.
+		sh.pagesRepaired.Add(n)
+		if sh.cfg.trigger != nil {
+			sh.cfg.trigger(TriggerMediaRepair,
+				fmt.Sprintf("shard %d reconstructed %d page(s) from parity during recovery", sh.cfg.id, n))
+		}
+		sh.logf("server: shard %d: repaired %d corrupt page(s) from parity on open", sh.cfg.id, n)
 	}
 	rep := pmem.Fsck(ctx.Pool)
 	for _, issue := range rep.Issues {
@@ -334,6 +358,9 @@ func (sh *shard) replayOplog() error {
 func (sh *shard) publish() {
 	sh.cycles.Store(sh.ctx.CPU.Stats.Cycles)
 	sh.keys.Store(sh.rb.Len())
+	if sh.cfg.parity.Enabled {
+		sh.parityPages.Store(sh.ctx.Reg.Stats.ParityPages)
+	}
 }
 
 // beat records worker progress for the heartbeat watchdog.
@@ -984,16 +1011,65 @@ func (sh *shard) reseedBegin(watermark uint64) Reply {
 }
 
 // scrub is the online Pangolin-style check: fsck the live pool between
-// requests and reclaim any repairable residue before it can compound.
+// requests and reclaim any repairable residue before it can compound,
+// then (with parity armed) scrub-and-repair the stored images against
+// their parity sidecars — the media leg that catches bit rot at rest.
 func (sh *shard) scrub() {
 	sh.scrubs.Add(1)
 	rep := pmem.Fsck(sh.ctx.Pool)
 	sh.scrubIssues.Add(uint64(len(rep.Issues)))
-	if rep.Clean() {
-		return
+	if !rep.Clean() {
+		if _, err := pmem.Repair(sh.ctx.Pool); err == nil {
+			sh.repairs.Add(1)
+		}
 	}
-	if _, err := pmem.Repair(sh.ctx.Pool); err == nil {
-		sh.repairs.Add(1)
+	if sh.cfg.parity.Enabled && sh.cfg.store != nil {
+		sh.scrubMedia()
+	}
+}
+
+// scrubMedia runs one scrub-and-repair pass over every stored image the
+// shard's registry manages. Corrupt pages are reconstructed from parity
+// and healed in the store; the damage, the fix, and the latency all land
+// in the media counters and — via the flight recorder — in an incident
+// dump, because a media repair means hardware is lying about bytes.
+func (sh *shard) scrubMedia() {
+	for _, p := range sh.ctx.Reg.Pools() {
+		start := time.Now()
+		rep, err := sh.ctx.Reg.ScrubMedia(p.Name(), true)
+		if err != nil {
+			continue // pool not checkpointed yet: nothing stored to scrub
+		}
+		sh.mediaScrubs.Add(1)
+		sh.parityPages.Store(sh.ctx.Reg.Stats.ParityPages)
+		if rep.SidecarBuilt {
+			sh.parityRebuilds.Add(1)
+		}
+		if len(rep.Unrecoverable) > 0 || (rep.Err != "" && !rep.ImageOK) {
+			sh.mediaUnrecoverable.Add(uint64(max(len(rep.Unrecoverable), 1)))
+			detail := fmt.Sprintf("shard %d pool %q: unrecoverable media damage: %d rangelet(s), err=%q",
+				sh.cfg.id, p.Name(), len(rep.Unrecoverable), rep.Err)
+			if sh.cfg.trigger != nil {
+				sh.cfg.trigger(TriggerMediaRepair, detail)
+			}
+			sh.logf("server: %s", detail)
+			continue
+		}
+		if len(rep.Repaired) > 0 {
+			sh.pagesRepaired.Add(uint64(len(rep.Repaired)))
+			if len(rep.ParityRebuilt) > 0 {
+				sh.parityRebuilds.Add(1)
+			}
+			if sh.cfg.repairLatency != nil {
+				sh.cfg.repairLatency.Observe(uint64(time.Since(start).Microseconds()))
+			}
+			detail := fmt.Sprintf("shard %d pool %q: scrub reconstructed %d page(s) from parity (bad=%v)",
+				sh.cfg.id, p.Name(), len(rep.Repaired), rep.BadPages)
+			if sh.cfg.trigger != nil {
+				sh.cfg.trigger(TriggerMediaRepair, detail)
+			}
+			sh.logf("server: %s", detail)
+		}
 	}
 }
 
@@ -1106,6 +1182,12 @@ type ShardStats struct {
 	FsckErrors    uint64 `json:"fsck_errors"`
 	FsckWarns     uint64 `json:"fsck_warns"`
 	Repairs       uint64 `json:"repairs"`
+	// Media-fault block (all zero unless the parity layer is armed).
+	MediaScrubs        uint64 `json:"media_scrubs"`
+	PagesRepaired      uint64 `json:"pages_repaired"`
+	ParityRebuilds     uint64 `json:"parity_rebuilds"`
+	MediaUnrecoverable uint64 `json:"media_unrecoverable"`
+	ParityPages        uint64 `json:"parity_pages"`
 	// Repl is the shard's replication block (nil on a standalone server).
 	Repl *ReplShardStats `json:"repl,omitempty"`
 }
@@ -1200,6 +1282,13 @@ func (sh *shard) stats() ShardStats {
 		FsckErrors:    sh.fsckErrors.Load(),
 		FsckWarns:     sh.fsckWarns.Load(),
 		Repairs:       sh.repairs.Load(),
-		Repl:          sh.replStats(),
+
+		MediaScrubs:        sh.mediaScrubs.Load(),
+		PagesRepaired:      sh.pagesRepaired.Load(),
+		ParityRebuilds:     sh.parityRebuilds.Load(),
+		MediaUnrecoverable: sh.mediaUnrecoverable.Load(),
+		ParityPages:        sh.parityPages.Load(),
+
+		Repl: sh.replStats(),
 	}
 }

@@ -35,6 +35,7 @@ const (
 	TriggerMigration   = "migration"    // a cluster slot finished handover (in or out)
 	TriggerEpoch       = "epoch"        // stale-epoch writes detected after a handover
 	TriggerReseed      = "reseed"       // follower re-seeded itself from a primary snapshot
+	TriggerMediaRepair = "media_repair" // pages reconstructed from parity (or damage beyond it)
 )
 
 // traceSampler traces every Nth untraced request with a fresh trace ID. A

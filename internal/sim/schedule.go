@@ -37,6 +37,14 @@ const (
 	ActRebalance ActionKind = "rebalance"
 	// ActWaitRebalance blocks until the last ActRebalance finished.
 	ActWaitRebalance ActionKind = "wait-rebalance"
+	// ActCorrupt is the media nemesis: every checkpointed pool image in
+	// Node's stores is damaged media-style (bytes change under an
+	// unchanged checksum), alternating a single bit flip and a torn page
+	// per firing. A fresh checkpoint is forced first, so the damage lands
+	// on a current image and never races one being written. Requires a
+	// schedule with Parity set; repair happens through the background
+	// scrubber or through recovery-on-open after a later ActCrash.
+	ActCorrupt ActionKind = "corrupt"
 )
 
 // Action is one nemesis move, fired when AfterOp client operations have
@@ -107,6 +115,18 @@ type Schedule struct {
 	// injector (delays served by the virtual clock).
 	Flaky      bool
 	FlakyEvery int // one injected fault per that many conn I/O calls
+
+	// Parity arms the media-fault layer on every node: checkpoints
+	// maintain parity sidecars, the background scrubber (virtual-clock
+	// cadence) repairs corrupt stored images, and recovery repairs them
+	// on open. Required by schedules that fire ActCorrupt.
+	Parity bool
+	// CheckpointEvery overrides the per-shard checkpoint cadence (ops).
+	// Zero keeps the sim default (-1: checkpoints only at barriers), so
+	// crash recovery replays the full retained log. Media schedules set a
+	// small positive cadence — ActCorrupt needs checkpointed images to
+	// damage, and a crash then recovers from image plus log tail.
+	CheckpointEvery int
 
 	Actions []Action
 
@@ -269,6 +289,47 @@ func MigrationKill(ops int) Schedule {
 	}
 }
 
+// CorruptUnderLoad is the media sweep schedule: a fenced pair with the
+// parity layer armed, random gated-read workload, and three media-fault
+// episodes — one repaired at rest (scrubber or checkpoint rewrite), one
+// driven through primary crash recovery (corrupt, power-loss, and restart
+// at the same op index, so the virtual clock never advances and the
+// replica cannot promote meanwhile), and one through replica crash
+// recovery. The durable-linearizability checker gates the result: media
+// damage plus repair must never surface as lost or resurrected writes.
+func CorruptUnderLoad(ops int) Schedule {
+	return Schedule{
+		Name:            "corrupt-under-load",
+		Topology:        "pair",
+		Ops:             ops,
+		Keys:            8,
+		Clients:         3,
+		FenceAfter:      simFenceAfter,
+		PromoteAfter:    simPromoteAfter,
+		GatedReads:      true,
+		Parity:          true,
+		CheckpointEvery: 8,
+		Actions: []Action{
+			// At-rest repair: damage the primary's stored images mid-load
+			// and leave them to the scrubber (or a checkpoint rewrite).
+			{AfterOp: ops / 4, Kind: ActCorrupt, Node: "a"},
+			// Primary recovery repair: corrupt, crash, restart back-to-back.
+			{AfterOp: ops / 2, Kind: ActCorrupt, Node: "a"},
+			{AfterOp: ops / 2, Kind: ActCrash, Node: "a"},
+			{AfterOp: ops / 2, Kind: ActRestart, Node: "a"},
+			{AfterOp: ops / 2, Kind: ActWaitConn, Node: "b"},
+			// Replica recovery repair: corrupt and crash b, advance past the
+			// liveness window so the lone primary keeps acking (degraded),
+			// then rejoin as a follower.
+			{AfterOp: 2 * ops / 3, Kind: ActCorrupt, Node: "b"},
+			{AfterOp: 2 * ops / 3, Kind: ActCrash, Node: "b"},
+			{AfterOp: 2 * ops / 3, Kind: ActAdvance, D: simReplLive + 50*time.Millisecond},
+			{AfterOp: 5 * ops / 6, Kind: ActRestart, Node: "b", Role: "replica", Peer: "a"},
+			{AfterOp: 5 * ops / 6, Kind: ActWaitConn, Node: "b"},
+		},
+	}
+}
+
 // Steady is the no-fault baseline: a healthy pair, deletes included.
 // Its history is the byte-identical determinism gate.
 func Steady(ops int) Schedule {
@@ -318,6 +379,8 @@ func Schedules(name string, ops int) (Schedule, error) {
 		return CrashFailoverRestart(ops), nil
 	case "migration-kill":
 		return MigrationKill(ops), nil
+	case "corrupt-under-load":
+		return CorruptUnderLoad(ops), nil
 	}
 	return Schedule{}, fmt.Errorf("sim: unknown schedule %q", name)
 }

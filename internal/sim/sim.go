@@ -16,6 +16,8 @@ import (
 	"nvref/internal/cluster"
 	"nvref/internal/fault"
 	"nvref/internal/fault/flaky"
+	"nvref/internal/fault/inject"
+	"nvref/internal/parity"
 	"nvref/internal/pmem"
 	"nvref/internal/rt"
 	"nvref/internal/server"
@@ -60,17 +62,22 @@ type RunConfig struct {
 
 // RunResult is the verdict of one run.
 type RunResult struct {
-	Schedule        string   `json:"schedule"`
-	Seed            int64    `json:"seed"`
-	Events          int      `json:"events"`
-	OpsOK           int      `json:"ops_ok"`
-	OpsFail         int      `json:"ops_fail"`
-	OpsInfo         int      `json:"ops_info"`
-	Crashes         int      `json:"crashes"`
-	LinzOK          bool     `json:"linz_ok"`
-	Violations      []string `json:"violations,omitempty"`
-	StatesVisited   int      `json:"states_visited"`
-	ExpectViolation bool     `json:"expect_violation"`
+	Schedule string `json:"schedule"`
+	Seed     int64  `json:"seed"`
+	Events   int    `json:"events"`
+	OpsOK    int    `json:"ops_ok"`
+	OpsFail  int    `json:"ops_fail"`
+	OpsInfo  int    `json:"ops_info"`
+	Crashes  int    `json:"crashes"`
+	// Media-fault layer totals, summed over the nodes still up at the end
+	// of the run (Parity schedules; a counter dies with its incarnation,
+	// so repairs made by a later-crashed process are not re-counted).
+	PagesRepaired      uint64   `json:"pages_repaired,omitempty"`
+	MediaUnrecoverable uint64   `json:"media_unrecoverable,omitempty"`
+	LinzOK             bool     `json:"linz_ok"`
+	Violations         []string `json:"violations,omitempty"`
+	StatesVisited      int      `json:"states_visited"`
+	ExpectViolation    bool     `json:"expect_violation"`
 	// Ok means the checker's verdict matched the schedule's expectation
 	// and the run moved real traffic.
 	Ok          bool   `json:"ok"`
@@ -116,6 +123,11 @@ type sim struct {
 
 	flaky      *flaky.Config
 	flakyConns uint64
+
+	// corruptN counts ActCorrupt firings: it alternates the fault class
+	// and salts the per-firing corruption RNG, so every firing is
+	// deterministic in (seed, firing index) alone.
+	corruptN uint64
 
 	rebalWG  sync.WaitGroup
 	rebalMu  sync.Mutex
@@ -226,6 +238,15 @@ func Run(rc RunConfig) (*RunResult, error) {
 			}
 		}
 	}
+	for _, n := range s.nodes {
+		if !n.up {
+			continue
+		}
+		for _, sh := range n.srv.CollectStats().PerShard {
+			res.PagesRepaired += sh.PagesRepaired
+			res.MediaUnrecoverable += sh.MediaUnrecoverable
+		}
+	}
 	if rc.HistoryDir != "" {
 		path := filepath.Join(rc.HistoryDir,
 			fmt.Sprintf("%s-seed%d.jsonl", sched.Name, rc.Seed))
@@ -307,6 +328,16 @@ func (s *sim) config(n *node) server.Config {
 		ReplLiveWindow:  simReplLive,
 		StoreFor:        func(i int) pmem.Store { return n.stores[i] },
 		LogStoreFor:     func(i int) pmem.Store { return n.logStores[i] },
+	}
+	if s.sched.CheckpointEvery != 0 {
+		cfg.CheckpointEvery = s.sched.CheckpointEvery
+	}
+	if s.sched.Parity {
+		// Media schedules: parity sidecars on every checkpoint, plus the
+		// background scrubber on a virtual-clock cadence (opTick is 1ms,
+		// so a scrub pass becomes eligible roughly every ten client ops).
+		cfg.Parity = parity.Default()
+		cfg.ScrubEvery = 10 * time.Millisecond
 	}
 	switch {
 	case n.clusterStore != nil:
@@ -478,6 +509,45 @@ func (s *sim) fire(a Action) string {
 			return err.Error()
 		}
 		s.hist.Nemesis(n.name, "restart")
+		time.Sleep(settleWall)
+	case ActCorrupt:
+		n := s.nodes[a.Node]
+		if n == nil || !n.up {
+			return "corrupt: node " + a.Node + " not up"
+		}
+		// Force a fresh checkpoint first: it guarantees a current image
+		// exists to damage, and — because the driver is the only thread
+		// issuing ops — no further checkpoint can race the injection and
+		// strand a half-written image behind corrupt metadata.
+		if err := n.srv.Checkpoint(); err != nil {
+			return "corrupt " + a.Node + ": checkpoint: " + err.Error()
+		}
+		class, label := fault.BitFlip, "bitflip"
+		if s.corruptN%2 == 1 {
+			class, label = fault.Torn, "torn-page"
+		}
+		rng := fault.NewRand(uint64(s.seed)<<8 ^ 0xC0FFEE ^ s.corruptN)
+		s.corruptN++
+		hit := 0
+		for _, st := range n.stores {
+			names, err := st.List()
+			if err != nil {
+				return "corrupt " + a.Node + ": " + err.Error()
+			}
+			for _, name := range names {
+				if parity.IsSidecar(name) {
+					continue
+				}
+				if _, err := inject.CorruptStored(st, name, class, parity.DefaultPageSize, rng); err != nil {
+					return "corrupt " + a.Node + " " + name + ": " + err.Error()
+				}
+				hit++
+			}
+		}
+		if hit == 0 {
+			return "corrupt " + a.Node + ": no checkpointed image to damage"
+		}
+		s.hist.Nemesis(n.name, fmt.Sprintf("corrupt %s x%d", label, hit))
 		time.Sleep(settleWall)
 	case ActWaitRole:
 		n := s.nodes[a.Node]

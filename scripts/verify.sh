@@ -98,6 +98,28 @@ go tool cover -func=/tmp/sim_cover.out | awk '
 	}'
 go run ./cmd/nvbench -experiment sim -quick -benchlog=false
 
+# Media leg: the parity layer under the race detector with a coverage
+# gate (it is what the in-place repair promise rests on), the repair
+# round-trips across pmem, the serving tier, and the simulator, then the
+# nvbench gate: seeded corruptors flip bits and tear pages in the live
+# primary's pool images under YCSB load — every damaged page must be
+# reconstructed from parity in place, with zero acked-write loss, zero
+# client-visible errors, and zero promotions.
+go test -race -coverprofile=/tmp/parity_cover.out ./internal/parity/...
+go tool cover -func=/tmp/parity_cover.out | awk '
+	/^total:/ {
+		sub(/%/, "", $3)
+		printf "internal/parity coverage: %s%% (gate: 80%%)\n", $3
+		if ($3 + 0 < 80) {
+			print "FAIL: internal/parity coverage below 80%"
+			exit 1
+		}
+	}'
+go test -race -run 'Media|Corrupt|Parity|Sidecar|Torn' \
+	./internal/pmem/ ./internal/server/ ./internal/sim/
+go test -race -run 'TestMediaSmoke' ./internal/bench/
+go run ./cmd/nvbench -experiment media -quick -benchlog=false
+
 # Tracing leg: the request-scoped tracing plane under the race detector —
 # envelope codec, echo discipline, span/flight recorders, health probes —
 # then the nvbench gate: every echo returns, per-trace stage sums fit
